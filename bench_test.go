@@ -1,0 +1,360 @@
+package fragalign
+
+// Benchmarks regenerating every experiment of EXPERIMENTS.md (E1–E10),
+// plus the ablation benches called out in DESIGN.md §6. Run with
+//
+//	go test -bench=. -benchmem
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/align"
+	"repro/internal/core"
+	"repro/internal/csop"
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/greedy"
+	"repro/internal/improve"
+	"repro/internal/isp"
+	"repro/internal/onecsr"
+	"repro/internal/score"
+	"repro/internal/symbol"
+	"repro/internal/ucsr"
+)
+
+// BenchmarkE1PaperExample solves the §1 worked example with CSR_Improve.
+func BenchmarkE1PaperExample(b *testing.B) {
+	in := core.PaperExample()
+	for i := 0; i < b.N; i++ {
+		sol, _, err := improve.Improve(in, improve.Options{})
+		if err != nil || sol.Score() != 11 {
+			b.Fatalf("score %v err %v", sol.Score(), err)
+		}
+	}
+}
+
+// BenchmarkE2CSoPReduction runs the Theorem 2 pipeline (cubic graph →
+// CSoP → exact → independent set) at 12 nodes.
+func BenchmarkE2CSoPReduction(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	g, err := graph.RandomCubic(r, 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		red, err := csop.FromCubic(g, r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opt := csop.Exact(red.Inst)
+		if _, err := red.ExtractIS(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE3UCSRReduction builds π₀, lifts the optimum, and projects back
+// at ε = 0.25.
+func BenchmarkE3UCSRReduction(b *testing.B) {
+	x, err := ucsr.Replicate(core.PaperExample())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sol := core.PaperExampleOptimum()
+	for i := 0; i < b.N; i++ {
+		red, err := ucsr.Reduce(x, 0.25)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f, err := red.LiftSolution(sol)
+		if err != nil {
+			b.Fatal(err)
+		}
+		proj, err := red.Project(f)
+		if err != nil || proj.Score != 11 {
+			b.Fatalf("score %v err %v", proj.Score, err)
+		}
+	}
+}
+
+// BenchmarkE4Doubling evaluates both Theorem 3 companion instances exactly.
+func BenchmarkE4Doubling(b *testing.B) {
+	in := core.PaperExample()
+	for i := 0; i < b.N; i++ {
+		if _, err := onecsr.HalfOnConcat(in); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := onecsr.HalfOnConcat(onecsr.Transpose(in)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE5TwoPhase measures the O(n log n) two-phase ISP algorithm.
+func BenchmarkE5TwoPhase(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			r := rand.New(rand.NewSource(2))
+			items := make([]isp.Interval, n)
+			for i := range items {
+				lo := r.Intn(n)
+				items[i] = isp.Interval{
+					ID: i, Job: r.Intn(n/4 + 1), Lo: lo, Hi: lo + 1 + r.Intn(n/8+1),
+					Profit: float64(1 + r.Intn(20)),
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				isp.TwoPhase(items)
+			}
+		})
+	}
+}
+
+// BenchmarkE6FourApprox runs Corollary 1's algorithm on a synthetic genome.
+func BenchmarkE6FourApprox(b *testing.B) {
+	w := gen.Generate(gen.DefaultConfig(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := onecsr.FourApprox(w.Instance); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE7Improve measures the Theorem 4–6 algorithms on a 60-region
+// synthetic genome.
+func BenchmarkE7Improve(b *testing.B) {
+	cfg := gen.DefaultConfig(4)
+	cfg.Regions = 60
+	w := gen.Generate(cfg)
+	for _, m := range []struct {
+		name    string
+		methods improve.Methods
+	}{
+		{"full", improve.FullOnly},
+		{"border", improve.BorderOnly},
+		{"csr", improve.AllMethods},
+	} {
+		b.Run(m.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, _, err := improve.Improve(w.Instance, improve.Options{
+					Methods: m.methods, Eps: 0.05, SeedWithFourApprox: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE8Matching measures the Lemma 9 Hungarian-based 2-approximation.
+func BenchmarkE8Matching(b *testing.B) {
+	w := gen.Generate(gen.DefaultConfig(5))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := improve.MatchingTwoApprox(w.Instance); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE9Wavefront sweeps worker counts on a 1000×1000 alignment.
+func BenchmarkE9Wavefront(b *testing.B) {
+	r := rand.New(rand.NewSource(6))
+	tb := score.NewTable()
+	for i := 1; i <= 40; i++ {
+		tb.Set(symbol.Symbol(i), symbol.Symbol(i%40+1), float64(1+i%7))
+	}
+	mk := func(n int) symbol.Word {
+		w := make(symbol.Word, n)
+		for i := range w {
+			w[i] = symbol.Symbol(1 + r.Intn(40))
+		}
+		return w
+	}
+	a, bb := mk(1000), mk(1000)
+	want := align.Score(a, bb, tb)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			wf := align.WavefrontAligner{Workers: workers, BlockRows: 128, BlockCols: 128}
+			for i := 0; i < b.N; i++ {
+				if got := wf.Score(a, bb, tb); got != want {
+					b.Fatalf("score %v, want %v", got, want)
+				}
+			}
+		})
+	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			align.Score(a, bb, tb)
+		}
+	})
+}
+
+// BenchmarkE10Fooling runs greedy and CSR_Improve on the adversarial
+// family.
+func BenchmarkE10Fooling(b *testing.B) {
+	in := greedy.FoolingInstance(8, 10)
+	b.Run("greedy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			greedy.Matching(in)
+		}
+	})
+	b.Run("csr-improve", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sol, _, err := improve.Improve(in, improve.Options{})
+			if err != nil || sol.Score() != 8*(4*10.0-4) {
+				b.Fatalf("score %v err %v", sol.Score(), err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationTPA compares the two-phase algorithm against greedy
+// interval selection inside the TPA candidate sets (DESIGN §6).
+func BenchmarkAblationTPA(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	items := make([]isp.Interval, 5000)
+	for i := range items {
+		lo := r.Intn(5000)
+		items[i] = isp.Interval{
+			ID: i, Job: r.Intn(1200), Lo: lo, Hi: lo + 1 + r.Intn(400),
+			Profit: float64(1 + r.Intn(20)),
+		}
+	}
+	b.Run("two-phase", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			isp.TwoPhase(items)
+		}
+	})
+	b.Run("greedy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			isp.Greedy(items)
+		}
+	})
+}
+
+// BenchmarkAblationBlockSize sweeps the wavefront tile size (DESIGN §6).
+func BenchmarkAblationBlockSize(b *testing.B) {
+	r := rand.New(rand.NewSource(8))
+	tb := score.NewTable()
+	for i := 1; i <= 40; i++ {
+		tb.Set(symbol.Symbol(i), symbol.Symbol(i%40+1), float64(1+i%7))
+	}
+	mk := func(n int) symbol.Word {
+		w := make(symbol.Word, n)
+		for i := range w {
+			w[i] = symbol.Symbol(1 + r.Intn(40))
+		}
+		return w
+	}
+	a, bb := mk(1500), mk(1500)
+	for _, block := range []int{32, 128, 512} {
+		b.Run(fmt.Sprintf("block=%d", block), func(b *testing.B) {
+			wf := align.WavefrontAligner{Workers: 4, BlockRows: block, BlockCols: block}
+			for i := 0; i < b.N; i++ {
+				wf.Score(a, bb, tb)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSeeding compares empty-start CSR_Improve against
+// 4-approximation seeding (DESIGN §6).
+func BenchmarkAblationSeeding(b *testing.B) {
+	cfg := gen.DefaultConfig(9)
+	cfg.Regions = 50
+	w := gen.Generate(cfg)
+	for _, seeded := range []bool{false, true} {
+		name := "empty-start"
+		if seeded {
+			name = "four-approx-seed"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, _, err := improve.Improve(w.Instance, improve.Options{
+					Eps: 0.05, SeedWithFourApprox: seeded,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationScaling compares thresholded acceptance (§4.1 scaling)
+// against accepting every positive gain (DESIGN §6).
+func BenchmarkAblationScaling(b *testing.B) {
+	cfg := gen.DefaultConfig(10)
+	cfg.Regions = 40
+	w := gen.Generate(cfg)
+	for _, eps := range []float64{0, 0.05, 0.25} {
+		b.Run(fmt.Sprintf("eps=%v", eps), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, _, err := improve.Improve(w.Instance, improve.Options{
+					Eps: eps, SeedWithFourApprox: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExactEnumeration measures the parallel exact solver fan-out.
+func BenchmarkExactEnumeration(b *testing.B) {
+	in := core.PaperExample()
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := exact.Solve(in, exact.Solver{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAlignmentKernels compares the serial, banded, Hirschberg and
+// fit-placement kernels on one workload.
+func BenchmarkAlignmentKernels(b *testing.B) {
+	r := rand.New(rand.NewSource(11))
+	tb := score.NewTable()
+	for i := 1; i <= 30; i++ {
+		tb.Set(symbol.Symbol(i), symbol.Symbol(i%30+1), float64(1+i%5))
+	}
+	mk := func(n int) symbol.Word {
+		w := make(symbol.Word, n)
+		for i := range w {
+			w[i] = symbol.Symbol(1 + r.Intn(30))
+		}
+		return w
+	}
+	a, bb := mk(500), mk(500)
+	b.Run("score", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			align.Score(a, bb, tb)
+		}
+	})
+	b.Run("banded-64", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			align.ScoreBanded(a, bb, tb, 64)
+		}
+	})
+	b.Run("hirschberg", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			align.Hirschberg(a, bb, tb)
+		}
+	})
+	b.Run("placements", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			align.Placements(a[:40], bb, tb, 0)
+		}
+	})
+}

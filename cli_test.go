@@ -1,0 +1,79 @@
+package fragalign
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLIRoundTrip exercises the command-line tools end to end: generate a
+// synthetic instance with csrgen, solve it with csrsolve, and check the
+// report. Skipped when the go tool is unavailable.
+func TestCLIRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool not available")
+	}
+	dir := t.TempDir()
+	instance := filepath.Join(dir, "inst.csr")
+
+	genCmd := exec.Command("go", "run", "./cmd/csrgen",
+		"-seed", "5", "-regions", "30", "-out", instance)
+	if out, err := genCmd.CombinedOutput(); err != nil {
+		t.Fatalf("csrgen: %v\n%s", err, out)
+	}
+	data, err := os.ReadFile(instance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "H h0") {
+		t.Fatalf("generated instance lacks contigs:\n%s", data)
+	}
+
+	solveCmd := exec.Command("go", "run", "./cmd/csrsolve",
+		"-algo", "csr-improve", instance)
+	out, err := solveCmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("csrsolve: %v\n%s", err, out)
+	}
+	for _, want := range []string{"algorithm: csr-improve", "score:", "H layout:"} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("csrsolve output missing %q:\n%s", want, out)
+		}
+	}
+
+	listCmd := exec.Command("go", "run", "./cmd/csrsolve", "-list")
+	out, err = listCmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("csrsolve -list: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "csr-improve") || !strings.Contains(string(out), "exact") {
+		t.Fatalf("-list output:\n%s", out)
+	}
+}
+
+// TestCLIBenchSingleTable checks csrbench's experiment filter.
+func TestCLIBenchSingleTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool not available")
+	}
+	cmd := exec.Command("go", "run", "./cmd/csrbench", "-only", "E1")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("csrbench: %v\n%s", err, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "E1") || strings.Contains(s, "E2 —") {
+		t.Fatalf("filter failed:\n%s", s)
+	}
+	if !strings.Contains(s, "11.00") {
+		t.Fatalf("E1 table missing the optimum:\n%s", s)
+	}
+}

@@ -1,0 +1,35 @@
+// Command csrbench runs the full experiment suite (E1–E10 of DESIGN.md)
+// and prints the tables recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	csrbench [-seed 1] [-only E2,E7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		seed = flag.Int64("seed", 1, "experiment seed")
+		only = flag.String("only", "", "comma-separated experiment IDs (default all)")
+	)
+	flag.Parse()
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[strings.ToUpper(id)] = true
+		}
+	}
+	for _, t := range experiments.All(*seed) {
+		if len(want) > 0 && !want[t.ID] {
+			continue
+		}
+		fmt.Println(t.Format())
+	}
+}

@@ -1,0 +1,381 @@
+// Package fragalign aligns two fragmented sequences: a complete Go
+// implementation of "Aligning two fragmented sequences" (Veeramachaneni,
+// Berman, Miller; IPPS 2002 / Discrete Applied Mathematics 127, 2003).
+//
+// Two partially sequenced genomes are given as sets of contigs, each an
+// ordered list of conserved regions with cross-species alignment scores σ.
+// The Consensus Sequence Reconstruction (CSR) problem orients and orders
+// the contigs of each species, deleting regions as needed, to maximize the
+// total alignment score — computationally inferring contig order and
+// orientation from comparative data alone.
+//
+// The package exposes:
+//
+//   - instance construction (Builder), parsing and serialization;
+//   - the paper's approximation algorithms: the ratio-(3+ε) iterative
+//     improvement family CSR_Improve / Full_Improve / Border_Improve
+//     (Theorems 4–6), the ISP-based 4-approximation (Corollary 1), and the
+//     Lemma 9 matching 2-approximation;
+//   - baselines: exact enumeration for small instances and greedy
+//     heuristics;
+//   - solution objects that verify their own consistency by constructing a
+//     realizing conjecture pair (Definition 2 / Remark 1);
+//   - a synthetic fragmented-genome workload generator with ground truth.
+//
+// Quick start:
+//
+//	b := fragalign.NewBuilder("demo")
+//	b.FragmentH("h1", "a b c")
+//	b.FragmentM("m1", "s t")
+//	b.Score("a", "s", 4)
+//	in, _ := b.Build()
+//	res, _ := fragalign.Solve(in, fragalign.CSRImprove)
+//	fmt.Println(res.Score, res.LayoutH, res.LayoutM)
+package fragalign
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/encoding"
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/greedy"
+	"repro/internal/improve"
+	"repro/internal/onecsr"
+	"repro/internal/score"
+	"repro/internal/symbol"
+)
+
+// Re-exported model types. The underlying implementations live in internal
+// packages; these aliases are the supported public surface.
+type (
+	// Instance is one CSR problem: fragment sets H and M plus σ.
+	Instance = core.Instance
+	// Fragment is one contig.
+	Fragment = core.Fragment
+	// Species selects the H or M side.
+	Species = core.Species
+	// Site is a contiguous subfragment f(i..j).
+	Site = core.Site
+	// Match pairs an H site with an M site at a relative orientation.
+	Match = core.Match
+	// Solution is a set of matches.
+	Solution = core.Solution
+	// Conjecture is a realized conjecture pair with layouts.
+	Conjecture = core.Conjecture
+	// OrientedFrag is a fragment with an orientation in a layout.
+	OrientedFrag = core.OrientedFrag
+	// Word is a sequence of region symbols.
+	Word = symbol.Word
+	// Symbol is one conserved-region occurrence.
+	Symbol = symbol.Symbol
+	// GenConfig parameterizes the synthetic workload generator.
+	GenConfig = gen.Config
+	// Workload is a generated instance with ground truth.
+	Workload = gen.Workload
+	// Accuracy quantifies ground-truth layout recovery.
+	Accuracy = gen.Accuracy
+	// ImproveStats reports on an iterative-improvement run.
+	ImproveStats = improve.Stats
+)
+
+// Species constants.
+const (
+	SpeciesH = core.SpeciesH
+	SpeciesM = core.SpeciesM
+)
+
+// Builder assembles instances from region names. Reversed occurrences are
+// written with a trailing apostrophe: "a'" is aᴿ.
+type Builder struct {
+	in  *core.Instance
+	tb  *score.Table
+	err error
+}
+
+// NewBuilder starts an empty instance.
+func NewBuilder(name string) *Builder {
+	tb := score.NewTable()
+	return &Builder{
+		in: &core.Instance{Name: name, Alpha: symbol.NewAlphabet(), Sigma: tb},
+		tb: tb,
+	}
+}
+
+// FragmentH appends an H-side contig given as space-separated region names.
+func (b *Builder) FragmentH(name, regions string) *Builder {
+	return b.frag(core.SpeciesH, name, regions)
+}
+
+// FragmentM appends an M-side contig.
+func (b *Builder) FragmentM(name, regions string) *Builder {
+	return b.frag(core.SpeciesM, name, regions)
+}
+
+func (b *Builder) frag(sp core.Species, name, regions string) *Builder {
+	if b.err != nil {
+		return b
+	}
+	w, err := b.in.Alpha.ParseWord(regions)
+	if err != nil {
+		b.err = err
+		return b
+	}
+	f := core.Fragment{Name: name, Regions: w}
+	if sp == core.SpeciesH {
+		b.in.H = append(b.in.H, f)
+	} else {
+		b.in.M = append(b.in.M, f)
+	}
+	return b
+}
+
+// Score records σ(a, b) = v (and σ(aᴿ, bᴿ) = v by reversal symmetry). Use
+// the apostrophe suffix for reversed occurrences, e.g. Score("b", "t'", 3).
+func (b *Builder) Score(a, bb string, v float64) *Builder {
+	if b.err != nil {
+		return b
+	}
+	sa, err := b.in.Alpha.ParseSymbol(a)
+	if err != nil {
+		b.err = err
+		return b
+	}
+	sb, err := b.in.Alpha.ParseSymbol(bb)
+	if err != nil {
+		b.err = err
+		return b
+	}
+	b.tb.Set(sa, sb, v)
+	return b
+}
+
+// Build validates and returns the instance.
+func (b *Builder) Build() (*Instance, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if err := b.in.Validate(); err != nil {
+		return nil, err
+	}
+	return b.in, nil
+}
+
+// PaperExample returns the worked data set of the paper's §1 (Fig. 2),
+// whose optimal score is 11.
+func PaperExample() *Instance { return core.PaperExample() }
+
+// Generate builds a synthetic fragmented-genome workload.
+func Generate(cfg GenConfig) *Workload { return gen.Generate(cfg) }
+
+// DefaultGenConfig returns a small structured workload configuration.
+func DefaultGenConfig(seed int64) GenConfig { return gen.DefaultConfig(seed) }
+
+// ReadInstance parses the text instance format.
+func ReadInstance(r io.Reader) (*Instance, error) { return encoding.ReadText(r) }
+
+// WriteInstance serializes an instance in the text format.
+func WriteInstance(w io.Writer, in *Instance) error { return encoding.WriteText(w, in) }
+
+// Algorithm selects a CSR solver.
+type Algorithm string
+
+// Available algorithms.
+const (
+	// Exact enumerates all conjecture pairs (small instances only).
+	Exact Algorithm = "exact"
+	// GreedyMatching is the best-pair-first whole-fragment heuristic.
+	GreedyMatching Algorithm = "greedy"
+	// GreedyPlacement is the best-placement-first heuristic.
+	GreedyPlacement Algorithm = "greedy-placement"
+	// FourApprox is Corollary 1: the ISP-based 4-approximation.
+	FourApprox Algorithm = "four-approx"
+	// Matching2 is the Lemma 9 matching-based 2-approximation for Border
+	// CSR instances.
+	Matching2 Algorithm = "matching2"
+	// FullImprove is Theorem 4's I1-only iterative improvement (Full CSR).
+	FullImprove Algorithm = "full-improve"
+	// BorderImprove is Theorem 5's I2/I3 iterative improvement (Border CSR).
+	BorderImprove Algorithm = "border-improve"
+	// CSRImprove is Theorem 6's combined algorithm — ratio 3+ε for general
+	// CSR; the paper's headline solver.
+	CSRImprove Algorithm = "csr-improve"
+)
+
+// Algorithms lists every solver name.
+func Algorithms() []Algorithm {
+	return []Algorithm{Exact, GreedyMatching, GreedyPlacement, FourApprox,
+		Matching2, FullImprove, BorderImprove, CSRImprove}
+}
+
+// Option tunes Solve.
+type Option func(*solveCfg)
+
+type solveCfg struct {
+	workers  int
+	eps      float64
+	seed4    bool
+	exactCap int
+	check    bool
+	quantize bool
+}
+
+// WithWorkers parallelizes candidate evaluation (improvement algorithms)
+// or layout enumeration (exact).
+func WithWorkers(n int) Option { return func(c *solveCfg) { c.workers = n } }
+
+// WithEps sets the §4.1 scaling slack for the improvement algorithms
+// (default 0.05). Zero accepts every positive gain.
+func WithEps(eps float64) Option { return func(c *solveCfg) { c.eps = eps } }
+
+// WithFourApproxSeed starts the improvement algorithms from the Corollary 1
+// solution instead of the empty set.
+func WithFourApproxSeed(on bool) Option { return func(c *solveCfg) { c.seed4 = on } }
+
+// WithExactCap raises the exact solver's per-side fragment cap.
+func WithExactCap(n int) Option { return func(c *solveCfg) { c.exactCap = n } }
+
+// WithConsistencyChecks validates the solution after every improvement
+// step (slow; for debugging).
+func WithConsistencyChecks(on bool) Option { return func(c *solveCfg) { c.check = on } }
+
+// WithQuantizedScaling uses the literal §4.1 Chandra–Halldórsson scaling
+// for the improvement algorithms: search under scores truncated to
+// multiples of X/k², re-score under the true σ at the end.
+func WithQuantizedScaling(on bool) Option { return func(c *solveCfg) { c.quantize = on } }
+
+// Result is a solved instance.
+type Result struct {
+	// Algorithm that produced the result.
+	Algorithm Algorithm
+	// Score is the total score of the solution.
+	Score float64
+	// Solution is the consistent match set (nil for Exact, which proves
+	// the optimum by enumeration instead).
+	Solution *Solution
+	// Conjecture realizes the solution (nil for Exact).
+	Conjecture *Conjecture
+	// LayoutH and LayoutM are the inferred fragment orders/orientations.
+	LayoutH, LayoutM []OrientedFrag
+	// Stats carries improvement-run statistics when applicable.
+	Stats *ImproveStats
+}
+
+// Solve runs the selected algorithm on the instance.
+func Solve(in *Instance, alg Algorithm, opts ...Option) (*Result, error) {
+	var cfg solveCfg
+	cfg.eps = 0.05
+	for _, o := range opts {
+		o(&cfg)
+	}
+	res := &Result{Algorithm: alg}
+	var sol *Solution
+	switch alg {
+	case Exact:
+		r, err := exact.Solve(in, exact.Solver{MaxFrags: cfg.exactCap, Workers: cfg.workers})
+		if err != nil {
+			return nil, err
+		}
+		res.Score = r.Score
+		res.LayoutH, res.LayoutM = r.HOrder, r.MOrder
+		return res, nil
+	case GreedyMatching:
+		sol = greedy.Matching(in)
+	case GreedyPlacement:
+		sol = greedy.Placement(in)
+	case FourApprox:
+		var err error
+		sol, err = onecsr.FourApprox(in)
+		if err != nil {
+			return nil, err
+		}
+	case Matching2:
+		var err error
+		sol, err = improve.MatchingTwoApprox(in)
+		if err != nil {
+			return nil, err
+		}
+	case FullImprove, BorderImprove, CSRImprove:
+		methods := improve.AllMethods
+		if alg == FullImprove {
+			methods = improve.FullOnly
+		}
+		if alg == BorderImprove {
+			methods = improve.BorderOnly
+		}
+		s, stats, err := improve.Improve(in, improve.Options{
+			Methods:            methods,
+			Eps:                cfg.eps,
+			SeedWithFourApprox: cfg.seed4,
+			Workers:            cfg.workers,
+			Quantize:           cfg.quantize,
+			CheckInvariants:    cfg.check,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sol = s
+		res.Stats = &stats
+	default:
+		return nil, fmt.Errorf("fragalign: unknown algorithm %q", alg)
+	}
+	conj, err := sol.BuildConjecture(in)
+	if err != nil {
+		return nil, fmt.Errorf("fragalign: %s produced an inconsistent solution: %w", alg, err)
+	}
+	res.Solution = sol
+	res.Score = sol.Score()
+	res.Conjecture = conj
+	res.LayoutH, res.LayoutM = conj.HOrder, conj.MOrder
+	return res, nil
+}
+
+// FormatResult renders a result for terminals: score, layouts, matches.
+func FormatResult(in *Instance, res *Result) string {
+	out := fmt.Sprintf("algorithm: %s\nscore: %v\n", res.Algorithm, res.Score)
+	if res.Conjecture != nil {
+		out += fmt.Sprintf("H layout: %s\nM layout: %s\n",
+			res.Conjecture.FormatLayout(in, SpeciesH, matchedCount(in, res, SpeciesH)),
+			res.Conjecture.FormatLayout(in, SpeciesM, matchedCount(in, res, SpeciesM)))
+		out += fmt.Sprintf("matches: %d\n", len(res.Solution.Matches))
+		for _, mt := range res.Solution.Matches {
+			rev := ""
+			if mt.Rev {
+				rev = " (reversed)"
+			}
+			out += fmt.Sprintf("  %v ~ %v%s score %v\n", mt.HSite, mt.MSite, rev, mt.Score)
+		}
+	} else {
+		out += fmt.Sprintf("H layout: %v\nM layout: %v\n", res.LayoutH, res.LayoutM)
+	}
+	return out
+}
+
+func matchedCount(in *Instance, res *Result, sp Species) int {
+	seen := map[int]bool{}
+	for _, mt := range res.Solution.Matches {
+		seen[mt.Side(sp).Frag] = true
+	}
+	return len(seen)
+}
+
+// RecoveryAccuracy scores a result's inferred layout for one species
+// against a generated workload's ground truth: pairwise contig order and
+// orientation accuracy, modulo the unobservable whole-genome flip. Only
+// contigs that participate in matches are evaluated.
+func RecoveryAccuracy(res *Result, sp Species) Accuracy {
+	if res.Solution == nil || res.Conjecture == nil {
+		return Accuracy{}
+	}
+	layout := res.Conjecture.HOrder
+	if sp == SpeciesM {
+		layout = res.Conjecture.MOrder
+	}
+	seen := map[int]bool{}
+	for _, mt := range res.Solution.Matches {
+		seen[mt.Side(sp).Frag] = true
+	}
+	return gen.LayoutAccuracy(layout, len(seen))
+}

@@ -1,0 +1,144 @@
+// Package align implements alignment of region lists over the duplicated
+// alphabet: the P_score of Definition 4 in "Aligning two fragmented
+// sequences".
+//
+// For padded sequences u ∈ P_s̄ and v ∈ P_t̄ the paper defines
+//
+//	P_score(s̄, t̄) = max_{u,v} Score(u, v),  Score(u,v) = Σ σ(uᵢ, vᵢ)
+//
+// Because the padding symbol scores 0 against everything, P_score is the
+// classic global-alignment dynamic program with free gaps:
+//
+//	D[i][j] = max(D[i−1][j−1] + σ(aᵢ, bⱼ), D[i−1][j], D[i][j−1])
+//	D[0][·] = D[·][0] = 0
+//
+// The package provides serial scoring, full tracebacks, a linear-space
+// Hirschberg variant, banded scoring, Pareto-optimal fit placements for the
+// TPA subroutine, and a blocked parallel wavefront engine (the IPPS 2002
+// parallel-DP angle).
+package align
+
+import (
+	"repro/internal/score"
+	"repro/internal/symbol"
+)
+
+// Score returns P_score(a, b): the maximum total σ over all monotone
+// pairings of a against b with free padding. Runs in O(|a|·|b|) time and
+// O(|b|) space.
+func Score(a, b symbol.Word, sc score.Scorer) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	// σ is not symmetric in its species sides, so the argument order is
+	// significant and the words are never swapped.
+	n := len(b)
+	prev := make([]float64, n+1)
+	cur := make([]float64, n+1)
+	for i := 1; i <= len(a); i++ {
+		ai := a[i-1]
+		cur[0] = 0
+		for j := 1; j <= n; j++ {
+			best := prev[j-1] + sc.Score(ai, b[j-1])
+			if prev[j] > best {
+				best = prev[j]
+			}
+			if cur[j-1] > best {
+				best = cur[j-1]
+			}
+			cur[j] = best
+		}
+		prev, cur = cur, prev
+	}
+	return prev[n]
+}
+
+// BestOrient returns max(P_score(a,b), P_score(a,bᴿ)) and whether the
+// maximum used the reversed orientation of b. This is the Fig. 7 rule for
+// matches involving a full site.
+func BestOrient(a, b symbol.Word, sc score.Scorer) (float64, bool) {
+	fwd := Score(a, b, sc)
+	rev := Score(a, b.Rev(), sc)
+	if rev > fwd {
+		return rev, true
+	}
+	return fwd, false
+}
+
+// Col is one scoring column of an alignment: position I of the first word
+// paired with position J of the second, contributing Sigma.
+type Col struct {
+	I, J  int
+	Sigma float64
+}
+
+// Align returns P_score(a, b) together with the scoring columns (pairs with
+// σ > 0) of one optimal alignment, in increasing order of both coordinates.
+// Runs in O(|a|·|b|) time and space; for long inputs prefer Hirschberg.
+func Align(a, b symbol.Word, sc score.Scorer) (float64, []Col) {
+	m, n := len(a), len(b)
+	if m == 0 || n == 0 {
+		return 0, nil
+	}
+	d := make([][]float64, m+1)
+	for i := range d {
+		d[i] = make([]float64, n+1)
+	}
+	for i := 1; i <= m; i++ {
+		for j := 1; j <= n; j++ {
+			best := d[i-1][j-1] + sc.Score(a[i-1], b[j-1])
+			if d[i-1][j] > best {
+				best = d[i-1][j]
+			}
+			if d[i][j-1] > best {
+				best = d[i][j-1]
+			}
+			d[i][j] = best
+		}
+	}
+	var cols []Col
+	i, j := m, n
+	for i > 0 && j > 0 {
+		s := sc.Score(a[i-1], b[j-1])
+		switch {
+		case s > 0 && d[i][j] == d[i-1][j-1]+s:
+			cols = append(cols, Col{I: i - 1, J: j - 1, Sigma: s})
+			i, j = i-1, j-1
+		case d[i][j] == d[i-1][j]:
+			i--
+		case d[i][j] == d[i][j-1]:
+			j--
+		default:
+			// Zero or negative σ diagonal that ties; skip it without
+			// recording a scoring column.
+			i, j = i-1, j-1
+		}
+	}
+	// Reverse into increasing order.
+	for l, r := 0, len(cols)-1; l < r; l, r = l+1, r-1 {
+		cols[l], cols[r] = cols[r], cols[l]
+	}
+	return d[m][n], cols
+}
+
+// ColsScore sums the σ contributions of an alignment's scoring columns.
+func ColsScore(cols []Col) float64 {
+	t := 0.0
+	for _, c := range cols {
+		t += c.Sigma
+	}
+	return t
+}
+
+// ValidCols reports whether cols is a strictly increasing monotone pairing
+// of positions within words of the given lengths.
+func ValidCols(cols []Col, la, lb int) bool {
+	pi, pj := -1, -1
+	for _, c := range cols {
+		if c.I <= pi || c.J <= pj || c.I >= la || c.J >= lb || c.I < 0 || c.J < 0 {
+			return false
+		}
+		pi, pj = c.I, c.J
+	}
+	return true
+}

@@ -1,0 +1,100 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/score"
+	"repro/internal/symbol"
+)
+
+func TestValidColsRejects(t *testing.T) {
+	cases := []struct {
+		cols []Col
+		la   int
+		lb   int
+		ok   bool
+	}{
+		{nil, 0, 0, true},
+		{[]Col{{I: 0, J: 0}}, 1, 1, true},
+		{[]Col{{I: 0, J: 0}, {I: 0, J: 1}}, 2, 2, false}, // I not increasing
+		{[]Col{{I: 0, J: 1}, {I: 1, J: 0}}, 2, 2, false}, // J decreasing
+		{[]Col{{I: 2, J: 0}}, 2, 1, false},               // I out of range
+		{[]Col{{I: -1, J: 0}}, 2, 1, false},
+	}
+	for _, c := range cases {
+		if got := ValidCols(c.cols, c.la, c.lb); got != c.ok {
+			t.Errorf("ValidCols(%v,%d,%d) = %v", c.cols, c.la, c.lb, got)
+		}
+	}
+}
+
+func TestWavefrontExtremeShapes(t *testing.T) {
+	tb := score.NewTable()
+	tb.Set(1, 2, 3)
+	long := make(symbol.Word, 500)
+	for i := range long {
+		long[i] = 2
+	}
+	single := symbol.Word{1}
+	for _, cfg := range []WavefrontAligner{
+		{Workers: 4, BlockRows: 7, BlockCols: 64},
+		{Workers: 2, BlockRows: 1000, BlockCols: 3},
+	} {
+		if got := cfg.Score(single, long, tb); got != 3 {
+			t.Fatalf("1×n: %v", got)
+		}
+		if got := cfg.Score(long, single, tb); got != 0 {
+			t.Fatalf("n×1: %v (no entry for (2,1))", got)
+		}
+	}
+}
+
+func TestScoreExtensionMonotonicity(t *testing.T) {
+	// Appending regions to either word never lowers the score (free pads).
+	r := rand.New(rand.NewSource(131))
+	for trial := 0; trial < 80; trial++ {
+		tb := randTable(r, 4, 0.5)
+		a := randOrientedWord(r, 1+r.Intn(8), 4)
+		b := randOrientedWord(r, 1+r.Intn(8), 4)
+		base := Score(a, b, tb)
+		extra := randOrientedWord(r, 1+r.Intn(3), 4)
+		if got := Score(symbol.Concat(a, extra), b, tb); got < base {
+			t.Fatalf("extending a lowered score: %v < %v", got, base)
+		}
+		if got := Score(a, symbol.Concat(extra, b), tb); got < base {
+			t.Fatalf("prepending to b lowered score: %v < %v", got, base)
+		}
+	}
+}
+
+func TestHirschbergLongAsymmetric(t *testing.T) {
+	r := rand.New(rand.NewSource(137))
+	tb := randTable(r, 6, 0.3)
+	a := randOrientedWord(r, 300, 6)
+	b := randOrientedWord(r, 40, 6)
+	want := Score(a, b, tb)
+	got, cols := Hirschberg(a, b, tb)
+	if got != want {
+		t.Fatalf("asymmetric Hirschberg %v, want %v", got, want)
+	}
+	if ColsScore(cols) != want {
+		t.Fatal("columns do not sum")
+	}
+}
+
+func TestPlacementsMinScoreFilter(t *testing.T) {
+	tb := score.NewTable()
+	tb.Set(1, 5, 2)
+	tb.Set(2, 6, 3)
+	a := symbol.Word{1, 2}
+	b := symbol.Word{5, 6}
+	all := Placements(a, b, tb, 0)
+	if len(all) != 2 {
+		t.Fatalf("placements = %v", all)
+	}
+	high := Placements(a, b, tb, 4)
+	if len(high) != 1 || high[0].Score != 5 {
+		t.Fatalf("filtered placements = %v", high)
+	}
+}

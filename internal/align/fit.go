@@ -1,0 +1,89 @@
+package align
+
+import (
+	"repro/internal/score"
+	"repro/internal/symbol"
+)
+
+// Placement is a candidate site for a full word inside a larger zone: the
+// half-open window [Lo, Hi) of the zone achieves alignment score Score
+// against the whole query word, and no optimal alignment with right end at
+// Hi uses a narrower window.
+type Placement struct {
+	Lo, Hi int
+	Score  float64
+}
+
+// Placements computes the Pareto frontier of fit-alignment placements of
+// query a inside zone b: for every window right end e where the best
+// achievable score strictly increases, it reports the minimal window
+// [Lo, e) attaining that score. These are exactly the candidate intervals
+// the TPA subroutine feeds to the interval-selection algorithm: any larger
+// window with the same score only blocks more of the zone.
+//
+// Runs in O(|a|·|b|) time and O(|b|) space. Windows with score ≤ minScore
+// are omitted.
+func Placements(a, b symbol.Word, sc score.Scorer, minScore float64) []Placement {
+	m, n := len(a), len(b)
+	if m == 0 || n == 0 {
+		return nil
+	}
+	// d[j]: best score of aligning all of a against b[?..j).
+	// st[j]: latest start of the first scoring column among optimal
+	// alignments achieving d[j]; n+1 when no scoring column exists.
+	const noStart = 1 << 30
+	dPrev := make([]float64, n+1)
+	dCur := make([]float64, n+1)
+	stPrev := make([]int, n+1)
+	stCur := make([]int, n+1)
+	for j := range stPrev {
+		stPrev[j] = noStart
+	}
+	for i := 1; i <= m; i++ {
+		ai := a[i-1]
+		dCur[0] = 0
+		stCur[0] = noStart
+		for j := 1; j <= n; j++ {
+			s := sc.Score(ai, b[j-1])
+			// Candidate moves: (value, start).
+			bestV := dPrev[j]
+			bestS := stPrev[j]
+			if dCur[j-1] > bestV || (dCur[j-1] == bestV && stCur[j-1] > bestS) {
+				bestV, bestS = dCur[j-1], stCur[j-1]
+			}
+			if s > 0 {
+				v := dPrev[j-1] + s
+				st := stPrev[j-1]
+				if st == noStart {
+					st = j - 1 // this diagonal is the first scoring column
+				}
+				if v > bestV || (v == bestV && st > bestS) {
+					bestV, bestS = v, st
+				}
+			}
+			dCur[j], stCur[j] = bestV, bestS
+		}
+		dPrev, dCur = dCur, dPrev
+		stPrev, stCur = stCur, stPrev
+	}
+	var out []Placement
+	for j := 1; j <= n; j++ {
+		// A strict increase at j means every optimal alignment of prefix
+		// b[..j) has its last scoring column at j−1, so the emitted window
+		// is tight on the right as well as on the left.
+		if dPrev[j] > dPrev[j-1] && dPrev[j] > minScore && stPrev[j] != noStart {
+			out = append(out, Placement{Lo: stPrev[j], Hi: j, Score: dPrev[j]})
+		}
+	}
+	return out
+}
+
+// BestPlacement returns the highest-scoring placement of a inside b, or
+// ok = false when no alignment scores above minScore.
+func BestPlacement(a, b symbol.Word, sc score.Scorer, minScore float64) (Placement, bool) {
+	ps := Placements(a, b, sc, minScore)
+	if len(ps) == 0 {
+		return Placement{}, false
+	}
+	return ps[len(ps)-1], true
+}

@@ -1,0 +1,74 @@
+package align
+
+import (
+	"repro/internal/score"
+	"repro/internal/symbol"
+)
+
+// Hirschberg returns the same result as Align — the optimal score and one
+// optimal set of scoring columns — using O(|a|+|b|) working memory via the
+// classic divide-and-conquer of Hirschberg (1975), adapted to free-gap
+// scoring. Time remains O(|a|·|b|).
+func Hirschberg(a, b symbol.Word, sc score.Scorer) (float64, []Col) {
+	cols := hirsch(a, b, 0, 0, sc)
+	return ColsScore(cols), cols
+}
+
+func hirsch(a, b symbol.Word, ioff, joff int, sc score.Scorer) []Col {
+	m, n := len(a), len(b)
+	if m == 0 || n == 0 {
+		return nil
+	}
+	if m == 1 || n == 1 {
+		// Small base case: full traceback is cheap.
+		_, cols := Align(a, b, sc)
+		for k := range cols {
+			cols[k].I += ioff
+			cols[k].J += joff
+		}
+		return cols
+	}
+	mid := m / 2
+	// Forward scores for a[:mid] vs every prefix of b.
+	fwd := lastRow(a[:mid], b, sc)
+	// Backward scores for a[mid:] vs every suffix of b.
+	bwd := lastRow(symbol.Word(a[mid:]).Rev(), b.Rev(), sc)
+	// Choose the split point of b maximizing the combined score.
+	split, best := 0, fwd[0]+bwd[n]
+	for j := 1; j <= n; j++ {
+		if v := fwd[j] + bwd[n-j]; v > best {
+			best, split = v, j
+		}
+	}
+	left := hirsch(a[:mid], b[:split], ioff, joff, sc)
+	right := hirsch(a[mid:], b[split:], ioff+mid, joff+split, sc)
+	return append(left, right...)
+}
+
+// lastRow computes D[len(a)][j] for all j in O(|a|·|b|) time, O(|b|) space.
+//
+// Note: reversing both words preserves P_score because σ(x,y) does not
+// change when the pairing order flips — the DP is direction-symmetric.
+// (This is positional reversal only; symbol reversal is handled by the
+// caller via Word.Rev when orientation matters.)
+func lastRow(a, b symbol.Word, sc score.Scorer) []float64 {
+	n := len(b)
+	prev := make([]float64, n+1)
+	cur := make([]float64, n+1)
+	for i := 1; i <= len(a); i++ {
+		ai := a[i-1]
+		cur[0] = 0
+		for j := 1; j <= n; j++ {
+			best := prev[j-1] + sc.Score(ai, b[j-1])
+			if prev[j] > best {
+				best = prev[j]
+			}
+			if cur[j-1] > best {
+				best = cur[j-1]
+			}
+			cur[j] = best
+		}
+		prev, cur = cur, prev
+	}
+	return prev
+}

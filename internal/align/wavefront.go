@@ -1,0 +1,161 @@
+package align
+
+import (
+	"sync"
+
+	"repro/internal/score"
+	"repro/internal/symbol"
+)
+
+// WavefrontAligner computes the free-gap alignment score with a blocked
+// anti-diagonal wavefront schedule: the DP matrix is partitioned into
+// BlockRows × BlockCols tiles; a tile becomes runnable once the tiles above
+// and to its left have completed, and runnable tiles are executed by a pool
+// of Workers goroutines. This reproduces the parallel incremental-DP design
+// of the IPPS 2002 evaluation on shared-memory goroutines instead of a
+// cluster.
+//
+// Memory is O(number-of-tile-rows × |b|): only tile boundary rows are
+// retained, as in coarse-grained cluster implementations.
+type WavefrontAligner struct {
+	// Workers is the number of goroutines; values < 1 mean 1.
+	Workers int
+	// BlockRows and BlockCols are the tile dimensions; values < 1 default
+	// to 128.
+	BlockRows, BlockCols int
+}
+
+// Score returns P_score(a, b), identical to the serial Score.
+func (w WavefrontAligner) Score(a, b symbol.Word, sc score.Scorer) float64 {
+	m, n := len(a), len(b)
+	if m == 0 || n == 0 {
+		return 0
+	}
+	br, bc := w.BlockRows, w.BlockCols
+	if br < 1 {
+		br = 128
+	}
+	if bc < 1 {
+		bc = 128
+	}
+	workers := w.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	nI := (m + br - 1) / br // tile rows
+	nJ := (n + bc - 1) / bc // tile cols
+
+	// rowBuf[I][j] = D[rowEnd(I)][j] once every tile of tile-row I left of
+	// column j is done; rowBuf[0] is the all-zero DP row 0.
+	rowBuf := make([][]float64, nI+1)
+	rowBuf[0] = make([]float64, n+1)
+	for I := 1; I <= nI; I++ {
+		rowBuf[I] = make([]float64, n+1)
+	}
+	// carry[I] holds the right boundary column of the most recent tile in
+	// tile-row I: carry[I][r] = D[rowLo(I)+r][colDone], r = 0..height, with
+	// carry[I][0] the value on the boundary row above. Tiles within a row
+	// run strictly left to right, so the carry needs no locking.
+	carry := make([][]float64, nI)
+	for I := 0; I < nI; I++ {
+		h := br
+		if (I+1)*br > m {
+			h = m - I*br
+		}
+		carry[I] = make([]float64, h+1) // column 0 of the DP is all zeros
+	}
+
+	type tile struct{ I, J int }
+	total := nI * nJ
+	ready := make(chan tile, total)
+	var wg sync.WaitGroup
+	wg.Add(total)
+
+	// Remaining dependency count per tile.
+	deps := make([]int32, total)
+	var mu sync.Mutex
+	idx := func(I, J int) int { return I*nJ + J }
+	for I := 0; I < nI; I++ {
+		for J := 0; J < nJ; J++ {
+			d := int32(0)
+			if I > 0 {
+				d++
+			}
+			if J > 0 {
+				d++
+			}
+			deps[idx(I, J)] = d
+		}
+	}
+	release := func(I, J int) {
+		if I >= nI || J >= nJ {
+			return
+		}
+		mu.Lock()
+		deps[idx(I, J)]--
+		run := deps[idx(I, J)] == 0
+		mu.Unlock()
+		if run {
+			ready <- tile{I, J}
+		}
+	}
+
+	compute := func(t tile) {
+		rowLo := t.I * br
+		rowHi := min(m, rowLo+br)
+		colLo := t.J * bc
+		colHi := min(n, colLo+bc)
+		h := rowHi - rowLo
+		wdt := colHi - colLo
+
+		top := rowBuf[t.I][colLo : colHi+1] // includes corner at index 0? no: rowBuf[I][colLo..colHi]
+		left := carry[t.I]                  // left[r] = D[rowLo+r][colLo]
+
+		// Local DP over the tile, rolling rows. prev[c] = D[row-1][colLo+c].
+		prev := make([]float64, wdt+1)
+		cur := make([]float64, wdt+1)
+		// Initialize prev from the boundary row above: D[rowLo][colLo..colHi].
+		copy(prev, top)
+		// But top[0] is D[rowLo][colLo] which must equal left[0]; they agree
+		// by construction.
+		newCarry := make([]float64, h+1)
+		newCarry[0] = prev[wdt]
+		for r := 1; r <= h; r++ {
+			ai := a[rowLo+r-1]
+			cur[0] = left[r]
+			for c := 1; c <= wdt; c++ {
+				best := prev[c-1] + sc.Score(ai, b[colLo+c-1])
+				if prev[c] > best {
+					best = prev[c]
+				}
+				if cur[c-1] > best {
+					best = cur[c-1]
+				}
+				cur[c] = best
+			}
+			newCarry[r] = cur[wdt]
+			prev, cur = cur, prev
+		}
+		// Publish bottom boundary row segment and right column.
+		copy(rowBuf[t.I+1][colLo+1:colHi+1], prev[1:])
+		if colLo == 0 {
+			rowBuf[t.I+1][0] = 0
+		}
+		copy(carry[t.I], newCarry)
+	}
+
+	for g := 0; g < workers; g++ {
+		go func() {
+			for t := range ready {
+				compute(t)
+				release(t.I+1, t.J)
+				release(t.I, t.J+1)
+				wg.Done()
+			}
+		}()
+	}
+	ready <- tile{0, 0}
+	wg.Wait()
+	close(ready)
+	return rowBuf[nI][n]
+}

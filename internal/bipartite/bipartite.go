@@ -1,0 +1,124 @@
+// Package bipartite implements maximum-weight bipartite matching via the
+// Hungarian algorithm (Kuhn–Munkres with potentials, O(n³)). It powers the
+// Lemma 9 2-approximation for Border CSR: partition the optimum's degree-2
+// solution graph into two matchings, so a maximum-weight matching over full
+// sites earns at least half the optimum.
+package bipartite
+
+import "math"
+
+// MaxWeightMatching returns a maximum-weight matching of the bipartite
+// graph whose edge weights are weights[i][j] (rows = left vertices, columns
+// = right). Negative and zero weights are treated as "no edge": such pairs
+// are never reported matched. matchL[i] is the matched right vertex of left
+// vertex i, or −1.
+func MaxWeightMatching(weights [][]float64) (matchL []int, total float64) {
+	rows := len(weights)
+	cols := 0
+	for _, r := range weights {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	matchL = make([]int, rows)
+	for i := range matchL {
+		matchL[i] = -1
+	}
+	if rows == 0 || cols == 0 {
+		return matchL, 0
+	}
+	n := rows
+	if cols > n {
+		n = cols
+	}
+	// Build a square min-cost matrix: cost = maxW − weight, padding with
+	// maxW (weight 0). The assignment minimizing cost maximizes weight.
+	maxW := 0.0
+	for _, r := range weights {
+		for _, w := range r {
+			if w > maxW {
+				maxW = w
+			}
+		}
+	}
+	at := func(i, j int) float64 {
+		if i < rows && j < len(weights[i]) {
+			if w := weights[i][j]; w > 0 {
+				return maxW - w
+			}
+		}
+		return maxW
+	}
+	assign := solveAssignment(at, n)
+	for i := 0; i < rows; i++ {
+		j := assign[i]
+		if j < cols && j >= 0 && j < len(weights[i]) && weights[i][j] > 0 {
+			matchL[i] = j
+			total += weights[i][j]
+		}
+	}
+	return matchL, total
+}
+
+// solveAssignment is the classic O(n³) Hungarian algorithm over an n×n cost
+// matrix given by cost(i, j); it returns the column assigned to each row.
+func solveAssignment(cost func(i, j int) float64, n int) []int {
+	const inf = math.MaxFloat64
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1)   // p[j]: row matched to column j (1-based; 0 = none)
+	way := make([]int, n+1) // way[j]: previous column on the alternating path
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := range minv {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost(i0-1, j-1) - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+	assign := make([]int, n)
+	for j := 1; j <= n; j++ {
+		if p[j] > 0 {
+			assign[p[j]-1] = j - 1
+		}
+	}
+	return assign
+}

@@ -1,0 +1,100 @@
+package bipartite
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// bruteMax enumerates all matchings recursively.
+func bruteMax(weights [][]float64, row int, usedCols map[int]bool) float64 {
+	if row == len(weights) {
+		return 0
+	}
+	// Leave row unmatched.
+	best := bruteMax(weights, row+1, usedCols)
+	for j, w := range weights[row] {
+		if w > 0 && !usedCols[j] {
+			usedCols[j] = true
+			if v := w + bruteMax(weights, row+1, usedCols); v > best {
+				best = v
+			}
+			delete(usedCols, j)
+		}
+	}
+	return best
+}
+
+func TestAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 120; trial++ {
+		rows := 1 + r.Intn(6)
+		cols := 1 + r.Intn(6)
+		w := make([][]float64, rows)
+		for i := range w {
+			w[i] = make([]float64, cols)
+			for j := range w[i] {
+				if r.Intn(3) > 0 {
+					w[i][j] = float64(r.Intn(10))
+				}
+			}
+		}
+		matchL, total := MaxWeightMatching(w)
+		want := bruteMax(w, 0, map[int]bool{})
+		if math.Abs(total-want) > 1e-9 {
+			t.Fatalf("total %v, want %v for %v", total, want, w)
+		}
+		// Verify the reported matching is feasible and sums to total.
+		seen := map[int]bool{}
+		sum := 0.0
+		for i, j := range matchL {
+			if j < 0 {
+				continue
+			}
+			if seen[j] {
+				t.Fatalf("column %d matched twice", j)
+			}
+			seen[j] = true
+			sum += w[i][j]
+		}
+		if math.Abs(sum-total) > 1e-9 {
+			t.Fatalf("match sum %v != total %v", sum, total)
+		}
+	}
+}
+
+func TestRectangularAndEmpty(t *testing.T) {
+	if m, tot := MaxWeightMatching(nil); tot != 0 || len(m) != 0 {
+		t.Fatal("empty input mishandled")
+	}
+	w := [][]float64{{5}, {3}} // two rows, one column
+	m, tot := MaxWeightMatching(w)
+	if tot != 5 || m[0] != 0 || m[1] != -1 {
+		t.Fatalf("m=%v tot=%v", m, tot)
+	}
+	w = [][]float64{{1, 9, 2}} // one row, three columns
+	m, tot = MaxWeightMatching(w)
+	if tot != 9 || m[0] != 1 {
+		t.Fatalf("m=%v tot=%v", m, tot)
+	}
+}
+
+func TestZeroWeightEdgesUnmatched(t *testing.T) {
+	w := [][]float64{{0, 0}, {0, 0}}
+	m, tot := MaxWeightMatching(w)
+	if tot != 0 || m[0] != -1 || m[1] != -1 {
+		t.Fatalf("zero weights matched: %v %v", m, tot)
+	}
+}
+
+func TestKnownAssignment(t *testing.T) {
+	w := [][]float64{
+		{7, 5, 11},
+		{5, 4, 1},
+		{9, 3, 2},
+	}
+	m, tot := MaxWeightMatching(w)
+	if tot != 24 { // 11 + 4 + 9
+		t.Fatalf("total %v, want 24 (match %v)", tot, m)
+	}
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestConsistencyClosedUnderRemoval verifies a structural theorem of the
+// model: removing any subset of matches from a consistent solution leaves
+// a consistent solution (chains split into shorter chains, satellites
+// detach). The solver's removal-based preparation steps rely on this.
+func TestConsistencyClosedUnderRemoval(t *testing.T) {
+	r := rand.New(rand.NewSource(211))
+	for trial := 0; trial < 30; trial++ {
+		g := newCaterpillarGen(300 + int64(trial))
+		g.buildChain(1+g.r.Intn(3), g.r.Intn(3))
+		g.buildChain(g.r.Intn(3), g.r.Intn(2))
+		if !g.sol.IsConsistent(g.in) {
+			t.Fatalf("trial %d: baseline inconsistent", trial)
+		}
+		// Remove a random non-empty subset.
+		sub := &Solution{}
+		removed := 0
+		for _, mt := range g.sol.Matches {
+			if r.Intn(3) == 0 {
+				removed++
+				continue
+			}
+			sub.Matches = append(sub.Matches, mt)
+		}
+		if removed == 0 {
+			continue
+		}
+		if err := sub.Validate(g.in); err != nil {
+			t.Fatalf("trial %d: subset invalid: %v", trial, err)
+		}
+		if !sub.IsConsistent(g.in) {
+			t.Fatalf("trial %d: removal broke consistency (%d of %d removed)",
+				trial, removed, len(g.sol.Matches))
+		}
+	}
+}
+
+func TestSiteRelationProperties(t *testing.T) {
+	mk := func(lo, hi int8) Site {
+		l, h := int(lo), int(hi)
+		if l < 0 {
+			l = -l
+		}
+		if h < 0 {
+			h = -h
+		}
+		if l > h {
+			l, h = h, l
+		}
+		return Site{Species: SpeciesH, Frag: 0, Lo: l, Hi: h + 1}
+	}
+	// Overlaps is symmetric.
+	if err := quick.Check(func(a1, a2, b1, b2 int8) bool {
+		x, y := mk(a1, a2), mk(b1, b2)
+		return x.Overlaps(y) == y.Overlaps(x)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	// Contains is transitive.
+	if err := quick.Check(func(a1, a2, b1, b2, c1, c2 int8) bool {
+		x, y, z := mk(a1, a2), mk(b1, b2), mk(c1, c2)
+		if x.Contains(y) && y.Contains(z) {
+			return x.Contains(z)
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	// Hides implies Contains but never the reverse direction with shared
+	// endpoints.
+	if err := quick.Check(func(a1, a2, b1, b2 int8) bool {
+		x, y := mk(a1, a2), mk(b1, b2)
+		if x.Hides(y) {
+			return x.Contains(y) && !y.Contains(x)
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	// Adjacent sites never overlap.
+	if err := quick.Check(func(a1, a2, b1, b2 int8) bool {
+		x, y := mk(a1, a2), mk(b1, b2)
+		if x.Adjacent(y) {
+			return !x.Overlaps(y)
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}

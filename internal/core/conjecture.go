@@ -1,0 +1,412 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/align"
+	"repro/internal/symbol"
+)
+
+// OrientedFrag is one fragment with its orientation in a conjecture
+// sequence.
+type OrientedFrag struct {
+	Frag int
+	Rev  bool
+}
+
+// Conjecture is a realized conjecture pair (Definition 1): two equal-length
+// padded words together with the fragment layouts that produced them and
+// the match emission order. Score is the column score Score(h, m), which
+// equals the total score of the consistent match set it was built from
+// (Remark 1).
+type Conjecture struct {
+	H, M           symbol.Word
+	HOrder, MOrder []OrientedFrag
+	MatchOrder     []int
+	Score          float64
+}
+
+// FormatLayout renders the fragment layout of one species, e.g.
+// "h2' h1 | h3" (reversal marked with ', unmatched fragments after |).
+func (c *Conjecture) FormatLayout(in *Instance, sp Species, matched int) string {
+	order := c.HOrder
+	if sp == SpeciesM {
+		order = c.MOrder
+	}
+	parts := make([]string, 0, len(order)+1)
+	for i, of := range order {
+		if i == matched {
+			parts = append(parts, "|")
+		}
+		name := in.Frag(sp, of.Frag).Name
+		if name == "" {
+			name = fmt.Sprintf("%v%d", sp, of.Frag)
+		}
+		if of.Rev {
+			name += "'"
+		}
+		parts = append(parts, name)
+	}
+	return strings.Join(parts, " ")
+}
+
+// IsConsistent reports whether the match set is consistent (Definition 2):
+// producible from some conjecture pair. It is a convenience wrapper around
+// BuildConjecture.
+func (sol *Solution) IsConsistent(in *Instance) bool {
+	_, err := sol.BuildConjecture(in)
+	return err == nil
+}
+
+// BuildConjecture constructs a conjecture pair realizing the match set
+// (Remark 1), or reports why none exists. The construction walks each
+// island of the solution graph: islands must be caterpillar chains —
+// multiple fragments joined by border ("chain link") matches at the extreme
+// ends of their match lists, with orientations propagating consistently —
+// with simple fragments plugged into the interior. The resulting column
+// score always equals the match-set score.
+func (sol *Solution) BuildConjecture(in *Instance) (*Conjecture, error) {
+	if err := sol.Validate(in); err != nil {
+		return nil, err
+	}
+	ix := sol.index(in)
+	deg := sol.degrees(in)
+
+	// Multi-edges (two matches between the same fragment pair) are never
+	// produced by a single conjecture pair: the pair would merge them into
+	// one match.
+	seenPair := make(map[[2]int]bool)
+	for i := range sol.Matches {
+		key := [2]int{sol.Matches[i].HSite.Frag, sol.Matches[i].MSite.Frag}
+		if seenPair[key] {
+			return nil, fmt.Errorf("core: fragments H%d and M%d share two matches", key[0], key[1])
+		}
+		seenPair[key] = true
+	}
+
+	// Chain links: matches whose two fragments both have ≥ 2 matches.
+	isLink := make([]bool, len(sol.Matches))
+	for i := range sol.Matches {
+		mt := &sol.Matches[i]
+		if deg[SpeciesH][mt.HSite.Frag] >= 2 && deg[SpeciesM][mt.MSite.Frag] >= 2 {
+			isLink[i] = true
+		}
+	}
+	// Per-fragment link positions must be extreme.
+	chainDeg := func(sp Species, f int) int {
+		n := 0
+		for _, mi := range ix.by[sp][f] {
+			if isLink[mi] {
+				n++
+			}
+		}
+		return n
+	}
+	for sp := SpeciesH; sp <= SpeciesM; sp++ {
+		spc := Species(sp)
+		for f, lst := range ix.by[sp] {
+			var links []int // positions within lst
+			for p, mi := range lst {
+				if isLink[mi] {
+					links = append(links, p)
+				}
+			}
+			switch {
+			case len(links) > 2:
+				return nil, fmt.Errorf("core: fragment %v%d has %d chain links (max 2)", spc, f, len(links))
+			case len(links) == 2:
+				if links[0] != 0 || links[1] != len(lst)-1 {
+					return nil, fmt.Errorf("core: fragment %v%d: chain links not at opposite extremes", spc, f)
+				}
+			case len(links) == 1:
+				if links[0] != 0 && links[0] != len(lst)-1 {
+					return nil, fmt.Errorf("core: fragment %v%d: chain link at interior position", spc, f)
+				}
+			}
+		}
+	}
+
+	// Walk every island, producing the global match emission order and
+	// fragment orientations.
+	orient := make(map[FragRef]bool)
+	visitedFrag := make(map[FragRef]bool)
+	emitted := make([]bool, len(sol.Matches))
+	var matchOrder []int
+	var hOrder, mOrder []OrientedFrag
+
+	appearFrag := func(fr FragRef, rev bool) {
+		if visitedFrag[fr] {
+			return
+		}
+		visitedFrag[fr] = true
+		orient[fr] = rev
+		of := OrientedFrag{Frag: fr.Idx, Rev: rev}
+		if fr.Sp == SpeciesH {
+			hOrder = append(hOrder, of)
+		} else {
+			mOrder = append(mOrder, of)
+		}
+	}
+
+	// walk processes fragment fr whose emission-first match is entry (or -1
+	// for a chain start) under the forced orientation rev.
+	var walk func(fr FragRef, entry int, rev bool) error
+	walk = func(fr FragRef, entry int, rev bool) error {
+		if visitedFrag[fr] {
+			return fmt.Errorf("core: fragment %v revisited (cycle)", fr)
+		}
+		appearFrag(fr, rev)
+		lst := ix.by[fr.Sp][fr.Idx]
+		order := make([]int, len(lst))
+		copy(order, lst)
+		if rev {
+			for l, r := 0, len(order)-1; l < r; l, r = l+1, r-1 {
+				order[l], order[r] = order[r], order[l]
+			}
+		}
+		if entry >= 0 && order[0] != entry {
+			return fmt.Errorf("core: fragment %v: entry link not at emission start", fr)
+		}
+		for p, mi := range order {
+			if mi == entry {
+				continue
+			}
+			mt := &sol.Matches[mi]
+			partner := FragRef{Sp: fr.Sp.Other(), Idx: mt.Side(fr.Sp.Other()).Frag}
+			partnerRev := rev != mt.Rev
+			if isLink[mi] {
+				if p != len(order)-1 {
+					return fmt.Errorf("core: fragment %v: exit link not at emission end", fr)
+				}
+				emitted[mi] = true
+				matchOrder = append(matchOrder, mi)
+				return walk(partner, mi, partnerRev)
+			}
+			emitted[mi] = true
+			matchOrder = append(matchOrder, mi)
+			appearFrag(partner, partnerRev)
+		}
+		return nil
+	}
+
+	for _, island := range sol.Islands(in) {
+		// Gather the island's fragments.
+		fragSet := make(map[FragRef]bool)
+		for _, mi := range island {
+			fragSet[FragRef{SpeciesH, sol.Matches[mi].HSite.Frag}] = true
+			fragSet[FragRef{SpeciesM, sol.Matches[mi].MSite.Frag}] = true
+		}
+		frags := make([]FragRef, 0, len(fragSet))
+		for fr := range fragSet {
+			frags = append(frags, fr)
+		}
+		sort.Slice(frags, func(a, b int) bool {
+			if frags[a].Sp != frags[b].Sp {
+				return frags[a].Sp < frags[b].Sp
+			}
+			return frags[a].Idx < frags[b].Idx
+		})
+		// Choose the walk start: a chain end when links exist, otherwise the
+		// unique multiple fragment, otherwise the H side of the single match.
+		var start FragRef
+		found := false
+		hasChain := false
+		for _, fr := range frags {
+			cd := chainDeg(fr.Sp, fr.Idx)
+			if cd > 0 {
+				hasChain = true
+			}
+			if cd == 1 && !found {
+				start, found = fr, true
+			}
+		}
+		if hasChain && !found {
+			return nil, fmt.Errorf("core: island has a chain cycle")
+		}
+		if !found {
+			for _, fr := range frags {
+				if deg[fr.Sp][fr.Idx] >= 2 {
+					start, found = fr, true
+					break
+				}
+			}
+		}
+		if !found {
+			start = frags[0] // single-match island; frags sorted H first
+		}
+		// Orient the start so its exit link (if any) is emission-last.
+		rev := false
+		lst := ix.by[start.Sp][start.Idx]
+		for p, mi := range lst {
+			if isLink[mi] {
+				rev = p == 0 && len(lst) > 1
+				break
+			}
+		}
+		if err := walk(start, -1, rev); err != nil {
+			return nil, err
+		}
+	}
+	for i := range emitted {
+		if !emitted[i] {
+			return nil, fmt.Errorf("core: match %d not reachable by island walk", i)
+		}
+	}
+
+	// Append unmatched fragments.
+	for sp := SpeciesH; sp <= SpeciesM; sp++ {
+		spc := Species(sp)
+		for f := 0; f < in.NumFrags(spc); f++ {
+			appearFrag(FragRef{spc, f}, false)
+		}
+	}
+
+	return sol.assemble(in, matchOrder, hOrder, mOrder)
+}
+
+// assemble lays out the two conjecture words column by column following the
+// match emission order, pairing unmatched regions with ⊥.
+func (sol *Solution) assemble(in *Instance, matchOrder []int, hOrder, mOrder []OrientedFrag) (*Conjecture, error) {
+	type cursor struct {
+		seq  []OrientedFrag
+		fi   int // index into seq
+		pos  int // position in the current oriented fragment word
+		word symbol.Word
+	}
+	var h, m cursor
+	h.seq, m.seq = hOrder, mOrder
+	var hw, mw symbol.Word
+
+	fragWord := func(sp Species, of OrientedFrag) symbol.Word {
+		return in.Frag(sp, of.Frag).Regions.Orient(of.Rev)
+	}
+	cur := func(sp Species, c *cursor) symbol.Word {
+		return fragWord(sp, c.seq[c.fi])
+	}
+	// emitH/emitM append one column with the other row padded.
+	emitH := func(s symbol.Symbol) { hw = append(hw, s); mw = append(mw, symbol.Pad) }
+	emitM := func(s symbol.Symbol) { hw = append(hw, symbol.Pad); mw = append(mw, s) }
+	// flushTo advances a cursor to position p in its current fragment.
+	flushTo := func(sp Species, c *cursor, p int, emit func(symbol.Symbol)) error {
+		w := cur(sp, c)
+		if p < c.pos || p > len(w) {
+			return fmt.Errorf("core: assemble: matches out of order in fragment %v%d", sp, c.seq[c.fi].Frag)
+		}
+		for ; c.pos < p; c.pos++ {
+			emit(w[c.pos])
+		}
+		return nil
+	}
+	// advanceTo moves a cursor to the given fragment, flushing tails.
+	advanceTo := func(sp Species, c *cursor, frag int, emit func(symbol.Symbol)) error {
+		for c.seq[c.fi].Frag != frag {
+			if err := flushTo(sp, c, len(cur(sp, c)), emit); err != nil {
+				return err
+			}
+			c.fi++
+			c.pos = 0
+			if c.fi >= len(c.seq) {
+				return fmt.Errorf("core: assemble: fragment %v%d missing from layout", sp, frag)
+			}
+		}
+		return nil
+	}
+	orientedSpan := func(sp Species, of OrientedFrag, s Site) (int, int) {
+		n := in.Frag(sp, of.Frag).Len()
+		if of.Rev {
+			return n - s.Hi, n - s.Lo
+		}
+		return s.Lo, s.Hi
+	}
+
+	total := 0.0
+	for _, mi := range matchOrder {
+		mt := &sol.Matches[mi]
+		if err := advanceTo(SpeciesH, &h, mt.HSite.Frag, emitH); err != nil {
+			return nil, err
+		}
+		if err := advanceTo(SpeciesM, &m, mt.MSite.Frag, emitM); err != nil {
+			return nil, err
+		}
+		hOF, mOF := h.seq[h.fi], m.seq[m.fi]
+		if (hOF.Rev != mOF.Rev) != mt.Rev {
+			return nil, fmt.Errorf("core: assemble: match %d orientation mismatch", mi)
+		}
+		hs, he := orientedSpan(SpeciesH, hOF, mt.HSite)
+		ms, me := orientedSpan(SpeciesM, mOF, mt.MSite)
+		if err := flushTo(SpeciesH, &h, hs, emitH); err != nil {
+			return nil, err
+		}
+		if err := flushTo(SpeciesM, &m, ms, emitM); err != nil {
+			return nil, err
+		}
+		hword := cur(SpeciesH, &h)[hs:he]
+		mword := cur(SpeciesM, &m)[ms:me]
+		sc, cols := align.Align(hword, mword, in.Sigma)
+		// The emission orientation may reverse both words; the score is
+		// equal by reversal symmetry but float summation order differs, so
+		// compare with a relative tolerance.
+		if d := sc - mt.Score; d > 1e-6*(1+mt.Score) || d < -1e-6*(1+mt.Score) {
+			return nil, fmt.Errorf("core: assemble: match %d realizes %v, cached %v", mi, sc, mt.Score)
+		}
+		pi, pj := 0, 0
+		for _, col := range cols {
+			for ; pi < col.I; pi++ {
+				emitH(hword[pi])
+			}
+			for ; pj < col.J; pj++ {
+				emitM(mword[pj])
+			}
+			hw = append(hw, hword[pi])
+			mw = append(mw, mword[pj])
+			pi, pj = pi+1, pj+1
+			total += col.Sigma
+		}
+		for ; pi < len(hword); pi++ {
+			emitH(hword[pi])
+		}
+		for ; pj < len(mword); pj++ {
+			emitM(mword[pj])
+		}
+		h.pos, m.pos = he, me
+	}
+	// Flush everything that remains.
+	for h.fi < len(h.seq) {
+		if err := flushTo(SpeciesH, &h, len(cur(SpeciesH, &h)), emitH); err != nil {
+			return nil, err
+		}
+		h.fi++
+		h.pos = 0
+	}
+	for m.fi < len(m.seq) {
+		if err := flushTo(SpeciesM, &m, len(cur(SpeciesM, &m)), emitM); err != nil {
+			return nil, err
+		}
+		m.fi++
+		m.pos = 0
+	}
+	if len(hw) != len(mw) {
+		return nil, fmt.Errorf("core: assemble: unequal conjecture lengths %d vs %d", len(hw), len(mw))
+	}
+	return &Conjecture{
+		H: hw, M: mw,
+		HOrder: hOrder, MOrder: mOrder,
+		MatchOrder: matchOrder,
+		Score:      total,
+	}, nil
+}
+
+// ColumnScore recomputes Score(h, m) for two equal-length padded words by
+// summing σ column-wise — the paper's Score function for conjecture pairs.
+func ColumnScore(in *Instance, h, m symbol.Word) (float64, error) {
+	if len(h) != len(m) {
+		return 0, fmt.Errorf("core: column score of unequal lengths %d vs %d", len(h), len(m))
+	}
+	t := 0.0
+	for i := range h {
+		t += in.Sigma.Score(h[i], m[i])
+	}
+	return t, nil
+}

@@ -1,0 +1,297 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/score"
+	"repro/internal/symbol"
+)
+
+func TestPaperExampleConjecture(t *testing.T) {
+	in := PaperExample()
+	sol := PaperExampleOptimum()
+	c, err := sol.BuildConjecture(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Score != 11 {
+		t.Fatalf("conjecture score %v, want 11", c.Score)
+	}
+	cs, err := ColumnScore(in, c.H, c.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs != 11 {
+		t.Fatalf("column score %v, want 11", cs)
+	}
+	// Layout must be h1 h2' / m1 m2 (Fig. 4).
+	if len(c.HOrder) != 2 || c.HOrder[0] != (OrientedFrag{0, false}) || c.HOrder[1] != (OrientedFrag{1, true}) {
+		t.Fatalf("HOrder = %v", c.HOrder)
+	}
+	if len(c.MOrder) != 2 || c.MOrder[0] != (OrientedFrag{0, false}) || c.MOrder[1] != (OrientedFrag{1, false}) {
+		t.Fatalf("MOrder = %v", c.MOrder)
+	}
+	// The padded words must be paddings of the concatenated oriented
+	// fragments (Definition 1).
+	wantH := symbol.Concat(in.H[0].Regions, in.H[1].Regions.Rev())
+	wantM := symbol.Concat(in.M[0].Regions, in.M[1].Regions)
+	if !c.H.StripPads().Equal(wantH) {
+		t.Fatalf("H word %v does not realize layout %v", in.FormatWord(c.H), in.FormatWord(wantH))
+	}
+	if !c.M.StripPads().Equal(wantM) {
+		t.Fatalf("M word %v does not realize layout %v", in.FormatWord(c.M), in.FormatWord(wantM))
+	}
+	if len(c.H) != len(c.M) {
+		t.Fatal("conjecture words have unequal length")
+	}
+	if !sol.IsConsistent(in) {
+		t.Fatal("IsConsistent = false for the paper optimum")
+	}
+}
+
+func TestFormatLayout(t *testing.T) {
+	in := PaperExample()
+	sol := PaperExampleOptimum()
+	c, err := sol.BuildConjecture(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.FormatLayout(in, SpeciesH, len(c.HOrder)); got != "h1 h2'" {
+		t.Fatalf("H layout = %q", got)
+	}
+	if got := c.FormatLayout(in, SpeciesM, 1); got != "m1 | m2" {
+		t.Fatalf("M layout with divider = %q", got)
+	}
+}
+
+// chainInstance builds an instance whose optimum is a length-3 chain
+// h1 – m1 – h2 with border matches, to exercise multi-link walks.
+func chainInstance() (*Instance, *Solution) {
+	al := symbol.NewAlphabet()
+	syms := make([]symbol.Symbol, 8)
+	for i := range syms {
+		syms[i] = al.Intern(string(rune('a' + i)))
+	}
+	// h1 = [0 1], m1 = [2 3], h2 = [4 5]; σ pairs h1[1]~m1[0], m1[1]~h2[0].
+	tb := score.NewTable()
+	tb.Set(syms[1], syms[2], 5)
+	tb.Set(syms[4], syms[3], 4)
+	in := &Instance{
+		H: []Fragment{
+			{Name: "h1", Regions: symbol.Word{syms[0], syms[1]}},
+			{Name: "h2", Regions: symbol.Word{syms[4], syms[5]}},
+		},
+		M: []Fragment{
+			{Name: "m1", Regions: symbol.Word{syms[2], syms[3]}},
+		},
+		Alpha: al,
+		Sigma: tb,
+	}
+	sol := &Solution{Matches: []Match{
+		{HSite: Site{SpeciesH, 0, 1, 2}, MSite: Site{SpeciesM, 0, 0, 1}, Rev: false, Score: 5},
+		{HSite: Site{SpeciesH, 1, 0, 1}, MSite: Site{SpeciesM, 0, 1, 2}, Rev: false, Score: 4},
+	}}
+	return in, sol
+}
+
+func TestChainConjecture(t *testing.T) {
+	in, sol := chainInstance()
+	if err := sol.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	c, err := sol.BuildConjecture(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Score != 9 {
+		t.Fatalf("chain score = %v, want 9", c.Score)
+	}
+	if len(c.HOrder) != 2 {
+		t.Fatalf("HOrder = %v", c.HOrder)
+	}
+	cs, _ := ColumnScore(in, c.H, c.M)
+	if cs != 9 {
+		t.Fatalf("column score %v", cs)
+	}
+}
+
+func TestChainReversedLink(t *testing.T) {
+	// Same chain but h2 participates reversed: σ(h2[1]ᴿ, m1[1]) pairing.
+	in, sol := chainInstance()
+	al := in.Alpha
+	e, d := al.Intern("f"), al.Intern("d") // h2[1] is "f", m1[1] is "d"
+	tb := in.Sigma.(*score.Table)
+	tb.Set(e.Rev(), d, 4)
+	sol.Matches[1] = Match{
+		HSite: Site{SpeciesH, 1, 1, 2},
+		MSite: Site{SpeciesM, 0, 1, 2},
+		Rev:   true,
+		Score: 4,
+	}
+	if err := sol.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	c, err := sol.BuildConjecture(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Score != 9 {
+		t.Fatalf("score %v, want 9", c.Score)
+	}
+	// h2 must come out reversed in the layout.
+	foundRev := false
+	for _, of := range c.HOrder {
+		if of.Frag == 1 && of.Rev {
+			foundRev = true
+		}
+	}
+	if !foundRev {
+		t.Fatalf("h2 not reversed in layout %v", c.HOrder)
+	}
+}
+
+func TestInconsistentCrossing(t *testing.T) {
+	// Fig. 3 second example: aligning regions out of order in the two
+	// sequences. h = ⟨a b⟩, m = ⟨c d⟩ with a~d and b~c crossing.
+	al := symbol.NewAlphabet()
+	a, b := al.Intern("a"), al.Intern("b")
+	cSym, d := al.Intern("c"), al.Intern("d")
+	tb := score.NewTable()
+	tb.Set(a, d, 3)
+	tb.Set(b, cSym, 3)
+	in := &Instance{
+		H:     []Fragment{{Name: "h", Regions: symbol.Word{a, b}}},
+		M:     []Fragment{{Name: "m", Regions: symbol.Word{cSym, d}}},
+		Alpha: al,
+		Sigma: tb,
+	}
+	sol := &Solution{Matches: []Match{
+		{HSite: Site{SpeciesH, 0, 0, 1}, MSite: Site{SpeciesM, 0, 1, 2}, Rev: false, Score: 3},
+		{HSite: Site{SpeciesH, 0, 1, 2}, MSite: Site{SpeciesM, 0, 0, 1}, Rev: false, Score: 3},
+	}}
+	if err := sol.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	if sol.IsConsistent(in) {
+		t.Fatal("crossing matches reported consistent (two matches between the same pair)")
+	}
+}
+
+func TestInconsistentInteriorLink(t *testing.T) {
+	// A mult fragment whose chain link sits between two other matches can
+	// never be realized.
+	al := symbol.NewAlphabet()
+	var h1 symbol.Word
+	for _, n := range []string{"a", "b", "c"} {
+		h1 = append(h1, al.Intern(n))
+	}
+	m1 := symbol.Word{al.Intern("p")}
+	m2 := symbol.Word{al.Intern("q"), al.Intern("r")}
+	m3 := symbol.Word{al.Intern("s")}
+	tb := score.NewTable()
+	tb.Set(h1[0], m1[0], 2)
+	tb.Set(h1[1], m2[0], 2)
+	tb.Set(h1[2], m3[0], 2)
+	tb.Set(h1[1], m2[1], 1) // unused
+	in := &Instance{
+		H: []Fragment{{Name: "h1", Regions: h1}},
+		M: []Fragment{
+			{Name: "m1", Regions: m1},
+			{Name: "m2", Regions: m2},
+			{Name: "m3", Regions: m3},
+		},
+		Alpha: al,
+		Sigma: tb,
+	}
+	// Give m2 a second match by splitting h1's middle against m2 twice —
+	// instead, link m2 to another H fragment to make it multiple.
+	in.H = append(in.H, Fragment{Name: "h2", Regions: symbol.Word{al.Intern("z")}})
+	tb.Set(in.H[1].Regions[0], m2[1], 2)
+	sol := &Solution{Matches: []Match{
+		{HSite: Site{SpeciesH, 0, 0, 1}, MSite: Site{SpeciesM, 0, 0, 1}, Rev: false, Score: 2},
+		{HSite: Site{SpeciesH, 0, 1, 2}, MSite: Site{SpeciesM, 1, 0, 1}, Rev: false, Score: 2},
+		{HSite: Site{SpeciesH, 0, 2, 3}, MSite: Site{SpeciesM, 2, 0, 1}, Rev: false, Score: 2},
+		{HSite: Site{SpeciesH, 1, 0, 1}, MSite: Site{SpeciesM, 1, 1, 2}, Rev: false, Score: 2},
+	}}
+	if err := sol.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	// h1–m2 is a chain link (both mult) but sits in the middle of h1's
+	// matches: inconsistent.
+	if sol.IsConsistent(in) {
+		t.Fatal("interior chain link reported consistent")
+	}
+}
+
+func TestEmptySolutionConjecture(t *testing.T) {
+	in := PaperExample()
+	sol := &Solution{}
+	c, err := sol.BuildConjecture(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Score != 0 {
+		t.Fatalf("empty solution score %v", c.Score)
+	}
+	// All fragments appear unmatched.
+	if len(c.HOrder) != 2 || len(c.MOrder) != 2 {
+		t.Fatalf("layout %v / %v", c.HOrder, c.MOrder)
+	}
+	if len(c.H) != len(c.M) {
+		t.Fatal("unequal lengths")
+	}
+}
+
+func TestColumnScoreLengthMismatch(t *testing.T) {
+	in := PaperExample()
+	if _, err := ColumnScore(in, symbol.Word{1}, symbol.Word{1, 2}); err == nil {
+		t.Fatal("unequal lengths accepted")
+	}
+}
+
+func TestOneIslandMultipleSimplePartners(t *testing.T) {
+	// One long M fragment with three H fragments plugged in (a 1-island).
+	al := symbol.NewAlphabet()
+	var m symbol.Word
+	for i := 0; i < 6; i++ {
+		m = append(m, al.Intern(string(rune('p'+i))))
+	}
+	h1 := symbol.Word{al.Intern("a")}
+	h2 := symbol.Word{al.Intern("b")}
+	h3 := symbol.Word{al.Intern("c")}
+	tb := score.NewTable()
+	tb.Set(h1[0], m[0], 1)
+	tb.Set(h2[0], m[2].Rev(), 2)
+	tb.Set(h3[0], m[5], 3)
+	in := &Instance{
+		H: []Fragment{
+			{Name: "h1", Regions: h1},
+			{Name: "h2", Regions: h2},
+			{Name: "h3", Regions: h3},
+		},
+		M:     []Fragment{{Name: "m", Regions: m}},
+		Alpha: al,
+		Sigma: tb,
+	}
+	sol := &Solution{Matches: []Match{
+		{HSite: Site{SpeciesH, 0, 0, 1}, MSite: Site{SpeciesM, 0, 0, 1}, Rev: false, Score: 1},
+		{HSite: Site{SpeciesH, 1, 0, 1}, MSite: Site{SpeciesM, 0, 2, 3}, Rev: true, Score: 2},
+		{HSite: Site{SpeciesH, 2, 0, 1}, MSite: Site{SpeciesM, 0, 5, 6}, Rev: false, Score: 3},
+	}}
+	if err := sol.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	c, err := sol.BuildConjecture(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Score != 6 {
+		t.Fatalf("score %v, want 6", c.Score)
+	}
+	// h2 plugged in reversed.
+	for _, of := range c.HOrder {
+		if of.Frag == 1 && !of.Rev {
+			t.Fatal("h2 should be reversed in layout")
+		}
+	}
+}

@@ -1,0 +1,295 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/score"
+	"repro/internal/symbol"
+)
+
+func TestSpecies(t *testing.T) {
+	if SpeciesH.Other() != SpeciesM || SpeciesM.Other() != SpeciesH {
+		t.Fatal("Other() wrong")
+	}
+	if SpeciesH.String() != "H" || SpeciesM.String() != "M" {
+		t.Fatal("String() wrong")
+	}
+}
+
+func TestSiteRelations(t *testing.T) {
+	a := Site{SpeciesH, 0, 2, 5}
+	if a.Len() != 3 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	cases := []struct {
+		b                                   Site
+		contains, overlaps, adjacent, hides bool
+	}{
+		{Site{SpeciesH, 0, 3, 4}, true, true, false, true},
+		{Site{SpeciesH, 0, 2, 5}, true, true, false, false},
+		{Site{SpeciesH, 0, 2, 4}, true, true, false, false},
+		{Site{SpeciesH, 0, 3, 5}, true, true, false, false},
+		{Site{SpeciesH, 0, 5, 7}, false, false, true, false},
+		{Site{SpeciesH, 0, 0, 2}, false, false, true, false},
+		{Site{SpeciesH, 0, 0, 1}, false, false, false, false},
+		{Site{SpeciesH, 0, 4, 7}, false, true, false, false},
+		{Site{SpeciesH, 1, 3, 4}, false, false, false, false},
+		{Site{SpeciesM, 0, 3, 4}, false, false, false, false},
+	}
+	for _, c := range cases {
+		if got := a.Contains(c.b); got != c.contains {
+			t.Errorf("Contains(%v,%v) = %v", a, c.b, got)
+		}
+		if got := a.Overlaps(c.b); got != c.overlaps {
+			t.Errorf("Overlaps(%v,%v) = %v", a, c.b, got)
+		}
+		if got := a.Adjacent(c.b); got != c.adjacent {
+			t.Errorf("Adjacent(%v,%v) = %v", a, c.b, got)
+		}
+		if got := a.Hides(c.b); got != c.hides {
+			t.Errorf("Hides(%v,%v) = %v", a, c.b, got)
+		}
+	}
+}
+
+func TestSiteKinds(t *testing.T) {
+	in := &Instance{
+		H:     []Fragment{{Name: "h", Regions: symbol.Word{1, 2, 3, 4}}},
+		M:     []Fragment{{Name: "m", Regions: symbol.Word{5}}},
+		Sigma: score.NewTable(),
+	}
+	cases := []struct {
+		s    Site
+		want SiteKind
+	}{
+		{Site{SpeciesH, 0, 0, 4}, KindFull},
+		{Site{SpeciesH, 0, 0, 2}, KindPrefix},
+		{Site{SpeciesH, 0, 1, 4}, KindSuffix},
+		{Site{SpeciesH, 0, 1, 3}, KindInner},
+		{Site{SpeciesM, 0, 0, 1}, KindFull},
+	}
+	for _, c := range cases {
+		if got := in.Kind(c.s); got != c.want {
+			t.Errorf("Kind(%v) = %v, want %v", c.s, got, c.want)
+		}
+	}
+	if !KindPrefix.IsBorder() || !KindSuffix.IsBorder() || KindFull.IsBorder() || KindInner.IsBorder() {
+		t.Error("IsBorder misclassifies")
+	}
+}
+
+func TestInstanceValidate(t *testing.T) {
+	in := PaperExample()
+	if err := in.Validate(); err != nil {
+		t.Fatalf("paper example invalid: %v", err)
+	}
+	bad := &Instance{H: []Fragment{{Name: "x"}}, M: nil, Sigma: score.NewTable()}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("empty fragment accepted")
+	}
+	pad := &Instance{
+		H:     []Fragment{{Name: "x", Regions: symbol.Word{symbol.Pad}}},
+		Sigma: score.NewTable(),
+	}
+	if err := pad.Validate(); err == nil {
+		t.Fatal("padding symbol in fragment accepted")
+	}
+	noSigma := &Instance{}
+	if err := noSigma.Validate(); err == nil {
+		t.Fatal("missing scorer accepted")
+	}
+}
+
+func TestCheckSite(t *testing.T) {
+	in := PaperExample()
+	good := Site{SpeciesH, 0, 0, 3}
+	if err := in.CheckSite(good); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Site{
+		{SpeciesH, 0, 0, 4},
+		{SpeciesH, 0, 2, 2},
+		{SpeciesH, 0, -1, 2},
+		{SpeciesH, 5, 0, 1},
+		{Species(7), 0, 0, 1},
+	} {
+		if err := in.CheckSite(bad); err == nil {
+			t.Errorf("bad site %v accepted", bad)
+		}
+	}
+}
+
+func TestMatchScoreFullSite(t *testing.T) {
+	in := PaperExample()
+	// h2 = ⟨d⟩ (full site) against m2(2,2) = ⟨v⟩: σ(d,vᴿ)=2, so the
+	// reversed orientation wins.
+	mt, err := in.MatchScore(Site{SpeciesH, 1, 0, 1}, Site{SpeciesM, 1, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt.Score != 2 || !mt.Rev {
+		t.Fatalf("MS = %+v, want score 2 rev", mt)
+	}
+	// h1 full vs m1 full: best is a-s (4) + nothing else forward; reversed
+	// pairing gives b-tᴿ? h1 = a b c vs m1ᴿ = tᴿ sᴿ: σ(a,tᴿ)=0, σ(b,sᴿ)=0 —
+	// forward gives σ(a,s)+... a~s then t can pair with b? σ(b,t)=0. So 4.
+	mt, err = in.MatchScore(Site{SpeciesH, 0, 0, 3}, Site{SpeciesM, 0, 0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt.Score != 4 || mt.Rev {
+		t.Fatalf("MS(h1,m1) = %+v, want 4 fwd", mt)
+	}
+}
+
+func TestMatchScoreBorderOrientationRule(t *testing.T) {
+	al := symbol.NewAlphabet()
+	x, y := al.Intern("x"), al.Intern("y")
+	p, q := al.Intern("p"), al.Intern("q")
+	tb := score.NewTable()
+	tb.Set(x, p, 3)       // forward pairing
+	tb.Set(x, q.Rev(), 7) // reversed pairing
+	in := &Instance{
+		H:     []Fragment{{Name: "h", Regions: symbol.Word{x, y}}},
+		M:     []Fragment{{Name: "m", Regions: symbol.Word{p, q}}},
+		Alpha: al,
+		Sigma: tb,
+	}
+	// prefix–prefix: orientation forced reversed.
+	mt, err := in.MatchScore(Site{SpeciesH, 0, 0, 1}, Site{SpeciesM, 0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mt.Rev {
+		t.Fatal("prefix–prefix must pair reversed")
+	}
+	if mt.Score != 0 { // x vs pᴿ scores 0
+		t.Fatalf("score = %v, want 0", mt.Score)
+	}
+	// prefix(h) – suffix(m): forced forward. Site m(2,2)=⟨q⟩.
+	mt, err = in.MatchScore(Site{SpeciesH, 0, 0, 1}, Site{SpeciesM, 0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt.Rev {
+		t.Fatal("prefix–suffix must pair forward")
+	}
+	if mt.Score != 0 { // x vs q forward scores 0
+		t.Fatalf("score = %v, want 0", mt.Score)
+	}
+	// suffix(h) – suffix(m): forced reversed; h(2,2)=⟨y⟩ vs m(2,2)=⟨q⟩ᴿ.
+	tb.Set(y, q.Rev(), 5)
+	mt, err = in.MatchScore(Site{SpeciesH, 0, 1, 2}, Site{SpeciesM, 0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mt.Rev || mt.Score != 5 {
+		t.Fatalf("suffix–suffix = %+v, want rev score 5", mt)
+	}
+}
+
+func TestMatchScoreInnerInvalid(t *testing.T) {
+	al := symbol.NewAlphabet()
+	var w symbol.Word
+	for _, n := range []string{"a", "b", "c", "d"} {
+		w = append(w, al.Intern(n))
+	}
+	in := &Instance{
+		H:     []Fragment{{Name: "h", Regions: w}},
+		M:     []Fragment{{Name: "m", Regions: w.Clone()}},
+		Alpha: al,
+		Sigma: score.NewTable(),
+	}
+	inner := Site{SpeciesH, 0, 1, 3}
+	innerM := Site{SpeciesM, 0, 1, 3}
+	border := Site{SpeciesM, 0, 0, 2}
+	if _, err := in.MatchScore(inner, innerM); err == nil {
+		t.Error("inner–inner accepted")
+	}
+	if _, err := in.MatchScore(inner, border); err == nil {
+		t.Error("inner–border accepted")
+	}
+	full := Site{SpeciesM, 0, 0, 4}
+	if _, err := in.MatchScore(inner, full); err != nil {
+		t.Errorf("inner–full rejected: %v", err)
+	}
+}
+
+func TestSolutionAggregates(t *testing.T) {
+	in := PaperExample()
+	sol := PaperExampleOptimum()
+	if err := sol.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	if got := sol.Score(); got != 11 {
+		t.Fatalf("Score = %v, want 11", got)
+	}
+	if got := sol.Contribution(SpeciesH, 0); got != 9 {
+		t.Fatalf("Cb(h1) = %v, want 9", got)
+	}
+	if got := sol.Contribution(SpeciesM, 1); got != 7 {
+		t.Fatalf("Cb(m2) = %v, want 7", got)
+	}
+	mult := sol.Mult(in)
+	if len(mult) != 2 {
+		t.Fatalf("Mult = %v, want h1 and m2", mult)
+	}
+	simp := sol.Simp(in)
+	if len(simp) != 2 {
+		t.Fatalf("Simp = %v, want h2 and m1", simp)
+	}
+	if d := sol.Degree(in, SpeciesH, 0); d != 2 {
+		t.Fatalf("Degree(h1) = %d", d)
+	}
+	isl := sol.Islands(in)
+	if len(isl) != 1 || len(isl[0]) != 3 {
+		t.Fatalf("Islands = %v, want one island of 3 matches", isl)
+	}
+	c := sol.Clone()
+	c.Matches[0].Score = 99
+	if sol.Matches[0].Score == 99 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestValidateRejectsOverlap(t *testing.T) {
+	in := PaperExample()
+	sol := PaperExampleOptimum()
+	sol.Matches[1].HSite = Site{SpeciesH, 0, 1, 3} // overlaps match 0's h1(1,2)
+	sol.Matches[1].Score = sol.Matches[1].AlignScore(in)
+	if err := sol.Validate(in); err == nil {
+		t.Fatal("overlapping sites accepted")
+	}
+}
+
+func TestValidateRejectsBadScore(t *testing.T) {
+	in := PaperExample()
+	sol := PaperExampleOptimum()
+	sol.Matches[0].Score = 100
+	if err := sol.Validate(in); err == nil {
+		t.Fatal("stale cached score accepted")
+	}
+}
+
+func TestFormatWord(t *testing.T) {
+	in := PaperExample()
+	w := in.H[0].Regions
+	if got := in.FormatWord(w); got != "a b c" {
+		t.Fatalf("FormatWord = %q", got)
+	}
+	in2 := &Instance{Sigma: score.NewTable()}
+	if got := in2.FormatWord(symbol.Word{1}); !strings.Contains(got, "1") {
+		t.Fatalf("alphabet-free FormatWord = %q", got)
+	}
+}
+
+func TestMaxMatchesAndTotals(t *testing.T) {
+	in := PaperExample()
+	if got := in.TotalRegions(); got != 8 {
+		t.Fatalf("TotalRegions = %d, want 8", got)
+	}
+	if got := in.MaxMatches(); got != 4 {
+		t.Fatalf("MaxMatches = %d, want 4", got)
+	}
+}

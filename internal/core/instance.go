@@ -1,0 +1,142 @@
+// Package core implements the Consensus Sequence Reconstruction (CSR)
+// problem model of "Aligning two fragmented sequences" (Veeramachaneni,
+// Berman, Miller): instances over two fragment sets H and M, sites and
+// matches (Definitions 2–4), match scores MS with the Fig. 7/8 orientation
+// rules, consistency checking of match sets, and construction of conjecture
+// pairs (Remark 1).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/score"
+	"repro/internal/symbol"
+)
+
+// Species identifies which fragment set a fragment belongs to: H (the
+// paper's "h-contigs") or M ("m-contigs").
+type Species int
+
+const (
+	// SpeciesH is the first species (rows of the conjecture pair).
+	SpeciesH Species = 0
+	// SpeciesM is the second species.
+	SpeciesM Species = 1
+)
+
+// Other returns the opposite species.
+func (sp Species) Other() Species { return 1 - sp }
+
+// String returns "H" or "M".
+func (sp Species) String() string {
+	if sp == SpeciesH {
+		return "H"
+	}
+	return "M"
+}
+
+// Fragment is one contig: an ordered list of conserved regions.
+type Fragment struct {
+	// Name is a human-readable identifier (e.g. "h1").
+	Name string
+	// Regions is the ordered list of conserved-region symbols.
+	Regions symbol.Word
+}
+
+// Len returns the number of regions in the fragment.
+func (f *Fragment) Len() int { return len(f.Regions) }
+
+// Instance is one CSR problem: two fragment sets and the score function σ.
+type Instance struct {
+	// Name labels the instance in reports.
+	Name string
+	// H and M are the two fragment sets.
+	H, M []Fragment
+	// Alpha interns region names; optional (used for formatting).
+	Alpha *symbol.Alphabet
+	// Sigma is the alignment score function σ.
+	Sigma score.Scorer
+}
+
+// Frags returns the fragment slice for the given species.
+func (in *Instance) Frags(sp Species) []Fragment {
+	if sp == SpeciesH {
+		return in.H
+	}
+	return in.M
+}
+
+// Frag returns fragment i of the given species.
+func (in *Instance) Frag(sp Species, i int) *Fragment {
+	if sp == SpeciesH {
+		return &in.H[i]
+	}
+	return &in.M[i]
+}
+
+// NumFrags returns the number of fragments of the given species.
+func (in *Instance) NumFrags(sp Species) int {
+	if sp == SpeciesH {
+		return len(in.H)
+	}
+	return len(in.M)
+}
+
+// TotalRegions returns the combined region count over both species.
+func (in *Instance) TotalRegions() int {
+	n := 0
+	for i := range in.H {
+		n += len(in.H[i].Regions)
+	}
+	for i := range in.M {
+		n += len(in.M[i].Regions)
+	}
+	return n
+}
+
+// MaxMatches returns a crude upper bound on the number of matches any
+// solution can contain: each match consumes at least one region on each
+// side, so min(total H regions, total M regions) suffices. Used as the k of
+// the §4.1 scaling rule.
+func (in *Instance) MaxMatches() int {
+	h, m := 0, 0
+	for i := range in.H {
+		h += len(in.H[i].Regions)
+	}
+	for i := range in.M {
+		m += len(in.M[i].Regions)
+	}
+	if h < m {
+		return h
+	}
+	return m
+}
+
+// Validate checks structural sanity: a scorer is present, fragments are
+// non-empty, and no fragment contains the padding symbol.
+func (in *Instance) Validate() error {
+	if in.Sigma == nil {
+		return fmt.Errorf("core: instance %q has no score function", in.Name)
+	}
+	for _, sp := range []Species{SpeciesH, SpeciesM} {
+		for i, f := range in.Frags(sp) {
+			if len(f.Regions) == 0 {
+				return fmt.Errorf("core: %v fragment %d (%s) is empty", sp, i, f.Name)
+			}
+			for _, s := range f.Regions {
+				if s.IsPad() {
+					return fmt.Errorf("core: %v fragment %d (%s) contains the padding symbol", sp, i, f.Name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// FormatWord renders w with the instance's alphabet when available.
+func (in *Instance) FormatWord(w symbol.Word) string {
+	if in.Alpha != nil {
+		return in.Alpha.FormatWord(w)
+	}
+	return fmt.Sprint(w)
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"repro/internal/score"
+	"repro/internal/symbol"
+)
+
+// PaperExample builds the worked data set of the paper's §1 (Figs 2, 4, 5):
+// contigs h1 = ⟨a b c⟩, h2 = ⟨d⟩, m1 = ⟨s t⟩, m2 = ⟨u v⟩ with scores
+// σ(a,s)=4, σ(a,t)=1, σ(b,tᴿ)=3, σ(c,u)=5, σ(d,t)=σ(d,vᴿ)=2. The optimal
+// solution deletes b and t, reverses h2, and scores 4+5+2 = 11.
+func PaperExample() *Instance {
+	al := symbol.NewAlphabet()
+	a, b, c, d := al.Intern("a"), al.Intern("b"), al.Intern("c"), al.Intern("d")
+	s, t, u, v := al.Intern("s"), al.Intern("t"), al.Intern("u"), al.Intern("v")
+	tb := score.NewTable()
+	tb.Set(a, s, 4)
+	tb.Set(a, t, 1)
+	tb.Set(b, t.Rev(), 3)
+	tb.Set(c, u, 5)
+	tb.Set(d, t, 2)
+	tb.Set(d, v.Rev(), 2)
+	return &Instance{
+		Name: "paper-example",
+		H: []Fragment{
+			{Name: "h1", Regions: symbol.Word{a, b, c}},
+			{Name: "h2", Regions: symbol.Word{d}},
+		},
+		M: []Fragment{
+			{Name: "m1", Regions: symbol.Word{s, t}},
+			{Name: "m2", Regions: symbol.Word{u, v}},
+		},
+		Alpha: al,
+		Sigma: tb,
+	}
+}
+
+// PaperExampleOptimum returns the optimal consistent match set of the
+// paper's example (Fig. 5): ω1 = (h1(1,2), m1(1,2)), ω2 = (h1(3,3),
+// m2(1,1)), ω3 = (h2ᴿ(1,1), m2(2,2)), with total score 11.
+func PaperExampleOptimum() *Solution {
+	return &Solution{Matches: []Match{
+		{
+			HSite: Site{SpeciesH, 0, 0, 2},
+			MSite: Site{SpeciesM, 0, 0, 2},
+			Rev:   false,
+			Score: 4,
+		},
+		{
+			HSite: Site{SpeciesH, 0, 2, 3},
+			MSite: Site{SpeciesM, 1, 0, 1},
+			Rev:   false,
+			Score: 5,
+		},
+		{
+			HSite: Site{SpeciesH, 1, 0, 1},
+			MSite: Site{SpeciesM, 1, 1, 2},
+			Rev:   true,
+			Score: 2,
+		},
+	}}
+}

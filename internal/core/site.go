@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/symbol"
+)
+
+// Site identifies the contiguous subfragment f(Lo..Hi) of one fragment,
+// using half-open 0-based indexing [Lo, Hi). The paper writes h(i, j) with
+// 1-based inclusive indices; h(i, j) corresponds to Site{Lo: i−1, Hi: j}.
+type Site struct {
+	Species Species
+	Frag    int
+	Lo, Hi  int
+}
+
+// Len returns the number of regions in the site.
+func (s Site) Len() int { return s.Hi - s.Lo }
+
+// SameFragment reports whether s and t lie in the same fragment.
+func (s Site) SameFragment(t Site) bool {
+	return s.Species == t.Species && s.Frag == t.Frag
+}
+
+// Contains reports whether t lies within s (same fragment, t ⊆ s).
+// Mirrors Definition 5: f(i,j) is contained in f(i′,j′) if i′≤i≤j≤j′.
+func (s Site) Contains(t Site) bool {
+	return s.SameFragment(t) && s.Lo <= t.Lo && t.Hi <= s.Hi
+}
+
+// Overlaps reports whether s and t share at least one region.
+func (s Site) Overlaps(t Site) bool {
+	return s.SameFragment(t) && s.Lo < t.Hi && t.Lo < s.Hi
+}
+
+// Adjacent reports whether s and t are contiguous without overlapping,
+// mirroring Definition 5's adjacency.
+func (s Site) Adjacent(t Site) bool {
+	return s.SameFragment(t) && (s.Hi == t.Lo || t.Hi == s.Lo)
+}
+
+// Hides reports whether t is strictly inside s on both ends (Definition 5:
+// f(i,j) is hidden by f(i′,j′) if i′<i≤j<j′). A hidden site cannot be
+// prepared.
+func (s Site) Hides(t Site) bool {
+	return s.SameFragment(t) && s.Lo < t.Lo && t.Hi < s.Hi
+}
+
+func (s Site) String() string {
+	return fmt.Sprintf("%v%d(%d,%d)", s.Species, s.Frag, s.Lo+1, s.Hi)
+}
+
+// SiteKind classifies a site per Definition 3.
+type SiteKind int
+
+const (
+	// KindFull is the whole fragment h(1, n).
+	KindFull SiteKind = iota
+	// KindPrefix is a border site h(1, i), i < n.
+	KindPrefix
+	// KindSuffix is a border site h(i, n), i > 1.
+	KindSuffix
+	// KindInner touches neither fragment end.
+	KindInner
+)
+
+func (k SiteKind) String() string {
+	switch k {
+	case KindFull:
+		return "full"
+	case KindPrefix:
+		return "prefix"
+	case KindSuffix:
+		return "suffix"
+	default:
+		return "inner"
+	}
+}
+
+// IsBorder reports whether the kind is a border site (prefix or suffix but
+// not full).
+func (k SiteKind) IsBorder() bool { return k == KindPrefix || k == KindSuffix }
+
+// Kind classifies s within its fragment per Definition 3.
+func (in *Instance) Kind(s Site) SiteKind {
+	n := in.Frag(s.Species, s.Frag).Len()
+	switch {
+	case s.Lo == 0 && s.Hi == n:
+		return KindFull
+	case s.Lo == 0:
+		return KindPrefix
+	case s.Hi == n:
+		return KindSuffix
+	default:
+		return KindInner
+	}
+}
+
+// SiteWord returns the region word of the site in normal orientation.
+func (in *Instance) SiteWord(s Site) symbol.Word {
+	return in.Frag(s.Species, s.Frag).Regions[s.Lo:s.Hi]
+}
+
+// CheckSite validates the site's bounds against the instance.
+func (in *Instance) CheckSite(s Site) error {
+	if s.Species != SpeciesH && s.Species != SpeciesM {
+		return fmt.Errorf("core: site %v: bad species", s)
+	}
+	if s.Frag < 0 || s.Frag >= in.NumFrags(s.Species) {
+		return fmt.Errorf("core: site %v: fragment out of range", s)
+	}
+	n := in.Frag(s.Species, s.Frag).Len()
+	if s.Lo < 0 || s.Hi > n || s.Lo >= s.Hi {
+		return fmt.Errorf("core: site %v: bad interval (fragment length %d)", s, n)
+	}
+	return nil
+}

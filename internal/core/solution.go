@@ -1,0 +1,206 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Solution is a set of matches; the solver's working representation of a
+// (candidate) consistent match set.
+type Solution struct {
+	Matches []Match
+}
+
+// Score returns the total score of all matches.
+func (sol *Solution) Score() float64 {
+	t := 0.0
+	for i := range sol.Matches {
+		t += sol.Matches[i].Score
+	}
+	return t
+}
+
+// Clone returns a deep copy.
+func (sol *Solution) Clone() *Solution {
+	c := &Solution{Matches: make([]Match, len(sol.Matches))}
+	copy(c.Matches, sol.Matches)
+	return c
+}
+
+// FragRef names one fragment of one species.
+type FragRef struct {
+	Sp  Species
+	Idx int
+}
+
+func (fr FragRef) String() string { return fmt.Sprintf("%v%d", fr.Sp, fr.Idx) }
+
+// siteIndex maps fragments to the matches touching them, sorted by site
+// position within the fragment.
+type siteIndex struct {
+	// by[sp][frag] lists indices into Solution.Matches sorted by Site.Lo.
+	by [2][][]int
+}
+
+func (sol *Solution) index(in *Instance) *siteIndex {
+	ix := &siteIndex{}
+	for sp := SpeciesH; sp <= SpeciesM; sp++ {
+		ix.by[sp] = make([][]int, in.NumFrags(sp))
+	}
+	for i := range sol.Matches {
+		mt := &sol.Matches[i]
+		for _, s := range []Site{mt.HSite, mt.MSite} {
+			ix.by[s.Species][s.Frag] = append(ix.by[s.Species][s.Frag], i)
+		}
+	}
+	for sp := SpeciesH; sp <= SpeciesM; sp++ {
+		spc := Species(sp)
+		for f := range ix.by[sp] {
+			lst := ix.by[sp][f]
+			sort.Slice(lst, func(a, b int) bool {
+				return sol.Matches[lst[a]].Side(spc).Lo < sol.Matches[lst[b]].Side(spc).Lo
+			})
+		}
+	}
+	return ix
+}
+
+// Degree returns the number of matches touching fragment (sp, idx).
+func (sol *Solution) Degree(in *Instance, sp Species, idx int) int {
+	n := 0
+	for i := range sol.Matches {
+		if sol.Matches[i].Side(sp).Frag == idx {
+			n++
+		}
+	}
+	return n
+}
+
+// Contribution returns Cb(f, S): the total score of matches involving the
+// fragment (Definition 5).
+func (sol *Solution) Contribution(sp Species, idx int) float64 {
+	t := 0.0
+	for i := range sol.Matches {
+		if sol.Matches[i].Side(sp).Frag == idx {
+			t += sol.Matches[i].Score
+		}
+	}
+	return t
+}
+
+// Mult returns the multiple fragments of the solution: fragments
+// participating in more than one match (Definition 5; in a two-fragment
+// island the paper designates one fragment of the pair as multiple — here
+// we use the purely combinatorial ≥2-matches criterion, and islands with a
+// single shared border match are handled by the chain logic).
+func (sol *Solution) Mult(in *Instance) []FragRef {
+	deg := sol.degrees(in)
+	var out []FragRef
+	for sp := SpeciesH; sp <= SpeciesM; sp++ {
+		for f, d := range deg[sp] {
+			if d >= 2 {
+				out = append(out, FragRef{Sp: Species(sp), Idx: f})
+			}
+		}
+	}
+	return out
+}
+
+// Simp returns the simple fragments: those participating in exactly one
+// match.
+func (sol *Solution) Simp(in *Instance) []FragRef {
+	deg := sol.degrees(in)
+	var out []FragRef
+	for sp := SpeciesH; sp <= SpeciesM; sp++ {
+		for f, d := range deg[sp] {
+			if d == 1 {
+				out = append(out, FragRef{Sp: Species(sp), Idx: f})
+			}
+		}
+	}
+	return out
+}
+
+func (sol *Solution) degrees(in *Instance) [2][]int {
+	var deg [2][]int
+	deg[0] = make([]int, in.NumFrags(SpeciesH))
+	deg[1] = make([]int, in.NumFrags(SpeciesM))
+	for i := range sol.Matches {
+		deg[SpeciesH][sol.Matches[i].HSite.Frag]++
+		deg[SpeciesM][sol.Matches[i].MSite.Frag]++
+	}
+	return deg
+}
+
+// Islands returns the connected components of the solution graph
+// (Definition 5): fragments are nodes, matches are edges. Each island is
+// returned as the list of match indices it contains; fragments with no
+// matches appear in no island.
+func (sol *Solution) Islands(in *Instance) [][]int {
+	parent := make(map[FragRef]FragRef)
+	var find func(x FragRef) FragRef
+	find = func(x FragRef) FragRef {
+		if p, ok := parent[x]; ok && p != x {
+			r := find(p)
+			parent[x] = r
+			return r
+		}
+		if _, ok := parent[x]; !ok {
+			parent[x] = x
+		}
+		return parent[x]
+	}
+	union := func(a, b FragRef) { parent[find(a)] = find(b) }
+	for i := range sol.Matches {
+		mt := &sol.Matches[i]
+		union(FragRef{SpeciesH, mt.HSite.Frag}, FragRef{SpeciesM, mt.MSite.Frag})
+	}
+	groups := make(map[FragRef][]int)
+	for i := range sol.Matches {
+		r := find(FragRef{SpeciesH, sol.Matches[i].HSite.Frag})
+		groups[r] = append(groups[r], i)
+	}
+	keys := make([]FragRef, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].Sp != keys[b].Sp {
+			return keys[a].Sp < keys[b].Sp
+		}
+		return keys[a].Idx < keys[b].Idx
+	})
+	out := make([][]int, 0, len(keys))
+	for _, k := range keys {
+		g := groups[k]
+		sort.Ints(g)
+		out = append(out, g)
+	}
+	return out
+}
+
+// Validate checks the structural invariants that every candidate match set
+// must satisfy regardless of consistency: valid sites, valid cached scores,
+// and pairwise-disjoint sites on every fragment.
+func (sol *Solution) Validate(in *Instance) error {
+	for i := range sol.Matches {
+		if err := in.CheckMatch(sol.Matches[i]); err != nil {
+			return fmt.Errorf("match %d: %w", i, err)
+		}
+	}
+	ix := sol.index(in)
+	for sp := SpeciesH; sp <= SpeciesM; sp++ {
+		spc := Species(sp)
+		for f, lst := range ix.by[sp] {
+			for k := 1; k < len(lst); k++ {
+				prev := sol.Matches[lst[k-1]].Side(spc)
+				cur := sol.Matches[lst[k]].Side(spc)
+				if prev.Hi > cur.Lo {
+					return fmt.Errorf("core: fragment %v%d: overlapping sites %v and %v",
+						spc, f, prev, cur)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,289 @@
+// Package csop implements the Consistent Subsets of Pairs problem of §3.2 —
+// the restricted UCSR core that the paper proves MAX-SNP hard — together
+// with the Theorem 2 approximation-preserving reduction from 3-MIS and its
+// back-mapping.
+//
+// An instance consists of n pairs {i(k), j(k)} partitioning [0, 2n). A
+// feasible solution is U ⊆ [0, 2n) such that whenever both elements of a
+// pair lie in U, no element of U lies strictly between them; the goal is to
+// maximize |U|. (In UCSR terms: M is the single sequence a₀…a₂ₙ₋₁, H is the
+// set of two-letter fragments given by the pairs, and σ is the unit identity
+// score.)
+package csop
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Instance is one CSoP problem: Pairs partition [0, N), each with
+// Pairs[k][0] < Pairs[k][1].
+type Instance struct {
+	// N is the universe size (2n for n pairs).
+	N int
+	// Pairs lists the fragment pairs {i(k), j(k)}.
+	Pairs [][2]int
+}
+
+// Validate checks that the pairs partition [0, N) with ordered elements.
+func (in *Instance) Validate() error {
+	if in.N != 2*len(in.Pairs) {
+		return fmt.Errorf("csop: N = %d but %d pairs", in.N, len(in.Pairs))
+	}
+	seen := make([]bool, in.N)
+	for k, p := range in.Pairs {
+		if p[0] >= p[1] {
+			return fmt.Errorf("csop: pair %d = %v not ordered", k, p)
+		}
+		for _, x := range p {
+			if x < 0 || x >= in.N {
+				return fmt.Errorf("csop: pair %d element %d out of range", k, x)
+			}
+			if seen[x] {
+				return fmt.Errorf("csop: element %d appears twice", x)
+			}
+			seen[x] = true
+		}
+	}
+	return nil
+}
+
+// PairOf returns the index of the pair containing element x.
+func (in *Instance) PairOf(x int) int {
+	for k, p := range in.Pairs {
+		if p[0] == x || p[1] == x {
+			return k
+		}
+	}
+	return -1
+}
+
+// Feasible checks the CSoP constraint for U: if both elements of a pair are
+// chosen, nothing chosen lies strictly between them.
+func (in *Instance) Feasible(U []int) error {
+	chosen := make([]bool, in.N)
+	for _, x := range U {
+		if x < 0 || x >= in.N {
+			return fmt.Errorf("csop: element %d out of range", x)
+		}
+		if chosen[x] {
+			return fmt.Errorf("csop: element %d chosen twice", x)
+		}
+		chosen[x] = true
+	}
+	for k, p := range in.Pairs {
+		if chosen[p[0]] && chosen[p[1]] {
+			for l := p[0] + 1; l < p[1]; l++ {
+				if chosen[l] {
+					return fmt.Errorf("csop: pair %d = %v selected with %d inside", k, p, l)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Normalize converts a feasible solution into a normal one — same size,
+// intersecting every pair — by the exchange argument in the Theorem 2
+// proof: a pair disjoint from U absorbs its left element, evicting the left
+// element of any fully-chosen pair whose interval covers it.
+func (in *Instance) Normalize(U []int) ([]int, error) {
+	if err := in.Feasible(U); err != nil {
+		return nil, err
+	}
+	chosen := make([]bool, in.N)
+	for _, x := range U {
+		chosen[x] = true
+	}
+	for {
+		// Find a pair disjoint from the selection.
+		disjoint := -1
+		for k, p := range in.Pairs {
+			if !chosen[p[0]] && !chosen[p[1]] {
+				disjoint = k
+				break
+			}
+		}
+		if disjoint < 0 {
+			break
+		}
+		x := in.Pairs[disjoint][0]
+		// Inserting x is invalid only if some fully-chosen pair k′ has
+		// i(k′) < x < j(k′); evict that pair's left element.
+		evicted := false
+		for _, p := range in.Pairs {
+			if chosen[p[0]] && chosen[p[1]] && p[0] < x && x < p[1] {
+				chosen[p[0]] = false
+				evicted = true
+				break
+			}
+		}
+		chosen[x] = true
+		_ = evicted
+	}
+	var out []int
+	for x := 0; x < in.N; x++ {
+		if chosen[x] {
+			out = append(out, x)
+		}
+	}
+	if err := in.Feasible(out); err != nil {
+		return nil, fmt.Errorf("csop: normalization produced infeasible set: %w", err)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// Exact solves CSoP by branch-and-bound over per-pair decisions
+// (both/left/right), using the normalization lemma that some optimum keeps
+// at least one element of every pair. Exponential worst case; intended for
+// the reduction experiments.
+func Exact(in *Instance) []int {
+	n := len(in.Pairs)
+	// Order pairs by interval length: tight pairs constrain most.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		pa, pb := in.Pairs[order[a]], in.Pairs[order[b]]
+		return pa[1]-pa[0] < pb[1]-pb[0]
+	})
+	chosen := make([]bool, in.N)
+	forbidden := make([]int, in.N) // count of both-pair intervals covering x
+	// Seed the incumbent with the greedy solution: a strong initial bound
+	// that prunes most of the search tree.
+	best := Greedy(in)
+	count := 0
+	var dfs func(step int)
+	record := func() {
+		if count > len(best) {
+			best = best[:0]
+			for x := 0; x < in.N; x++ {
+				if chosen[x] {
+					best = append(best, x)
+				}
+			}
+		}
+	}
+	canTake := func(x int) bool { return forbidden[x] == 0 }
+	// upperBound adds, per remaining pair, 2 when taking both is still
+	// conceivable (endpoints free, nothing chosen inside), else 1 when an
+	// endpoint is free, else 0.
+	upperBound := func(step int) int {
+		ub := count
+		for i := step; i < n; i++ {
+			p := in.Pairs[order[i]]
+			switch {
+			case canTake(p[0]) && canTake(p[1]):
+				open := true
+				for l := p[0] + 1; l < p[1] && open; l++ {
+					if chosen[l] {
+						open = false
+					}
+				}
+				if open {
+					ub += 2
+				} else {
+					ub++
+				}
+			case canTake(p[0]) || canTake(p[1]):
+				ub++
+			}
+		}
+		return ub
+	}
+	dfs = func(step int) {
+		if count+2*(n-step) <= len(best) || upperBound(step) <= len(best) {
+			return
+		}
+		if step == n {
+			record()
+			return
+		}
+		k := order[step]
+		p := in.Pairs[k]
+		// Option both: requires nothing chosen inside and neither endpoint
+		// forbidden; then forbid the open interval.
+		if canTake(p[0]) && canTake(p[1]) {
+			okInside := true
+			for l := p[0] + 1; l < p[1] && okInside; l++ {
+				if chosen[l] {
+					okInside = false
+				}
+			}
+			if okInside {
+				chosen[p[0]], chosen[p[1]] = true, true
+				count += 2
+				for l := p[0] + 1; l < p[1]; l++ {
+					forbidden[l]++
+				}
+				dfs(step + 1)
+				for l := p[0] + 1; l < p[1]; l++ {
+					forbidden[l]--
+				}
+				chosen[p[0]], chosen[p[1]] = false, false
+				count -= 2
+			}
+		}
+		// Option single element (left or right).
+		for _, x := range p {
+			if canTake(x) {
+				chosen[x] = true
+				count++
+				dfs(step + 1)
+				chosen[x] = false
+				count--
+			}
+		}
+	}
+	dfs(0)
+	sort.Ints(best)
+	return best
+}
+
+// Greedy builds a normal solution cheaply: take both elements of each pair
+// when feasible against already-forbidden intervals, else one element.
+// Pairs are processed by increasing interval length.
+func Greedy(in *Instance) []int {
+	n := len(in.Pairs)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		pa, pb := in.Pairs[order[a]], in.Pairs[order[b]]
+		return pa[1]-pa[0] < pb[1]-pb[0]
+	})
+	chosen := make([]bool, in.N)
+	forbidden := make([]int, in.N)
+	for _, k := range order {
+		p := in.Pairs[k]
+		okInside := forbidden[p[0]] == 0 && forbidden[p[1]] == 0
+		for l := p[0] + 1; l < p[1] && okInside; l++ {
+			if chosen[l] {
+				okInside = false
+			}
+		}
+		if okInside {
+			chosen[p[0]], chosen[p[1]] = true, true
+			for l := p[0] + 1; l < p[1]; l++ {
+				forbidden[l]++
+			}
+			continue
+		}
+		switch {
+		case forbidden[p[0]] == 0:
+			chosen[p[0]] = true
+		case forbidden[p[1]] == 0:
+			chosen[p[1]] = true
+		}
+	}
+	var out []int
+	for x := 0; x < in.N; x++ {
+		if chosen[x] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,246 @@
+package csop
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func randInstance(r *rand.Rand, n int) *Instance {
+	perm := r.Perm(2 * n)
+	in := &Instance{N: 2 * n}
+	for k := 0; k < n; k++ {
+		a, b := perm[2*k], perm[2*k+1]
+		if a > b {
+			a, b = b, a
+		}
+		in.Pairs = append(in.Pairs, [2]int{a, b})
+	}
+	return in
+}
+
+// bruteForce enumerates all subsets of [0, N).
+func bruteForce(in *Instance) int {
+	best := 0
+	for mask := 0; mask < 1<<in.N; mask++ {
+		var u []int
+		for x := 0; x < in.N; x++ {
+			if mask&(1<<x) != 0 {
+				u = append(u, x)
+			}
+		}
+		if in.Feasible(u) == nil && len(u) > best {
+			best = len(u)
+		}
+	}
+	return best
+}
+
+func TestValidate(t *testing.T) {
+	good := &Instance{N: 4, Pairs: [][2]int{{0, 2}, {1, 3}}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []*Instance{
+		{N: 4, Pairs: [][2]int{{0, 2}}},
+		{N: 4, Pairs: [][2]int{{2, 0}, {1, 3}}},
+		{N: 4, Pairs: [][2]int{{0, 2}, {0, 3}}},
+		{N: 4, Pairs: [][2]int{{0, 2}, {1, 5}}},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("bad instance %v accepted", bad)
+		}
+	}
+}
+
+func TestFeasible(t *testing.T) {
+	in := &Instance{N: 6, Pairs: [][2]int{{0, 3}, {1, 4}, {2, 5}}}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Feasible([]int{0, 3}); err != nil {
+		t.Errorf("pair alone rejected: %v", err)
+	}
+	if err := in.Feasible([]int{0, 3, 1}); err == nil {
+		t.Error("element inside a chosen pair accepted")
+	}
+	if err := in.Feasible([]int{0, 1, 2}); err != nil {
+		t.Errorf("singletons rejected: %v", err)
+	}
+	if err := in.Feasible([]int{0, 0}); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if err := in.Feasible([]int{9}); err == nil {
+		t.Error("out of range accepted")
+	}
+}
+
+func TestExactAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 60; trial++ {
+		in := randInstance(r, 2+r.Intn(5)) // N ≤ 12: brute force 4096 subsets
+		if err := in.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		got := Exact(in)
+		if err := in.Feasible(got); err != nil {
+			t.Fatalf("exact infeasible: %v", err)
+		}
+		if want := bruteForce(in); len(got) != want {
+			t.Fatalf("exact %d, brute %d on %v", len(got), want, in.Pairs)
+		}
+	}
+}
+
+func TestGreedyFeasibleAndBounded(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 60; trial++ {
+		in := randInstance(r, 2+r.Intn(6))
+		g := Greedy(in)
+		if err := in.Feasible(g); err != nil {
+			t.Fatalf("greedy infeasible: %v", err)
+		}
+		if len(g) > len(Exact(in)) {
+			t.Fatal("greedy beats exact")
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 80; trial++ {
+		in := randInstance(r, 2+r.Intn(6))
+		// Random feasible solution: greedily insert random elements.
+		var u []int
+		for _, x := range r.Perm(in.N) {
+			cand := append(append([]int{}, u...), x)
+			if in.Feasible(cand) == nil {
+				u = cand
+			}
+			if len(u) >= in.N/2 {
+				break
+			}
+		}
+		norm, err := in.Normalize(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(norm) < len(u) {
+			t.Fatalf("normalization shrank solution: %d → %d", len(u), len(norm))
+		}
+		chosen := make(map[int]bool)
+		for _, x := range norm {
+			chosen[x] = true
+		}
+		for k, p := range in.Pairs {
+			if !chosen[p[0]] && !chosen[p[1]] {
+				t.Fatalf("pair %d untouched after normalization", k)
+			}
+		}
+	}
+}
+
+func TestReductionOptEquals5nPlusMIS(t *testing.T) {
+	r := rand.New(rand.NewSource(47))
+	// Cubic graphs admit a non-consecutive ordering for ≥ 8 vertices (the
+	// complement has minimum degree ≥ n/2, so Dirac applies); K4 and K3,3
+	// genuinely have none.
+	for _, nodes := range []int{8, 10} {
+		g, err := graph.RandomCubic(r, nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		red, err := FromCubic(g, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := red.Inst.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		mis := graph.MaxIndependentSetExact(red.G)
+		opt := Exact(red.Inst)
+		want := 5*(nodes/2) + len(mis)
+		if len(opt) != want {
+			t.Fatalf("nodes=%d: opt(CSoP) = %d, want 5n+|MIS| = %d", nodes, len(opt), want)
+		}
+		// Forward witness realizes the same value.
+		wit, err := red.SolutionFromIS(mis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(wit) != want {
+			t.Fatalf("witness size %d, want %d", len(wit), want)
+		}
+		// Back-mapping recovers an independent set of the full MIS size
+		// from the optimal CSoP solution.
+		w, err := red.ExtractIS(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(w) < len(mis) {
+			t.Fatalf("extracted IS %d < MIS %d", len(w), len(mis))
+		}
+	}
+}
+
+func TestReductionRejectsNonCubic(t *testing.T) {
+	g := graph.New(4)
+	_ = g.AddEdge(0, 1)
+	r := rand.New(rand.NewSource(1))
+	if _, err := FromCubic(g, r); err == nil {
+		t.Fatal("non-cubic graph accepted")
+	}
+}
+
+func TestToCSR(t *testing.T) {
+	in := &Instance{N: 4, Pairs: [][2]int{{0, 2}, {1, 3}}}
+	inst := in.ToCSR()
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.H) != 2 || len(inst.M) != 1 {
+		t.Fatalf("CSR shape wrong: %d H, %d M", len(inst.H), len(inst.M))
+	}
+	if inst.M[0].Len() != 4 {
+		t.Fatalf("M length %d", inst.M[0].Len())
+	}
+	// Unit identity: every letter scores 1 with itself.
+	for _, s := range inst.M[0].Regions {
+		if inst.Sigma.Score(s, s) != 1 {
+			t.Fatalf("σ(%v,%v) != 1", s, s)
+		}
+	}
+}
+
+func TestPairOf(t *testing.T) {
+	in := &Instance{N: 4, Pairs: [][2]int{{0, 2}, {1, 3}}}
+	if in.PairOf(2) != 0 || in.PairOf(1) != 1 {
+		t.Fatal("PairOf wrong")
+	}
+	if in.PairOf(9) != -1 {
+		t.Fatal("missing element should return -1")
+	}
+}
+
+func TestExtractISFromArbitraryFeasible(t *testing.T) {
+	r := rand.New(rand.NewSource(53))
+	g, err := graph.RandomCubic(r, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := FromCubic(g, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The empty solution normalizes to a normal solution and maps back.
+	w, err := red.ExtractIS(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Ints(w)
+	if !graph.IsIndependentSet(red.G, w) {
+		t.Fatal("not independent")
+	}
+}

@@ -1,0 +1,178 @@
+package csop
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/score"
+	"repro/internal/symbol"
+)
+
+// Reduction carries the Theorem 2 translation from a 3-MIS instance (a
+// cubic graph) to a CSoP instance, retaining what is needed to map
+// solutions back.
+//
+// Construction (0-based): after relabeling the graph so consecutive nodes
+// are never adjacent, node u owns letters 5u..5u+4 of M = a₀…a₁₀ₙ₋₁ (the
+// graph has N = 2n nodes). H gets a node pair {5u, 5u+4} for every node and
+// an edge pair {5u+4−b, 5v+4−c} for every edge {u,v}, where v is neighbor
+// number b of u and u is neighbor number c of v (b, c ∈ {1,2,3}).
+type Reduction struct {
+	// G is the relabeled graph (consecutive nodes non-adjacent).
+	G *graph.Graph
+	// Order maps original vertex → relabeled vertex.
+	Order []int
+	// Inst is the resulting CSoP instance.
+	Inst *Instance
+	// NodePair[u] indexes the node pair of relabeled node u in Inst.Pairs.
+	NodePair []int
+}
+
+// FromCubic builds the Theorem 2 reduction for a cubic graph g. The
+// randomness source drives the search for a non-consecutive ordering.
+func FromCubic(g *graph.Graph, r *rand.Rand) (*Reduction, error) {
+	if !g.IsRegular(3) {
+		return nil, fmt.Errorf("csop: reduction requires a 3-regular graph")
+	}
+	ord, err := graph.NonConsecutiveOrder(g, r)
+	if err != nil {
+		return nil, err
+	}
+	// ord is a sequence of original vertices; position = new label.
+	perm := make([]int, g.N)
+	for pos, v := range ord {
+		perm[v] = pos
+	}
+	h := g.Relabel(perm)
+	inst := &Instance{N: 5 * g.N}
+	red := &Reduction{G: h, Order: perm, Inst: inst, NodePair: make([]int, g.N)}
+	for u := 0; u < h.N; u++ {
+		red.NodePair[u] = len(inst.Pairs)
+		inst.Pairs = append(inst.Pairs, [2]int{5 * u, 5*u + 4})
+	}
+	for _, e := range h.Edges() {
+		u, v := e[0], e[1]
+		b := neighborIndex(h, u, v)
+		c := neighborIndex(h, v, u)
+		lo := 5*u + 3 - b
+		hi := 5*v + 3 - c
+		inst.Pairs = append(inst.Pairs, [2]int{lo, hi})
+	}
+	if err := inst.Validate(); err != nil {
+		return nil, fmt.Errorf("csop: reduction built invalid instance: %w", err)
+	}
+	return red, nil
+}
+
+func neighborIndex(g *graph.Graph, u, v int) int {
+	for i, w := range g.Neighbors(u) {
+		if w == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// ExtractIS maps a feasible CSoP solution back to an independent set of the
+// relabeled graph: normalize, then take every node whose pair is fully
+// chosen. The returned set has size ≥ |U| − 5n where n = N/2 nodes... see
+// Theorem 2: |U| = 5·(N/2) + |W| for normal U.
+func (red *Reduction) ExtractIS(U []int) ([]int, error) {
+	norm, err := red.Inst.Normalize(U)
+	if err != nil {
+		return nil, err
+	}
+	chosen := make([]bool, red.Inst.N)
+	for _, x := range norm {
+		chosen[x] = true
+	}
+	var w []int
+	for u := 0; u < red.G.N; u++ {
+		p := red.Inst.Pairs[red.NodePair[u]]
+		if chosen[p[0]] && chosen[p[1]] {
+			w = append(w, u)
+		}
+	}
+	if !graph.IsIndependentSet(red.G, w) {
+		return nil, fmt.Errorf("csop: extracted set is not independent (reduction invariant violated)")
+	}
+	return w, nil
+}
+
+// SolutionFromIS builds the forward witness of Theorem 2: given an
+// independent set W of the relabeled graph, a normal CSoP solution of size
+// 5n + |W| (n = N/2): all last elements {5u+4}, one endpoint per edge pair
+// chosen on the W side, and the first elements {5u} for u ∈ W.
+func (red *Reduction) SolutionFromIS(W []int) ([]int, error) {
+	if !graph.IsIndependentSet(red.G, W) {
+		return nil, fmt.Errorf("csop: W is not independent")
+	}
+	inW := make([]bool, red.G.N)
+	for _, u := range W {
+		inW[u] = true
+	}
+	chosen := make([]bool, red.Inst.N)
+	for u := 0; u < red.G.N; u++ {
+		chosen[5*u+4] = true
+		if inW[u] {
+			chosen[5*u] = true
+		}
+	}
+	// Every edge has an endpoint outside W; pick that endpoint's letter.
+	for _, e := range red.G.Edges() {
+		u, v := e[0], e[1]
+		pick := u
+		if inW[u] {
+			pick = v
+		}
+		if inW[pick] {
+			return nil, fmt.Errorf("csop: edge %v inside W", e)
+		}
+		other := u + v - pick
+		b := neighborIndex(red.G, pick, other)
+		chosen[5*pick+3-b] = true
+	}
+	var out []int
+	for x := 0; x < red.Inst.N; x++ {
+		if chosen[x] {
+			out = append(out, x)
+		}
+	}
+	if err := red.Inst.Feasible(out); err != nil {
+		return nil, fmt.Errorf("csop: forward witness infeasible: %w", err)
+	}
+	return out, nil
+}
+
+// ToCSR renders the CSoP instance as a CSR instance (§3.2's restrictions):
+// M is the single fragment a₀…a_{2n−1}, H holds one two-letter fragment per
+// pair, and σ is the unit identity score. Solving the CSR instance and
+// counting score reproduces |U|.
+func (in *Instance) ToCSR() *core.Instance {
+	al := symbol.NewAlphabet()
+	letters := make([]symbol.Symbol, in.N)
+	m := make(symbol.Word, in.N)
+	for x := 0; x < in.N; x++ {
+		letters[x] = al.Intern(fmt.Sprintf("a%d", x))
+		m[x] = letters[x]
+	}
+	tb := score.NewTable()
+	for x := 0; x < in.N; x++ {
+		tb.Set(letters[x], letters[x], 1)
+	}
+	inst := &core.Instance{
+		Name:  "csop",
+		M:     []core.Fragment{{Name: "m", Regions: m}},
+		Alpha: al,
+		Sigma: tb,
+	}
+	for k, p := range in.Pairs {
+		inst.H = append(inst.H, core.Fragment{
+			Name:    fmt.Sprintf("p%d", k),
+			Regions: symbol.Word{letters[p[0]], letters[p[1]]},
+		})
+	}
+	return inst
+}

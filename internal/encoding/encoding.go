@@ -1,0 +1,233 @@
+// Package encoding reads and writes CSR instances and solutions in a
+// line-oriented text format and in JSON.
+//
+// Text format, one record per line ('#' starts a comment):
+//
+//	N <instance name>
+//	H <fragment name> <region> <region> ...     # H-side contig
+//	M <fragment name> <region> <region> ...     # M-side contig
+//	S <h-region> <m-region> <score>             # σ entry; x' reverses x
+//
+// Region tokens ending in ' denote reversed occurrences, matching the
+// alphabet syntax of the rest of the library.
+package encoding
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/score"
+	"repro/internal/symbol"
+)
+
+// WriteText serializes an instance whose scorer is a *score.Table.
+func WriteText(w io.Writer, in *core.Instance) error {
+	tb, ok := in.Sigma.(*score.Table)
+	if !ok {
+		return fmt.Errorf("encoding: only Table-scored instances can be serialized")
+	}
+	bw := bufio.NewWriter(w)
+	if in.Name != "" {
+		fmt.Fprintf(bw, "N %s\n", in.Name)
+	}
+	for _, sp := range []core.Species{core.SpeciesH, core.SpeciesM} {
+		tag := "H"
+		if sp == core.SpeciesM {
+			tag = "M"
+		}
+		for _, f := range in.Frags(sp) {
+			fmt.Fprintf(bw, "%s %s %s\n", tag, f.Name, in.FormatWord(f.Regions))
+		}
+	}
+	type entry struct {
+		a, b string
+		v    float64
+	}
+	var entries []entry
+	tb.Pairs(func(a, b symbol.Symbol, v float64) {
+		entries = append(entries, entry{in.Alpha.Name(a), in.Alpha.Name(b), v})
+	})
+	// Deterministic output order, independent of symbol interning order.
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].a != entries[j].a {
+			return entries[i].a < entries[j].a
+		}
+		return entries[i].b < entries[j].b
+	})
+	for _, e := range entries {
+		fmt.Fprintf(bw, "S %s %s %v\n", e.a, e.b, e.v)
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the text format.
+func ReadText(r io.Reader) (*core.Instance, error) {
+	al := symbol.NewAlphabet()
+	tb := score.NewTable()
+	in := &core.Instance{Alpha: al, Sigma: tb}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "N":
+			in.Name = strings.Join(fields[1:], " ")
+		case "H", "M":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("encoding: line %d: fragment needs a name and regions", lineNo)
+			}
+			w, err := al.ParseWord(strings.Join(fields[2:], " "))
+			if err != nil {
+				return nil, fmt.Errorf("encoding: line %d: %w", lineNo, err)
+			}
+			frag := core.Fragment{Name: fields[1], Regions: w}
+			if fields[0] == "H" {
+				in.H = append(in.H, frag)
+			} else {
+				in.M = append(in.M, frag)
+			}
+		case "S":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("encoding: line %d: S needs two regions and a score", lineNo)
+			}
+			a, err := al.ParseSymbol(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("encoding: line %d: %w", lineNo, err)
+			}
+			b, err := al.ParseSymbol(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("encoding: line %d: %w", lineNo, err)
+			}
+			v, err := strconv.ParseFloat(fields[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("encoding: line %d: bad score %q", lineNo, fields[3])
+			}
+			tb.Set(a, b, v)
+		default:
+			return nil, fmt.Errorf("encoding: line %d: unknown record %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// jsonInstance is the JSON wire form.
+type jsonInstance struct {
+	Name   string      `json:"name,omitempty"`
+	H      []jsonFrag  `json:"h"`
+	M      []jsonFrag  `json:"m"`
+	Scores []jsonScore `json:"scores"`
+}
+
+type jsonFrag struct {
+	Name    string   `json:"name"`
+	Regions []string `json:"regions"`
+}
+
+type jsonScore struct {
+	A     string  `json:"a"`
+	B     string  `json:"b"`
+	Value float64 `json:"v"`
+}
+
+// MarshalJSON serializes an instance to JSON.
+func MarshalJSON(in *core.Instance) ([]byte, error) {
+	tb, ok := in.Sigma.(*score.Table)
+	if !ok {
+		return nil, fmt.Errorf("encoding: only Table-scored instances can be serialized")
+	}
+	j := jsonInstance{Name: in.Name}
+	frag := func(f core.Fragment) jsonFrag {
+		jf := jsonFrag{Name: f.Name}
+		for _, s := range f.Regions {
+			jf.Regions = append(jf.Regions, in.Alpha.Name(s))
+		}
+		return jf
+	}
+	for _, f := range in.H {
+		j.H = append(j.H, frag(f))
+	}
+	for _, f := range in.M {
+		j.M = append(j.M, frag(f))
+	}
+	tb.Pairs(func(a, b symbol.Symbol, v float64) {
+		j.Scores = append(j.Scores, jsonScore{A: in.Alpha.Name(a), B: in.Alpha.Name(b), Value: v})
+	})
+	for i := 0; i < len(j.Scores); i++ {
+		for k := i + 1; k < len(j.Scores); k++ {
+			if j.Scores[k].A < j.Scores[i].A ||
+				(j.Scores[k].A == j.Scores[i].A && j.Scores[k].B < j.Scores[i].B) {
+				j.Scores[i], j.Scores[k] = j.Scores[k], j.Scores[i]
+			}
+		}
+	}
+	return json.MarshalIndent(j, "", "  ")
+}
+
+// UnmarshalJSON parses the JSON wire form.
+func UnmarshalJSON(data []byte) (*core.Instance, error) {
+	var j jsonInstance
+	if err := json.Unmarshal(data, &j); err != nil {
+		return nil, err
+	}
+	al := symbol.NewAlphabet()
+	tb := score.NewTable()
+	in := &core.Instance{Name: j.Name, Alpha: al, Sigma: tb}
+	parse := func(jf jsonFrag) (core.Fragment, error) {
+		var w symbol.Word
+		for _, tok := range jf.Regions {
+			s, err := al.ParseSymbol(tok)
+			if err != nil {
+				return core.Fragment{}, err
+			}
+			w = append(w, s)
+		}
+		return core.Fragment{Name: jf.Name, Regions: w}, nil
+	}
+	for _, jf := range j.H {
+		f, err := parse(jf)
+		if err != nil {
+			return nil, err
+		}
+		in.H = append(in.H, f)
+	}
+	for _, jf := range j.M {
+		f, err := parse(jf)
+		if err != nil {
+			return nil, err
+		}
+		in.M = append(in.M, f)
+	}
+	for _, js := range j.Scores {
+		a, err := al.ParseSymbol(js.A)
+		if err != nil {
+			return nil, err
+		}
+		b, err := al.ParseSymbol(js.B)
+		if err != nil {
+			return nil, err
+		}
+		tb.Set(a, b, js.Value)
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return in, nil
+}

@@ -1,0 +1,132 @@
+package encoding
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/score"
+)
+
+func TestTextRoundTrip(t *testing.T) {
+	in := core.PaperExample()
+	var buf bytes.Buffer
+	if err := WriteText(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != in.Name {
+		t.Fatalf("name %q", back.Name)
+	}
+	if len(back.H) != 2 || len(back.M) != 2 {
+		t.Fatalf("shape %d×%d", len(back.H), len(back.M))
+	}
+	// Optimum survives the round trip.
+	opt, err := exact.Solve(back, exact.Solver{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Score != 11 {
+		t.Fatalf("round-tripped optimum %v, want 11", opt.Score)
+	}
+}
+
+func TestTextRoundTripGenerated(t *testing.T) {
+	w := gen.Generate(gen.DefaultConfig(5))
+	var buf bytes.Buffer
+	if err := WriteText(&buf, w.Instance); err != nil {
+		t.Fatal(err)
+	}
+	first := buf.String()
+	back, err := ReadText(strings.NewReader(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := WriteText(&buf2, back); err != nil {
+		t.Fatal(err)
+	}
+	if first != buf2.String() {
+		t.Fatal("text form is not a fixed point")
+	}
+}
+
+func TestTextParseErrors(t *testing.T) {
+	cases := []string{
+		"H only_name\n",
+		"S a b\n",
+		"S a b notanumber\n",
+		"Z what\n",
+		"H h '\nM m x\n",
+	}
+	for _, c := range cases {
+		if _, err := ReadText(strings.NewReader(c)); err == nil {
+			t.Errorf("accepted %q", c)
+		}
+	}
+}
+
+func TestTextCommentsAndBlank(t *testing.T) {
+	text := `
+# a comment
+N demo
+
+H h1 a b
+M m1 a' b
+S a a' 3
+`
+	in, err := ReadText(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Name != "demo" || len(in.H) != 1 || len(in.M) != 1 {
+		t.Fatalf("parsed %+v", in)
+	}
+	a, _ := in.Alpha.Lookup("a")
+	if in.Sigma.Score(a, a.Rev()) != 3 {
+		t.Fatal("reversed score entry lost")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	in := core.PaperExample()
+	data, err := MarshalJSON(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := exact.Solve(back, exact.Solver{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Score != 11 {
+		t.Fatalf("JSON round-tripped optimum %v, want 11", opt.Score)
+	}
+	data2, err := MarshalJSON(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatal("JSON form is not a fixed point")
+	}
+}
+
+func TestNonTableScorerRejected(t *testing.T) {
+	in := &core.Instance{Sigma: score.NewIdentity(1)}
+	var buf bytes.Buffer
+	if err := WriteText(&buf, in); err == nil {
+		t.Fatal("identity scorer serialized")
+	}
+	if _, err := MarshalJSON(in); err == nil {
+		t.Fatal("identity scorer marshaled")
+	}
+}

@@ -1,0 +1,144 @@
+// Package exact solves small CSR instances optimally by enumerating every
+// conjecture pair — all orientations and permutations of both fragment sets
+// (Definition 1) — and aligning the resulting concatenations. It is the
+// yardstick for every approximation-ratio experiment. Cost is
+// (k!·2ᵏ)·(k′!·2ᵏ′) alignments, practical to about four fragments per side.
+package exact
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/align"
+	"repro/internal/core"
+	"repro/internal/symbol"
+)
+
+// Result is an optimal conjecture pair: the layouts and the achieved score.
+type Result struct {
+	Score          float64
+	HOrder, MOrder []core.OrientedFrag
+}
+
+// Solver configures the enumeration.
+type Solver struct {
+	// MaxFrags caps the per-side fragment count (enumeration is factorial);
+	// 0 means 5.
+	MaxFrags int
+	// Workers fans the H-layout enumeration across goroutines; values < 1
+	// mean 1.
+	Workers int
+}
+
+// Solve returns an optimal conjecture pair for the instance.
+func Solve(in *core.Instance, cfg Solver) (Result, error) {
+	if err := in.Validate(); err != nil {
+		return Result{}, err
+	}
+	maxf := cfg.MaxFrags
+	if maxf == 0 {
+		maxf = 5
+	}
+	if len(in.H) > maxf || len(in.M) > maxf {
+		return Result{}, fmt.Errorf("exact: instance has %d×%d fragments, cap %d (raise MaxFrags deliberately)",
+			len(in.H), len(in.M), maxf)
+	}
+	hLayouts := enumerateLayouts(len(in.H))
+	mLayouts := enumerateLayouts(len(in.M))
+	mWords := make([]symbol.Word, len(mLayouts))
+	for i, ml := range mLayouts {
+		mWords[i] = layoutWord(in, core.SpeciesM, ml)
+	}
+
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	type best struct {
+		score float64
+		h, m  int
+	}
+	results := make([]best, workers)
+	for w := range results {
+		results[w] = best{score: -1, h: -1, m: -1}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for hi := w; hi < len(hLayouts); hi += workers {
+				hw := layoutWord(in, core.SpeciesH, hLayouts[hi])
+				for mi := range mLayouts {
+					sc := align.Score(hw, mWords[mi], in.Sigma)
+					b := &results[w]
+					if sc > b.score || (sc == b.score && (hi < b.h || (hi == b.h && mi < b.m))) {
+						*b = best{score: sc, h: hi, m: mi}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	win := results[0]
+	for _, b := range results[1:] {
+		if b.h < 0 {
+			continue
+		}
+		if win.h < 0 || b.score > win.score ||
+			(b.score == win.score && (b.h < win.h || (b.h == win.h && b.m < win.m))) {
+			win = b
+		}
+	}
+	return Result{
+		Score:  win.score,
+		HOrder: hLayouts[win.h],
+		MOrder: mLayouts[win.m],
+	}, nil
+}
+
+// layoutWord concatenates the oriented fragments of one species.
+func layoutWord(in *core.Instance, sp core.Species, layout []core.OrientedFrag) symbol.Word {
+	var w symbol.Word
+	for _, of := range layout {
+		w = append(w, in.Frag(sp, of.Frag).Regions.Orient(of.Rev)...)
+	}
+	return w
+}
+
+// enumerateLayouts lists every (permutation, orientation-vector) pair of k
+// fragments. The identity layout comes first.
+func enumerateLayouts(k int) [][]core.OrientedFrag {
+	var perms [][]int
+	perm := make([]int, k)
+	for i := range perm {
+		perm[i] = i
+	}
+	var genPerm func(i int)
+	genPerm = func(i int) {
+		if i == k {
+			perms = append(perms, append([]int(nil), perm...))
+			return
+		}
+		for j := i; j < k; j++ {
+			perm[i], perm[j] = perm[j], perm[i]
+			genPerm(i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+	}
+	genPerm(0)
+	var out [][]core.OrientedFrag
+	for _, p := range perms {
+		for mask := 0; mask < 1<<k; mask++ {
+			layout := make([]core.OrientedFrag, k)
+			for i, f := range p {
+				layout[i] = core.OrientedFrag{Frag: f, Rev: mask&(1<<i) != 0}
+			}
+			out = append(out, layout)
+		}
+	}
+	if len(out) == 0 {
+		out = [][]core.OrientedFrag{{}}
+	}
+	return out
+}

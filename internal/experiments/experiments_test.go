@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestE1OptimumRecovered(t *testing.T) {
+	tb := E1PaperExample()
+	if len(tb.Rows) < 2 {
+		t.Fatal("missing rows")
+	}
+	for _, row := range tb.Rows {
+		if row[0] == "exact" && row[1] != "11.00" {
+			t.Fatalf("exact row = %v", row)
+		}
+		if row[0] == "csr-improve" && row[1] != "11.00" {
+			t.Fatalf("csr-improve row = %v", row)
+		}
+	}
+	out := tb.Format()
+	if !strings.Contains(out, "E1") || !strings.Contains(out, "exact") {
+		t.Fatalf("format: %s", out)
+	}
+}
+
+func TestE2IdentityHolds(t *testing.T) {
+	tb := E2CSoPReduction(1)
+	if len(tb.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range tb.Rows {
+		if row[5] != "true" {
+			t.Fatalf("5n+MIS identity failed: %v", row)
+		}
+	}
+}
+
+func TestE3RecoveryHolds(t *testing.T) {
+	tb := E3UCSRReduction()
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows: %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if row[3] != "11.00" {
+			t.Fatalf("lift not score-preserving: %v", row)
+		}
+		if row[7] != "true" {
+			t.Fatalf("recovery below 1−ε: %v", row)
+		}
+	}
+}
+
+func TestE4InequalityHolds(t *testing.T) {
+	tb := E4Doubling(2)
+	if len(tb.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range tb.Rows {
+		if row[7] != "true" {
+			t.Fatalf("Theorem 3 inequality failed: %v", row)
+		}
+	}
+}
+
+func TestE5RatioRows(t *testing.T) {
+	tb := E5TwoPhase(3)
+	ratios := 0
+	for _, row := range tb.Rows {
+		if row[2] != "-" {
+			ratios++
+			if row[2] < "0.50" {
+				t.Fatalf("two-phase ratio below half: %v", row)
+			}
+		}
+	}
+	if ratios == 0 {
+		t.Fatal("no ratio rows")
+	}
+}
+
+func TestE6E7E8Populate(t *testing.T) {
+	if len(E6FourApprox(4).Rows) == 0 {
+		t.Error("E6 empty")
+	}
+	if len(E7Improve(5).Rows) == 0 {
+		t.Error("E7 empty")
+	}
+	if len(E8Matching(6).Rows) == 0 {
+		t.Error("E8 empty")
+	}
+}
+
+func TestE10FoolingShape(t *testing.T) {
+	tb := E10Fooling()
+	for _, row := range tb.Rows {
+		if row[5] >= row[6] {
+			t.Fatalf("greedy ratio %s not below improve ratio %s", row[5], row[6])
+		}
+		if row[6] != "1.00" {
+			t.Fatalf("CSR_Improve missed the planted optimum: %v", row)
+		}
+	}
+}
+
+func TestE9WavefrontAgreesAcrossWorkers(t *testing.T) {
+	tb := E9Wavefront()
+	if len(tb.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// Rows exist for every worker count and runtimes are populated.
+	workers := map[string]bool{}
+	for _, row := range tb.Rows {
+		workers[row[1]] = true
+		if row[3] == "" || row[3] == "-" {
+			t.Fatalf("missing runtime: %v", row)
+		}
+	}
+	for _, w := range []string{"1", "2", "4", "8"} {
+		if !workers[w] {
+			t.Fatalf("missing worker count %s", w)
+		}
+	}
+}
+
+func TestE11RecoveryShape(t *testing.T) {
+	tb := E11Recovery(1)
+	if len(tb.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	sawPerfect := false
+	for _, row := range tb.Rows {
+		if row[0] == "120/inv=0" && row[3] == "1.00" && row[4] == "1.00" {
+			sawPerfect = true
+		}
+	}
+	if !sawPerfect {
+		t.Fatal("no perfect recovery at 120/inv=0 — shape regression")
+	}
+}
+
+func TestTableFormatAlignment(t *testing.T) {
+	tb := &Table{
+		ID: "EX", Title: "demo",
+		Columns: []string{"a", "long-column"},
+		Rows:    [][]string{{"xxxx", "y"}},
+		Notes:   "n",
+	}
+	out := tb.Format()
+	if !strings.Contains(out, "note: n") {
+		t.Fatalf("format: %s", out)
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 4 {
+		t.Fatal("too few lines")
+	}
+}

@@ -1,0 +1,44 @@
+// Package fenwick implements a Fenwick (binary indexed) tree over float64
+// prefix sums. It is the index structure behind the O(n log n) two-phase
+// interval-selection algorithm of Berman and DasGupta used by the paper's
+// TPA subroutine.
+package fenwick
+
+// Tree supports point updates and prefix-sum queries over positions
+// 0..n−1 in O(log n).
+type Tree struct {
+	sums []float64
+}
+
+// New returns a tree over n positions, all zero.
+func New(n int) *Tree { return &Tree{sums: make([]float64, n+1)} }
+
+// Len returns the number of positions.
+func (t *Tree) Len() int { return len(t.sums) - 1 }
+
+// Add adds v at position i (0-based).
+func (t *Tree) Add(i int, v float64) {
+	for i++; i < len(t.sums); i += i & (-i) {
+		t.sums[i] += v
+	}
+}
+
+// PrefixSum returns the sum of positions 0..i−1; PrefixSum(0) = 0.
+func (t *Tree) PrefixSum(i int) float64 {
+	s := 0.0
+	for ; i > 0; i -= i & (-i) {
+		s += t.sums[i]
+	}
+	return s
+}
+
+// RangeSum returns the sum of positions lo..hi−1.
+func (t *Tree) RangeSum(lo, hi int) float64 {
+	if hi <= lo {
+		return 0
+	}
+	return t.PrefixSum(hi) - t.PrefixSum(lo)
+}
+
+// Total returns the sum of all positions.
+func (t *Tree) Total() float64 { return t.PrefixSum(t.Len()) }

@@ -1,0 +1,60 @@
+package fenwick
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAgainstNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(64)
+		tree := New(n)
+		naive := make([]float64, n)
+		for op := 0; op < 200; op++ {
+			if r.Intn(2) == 0 {
+				i := r.Intn(n)
+				v := float64(r.Intn(21) - 10)
+				tree.Add(i, v)
+				naive[i] += v
+			} else {
+				lo := r.Intn(n + 1)
+				hi := r.Intn(n + 1)
+				want := 0.0
+				if lo < hi {
+					for k := lo; k < hi; k++ {
+						want += naive[k]
+					}
+				}
+				if got := tree.RangeSum(lo, hi); math.Abs(got-want) > 1e-9 {
+					t.Fatalf("RangeSum(%d,%d) = %v, want %v", lo, hi, got, want)
+				}
+			}
+		}
+		total := 0.0
+		for _, v := range naive {
+			total += v
+		}
+		if got := tree.Total(); math.Abs(got-total) > 1e-9 {
+			t.Fatalf("Total = %v, want %v", got, total)
+		}
+	}
+}
+
+func TestEmptyAndBounds(t *testing.T) {
+	tree := New(4)
+	if tree.Len() != 4 {
+		t.Fatalf("Len = %d", tree.Len())
+	}
+	if tree.PrefixSum(0) != 0 {
+		t.Fatal("PrefixSum(0) != 0")
+	}
+	if tree.RangeSum(3, 3) != 0 || tree.RangeSum(3, 1) != 0 {
+		t.Fatal("degenerate ranges should be 0")
+	}
+	tree.Add(3, 5)
+	if tree.PrefixSum(4) != 5 {
+		t.Fatal("last position not included")
+	}
+}

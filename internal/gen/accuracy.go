@@ -1,0 +1,73 @@
+package gen
+
+import (
+	"repro/internal/core"
+)
+
+// Accuracy quantifies how well an inferred layout recovers the generator's
+// ground truth — the measurement real contig data cannot provide.
+type Accuracy struct {
+	// Placed is the number of ground-truth contigs appearing in the
+	// evaluated layout prefix.
+	Placed int
+	// PairOrder is the fraction of placed contig pairs whose relative
+	// order matches the ground truth, under the better global flip
+	// (a whole-genome reversal is unobservable, so both are tried).
+	PairOrder float64
+	// Orientation is the fraction of placed contigs whose orientation
+	// matches the ground truth under the same flip.
+	Orientation float64
+}
+
+// LayoutAccuracy scores an inferred layout of one species against the
+// ground truth (contigs 0..k−1, forward, in index order). Only the first
+// `placed` entries of the layout are evaluated — callers pass the count of
+// fragments that actually participate in matches, excluding the unplaced
+// tail the conjecture builder appends.
+func LayoutAccuracy(layout []core.OrientedFrag, placed int) Accuracy {
+	if placed > len(layout) {
+		placed = len(layout)
+	}
+	entries := layout[:placed]
+	if len(entries) == 0 {
+		return Accuracy{}
+	}
+	eval := func(flip bool) (float64, float64) {
+		seq := entries
+		if flip {
+			seq = make([]core.OrientedFrag, len(entries))
+			for i, of := range entries {
+				seq[len(entries)-1-i] = core.OrientedFrag{Frag: of.Frag, Rev: !of.Rev}
+			}
+		}
+		orientOK := 0
+		for _, of := range seq {
+			if !of.Rev {
+				orientOK++
+			}
+		}
+		pairs, pairOK := 0, 0
+		for i := 0; i < len(seq); i++ {
+			for j := i + 1; j < len(seq); j++ {
+				pairs++
+				if seq[i].Frag < seq[j].Frag {
+					pairOK++
+				}
+			}
+		}
+		po := 1.0
+		if pairs > 0 {
+			po = float64(pairOK) / float64(pairs)
+		}
+		return po, float64(orientOK) / float64(len(seq))
+	}
+	poF, orF := eval(false)
+	poR, orR := eval(true)
+	acc := Accuracy{Placed: len(entries)}
+	if poF+orF >= poR+orR {
+		acc.PairOrder, acc.Orientation = poF, orF
+	} else {
+		acc.PairOrder, acc.Orientation = poR, orR
+	}
+	return acc
+}

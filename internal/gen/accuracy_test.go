@@ -1,0 +1,77 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func of(frag int, rev bool) core.OrientedFrag { return core.OrientedFrag{Frag: frag, Rev: rev} }
+
+func TestLayoutAccuracyPerfect(t *testing.T) {
+	layout := []core.OrientedFrag{of(0, false), of(1, false), of(2, false)}
+	acc := LayoutAccuracy(layout, 3)
+	if acc.PairOrder != 1 || acc.Orientation != 1 || acc.Placed != 3 {
+		t.Fatalf("acc = %+v", acc)
+	}
+}
+
+func TestLayoutAccuracyGlobalFlip(t *testing.T) {
+	// The whole-genome reversal of the truth must also score perfectly.
+	layout := []core.OrientedFrag{of(2, true), of(1, true), of(0, true)}
+	acc := LayoutAccuracy(layout, 3)
+	if acc.PairOrder != 1 || acc.Orientation != 1 {
+		t.Fatalf("flip not recognized: %+v", acc)
+	}
+}
+
+func TestLayoutAccuracyScrambled(t *testing.T) {
+	layout := []core.OrientedFrag{of(1, false), of(0, false), of(2, false)}
+	acc := LayoutAccuracy(layout, 3)
+	// One inverted pair out of three.
+	if acc.PairOrder <= 0.5 || acc.PairOrder >= 1 {
+		t.Fatalf("pair order = %v", acc.PairOrder)
+	}
+}
+
+func TestLayoutAccuracyOrientationErrors(t *testing.T) {
+	layout := []core.OrientedFrag{of(0, false), of(1, true), of(2, false)}
+	acc := LayoutAccuracy(layout, 3)
+	if acc.Orientation <= 0.5 || acc.Orientation >= 1 {
+		t.Fatalf("orientation = %v", acc.Orientation)
+	}
+	if acc.PairOrder != 1 {
+		t.Fatalf("pair order should be unaffected: %v", acc.PairOrder)
+	}
+}
+
+func TestLayoutAccuracyPlacedPrefix(t *testing.T) {
+	layout := []core.OrientedFrag{of(0, false), of(1, false), of(9, true), of(8, true)}
+	acc := LayoutAccuracy(layout, 2)
+	if acc.Placed != 2 || acc.PairOrder != 1 || acc.Orientation != 1 {
+		t.Fatalf("prefix evaluation wrong: %+v", acc)
+	}
+	// placed beyond the slice is clamped.
+	acc = LayoutAccuracy(layout[:1], 5)
+	if acc.Placed != 1 {
+		t.Fatalf("clamping failed: %+v", acc)
+	}
+}
+
+func TestLayoutAccuracyEmpty(t *testing.T) {
+	acc := LayoutAccuracy(nil, 0)
+	if acc.Placed != 0 || acc.PairOrder != 0 || acc.Orientation != 0 {
+		t.Fatalf("empty accuracy = %+v", acc)
+	}
+}
+
+func TestLayoutAccuracyEndToEnd(t *testing.T) {
+	// Solving a generated workload and scoring the inferred M layout must
+	// beat random ordering by a wide margin.
+	w := Generate(DefaultConfig(8))
+	// The ground-truth layout itself scores perfectly.
+	acc := LayoutAccuracy(w.TrueM, len(w.TrueM))
+	if acc.PairOrder != 1 || acc.Orientation != 1 {
+		t.Fatalf("truth layout scored %+v", acc)
+	}
+}

@@ -1,0 +1,198 @@
+// Package gen synthesizes fragmented-genome CSR workloads. The paper
+// evaluated on conserved regions of real contig libraries (human/mouse,
+// E. coli vs Salmonella); those data are not redistributable, so this
+// package builds the closest synthetic equivalent: an ancestral sequence of
+// conserved regions evolves into two species by deletion, segment inversion
+// and translocation; each species is fragmented into contigs at random
+// breakpoints; ortholog alignment scores carry multiplicative noise and
+// spurious (paralog-like) alignments are injected. The generator returns
+// the ground-truth layout so experiments can score order/orientation
+// recovery — something real data cannot provide.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/align"
+	"repro/internal/core"
+	"repro/internal/score"
+	"repro/internal/symbol"
+)
+
+// Config parameterizes a synthetic workload.
+type Config struct {
+	// Seed drives all randomness; equal configs generate equal workloads.
+	Seed int64
+	// Regions is the number of conserved regions in the ancestor.
+	Regions int
+	// DeleteProb is the per-region, per-species loss probability.
+	DeleteProb float64
+	// Inversions is the number of segment inversions applied to species M.
+	Inversions int
+	// InversionLen is the maximum inverted segment length (regions).
+	InversionLen int
+	// Translocations is the number of segment moves applied to species M.
+	Translocations int
+	// MeanContig is the expected contig length in regions (geometric
+	// fragmentation); min 1.
+	MeanContig int
+	// BaseScore is the mean ortholog alignment score.
+	BaseScore float64
+	// Noise is the relative score jitter in [0, 1).
+	Noise float64
+	// Spurious is the number of injected spurious alignment pairs.
+	Spurious int
+	// SpuriousScore caps the spurious scores (drawn uniformly below it).
+	SpuriousScore float64
+}
+
+// DefaultConfig returns a small but structured workload configuration.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:           seed,
+		Regions:        40,
+		DeleteProb:     0.1,
+		Inversions:     3,
+		InversionLen:   6,
+		Translocations: 1,
+		MeanContig:     5,
+		BaseScore:      10,
+		Noise:          0.3,
+		Spurious:       10,
+		SpuriousScore:  4,
+	}
+}
+
+// Workload is a generated instance plus its ground truth.
+type Workload struct {
+	Instance *core.Instance
+	// TrueH and TrueM are the ground-truth layouts: contigs in genomic
+	// order, forward orientation (contigs were cut from the genomes
+	// left-to-right).
+	TrueH, TrueM []core.OrientedFrag
+	// OrthologTotal is the total score of all surviving ortholog pairs —
+	// an upper bound on any solution restricted to ortholog matches.
+	OrthologTotal float64
+	// TrueLayoutScore is the alignment score of the ground-truth conjecture
+	// pair — a lower bound on the CSR optimum.
+	TrueLayoutScore float64
+}
+
+// Generate builds a workload from the configuration.
+func Generate(cfg Config) *Workload {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.Regions < 1 {
+		cfg.Regions = 1
+	}
+	if cfg.MeanContig < 1 {
+		cfg.MeanContig = 1
+	}
+	al := symbol.NewAlphabet()
+	tb := score.NewTable()
+
+	// Ancestral regions; species-specific symbols so σ is a genuine
+	// cross-species table.
+	hSyms := make([]symbol.Symbol, cfg.Regions)
+	mSyms := make([]symbol.Symbol, cfg.Regions)
+	for i := 0; i < cfg.Regions; i++ {
+		hSyms[i] = al.Intern(fmt.Sprintf("H%d", i))
+		mSyms[i] = al.Intern(fmt.Sprintf("M%d", i))
+	}
+
+	// Species H keeps ancestral order; species M evolves.
+	var hGenome, mGenome symbol.Word
+	present := make([][2]bool, cfg.Regions)
+	for i := 0; i < cfg.Regions; i++ {
+		if r.Float64() >= cfg.DeleteProb {
+			hGenome = append(hGenome, hSyms[i])
+			present[i][0] = true
+		}
+		if r.Float64() >= cfg.DeleteProb {
+			mGenome = append(mGenome, mSyms[i])
+			present[i][1] = true
+		}
+	}
+	// Inversions on M.
+	for k := 0; k < cfg.Inversions && len(mGenome) > 1; k++ {
+		l := 1 + r.Intn(max(1, cfg.InversionLen))
+		if l > len(mGenome) {
+			l = len(mGenome)
+		}
+		at := r.Intn(len(mGenome) - l + 1)
+		seg := symbol.Word(mGenome[at : at+l]).Rev()
+		copy(mGenome[at:at+l], seg)
+	}
+	// Translocations on M: cut a segment, reinsert elsewhere.
+	for k := 0; k < cfg.Translocations && len(mGenome) > 2; k++ {
+		l := 1 + r.Intn(max(1, cfg.InversionLen))
+		if l >= len(mGenome) {
+			continue
+		}
+		at := r.Intn(len(mGenome) - l + 1)
+		seg := append(symbol.Word(nil), mGenome[at:at+l]...)
+		rest := append(append(symbol.Word(nil), mGenome[:at]...), mGenome[at+l:]...)
+		pos := r.Intn(len(rest) + 1)
+		mGenome = append(append(append(symbol.Word(nil), rest[:pos]...), seg...), rest[pos:]...)
+	}
+
+	// Ortholog scores for regions surviving in both species.
+	ortho := 0.0
+	for i := 0; i < cfg.Regions; i++ {
+		if present[i][0] && present[i][1] {
+			s := cfg.BaseScore * (1 + cfg.Noise*(2*r.Float64()-1))
+			if s < 1 {
+				s = 1
+			}
+			tb.Set(hSyms[i], mSyms[i], s)
+			ortho += s
+		}
+	}
+	// Spurious alignments between random cross pairs.
+	for k := 0; k < cfg.Spurious; k++ {
+		hi := r.Intn(cfg.Regions)
+		mi := r.Intn(cfg.Regions)
+		ms := mSyms[mi]
+		if r.Intn(2) == 0 {
+			ms = ms.Rev()
+		}
+		if tb.Score(hSyms[hi], ms) == 0 && cfg.SpuriousScore > 0 {
+			tb.Set(hSyms[hi], ms, 1+r.Float64()*(cfg.SpuriousScore-1))
+		}
+	}
+
+	in := &core.Instance{
+		Name:  fmt.Sprintf("gen-%d", cfg.Seed),
+		Alpha: al,
+		Sigma: tb,
+	}
+	w := &Workload{Instance: in, OrthologTotal: ortho}
+	// Fragment both genomes into contigs.
+	for fi, frag := range fragment(r, hGenome, cfg.MeanContig) {
+		in.H = append(in.H, core.Fragment{Name: fmt.Sprintf("h%d", fi), Regions: frag})
+		w.TrueH = append(w.TrueH, core.OrientedFrag{Frag: fi})
+	}
+	for fi, frag := range fragment(r, mGenome, cfg.MeanContig) {
+		in.M = append(in.M, core.Fragment{Name: fmt.Sprintf("m%d", fi), Regions: frag})
+		w.TrueM = append(w.TrueM, core.OrientedFrag{Frag: fi})
+	}
+	w.TrueLayoutScore = align.Score(hGenome, mGenome, tb)
+	return w
+}
+
+// fragment splits a genome into contigs with geometric lengths.
+func fragment(r *rand.Rand, genome symbol.Word, mean int) []symbol.Word {
+	var out []symbol.Word
+	var cur symbol.Word
+	for _, s := range genome {
+		cur = append(cur, s)
+		if r.Float64() < 1/float64(mean) {
+			out = append(out, cur)
+			cur = nil
+		}
+	}
+	if len(cur) > 0 {
+		out = append(out, cur)
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/align"
+	"repro/internal/core"
+	"repro/internal/symbol"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(DefaultConfig(1))
+	b := Generate(DefaultConfig(1))
+	if len(a.Instance.H) != len(b.Instance.H) || len(a.Instance.M) != len(b.Instance.M) {
+		t.Fatal("same seed, different shapes")
+	}
+	for i := range a.Instance.H {
+		if !a.Instance.H[i].Regions.Equal(b.Instance.H[i].Regions) {
+			t.Fatal("same seed, different fragments")
+		}
+	}
+	if a.TrueLayoutScore != b.TrueLayoutScore {
+		t.Fatal("same seed, different truth score")
+	}
+	c := Generate(DefaultConfig(2))
+	if a.TrueLayoutScore == c.TrueLayoutScore && len(a.Instance.H) == len(c.Instance.H) {
+		// Not impossible, but with these parameters effectively so.
+		t.Log("warning: different seeds produced identical workloads")
+	}
+}
+
+func TestGenerateValidInstance(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		w := Generate(DefaultConfig(seed))
+		if err := w.Instance.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(w.TrueH) != len(w.Instance.H) || len(w.TrueM) != len(w.Instance.M) {
+			t.Fatalf("seed %d: truth layout shape mismatch", seed)
+		}
+	}
+}
+
+func TestTruthBounds(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		w := Generate(DefaultConfig(seed))
+		// The true layout score is achievable, hence ≤ total positive σ.
+		// It must also be reproducible from the truth layouts.
+		var hw, mw symbol.Word
+		for _, of := range w.TrueH {
+			hw = append(hw, w.Instance.H[of.Frag].Regions.Orient(of.Rev)...)
+		}
+		for _, of := range w.TrueM {
+			mw = append(mw, w.Instance.M[of.Frag].Regions.Orient(of.Rev)...)
+		}
+		got := align.Score(hw, mw, w.Instance.Sigma)
+		if got != w.TrueLayoutScore {
+			t.Fatalf("seed %d: truth layout scores %v, recorded %v", seed, got, w.TrueLayoutScore)
+		}
+	}
+}
+
+func TestFragmentationCoversGenome(t *testing.T) {
+	w := Generate(DefaultConfig(3))
+	total := 0
+	for _, f := range w.Instance.H {
+		total += f.Len()
+		if f.Len() == 0 {
+			t.Fatal("empty contig")
+		}
+	}
+	if total == 0 {
+		t.Fatal("species H lost every region")
+	}
+}
+
+func TestTinyConfig(t *testing.T) {
+	cfg := Config{Seed: 9, Regions: 1, MeanContig: 1, BaseScore: 5}
+	w := Generate(cfg)
+	if err := w.Instance.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Instance.TotalRegions() == 0 {
+		t.Skip("both copies deleted — acceptable for tiny configs")
+	}
+}
+
+func TestSpuriousScoresDoNotMaskOrthologs(t *testing.T) {
+	cfg := DefaultConfig(4)
+	w := Generate(cfg)
+	// Ortholog pairs must retain their scores despite spurious injection
+	// (spurious entries never overwrite existing pairs).
+	count := 0
+	for i := 0; i < cfg.Regions; i++ {
+		hs, ok1 := w.Instance.Alpha.Lookup("H" + itoa(i))
+		ms, ok2 := w.Instance.Alpha.Lookup("M" + itoa(i))
+		if !ok1 || !ok2 {
+			continue
+		}
+		if v := w.Instance.Sigma.Score(hs, ms); v > 0 {
+			count++
+			if v < 1 {
+				t.Fatalf("ortholog score %v below floor", v)
+			}
+		}
+	}
+	if count == 0 {
+		t.Fatal("no ortholog scores survived")
+	}
+	_ = core.SpeciesH
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf []byte
+	for i > 0 {
+		buf = append([]byte{byte('0' + i%10)}, buf...)
+		i /= 10
+	}
+	return string(buf)
+}

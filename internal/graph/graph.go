@@ -1,0 +1,321 @@
+// Package graph provides the undirected-graph substrate for the Theorem 2
+// hardness reduction: random 3-regular (cubic) graphs, the Dirac-style
+// orderings with no consecutive adjacent nodes the reduction requires, and
+// maximum-independent-set solvers (exact branch-and-bound and greedy) for
+// 3-MIS.
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Graph is a simple undirected graph on vertices 0..N−1.
+type Graph struct {
+	N   int
+	adj [][]int
+}
+
+// New returns an empty graph on n vertices.
+func New(n int) *Graph {
+	return &Graph{N: n, adj: make([][]int, n)}
+}
+
+// AddEdge inserts the edge {u, v}. Self-loops and duplicate edges are
+// rejected.
+func (g *Graph) AddEdge(u, v int) error {
+	if u == v {
+		return fmt.Errorf("graph: self-loop at %d", u)
+	}
+	if u < 0 || v < 0 || u >= g.N || v >= g.N {
+		return fmt.Errorf("graph: edge {%d,%d} out of range", u, v)
+	}
+	if g.HasEdge(u, v) {
+		return fmt.Errorf("graph: duplicate edge {%d,%d}", u, v)
+	}
+	g.adj[u] = append(g.adj[u], v)
+	g.adj[v] = append(g.adj[v], u)
+	return nil
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	for _, w := range g.adj[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Neighbors returns v's adjacency list (shared storage; do not mutate).
+func (g *Graph) Neighbors(v int) []int { return g.adj[v] }
+
+// Edges returns every edge once, as ordered pairs u < v, sorted.
+func (g *Graph) Edges() [][2]int {
+	var out [][2]int
+	for u := 0; u < g.N; u++ {
+		for _, v := range g.adj[u] {
+			if u < v {
+				out = append(out, [2]int{u, v})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// IsRegular reports whether every vertex has degree d.
+func (g *Graph) IsRegular(d int) bool {
+	for v := 0; v < g.N; v++ {
+		if len(g.adj[v]) != d {
+			return false
+		}
+	}
+	return true
+}
+
+// Relabel returns the graph with vertex v renamed to perm[v].
+func (g *Graph) Relabel(perm []int) *Graph {
+	h := New(g.N)
+	for _, e := range g.Edges() {
+		// Errors are impossible: perm is a bijection over a simple graph.
+		_ = h.AddEdge(perm[e[0]], perm[e[1]])
+	}
+	return h
+}
+
+// RandomCubic generates a random simple 3-regular graph on n vertices
+// (n even, n ≥ 4) by taking a random Hamiltonian cycle plus a random
+// perfect matching on the cycle's "antipodal-ish" chords, retrying until
+// simple. The union of a cycle (degree 2) and a perfect matching (degree 1)
+// is cubic.
+func RandomCubic(r *rand.Rand, n int) (*Graph, error) {
+	if n < 4 || n%2 != 0 {
+		return nil, fmt.Errorf("graph: cubic graphs need even n ≥ 4, got %d", n)
+	}
+	for attempt := 0; attempt < 1000; attempt++ {
+		g := New(n)
+		order := r.Perm(n)
+		ok := true
+		for i := 0; i < n && ok; i++ {
+			if err := g.AddEdge(order[i], order[(i+1)%n]); err != nil {
+				ok = false
+			}
+		}
+		if !ok {
+			continue
+		}
+		// Random perfect matching avoiding existing edges.
+		pool := r.Perm(n)
+		var pairs [][2]int
+		if !matchPool(g, pool, &pairs) {
+			continue
+		}
+		for _, p := range pairs {
+			if err := g.AddEdge(p[0], p[1]); err != nil {
+				ok = false
+				break
+			}
+		}
+		if ok && g.IsRegular(3) {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("graph: failed to generate a cubic graph on %d vertices", n)
+}
+
+// matchPool greedily pairs pool entries avoiding edges of g, with
+// backtracking.
+func matchPool(g *Graph, pool []int, out *[][2]int) bool {
+	if len(pool) == 0 {
+		return true
+	}
+	u := pool[0]
+	for i := 1; i < len(pool); i++ {
+		v := pool[i]
+		if g.HasEdge(u, v) {
+			continue
+		}
+		rest := make([]int, 0, len(pool)-2)
+		rest = append(rest, pool[1:i]...)
+		rest = append(rest, pool[i+1:]...)
+		*out = append(*out, [2]int{u, v})
+		if matchPool(g, rest, out) {
+			return true
+		}
+		*out = (*out)[:len(*out)-1]
+	}
+	return false
+}
+
+// NonConsecutiveOrder returns a permutation ord of the vertices such that
+// ord[i] and ord[i+1] are never adjacent — the ordering Theorem 2 requires
+// (available for cubic graphs with n ≥ 6 by Dirac-style arguments). Found by
+// randomized greedy with backtracking.
+func NonConsecutiveOrder(g *Graph, r *rand.Rand) ([]int, error) {
+	for attempt := 0; attempt < 200; attempt++ {
+		perm := r.Perm(g.N)
+		ord := make([]int, 0, g.N)
+		used := make([]bool, g.N)
+		if placeNext(g, perm, used, &ord) {
+			return ord, nil
+		}
+	}
+	return nil, fmt.Errorf("graph: no non-consecutive order found")
+}
+
+func placeNext(g *Graph, perm []int, used []bool, ord *[]int) bool {
+	if len(*ord) == g.N {
+		return true
+	}
+	for _, v := range perm {
+		if used[v] {
+			continue
+		}
+		if len(*ord) > 0 && g.HasEdge((*ord)[len(*ord)-1], v) {
+			continue
+		}
+		used[v] = true
+		*ord = append(*ord, v)
+		if placeNext(g, perm, used, ord) {
+			return true
+		}
+		*ord = (*ord)[:len(*ord)-1]
+		used[v] = false
+	}
+	return false
+}
+
+// IsIndependentSet reports whether set is pairwise non-adjacent in g.
+func IsIndependentSet(g *Graph, set []int) bool {
+	for i := 0; i < len(set); i++ {
+		for j := i + 1; j < len(set); j++ {
+			if set[i] == set[j] || g.HasEdge(set[i], set[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// GreedyIndependentSet repeatedly takes a minimum-degree vertex and removes
+// its neighborhood — the classic heuristic (ratio (Δ+2)/3 on
+// degree-Δ-bounded graphs).
+func GreedyIndependentSet(g *Graph) []int {
+	alive := make([]bool, g.N)
+	deg := make([]int, g.N)
+	for v := 0; v < g.N; v++ {
+		alive[v] = true
+		deg[v] = g.Degree(v)
+	}
+	remaining := g.N
+	var set []int
+	for remaining > 0 {
+		best := -1
+		for v := 0; v < g.N; v++ {
+			if alive[v] && (best < 0 || deg[v] < deg[best]) {
+				best = v
+			}
+		}
+		set = append(set, best)
+		kill := append([]int{best}, g.adj[best]...)
+		for _, v := range kill {
+			if alive[v] {
+				alive[v] = false
+				remaining--
+				for _, w := range g.adj[v] {
+					if alive[w] {
+						deg[w]--
+					}
+				}
+			}
+		}
+	}
+	sort.Ints(set)
+	return set
+}
+
+// MaxIndependentSetExact returns a maximum independent set by
+// branch-and-bound: branch on a maximum-degree vertex, pruning with the
+// remaining-vertex bound. Exponential worst case; fine for the reduction
+// experiments (n ≤ ~40 cubic vertices).
+func MaxIndependentSetExact(g *Graph) []int {
+	alive := make([]bool, g.N)
+	for v := range alive {
+		alive[v] = true
+	}
+	var best []int
+	var cur []int
+	var dfs func(remaining int)
+	dfs = func(remaining int) {
+		if len(cur) > len(best) {
+			best = append([]int(nil), cur...)
+		}
+		if len(cur)+remaining <= len(best) || remaining == 0 {
+			return
+		}
+		// Pick a max-degree (within alive) vertex.
+		pick, pickDeg := -1, -1
+		for v := 0; v < g.N; v++ {
+			if !alive[v] {
+				continue
+			}
+			d := 0
+			for _, w := range g.adj[v] {
+				if alive[w] {
+					d++
+				}
+			}
+			if d > pickDeg {
+				pick, pickDeg = v, d
+			}
+		}
+		if pickDeg == 0 {
+			// All remaining vertices are isolated: take them all.
+			added := 0
+			for v := 0; v < g.N; v++ {
+				if alive[v] {
+					cur = append(cur, v)
+					added++
+				}
+			}
+			if len(cur) > len(best) {
+				best = append([]int(nil), cur...)
+			}
+			cur = cur[:len(cur)-added]
+			return
+		}
+		// Branch 1: include pick.
+		removed := []int{pick}
+		alive[pick] = false
+		for _, w := range g.adj[pick] {
+			if alive[w] {
+				alive[w] = false
+				removed = append(removed, w)
+			}
+		}
+		cur = append(cur, pick)
+		dfs(remaining - len(removed))
+		cur = cur[:len(cur)-1]
+		for _, v := range removed {
+			alive[v] = true
+		}
+		// Branch 2: exclude pick.
+		alive[pick] = false
+		dfs(remaining - 1)
+		alive[pick] = true
+	}
+	dfs(g.N)
+	sort.Ints(best)
+	return best
+}

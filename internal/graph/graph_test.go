@@ -1,0 +1,165 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New(3)
+	if err := g.AddEdge(0, 0); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := g.AddEdge(0, 5); err == nil {
+		t.Error("out-of-range accepted")
+	}
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 0); err == nil {
+		t.Error("duplicate edge accepted")
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("edge not symmetric")
+	}
+	if g.Degree(0) != 1 || g.Degree(2) != 0 {
+		t.Error("degrees wrong")
+	}
+	if es := g.Edges(); len(es) != 1 || es[0] != [2]int{0, 1} {
+		t.Errorf("Edges = %v", es)
+	}
+}
+
+func TestRandomCubic(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for _, n := range []int{4, 6, 8, 10, 16, 24} {
+		g, err := RandomCubic(r, n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !g.IsRegular(3) {
+			t.Fatalf("n=%d: not cubic", n)
+		}
+		if len(g.Edges()) != 3*n/2 {
+			t.Fatalf("n=%d: %d edges, want %d", n, len(g.Edges()), 3*n/2)
+		}
+	}
+	if _, err := RandomCubic(r, 5); err == nil {
+		t.Error("odd n accepted")
+	}
+	if _, err := RandomCubic(r, 2); err == nil {
+		t.Error("n=2 accepted")
+	}
+}
+
+func TestNonConsecutiveOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(19))
+	for _, n := range []int{8, 10, 16, 20} {
+		g, err := RandomCubic(r, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ord, err := NonConsecutiveOrder(g, r)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		seen := make([]bool, n)
+		for _, v := range ord {
+			if seen[v] {
+				t.Fatal("order is not a permutation")
+			}
+			seen[v] = true
+		}
+		for i := 1; i < len(ord); i++ {
+			if g.HasEdge(ord[i-1], ord[i]) {
+				t.Fatalf("consecutive adjacent vertices %d,%d", ord[i-1], ord[i])
+			}
+		}
+	}
+}
+
+func TestRelabelPreservesStructure(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	g, err := RandomCubic(r, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := r.Perm(10)
+	h := g.Relabel(perm)
+	if !h.IsRegular(3) {
+		t.Fatal("relabeled graph not cubic")
+	}
+	for _, e := range g.Edges() {
+		if !h.HasEdge(perm[e[0]], perm[e[1]]) {
+			t.Fatalf("edge %v lost", e)
+		}
+	}
+}
+
+// bruteMIS enumerates all subsets.
+func bruteMIS(g *Graph) int {
+	best := 0
+	for mask := 0; mask < 1<<g.N; mask++ {
+		var set []int
+		for v := 0; v < g.N; v++ {
+			if mask&(1<<v) != 0 {
+				set = append(set, v)
+			}
+		}
+		if IsIndependentSet(g, set) && len(set) > best {
+			best = len(set)
+		}
+	}
+	return best
+}
+
+func TestExactMISAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + r.Intn(10)
+		g := New(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if r.Intn(3) == 0 {
+					_ = g.AddEdge(u, v)
+				}
+			}
+		}
+		set := MaxIndependentSetExact(g)
+		if !IsIndependentSet(g, set) {
+			t.Fatal("exact returned dependent set")
+		}
+		if want := bruteMIS(g); len(set) != want {
+			t.Fatalf("exact |MIS| = %d, brute force %d", len(set), want)
+		}
+	}
+}
+
+func TestGreedyIndependent(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		g, err := RandomCubic(r, 8+2*r.Intn(6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		set := GreedyIndependentSet(g)
+		if !IsIndependentSet(g, set) {
+			t.Fatal("greedy returned dependent set")
+		}
+		exact := MaxIndependentSetExact(g)
+		if len(set) > len(exact) {
+			t.Fatal("greedy beats exact")
+		}
+		// Cubic graphs: greedy is at least n/4 (every pick kills ≤ 4).
+		if 4*len(set) < g.N {
+			t.Fatalf("greedy too small: %d on %d vertices", len(set), g.N)
+		}
+	}
+}
+
+func TestIsIndependentSetDuplicates(t *testing.T) {
+	g := New(3)
+	if IsIndependentSet(g, []int{1, 1}) {
+		t.Fatal("duplicate vertices accepted")
+	}
+}

@@ -1,0 +1,71 @@
+package greedy
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/score"
+	"repro/internal/symbol"
+)
+
+// FoolingInstance builds the classic adversarial family for greedy
+// heuristics: n "bait" triples. In triple t, fragment hₜ scores 2w−1 with
+// bait mₜ but the optimum pairs hₜ with m′ₜ (score 2w−2) and h′ₜ with mₜ
+// (score 2w−2): greedy grabs the bait (2w−1 per triple), the optimum earns
+// 4w−4, so greedy converges to ratio 2 from below as w grows.
+//
+// Every fragment is a single region, so the instance is also a worst case
+// for the matching-based heuristic specifically.
+func FoolingInstance(n int, w float64) *core.Instance {
+	if w < 2 {
+		w = 2
+	}
+	al := symbol.NewAlphabet()
+	tb := score.NewTable()
+	in := &core.Instance{Name: fmt.Sprintf("fooling-%d", n), Alpha: al, Sigma: tb}
+	for t := 0; t < n; t++ {
+		h := al.Intern(fmt.Sprintf("h%d", t))
+		h2 := al.Intern(fmt.Sprintf("h'%d", t))
+		m := al.Intern(fmt.Sprintf("m%d", t))
+		m2 := al.Intern(fmt.Sprintf("m'%d", t))
+		tb.Set(h, m, 2*w-1)  // bait
+		tb.Set(h, m2, 2*w-2) // optimal pairing 1
+		tb.Set(h2, m, 2*w-2) // optimal pairing 2
+		in.H = append(in.H,
+			core.Fragment{Name: fmt.Sprintf("h%d", t), Regions: symbol.Word{h}},
+			core.Fragment{Name: fmt.Sprintf("h'%d", t), Regions: symbol.Word{h2}},
+		)
+		in.M = append(in.M,
+			core.Fragment{Name: fmt.Sprintf("m%d", t), Regions: symbol.Word{m}},
+			core.Fragment{Name: fmt.Sprintf("m'%d", t), Regions: symbol.Word{m2}},
+		)
+	}
+	return in
+}
+
+// FoolingOptimum returns the optimal solution of FoolingInstance(n, w):
+// every triple contributes its two cross pairings, 4w−4 per triple.
+func FoolingOptimum(n int, w float64, in *core.Instance) *core.Solution {
+	if w < 2 {
+		w = 2
+	}
+	sol := &core.Solution{}
+	site := func(sp core.Species, frag int) core.Site {
+		return core.Site{Species: sp, Frag: frag, Lo: 0, Hi: 1}
+	}
+	for t := 0; t < n; t++ {
+		// h_t (index 2t) with m'_t (index 2t+1).
+		sol.Matches = append(sol.Matches, core.Match{
+			HSite: site(core.SpeciesH, 2*t),
+			MSite: site(core.SpeciesM, 2*t+1),
+			Score: 2*w - 2,
+		})
+		// h'_t (index 2t+1) with m_t (index 2t).
+		sol.Matches = append(sol.Matches, core.Match{
+			HSite: site(core.SpeciesH, 2*t+1),
+			MSite: site(core.SpeciesM, 2*t),
+			Score: 2*w - 2,
+		})
+	}
+	return sol
+}

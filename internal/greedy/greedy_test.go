@@ -1,0 +1,139 @@
+package greedy
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/score"
+	"repro/internal/symbol"
+)
+
+func randInstance(r *rand.Rand, hFrags, mFrags, fragLen, alpha int) *core.Instance {
+	al := symbol.NewAlphabet()
+	syms := make([]symbol.Symbol, alpha)
+	for i := range syms {
+		syms[i] = al.Intern(string(rune('a' + i)))
+	}
+	tb := score.NewTable()
+	for trial := 0; trial < alpha*3; trial++ {
+		a := syms[r.Intn(alpha)]
+		b := syms[r.Intn(alpha)]
+		if r.Intn(2) == 0 {
+			b = b.Rev()
+		}
+		tb.Set(a, b, float64(1+r.Intn(9)))
+	}
+	mk := func(n int) []core.Fragment {
+		fs := make([]core.Fragment, n)
+		for i := range fs {
+			w := make(symbol.Word, 1+r.Intn(fragLen))
+			for j := range w {
+				w[j] = syms[r.Intn(alpha)]
+			}
+			fs[i] = core.Fragment{Name: "f", Regions: w}
+		}
+		return fs
+	}
+	return &core.Instance{H: mk(hFrags), M: mk(mFrags), Alpha: al, Sigma: tb}
+}
+
+func TestMatchingConsistentAndBounded(t *testing.T) {
+	r := rand.New(rand.NewSource(79))
+	for trial := 0; trial < 40; trial++ {
+		in := randInstance(r, 1+r.Intn(4), 1+r.Intn(4), 3, 5)
+		sol := Matching(in)
+		if err := sol.Validate(in); err != nil {
+			t.Fatal(err)
+		}
+		if !sol.IsConsistent(in) {
+			t.Fatal("matching greedy inconsistent")
+		}
+		opt, err := exact.Solve(in, exact.Solver{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Score() > opt.Score+1e-9 {
+			t.Fatalf("greedy beats exact: %v > %v", sol.Score(), opt.Score)
+		}
+	}
+}
+
+func TestPlacementConsistentAndDominatesNothingWrong(t *testing.T) {
+	r := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 40; trial++ {
+		in := randInstance(r, 1+r.Intn(4), 1+r.Intn(3), 3, 5)
+		sol := Placement(in)
+		if err := sol.Validate(in); err != nil {
+			t.Fatal(err)
+		}
+		if !sol.IsConsistent(in) {
+			t.Fatal("placement greedy inconsistent")
+		}
+		opt, err := exact.Solve(in, exact.Solver{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Score() > opt.Score+1e-9 {
+			t.Fatalf("greedy beats exact: %v > %v", sol.Score(), opt.Score)
+		}
+	}
+}
+
+func TestFoolingFamilyRatio(t *testing.T) {
+	const w = 10.0
+	for _, n := range []int{1, 3, 6} {
+		in := FoolingInstance(n, w)
+		if err := in.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		opt := FoolingOptimum(n, w, in)
+		if err := opt.Validate(in); err != nil {
+			t.Fatal(err)
+		}
+		if !opt.IsConsistent(in) {
+			t.Fatal("planted optimum inconsistent")
+		}
+		wantOpt := float64(n) * (4*w - 4)
+		if opt.Score() != wantOpt {
+			t.Fatalf("planted optimum %v, want %v", opt.Score(), wantOpt)
+		}
+		g := Matching(in)
+		wantGreedy := float64(n) * (2*w - 1)
+		if g.Score() != wantGreedy {
+			t.Fatalf("greedy %v, want %v", g.Score(), wantGreedy)
+		}
+		ratio := opt.Score() / g.Score()
+		if ratio < 1.8 {
+			t.Fatalf("fooling ratio only %v; want ≈ 2", ratio)
+		}
+		// Placement greedy falls for the same bait on this family.
+		p := Placement(in)
+		if p.Score() != wantGreedy {
+			t.Fatalf("placement greedy %v, want %v", p.Score(), wantGreedy)
+		}
+	}
+}
+
+func TestFoolingSmallExact(t *testing.T) {
+	// For one triple the exact solver confirms the planted optimum.
+	in := FoolingInstance(1, 5)
+	opt, err := exact.Solve(in, exact.Solver{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Score != 16 { // 4w−4 = 16
+		t.Fatalf("exact %v, want 16", opt.Score)
+	}
+}
+
+func TestMatchingEmptyInstance(t *testing.T) {
+	in := &core.Instance{Sigma: score.NewTable()}
+	if sol := Matching(in); len(sol.Matches) != 0 {
+		t.Fatal("matches from empty instance")
+	}
+	if sol := Placement(in); len(sol.Matches) != 0 {
+		t.Fatal("placements from empty instance")
+	}
+}

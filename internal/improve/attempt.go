@@ -1,0 +1,233 @@
+package improve
+
+import (
+	"fmt"
+
+	"repro/internal/align"
+	"repro/internal/core"
+)
+
+// attempt is one improvement attempt: a closure that mutates a state and
+// returns the score gain. Attempts are simulated on clones during
+// evaluation and replayed on the live state when accepted.
+type attempt struct {
+	// kind is "I1", "I2" or "I3" (reporting only).
+	kind string
+	// desc identifies the attempt for logs and deterministic tie-breaks.
+	desc string
+	// run applies the attempt and returns the gain.
+	run func(st *state) float64
+}
+
+// i1Attempt builds the Full CSR improvement method I1(f, ḡ, ĝ) of §4.2:
+// prepare fragment f (detaching it) and the window ĝ = [wLo, wHi) on
+// fragment g; plug f into its best placement ḡ inside the window; run TPA
+// on the remnants ĝ − ḡ and on the partner sites freed by the preparation.
+func i1Attempt(f, g core.FragRef, wLo, wHi int) attempt {
+	return attempt{
+		kind: "I1",
+		desc: fmt.Sprintf("I1(%v→%v[%d,%d))", f, g, wLo, wHi),
+		run: func(st *state) float64 {
+			before := st.score()
+			st.locked[f] = true
+			defer delete(st.locked, f)
+
+			// Prepare f: detach it from everything (its full site is
+			// plugged in). Freed partner zones are not refilled here —
+			// Fig. 9 runs TPA only on the target-side zones.
+			for _, id := range st.fragMatchIDs(f) {
+				st.removeMatch(id)
+			}
+			// Prepare the target window.
+			freed := st.prepare(g, wLo, wHi)
+
+			// Best placement of f inside the prepared window.
+			zoneWord := st.in.Frag(g.Sp, g.Idx).Regions[wLo:wHi]
+			sigma := st.sigmaFor(f.Sp)
+			xw := st.in.Frag(f.Sp, f.Idx).Regions
+			bestScore, bestRev := 0.0, false
+			var best align.Placement
+			for o := 0; o < 2; o++ {
+				rev := o == 1
+				if p, ok := align.BestPlacement(xw.Orient(rev), zoneWord, sigma, 0); ok && p.Score > bestScore {
+					best, bestScore, bestRev = p, p.Score, rev
+				}
+			}
+			if bestScore <= 0 {
+				return st.score() - before // preparation-only "attempt" (never accepted)
+			}
+			mt := st.mkMatch(f, bestRev, g, wLo+best.Lo, wLo+best.Hi)
+			st.addMatch(mt)
+
+			// TPA on the window remnants, then on freed partner sites.
+			st.tpa([]core.Site{
+				{Species: g.Sp, Frag: g.Idx, Lo: wLo, Hi: wLo + best.Lo},
+				{Species: g.Sp, Frag: g.Idx, Lo: wLo + best.Hi, Hi: wHi},
+			})
+			st.tpa(freed)
+			return st.score() - before
+		},
+	}
+}
+
+// end identifies a fragment end for border matches.
+type end int
+
+const (
+	leftEnd  end = 0
+	rightEnd end = 1
+)
+
+func (e end) String() string {
+	if e == leftEnd {
+		return "L"
+	}
+	return "R"
+}
+
+// i2Attempt builds the Border CSR improvement method I2 of §4.3/§4.4:
+// prepare end windows on f and g (breaking their 2-islands), form the
+// border match joining fEnd of f to gEnd of g, then run TPA on the inner
+// remnants and freed partner sites. The relative orientation is forced by
+// the end combination (same ends ⇒ reversed), mirroring the Fig. 8 rule.
+//
+// fw and gw give how deep the prepared windows reach into each fragment
+// (wf regions from the chosen end).
+func i2Attempt(f core.FragRef, fe end, fw int, g core.FragRef, ge end, gw int) attempt {
+	return attempt{
+		kind: "I2",
+		desc: fmt.Sprintf("I2(%v.%v:%d↔%v.%v:%d)", f, fe, fw, g, ge, gw),
+		run: func(st *state) float64 {
+			before := st.score()
+			st.locked[f] = true
+			st.locked[g] = true
+			defer delete(st.locked, f)
+			defer delete(st.locked, g)
+
+			nf := st.in.Frag(f.Sp, f.Idx).Len()
+			ng := st.in.Frag(g.Sp, g.Idx).Len()
+			fLo, fHi := windowAt(fe, fw, nf)
+			gLo, gHi := windowAt(ge, gw, ng)
+
+			freed := st.prepare(f, fLo, fHi)
+			freed = append(freed, st.prepare(g, gLo, gHi)...)
+			// Multi-edge guard: a conjecture pair merges two matches
+			// between the same fragments into one, so any surviving f–g
+			// match must yield to the new link. Its sites become zones.
+			for _, id := range st.fragMatchIDs(f) {
+				mt := st.matches[id]
+				if mt.Side(g.Sp).Frag == g.Idx {
+					st.removeMatch(id)
+					freed = append(freed, mt.HSite, mt.MSite)
+				}
+			}
+
+			// Border alignment: orient g's window relative to f per the
+			// end rule, then claim sites from the outermost scoring
+			// columns to the fragment ends.
+			rev := fe == ge
+			fWord := st.in.Frag(f.Sp, f.Idx).Regions[fLo:fHi]
+			gWord := st.in.Frag(g.Sp, g.Idx).Regions[gLo:gHi]
+			sigma := st.sigmaFor(f.Sp)
+			sc, cols := align.Align(fWord, gWord.Orient(rev), sigma)
+			if sc <= 0 || len(cols) == 0 {
+				return st.score() - before
+			}
+			fSpanLo, fSpanHi := fLo+cols[0].I, fLo+cols[len(cols)-1].I+1
+			gj0, gj1 := cols[0].J, cols[len(cols)-1].J
+			if rev {
+				gj0, gj1 = (gHi-gLo)-1-gj1, (gHi-gLo)-1-gj0
+			}
+			gSpanLo, gSpanHi := gLo+gj0, gLo+gj1+1
+			// Extend claims to the fragment ends (the chain link must be
+			// outermost; dangling tails are junk no other match may use).
+			fSite := claimToEnd(fe, fSpanLo, fSpanHi, nf)
+			gSite := claimToEnd(ge, gSpanLo, gSpanHi, ng)
+
+			var mt core.Match
+			fs := core.Site{Species: f.Sp, Frag: f.Idx, Lo: fSite[0], Hi: fSite[1]}
+			gs := core.Site{Species: g.Sp, Frag: g.Idx, Lo: gSite[0], Hi: gSite[1]}
+			if f.Sp == core.SpeciesH {
+				mt = core.Match{HSite: fs, MSite: gs, Rev: rev}
+			} else {
+				mt = core.Match{HSite: gs, MSite: fs, Rev: rev}
+			}
+			mt.Score = align.Score(st.in.SiteWord(mt.HSite), st.in.SiteWord(mt.MSite).Orient(mt.Rev), st.in.Sigma)
+			st.addMatch(mt)
+
+			// TPA on the inner remnants (window minus claimed site) and
+			// the freed partner sites.
+			var zones []core.Site
+			if fe == rightEnd && fSite[0] > fLo {
+				zones = append(zones, core.Site{Species: f.Sp, Frag: f.Idx, Lo: fLo, Hi: fSite[0]})
+			}
+			if fe == leftEnd && fSite[1] < fHi {
+				zones = append(zones, core.Site{Species: f.Sp, Frag: f.Idx, Lo: fSite[1], Hi: fHi})
+			}
+			if ge == rightEnd && gSite[0] > gLo {
+				zones = append(zones, core.Site{Species: g.Sp, Frag: g.Idx, Lo: gLo, Hi: gSite[0]})
+			}
+			if ge == leftEnd && gSite[1] < gHi {
+				zones = append(zones, core.Site{Species: g.Sp, Frag: g.Idx, Lo: gSite[1], Hi: gHi})
+			}
+			st.tpa(zones)
+			st.tpa(freed)
+			return st.score() - before
+		},
+	}
+}
+
+func windowAt(e end, depth, n int) (int, int) {
+	if depth > n {
+		depth = n
+	}
+	if e == leftEnd {
+		return 0, depth
+	}
+	return n - depth, n
+}
+
+func claimToEnd(e end, spanLo, spanHi, n int) [2]int {
+	if e == leftEnd {
+		return [2]int{0, spanHi}
+	}
+	return [2]int{spanLo, n}
+}
+
+// i3Attempt rewires a 2-island (§4.3 method I3): break the chain match
+// joining f and g, then greedily run the best I2 attempt for f (excluding
+// g as partner) followed by the best I2 attempt for g (excluding f). The
+// compound gain is evaluated atomically, capturing the cases where
+// breaking the island only pays off when both ends are re-linked.
+func i3Attempt(f, g core.FragRef, chainID int, candidates func(st *state, x core.FragRef, exclude core.FragRef) []attempt) attempt {
+	return attempt{
+		kind: "I3",
+		desc: fmt.Sprintf("I3(%v~%v)", f, g),
+		run: func(st *state) float64 {
+			before := st.score()
+			if _, ok := st.matches[chainID]; !ok {
+				return 0
+			}
+			st.removeMatch(chainID)
+			for _, x := range []core.FragRef{f, g} {
+				exclude := g
+				if x == g {
+					exclude = f
+				}
+				bestGain, applied := 0.0, false
+				var bestAt attempt
+				for _, at := range candidates(st, x, exclude) {
+					sim := st.clone()
+					gain := at.run(sim)
+					if gain > bestGain {
+						bestGain, bestAt, applied = gain, at, true
+					}
+				}
+				if applied {
+					bestAt.run(st)
+				}
+			}
+			return st.score() - before
+		},
+	}
+}

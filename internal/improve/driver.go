@@ -1,0 +1,340 @@
+package improve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/align"
+	"repro/internal/core"
+	"repro/internal/onecsr"
+	"repro/internal/score"
+)
+
+// Methods selects which improvement methods the driver uses.
+type Methods int
+
+const (
+	// FullOnly runs I1 only — the Full_Improve algorithm (Theorem 4).
+	FullOnly Methods = 1 << iota
+	// BorderOnly runs I2 and I3 — the Border_Improve algorithm (Theorem 5).
+	BorderOnly
+	// AllMethods runs I1, I2 and I3 — the CSR_Improve algorithm (Theorem 6).
+	AllMethods = FullOnly | BorderOnly
+)
+
+// Options configures the iterative-improvement driver.
+type Options struct {
+	// Methods defaults to AllMethods.
+	Methods Methods
+	// Eps tunes the §4.1 scaling threshold: gains must exceed
+	// Eps·X/k where X is the 4-approximate score and k the match bound
+	// (the paper's X/k² with k replaced by k/Eps; Eps=0 accepts every
+	// positive gain — exact local optimum, no polynomial bound).
+	Eps float64
+	// Seed is the starting solution; nil starts empty (as in the paper).
+	Seed *core.Solution
+	// SeedWithFourApprox starts from the Corollary 1 solution instead of
+	// the empty set; never worse, often much faster to converge.
+	SeedWithFourApprox bool
+	// MaxRounds caps the improvement iterations (safety net; 0 = 4k²+k).
+	MaxRounds int
+	// Workers parallelizes candidate gain evaluation; < 1 means 1.
+	Workers int
+	// Quantize applies the literal §4.1 scaling: run the search under a
+	// scorer truncated to multiples of X/k² (X the 4-approximate score, k
+	// the match bound), then re-score the result under the true σ. Every
+	// accepted improvement then gains at least one quantum, limiting
+	// improvements to 4k² without any gain threshold.
+	Quantize bool
+	// CheckInvariants validates consistency after every accepted attempt
+	// (slow; for tests).
+	CheckInvariants bool
+}
+
+// Stats reports how an improvement run went.
+type Stats struct {
+	Rounds    int
+	Evaluated int
+	Accepted  int
+	Threshold float64
+	Final     float64
+}
+
+// Improve runs the selected iterative-improvement algorithm to a local
+// optimum (all attempts gain ≤ threshold) and returns the resulting
+// consistent solution.
+func Improve(in *core.Instance, opt Options) (*core.Solution, Stats, error) {
+	var stats Stats
+	if err := in.Validate(); err != nil {
+		return nil, stats, err
+	}
+	if opt.Methods == 0 {
+		opt.Methods = AllMethods
+	}
+	workers := opt.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	seed := opt.Seed
+	var baseline float64
+	if fa, err := onecsr.FourApprox(in); err == nil {
+		baseline = fa.Score()
+		if opt.SeedWithFourApprox && seed == nil {
+			seed = fa
+		}
+	}
+	k := in.MaxMatches()
+	if k < 1 {
+		k = 1
+	}
+	if opt.Eps > 0 && baseline > 0 {
+		stats.Threshold = opt.Eps * baseline / float64(k)
+	}
+	if opt.Quantize && baseline > 0 {
+		unit := baseline / float64(k*k)
+		shadow := *in
+		shadow.Sigma = score.Quantized{Base: in.Sigma, Unit: unit}
+		// Solve under truncated scores (the seed's caches must be
+		// re-truncated), then re-score the result under the true σ.
+		qopt := opt
+		qopt.Quantize = false
+		if qopt.Seed == nil && seed != nil {
+			qopt.Seed = seed
+		}
+		qopt.SeedWithFourApprox = false
+		if qopt.Seed != nil {
+			qopt.Seed = rescore(&shadow, qopt.Seed)
+		}
+		sol, qstats, err := Improve(&shadow, qopt)
+		if err != nil {
+			return nil, qstats, err
+		}
+		sol = rescore(in, sol)
+		qstats.Final = sol.Score()
+		qstats.Threshold = unit
+		return sol, qstats, nil
+	}
+	maxRounds := opt.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = 4*k*k + k + 16
+	}
+
+	st := newState(in, seed)
+	for stats.Rounds = 0; stats.Rounds < maxRounds; stats.Rounds++ {
+		cands := enumerate(st, opt.Methods)
+		stats.Evaluated += len(cands)
+		bestIdx, bestGain := -1, stats.Threshold
+		if workers == 1 || len(cands) < 2 {
+			for i, at := range cands {
+				sim := st.clone()
+				if g := at.run(sim); g > bestGain {
+					bestIdx, bestGain = i, g
+				}
+			}
+		} else {
+			gains := make([]float64, len(cands))
+			var wg sync.WaitGroup
+			next := make(chan int, len(cands))
+			for i := range cands {
+				next <- i
+			}
+			close(next)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := range next {
+						sim := st.clone()
+						gains[i] = cands[i].run(sim)
+					}
+				}()
+			}
+			wg.Wait()
+			for i, g := range gains {
+				if g > bestGain {
+					bestIdx, bestGain = i, g
+				}
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		got := cands[bestIdx].run(st)
+		stats.Accepted++
+		if diff := got - bestGain; diff > 1e-6*(1+bestGain) || diff < -1e-6*(1+bestGain) {
+			return nil, stats, fmt.Errorf("improve: %s replayed gain %v != simulated %v",
+				cands[bestIdx].desc, got, bestGain)
+		}
+		if opt.CheckInvariants {
+			sol := st.solution()
+			if err := sol.Validate(in); err != nil {
+				return nil, stats, fmt.Errorf("improve: after %s: %w", cands[bestIdx].desc, err)
+			}
+			if _, err := sol.BuildConjecture(in); err != nil {
+				return nil, stats, fmt.Errorf("improve: after %s: inconsistent solution: %w", cands[bestIdx].desc, err)
+			}
+		}
+	}
+	sol := st.solution()
+	stats.Final = sol.Score()
+	return sol, stats, nil
+}
+
+// rescore refreshes every cached match score under the instance's σ.
+func rescore(in *core.Instance, sol *core.Solution) *core.Solution {
+	out := sol.Clone()
+	for i := range out.Matches {
+		mt := &out.Matches[i]
+		mt.Score = align.Score(in.SiteWord(mt.HSite), in.SiteWord(mt.MSite).Orient(mt.Rev), in.Sigma)
+	}
+	return out
+}
+
+// enumerate generates the candidate attempts for the current state.
+func enumerate(st *state, methods Methods) []attempt {
+	var out []attempt
+	if methods&FullOnly != 0 {
+		out = append(out, i1Candidates(st)...)
+	}
+	if methods&BorderOnly != 0 {
+		out = append(out, i2Candidates(st, core.FragRef{Idx: -1}, core.FragRef{Idx: -1})...)
+		out = append(out, i3Candidates(st)...)
+	}
+	return out
+}
+
+// i1Candidates proposes I1 attempts: every fragment f against every
+// preparable window on every opposite-species fragment g. Windows are the
+// maximal free gaps of g, optionally extended over the neighbouring match
+// site on each side (triggering restriction), and the whole fragment.
+func i1Candidates(st *state) []attempt {
+	var out []attempt
+	for _, sp := range []core.Species{core.SpeciesH, core.SpeciesM} {
+		for fi := 0; fi < st.in.NumFrags(sp); fi++ {
+			f := core.FragRef{Sp: sp, Idx: fi}
+			osp := sp.Other()
+			for gi := 0; gi < st.in.NumFrags(osp); gi++ {
+				g := core.FragRef{Sp: osp, Idx: gi}
+				for _, w := range targetWindows(st, g) {
+					out = append(out, i1Attempt(f, g, w[0], w[1]))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// targetWindows lists candidate preparation windows on fragment g: free
+// gaps, gaps extended across one neighbouring site per side, and the whole
+// fragment. All windows have endpoints on site boundaries, hence are never
+// hidden.
+func targetWindows(st *state, g core.FragRef) [][2]int {
+	n := st.in.Frag(g.Sp, g.Idx).Len()
+	sites := st.sitesOn(g)
+	set := map[[2]int]bool{{0, n}: true}
+	for _, gap := range st.freeGaps(g) {
+		set[gap] = true
+		lo, hi := gap[0], gap[1]
+		// Extend across the neighbouring sites, when they exist.
+		for _, s := range sites {
+			if s.Hi == lo {
+				set[[2]int{s.Lo, hi}] = true
+			}
+			if s.Lo == hi {
+				set[[2]int{lo, s.Hi}] = true
+			}
+		}
+	}
+	out := make([][2]int, 0, len(set))
+	for w := range set {
+		if w[0] < w[1] {
+			out = append(out, w)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a][0] != out[b][0] {
+			return out[a][0] < out[b][0]
+		}
+		return out[a][1] < out[b][1]
+	})
+	return out
+}
+
+// i2Candidates proposes I2 attempts. When only (exclude filters) a specific
+// fragment x is wanted (the I3 rewiring case), pass x via the only
+// parameter; otherwise pass Idx:-1 sentinels to enumerate all pairs.
+// Window depths per end: the maximal free depth (no tearing) and the whole
+// fragment (tear everything on that side).
+func i2Candidates(st *state, only core.FragRef, exclude core.FragRef) []attempt {
+	var out []attempt
+	for fi := 0; fi < st.in.NumFrags(core.SpeciesH); fi++ {
+		f := core.FragRef{Sp: core.SpeciesH, Idx: fi}
+		if only.Idx >= 0 && only.Sp == core.SpeciesH && only.Idx != fi {
+			continue
+		}
+		if exclude.Idx >= 0 && exclude == f {
+			continue
+		}
+		for gi := 0; gi < st.in.NumFrags(core.SpeciesM); gi++ {
+			g := core.FragRef{Sp: core.SpeciesM, Idx: gi}
+			if only.Idx >= 0 && only.Sp == core.SpeciesM && only.Idx != gi {
+				continue
+			}
+			if exclude.Idx >= 0 && exclude == g {
+				continue
+			}
+			for _, fe := range []end{leftEnd, rightEnd} {
+				for _, ge := range []end{leftEnd, rightEnd} {
+					for _, fw := range endDepths(st, f, fe) {
+						for _, gw := range endDepths(st, g, ge) {
+							out = append(out, i2Attempt(f, fe, fw, g, ge, gw))
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// endDepths returns the candidate window depths at one end of a fragment:
+// the free depth up to the outermost match (when positive) and the full
+// length.
+func endDepths(st *state, fr core.FragRef, e end) []int {
+	n := st.in.Frag(fr.Sp, fr.Idx).Len()
+	sites := st.sitesOn(fr)
+	free := n
+	if len(sites) > 0 {
+		if e == leftEnd {
+			free = sites[0].Lo
+		} else {
+			free = n - sites[len(sites)-1].Hi
+		}
+	}
+	if free > 0 && free < n {
+		return []int{free, n}
+	}
+	return []int{n}
+}
+
+// i3Candidates proposes one I3 rewiring per current 2-island.
+func i3Candidates(st *state) []attempt {
+	var out []attempt
+	seen := map[int]bool{}
+	for fi := 0; fi < st.in.NumFrags(core.SpeciesH); fi++ {
+		f := core.FragRef{Sp: core.SpeciesH, Idx: fi}
+		for _, id := range st.chainMatchIDs(f) {
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			mt := st.matches[id]
+			g := core.FragRef{Sp: core.SpeciesM, Idx: mt.MSite.Frag}
+			out = append(out, i3Attempt(f, g, id, func(s *state, x core.FragRef, excl core.FragRef) []attempt {
+				return i2Candidates(s, x, excl)
+			}))
+		}
+	}
+	return out
+}

@@ -1,0 +1,32 @@
+package improve
+
+import (
+	"repro/internal/score"
+	"repro/internal/symbol"
+)
+
+func newAlphabetWith(names ...string) *symbol.Alphabet {
+	al := symbol.NewAlphabet()
+	for _, n := range names {
+		al.Intern(n)
+	}
+	return al
+}
+
+func newTableWith(al *symbol.Alphabet, entries [][3]any) *score.Table {
+	tb := score.NewTable()
+	for _, e := range entries {
+		a, _ := al.ParseSymbol(e[0].(string))
+		b, _ := al.ParseSymbol(e[1].(string))
+		tb.Set(a, b, e[2].(float64))
+	}
+	return tb
+}
+
+func wordOf(al *symbol.Alphabet, text string) symbol.Word {
+	w, err := al.ParseWord(text)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}

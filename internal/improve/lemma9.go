@@ -1,0 +1,46 @@
+package improve
+
+import (
+	"repro/internal/align"
+	"repro/internal/bipartite"
+	"repro/internal/core"
+)
+
+// MatchingTwoApprox is the Lemma 9 algorithm for Border CSR: the optimum's
+// solution graph has degree ≤ 2, so its edges split into two matchings, one
+// of which carries half the score; a maximum-weight matching over
+// whole-fragment pairs (w{h,m} = MS(h,m), full sites, best orientation)
+// therefore earns at least half the Border CSR optimum. The result is a set
+// of disjoint full–full matches — trivially consistent.
+func MatchingTwoApprox(in *core.Instance) (*core.Solution, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	weights := make([][]float64, len(in.H))
+	revs := make([][]bool, len(in.H))
+	for hi := range in.H {
+		weights[hi] = make([]float64, len(in.M))
+		revs[hi] = make([]bool, len(in.M))
+		for mi := range in.M {
+			sc, rev := align.BestOrient(in.H[hi].Regions, in.M[mi].Regions, in.Sigma)
+			if sc > 0 {
+				weights[hi][mi] = sc
+				revs[hi][mi] = rev
+			}
+		}
+	}
+	matchL, _ := bipartite.MaxWeightMatching(weights)
+	sol := &core.Solution{}
+	for hi, mi := range matchL {
+		if mi < 0 {
+			continue
+		}
+		sol.Matches = append(sol.Matches, core.Match{
+			HSite: core.Site{Species: core.SpeciesH, Frag: hi, Lo: 0, Hi: in.H[hi].Len()},
+			MSite: core.Site{Species: core.SpeciesM, Frag: mi, Lo: 0, Hi: in.M[mi].Len()},
+			Rev:   revs[hi][mi],
+			Score: weights[hi][mi],
+		})
+	}
+	return sol, nil
+}

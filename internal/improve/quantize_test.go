@@ -1,0 +1,84 @@
+package improve
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+func TestQuantizedScalingPaperExample(t *testing.T) {
+	in := core.PaperExample()
+	sol, stats, err := Improve(in, Options{Quantize: true, CheckInvariants: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sol.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	if !sol.IsConsistent(in) {
+		t.Fatal("quantized run inconsistent")
+	}
+	// Scores are integers here, so quantization is harmless: optimum 11.
+	if sol.Score() != 11 {
+		t.Fatalf("quantized score %v, want 11", sol.Score())
+	}
+	if stats.Threshold <= 0 {
+		t.Fatal("quantum not reported")
+	}
+}
+
+func TestFullImproveProducesOnlyFullMatches(t *testing.T) {
+	// Full CSR restricts legal solutions to full matches; I1 from an empty
+	// start must respect that (the plug and every TPA fill use a full
+	// site, and restriction keeps the satellite side full).
+	for seed := int64(40); seed < 46; seed++ {
+		cfg := gen.DefaultConfig(seed)
+		cfg.Regions = 25
+		w := gen.Generate(cfg)
+		sol, _, err := Improve(w.Instance, Options{Methods: FullOnly})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mt := range sol.Matches {
+			if w.Instance.KindOf(mt) != core.FullMatch {
+				t.Fatalf("seed %d: Full_Improve produced a %v match %v/%v",
+					seed, w.Instance.KindOf(mt), mt.HSite, mt.MSite)
+			}
+		}
+	}
+}
+
+func TestQuantizedScalingWorkloads(t *testing.T) {
+	for seed := int64(30); seed < 34; seed++ {
+		cfg := gen.DefaultConfig(seed)
+		cfg.Regions = 30
+		w := gen.Generate(cfg)
+		qsol, qstats, err := Improve(w.Instance, Options{
+			Quantize: true, SeedWithFourApprox: true, CheckInvariants: true,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !qsol.IsConsistent(w.Instance) {
+			t.Fatalf("seed %d: inconsistent", seed)
+		}
+		plain, _, err := Improve(w.Instance, Options{
+			Eps: 0.05, SeedWithFourApprox: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Quantization underestimates by at most X/k per the §4.1 analysis;
+		// in practice the results track the thresholded variant closely.
+		if qsol.Score() < 0.9*plain.Score() {
+			t.Fatalf("seed %d: quantized %v far below thresholded %v",
+				seed, qsol.Score(), plain.Score())
+		}
+		// The scaling bound: accepted improvements ≤ 4k² (loose check).
+		k := w.Instance.MaxMatches()
+		if qstats.Accepted > 4*k*k {
+			t.Fatalf("seed %d: %d improvements above the 4k² bound", seed, qstats.Accepted)
+		}
+	}
+}

@@ -1,0 +1,308 @@
+// Package improve implements the paper's primary contribution (§4): the
+// iterative-improvement approximation algorithms for CSR.
+//
+//   - Full_Improve   (method I1, Theorem 4, ratio 3+ε for Full CSR)
+//   - Border_Improve (methods I2/I3, Theorem 5, ratio 3+ε for Border CSR)
+//   - CSR_Improve    (all methods, Theorem 6, ratio 3+ε for general CSR)
+//
+// The algorithms maintain a consistent set of matches (1- and 2-islands
+// only), repeatedly evaluating improvement attempts — plugging a fragment
+// into a prepared site (I1), forming a border match between two fragment
+// ends (I2), or rewiring a 2-island (I3) — each followed by TPA runs (the
+// ratio-2 two-phase interval-selection algorithm) over the zones the
+// preparation exposed. Iteration counts are bounded by the
+// Chandra–Halldórsson scaling rule of §4.1: only gains above X/k² are
+// accepted, where X is a 4-approximate score and k bounds the match count.
+package improve
+
+import (
+	"sort"
+
+	"repro/internal/align"
+	"repro/internal/core"
+	"repro/internal/score"
+	"repro/internal/symbol"
+)
+
+// state is the solver's working solution: a set of live matches keyed by
+// stable IDs, plus fragments locked by the improvement attempt currently
+// being simulated.
+type state struct {
+	in      *core.Instance
+	matches map[int]core.Match
+	nextID  int
+	locked  map[core.FragRef]bool
+}
+
+func newState(in *core.Instance, seed *core.Solution) *state {
+	st := &state{
+		in:      in,
+		matches: make(map[int]core.Match),
+		locked:  make(map[core.FragRef]bool),
+	}
+	if seed != nil {
+		for _, mt := range seed.Matches {
+			st.matches[st.nextID] = mt
+			st.nextID++
+		}
+	}
+	return st
+}
+
+func (st *state) clone() *state {
+	c := &state{
+		in:      st.in,
+		matches: make(map[int]core.Match, len(st.matches)),
+		nextID:  st.nextID,
+		locked:  make(map[core.FragRef]bool, len(st.locked)),
+	}
+	for id, mt := range st.matches {
+		c.matches[id] = mt
+	}
+	for fr := range st.locked {
+		c.locked[fr] = true
+	}
+	return c
+}
+
+// score sums in sorted-ID order so that a simulation and its replay (which
+// allocate identical IDs) produce bit-identical totals.
+func (st *state) score() float64 {
+	t := 0.0
+	for _, id := range st.matchIDs() {
+		t += st.matches[id].Score
+	}
+	return t
+}
+
+func (st *state) solution() *core.Solution {
+	ids := st.matchIDs()
+	sol := &core.Solution{Matches: make([]core.Match, 0, len(ids))}
+	for _, id := range ids {
+		sol.Matches = append(sol.Matches, st.matches[id])
+	}
+	return sol
+}
+
+// matchIDs returns the live match IDs in deterministic order.
+func (st *state) matchIDs() []int {
+	ids := make([]int, 0, len(st.matches))
+	for id := range st.matches {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+func (st *state) addMatch(mt core.Match) int {
+	id := st.nextID
+	st.nextID++
+	st.matches[id] = mt
+	return id
+}
+
+// fragMatchIDs returns the IDs of matches touching fragment fr, sorted by
+// site position.
+func (st *state) fragMatchIDs(fr core.FragRef) []int {
+	var ids []int
+	for id, mt := range st.matches {
+		if mt.Side(fr.Sp).Frag == fr.Idx {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		sa := st.matches[ids[a]].Side(fr.Sp).Lo
+		sb := st.matches[ids[b]].Side(fr.Sp).Lo
+		if sa != sb {
+			return sa < sb
+		}
+		return ids[a] < ids[b]
+	})
+	return ids
+}
+
+func (st *state) degree(fr core.FragRef) int {
+	n := 0
+	for _, mt := range st.matches {
+		if mt.Side(fr.Sp).Frag == fr.Idx {
+			n++
+		}
+	}
+	return n
+}
+
+// contribution is Cb(f, S): the total score of matches touching fr.
+// Summation follows sorted match IDs for bit-stable float totals.
+func (st *state) contribution(fr core.FragRef) float64 {
+	t := 0.0
+	for _, id := range st.fragMatchIDs(fr) {
+		t += st.matches[id].Score
+	}
+	return t
+}
+
+// chainMatchIDs returns fr's matches whose both fragments participate in
+// ≥ 2 matches — the 2-island links.
+func (st *state) chainMatchIDs(fr core.FragRef) []int {
+	var out []int
+	for _, id := range st.fragMatchIDs(fr) {
+		mt := st.matches[id]
+		h := core.FragRef{Sp: core.SpeciesH, Idx: mt.HSite.Frag}
+		m := core.FragRef{Sp: core.SpeciesM, Idx: mt.MSite.Frag}
+		if st.degree(h) >= 2 && st.degree(m) >= 2 {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// sitesOn returns the sites occupied on fragment fr, sorted.
+func (st *state) sitesOn(fr core.FragRef) []core.Site {
+	ids := st.fragMatchIDs(fr)
+	out := make([]core.Site, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, st.matches[id].Side(fr.Sp))
+	}
+	return out
+}
+
+// freeGaps returns the maximal unoccupied intervals of fragment fr.
+func (st *state) freeGaps(fr core.FragRef) [][2]int {
+	n := st.in.Frag(fr.Sp, fr.Idx).Len()
+	var out [][2]int
+	pos := 0
+	for _, s := range st.sitesOn(fr) {
+		if s.Lo > pos {
+			out = append(out, [2]int{pos, s.Lo})
+		}
+		pos = s.Hi
+	}
+	if pos < n {
+		out = append(out, [2]int{pos, n})
+	}
+	return out
+}
+
+// clipFree intersects [lo, hi) on fr with the free space, returning the
+// free sub-intervals.
+func (st *state) clipFree(fr core.FragRef, lo, hi int) [][2]int {
+	var out [][2]int
+	for _, g := range st.freeGaps(fr) {
+		a, b := max(g[0], lo), min(g[1], hi)
+		if a < b {
+			out = append(out, [2]int{a, b})
+		}
+	}
+	return out
+}
+
+// sigmaFor returns a scorer whose first argument is a word of species sp —
+// the instance's σ for H, the transposed σ for M.
+func (st *state) sigmaFor(sp core.Species) score.Scorer {
+	if sp == core.SpeciesH {
+		return st.in.Sigma
+	}
+	return transposed{st.in.Sigma}
+}
+
+type transposed struct{ base score.Scorer }
+
+func (t transposed) Score(a, b symbol.Symbol) float64 { return t.base.Score(b, a) }
+
+// mkMatch builds a match pairing the full fragment x against the window
+// [lo, hi) of fragment z of the other species, with x oriented by rev.
+// The cached score is recomputed canonically.
+func (st *state) mkMatch(x core.FragRef, rev bool, z core.FragRef, lo, hi int) core.Match {
+	xSite := core.Site{Species: x.Sp, Frag: x.Idx, Lo: 0, Hi: st.in.Frag(x.Sp, x.Idx).Len()}
+	zSite := core.Site{Species: z.Sp, Frag: z.Idx, Lo: lo, Hi: hi}
+	var mt core.Match
+	if x.Sp == core.SpeciesH {
+		mt = core.Match{HSite: xSite, MSite: zSite, Rev: rev}
+	} else {
+		mt = core.Match{HSite: zSite, MSite: xSite, Rev: rev}
+	}
+	mt.Score = align.Score(st.in.SiteWord(mt.HSite), st.in.SiteWord(mt.MSite).Orient(mt.Rev), st.in.Sigma)
+	return mt
+}
+
+// removeMatch deletes a match and returns it.
+func (st *state) removeMatch(id int) core.Match {
+	mt := st.matches[id]
+	delete(st.matches, id)
+	return mt
+}
+
+// otherSite returns the site of match mt on the species opposite to sp.
+func otherSite(mt core.Match, sp core.Species) core.Site {
+	return mt.Side(sp.Other())
+}
+
+// prepare makes the window [lo, hi) on fragment fr usable for a new match,
+// following the §4.2/§4.3 preparation rules:
+//
+//   - if fr is the multiple fragment of a 2-island, the island is broken
+//     first (its chain matches are removed);
+//   - a satellite match — the partner plugged in with a full site — that
+//     overlaps the window is restricted on fr's side to the part outside
+//     the window and re-scored (the paper's Mult(S) rule; the satellite
+//     keeps its full site, so the island stays a caterpillar);
+//   - any other overlapping match (the partner side is not full, so
+//     restricting fr's side would leave a match with no full or border
+//     structure) is removed outright, mirroring the paper's Simp(S)
+//     "detach" rule.
+//
+// It returns the partner sites freed by removals — the TPA zones of the
+// calling improvement method. Preparing a hidden window is the caller's
+// responsibility to avoid; windows bounded by existing site endpoints are
+// never hidden.
+func (st *state) prepare(fr core.FragRef, lo, hi int) (freed []core.Site) {
+	for _, id := range st.fragMatchIDs(fr) {
+		mt := st.matches[id]
+		s := mt.Side(fr.Sp)
+		partner := otherSite(mt, fr.Sp)
+		partnerFull := st.in.Kind(partner) == core.KindFull
+		myFull := st.in.Kind(s) == core.KindFull
+		if !partnerFull && !myFull {
+			// Border match: remove regardless of overlap — the general
+			// form of the paper's "break the 2-island first" rule. Border
+			// claims may only ever exist at a fragment's extremes, and a
+			// fragment being rewired must shed them so the new link is its
+			// only claim on that end structure.
+			st.removeMatch(id)
+			freed = append(freed, partner)
+			continue
+		}
+		if s.Hi <= lo || hi <= s.Lo {
+			continue // disjoint from the window
+		}
+		if !partnerFull || (lo <= s.Lo && s.Hi <= hi) {
+			st.removeMatch(id)
+			freed = append(freed, partner)
+			continue
+		}
+		// Partial overlap with a plugged-in satellite: restrict fr's side
+		// to the part outside the window. The window is never strictly
+		// inside the site (callers use site-boundary windows), so the
+		// remainder is one interval.
+		ns := s
+		if s.Lo < lo {
+			ns.Hi = lo
+		} else {
+			ns.Lo = hi
+		}
+		if ns.Lo >= ns.Hi {
+			st.removeMatch(id)
+			freed = append(freed, partner)
+			continue
+		}
+		mt.SetSide(fr.Sp, ns)
+		mt.Score = align.Score(st.in.SiteWord(mt.HSite), st.in.SiteWord(mt.MSite).Orient(mt.Rev), st.in.Sigma)
+		if mt.Score <= 0 {
+			st.removeMatch(id)
+			freed = append(freed, partner)
+			continue
+		}
+		st.matches[id] = mt
+	}
+	return freed
+}

@@ -1,0 +1,153 @@
+package improve
+
+import (
+	"sort"
+
+	"repro/internal/align"
+	"repro/internal/core"
+	"repro/internal/isp"
+)
+
+// tpa is the TPA(B, S) subroutine of §4.2: given a batch of zones (sites
+// whose space is available), it builds the interval-selection instance with
+// profit p(x, m̄) = MS(x, m̄) − Cb(x, S) over every candidate fragment of
+// the opposite species and every Pareto-optimal placement inside every
+// zone, runs the ratio-2 two-phase algorithm, and applies the selected
+// matches: each selected fragment is detached from its current matches and
+// plugged in full into its window. Locked fragments never participate.
+//
+// Zones are clipped against the current occupation first, so freed sites
+// can be passed verbatim. Returns the net score change.
+//
+// Zones of the two species are processed as two sequential batches (H-side
+// zones first): within one batch all new matches plug an opposite-species
+// fragment in full, so a batch can never place a window onto a fragment
+// that simultaneously receives a full-site match.
+func (st *state) tpa(zones []core.Site) float64 {
+	var hz, mz []core.Site
+	for _, z := range zones {
+		if z.Species == core.SpeciesH {
+			hz = append(hz, z)
+		} else {
+			mz = append(mz, z)
+		}
+	}
+	gain := 0.0
+	if len(hz) > 0 {
+		gain += st.tpaBatch(hz)
+	}
+	if len(mz) > 0 {
+		gain += st.tpaBatch(mz)
+	}
+	return gain
+}
+
+// tpaBatch runs one single-species TPA batch.
+func (st *state) tpaBatch(zones []core.Site) float64 {
+	type zoneRec struct {
+		fr   core.FragRef
+		lo   int
+		hi   int
+		base int // ISP coordinate offset
+	}
+	var zrs []zoneRec
+	base := 0
+	for _, z := range zones {
+		fr := core.FragRef{Sp: z.Species, Idx: z.Frag}
+		for _, g := range st.clipFree(fr, z.Lo, z.Hi) {
+			zrs = append(zrs, zoneRec{fr: fr, lo: g[0], hi: g[1], base: base})
+			base += g[1] - g[0] + 1
+		}
+	}
+	if len(zrs) == 0 {
+		return 0
+	}
+	// Merge duplicate zone records (two freed sites may clip to the same
+	// gap).
+	sort.Slice(zrs, func(a, b int) bool {
+		if zrs[a].fr != zrs[b].fr {
+			if zrs[a].fr.Sp != zrs[b].fr.Sp {
+				return zrs[a].fr.Sp < zrs[b].fr.Sp
+			}
+			return zrs[a].fr.Idx < zrs[b].fr.Idx
+		}
+		return zrs[a].lo < zrs[b].lo
+	})
+	dedup := zrs[:0]
+	for _, z := range zrs {
+		if len(dedup) > 0 {
+			last := dedup[len(dedup)-1]
+			if last.fr == z.fr && last.lo == z.lo && last.hi == z.hi {
+				continue
+			}
+		}
+		dedup = append(dedup, z)
+	}
+	zrs = dedup
+
+	type cand struct {
+		x      core.FragRef
+		rev    bool
+		zone   int // index into zrs
+		lo, hi int // window within the zone's fragment (absolute)
+		score  float64
+	}
+	var cands []cand
+	var intervals []isp.Interval
+	jobOf := func(fr core.FragRef) int {
+		return int(fr.Sp)*max(len(st.in.H), len(st.in.M)) + fr.Idx
+	}
+	for zi, z := range zrs {
+		sp := z.fr.Sp.Other()
+		zoneWord := st.in.Frag(z.fr.Sp, z.fr.Idx).Regions[z.lo:z.hi]
+		sigma := st.sigmaFor(sp)
+		for xi := 0; xi < st.in.NumFrags(sp); xi++ {
+			x := core.FragRef{Sp: sp, Idx: xi}
+			if st.locked[x] {
+				continue
+			}
+			cb := st.contribution(x)
+			xw := st.in.Frag(sp, xi).Regions
+			for o := 0; o < 2; o++ {
+				rev := o == 1
+				for _, p := range align.Placements(xw.Orient(rev), zoneWord, sigma, 0) {
+					profit := p.Score - cb
+					if profit <= 0 {
+						continue
+					}
+					cands = append(cands, cand{
+						x: x, rev: rev, zone: zi,
+						lo: z.lo + p.Lo, hi: z.lo + p.Hi,
+						score: p.Score,
+					})
+					intervals = append(intervals, isp.Interval{
+						ID:     len(cands) - 1,
+						Job:    jobOf(x),
+						Lo:     zrs[zi].base + p.Lo,
+						Hi:     zrs[zi].base + p.Hi,
+						Profit: profit,
+					})
+				}
+			}
+		}
+	}
+	if len(intervals) == 0 {
+		return 0
+	}
+	res := isp.TwoPhase(intervals)
+	gain := 0.0
+	// Deterministic application order.
+	sort.Slice(res.Selected, func(a, b int) bool { return res.Selected[a].ID < res.Selected[b].ID })
+	for _, iv := range res.Selected {
+		c := cands[iv.ID]
+		// Detach x from its current matches.
+		for _, id := range st.fragMatchIDs(c.x) {
+			gain -= st.matches[id].Score
+			st.removeMatch(id)
+		}
+		mt := st.mkMatch(c.x, c.rev, zrs[c.zone].fr, c.lo, c.hi)
+		st.addMatch(mt)
+		gain += mt.Score
+	}
+	return gain
+}

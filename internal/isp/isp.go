@@ -1,0 +1,148 @@
+// Package isp implements the Interval Selection Problem of §3.4: given a
+// set A of integer intervals and a profit function p over job–interval
+// pairs, select at most one interval per job so that the selected intervals
+// are pairwise disjoint and total profit is maximal.
+//
+// The package provides the two-phase algorithm of Berman and DasGupta
+// (ratio 2, O(n log n)) — the engine inside the paper's TPA subroutine —
+// plus a greedy baseline and an exact branch-and-bound solver used as the
+// yardstick in ratio experiments.
+package isp
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Interval is one selectable job–interval pair. Intervals use half-open
+// coordinates [Lo, Hi). Two intervals conflict when they overlap in time or
+// share a Job.
+type Interval struct {
+	// ID is a caller-chosen identifier carried through to results.
+	ID int
+	// Job indexes the job (the paper's i ∈ [1, k]); at most one interval
+	// per job may be selected.
+	Job int
+	// Lo and Hi delimit the interval, half-open.
+	Lo, Hi int
+	// Profit is the gain from selecting this interval; non-positive
+	// intervals are never selected.
+	Profit float64
+}
+
+// Conflicts reports whether a and b cannot both be selected.
+func (a Interval) Conflicts(b Interval) bool {
+	if a.Job == b.Job {
+		return true
+	}
+	return a.Lo < b.Hi && b.Lo < a.Hi
+}
+
+// Result is a feasible selection with its total profit.
+type Result struct {
+	Selected []Interval
+	Total    float64
+}
+
+// Validate checks feasibility of a selection: pairwise disjoint, one
+// interval per job, positive lengths.
+func Validate(sel []Interval) error {
+	byLo := make([]Interval, len(sel))
+	copy(byLo, sel)
+	sort.Slice(byLo, func(i, j int) bool { return byLo[i].Lo < byLo[j].Lo })
+	jobs := make(map[int]bool)
+	for i, iv := range byLo {
+		if iv.Hi <= iv.Lo {
+			return fmt.Errorf("isp: empty interval %+v", iv)
+		}
+		if jobs[iv.Job] {
+			return fmt.Errorf("isp: job %d selected twice", iv.Job)
+		}
+		jobs[iv.Job] = true
+		if i > 0 && byLo[i-1].Hi > iv.Lo {
+			return fmt.Errorf("isp: intervals %+v and %+v overlap", byLo[i-1], iv)
+		}
+	}
+	return nil
+}
+
+// Greedy selects intervals in non-increasing profit order, skipping
+// conflicts — the naive baseline.
+func Greedy(intervals []Interval) Result {
+	order := make([]Interval, 0, len(intervals))
+	for _, iv := range intervals {
+		if iv.Profit > 0 && iv.Hi > iv.Lo {
+			order = append(order, iv)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].Profit != order[j].Profit {
+			return order[i].Profit > order[j].Profit
+		}
+		if order[i].Hi != order[j].Hi {
+			return order[i].Hi < order[j].Hi
+		}
+		return order[i].ID < order[j].ID
+	})
+	var res Result
+	for _, iv := range order {
+		ok := true
+		for _, s := range res.Selected {
+			if iv.Conflicts(s) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			res.Selected = append(res.Selected, iv)
+			res.Total += iv.Profit
+		}
+	}
+	return res
+}
+
+// Exact finds an optimal selection by depth-first search with
+// sum-of-remaining pruning. Exponential in the worst case; intended for
+// small instances (ratio experiments, tests).
+func Exact(intervals []Interval) Result {
+	items := make([]Interval, 0, len(intervals))
+	for _, iv := range intervals {
+		if iv.Profit > 0 && iv.Hi > iv.Lo {
+			items = append(items, iv)
+		}
+	}
+	// Highest profit first makes the bound tight early.
+	sort.Slice(items, func(i, j int) bool { return items[i].Profit > items[j].Profit })
+	suffix := make([]float64, len(items)+1)
+	for i := len(items) - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] + items[i].Profit
+	}
+	var best Result
+	var cur []Interval
+	var dfs func(i int, total float64)
+	dfs = func(i int, total float64) {
+		if total > best.Total {
+			best.Total = total
+			best.Selected = append([]Interval(nil), cur...)
+		}
+		if i >= len(items) || total+suffix[i] <= best.Total {
+			return
+		}
+		// Include items[i] if feasible.
+		ok := true
+		for _, s := range cur {
+			if items[i].Conflicts(s) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			cur = append(cur, items[i])
+			dfs(i+1, total+items[i].Profit)
+			cur = cur[:len(cur)-1]
+		}
+		dfs(i+1, total)
+	}
+	dfs(0, 0)
+	return best
+}

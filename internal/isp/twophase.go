@@ -1,0 +1,129 @@
+package isp
+
+import (
+	"sort"
+
+	"repro/internal/fenwick"
+)
+
+// TwoPhase runs the two-phase algorithm of Berman and DasGupta ("Multi-phase
+// algorithms for throughput maximization for real-time scheduling", J. Comb.
+// Optim. 4(3), 2000), the ratio-2, O(n log n) interval-selection algorithm
+// cited in §3.4.
+//
+// Evaluation phase: process intervals by non-decreasing right endpoint,
+// assigning each the residual value
+//
+//	v(I) = p(I) − Σ { v(J) : J on the stack, J conflicts with I }
+//
+// and pushing I when v(I) > 0. Selection phase: pop the stack (decreasing
+// right endpoint), selecting every interval compatible with the selection so
+// far. The total profit of the selection is at least half the optimum.
+//
+// The conflict sum decomposes as (time overlaps) + (same job) − (both); the
+// first term is a Fenwick suffix sum over right endpoints, the last two are
+// per-job prefix sums, giving O(log n) per interval.
+func TwoPhase(intervals []Interval) Result {
+	items := make([]Interval, 0, len(intervals))
+	for _, iv := range intervals {
+		if iv.Profit > 0 && iv.Hi > iv.Lo {
+			items = append(items, iv)
+		}
+	}
+	if len(items) == 0 {
+		return Result{}
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].Hi != items[j].Hi {
+			return items[i].Hi < items[j].Hi
+		}
+		if items[i].Lo != items[j].Lo {
+			return items[i].Lo < items[j].Lo
+		}
+		return items[i].ID < items[j].ID
+	})
+
+	// Coordinate-compress right endpoints for the Fenwick tree.
+	his := make([]int, 0, len(items))
+	for _, iv := range items {
+		his = append(his, iv.Hi)
+	}
+	sort.Ints(his)
+	his = dedupInts(his)
+	rank := func(x int) int { return sort.SearchInts(his, x) }
+
+	overlapByHi := fenwick.New(len(his))
+	type jobEntry struct {
+		hi  int
+		sum float64 // running total of pushed v for this job up to this entry
+	}
+	jobLog := make(map[int][]jobEntry)
+	jobTotal := make(map[int]float64)
+
+	type stacked struct {
+		iv Interval
+		v  float64
+	}
+	var stack []stacked
+
+	for _, iv := range items {
+		// Σ v(J) over stack intervals overlapping iv in time: pushed J have
+		// J.Hi ≤ iv.Hi; overlap ⇔ J.Hi > iv.Lo.
+		overlap := overlapByHi.Total() - overlapByHi.PrefixSum(rank(iv.Lo+1))
+		// Σ v(J) over stack intervals of the same job.
+		sameJob := jobTotal[iv.Job]
+		// Σ v(J) over stack intervals of the same job that also overlap —
+		// counted twice above. Per-job entries have non-decreasing hi.
+		both := 0.0
+		log := jobLog[iv.Job]
+		if len(log) > 0 {
+			// First entry with hi > iv.Lo.
+			k := sort.Search(len(log), func(i int) bool { return log[i].hi > iv.Lo })
+			if k < len(log) {
+				prior := 0.0
+				if k > 0 {
+					prior = log[k-1].sum
+				}
+				both = log[len(log)-1].sum - prior
+			}
+		}
+		v := iv.Profit - (overlap + sameJob - both)
+		if v <= 0 {
+			continue
+		}
+		stack = append(stack, stacked{iv, v})
+		overlapByHi.Add(rank(iv.Hi), v)
+		jobTotal[iv.Job] += v
+		jobLog[iv.Job] = append(log, jobEntry{hi: iv.Hi, sum: jobTotal[iv.Job]})
+	}
+
+	// Selection phase: pop in reverse order; candidates have hi no larger
+	// than every selected interval's hi, so time conflict ⇔ candidate.Hi >
+	// min selected Lo.
+	var res Result
+	minLo := int(^uint(0) >> 1) // max int
+	usedJob := make(map[int]bool)
+	for i := len(stack) - 1; i >= 0; i-- {
+		iv := stack[i].iv
+		if usedJob[iv.Job] || iv.Hi > minLo {
+			continue
+		}
+		res.Selected = append(res.Selected, iv)
+		res.Total += iv.Profit
+		usedJob[iv.Job] = true
+		if iv.Lo < minLo {
+			minLo = iv.Lo
+		}
+	}
+	return res
+}
+
+func dedupInts(xs []int) []int {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

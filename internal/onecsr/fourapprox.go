@@ -1,0 +1,97 @@
+package onecsr
+
+import (
+	"fmt"
+
+	"repro/internal/align"
+	"repro/internal/core"
+	"repro/internal/score"
+	"repro/internal/symbol"
+)
+
+// transposed swaps the species arguments of a scorer: σᵀ(x, y) = σ(y, x).
+// Used to run the 1-CSR machinery with the roles of H and M exchanged.
+type transposed struct{ base score.Scorer }
+
+func (t transposed) Score(a, b symbol.Symbol) float64 { return t.base.Score(b, a) }
+
+// Transpose returns the instance with species swapped (H′ = M, M′ = H and
+// σ transposed). A solution of the transposed instance maps back by
+// swapping the sides of every match.
+func Transpose(in *core.Instance) *core.Instance {
+	return &core.Instance{
+		Name:  in.Name + "ᵀ",
+		H:     in.M,
+		M:     in.H,
+		Alpha: in.Alpha,
+		Sigma: transposed{in.Sigma},
+	}
+}
+
+// transposeSolution swaps the sides of every match back.
+func transposeSolution(sol *core.Solution) *core.Solution {
+	out := &core.Solution{Matches: make([]core.Match, len(sol.Matches))}
+	for i, mt := range sol.Matches {
+		h, m := mt.MSite, mt.HSite
+		h.Species, m.Species = core.SpeciesH, core.SpeciesM
+		out.Matches[i] = core.Match{HSite: h, MSite: m, Rev: mt.Rev, Score: mt.Score}
+	}
+	return out
+}
+
+// FourApprox is Corollary 1: a polynomial-time 4-approximation for general
+// CSR. It runs the ratio-2 1-CSR algorithm on (H, M′) and on (M, H′) —
+// Theorem 3's doubling, where X′ concatenates a fragment set into one word —
+// splits the concatenated matches back onto original fragments, and keeps
+// the better of the two consistent solutions.
+func FourApprox(in *core.Instance) (*core.Solution, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	a, err := HalfOnConcat(in)
+	if err != nil {
+		return nil, err
+	}
+	tin := Transpose(in)
+	bT, err := HalfOnConcat(tin)
+	if err != nil {
+		return nil, err
+	}
+	b := transposeSolution(bT)
+	// Recompute scores under the original σ orientation (they are equal,
+	// but the cached values must verify against in.Sigma).
+	for i := range b.Matches {
+		mt := &b.Matches[i]
+		mt.Score = align.Score(in.SiteWord(mt.HSite), in.SiteWord(mt.MSite).Orient(mt.Rev), in.Sigma)
+	}
+	if err := b.Validate(in); err != nil {
+		return nil, fmt.Errorf("onecsr: transposed solution invalid: %w", err)
+	}
+	if a.Score() >= b.Score() {
+		return a, nil
+	}
+	return b, nil
+}
+
+// HalfOnConcat runs the ratio-2 1-CSR algorithm on (H, M′) where M′ is the
+// concatenation of all M fragments, then splits matches back across
+// fragment boundaries. By inequality (2) of Theorem 3, the better of this
+// and its transpose is a 4-approximation.
+func HalfOnConcat(in *core.Instance) (*core.Solution, error) {
+	if len(in.M) == 1 {
+		sol, err := SolveOne(in)
+		if err != nil {
+			return nil, err
+		}
+		if err := sol.Validate(in); err != nil {
+			return nil, err
+		}
+		return sol, nil
+	}
+	cat, bounds := concatM(in)
+	sol, err := SolveOne(cat)
+	if err != nil {
+		return nil, err
+	}
+	return splitByBounds(in, cat, bounds, sol)
+}

@@ -1,0 +1,191 @@
+// Package onecsr implements §3.3–3.4: the 1-CSR restriction (a single M
+// fragment), its reduction to the Interval Selection Problem, the Theorem 3
+// doubling that lifts any 1-CSR algorithm to general CSR at twice the
+// ratio, and the resulting Corollary 1 algorithm — a polynomial-time
+// 4-approximation for CSR built on the ratio-2 two-phase ISP algorithm.
+package onecsr
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/align"
+	"repro/internal/core"
+	"repro/internal/isp"
+)
+
+// placementSet builds the ISP instance of §3.4 for fragments H against a
+// single reference word (fragment mIdx of species M): every Pareto-optimal
+// fit placement of every H fragment, in both orientations, becomes an
+// interval with profit MS(hᵢ, m(d,e)).
+func placementSet(in *core.Instance, mIdx int) []isp.Interval {
+	m := in.M[mIdx].Regions
+	var out []isp.Interval
+	id := 0
+	for hi := range in.H {
+		h := in.H[hi].Regions
+		for orient := 0; orient < 2; orient++ {
+			rev := orient == 1
+			for _, p := range align.Placements(h.Orient(rev), m, in.Sigma, 0) {
+				out = append(out, isp.Interval{
+					ID:     id<<1 | orient,
+					Job:    hi,
+					Lo:     p.Lo,
+					Hi:     p.Hi,
+					Profit: p.Score,
+				})
+				id++
+			}
+		}
+	}
+	return out
+}
+
+// SolveOne solves a 1-CSR instance (single M fragment) via the two-phase
+// ISP algorithm, returning a consistent solution of full H-site matches
+// into disjoint windows of m — ratio 2 by Berman–DasGupta.
+func SolveOne(in *core.Instance) (*core.Solution, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if len(in.M) != 1 {
+		return nil, fmt.Errorf("onecsr: instance has %d M fragments, want 1", len(in.M))
+	}
+	res := isp.TwoPhase(placementSet(in, 0))
+	sol := &core.Solution{}
+	for _, iv := range res.Selected {
+		rev := iv.ID&1 == 1
+		h := in.H[iv.Job].Regions
+		hs := core.Site{Species: core.SpeciesH, Frag: iv.Job, Lo: 0, Hi: len(h)}
+		ms := core.Site{Species: core.SpeciesM, Frag: 0, Lo: iv.Lo, Hi: iv.Hi}
+		sol.Matches = append(sol.Matches, core.Match{
+			HSite: hs,
+			MSite: ms,
+			Rev:   rev,
+			Score: align.Score(h, in.SiteWord(ms).Orient(rev), in.Sigma),
+		})
+	}
+	return sol, nil
+}
+
+// concatM builds the Theorem 3 companion instance (H, M′): all M fragments
+// concatenated, in given order and orientation, into a single fragment.
+// boundaries[i] is the start offset of fragment i in the concatenation.
+func concatM(in *core.Instance) (*core.Instance, []int) {
+	bounds := make([]int, len(in.M)+1)
+	var w []core.Fragment
+	var cat core.Fragment
+	cat.Name = "M'"
+	for i, f := range in.M {
+		bounds[i] = len(cat.Regions)
+		cat.Regions = append(cat.Regions, f.Regions...)
+	}
+	bounds[len(in.M)] = len(cat.Regions)
+	w = append(w, cat)
+	return &core.Instance{
+		Name:  in.Name + "+concatM",
+		H:     in.H,
+		M:     w,
+		Alpha: in.Alpha,
+		Sigma: in.Sigma,
+	}, bounds
+}
+
+// splitByBounds maps a solution of the concatenated instance back to the
+// original: every match window on M′ is split at fragment boundaries, the
+// alignment columns are partitioned accordingly, and each part becomes a
+// match against the original fragment. Scores are re-computed per part (they
+// can only grow). H fragments whose window spans several M fragments become
+// chain (caterpillar) fragments, which remain consistent.
+func splitByBounds(in *core.Instance, cat *core.Instance, bounds []int, sol *core.Solution) (*core.Solution, error) {
+	out := &core.Solution{}
+	fragOf := func(pos int) int {
+		return sort.SearchInts(bounds, pos+1) - 1
+	}
+	for _, mt := range sol.Matches {
+		h := cat.SiteWord(mt.HSite)
+		mw := cat.SiteWord(mt.MSite)
+		_, cols := align.Align(h, mw.Orient(mt.Rev), cat.Sigma)
+		if len(cols) == 0 {
+			continue
+		}
+		// Columns are in oriented-m coordinates; map back to absolute
+		// positions on M′, then split by original fragment.
+		type part struct {
+			mFrag    int
+			hLo, hHi int
+			mLo, mHi int
+		}
+		var parts []part
+		for _, c := range cols {
+			mpos := mt.MSite.Lo + c.J
+			if mt.Rev {
+				mpos = mt.MSite.Lo + (mt.MSite.Len() - 1 - c.J)
+			}
+			f := fragOf(mpos)
+			if len(parts) == 0 || parts[len(parts)-1].mFrag != f {
+				parts = append(parts, part{mFrag: f, hLo: c.I, hHi: c.I + 1, mLo: mpos, mHi: mpos + 1})
+			} else {
+				p := &parts[len(parts)-1]
+				p.hHi = c.I + 1
+				if mpos < p.mLo {
+					p.mLo = mpos
+				}
+				if mpos+1 > p.mHi {
+					p.mHi = mpos + 1
+				}
+			}
+		}
+		// A straddling match becomes a chain of border matches: every part
+		// site must reach its fragment end on the side facing its
+		// neighbouring parts (the window covered those regions, so the
+		// extensions stay disjoint from other matches), and the outer
+		// h-sides extend to the h fragment's ends. Without the extensions a
+		// later fill could slip a match beyond a chain link, which no
+		// conjecture pair can realize.
+		if len(parts) > 1 {
+			for i := range parts {
+				p := &parts[i]
+				fLo, fHi := bounds[p.mFrag], bounds[p.mFrag+1]
+				if i > 0 {
+					if parts[i-1].mFrag > p.mFrag {
+						p.mHi = fHi
+					} else {
+						p.mLo = fLo
+					}
+				}
+				if i < len(parts)-1 {
+					if parts[i+1].mFrag > p.mFrag {
+						p.mHi = fHi
+					} else {
+						p.mLo = fLo
+					}
+				}
+			}
+			parts[0].hLo = -mt.HSite.Lo // extends to h position 0 below
+			parts[len(parts)-1].hHi = cat.Frag(core.SpeciesH, mt.HSite.Frag).Len() - mt.HSite.Lo
+		}
+		for _, p := range parts {
+			hs := core.Site{
+				Species: core.SpeciesH,
+				Frag:    mt.HSite.Frag,
+				Lo:      mt.HSite.Lo + p.hLo,
+				Hi:      mt.HSite.Lo + p.hHi,
+			}
+			ms := core.Site{
+				Species: core.SpeciesM,
+				Frag:    p.mFrag,
+				Lo:      p.mLo - bounds[p.mFrag],
+				Hi:      p.mHi - bounds[p.mFrag],
+			}
+			sc := align.Score(in.SiteWord(hs), in.SiteWord(ms).Orient(mt.Rev), in.Sigma)
+			out.Matches = append(out.Matches, core.Match{
+				HSite: hs, MSite: ms, Rev: mt.Rev, Score: sc,
+			})
+		}
+	}
+	if err := out.Validate(in); err != nil {
+		return nil, fmt.Errorf("onecsr: split solution invalid: %w", err)
+	}
+	return out, nil
+}

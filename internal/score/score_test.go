@@ -1,0 +1,178 @@
+package score
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/symbol"
+)
+
+func TestTableReversalSymmetry(t *testing.T) {
+	tb := NewTable()
+	a, b := symbol.Symbol(1), symbol.Symbol(2)
+	tb.Set(a, b, 4)
+	if got := tb.Score(a, b); got != 4 {
+		t.Fatalf("Score(a,b) = %v, want 4", got)
+	}
+	if got := tb.Score(a.Rev(), b.Rev()); got != 4 {
+		t.Fatalf("Score(aᴿ,bᴿ) = %v, want 4 (reversal symmetry)", got)
+	}
+	// The mixed-orientation pair is a distinct entry.
+	if got := tb.Score(a, b.Rev()); got != 0 {
+		t.Fatalf("Score(a,bᴿ) = %v, want 0", got)
+	}
+	tb.Set(a, b.Rev(), 7)
+	if got := tb.Score(a.Rev(), b); got != 7 {
+		t.Fatalf("Score(aᴿ,b) = %v, want 7", got)
+	}
+	if got := tb.Score(a, b); got != 4 {
+		t.Fatalf("Score(a,b) disturbed: %v", got)
+	}
+}
+
+func TestTablePadAlwaysZero(t *testing.T) {
+	tb := NewTable()
+	a := symbol.Symbol(3)
+	tb.Set(a, symbol.Pad, 99) // must be ignored
+	if got := tb.Score(a, symbol.Pad); got != 0 {
+		t.Fatalf("Score(a,⊥) = %v, want 0", got)
+	}
+	if got := tb.Score(symbol.Pad, a); got != 0 {
+		t.Fatalf("Score(⊥,a) = %v, want 0", got)
+	}
+	if got := tb.Score(symbol.Pad, symbol.Pad); got != 0 {
+		t.Fatalf("Score(⊥,⊥) = %v, want 0", got)
+	}
+	if tb.Len() != 0 {
+		t.Fatalf("pad Set stored an entry")
+	}
+}
+
+func TestTableQuickSymmetry(t *testing.T) {
+	f := func(x, y int16, v float64) bool {
+		a, b := symbol.Symbol(x), symbol.Symbol(y)
+		tb := NewTable()
+		tb.Set(a, b, v)
+		return tb.Score(a, b) == tb.Score(a.Rev(), b.Rev())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableVerify(t *testing.T) {
+	tb := NewTable()
+	r := rand.New(rand.NewSource(7))
+	syms := make([]symbol.Symbol, 0, 20)
+	for i := 1; i <= 10; i++ {
+		s := symbol.Symbol(i)
+		syms = append(syms, s, s.Rev())
+	}
+	for trial := 0; trial < 40; trial++ {
+		a := syms[r.Intn(len(syms))]
+		b := syms[r.Intn(len(syms))]
+		tb.Set(a, b, float64(r.Intn(10)))
+	}
+	if a, b, ok := Verify(tb, syms); !ok {
+		t.Fatalf("Verify failed at (%v,%v)", a, b)
+	}
+}
+
+func TestTableAggregates(t *testing.T) {
+	tb := NewTable()
+	tb.Set(1, 2, 5)
+	tb.Set(3, 4, -2)
+	tb.Set(5, 6, 3)
+	if got := tb.MaxScore(); got != 5 {
+		t.Fatalf("MaxScore = %v, want 5", got)
+	}
+	if got := tb.TotalPositive(); got != 8 {
+		t.Fatalf("TotalPositive = %v, want 8", got)
+	}
+	if tb.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tb.Len())
+	}
+	c := tb.Clone()
+	c.Set(7, 8, 100)
+	if tb.Len() != 3 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestTablePairsIteration(t *testing.T) {
+	tb := NewTable()
+	tb.Set(1, 2, 5)
+	tb.Set(symbol.Symbol(3).Rev(), 4, 7) // stored canonically as (3, 4ᴿ)
+	seen := 0
+	tb.Pairs(func(a, b symbol.Symbol, v float64) {
+		seen++
+		if a.Reversed() {
+			t.Errorf("non-canonical pair surfaced: (%v,%v)", a, b)
+		}
+		if got := tb.Score(a, b); got != v {
+			t.Errorf("Pairs value %v inconsistent with Score %v", v, got)
+		}
+	})
+	if seen != 2 {
+		t.Fatalf("Pairs visited %d entries, want 2", seen)
+	}
+}
+
+func TestIdentityScorer(t *testing.T) {
+	id := NewIdentity(1)
+	a, b := symbol.Symbol(1), symbol.Symbol(2)
+	id.SetWeight(a, 5)
+	if got := id.Score(a, a); got != 5 {
+		t.Fatalf("Score(a,a) = %v, want 5", got)
+	}
+	if got := id.Score(a.Rev(), a.Rev()); got != 5 {
+		t.Fatalf("Score(aᴿ,aᴿ) = %v, want 5", got)
+	}
+	if got := id.Score(a, a.Rev()); got != 0 {
+		t.Fatalf("Score(a,aᴿ) = %v, want 0", got)
+	}
+	if got := id.Score(a, b); got != 0 {
+		t.Fatalf("Score(a,b) = %v, want 0", got)
+	}
+	if got := id.Score(b, b); got != 1 {
+		t.Fatalf("default weight: Score(b,b) = %v, want 1", got)
+	}
+	if got := id.Score(a, symbol.Pad); got != 0 {
+		t.Fatalf("Score(a,⊥) = %v, want 0", got)
+	}
+}
+
+func TestQuantized(t *testing.T) {
+	tb := NewTable()
+	tb.Set(1, 2, 7.9)
+	q := Quantized{Base: tb, Unit: 2}
+	if got := q.Score(1, 2); got != 6 {
+		t.Fatalf("quantized Score = %v, want 6", got)
+	}
+	q0 := Quantized{Base: tb, Unit: 0}
+	if got := q0.Score(1, 2); got != 7.9 {
+		t.Fatalf("unit 0 should pass through, got %v", got)
+	}
+	// Quantization preserves the scorer laws.
+	syms := []symbol.Symbol{1, -1, 2, -2}
+	if a, b, ok := Verify(q, syms); !ok {
+		t.Fatalf("quantized scorer violates laws at (%v,%v)", a, b)
+	}
+}
+
+func TestQuantizedUnderestimatesBoundedly(t *testing.T) {
+	tb := NewTable()
+	r := rand.New(rand.NewSource(11))
+	for i := 1; i <= 50; i++ {
+		tb.Set(symbol.Symbol(i), symbol.Symbol(i+100), r.Float64()*10)
+	}
+	unit := 0.25
+	q := Quantized{Base: tb, Unit: unit}
+	tb.Pairs(func(a, b symbol.Symbol, v float64) {
+		qv := q.Score(a, b)
+		if qv > v || v-qv >= unit {
+			t.Errorf("quantization out of range: %v -> %v", v, qv)
+		}
+	})
+}

@@ -1,0 +1,112 @@
+package symbol
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Alphabet interns region names and assigns them stable positive symbol IDs.
+// The zero value is not usable; create one with NewAlphabet. An Alphabet is
+// not safe for concurrent mutation; concurrent reads are fine.
+type Alphabet struct {
+	names []string         // names[0] is unused (⊥); names[k] is region k
+	index map[string]int32 // name → region id
+}
+
+// NewAlphabet returns an empty alphabet.
+func NewAlphabet() *Alphabet {
+	return &Alphabet{
+		names: []string{"⊥"},
+		index: make(map[string]int32),
+	}
+}
+
+// Intern returns the normal-orientation symbol for the region with the given
+// name, creating a fresh region ID on first use. Names must be non-empty and
+// must not end with the reversal marker '.
+func (a *Alphabet) Intern(name string) Symbol {
+	if id, ok := a.index[name]; ok {
+		return Symbol(id)
+	}
+	id := int32(len(a.names))
+	a.names = append(a.names, name)
+	a.index[name] = id
+	return Symbol(id)
+}
+
+// Lookup returns the normal-orientation symbol for name, or (Pad, false) if
+// the name has never been interned.
+func (a *Alphabet) Lookup(name string) (Symbol, bool) {
+	id, ok := a.index[name]
+	return Symbol(id), ok
+}
+
+// Size returns the number of distinct regions interned so far.
+func (a *Alphabet) Size() int { return len(a.names) - 1 }
+
+// Name formats s using the interned names: region k prints as its name,
+// kᴿ as the name followed by ', and ⊥ as "-". Symbols outside the alphabet
+// print as #k / #k'.
+func (a *Alphabet) Name(s Symbol) string {
+	if s.IsPad() {
+		return "-"
+	}
+	id := s.ID()
+	var base string
+	if int(id) < len(a.names) {
+		base = a.names[id]
+	} else {
+		base = fmt.Sprintf("#%d", id)
+	}
+	if s.Reversed() {
+		return base + "'"
+	}
+	return base
+}
+
+// FormatWord renders w as space-separated symbol names.
+func (a *Alphabet) FormatWord(w Word) string {
+	parts := make([]string, len(w))
+	for i, s := range w {
+		parts[i] = a.Name(s)
+	}
+	return strings.Join(parts, " ")
+}
+
+// ParseSymbol parses one token: a region name, optionally suffixed with '
+// for reversal, or "-" for the padding symbol. Unknown names are interned.
+func (a *Alphabet) ParseSymbol(tok string) (Symbol, error) {
+	if tok == "" {
+		return Pad, fmt.Errorf("symbol: empty token")
+	}
+	if tok == "-" {
+		return Pad, nil
+	}
+	rev := false
+	if strings.HasSuffix(tok, "'") {
+		rev = true
+		tok = strings.TrimSuffix(tok, "'")
+		if tok == "" {
+			return Pad, fmt.Errorf("symbol: bare reversal marker")
+		}
+	}
+	s := a.Intern(tok)
+	if rev {
+		s = s.Rev()
+	}
+	return s, nil
+}
+
+// ParseWord parses a whitespace-separated list of symbol tokens.
+func (a *Alphabet) ParseWord(text string) (Word, error) {
+	fields := strings.Fields(text)
+	w := make(Word, 0, len(fields))
+	for _, f := range fields {
+		s, err := a.ParseSymbol(f)
+		if err != nil {
+			return nil, err
+		}
+		w = append(w, s)
+	}
+	return w, nil
+}

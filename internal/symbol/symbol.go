@@ -1,0 +1,54 @@
+// Package symbol implements the duplicated alphabet Σ ∪ Σᴿ of the paper
+// "Aligning two fragmented sequences" (Veeramachaneni, Berman, Miller).
+//
+// Each conserved region is a symbol of a duplicated alphabet Σ̃ = Σ ∪ Σᴿ.
+// A fragment (contig) is a word over Σ̃. The reversal operation satisfies
+//
+//	Σ ∩ Σᴿ = ∅
+//	a ∈ Σ ⇒ aᴿ ∈ Σᴿ and a ∈ Σᴿ ⇒ aᴿ ∈ Σ
+//	(uv)ᴿ = vᴿ uᴿ
+//	(uᴿ)ᴿ = u
+//
+// plus the padding symbol ⊥ with ⊥ᴿ = ⊥.
+//
+// Symbols are represented as int32: 0 is the padding symbol ⊥, a positive
+// value k is region k in normal orientation, and −k is region k reversed.
+// Reversal is therefore negation, and all the laws above hold by
+// construction.
+package symbol
+
+// Symbol is one conserved region occurrence (normal or reversed) or the
+// padding symbol Pad.
+type Symbol int32
+
+// Pad is the padding symbol ⊥. It is its own reversal and scores 0 against
+// every symbol.
+const Pad Symbol = 0
+
+// Rev returns the reversal of s: region k becomes kᴿ and vice versa; the
+// padding symbol is fixed (⊥ᴿ = ⊥).
+func (s Symbol) Rev() Symbol { return -s }
+
+// IsPad reports whether s is the padding symbol ⊥.
+func (s Symbol) IsPad() bool { return s == 0 }
+
+// Reversed reports whether s is a reversed region occurrence (member of Σᴿ).
+// The padding symbol is not reversed.
+func (s Symbol) Reversed() bool { return s < 0 }
+
+// ID returns the region identity of s, ignoring orientation. ID(⊥) = 0.
+// Two occurrences a and aᴿ have the same ID.
+func (s Symbol) ID() int32 {
+	if s < 0 {
+		return int32(-s)
+	}
+	return int32(s)
+}
+
+// Canon returns the canonical (normal-orientation) form of s.
+func (s Symbol) Canon() Symbol {
+	if s < 0 {
+		return -s
+	}
+	return s
+}

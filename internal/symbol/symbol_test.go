@@ -1,0 +1,263 @@
+package symbol
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPadProperties(t *testing.T) {
+	if !Pad.IsPad() {
+		t.Fatal("Pad.IsPad() = false")
+	}
+	if Pad.Rev() != Pad {
+		t.Fatalf("⊥ᴿ = %d, want ⊥", Pad.Rev())
+	}
+	if Pad.ID() != 0 {
+		t.Fatalf("Pad.ID() = %d, want 0", Pad.ID())
+	}
+	if Pad.Reversed() {
+		t.Fatal("Pad.Reversed() = true")
+	}
+}
+
+func TestRevInvolutionSymbol(t *testing.T) {
+	f := func(x int32) bool {
+		s := Symbol(x)
+		return s.Rev().Rev() == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRevSwapsAlphabetHalves(t *testing.T) {
+	s := Symbol(7)
+	if s.Reversed() {
+		t.Fatal("positive symbol reported reversed")
+	}
+	if !s.Rev().Reversed() {
+		t.Fatal("reversal of normal symbol not reversed")
+	}
+	if s.Rev().ID() != s.ID() {
+		t.Fatal("reversal changed region identity")
+	}
+	if s.Canon() != s || s.Rev().Canon() != s {
+		t.Fatal("Canon mismatch")
+	}
+}
+
+func TestRevDisjointness(t *testing.T) {
+	// Σ ∩ Σᴿ = ∅: no non-pad symbol equals its own reversal.
+	f := func(x int32) bool {
+		s := Symbol(x)
+		if s.IsPad() {
+			return true
+		}
+		return s.Rev() != s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func randWord(r *rand.Rand, n, alpha int) Word {
+	w := make(Word, n)
+	for i := range w {
+		s := Symbol(r.Intn(alpha) + 1)
+		if r.Intn(2) == 0 {
+			s = s.Rev()
+		}
+		w[i] = s
+	}
+	return w
+}
+
+func TestWordRevInvolution(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		w := randWord(r, r.Intn(30), 10)
+		if !w.Rev().Rev().Equal(w) {
+			t.Fatalf("(wᴿ)ᴿ ≠ w for %v", w)
+		}
+	}
+}
+
+func TestWordRevAntihomomorphism(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		u := randWord(r, r.Intn(15), 8)
+		v := randWord(r, r.Intn(15), 8)
+		lhs := Concat(u, v).Rev()
+		rhs := Concat(v.Rev(), u.Rev())
+		if !lhs.Equal(rhs) {
+			t.Fatalf("(uv)ᴿ ≠ vᴿuᴿ: u=%v v=%v", u, v)
+		}
+	}
+}
+
+func TestStripPads(t *testing.T) {
+	w := Word{1, Pad, 2, Pad, Pad, -3}
+	got := w.StripPads()
+	want := Word{1, 2, -3}
+	if !got.Equal(want) {
+		t.Fatalf("StripPads = %v, want %v", got, want)
+	}
+	if w.CountPads() != 3 {
+		t.Fatalf("CountPads = %d, want 3", w.CountPads())
+	}
+	// No-pad fast path returns the same backing array.
+	v := Word{1, 2, 3}
+	if &v[0] != &v.StripPads()[0] {
+		t.Fatal("StripPads copied a pad-free word")
+	}
+}
+
+func TestIsPaddingOf(t *testing.T) {
+	s := Word{1, 2, -3}
+	cases := []struct {
+		w    Word
+		want bool
+	}{
+		{Word{1, 2, -3}, true},
+		{Word{Pad, 1, Pad, 2, -3, Pad}, true},
+		{Word{1, 2}, false},
+		{Word{1, 2, 3}, false},
+		{Word{2, 1, -3}, false},
+		{Word{}, false},
+	}
+	for _, c := range cases {
+		if got := c.w.IsPaddingOf(s); got != c.want {
+			t.Errorf("IsPaddingOf(%v, %v) = %v, want %v", c.w, s, got, c.want)
+		}
+	}
+	if !(Word{}).IsPaddingOf(Word{}) {
+		t.Error("empty word should be padding of empty word")
+	}
+}
+
+func TestIsSubsequenceOf(t *testing.T) {
+	s := Word{1, 2, 3, 4, 5}
+	if !(Word{1, 3, 5}).IsSubsequenceOf(s) {
+		t.Error("1 3 5 should be a subsequence")
+	}
+	if (Word{3, 1}).IsSubsequenceOf(s) {
+		t.Error("3 1 should not be a subsequence")
+	}
+	if !(Word{}).IsSubsequenceOf(s) {
+		t.Error("empty word is a subsequence of anything")
+	}
+}
+
+func TestPaddingRevCommutes(t *testing.T) {
+	// Padding then reversing equals reversing then padding (at mirrored
+	// positions): wᴿ strips to (strip(w))ᴿ.
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		w := randWord(r, r.Intn(20), 6)
+		// Insert pads at random positions.
+		padded := make(Word, 0, len(w)+5)
+		for _, s := range w {
+			for r.Intn(3) == 0 {
+				padded = append(padded, Pad)
+			}
+			padded = append(padded, s)
+		}
+		lhs := padded.Rev().StripPads()
+		rhs := padded.StripPads().Rev()
+		if !lhs.Equal(rhs) {
+			t.Fatalf("strip/rev do not commute: %v", padded)
+		}
+	}
+}
+
+func TestAlphabetInternLookup(t *testing.T) {
+	a := NewAlphabet()
+	s1 := a.Intern("alpha")
+	s2 := a.Intern("beta")
+	if s1 == s2 {
+		t.Fatal("distinct names interned to same symbol")
+	}
+	if got := a.Intern("alpha"); got != s1 {
+		t.Fatal("re-interning changed symbol")
+	}
+	if got, ok := a.Lookup("beta"); !ok || got != s2 {
+		t.Fatal("Lookup failed for interned name")
+	}
+	if _, ok := a.Lookup("gamma"); ok {
+		t.Fatal("Lookup succeeded for unknown name")
+	}
+	if a.Size() != 2 {
+		t.Fatalf("Size = %d, want 2", a.Size())
+	}
+}
+
+func TestAlphabetNameFormat(t *testing.T) {
+	a := NewAlphabet()
+	s := a.Intern("a")
+	if a.Name(s) != "a" {
+		t.Fatalf("Name = %q, want a", a.Name(s))
+	}
+	if a.Name(s.Rev()) != "a'" {
+		t.Fatalf("Name(rev) = %q, want a'", a.Name(s.Rev()))
+	}
+	if a.Name(Pad) != "-" {
+		t.Fatalf("Name(Pad) = %q, want -", a.Name(Pad))
+	}
+	if a.Name(Symbol(999)) != "#999" {
+		t.Fatalf("out-of-range Name = %q", a.Name(Symbol(999)))
+	}
+}
+
+func TestParseWordRoundTrip(t *testing.T) {
+	a := NewAlphabet()
+	w, err := a.ParseWord("a b' c - a'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w) != 5 {
+		t.Fatalf("parsed %d symbols, want 5", len(w))
+	}
+	text := a.FormatWord(w)
+	w2, err := a.ParseWord(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Equal(w2) {
+		t.Fatalf("round trip: %v != %v", w, w2)
+	}
+	if w[0] != w[4].Rev() {
+		t.Fatal("a and a' should be reversals")
+	}
+	if !w[3].IsPad() {
+		t.Fatal("- should parse to Pad")
+	}
+}
+
+func TestParseSymbolErrors(t *testing.T) {
+	a := NewAlphabet()
+	if _, err := a.ParseSymbol(""); err == nil {
+		t.Error("empty token should fail")
+	}
+	if _, err := a.ParseSymbol("'"); err == nil {
+		t.Error("bare reversal marker should fail")
+	}
+}
+
+func TestConcatAndSub(t *testing.T) {
+	u := Word{1, 2}
+	v := Word{3}
+	w := Concat(u, v)
+	if !w.Equal(Word{1, 2, 3}) {
+		t.Fatalf("Concat = %v", w)
+	}
+	if !w.Sub(1, 3).Equal(Word{2, 3}) {
+		t.Fatalf("Sub = %v", w.Sub(1, 3))
+	}
+	if !w.Orient(true).Equal(Word{-3, -2, -1}) {
+		t.Fatalf("Orient(true) = %v", w.Orient(true))
+	}
+	if !w.Orient(false).Equal(w) {
+		t.Fatal("Orient(false) changed word")
+	}
+}

@@ -1,0 +1,236 @@
+package ucsr
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/align"
+	"repro/internal/core"
+	"repro/internal/symbol"
+)
+
+// LiftSolution is Lemma 1 Property 2: given a consistent solution of the
+// replicated instance X, it produces the UCSR word f = θ(c₁,d₁)…θ(c_L,d_L)
+// over the prime alphabet with WordScore(f) = sol.Score().
+func (r *Reduction) LiftSolution(sol *core.Solution) (symbol.Word, error) {
+	conj, err := sol.BuildConjecture(r.X)
+	if err != nil {
+		return nil, err
+	}
+	kIndex := r.occurrenceIndex()
+	var f symbol.Word
+	// Walk the conjecture columns; every scoring column (c, d) contributes
+	// one θ word.
+	for i := range conj.H {
+		c, d := conj.H[i], conj.M[i]
+		if c.IsPad() || d.IsPad() || r.X.Sigma.Score(c, d) == 0 {
+			continue
+		}
+		ki, ok := kIndex[c.Canon()]
+		if !ok {
+			return nil, fmt.Errorf("ucsr: unknown H letter %v", c)
+		}
+		kj, ok := kIndex[d.Canon()]
+		if !ok {
+			return nil, fmt.Errorf("ucsr: unknown M letter %v", d)
+		}
+		f = append(f, r.theta(ki, kj, c.Reversed(), d.Reversed())...)
+	}
+	return f, nil
+}
+
+// theta builds θ(c, d) for original letters i (H side, reversed cRev) and
+// j (M side, reversed dRev):
+//
+//	θ(aᵢ, aⱼ)   = aⁱⱼ,₁ … aⁱⱼ,ₛ
+//	θ(aᵢᴿ, aⱼᴿ) = (aⁱⱼ,₁ … aⁱⱼ,ₛ)ᴿ
+//	θ(aᵢ, aⱼᴿ)  = bⁱⱼ,₁ … bⁱⱼ,ₛ
+//	θ(aᵢᴿ, aⱼ)  = (bⁱⱼ,₁ … bⁱⱼ,ₛ)ᴿ
+func (r *Reduction) theta(i, j int, cRev, dRev bool) symbol.Word {
+	bType := cRev != dRev
+	w := make(symbol.Word, 0, r.S)
+	for l := 1; l <= r.S; l++ {
+		w = append(w, r.primeLetter(i, j, l, bType))
+	}
+	if cRev {
+		w = w.Rev()
+	}
+	return w
+}
+
+func (r *Reduction) primeLetter(i, j, l int, bType bool) symbol.Symbol {
+	a, b := i, j
+	if a > b {
+		a, b = b, a
+	}
+	t := "a"
+	if bType {
+		t = "b"
+	}
+	s, ok := r.Prime.Alpha.Lookup(fmt.Sprintf("%s%d_%d.%d", t, a, b, l))
+	if !ok {
+		panic("ucsr: prime letter missing from alphabet")
+	}
+	return s
+}
+
+func (r *Reduction) occurrenceIndex() map[symbol.Symbol]int {
+	ix := make(map[symbol.Symbol]int, r.K)
+	for k, s := range r.letterSym {
+		ix[s] = k
+	}
+	return ix
+}
+
+// CheckPrimeWord verifies that f is a valid UCSR conjecture for the prime
+// instance on both sides: for every original letter k, the letters of f
+// drawn from xₖ form a contiguous block that is a subsequence of xₖ on k's
+// own side (or of its reversal). This is the validity claim inside the
+// Lemma 1 proof.
+func (r *Reduction) CheckPrimeWord(f symbol.Word) error {
+	for k := 0; k < r.K; k++ {
+		var block symbol.Word
+		start, end := -1, -1
+		for pos, s := range f {
+			pl, ok := r.info[s.ID()]
+			if !ok {
+				return fmt.Errorf("ucsr: foreign letter %v in word", s)
+			}
+			if pl.i == k || pl.j == k {
+				if start < 0 {
+					start = pos
+				}
+				if end >= 0 && pos != end+1 {
+					return fmt.Errorf("ucsr: letters of x%d not contiguous (gap before %d)", k, pos)
+				}
+				end = pos
+				block = append(block, s)
+			}
+		}
+		if len(block) == 0 {
+			continue
+		}
+		xw := r.xWords[k]
+		if !block.IsSubsequenceOf(xw) && !block.IsSubsequenceOf(xw.Rev()) {
+			return fmt.Errorf("ucsr: block of x%d is not a subsequence of x%d or its reversal", k, k)
+		}
+	}
+	return nil
+}
+
+// Projected is the result of π₁: a solution of the replicated instance X.
+type Projected struct {
+	// Pairs lists the recovered column pairs (cᵢ, dᵢ) in conjecture order.
+	Pairs [][2]symbol.Symbol
+	// Solution is the corresponding consistent match set of X.
+	Solution *core.Solution
+	// Score is the recovered total Σ σ(cᵢ, dᵢ).
+	Score float64
+}
+
+// Project is π₁ (Lemma 1 Property 3): decompose f into contiguous blocks by
+// H-side owner, pick in each block the highest-score letter whose M partner
+// is still unclaimed, and return the corresponding solution of X. On words
+// lifted from solutions the recovery is exact; in general the score is at
+// least (1−ε)·WordScore(f) for valid f.
+func (r *Reduction) Project(f symbol.Word) (*Projected, error) {
+	type cand struct {
+		i, j       int
+		cRev, dRev bool
+		sigma      float64
+	}
+	// Identify each position's H-side owner and candidate pair.
+	owner := make([]int, len(f))
+	cands := make([][]cand, 0)
+	blockOf := make([]int, len(f))
+	prevOwner := -2
+	for pos, s := range f {
+		pl, ok := r.info[s.ID()]
+		if !ok {
+			return nil, fmt.Errorf("ucsr: foreign letter %v", s)
+		}
+		i, j := pl.i, pl.j
+		// Cross pairs have exactly one H-side index; same-species letters
+		// weigh 0 and are skipped.
+		var hIdx, mIdx int
+		switch {
+		case r.letters[i].Sp == core.SpeciesH && r.letters[j].Sp == core.SpeciesM:
+			hIdx, mIdx = i, j
+		case r.letters[i].Sp == core.SpeciesM && r.letters[j].Sp == core.SpeciesH:
+			hIdx, mIdx = j, i
+		default:
+			owner[pos] = -1
+			blockOf[pos] = -1
+			continue
+		}
+		owner[pos] = hIdx
+		if hIdx != prevOwner {
+			cands = append(cands, nil)
+		}
+		prevOwner = hIdx
+		b := len(cands) - 1
+		blockOf[pos] = b
+		// θ⁻¹: orientation of the occurrence plus letter type determine
+		// (c, d) orientations.
+		rev := s.Reversed()
+		var cRev, dRev bool
+		if pl.bType {
+			cRev, dRev = rev, !rev
+		} else {
+			cRev, dRev = rev, rev
+		}
+		cands[b] = append(cands[b], cand{
+			i: hIdx, j: mIdx, cRev: cRev, dRev: dRev,
+			sigma: r.sigmaHM(hIdx, mIdx, cRev != dRev),
+		})
+	}
+	// Per block, pick the best candidate with an unclaimed M partner.
+	usedM := make(map[int]bool)
+	usedH := make(map[int]bool)
+	out := &Projected{Solution: &core.Solution{}}
+	for _, blockCands := range cands {
+		sort.SliceStable(blockCands, func(a, b int) bool {
+			return blockCands[a].sigma > blockCands[b].sigma
+		})
+		for _, c := range blockCands {
+			if c.sigma <= 0 || usedM[c.j] || usedH[c.i] {
+				continue
+			}
+			usedM[c.j] = true
+			usedH[c.i] = true
+			oi, oj := r.letters[c.i], r.letters[c.j]
+			hs := core.Site{Species: core.SpeciesH, Frag: oi.Frag, Lo: oi.Pos, Hi: oi.Pos + 1}
+			ms := core.Site{Species: core.SpeciesM, Frag: oj.Frag, Lo: oj.Pos, Hi: oj.Pos + 1}
+			rel := c.cRev != c.dRev
+			hw := r.X.SiteWord(hs)
+			mw := r.X.SiteWord(ms).Orient(rel)
+			sc := align.Score(hw, mw, r.X.Sigma)
+			out.Pairs = append(out.Pairs, [2]symbol.Symbol{
+				orientSym(r.letterSym[c.i], c.cRev),
+				orientSym(r.letterSym[c.j], c.dRev),
+			})
+			out.Solution.Matches = append(out.Solution.Matches, core.Match{
+				HSite: hs, MSite: ms, Rev: rel, Score: sc,
+			})
+			out.Score += c.sigma
+			break
+		}
+	}
+	return out, nil
+}
+
+func orientSym(s symbol.Symbol, rev bool) symbol.Symbol {
+	if rev {
+		return s.Rev()
+	}
+	return s
+}
+
+// sigmaHM returns σ(a_h, a_m) or σ(a_h, a_mᴿ).
+func (r *Reduction) sigmaHM(h, m int, rel bool) float64 {
+	ms := r.letterSym[m]
+	if rel {
+		ms = ms.Rev()
+	}
+	return r.X.Sigma.Score(r.letterSym[h], ms)
+}

@@ -1,0 +1,102 @@
+package ucsr
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/improve"
+	"repro/internal/score"
+	"repro/internal/symbol"
+)
+
+// TestLiftProjectRandomInstances checks Lemma 1 end-to-end on random
+// instances: solve X approximately, lift the solution into the UCSR
+// instance (score must be preserved exactly and the word must be valid),
+// then project back (recovery must be score-exact on lifted words and the
+// projected match set must be a consistent solution of X).
+func TestLiftProjectRandomInstances(t *testing.T) {
+	r := rand.New(rand.NewSource(113))
+	for trial := 0; trial < 10; trial++ {
+		in := randSmallInstance(r)
+		rep, err := Replicate(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, _, err := improve.Improve(rep, improve.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Score() == 0 {
+			continue
+		}
+		red, err := Reduce(rep, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := red.LiftSolution(sol)
+		if err != nil {
+			t.Fatalf("trial %d: lift: %v", trial, err)
+		}
+		if got := red.WordScore(f); !approx(got, sol.Score()) {
+			t.Fatalf("trial %d: lift score %v, want %v (Property 2)", trial, got, sol.Score())
+		}
+		if err := red.CheckPrimeWord(f); err != nil {
+			t.Fatalf("trial %d: lifted word invalid: %v", trial, err)
+		}
+		proj, err := red.Project(f)
+		if err != nil {
+			t.Fatalf("trial %d: project: %v", trial, err)
+		}
+		if !approx(proj.Score, sol.Score()) {
+			t.Fatalf("trial %d: recovered %v, want %v", trial, proj.Score, sol.Score())
+		}
+		if err := proj.Solution.Validate(rep); err != nil {
+			t.Fatalf("trial %d: projected solution: %v", trial, err)
+		}
+		if !proj.Solution.IsConsistent(rep) {
+			t.Fatalf("trial %d: projected solution inconsistent", trial)
+		}
+	}
+}
+
+// approx compares with relative tolerance: σ′ weights are σ/s, so summing
+// s of them reintroduces the last-ulp error of the division.
+func approx(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-9*(1+b)
+}
+
+func randSmallInstance(r *rand.Rand) *core.Instance {
+	al := symbol.NewAlphabet()
+	alpha := 4
+	syms := make([]symbol.Symbol, alpha)
+	for i := range syms {
+		syms[i] = al.Intern(fmt.Sprintf("g%d", i))
+	}
+	tb := score.NewTable()
+	for k := 0; k < alpha*2; k++ {
+		a := syms[r.Intn(alpha)]
+		b := syms[r.Intn(alpha)]
+		if r.Intn(2) == 0 {
+			b = b.Rev()
+		}
+		tb.Set(a, b, float64(1+r.Intn(5)))
+	}
+	mk := func(n int) []core.Fragment {
+		fs := make([]core.Fragment, n)
+		for i := range fs {
+			w := make(symbol.Word, 1+r.Intn(2))
+			for j := range w {
+				w[j] = syms[r.Intn(alpha)]
+			}
+			fs[i] = core.Fragment{Name: fmt.Sprintf("f%d", i), Regions: w}
+		}
+		return fs
+	}
+	return &core.Instance{H: mk(1 + r.Intn(2)), M: mk(1 + r.Intn(2)), Alpha: al, Sigma: tb}
+}

@@ -1,0 +1,239 @@
+// Package ucsr implements the Unambiguous CSR problem of §3.1 and the
+// Lemma 1 approximation-preserving reduction π₀ : CSR → UCSR with its
+// back-mapping π₁.
+//
+// The reduction first replicates letters so every letter occurs exactly
+// once (Replicate), then replaces the occurrence of each letter aᵢ by the
+// word xᵢ = wⁱ₁ … wⁱₛ with s = 2pK blocks,
+//
+//	wⁱₗ = uⁱₗ vⁱₗ            if aᵢ occurs in H
+//	wⁱₗ = uⁱₗ (vⁱₛ₊₁₋ₗ)ᴿ     if aᵢ occurs in M
+//
+// where uⁱₗ = aⁱ₁,ₗ…aⁱ_K,ₗ and vⁱₗ = bⁱ₁,ₗ…bⁱ_K,ₗ. Letters are identified
+// pairwise (aⁱⱼ,ₗ = aʲᵢ,ₗ, bⁱⱼ,ₗ = bʲᵢ,ₗ) and weighted σ′(aⁱⱼ,ₗ) =
+// σ(aᵢ,aⱼ)/s, σ′(bⁱⱼ,ₗ) = σ(aᵢ,aⱼᴿ)/s. A solution of the original scores
+// the same in the reduced instance (LiftSolution), and any reduced solution
+// projects back losing at most a (1−ε) factor (Project, Lemma 1 Property 3).
+package ucsr
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/score"
+	"repro/internal/symbol"
+)
+
+// Occurrence locates one letter occurrence in the replicated instance.
+type Occurrence struct {
+	Sp   core.Species
+	Frag int
+	Pos  int
+}
+
+// Replicate rewrites X so that every letter occurs exactly once across
+// H ∪ M and never in reversed form, adjusting σ so all cross-species scores
+// are preserved — the preliminary normalization in the Lemma 1 proof.
+func Replicate(x *core.Instance) (*core.Instance, error) {
+	if err := x.Validate(); err != nil {
+		return nil, err
+	}
+	al := symbol.NewAlphabet()
+	out := &core.Instance{Name: x.Name + "-replicated", Alpha: al}
+	type occ struct {
+		fresh symbol.Symbol // fresh normal-orientation letter
+		orig  symbol.Symbol // original oriented symbol at this position
+	}
+	var occs [2][]occ
+	for _, sp := range []core.Species{core.SpeciesH, core.SpeciesM} {
+		for fi, f := range x.Frags(sp) {
+			w := make(symbol.Word, len(f.Regions))
+			for pi, s := range f.Regions {
+				fresh := al.Intern(fmt.Sprintf("%v%d.%d", sp, fi, pi))
+				w[pi] = fresh
+				occs[sp] = append(occs[sp], occ{fresh: fresh, orig: s})
+			}
+			frag := core.Fragment{Name: f.Name, Regions: w}
+			if sp == core.SpeciesH {
+				out.H = append(out.H, frag)
+			} else {
+				out.M = append(out.M, frag)
+			}
+		}
+	}
+	tb := score.NewTable()
+	for _, ho := range occs[core.SpeciesH] {
+		for _, mo := range occs[core.SpeciesM] {
+			// Preserve both relative orientations of the occurrence pair.
+			if v := x.Sigma.Score(ho.orig, mo.orig); v != 0 {
+				tb.Set(ho.fresh, mo.fresh, v)
+			}
+			if v := x.Sigma.Score(ho.orig, mo.orig.Rev()); v != 0 {
+				tb.Set(ho.fresh, mo.fresh.Rev(), v)
+			}
+		}
+	}
+	out.Sigma = tb
+	return out, nil
+}
+
+// Reduction is the Lemma 1 translation π₀ applied to a replicated
+// instance.
+type Reduction struct {
+	// X is the replicated CSR instance the reduction was built from.
+	X *core.Instance
+	// Eps is the requested recovery slack; P = ⌈1/ε⌉, S = 2·P·K.
+	Eps     float64
+	P, K, S int
+	// Prime is π₀(X): the UCSR instance rendered as a CSR instance with an
+	// identity scorer.
+	Prime *core.Instance
+	// letters[k] locates original letter k; cross pairs score via sigma.
+	letters []Occurrence
+	// letterSym[k] is original letter k's symbol in X.
+	letterSym []symbol.Symbol
+	// xWords[k] is the replacement word of letter k on its own side.
+	xWords []symbol.Word
+	// info maps prime region IDs to their (i, j, l, bType) structure.
+	info map[int32]pairLetter
+	// weight is σ′ per prime region ID.
+	weight map[int32]float64
+}
+
+type pairLetter struct {
+	i, j  int // i < j
+	l     int // 1..s
+	bType bool
+}
+
+// Reduce builds π₀ for a replicated instance (every letter unique, normal
+// orientation) with slack eps ∈ (0, 1].
+func Reduce(x *core.Instance, eps float64) (*Reduction, error) {
+	if eps <= 0 || eps > 1 {
+		return nil, fmt.Errorf("ucsr: eps must be in (0,1], got %v", eps)
+	}
+	if err := x.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Reduction{
+		X:      x,
+		Eps:    eps,
+		info:   make(map[int32]pairLetter),
+		weight: make(map[int32]float64),
+	}
+	seen := make(map[symbol.Symbol]bool)
+	for _, sp := range []core.Species{core.SpeciesH, core.SpeciesM} {
+		for fi, f := range x.Frags(sp) {
+			for pi, s := range f.Regions {
+				if s.Reversed() {
+					return nil, fmt.Errorf("ucsr: reversed occurrence %v; Replicate first", s)
+				}
+				if seen[s] {
+					return nil, fmt.Errorf("ucsr: letter %v occurs twice; Replicate first", s)
+				}
+				seen[s] = true
+				r.letters = append(r.letters, Occurrence{sp, fi, pi})
+				r.letterSym = append(r.letterSym, s)
+			}
+		}
+	}
+	r.K = len(r.letters)
+	r.P = int(math.Ceil(1 / eps))
+	r.S = 2 * r.P * r.K
+
+	al := symbol.NewAlphabet()
+	prime := &core.Instance{Name: x.Name + "-ucsr", Alpha: al}
+	id := score.NewIdentity(0)
+
+	letterOf := func(i, j, l int, bType bool) symbol.Symbol {
+		a, b := i, j
+		if a > b {
+			a, b = b, a
+		}
+		t := "a"
+		if bType {
+			t = "b"
+		}
+		s := al.Intern(fmt.Sprintf("%s%d_%d.%d", t, a, b, l))
+		if _, ok := r.info[s.ID()]; !ok {
+			r.info[s.ID()] = pairLetter{i: a, j: b, l: l, bType: bType}
+			w := r.sigmaCross(a, b, bType) / float64(r.S)
+			r.weight[s.ID()] = w
+			id.SetWeight(s, w)
+		}
+		return s
+	}
+	// Build x-words.
+	r.xWords = make([]symbol.Word, r.K)
+	for k := 0; k < r.K; k++ {
+		onH := r.letters[k].Sp == core.SpeciesH
+		var xw symbol.Word
+		for l := 1; l <= r.S; l++ {
+			for j := 0; j < r.K; j++ {
+				xw = append(xw, letterOf(k, j, l, false)) // uᵏₗ
+			}
+			if onH {
+				for j := 0; j < r.K; j++ {
+					xw = append(xw, letterOf(k, j, l, true)) // vᵏₗ
+				}
+			} else {
+				// (vᵏ_{s+1−l})ᴿ
+				for j := r.K - 1; j >= 0; j-- {
+					xw = append(xw, letterOf(k, j, r.S+1-l, true).Rev())
+				}
+			}
+		}
+		r.xWords[k] = xw
+	}
+	// Assemble prime fragments by concatenating replacement words.
+	kIndex := make(map[Occurrence]int, r.K)
+	for k, o := range r.letters {
+		kIndex[o] = k
+	}
+	for _, sp := range []core.Species{core.SpeciesH, core.SpeciesM} {
+		for fi, f := range x.Frags(sp) {
+			var w symbol.Word
+			for pi := range f.Regions {
+				w = append(w, r.xWords[kIndex[Occurrence{sp, fi, pi}]]...)
+			}
+			frag := core.Fragment{Name: f.Name, Regions: w}
+			if sp == core.SpeciesH {
+				prime.H = append(prime.H, frag)
+			} else {
+				prime.M = append(prime.M, frag)
+			}
+		}
+	}
+	prime.Sigma = id
+	r.Prime = prime
+	return r, nil
+}
+
+// sigmaCross returns σ(a_i, a_j) (a-type) or σ(a_i, a_jᴿ) (b-type) with the
+// H-side letter first; same-species pairs score 0.
+func (r *Reduction) sigmaCross(i, j int, bType bool) float64 {
+	oi, oj := r.letters[i], r.letters[j]
+	if oi.Sp == oj.Sp {
+		return 0
+	}
+	h, m := i, j
+	if oi.Sp == core.SpeciesM {
+		h, m = j, i
+	}
+	ms := r.letterSym[m]
+	if bType {
+		ms = ms.Rev()
+	}
+	return r.X.Sigma.Score(r.letterSym[h], ms)
+}
+
+// WordScore returns the UCSR score of a conjecture word: Σ σ′ over its
+// letters (reversed occurrences count as occurrences).
+func (r *Reduction) WordScore(f symbol.Word) float64 {
+	t := 0.0
+	for _, s := range f {
+		t += r.weight[s.ID()]
+	}
+	return t
+}

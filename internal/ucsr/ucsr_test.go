@@ -1,0 +1,255 @@
+package ucsr
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/symbol"
+)
+
+func TestReplicatePreservesScores(t *testing.T) {
+	x := core.PaperExample()
+	rep, err := Replicate(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Shapes preserved.
+	if len(rep.H) != len(x.H) || len(rep.M) != len(x.M) {
+		t.Fatal("fragment counts changed")
+	}
+	for i := range x.H {
+		if rep.H[i].Len() != x.H[i].Len() {
+			t.Fatal("fragment length changed")
+		}
+	}
+	// Every letter unique and normal.
+	seen := map[symbol.Symbol]bool{}
+	for _, sp := range []core.Species{core.SpeciesH, core.SpeciesM} {
+		for _, f := range rep.Frags(sp) {
+			for _, s := range f.Regions {
+				if s.Reversed() {
+					t.Fatal("reversed occurrence after Replicate")
+				}
+				if seen[s] {
+					t.Fatal("duplicate letter after Replicate")
+				}
+				seen[s] = true
+			}
+		}
+	}
+	// Cross scores preserved positionally: σ(h1[0], m1[0]) was σ(a,s)=4.
+	if got := rep.Sigma.Score(rep.H[0].Regions[0], rep.M[0].Regions[0]); got != 4 {
+		t.Fatalf("σ(a,s) → %v, want 4", got)
+	}
+	// σ(b, tᴿ) = 3 via reversal entry.
+	if got := rep.Sigma.Score(rep.H[0].Regions[1], rep.M[0].Regions[1].Rev()); got != 3 {
+		t.Fatalf("σ(b,tᴿ) → %v, want 3", got)
+	}
+	// The paper optimum still validates against the replicated instance
+	// (same sites, same scores).
+	sol := core.PaperExampleOptimum()
+	if err := sol.Validate(rep); err != nil {
+		t.Fatalf("paper optimum invalid on replicated instance: %v", err)
+	}
+}
+
+func TestReduceShapes(t *testing.T) {
+	x, err := Replicate(core.PaperExample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Reduce(x, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.K != 8 {
+		t.Fatalf("K = %d, want 8", r.K)
+	}
+	if r.P != 2 || r.S != 2*2*8 {
+		t.Fatalf("P=%d S=%d", r.P, r.S)
+	}
+	if err := r.Prime.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Each replacement word has s blocks of 2K letters.
+	wantLen := r.S * 2 * r.K
+	for k, w := range r.xWords {
+		if len(w) != wantLen {
+			t.Fatalf("x%d length %d, want %d", k, len(w), wantLen)
+		}
+	}
+	// Prime fragments concatenate their letters' replacement words.
+	if r.Prime.H[0].Len() != 3*wantLen {
+		t.Fatalf("prime h1 length %d", r.Prime.H[0].Len())
+	}
+	// Identified letters: aⁱⱼ,ₗ appears in both xᵢ and xⱼ.
+	found := false
+	for _, s := range r.xWords[0] {
+		for _, s2 := range r.xWords[1] {
+			if s == s2 || s == s2.Rev() {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("x0 and x1 share no letters")
+	}
+}
+
+func TestReduceRejectsBadInput(t *testing.T) {
+	// A letter occurring twice must be rejected.
+	dup := core.PaperExample()
+	dup.H = append(dup.H, core.Fragment{Name: "h3", Regions: dup.H[0].Regions[:1].Clone()})
+	if _, err := Reduce(dup, 0.5); err == nil {
+		t.Fatal("duplicate letter accepted")
+	}
+	// A reversed occurrence must be rejected.
+	revd := core.PaperExample()
+	revd.H[1].Regions = revd.H[1].Regions.Rev()
+	if _, err := Reduce(revd, 0.5); err == nil {
+		t.Fatal("reversed occurrence accepted")
+	}
+	x, _ := Replicate(core.PaperExample())
+	if _, err := Reduce(x, 0); err == nil {
+		t.Fatal("eps=0 accepted")
+	}
+	if _, err := Reduce(x, 2); err == nil {
+		t.Fatal("eps=2 accepted")
+	}
+}
+
+func TestLiftPreservesScore(t *testing.T) {
+	x, err := Replicate(core.PaperExample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol := core.PaperExampleOptimum()
+	r, err := Reduce(x, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := r.LiftSolution(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.WordScore(f); got != 11 {
+		t.Fatalf("lifted word scores %v, want 11 (Lemma 1 Property 2)", got)
+	}
+	// Three scoring columns → 3·s letters.
+	if len(f) != 3*r.S {
+		t.Fatalf("lifted word length %d, want %d", len(f), 3*r.S)
+	}
+	if err := r.CheckPrimeWord(f); err != nil {
+		t.Fatalf("lifted word invalid: %v", err)
+	}
+}
+
+func TestProjectRecoversLiftedSolution(t *testing.T) {
+	x, err := Replicate(core.PaperExample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol := core.PaperExampleOptimum()
+	r, err := Reduce(x, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := r.LiftSolution(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := r.Project(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lifted words recover exactly.
+	if proj.Score != 11 {
+		t.Fatalf("projected score %v, want 11", proj.Score)
+	}
+	if err := proj.Solution.Validate(x); err != nil {
+		t.Fatalf("projected solution invalid: %v", err)
+	}
+	if !proj.Solution.IsConsistent(x) {
+		t.Fatal("projected solution inconsistent")
+	}
+	if got := proj.Solution.Score(); got != 11 {
+		t.Fatalf("projected solution scores %v", got)
+	}
+}
+
+func TestProjectTruncatedWordWithinEps(t *testing.T) {
+	// Damage the lifted word by dropping a fraction < ε of each block; the
+	// recovered score must still be the full 11 because Project picks one
+	// maximal letter per block.
+	x, err := Replicate(core.PaperExample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol := core.PaperExampleOptimum()
+	r, err := Reduce(x, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := r.LiftSolution(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var damaged symbol.Word
+	for i, s := range f {
+		if i%r.S < r.S-3 { // drop the last 3 letters of each θ block
+			damaged = append(damaged, s)
+		}
+	}
+	proj, err := r.Project(damaged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wordScore := r.WordScore(damaged)
+	if proj.Score < (1-r.Eps)*wordScore {
+		t.Fatalf("recovered %v < (1−ε)·%v (Lemma 1 Property 3)", proj.Score, wordScore)
+	}
+	if proj.Score != 11 {
+		t.Fatalf("block maxima should still recover 11, got %v", proj.Score)
+	}
+}
+
+func TestCheckPrimeWordRejectsScrambles(t *testing.T) {
+	x, _ := Replicate(core.PaperExample())
+	r, err := Reduce(x, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol := core.PaperExampleOptimum()
+	f, err := r.LiftSolution(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swapping two distant letters breaks the subsequence property.
+	bad := f.Clone()
+	bad[0], bad[len(bad)-1] = bad[len(bad)-1], bad[0]
+	if err := r.CheckPrimeWord(bad); err == nil {
+		t.Fatal("scrambled word accepted")
+	}
+	// A foreign letter is rejected.
+	bad2 := append(f.Clone(), symbol.Symbol(999999))
+	if err := r.CheckPrimeWord(bad2); err == nil {
+		t.Fatal("foreign letter accepted")
+	}
+}
+
+func TestWordScoreEmpty(t *testing.T) {
+	x, _ := Replicate(core.PaperExample())
+	r, err := Reduce(x, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.WordScore(nil) != 0 {
+		t.Fatal("empty word should score 0")
+	}
+	if r.P != 1 {
+		t.Fatalf("P = %d for eps=1", r.P)
+	}
+}
