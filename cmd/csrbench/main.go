@@ -4,22 +4,56 @@
 // Usage:
 //
 //	csrbench [-seed 1] [-only E2,E7]
+//	csrbench -json [-seed 1] [-regions 60] [-algs csr-improve,four-approx]
+//
+// With -json it instead solves one synthetic workload with every selected
+// algorithm and emits machine-readable records (per-algorithm wall time,
+// score, and improvement statistics) so the performance trajectory can be
+// tracked across revisions in BENCH_*.json files.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"os"
 	"strings"
+	"time"
 
+	fragalign "repro"
 	"repro/internal/experiments"
 )
 
+// algResult is one machine-readable benchmark record.
+type algResult struct {
+	Algorithm string  `json:"algorithm"`
+	Seed      int64   `json:"seed"`
+	Regions   int     `json:"regions"`
+	WallMS    float64 `json:"wall_ms"`
+	Score     float64 `json:"score"`
+	Matches   int     `json:"matches,omitempty"`
+	Rounds    int     `json:"rounds,omitempty"`
+	Evaluated int     `json:"evaluated,omitempty"`
+	Accepted  int     `json:"accepted,omitempty"`
+	Error     string  `json:"error,omitempty"`
+}
+
 func main() {
 	var (
-		seed = flag.Int64("seed", 1, "experiment seed")
-		only = flag.String("only", "", "comma-separated experiment IDs (default all)")
+		seed     = flag.Int64("seed", 1, "experiment seed")
+		only     = flag.String("only", "", "comma-separated experiment IDs (default all)")
+		asJSON   = flag.Bool("json", false, "emit per-algorithm JSON records instead of tables")
+		regions  = flag.Int("regions", 60, "synthetic workload size for -json")
+		algsFlag = flag.String("algs", "", "comma-separated algorithms for -json (default all but exact)")
 	)
 	flag.Parse()
+	if *asJSON {
+		if err := runJSON(*seed, *regions, *algsFlag); err != nil {
+			fmt.Fprintln(os.Stderr, "csrbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	want := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {
 		if id = strings.TrimSpace(id); id != "" {
@@ -32,4 +66,52 @@ func main() {
 		}
 		fmt.Println(t.Format())
 	}
+}
+
+func runJSON(seed int64, regions int, algsFlag string) error {
+	cfg := fragalign.DefaultGenConfig(seed)
+	cfg.Regions = regions
+	w := fragalign.Generate(cfg)
+
+	var algs []fragalign.Algorithm
+	if algsFlag == "" {
+		// Exact enumeration is factorial; exclude it from the default sweep.
+		for _, a := range fragalign.Algorithms() {
+			if a != fragalign.Exact {
+				algs = append(algs, a)
+			}
+		}
+	} else {
+		for _, s := range strings.Split(algsFlag, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				algs = append(algs, fragalign.Algorithm(s))
+			}
+		}
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	for _, alg := range algs {
+		rec := algResult{Algorithm: string(alg), Seed: seed, Regions: regions}
+		start := time.Now()
+		res, err := fragalign.Solve(w.Instance, alg,
+			fragalign.WithEps(0.05), fragalign.WithFourApproxSeed(true))
+		rec.WallMS = float64(time.Since(start).Microseconds()) / 1000
+		if err != nil {
+			rec.Error = err.Error()
+		} else {
+			rec.Score = res.Score
+			if res.Solution != nil {
+				rec.Matches = len(res.Solution.Matches)
+			}
+			if res.Stats != nil {
+				rec.Rounds = res.Stats.Rounds
+				rec.Evaluated = res.Stats.Evaluated
+				rec.Accepted = res.Stats.Accepted
+			}
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -36,6 +36,7 @@ package fragalign
 import (
 	"fmt"
 	"io"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/encoding"
@@ -334,23 +335,24 @@ func Solve(in *Instance, alg Algorithm, opts ...Option) (*Result, error) {
 
 // FormatResult renders a result for terminals: score, layouts, matches.
 func FormatResult(in *Instance, res *Result) string {
-	out := fmt.Sprintf("algorithm: %s\nscore: %v\n", res.Algorithm, res.Score)
+	var b strings.Builder
+	fmt.Fprintf(&b, "algorithm: %s\nscore: %v\n", res.Algorithm, res.Score)
 	if res.Conjecture != nil {
-		out += fmt.Sprintf("H layout: %s\nM layout: %s\n",
+		fmt.Fprintf(&b, "H layout: %s\nM layout: %s\n",
 			res.Conjecture.FormatLayout(in, SpeciesH, matchedCount(in, res, SpeciesH)),
 			res.Conjecture.FormatLayout(in, SpeciesM, matchedCount(in, res, SpeciesM)))
-		out += fmt.Sprintf("matches: %d\n", len(res.Solution.Matches))
+		fmt.Fprintf(&b, "matches: %d\n", len(res.Solution.Matches))
 		for _, mt := range res.Solution.Matches {
 			rev := ""
 			if mt.Rev {
 				rev = " (reversed)"
 			}
-			out += fmt.Sprintf("  %v ~ %v%s score %v\n", mt.HSite, mt.MSite, rev, mt.Score)
+			fmt.Fprintf(&b, "  %v ~ %v%s score %v\n", mt.HSite, mt.MSite, rev, mt.Score)
 		}
 	} else {
-		out += fmt.Sprintf("H layout: %v\nM layout: %v\n", res.LayoutH, res.LayoutM)
+		fmt.Fprintf(&b, "H layout: %v\nM layout: %v\n", res.LayoutH, res.LayoutM)
 	}
-	return out
+	return b.String()
 }
 
 func matchedCount(in *Instance, res *Result, sp Species) int {

@@ -30,6 +30,9 @@ func Score(a, b symbol.Word, sc score.Scorer) float64 {
 	if len(a) == 0 || len(b) == 0 {
 		return 0
 	}
+	if c := fastPath(sc, a, b, len(a)*len(b)); c != nil {
+		return scoreCompiled(a, b, c)
+	}
 	// σ is not symmetric in its species sides, so the argument order is
 	// significant and the words are never swapped.
 	n := len(b)
@@ -80,20 +83,26 @@ func Align(a, b symbol.Word, sc score.Scorer) (float64, []Col) {
 	if m == 0 || n == 0 {
 		return 0, nil
 	}
-	d := make([][]float64, m+1)
-	for i := range d {
-		d[i] = make([]float64, n+1)
-	}
-	for i := 1; i <= m; i++ {
-		for j := 1; j <= n; j++ {
-			best := d[i-1][j-1] + sc.Score(a[i-1], b[j-1])
-			if d[i-1][j] > best {
-				best = d[i-1][j]
+	var d [][]float64
+	if c := fastPath(sc, a, b, len(a)*len(b)); c != nil {
+		d = fillCompiled(a, b, c)
+		sc = c // the traceback's O(m+n) lookups take the dense path too
+	} else {
+		d = make([][]float64, m+1)
+		for i := range d {
+			d[i] = make([]float64, n+1)
+		}
+		for i := 1; i <= m; i++ {
+			for j := 1; j <= n; j++ {
+				best := d[i-1][j-1] + sc.Score(a[i-1], b[j-1])
+				if d[i-1][j] > best {
+					best = d[i-1][j]
+				}
+				if d[i][j-1] > best {
+					best = d[i][j-1]
+				}
+				d[i][j] = best
 			}
-			if d[i][j-1] > best {
-				best = d[i][j-1]
-			}
-			d[i][j] = best
 		}
 	}
 	var cols []Col

@@ -23,6 +23,9 @@ func ScoreBanded(a, b symbol.Word, sc score.Scorer, band int) float64 {
 	if band < 1 {
 		band = 1
 	}
+	if c := fastPath(sc, a, b, len(a)*min(len(b), 2*band+1)); c != nil {
+		return scoreBandedCompiled(a, b, c, band)
+	}
 	prev := make([]float64, n+1)
 	cur := make([]float64, n+1)
 	// Row 0 is all zeros: leading gaps are free.

@@ -1,0 +1,281 @@
+package align
+
+import (
+	"repro/internal/score"
+	"repro/internal/symbol"
+)
+
+// fastPath returns a dense compiled matrix covering every symbol of the
+// given words, or nil when the interface path is preferable.
+//
+// A pre-compiled scorer is used whenever it covers the words — callers that
+// compile once per solve (improve, onecsr, greedy, exact) always hit the
+// dense path, even for tiny site words. Any other scorer is compiled on the
+// fly only when the DP cell count (area — callers pass the number of cells
+// their kernel actually computes, e.g. the band area for ScoreBanded)
+// dwarfs the O(dim²) compilation cost, so small one-off alignments never
+// pay for a matrix they cannot amortize.
+func fastPath(sc score.Scorer, a, b symbol.Word, area int) *score.Compiled {
+	need := wordsMaxID(a, b)
+	if c, ok := sc.(*score.Compiled); ok {
+		if c.MaxID() >= need {
+			return c
+		}
+		return nil // out-of-range symbols: stay on the (correct) interface path
+	}
+	dim := 2*int(need) + 1
+	if area < 4*dim*dim {
+		return nil
+	}
+	return score.Compile(sc, need)
+}
+
+func wordsMaxID(a, b symbol.Word) int32 {
+	var m int32
+	for _, s := range a {
+		if id := s.ID(); id > m {
+			m = id
+		}
+	}
+	for _, s := range b {
+		if id := s.ID(); id > m {
+			m = id
+		}
+	}
+	return m
+}
+
+// scoreCompiled is Score on the dense fast path: the σ row of a[i-1] is
+// hoisted out of the inner loop and b's column indices are precomputed, so
+// each cell is three compares and one slice load.
+// sparseRow lists the columns of one σ row with a positive score: pos[k] is
+// the 0-based position in b, val[k] the score against b[pos[k]].
+type sparseRow struct {
+	pos []int32
+	val []float64
+}
+
+// sparseRows builds, for each distinct symbol of a, the positive columns of
+// its σ row against b. DP rows are monotone nondecreasing, so a cell whose σ
+// is ≤ 0 reduces exactly to max(up, left) — only the positive columns ever
+// need the add, and they are typically a small fraction of the row.
+func sparseRows(a, b symbol.Word, c *score.Compiled) []*sparseRow {
+	bi := c.IndexWord(b)
+	rows := make([]*sparseRow, 2*int(c.MaxID())+1)
+	for _, s := range a {
+		ia := c.Index(s)
+		if rows[ia] != nil {
+			continue
+		}
+		sr := &sparseRow{}
+		row := c.Row(s)
+		for j, bj := range bi {
+			if v := row[bj]; v > 0 {
+				sr.pos = append(sr.pos, int32(j))
+				sr.val = append(sr.val, v)
+			}
+		}
+		rows[ia] = sr
+	}
+	return rows
+}
+
+// scoreCompiled is Score on the dense fast path. It rolls a single DP array,
+// carries the diagonal and the running row max in registers, and touches σ
+// only at the precomputed positive columns of each row. Words too small to
+// amortize the O(alphabet) sparse-row table take a plain dense loop instead.
+func scoreCompiled(a, b symbol.Word, c *score.Compiled) float64 {
+	n := len(b)
+	if len(a)*n < 8*int(c.MaxID())+4 {
+		return scoreCompiledSmall(a, b, c)
+	}
+	rows := sparseRows(a, b, c)
+	arr := make([]float64, n+1)
+	for i := 1; i <= len(a); i++ {
+		sr := rows[c.Index(a[i-1])]
+		pos, val := sr.pos, sr.val
+		k := 0
+		diag, best := 0.0, 0.0
+		for j := 1; j <= n; j++ {
+			up := arr[j]
+			v := up
+			if k < len(pos) && int(pos[k]) == j-1 {
+				if d := diag + val[k]; d > v {
+					v = d
+				}
+				k++
+			}
+			if best > v {
+				v = best
+			}
+			arr[j] = v
+			best = v
+			diag = up
+		}
+	}
+	return arr[n]
+}
+
+// scoreCompiledSmall is the dense Score loop for words whose DP area is
+// smaller than the alphabet: row gathers per cell, no per-call tables.
+func scoreCompiledSmall(a, b symbol.Word, c *score.Compiled) float64 {
+	n := len(b)
+	bi := c.IndexWord(b)
+	prev := make([]float64, n+1)
+	cur := make([]float64, n+1)
+	for i := 1; i <= len(a); i++ {
+		row := c.Row(a[i-1])
+		diag, best := prev[0], 0.0
+		cur[0] = 0
+		for j := 1; j <= n; j++ {
+			v := diag + row[bi[j-1]]
+			up := prev[j]
+			if up > v {
+				v = up
+			}
+			if best > v {
+				v = best
+			}
+			cur[j] = v
+			best = v
+			diag = up
+		}
+		prev, cur = cur, prev
+	}
+	return prev[n]
+}
+
+// fillCompiled computes the full DP matrix of Align on the dense fast path.
+func fillCompiled(a, b symbol.Word, c *score.Compiled) [][]float64 {
+	m, n := len(a), len(b)
+	d := make([][]float64, m+1)
+	for i := range d {
+		d[i] = make([]float64, n+1)
+	}
+	bi := c.IndexWord(b)
+	for i := 1; i <= m; i++ {
+		row := c.Row(a[i-1])
+		di, dp := d[i], d[i-1]
+		for j := 1; j <= n; j++ {
+			best := dp[j-1] + row[bi[j-1]]
+			if dp[j] > best {
+				best = dp[j]
+			}
+			if di[j-1] > best {
+				best = di[j-1]
+			}
+			di[j] = best
+		}
+	}
+	return d
+}
+
+// lastRowCompiled is lastRow on the dense fast path.
+func lastRowCompiled(a, b symbol.Word, c *score.Compiled) []float64 {
+	n := len(b)
+	bi := c.IndexWord(b)
+	prev := make([]float64, n+1)
+	cur := make([]float64, n+1)
+	for i := 1; i <= len(a); i++ {
+		row := c.Row(a[i-1])
+		cur[0] = 0
+		for j := 1; j <= n; j++ {
+			best := prev[j-1] + row[bi[j-1]]
+			if prev[j] > best {
+				best = prev[j]
+			}
+			if cur[j-1] > best {
+				best = cur[j-1]
+			}
+			cur[j] = best
+		}
+		prev, cur = cur, prev
+	}
+	return prev
+}
+
+// scoreBandedCompiled is ScoreBanded on the dense fast path.
+func scoreBandedCompiled(a, b symbol.Word, c *score.Compiled, band int) float64 {
+	m, n := len(a), len(b)
+	bi := c.IndexWord(b)
+	prev := make([]float64, n+1)
+	cur := make([]float64, n+1)
+	for i := 1; i <= m; i++ {
+		row := c.Row(a[i-1])
+		center := i * n / m
+		lo := max(1, center-band)
+		hi := min(n, center+band)
+		for j := range cur {
+			cur[j] = minusInf
+		}
+		cur[0] = 0
+		for j := lo; j <= hi; j++ {
+			best := minusInf
+			if prev[j-1] > minusInf/2 {
+				best = prev[j-1] + row[bi[j-1]]
+			}
+			if prev[j] > best {
+				best = prev[j]
+			}
+			if cur[j-1] > best {
+				best = cur[j-1]
+			}
+			cur[j] = best
+		}
+		prev, cur = cur, prev
+	}
+	best := 0.0
+	for j := 0; j <= n; j++ {
+		if prev[j] > best {
+			best = prev[j]
+		}
+	}
+	return best
+}
+
+// placementsCompiled is Placements on the dense fast path.
+func placementsCompiled(a, b symbol.Word, c *score.Compiled, minScore float64) []Placement {
+	m, n := len(a), len(b)
+	bi := c.IndexWord(b)
+	const noStart = 1 << 30
+	dPrev := make([]float64, n+1)
+	dCur := make([]float64, n+1)
+	stPrev := make([]int, n+1)
+	stCur := make([]int, n+1)
+	for j := range stPrev {
+		stPrev[j] = noStart
+	}
+	for i := 1; i <= m; i++ {
+		row := c.Row(a[i-1])
+		dCur[0] = 0
+		stCur[0] = noStart
+		for j := 1; j <= n; j++ {
+			s := row[bi[j-1]]
+			bestV := dPrev[j]
+			bestS := stPrev[j]
+			if dCur[j-1] > bestV || (dCur[j-1] == bestV && stCur[j-1] > bestS) {
+				bestV, bestS = dCur[j-1], stCur[j-1]
+			}
+			if s > 0 {
+				v := dPrev[j-1] + s
+				st := stPrev[j-1]
+				if st == noStart {
+					st = j - 1
+				}
+				if v > bestV || (v == bestV && st > bestS) {
+					bestV, bestS = v, st
+				}
+			}
+			dCur[j], stCur[j] = bestV, bestS
+		}
+		dPrev, dCur = dCur, dPrev
+		stPrev, stCur = stCur, stPrev
+	}
+	var out []Placement
+	for j := 1; j <= n; j++ {
+		if dPrev[j] > dPrev[j-1] && dPrev[j] > minScore && stPrev[j] != noStart {
+			out = append(out, Placement{Lo: stPrev[j], Hi: j, Score: dPrev[j]})
+		}
+	}
+	return out
+}

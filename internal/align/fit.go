@@ -28,6 +28,9 @@ func Placements(a, b symbol.Word, sc score.Scorer, minScore float64) []Placement
 	if m == 0 || n == 0 {
 		return nil
 	}
+	if c := fastPath(sc, a, b, len(a)*len(b)); c != nil {
+		return placementsCompiled(a, b, c, minScore)
+	}
 	// d[j]: best score of aligning all of a against b[?..j).
 	// st[j]: latest start of the first scoring column among optimal
 	// alignments achieving d[j]; n+1 when no scoring column exists.

@@ -10,6 +10,11 @@ import (
 // classic divide-and-conquer of Hirschberg (1975), adapted to free-gap
 // scoring. Time remains O(|a|·|b|).
 func Hirschberg(a, b symbol.Word, sc score.Scorer) (float64, []Col) {
+	// Compile once at the top of the recursion; every lastRow and base-case
+	// Align below then rides the dense fast path.
+	if c := fastPath(sc, a, b, len(a)*len(b)); c != nil {
+		sc = c
+	}
 	cols := hirsch(a, b, 0, 0, sc)
 	return ColsScore(cols), cols
 }
@@ -52,6 +57,9 @@ func hirsch(a, b symbol.Word, ioff, joff int, sc score.Scorer) []Col {
 // (This is positional reversal only; symbol reversal is handled by the
 // caller via Word.Rev when orientation matters.)
 func lastRow(a, b symbol.Word, sc score.Scorer) []float64 {
+	if c := fastPath(sc, a, b, len(a)*len(b)); c != nil {
+		return lastRowCompiled(a, b, c)
+	}
 	n := len(b)
 	prev := make([]float64, n+1)
 	cur := make([]float64, n+1)

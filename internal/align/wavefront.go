@@ -45,6 +45,14 @@ func (w WavefrontAligner) Score(a, b symbol.Word, sc score.Scorer) float64 {
 	nI := (m + br - 1) / br // tile rows
 	nJ := (n + bc - 1) / bc // tile cols
 
+	// Dense fast path: all tiles share one compiled matrix and one column
+	// index vector for b.
+	cm := fastPath(sc, a, b, len(a)*len(b))
+	var bIdx []int32
+	if cm != nil {
+		bIdx = cm.IndexWord(b)
+	}
+
 	// rowBuf[I][j] = D[rowEnd(I)][j] once every tile of tile-row I left of
 	// column j is done; rowBuf[0] is the all-zero DP row 0.
 	rowBuf := make([][]float64, nI+1)
@@ -123,15 +131,30 @@ func (w WavefrontAligner) Score(a, b symbol.Word, sc score.Scorer) float64 {
 		for r := 1; r <= h; r++ {
 			ai := a[rowLo+r-1]
 			cur[0] = left[r]
-			for c := 1; c <= wdt; c++ {
-				best := prev[c-1] + sc.Score(ai, b[colLo+c-1])
-				if prev[c] > best {
-					best = prev[c]
+			if cm != nil {
+				row := cm.Row(ai)
+				bi := bIdx[colLo:colHi]
+				for c := 1; c <= wdt; c++ {
+					best := prev[c-1] + row[bi[c-1]]
+					if prev[c] > best {
+						best = prev[c]
+					}
+					if cur[c-1] > best {
+						best = cur[c-1]
+					}
+					cur[c] = best
 				}
-				if cur[c-1] > best {
-					best = cur[c-1]
+			} else {
+				for c := 1; c <= wdt; c++ {
+					best := prev[c-1] + sc.Score(ai, b[colLo+c-1])
+					if prev[c] > best {
+						best = prev[c]
+					}
+					if cur[c-1] > best {
+						best = cur[c-1]
+					}
+					cur[c] = best
 				}
-				cur[c] = best
 			}
 			newCarry[r] = cur[wdt]
 			prev, cur = cur, prev

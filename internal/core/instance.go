@@ -112,6 +112,23 @@ func (in *Instance) MaxMatches() int {
 	return m
 }
 
+// MaxSymbolID returns the largest region ID appearing in any fragment of
+// either species — the coverage bound solvers use to compile σ into a dense
+// matrix (score.Compile) once per solve.
+func (in *Instance) MaxSymbolID() int32 {
+	var m int32
+	for _, sp := range []Species{SpeciesH, SpeciesM} {
+		for i := range in.Frags(sp) {
+			for _, s := range in.Frags(sp)[i].Regions {
+				if id := s.ID(); id > m {
+					m = id
+				}
+			}
+		}
+	}
+	return m
+}
+
 // Validate checks structural sanity: a scorer is present, fragments are
 // non-empty, and no fragment contains the padding symbol.
 func (in *Instance) Validate() error {

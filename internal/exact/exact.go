@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/align"
 	"repro/internal/core"
+	"repro/internal/score"
 	"repro/internal/symbol"
 )
 
@@ -49,6 +50,9 @@ func Solve(in *core.Instance, cfg Solver) (Result, error) {
 	for i, ml := range mLayouts {
 		mWords[i] = layoutWord(in, core.SpeciesM, ml)
 	}
+	// One compiled σ shared by every layout alignment (and every worker:
+	// the matrix is read-only after compilation).
+	sigma := score.Compile(in.Sigma, in.MaxSymbolID())
 
 	workers := cfg.Workers
 	if workers < 1 {
@@ -70,7 +74,7 @@ func Solve(in *core.Instance, cfg Solver) (Result, error) {
 			for hi := w; hi < len(hLayouts); hi += workers {
 				hw := layoutWord(in, core.SpeciesH, hLayouts[hi])
 				for mi := range mLayouts {
-					sc := align.Score(hw, mWords[mi], in.Sigma)
+					sc := align.Score(hw, mWords[mi], sigma)
 					b := &results[w]
 					if sc > b.score || (sc == b.score && (hi < b.h || (hi == b.h && mi < b.m))) {
 						*b = best{score: sc, h: hi, m: mi}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/align"
 	"repro/internal/core"
+	"repro/internal/score"
 )
 
 // Matching is the simplest credible heuristic: score every H×M fragment
@@ -18,6 +19,7 @@ import (
 // highest-scoring pairs, consuming both fragments. The result is a set of
 // full–full matches (always consistent).
 func Matching(in *core.Instance) *core.Solution {
+	sigma := score.Compile(in.Sigma, in.MaxSymbolID())
 	type cand struct {
 		h, m  int
 		rev   bool
@@ -26,7 +28,7 @@ func Matching(in *core.Instance) *core.Solution {
 	var cands []cand
 	for hi := range in.H {
 		for mi := range in.M {
-			sc, rev := align.BestOrient(in.H[hi].Regions, in.M[mi].Regions, in.Sigma)
+			sc, rev := align.BestOrient(in.H[hi].Regions, in.M[mi].Regions, sigma)
 			if sc > 0 {
 				cands = append(cands, cand{h: hi, m: mi, rev: rev, score: sc})
 			}
@@ -64,6 +66,7 @@ func Matching(in *core.Instance) *core.Solution {
 // highest-scoring placement whose window is still free and whose H fragment
 // is unused. Produces 1-islands only (full H sites in disjoint M windows).
 func Placement(in *core.Instance) *core.Solution {
+	sigma := score.Compile(in.Sigma, in.MaxSymbolID())
 	type cand struct {
 		h, m   int
 		rev    bool
@@ -77,7 +80,7 @@ func Placement(in *core.Instance) *core.Solution {
 			m := in.M[mi].Regions
 			for o := 0; o < 2; o++ {
 				rev := o == 1
-				for _, p := range align.Placements(h.Orient(rev), m, in.Sigma, 0) {
+				for _, p := range align.Placements(h.Orient(rev), m, sigma, 0) {
 					cands = append(cands, cand{h: hi, m: mi, rev: rev, lo: p.Lo, hi: p.Hi, score: p.Score})
 				}
 			}
@@ -124,7 +127,7 @@ func Placement(in *core.Instance) *core.Solution {
 			HSite: hs,
 			MSite: ms,
 			Rev:   c.rev,
-			Score: align.Score(in.SiteWord(hs), in.SiteWord(ms).Orient(c.rev), in.Sigma),
+			Score: align.Score(in.SiteWord(hs), in.SiteWord(ms).Orient(c.rev), sigma),
 		})
 	}
 	return sol

@@ -11,12 +11,49 @@ import (
 // returns the score gain. Attempts are simulated on clones during
 // evaluation and replayed on the live state when accepted.
 type attempt struct {
-	// kind is "I1", "I2" or "I3" (reporting only).
-	kind string
-	// desc identifies the attempt for logs and deterministic tie-breaks.
-	desc string
+	// key identifies the attempt: the comparable cache key of the
+	// incremental driver and the basis of log messages. Identical keys
+	// denote identical attempt closures.
+	key candKey
 	// run applies the attempt and returns the gain.
 	run func(st *state) float64
+}
+
+// kind returns the method label "I1", "I2" or "I3".
+func (at attempt) kind() string {
+	switch at.key.kind {
+	case 1:
+		return "I1"
+	case 2:
+		return "I2"
+	default:
+		return "I3"
+	}
+}
+
+// candKey is the structural identity of an attempt. Enumeration runs every
+// round over thousands of candidates, so the key is a flat comparable
+// struct rather than a formatted string.
+type candKey struct {
+	kind byte // 1, 2, 3
+	f, g core.FragRef
+	// I1: a1, a2 = window [wLo, wHi) on g.
+	// I2: a1, a2 = f end and depth; b1, b2 = g end and depth.
+	// I3: a1 = chain match ID.
+	a1, a2, b1, b2 int
+}
+
+// desc renders the attempt for error messages (cold path only).
+func (at attempt) desc() string {
+	k := at.key
+	switch k.kind {
+	case 1:
+		return fmt.Sprintf("I1(%v→%v[%d,%d))", k.f, k.g, k.a1, k.a2)
+	case 2:
+		return fmt.Sprintf("I2(%v.%v:%d↔%v.%v:%d)", k.f, end(k.a1), k.a2, k.g, end(k.b1), k.b2)
+	default:
+		return fmt.Sprintf("I3(%v~%v#%d)", k.f, k.g, k.a1)
+	}
 }
 
 // i1Attempt builds the Full CSR improvement method I1(f, ḡ, ĝ) of §4.2:
@@ -25,10 +62,9 @@ type attempt struct {
 // on the remnants ĝ − ḡ and on the partner sites freed by the preparation.
 func i1Attempt(f, g core.FragRef, wLo, wHi int) attempt {
 	return attempt{
-		kind: "I1",
-		desc: fmt.Sprintf("I1(%v→%v[%d,%d))", f, g, wLo, wHi),
+		key: candKey{kind: 1, f: f, g: g, a1: wLo, a2: wHi},
 		run: func(st *state) float64 {
-			before := st.score()
+			start := st.delta
 			st.locked[f] = true
 			defer delete(st.locked, f)
 
@@ -41,20 +77,20 @@ func i1Attempt(f, g core.FragRef, wLo, wHi int) attempt {
 			// Prepare the target window.
 			freed := st.prepare(g, wLo, wHi)
 
-			// Best placement of f inside the prepared window.
-			zoneWord := st.in.Frag(g.Sp, g.Idx).Regions[wLo:wHi]
-			sigma := st.sigmaFor(f.Sp)
-			xw := st.in.Frag(f.Sp, f.Idx).Regions
+			// Best placement of f inside the prepared window (the last
+			// entry of the Pareto frontier is the best-scoring one).
 			bestScore, bestRev := 0.0, false
 			var best align.Placement
 			for o := 0; o < 2; o++ {
 				rev := o == 1
-				if p, ok := align.BestPlacement(xw.Orient(rev), zoneWord, sigma, 0); ok && p.Score > bestScore {
-					best, bestScore, bestRev = p, p.Score, rev
+				if ps := st.placements(f, rev, g, wLo, wHi); len(ps) > 0 {
+					if p := ps[len(ps)-1]; p.Score > bestScore {
+						best, bestScore, bestRev = p, p.Score, rev
+					}
 				}
 			}
 			if bestScore <= 0 {
-				return st.score() - before // preparation-only "attempt" (never accepted)
+				return st.delta - start // preparation-only "attempt" (never accepted)
 			}
 			mt := st.mkMatch(f, bestRev, g, wLo+best.Lo, wLo+best.Hi)
 			st.addMatch(mt)
@@ -65,7 +101,7 @@ func i1Attempt(f, g core.FragRef, wLo, wHi int) attempt {
 				{Species: g.Sp, Frag: g.Idx, Lo: wLo + best.Hi, Hi: wHi},
 			})
 			st.tpa(freed)
-			return st.score() - before
+			return st.delta - start
 		},
 	}
 }
@@ -95,10 +131,9 @@ func (e end) String() string {
 // (wf regions from the chosen end).
 func i2Attempt(f core.FragRef, fe end, fw int, g core.FragRef, ge end, gw int) attempt {
 	return attempt{
-		kind: "I2",
-		desc: fmt.Sprintf("I2(%v.%v:%d↔%v.%v:%d)", f, fe, fw, g, ge, gw),
+		key: candKey{kind: 2, f: f, g: g, a1: int(fe), a2: fw, b1: int(ge), b2: gw},
 		run: func(st *state) float64 {
-			before := st.score()
+			start := st.delta
 			st.locked[f] = true
 			st.locked[g] = true
 			defer delete(st.locked, f)
@@ -131,7 +166,7 @@ func i2Attempt(f core.FragRef, fe end, fw int, g core.FragRef, ge end, gw int) a
 			sigma := st.sigmaFor(f.Sp)
 			sc, cols := align.Align(fWord, gWord.Orient(rev), sigma)
 			if sc <= 0 || len(cols) == 0 {
-				return st.score() - before
+				return st.delta - start
 			}
 			fSpanLo, fSpanHi := fLo+cols[0].I, fLo+cols[len(cols)-1].I+1
 			gj0, gj1 := cols[0].J, cols[len(cols)-1].J
@@ -152,7 +187,7 @@ func i2Attempt(f core.FragRef, fe end, fw int, g core.FragRef, ge end, gw int) a
 			} else {
 				mt = core.Match{HSite: gs, MSite: fs, Rev: rev}
 			}
-			mt.Score = align.Score(st.in.SiteWord(mt.HSite), st.in.SiteWord(mt.MSite).Orient(mt.Rev), st.in.Sigma)
+			mt.Score = st.siteScore(mt.HSite, mt.MSite, mt.Rev)
 			st.addMatch(mt)
 
 			// TPA on the inner remnants (window minus claimed site) and
@@ -172,7 +207,7 @@ func i2Attempt(f core.FragRef, fe end, fw int, g core.FragRef, ge end, gw int) a
 			}
 			st.tpa(zones)
 			st.tpa(freed)
-			return st.score() - before
+			return st.delta - start
 		},
 	}
 }
@@ -201,10 +236,13 @@ func claimToEnd(e end, spanLo, spanHi, n int) [2]int {
 // breaking the island only pays off when both ends are re-linked.
 func i3Attempt(f, g core.FragRef, chainID int, candidates func(st *state, x core.FragRef, exclude core.FragRef) []attempt) attempt {
 	return attempt{
-		kind: "I3",
-		desc: fmt.Sprintf("I3(%v~%v)", f, g),
+		key: candKey{kind: 3, f: f, g: g, a1: chainID},
 		run: func(st *state) float64 {
-			before := st.score()
+			start := st.delta
+			// The existence of the chain match depends on f's and g's match
+			// sets; record the reads even on the early-out path.
+			st.note(f)
+			st.note(g)
 			if _, ok := st.matches[chainID]; !ok {
 				return 0
 			}
@@ -227,7 +265,7 @@ func i3Attempt(f, g core.FragRef, chainID int, candidates func(st *state, x core
 					bestAt.run(st)
 				}
 			}
-			return st.score() - before
+			return st.delta - start
 		},
 	}
 }

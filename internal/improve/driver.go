@@ -3,7 +3,6 @@ package improve
 import (
 	"fmt"
 	"sort"
-	"sync"
 
 	"repro/internal/align"
 	"repro/internal/core"
@@ -47,6 +46,15 @@ type Options struct {
 	// accepted improvement then gains at least one quantum, limiting
 	// improvements to 4k² without any gain threshold.
 	Quantize bool
+	// FullReeval disables the incremental candidate cache, re-simulating
+	// every candidate every round. The accepted attempt sequence is
+	// identical either way (see incremental.go); this exists for A/B
+	// verification and benchmarking.
+	FullReeval bool
+	// minGain is an internal acceptance floor. The quantized path sets it
+	// to half a quantum: every true gain is a whole multiple of the
+	// quantum, so the floor only rejects floating-point noise around zero.
+	minGain float64
 	// CheckInvariants validates consistency after every accepted attempt
 	// (slow; for tests).
 	CheckInvariants bool
@@ -99,6 +107,7 @@ func Improve(in *core.Instance, opt Options) (*core.Solution, Stats, error) {
 		// re-truncated), then re-score the result under the true σ.
 		qopt := opt
 		qopt.Quantize = false
+		qopt.minGain = unit / 2
 		if qopt.Seed == nil && seed != nil {
 			qopt.Seed = seed
 		}
@@ -121,58 +130,94 @@ func Improve(in *core.Instance, opt Options) (*core.Solution, Stats, error) {
 	}
 
 	st := newState(in, seed)
+	vers := make(map[core.FragRef]uint64)
+	st.vers = vers
+	cache := make(map[candKey]*cacheEntry)
+	var pool *workerPool
+	if workers > 1 {
+		pool = newWorkerPool(workers)
+		defer pool.close()
+	}
 	for stats.Rounds = 0; stats.Rounds < maxRounds; stats.Rounds++ {
 		cands := enumerate(st, opt.Methods)
 		stats.Evaluated += len(cands)
-		bestIdx, bestGain := -1, stats.Threshold
-		if workers == 1 || len(cands) < 2 {
-			for i, at := range cands {
-				sim := st.clone()
-				if g := at.run(sim); g > bestGain {
-					bestIdx, bestGain = i, g
+		gains := make([]float64, len(cands))
+		// Reuse cached gains whose recorded read sets are untouched;
+		// re-simulate only candidates invalidated by the matches the last
+		// accepted attempt actually changed.
+		fresh := make([]int, 0, len(cands))
+		for i, at := range cands {
+			if !opt.FullReeval {
+				if e, ok := cache[at.key]; ok {
+					if e.valid(vers) {
+						e.seen = stats.Rounds
+						gains[i] = e.gain
+						continue
+					}
+					delete(cache, at.key)
 				}
+			}
+			fresh = append(fresh, i)
+		}
+		recs := make([]*readRecorder, len(cands))
+		eval := func(i int) {
+			rec := newReadRecorder(vers)
+			sim := st.clone()
+			sim.rec = rec
+			// Zero the gain accumulator so every evaluation performs the
+			// identical float additions regardless of the live state's
+			// accumulated delta — cached and fresh gains stay bit-equal.
+			sim.delta = 0
+			gains[i] = cands[i].run(sim)
+			recs[i] = rec
+		}
+		if pool == nil || len(fresh) < 2 {
+			for _, i := range fresh {
+				eval(i)
 			}
 		} else {
-			gains := make([]float64, len(cands))
-			var wg sync.WaitGroup
-			next := make(chan int, len(cands))
-			for i := range cands {
-				next <- i
+			for _, i := range fresh {
+				i := i
+				pool.do(func() { eval(i) })
 			}
-			close(next)
-			for w := 0; w < workers; w++ {
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					for i := range next {
-						sim := st.clone()
-						gains[i] = cands[i].run(sim)
-					}
-				}()
+			pool.wait()
+		}
+		if !opt.FullReeval {
+			for _, i := range fresh {
+				cache[cands[i].key] = &cacheEntry{gain: gains[i], reads: recs[i].reads, seen: stats.Rounds}
 			}
-			wg.Wait()
-			for i, g := range gains {
-				if g > bestGain {
-					bestIdx, bestGain = i, g
+			// Sweep entries whose keys were not enumerated this round:
+			// their generating structure (windows, chain matches) is gone,
+			// so they can never be looked up again.
+			for k, e := range cache {
+				if e.seen != stats.Rounds {
+					delete(cache, k)
 				}
+			}
+		}
+		bestIdx, bestGain := -1, max(stats.Threshold, opt.minGain)
+		for i, g := range gains {
+			if g > bestGain {
+				bestIdx, bestGain = i, g
 			}
 		}
 		if bestIdx < 0 {
 			break
 		}
+		st.delta = 0 // replay under the same accumulator base as the simulation
 		got := cands[bestIdx].run(st)
 		stats.Accepted++
 		if diff := got - bestGain; diff > 1e-6*(1+bestGain) || diff < -1e-6*(1+bestGain) {
 			return nil, stats, fmt.Errorf("improve: %s replayed gain %v != simulated %v",
-				cands[bestIdx].desc, got, bestGain)
+				cands[bestIdx].desc(), got, bestGain)
 		}
 		if opt.CheckInvariants {
 			sol := st.solution()
 			if err := sol.Validate(in); err != nil {
-				return nil, stats, fmt.Errorf("improve: after %s: %w", cands[bestIdx].desc, err)
+				return nil, stats, fmt.Errorf("improve: after %s: %w", cands[bestIdx].desc(), err)
 			}
 			if _, err := sol.BuildConjecture(in); err != nil {
-				return nil, stats, fmt.Errorf("improve: after %s: inconsistent solution: %w", cands[bestIdx].desc, err)
+				return nil, stats, fmt.Errorf("improve: after %s: inconsistent solution: %w", cands[bestIdx].desc(), err)
 			}
 		}
 	}
@@ -181,12 +226,14 @@ func Improve(in *core.Instance, opt Options) (*core.Solution, Stats, error) {
 	return sol, stats, nil
 }
 
-// rescore refreshes every cached match score under the instance's σ.
+// rescore refreshes every cached match score under the instance's σ,
+// compiled once for the pass.
 func rescore(in *core.Instance, sol *core.Solution) *core.Solution {
 	out := sol.Clone()
+	sc := score.Compile(in.Sigma, in.MaxSymbolID())
 	for i := range out.Matches {
 		mt := &out.Matches[i]
-		mt.Score = align.Score(in.SiteWord(mt.HSite), in.SiteWord(mt.MSite).Orient(mt.Rev), in.Sigma)
+		mt.Score = align.Score(in.SiteWord(mt.HSite), in.SiteWord(mt.MSite).Orient(mt.Rev), sc)
 	}
 	return out
 }
@@ -208,7 +255,15 @@ func enumerate(st *state, methods Methods) []attempt {
 // preparable window on every opposite-species fragment g. Windows are the
 // maximal free gaps of g, optionally extended over the neighbouring match
 // site on each side (triggering restriction), and the whole fragment.
+// Target windows are computed once per g, not once per (f, g) pair.
 func i1Candidates(st *state) []attempt {
+	windows := [2][][][2]int{}
+	for _, sp := range []core.Species{core.SpeciesH, core.SpeciesM} {
+		windows[sp] = make([][][2]int, st.in.NumFrags(sp))
+		for gi := range windows[sp] {
+			windows[sp][gi] = targetWindows(st, core.FragRef{Sp: sp, Idx: gi})
+		}
+	}
 	var out []attempt
 	for _, sp := range []core.Species{core.SpeciesH, core.SpeciesM} {
 		for fi := 0; fi < st.in.NumFrags(sp); fi++ {
@@ -216,7 +271,7 @@ func i1Candidates(st *state) []attempt {
 			osp := sp.Other()
 			for gi := 0; gi < st.in.NumFrags(osp); gi++ {
 				g := core.FragRef{Sp: osp, Idx: gi}
-				for _, w := range targetWindows(st, g) {
+				for _, w := range windows[osp][gi] {
 					out = append(out, i1Attempt(f, g, w[0], w[1]))
 				}
 			}
@@ -267,6 +322,21 @@ func targetWindows(st *state, g core.FragRef) [][2]int {
 // Window depths per end: the maximal free depth (no tearing) and the whole
 // fragment (tear everything on that side).
 func i2Candidates(st *state, only core.FragRef, exclude core.FragRef) []attempt {
+	// End depths are computed once per (fragment, end), not once per pair.
+	depths := [2][][2][]int{}
+	for _, sp := range []core.Species{core.SpeciesH, core.SpeciesM} {
+		depths[sp] = make([][2][]int, st.in.NumFrags(sp))
+		for fi := range depths[sp] {
+			fr := core.FragRef{Sp: sp, Idx: fi}
+			if only.Idx >= 0 && only.Sp == sp && only.Idx != fi {
+				continue
+			}
+			depths[sp][fi] = [2][]int{
+				endDepths(st, fr, leftEnd),
+				endDepths(st, fr, rightEnd),
+			}
+		}
+	}
 	var out []attempt
 	for fi := 0; fi < st.in.NumFrags(core.SpeciesH); fi++ {
 		f := core.FragRef{Sp: core.SpeciesH, Idx: fi}
@@ -286,8 +356,8 @@ func i2Candidates(st *state, only core.FragRef, exclude core.FragRef) []attempt 
 			}
 			for _, fe := range []end{leftEnd, rightEnd} {
 				for _, ge := range []end{leftEnd, rightEnd} {
-					for _, fw := range endDepths(st, f, fe) {
-						for _, gw := range endDepths(st, g, ge) {
+					for _, fw := range depths[core.SpeciesH][fi][fe] {
+						for _, gw := range depths[core.SpeciesM][gi][ge] {
 							out = append(out, i2Attempt(f, fe, fw, g, ge, gw))
 						}
 					}

@@ -63,12 +63,12 @@ func TestEnumerateMethodFiltering(t *testing.T) {
 	border := enumerate(st, BorderOnly)
 	all := enumerate(st, AllMethods)
 	for _, at := range full {
-		if at.kind != "I1" {
-			t.Fatalf("FullOnly produced %s", at.kind)
+		if at.kind() != "I1" {
+			t.Fatalf("FullOnly produced %s", at.kind())
 		}
 	}
 	for _, at := range border {
-		if at.kind == "I1" {
+		if at.kind() == "I1" {
 			t.Fatalf("BorderOnly produced I1")
 		}
 	}

@@ -1,0 +1,176 @@
+package improve
+
+import (
+	"sync"
+
+	"repro/internal/core"
+)
+
+// This file implements the incremental candidate re-evaluation machinery of
+// the driver. The invariants it relies on:
+//
+//  1. Per-fragment versions. The live state carries a version counter per
+//     fragment, bumped whenever a match touching that fragment is added,
+//     removed, or restricted. Simulations never bump versions (clones drop
+//     the map).
+//
+//  2. Recorded read sets. A simulation records every fragment whose match
+//     data it consults (all per-fragment reads funnel through
+//     state.fragMatchIDs and state.degree), together with the live version
+//     at read time. A cached gain is reusable iff every recorded fragment
+//     still has its recorded version: the simulation would replay the exact
+//     same event sequence, so the gain is bit-identical to a fresh run.
+//
+//  3. Value-independent gains. Attempt gains are accumulated as a running
+//     delta over match additions/removals/restrictions (state.delta), never
+//     as a difference of whole-state sums, so a gain does not depend on
+//     matches the attempt never touched — neither logically nor through
+//     floating-point summation order.
+//
+//  4. Lazy TPA contributions. tpaBatch consults a fragment's current
+//     contribution only after finding a positive placement for it, so
+//     candidates do not read (and therefore do not depend on) fragments
+//     that cannot participate in their improvement.
+//
+// Together these make the incremental driver accept exactly the same
+// attempt sequence as full re-evaluation (enforced by TestIncrementalMatchesFull).
+
+// readRecorder captures the fragments a simulation reads, with the live
+// version current at read time. One recorder per candidate evaluation; the
+// live version map is only ever read here.
+type readRecorder struct {
+	vers  map[core.FragRef]uint64
+	reads map[core.FragRef]uint64
+}
+
+func newReadRecorder(vers map[core.FragRef]uint64) *readRecorder {
+	return &readRecorder{vers: vers, reads: make(map[core.FragRef]uint64, 8)}
+}
+
+func (r *readRecorder) note(fr core.FragRef) {
+	if _, ok := r.reads[fr]; !ok {
+		r.reads[fr] = r.vers[fr]
+	}
+}
+
+// cacheEntry is one memoized candidate gain plus the read set that
+// justifies it.
+type cacheEntry struct {
+	gain  float64
+	reads map[core.FragRef]uint64
+	// seen is the last round this entry's key was enumerated; the driver
+	// sweeps unseen entries each round so the cache tracks the live
+	// candidate set instead of every key ever generated.
+	seen int
+}
+
+// valid reports whether every fragment the evaluation read still has the
+// version it read.
+func (e *cacheEntry) valid(vers map[core.FragRef]uint64) bool {
+	for fr, v := range e.reads {
+		if vers[fr] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// alignKey identifies one site-word alignment: score of H-site h against
+// M-site m at orientation rev under the instance σ.
+type alignKey struct {
+	h, m core.Site
+	rev  bool
+}
+
+// alignMemo caches site-word alignment scores. Scores depend only on the
+// instance's words and σ, both fixed for the lifetime of a solve, so the
+// memo is shared by every simulation, TPA run, and replay of one solve
+// (concurrent simulations included, hence the lock).
+type alignMemo struct {
+	mu sync.RWMutex
+	m  map[alignKey]float64
+}
+
+func newAlignMemo() *alignMemo {
+	return &alignMemo{m: make(map[alignKey]float64, 256)}
+}
+
+func (am *alignMemo) get(k alignKey) (float64, bool) {
+	am.mu.RLock()
+	v, ok := am.m[k]
+	am.mu.RUnlock()
+	return v, ok
+}
+
+func (am *alignMemo) put(k alignKey, v float64) {
+	am.mu.Lock()
+	am.m[k] = v
+	am.mu.Unlock()
+}
+
+// placeKey identifies one fit-placement query: fragment x at orientation
+// rev into the window [lo, hi) of fragment z.
+type placeKey struct {
+	x      core.FragRef
+	rev    bool
+	z      core.FragRef
+	lo, hi int
+}
+
+// placeMemo caches Pareto placement frontiers. Like site-word scores they
+// depend only on the instance words and σ, so one memo serves every
+// simulation and TPA batch of a solve. Values are shared read-only slices.
+type placeMemo struct {
+	mu sync.RWMutex
+	m  map[placeKey][]placement
+}
+
+// placement mirrors align.Placement; aliased here to avoid an import cycle
+// in the key file. (Defined as a type alias in state.go.)
+
+func newPlaceMemo() *placeMemo {
+	return &placeMemo{m: make(map[placeKey][]placement, 256)}
+}
+
+func (pm *placeMemo) get(k placeKey) ([]placement, bool) {
+	pm.mu.RLock()
+	v, ok := pm.m[k]
+	pm.mu.RUnlock()
+	return v, ok
+}
+
+func (pm *placeMemo) put(k placeKey, v []placement) {
+	pm.mu.Lock()
+	pm.m[k] = v
+	pm.mu.Unlock()
+}
+
+// workerPool is a persistent set of evaluation goroutines, created once per
+// Improve call and fed one batch of candidate simulations per round —
+// replacing the per-round goroutine spawn of the previous driver.
+type workerPool struct {
+	jobs chan func()
+	wg   sync.WaitGroup
+}
+
+func newWorkerPool(n int) *workerPool {
+	p := &workerPool{jobs: make(chan func())}
+	for i := 0; i < n; i++ {
+		go func() {
+			for f := range p.jobs {
+				f()
+				p.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+func (p *workerPool) do(f func()) {
+	p.wg.Add(1)
+	p.jobs <- f
+}
+
+func (p *workerPool) wait() { p.wg.Wait() }
+
+func (p *workerPool) close() { close(p.jobs) }

@@ -4,6 +4,7 @@ import (
 	"repro/internal/align"
 	"repro/internal/bipartite"
 	"repro/internal/core"
+	"repro/internal/score"
 )
 
 // MatchingTwoApprox is the Lemma 9 algorithm for Border CSR: the optimum's
@@ -16,13 +17,14 @@ func MatchingTwoApprox(in *core.Instance) (*core.Solution, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
+	sigma := score.Compile(in.Sigma, in.MaxSymbolID())
 	weights := make([][]float64, len(in.H))
 	revs := make([][]bool, len(in.H))
 	for hi := range in.H {
 		weights[hi] = make([]float64, len(in.M))
 		revs[hi] = make([]bool, len(in.M))
 		for mi := range in.M {
-			sc, rev := align.BestOrient(in.H[hi].Regions, in.M[mi].Regions, in.Sigma)
+			sc, rev := align.BestOrient(in.H[hi].Regions, in.M[mi].Regions, sigma)
 			if sc > 0 {
 				weights[hi][mi] = sc
 				revs[hi][mi] = rev

@@ -13,6 +13,19 @@
 // preparation exposed. Iteration counts are bounded by the
 // Chandra–Halldórsson scaling rule of §4.1: only gains above X/k² are
 // accepted, where X is a 4-approximate score and k bounds the match count.
+//
+// # Evaluation fast path
+//
+// The driver compiles σ into a dense matrix once per solve (score.Compile)
+// and shares it — together with a site-word alignment memo and a Pareto
+// placement memo, both keyed purely by instance data — across every
+// simulation, TPA batch, and replay. Candidate gains are evaluated
+// incrementally: each simulation records the fragments whose match data it
+// read, accepted attempts bump per-fragment version counters, and a cached
+// gain is reused whenever its recorded read set is untouched. The recorded
+// gains are bit-identical to fresh evaluation (see incremental.go for the
+// invariants), so the incremental driver accepts exactly the same attempt
+// sequence as full per-round re-evaluation (Options.FullReeval).
 package improve
 
 import (
@@ -27,42 +40,142 @@ import (
 // state is the solver's working solution: a set of live matches keyed by
 // stable IDs, plus fragments locked by the improvement attempt currently
 // being simulated.
+//
+// Shared across the whole solve (pointers copied by clone): the compiled σ
+// matrices sig/sigT and the site-alignment memo. Owned per state: the match
+// set and the attempt gain accumulator delta. The live driver state
+// additionally owns the per-fragment version map vers (clones drop it);
+// simulations may carry a readRecorder rec (clones keep it).
 type state struct {
 	in      *core.Instance
 	matches map[int]core.Match
-	nextID  int
-	locked  map[core.FragRef]bool
+	// byFrag indexes the IDs of matches touching each fragment, so
+	// per-fragment queries never scan the whole match set. Lists are
+	// unsorted; fragMatchIDs sorts a copy on demand.
+	byFrag map[core.FragRef][]int
+	nextID int
+	locked map[core.FragRef]bool
+
+	sig   *score.Compiled // σ compiled over the instance alphabet
+	sigT  *score.Compiled // σᵀ for M-first alignments
+	memo  *alignMemo
+	pmemo *placeMemo
+	// revWords[sp][i] is fragment i of species sp reversed, materialized
+	// once per solve (shared by clones) so hot loops never re-allocate it.
+	revWords [2][]symbol.Word
+
+	// delta accumulates the score change of the attempt being applied:
+	// +score on add, −score on remove, the difference on restriction.
+	delta float64
+	// vers is the live state's per-fragment version map (nil on clones).
+	vers map[core.FragRef]uint64
+	// rec records fragment reads during a simulation (nil on the live
+	// state and on replays).
+	rec *readRecorder
 }
 
 func newState(in *core.Instance, seed *core.Solution) *state {
+	sig := score.Compile(in.Sigma, in.MaxSymbolID())
 	st := &state{
 		in:      in,
 		matches: make(map[int]core.Match),
+		byFrag:  make(map[core.FragRef][]int),
 		locked:  make(map[core.FragRef]bool),
+		sig:     sig,
+		sigT:    sig.Transposed(),
+		memo:    newAlignMemo(),
+		pmemo:   newPlaceMemo(),
+	}
+	for _, sp := range []core.Species{core.SpeciesH, core.SpeciesM} {
+		frags := in.Frags(sp)
+		st.revWords[sp] = make([]symbol.Word, len(frags))
+		for i := range frags {
+			st.revWords[sp][i] = frags[i].Regions.Rev()
+		}
 	}
 	if seed != nil {
 		for _, mt := range seed.Matches {
-			st.matches[st.nextID] = mt
+			id := st.nextID
 			st.nextID++
+			st.matches[id] = mt
+			st.index(id, mt)
 		}
 	}
 	return st
 }
 
+// index adds match id to both fragments' ID lists.
+func (st *state) index(id int, mt core.Match) {
+	h := core.FragRef{Sp: core.SpeciesH, Idx: mt.HSite.Frag}
+	m := core.FragRef{Sp: core.SpeciesM, Idx: mt.MSite.Frag}
+	st.byFrag[h] = append(st.byFrag[h], id)
+	st.byFrag[m] = append(st.byFrag[m], id)
+}
+
+// unindex removes match id from both fragments' ID lists.
+func (st *state) unindex(id int, mt core.Match) {
+	for _, fr := range [2]core.FragRef{
+		{Sp: core.SpeciesH, Idx: mt.HSite.Frag},
+		{Sp: core.SpeciesM, Idx: mt.MSite.Frag},
+	} {
+		ids := st.byFrag[fr]
+		for i, v := range ids {
+			if v == id {
+				ids[i] = ids[len(ids)-1]
+				st.byFrag[fr] = ids[:len(ids)-1]
+				break
+			}
+		}
+	}
+}
+
 func (st *state) clone() *state {
 	c := &state{
-		in:      st.in,
-		matches: make(map[int]core.Match, len(st.matches)),
-		nextID:  st.nextID,
-		locked:  make(map[core.FragRef]bool, len(st.locked)),
+		in:       st.in,
+		matches:  make(map[int]core.Match, len(st.matches)),
+		byFrag:   make(map[core.FragRef][]int, len(st.byFrag)),
+		nextID:   st.nextID,
+		locked:   make(map[core.FragRef]bool, len(st.locked)),
+		sig:      st.sig,
+		sigT:     st.sigT,
+		memo:     st.memo,
+		pmemo:    st.pmemo,
+		revWords: st.revWords,
+		delta:    st.delta,
+		rec:      st.rec, // sub-simulations keep recording
+		// vers deliberately dropped: simulations never bump live versions.
 	}
 	for id, mt := range st.matches {
 		c.matches[id] = mt
+	}
+	for fr, ids := range st.byFrag {
+		if len(ids) == 0 {
+			continue
+		}
+		// Fresh backing arrays: unindex swap-deletes in place.
+		c.byFrag[fr] = append([]int(nil), ids...)
 	}
 	for fr := range st.locked {
 		c.locked[fr] = true
 	}
 	return c
+}
+
+// note records a read of fragment fr's match data during a simulation.
+func (st *state) note(fr core.FragRef) {
+	if st.rec != nil {
+		st.rec.note(fr)
+	}
+}
+
+// bump advances the version of both fragments a match touches (live state
+// only; a no-op on simulations).
+func (st *state) bump(mt core.Match) {
+	if st.vers == nil {
+		return
+	}
+	st.vers[core.FragRef{Sp: core.SpeciesH, Idx: mt.HSite.Frag}]++
+	st.vers[core.FragRef{Sp: core.SpeciesM, Idx: mt.MSite.Frag}]++
 }
 
 // score sums in sorted-ID order so that a simulation and its replay (which
@@ -98,18 +211,29 @@ func (st *state) addMatch(mt core.Match) int {
 	id := st.nextID
 	st.nextID++
 	st.matches[id] = mt
+	st.index(id, mt)
+	st.delta += mt.Score
+	st.bump(mt)
 	return id
+}
+
+// setMatch replaces match id in place (site restriction), keeping its ID.
+func (st *state) setMatch(id int, mt core.Match) {
+	old := st.matches[id]
+	st.matches[id] = mt
+	st.delta += mt.Score - old.Score
+	st.bump(mt)
 }
 
 // fragMatchIDs returns the IDs of matches touching fragment fr, sorted by
 // site position.
 func (st *state) fragMatchIDs(fr core.FragRef) []int {
-	var ids []int
-	for id, mt := range st.matches {
-		if mt.Side(fr.Sp).Frag == fr.Idx {
-			ids = append(ids, id)
-		}
+	st.note(fr)
+	idx := st.byFrag[fr]
+	if len(idx) == 0 {
+		return nil
 	}
+	ids := append([]int(nil), idx...) // callers mutate state while iterating
 	sort.Slice(ids, func(a, b int) bool {
 		sa := st.matches[ids[a]].Side(fr.Sp).Lo
 		sb := st.matches[ids[b]].Side(fr.Sp).Lo
@@ -122,13 +246,8 @@ func (st *state) fragMatchIDs(fr core.FragRef) []int {
 }
 
 func (st *state) degree(fr core.FragRef) int {
-	n := 0
-	for _, mt := range st.matches {
-		if mt.Side(fr.Sp).Frag == fr.Idx {
-			n++
-		}
-	}
-	return n
+	st.note(fr)
+	return len(st.byFrag[fr])
 }
 
 // contribution is Cb(f, S): the total score of matches touching fr.
@@ -196,18 +315,54 @@ func (st *state) clipFree(fr core.FragRef, lo, hi int) [][2]int {
 	return out
 }
 
-// sigmaFor returns a scorer whose first argument is a word of species sp —
-// the instance's σ for H, the transposed σ for M.
+// sigmaFor returns the compiled scorer whose first argument is a word of
+// species sp — σ for H, the transposed σ for M.
 func (st *state) sigmaFor(sp core.Species) score.Scorer {
 	if sp == core.SpeciesH {
-		return st.in.Sigma
+		return st.sig
 	}
-	return transposed{st.in.Sigma}
+	return st.sigT
 }
 
-type transposed struct{ base score.Scorer }
+// placement aliases align.Placement for the placeMemo declarations.
+type placement = align.Placement
 
-func (t transposed) Score(a, b symbol.Symbol) float64 { return t.base.Score(b, a) }
+// placements returns the Pareto fit-placement frontier of fragment x at
+// orientation rev inside the window [lo, hi) of fragment z, memoized for
+// the lifetime of the solve. The returned slice is shared: callers must not
+// modify it.
+func (st *state) placements(x core.FragRef, rev bool, z core.FragRef, lo, hi int) []placement {
+	k := placeKey{x: x, rev: rev, z: z, lo: lo, hi: hi}
+	if v, ok := st.pmemo.get(k); ok {
+		return v
+	}
+	zoneWord := st.in.Frag(z.Sp, z.Idx).Regions[lo:hi]
+	v := align.Placements(st.fragWord(x, rev), zoneWord, st.sigmaFor(x.Sp), 0)
+	st.pmemo.put(k, v)
+	return v
+}
+
+// fragWord returns the full region word of fragment fr at the given
+// orientation without allocating.
+func (st *state) fragWord(fr core.FragRef, rev bool) symbol.Word {
+	if rev {
+		return st.revWords[fr.Sp][fr.Idx]
+	}
+	return st.in.Frag(fr.Sp, fr.Idx).Regions
+}
+
+// siteScore returns MS of the H-site h against the M-site m at orientation
+// rev, memoized for the lifetime of the solve (the score depends only on
+// the instance words and σ).
+func (st *state) siteScore(h, m core.Site, rev bool) float64 {
+	k := alignKey{h: h, m: m, rev: rev}
+	if v, ok := st.memo.get(k); ok {
+		return v
+	}
+	v := align.Score(st.in.SiteWord(h), st.in.SiteWord(m).Orient(rev), st.sig)
+	st.memo.put(k, v)
+	return v
+}
 
 // mkMatch builds a match pairing the full fragment x against the window
 // [lo, hi) of fragment z of the other species, with x oriented by rev.
@@ -221,7 +376,7 @@ func (st *state) mkMatch(x core.FragRef, rev bool, z core.FragRef, lo, hi int) c
 	} else {
 		mt = core.Match{HSite: zSite, MSite: xSite, Rev: rev}
 	}
-	mt.Score = align.Score(st.in.SiteWord(mt.HSite), st.in.SiteWord(mt.MSite).Orient(mt.Rev), st.in.Sigma)
+	mt.Score = st.siteScore(mt.HSite, mt.MSite, mt.Rev)
 	return mt
 }
 
@@ -229,6 +384,9 @@ func (st *state) mkMatch(x core.FragRef, rev bool, z core.FragRef, lo, hi int) c
 func (st *state) removeMatch(id int) core.Match {
 	mt := st.matches[id]
 	delete(st.matches, id)
+	st.unindex(id, mt)
+	st.delta -= mt.Score
+	st.bump(mt)
 	return mt
 }
 
@@ -296,13 +454,13 @@ func (st *state) prepare(fr core.FragRef, lo, hi int) (freed []core.Site) {
 			continue
 		}
 		mt.SetSide(fr.Sp, ns)
-		mt.Score = align.Score(st.in.SiteWord(mt.HSite), st.in.SiteWord(mt.MSite).Orient(mt.Rev), st.in.Sigma)
+		mt.Score = st.siteScore(mt.HSite, mt.MSite, mt.Rev)
 		if mt.Score <= 0 {
 			st.removeMatch(id)
 			freed = append(freed, partner)
 			continue
 		}
-		st.matches[id] = mt
+		st.setMatch(id, mt)
 	}
 	return freed
 }

@@ -3,7 +3,6 @@ package improve
 import (
 	"sort"
 
-	"repro/internal/align"
 	"repro/internal/core"
 	"repro/internal/isp"
 )
@@ -99,18 +98,26 @@ func (st *state) tpaBatch(zones []core.Site) float64 {
 	}
 	for zi, z := range zrs {
 		sp := z.fr.Sp.Other()
-		zoneWord := st.in.Frag(z.fr.Sp, z.fr.Idx).Regions[z.lo:z.hi]
-		sigma := st.sigmaFor(sp)
 		for xi := 0; xi < st.in.NumFrags(sp); xi++ {
 			x := core.FragRef{Sp: sp, Idx: xi}
 			if st.locked[x] {
 				continue
 			}
-			cb := st.contribution(x)
-			xw := st.in.Frag(sp, xi).Regions
+			// Cb(x) is consulted lazily, only once x shows a positive
+			// placement: a fragment with no placement in any zone cannot
+			// influence the outcome, so the evaluation must not read (and
+			// thereby depend on) its match set.
+			cb, cbKnown := 0.0, false
 			for o := 0; o < 2; o++ {
 				rev := o == 1
-				for _, p := range align.Placements(xw.Orient(rev), zoneWord, sigma, 0) {
+				ps := st.placements(x, rev, z.fr, z.lo, z.hi)
+				if len(ps) == 0 {
+					continue
+				}
+				if !cbKnown {
+					cb, cbKnown = st.contribution(x), true
+				}
+				for _, p := range ps {
 					profit := p.Score - cb
 					if profit <= 0 {
 						continue

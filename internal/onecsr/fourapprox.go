@@ -6,25 +6,20 @@ import (
 	"repro/internal/align"
 	"repro/internal/core"
 	"repro/internal/score"
-	"repro/internal/symbol"
 )
-
-// transposed swaps the species arguments of a scorer: σᵀ(x, y) = σ(y, x).
-// Used to run the 1-CSR machinery with the roles of H and M exchanged.
-type transposed struct{ base score.Scorer }
-
-func (t transposed) Score(a, b symbol.Symbol) float64 { return t.base.Score(b, a) }
 
 // Transpose returns the instance with species swapped (H′ = M, M′ = H and
 // σ transposed). A solution of the transposed instance maps back by
-// swapping the sides of every match.
+// swapping the sides of every match. A compiled σ transposes into a
+// compiled matrix, so both halves of the Theorem 3 doubling stay on the
+// dense fast path.
 func Transpose(in *core.Instance) *core.Instance {
 	return &core.Instance{
 		Name:  in.Name + "ᵀ",
 		H:     in.M,
 		M:     in.H,
 		Alpha: in.Alpha,
-		Sigma: transposed{in.Sigma},
+		Sigma: score.Transpose(in.Sigma),
 	}
 }
 
@@ -48,11 +43,15 @@ func FourApprox(in *core.Instance) (*core.Solution, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
-	a, err := HalfOnConcat(in)
+	// One compiled σ serves both doubling halves, every placement DP, and
+	// the final validations.
+	cin := *in
+	cin.Sigma = score.Compile(in.Sigma, in.MaxSymbolID())
+	a, err := HalfOnConcat(&cin)
 	if err != nil {
 		return nil, err
 	}
-	tin := Transpose(in)
+	tin := Transpose(&cin)
 	bT, err := HalfOnConcat(tin)
 	if err != nil {
 		return nil, err
@@ -62,9 +61,9 @@ func FourApprox(in *core.Instance) (*core.Solution, error) {
 	// but the cached values must verify against in.Sigma).
 	for i := range b.Matches {
 		mt := &b.Matches[i]
-		mt.Score = align.Score(in.SiteWord(mt.HSite), in.SiteWord(mt.MSite).Orient(mt.Rev), in.Sigma)
+		mt.Score = align.Score(in.SiteWord(mt.HSite), in.SiteWord(mt.MSite).Orient(mt.Rev), cin.Sigma)
 	}
-	if err := b.Validate(in); err != nil {
+	if err := b.Validate(&cin); err != nil {
 		return nil, fmt.Errorf("onecsr: transposed solution invalid: %w", err)
 	}
 	if a.Score() >= b.Score() {

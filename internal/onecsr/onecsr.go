@@ -12,6 +12,7 @@ import (
 	"repro/internal/align"
 	"repro/internal/core"
 	"repro/internal/isp"
+	"repro/internal/score"
 )
 
 // placementSet builds the ISP instance of §3.4 for fragments H against a
@@ -51,7 +52,11 @@ func SolveOne(in *core.Instance) (*core.Solution, error) {
 	if len(in.M) != 1 {
 		return nil, fmt.Errorf("onecsr: instance has %d M fragments, want 1", len(in.M))
 	}
-	res := isp.TwoPhase(placementSet(in, 0))
+	// Compile σ once for the whole placement sweep (a no-op when the caller
+	// already passed a compiled instance, as FourApprox does).
+	cin := *in
+	cin.Sigma = score.Compile(in.Sigma, in.MaxSymbolID())
+	res := isp.TwoPhase(placementSet(&cin, 0))
 	sol := &core.Solution{}
 	for _, iv := range res.Selected {
 		rev := iv.ID&1 == 1
@@ -62,7 +67,7 @@ func SolveOne(in *core.Instance) (*core.Solution, error) {
 			HSite: hs,
 			MSite: ms,
 			Rev:   rev,
-			Score: align.Score(h, in.SiteWord(ms).Orient(rev), in.Sigma),
+			Score: align.Score(h, in.SiteWord(ms).Orient(rev), cin.Sigma),
 		})
 	}
 	return sol, nil

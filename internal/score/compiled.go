@@ -1,0 +1,163 @@
+package score
+
+import (
+	"math"
+
+	"repro/internal/symbol"
+)
+
+// Compiled is a dense σ-matrix: a Scorer compiled into a flat []float64
+// indexed by oriented symbol index, so that DP inner loops become pure slice
+// arithmetic with no interface dispatch, no hashing, and no per-cell
+// canonicalization.
+//
+// A matrix compiled for maximum region ID n covers the 2n+1 oriented symbols
+// −n … n (reversed regions, the pad, normal regions). Symbol s maps to index
+// s+n; the score of (a, b) lives at flat[(a+n)·dim + (b+n)]. Pads compile to
+// zero rows and columns, and reversal symmetry is inherited from the base
+// scorer, so the compiled matrix obeys the same scorer laws bit-for-bit:
+// every entry is the exact float64 the base scorer returned at compile time.
+//
+// Symbols outside the compiled range fall back to the base scorer, so a
+// Compiled is safe to use as a drop-in Scorer anywhere; alignment kernels
+// additionally detect a *Compiled and switch to the row fast path when it
+// covers their words (see internal/align).
+type Compiled struct {
+	base Scorer
+	n    int32 // maximum region ID covered
+	dim  int32 // 2n+1 oriented symbols
+	flat []float64
+}
+
+// Compile evaluates base on every oriented symbol pair with region IDs up to
+// maxID and returns the dense matrix. If base is already a Compiled covering
+// maxID it is returned as is. Cost is O(maxID²) base evaluations.
+func Compile(base Scorer, maxID int32) *Compiled {
+	if maxID < 0 {
+		maxID = 0
+	}
+	if c, ok := base.(*Compiled); ok && c.n >= maxID {
+		return c
+	}
+	n := maxID
+	dim := 2*n + 1
+	c := &Compiled{base: base, n: n, dim: dim, flat: make([]float64, int(dim)*int(dim))}
+	switch s := base.(type) {
+	case *Table:
+		// O(stored pairs): each canonical entry (a, b) = v expands to the
+		// two oriented cells (a, b) and (aᴿ, bᴿ) the reversal law implies.
+		s.Pairs(func(a, b symbol.Symbol, v float64) {
+			if a.ID() > n || b.ID() > n {
+				return
+			}
+			c.flat[(int32(a)+n)*dim+(int32(b)+n)] = v
+			c.flat[(-int32(a)+n)*dim+(-int32(b)+n)] = v
+		})
+	case *Identity:
+		// O(regions): only the diagonal σ(a, a) = weight(a) is nonzero.
+		for id := int32(1); id <= n; id++ {
+			w := s.Weight(symbol.Symbol(id))
+			c.flat[(id+n)*dim+(id+n)] = w
+			c.flat[(-id+n)*dim+(-id+n)] = w
+		}
+	case Quantized:
+		// Compile the base (hitting its own fast case), then truncate each
+		// cell — the same floor Quantized.Score applies per call.
+		cb := Compile(s.Base, n)
+		if cb.n == n {
+			copy(c.flat, cb.flat)
+		} else {
+			for a := -n; a <= n; a++ {
+				for b := -n; b <= n; b++ {
+					c.flat[(a+n)*dim+(b+n)] = cb.Score(symbol.Symbol(a), symbol.Symbol(b))
+				}
+			}
+		}
+		if s.Unit > 0 {
+			for i, v := range c.flat {
+				c.flat[i] = math.Floor(v/s.Unit) * s.Unit
+			}
+		}
+	default:
+		for a := -n; a <= n; a++ {
+			if a == 0 {
+				continue // pad row stays zero
+			}
+			row := c.flat[int(a+n)*int(dim) : int(a+n+1)*int(dim)]
+			for b := -n; b <= n; b++ {
+				if b == 0 {
+					continue // pad column stays zero
+				}
+				row[b+n] = base.Score(symbol.Symbol(a), symbol.Symbol(b))
+			}
+		}
+	}
+	return c
+}
+
+// MaxID returns the largest region ID the matrix covers.
+func (c *Compiled) MaxID() int32 { return c.n }
+
+// Base returns the scorer the matrix was compiled from.
+func (c *Compiled) Base() Scorer { return c.base }
+
+// Score implements Scorer. In-range pairs are a single slice load;
+// out-of-range symbols fall back to the base scorer.
+func (c *Compiled) Score(a, b symbol.Symbol) float64 {
+	ia, ib := int32(a)+c.n, int32(b)+c.n
+	if uint32(ia) >= uint32(c.dim) || uint32(ib) >= uint32(c.dim) {
+		return c.base.Score(a, b)
+	}
+	return c.flat[ia*c.dim+ib]
+}
+
+// Row returns the dense score row for symbol a: Row(a)[Index(b)] = σ(a, b).
+// The caller must ensure a is in range (|a| ≤ MaxID); the returned slice
+// must not be modified.
+func (c *Compiled) Row(a symbol.Symbol) []float64 {
+	ia := int(int32(a) + c.n)
+	return c.flat[ia*int(c.dim) : (ia+1)*int(c.dim)]
+}
+
+// Index returns the column index of symbol b within a Row.
+func (c *Compiled) Index(b symbol.Symbol) int32 { return int32(b) + c.n }
+
+// IndexWord maps every symbol of w to its column index, for hoisting the
+// index computation out of DP inner loops.
+func (c *Compiled) IndexWord(w symbol.Word) []int32 {
+	out := make([]int32, len(w))
+	for i, s := range w {
+		out[i] = int32(s) + c.n
+	}
+	return out
+}
+
+// Transposed returns the compiled matrix of σᵀ(a, b) = σ(b, a).
+func (c *Compiled) Transposed() *Compiled {
+	t := &Compiled{base: Transpose(c.base), n: c.n, dim: c.dim, flat: make([]float64, len(c.flat))}
+	d := int(c.dim)
+	for i := 0; i < d; i++ {
+		for j := 0; j < d; j++ {
+			t.flat[j*d+i] = c.flat[i*d+j]
+		}
+	}
+	return t
+}
+
+// transposedScorer swaps the species arguments: σᵀ(x, y) = σ(y, x).
+type transposedScorer struct{ base Scorer }
+
+func (t transposedScorer) Score(a, b symbol.Symbol) float64 { return t.base.Score(b, a) }
+
+// Transpose returns the scorer with species sides exchanged. Transposing a
+// transpose returns the original scorer; transposing a Compiled returns the
+// transposed dense matrix.
+func Transpose(sc Scorer) Scorer {
+	switch s := sc.(type) {
+	case *Compiled:
+		return s.Transposed()
+	case transposedScorer:
+		return s.base
+	}
+	return transposedScorer{sc}
+}

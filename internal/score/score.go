@@ -8,6 +8,20 @@
 // pairs; an Identity scorer serves the UCSR restriction where σ(a,b) = 0 for
 // a ≠ b. A Quantized wrapper implements the Chandra–Halldórsson scaling step
 // used to bound the number of local improvements.
+//
+// # Compiled dense matrices
+//
+// Any Scorer can be compiled into a Compiled dense matrix (Compile): a flat
+// []float64 indexed by oriented symbol index, covering region IDs up to a
+// chosen bound. Solvers compile σ once per solve and pass the matrix through
+// every alignment kernel, turning each DP cell's score lookup from an
+// interface call plus map hash into a single slice load (Row/Index expose
+// the raw rows for inner loops). Entries are the exact float64 values the
+// base scorer returned at compile time, so compiled and sparse paths score
+// bit-identically; out-of-range symbols fall back to the base scorer.
+// Table and Identity compile in O(stored entries) rather than O(alphabet²).
+// Transpose exchanges species sides, transposing the dense matrix when
+// given one.
 package score
 
 import (
