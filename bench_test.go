@@ -5,6 +5,7 @@ package fragalign
 //
 //	go test -bench=. -benchmem
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -356,5 +357,61 @@ func BenchmarkAlignmentKernels(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			align.Placements(a[:40], bb, tb, 0)
 		}
+	})
+}
+
+// BenchmarkBatchSolve measures the sharded batch-solving subsystem against
+// sequential solving of the same instance set: the sharded run must beat
+// sequential by >2x on a multi-core machine (the CI bench-trajectory job
+// asserts this via TestBatchThroughput). The custom inst/s metric is the
+// serving-throughput number the ROADMAP tracks.
+func BenchmarkBatchSolve(b *testing.B) {
+	const nInstances, regions = 16, 60
+	ins := make([]*Instance, nInstances)
+	for i := range ins {
+		cfg := DefaultGenConfig(int64(300 + i))
+		cfg.Regions = regions
+		ins[i] = Generate(cfg).Instance
+	}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, in := range ins {
+				if _, err := Solve(in, CSRImprove, WithFourApproxSeed(true)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(nInstances)*float64(b.N)/b.Elapsed().Seconds(), "inst/s")
+	})
+	b.Run("sharded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := SolveBatch(context.Background(), ins, CSRImprove, WithFourApproxSeed(true)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(nInstances)*float64(b.N)/b.Elapsed().Seconds(), "inst/s")
+	})
+	b.Run("sharded-pool-reuse", func(b *testing.B) {
+		// One pool across all iterations: the per-alphabet σ cache and the
+		// shards are amortized the way a serving process would amortize them.
+		pool := NewBatchPool(CSRImprove, WithFourApproxSeed(true))
+		defer pool.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tickets := make([]*BatchTicket, len(ins))
+			for j, in := range ins {
+				t, err := pool.Submit(context.Background(), in)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tickets[j] = t
+			}
+			for _, t := range tickets {
+				if _, err := t.Wait(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(nInstances)*float64(b.N)/b.Elapsed().Seconds(), "inst/s")
 	})
 }

@@ -1,9 +1,11 @@
 package fragalign
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -75,5 +77,106 @@ func TestCLIBenchSingleTable(t *testing.T) {
 	}
 	if !strings.Contains(s, "11.00") {
 		t.Fatalf("E1 table missing the optimum:\n%s", s)
+	}
+}
+
+// TestCLIBatchPipeline exercises the batch toolchain end to end: csrgen
+// emits a JSONL stream, csrbatch solves it through the sharded pool, and
+// the output preserves submission order.
+func TestCLIBatchPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool not available")
+	}
+	dir := t.TempDir()
+	stream := filepath.Join(dir, "batch.jsonl")
+
+	genCmd := exec.Command("go", "run", "./cmd/csrgen",
+		"-seed", "5", "-regions", "30", "-count", "4", "-format", "jsonl", "-out", stream)
+	if out, err := genCmd.CombinedOutput(); err != nil {
+		t.Fatalf("csrgen: %v\n%s", err, out)
+	}
+
+	batchCmd := exec.Command("go", "run", "./cmd/csrbatch",
+		"-algo", "csr-improve", "-shards", "2", stream)
+	out, err := batchCmd.Output()
+	if err != nil {
+		t.Fatalf("csrbatch: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(out)), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 result lines, got %d:\n%s", len(lines), out)
+	}
+	for i, line := range lines {
+		if !strings.Contains(line, `"index":`+strconv.Itoa(i)+",") {
+			t.Fatalf("line %d out of order: %s", i, line)
+		}
+		if !strings.Contains(line, `"name":"w`) || !strings.Contains(line, `"score":`) {
+			t.Fatalf("line %d malformed: %s", i, line)
+		}
+	}
+}
+
+// TestCLIBenchdiff runs csrbench -json and checks benchdiff's gate logic
+// in both directions: identical trajectories pass, an injected wall-time
+// regression fails.
+func TestCLIBenchdiff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool not available")
+	}
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "base.json")
+
+	benchCmd := exec.Command("go", "run", "./cmd/csrbench",
+		"-json", "-regions", "30", "-algs", "csr-improve,greedy")
+	out, err := benchCmd.Output()
+	if err != nil {
+		t.Fatalf("csrbench -json: %v", err)
+	}
+	if err := os.WriteFile(baseline, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{`"wall_ms":`, `"allocs":`, `"bytes":`, `"instances":`} {
+		if !strings.Contains(string(out), field) {
+			t.Fatalf("csrbench record missing %s:\n%s", field, out)
+		}
+	}
+
+	diffCmd := exec.Command("go", "run", "./cmd/benchdiff", baseline, baseline)
+	if out, err := diffCmd.CombinedOutput(); err != nil || !strings.Contains(string(out), "trajectory OK") {
+		t.Fatalf("benchdiff self-compare: %v\n%s", err, out)
+	}
+
+	// Inflate every wall time 10x and shrink the floor so the gate trips.
+	regressed := filepath.Join(dir, "regressed.json")
+	var inflated strings.Builder
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad csrbench record %q: %v", line, err)
+		}
+		rec["wall_ms"] = rec["wall_ms"].(float64) * 10
+		data, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inflated.Write(data)
+		inflated.WriteByte('\n')
+	}
+	if err := os.WriteFile(regressed, []byte(inflated.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	failCmd := exec.Command("go", "run", "./cmd/benchdiff", "-floor-ms", "0.0001", baseline, regressed)
+	out2, err := failCmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("benchdiff accepted a 10x regression:\n%s", out2)
+	}
+	if !strings.Contains(string(out2), "WALL REGRESSION") {
+		t.Fatalf("missing regression marker:\n%s", out2)
 	}
 }

@@ -1,0 +1,176 @@
+// Command benchdiff compares two csrbench -json trajectory files and
+// enforces the CI benchmark gate: it prints a per-algorithm delta table and
+// exits non-zero when any algorithm's wall time (or allocation count)
+// regressed beyond the configured threshold.
+//
+// Usage:
+//
+//	benchdiff [-max-wall 25] [-max-allocs 50] BENCH_BASELINE.json BENCH_PR.json
+//
+// Records are matched by (algorithm, seed, regions, instances). Baseline
+// records below the noise floors (-floor-ms, -floor-allocs) are reported
+// but never gated — sub-millisecond timings on shared runners are jitter,
+// not signal. A record present in the baseline but missing from the PR file
+// fails the gate (an algorithm silently dropped from the sweep is itself a
+// regression); new PR-only records are reported as additions.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// record mirrors csrbench's algResult; unknown fields are ignored so the
+// two tools can evolve independently.
+type record struct {
+	Algorithm string  `json:"algorithm"`
+	Seed      int64   `json:"seed"`
+	Regions   int     `json:"regions"`
+	Instances int     `json:"instances"`
+	WallMS    float64 `json:"wall_ms"`
+	Allocs    uint64  `json:"allocs"`
+	Bytes     uint64  `json:"bytes"`
+	Score     float64 `json:"score"`
+	Error     string  `json:"error,omitempty"`
+}
+
+type key struct {
+	alg       string
+	seed      int64
+	regions   int
+	instances int
+}
+
+func (k key) String() string {
+	s := fmt.Sprintf("%s seed=%d regions=%d", k.alg, k.seed, k.regions)
+	if k.instances > 1 {
+		s += fmt.Sprintf(" instances=%d", k.instances)
+	}
+	return s
+}
+
+func load(path string) (map[key]record, []key, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	recs := map[key]record{}
+	var order []key
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 16<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var r record
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			return nil, nil, fmt.Errorf("%s:%d: %w", path, lineNo, err)
+		}
+		if r.Instances == 0 {
+			r.Instances = 1 // records from before the batch port
+		}
+		k := key{r.Algorithm, r.Seed, r.Regions, r.Instances}
+		if _, dup := recs[k]; !dup {
+			order = append(order, k)
+		}
+		recs[k] = r // last record wins on duplicates
+	}
+	return recs, order, sc.Err()
+}
+
+// pct returns the relative change base→cur in percent.
+func pct(base, cur float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (cur - base) / base * 100
+}
+
+func main() {
+	var (
+		maxWall     = flag.Float64("max-wall", 25, "max wall-time regression percent before failing (0 disables)")
+		maxAllocs   = flag.Float64("max-allocs", 50, "max allocation-count regression percent before failing (0 disables)")
+		floorMS     = flag.Float64("floor-ms", 5, "baseline wall floor in ms; faster records are never gated")
+		floorAllocs = flag.Uint64("floor-allocs", 100000, "baseline allocation floor; smaller records are never alloc-gated")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] BASELINE.json CURRENT.json")
+		os.Exit(2)
+	}
+	base, baseOrder, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	cur, curOrder, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+
+	var failures []string
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "ALGORITHM\tINST\tWALL base→cur (ms)\tΔWALL\tALLOCS base→cur\tΔALLOCS\tNOTE")
+	for _, k := range baseOrder {
+		b := base[k]
+		c, ok := cur[k]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from current run", k))
+			fmt.Fprintf(tw, "%s\t%d\t%.1f → —\t—\t—\t—\tMISSING\n", k.alg, k.instances, b.WallMS)
+			continue
+		}
+		if c.Error != "" {
+			failures = append(failures, fmt.Sprintf("%s: current run errored: %s", k, c.Error))
+			fmt.Fprintf(tw, "%s\t%d\t—\t—\t—\t—\tERROR\n", k.alg, k.instances)
+			continue
+		}
+		dWall := pct(b.WallMS, c.WallMS)
+		dAllocs := pct(float64(b.Allocs), float64(c.Allocs))
+		var notes []string
+		if b.WallMS < *floorMS {
+			notes = append(notes, "below wall floor")
+		} else if *maxWall > 0 && dWall > *maxWall {
+			notes = append(notes, "WALL REGRESSION")
+			failures = append(failures, fmt.Sprintf("%s: wall %.1fms → %.1fms (%+.1f%% > %.0f%%)",
+				k, b.WallMS, c.WallMS, dWall, *maxWall))
+		}
+		if b.Allocs == 0 || b.Allocs < *floorAllocs {
+			// Baselines predating alloc tracking (or tiny ones) only report.
+		} else if *maxAllocs > 0 && dAllocs > *maxAllocs {
+			notes = append(notes, "ALLOC REGRESSION")
+			failures = append(failures, fmt.Sprintf("%s: allocs %d → %d (%+.1f%% > %.0f%%)",
+				k, b.Allocs, c.Allocs, dAllocs, *maxAllocs))
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.1f → %.1f\t%+.1f%%\t%d → %d\t%+.1f%%\t%s\n",
+			k.alg, k.instances, b.WallMS, c.WallMS, dWall, b.Allocs, c.Allocs, dAllocs,
+			strings.Join(notes, ", "))
+	}
+	sort.Slice(curOrder, func(i, j int) bool { return curOrder[i].String() < curOrder[j].String() })
+	for _, k := range curOrder {
+		if _, ok := base[k]; !ok {
+			fmt.Fprintf(tw, "%s\t%d\t— → %.1f\t—\t— → %d\t—\tNEW\n",
+				k.alg, k.instances, cur[k].WallMS, cur[k].Allocs)
+		}
+	}
+	tw.Flush()
+
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "\nbenchdiff: %d regression(s):\n", len(failures))
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "  -", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("\nbenchdiff: trajectory OK")
+}

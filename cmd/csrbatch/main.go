@@ -1,0 +1,160 @@
+// Command csrbatch streams CSR instances through the sharded batch-solving
+// pool: JSONL instances in (stdin or a file), one JSON result record per
+// instance out, in input order, plus aggregate throughput stats on stderr.
+//
+// Usage:
+//
+//	csrgen -count 64 -format jsonl | csrbatch -algo csr-improve -shards 8
+//	csrbatch -timeout 30s instances.jsonl > results.jsonl
+//
+// Results stream as instances finish, but always in submission order, so
+// output is byte-identical for any -shards value.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	fragalign "repro"
+	"repro/internal/core"
+	"repro/internal/encoding"
+)
+
+// record is the per-instance output line.
+type record struct {
+	Index     int     `json:"index"`
+	Name      string  `json:"name,omitempty"`
+	Algorithm string  `json:"algorithm"`
+	Score     float64 `json:"score"`
+	Matches   int     `json:"matches,omitempty"`
+	Rounds    int     `json:"rounds,omitempty"`
+	WallMS    float64 `json:"wall_ms"`
+	Error     string  `json:"error,omitempty"`
+}
+
+func main() {
+	var (
+		algo    = flag.String("algo", "csr-improve", "algorithm for every instance")
+		shards  = flag.Int("shards", 0, "concurrent solvers (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 0, "submission queue bound (0 = 2×shards)")
+		workers = flag.Int("workers", 1, "shared candidate-evaluation workers (>1 adds a shared eval pool)")
+		eps     = flag.Float64("eps", 0.05, "scaling slack for improvement algorithms")
+		seed4   = flag.Bool("seed4", true, "seed improvement with the 4-approximation")
+		timeout = flag.Duration("timeout", 0, "per-instance solve deadline (0 = none)")
+	)
+	flag.Parse()
+
+	src := io.Reader(os.Stdin)
+	if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "usage: csrbatch [flags] [instances.jsonl]")
+		os.Exit(2)
+	}
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "csrbatch:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		src = f
+	}
+
+	pool := fragalign.NewBatchPool(fragalign.Algorithm(*algo),
+		fragalign.WithShards(*shards),
+		fragalign.WithQueueDepth(*queue),
+		fragalign.WithWorkers(*workers),
+		fragalign.WithEps(*eps),
+		fragalign.WithFourApproxSeed(*seed4),
+		fragalign.WithPerInstanceTimeout(*timeout),
+	)
+	defer pool.Close()
+
+	// The reader goroutine parses and submits (blocking on the bounded
+	// queue for backpressure); the main goroutine drains tickets in
+	// submission order so the output stream is deterministic.
+	type pending struct {
+		ticket *fragalign.BatchTicket
+		name   string
+		err    error // submission-time failure (deadline hit while queued)
+	}
+	tickets := make(chan pending, pool.Shards()*2)
+	var readErr error
+	go func() {
+		defer close(tickets)
+		readErr = encoding.ReadJSONL(src, func(in *core.Instance) error {
+			t, err := pool.Submit(context.Background(), in)
+			if errors.Is(err, context.DeadlineExceeded) {
+				// The per-instance deadline expired while waiting for queue
+				// space: record the failure, keep the stream going.
+				tickets <- pending{name: in.Name, err: err}
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			tickets <- pending{ticket: t, name: in.Name}
+			return nil
+		})
+	}()
+
+	enc := json.NewEncoder(os.Stdout)
+	start := time.Now()
+	var solved, failed int
+	var solveTotal time.Duration
+	index := 0
+	for p := range tickets {
+		rec := record{Index: index, Name: p.name, Algorithm: *algo}
+		index++
+		var res *fragalign.Result
+		err := p.err
+		if err == nil {
+			res, err = p.ticket.Wait()
+		}
+		if err != nil {
+			failed++
+			rec.Error = err.Error()
+		} else {
+			solved++
+			solveTotal += res.Wall
+			rec.Score = res.Score
+			rec.WallMS = float64(res.Wall.Microseconds()) / 1000
+			if res.Solution != nil {
+				rec.Matches = len(res.Solution.Matches)
+			}
+			if res.Stats != nil {
+				rec.Rounds = res.Stats.Rounds
+			}
+		}
+		if err := enc.Encode(rec); err != nil {
+			fmt.Fprintln(os.Stderr, "csrbatch:", err)
+			os.Exit(1)
+		}
+	}
+	elapsed := time.Since(start)
+
+	if readErr != nil {
+		fmt.Fprintln(os.Stderr, "csrbatch:", readErr)
+		os.Exit(1)
+	}
+	total := solved + failed
+	rate := 0.0
+	if elapsed > 0 {
+		rate = float64(total) / elapsed.Seconds()
+	}
+	mean := time.Duration(0)
+	if solved > 0 {
+		mean = solveTotal / time.Duration(solved)
+	}
+	fmt.Fprintf(os.Stderr,
+		"csrbatch: %d instances (%d failed) in %v over %d shards — %.1f inst/s, mean solve %v\n",
+		total, failed, elapsed.Round(time.Millisecond), pool.Shards(), rate, mean.Round(time.Microsecond))
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

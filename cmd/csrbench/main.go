@@ -4,19 +4,25 @@
 // Usage:
 //
 //	csrbench [-seed 1] [-only E2,E7]
-//	csrbench -json [-seed 1] [-regions 60] [-algs csr-improve,four-approx]
+//	csrbench -json [-seed 1] [-regions 60] [-instances 8] [-repeat 3] [-algs csr-improve,four-approx]
 //
-// With -json it instead solves one synthetic workload with every selected
-// algorithm and emits machine-readable records (per-algorithm wall time,
-// score, and improvement statistics) so the performance trajectory can be
-// tracked across revisions in BENCH_*.json files.
+// With -json it instead solves synthetic workloads with every selected
+// algorithm and emits machine-readable records — per-algorithm wall time,
+// heap allocations/bytes, score, and improvement statistics — so the
+// performance trajectory can be tracked across revisions in BENCH_*.json
+// files and gated by cmd/benchdiff. -instances N solves N workloads (seeds
+// seed..seed+N-1) per algorithm through the sharded batch pool
+// (fragalign.SolveBatch); -repeat R reports the minimum wall/allocation
+// cost over R runs, which is what CI should compare.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -29,7 +35,10 @@ type algResult struct {
 	Algorithm string  `json:"algorithm"`
 	Seed      int64   `json:"seed"`
 	Regions   int     `json:"regions"`
+	Instances int     `json:"instances"`
 	WallMS    float64 `json:"wall_ms"`
+	Allocs    uint64  `json:"allocs"`
+	Bytes     uint64  `json:"bytes"`
 	Score     float64 `json:"score"`
 	Matches   int     `json:"matches,omitempty"`
 	Rounds    int     `json:"rounds,omitempty"`
@@ -40,15 +49,18 @@ type algResult struct {
 
 func main() {
 	var (
-		seed     = flag.Int64("seed", 1, "experiment seed")
-		only     = flag.String("only", "", "comma-separated experiment IDs (default all)")
-		asJSON   = flag.Bool("json", false, "emit per-algorithm JSON records instead of tables")
-		regions  = flag.Int("regions", 60, "synthetic workload size for -json")
-		algsFlag = flag.String("algs", "", "comma-separated algorithms for -json (default all but exact)")
+		seed      = flag.Int64("seed", 1, "experiment seed")
+		only      = flag.String("only", "", "comma-separated experiment IDs (default all)")
+		asJSON    = flag.Bool("json", false, "emit per-algorithm JSON records instead of tables")
+		regions   = flag.Int("regions", 60, "synthetic workload size for -json")
+		instances = flag.Int("instances", 1, "workloads per algorithm for -json (seeds seed..seed+n-1)")
+		repeat    = flag.Int("repeat", 1, "repetitions per algorithm for -json; the minimum is reported")
+		shards    = flag.Int("shards", 0, "batch-pool shards for -json (0 = GOMAXPROCS)")
+		algsFlag  = flag.String("algs", "", "comma-separated algorithms for -json (default all but exact)")
 	)
 	flag.Parse()
 	if *asJSON {
-		if err := runJSON(*seed, *regions, *algsFlag); err != nil {
+		if err := runJSON(*seed, *regions, *instances, *repeat, *shards, *algsFlag); err != nil {
 			fmt.Fprintln(os.Stderr, "csrbench:", err)
 			os.Exit(1)
 		}
@@ -68,10 +80,19 @@ func main() {
 	}
 }
 
-func runJSON(seed int64, regions int, algsFlag string) error {
-	cfg := fragalign.DefaultGenConfig(seed)
-	cfg.Regions = regions
-	w := fragalign.Generate(cfg)
+func runJSON(seed int64, regions, instances, repeat, shards int, algsFlag string) error {
+	if instances < 1 {
+		instances = 1
+	}
+	if repeat < 1 {
+		repeat = 1
+	}
+	ins := make([]*fragalign.Instance, instances)
+	for i := range ins {
+		cfg := fragalign.DefaultGenConfig(seed + int64(i))
+		cfg.Regions = regions
+		ins[i] = fragalign.Generate(cfg).Instance
+	}
 
 	var algs []fragalign.Algorithm
 	if algsFlag == "" {
@@ -91,22 +112,46 @@ func runJSON(seed int64, regions int, algsFlag string) error {
 
 	enc := json.NewEncoder(os.Stdout)
 	for _, alg := range algs {
-		rec := algResult{Algorithm: string(alg), Seed: seed, Regions: regions}
-		start := time.Now()
-		res, err := fragalign.Solve(w.Instance, alg,
-			fragalign.WithEps(0.05), fragalign.WithFourApproxSeed(true))
-		rec.WallMS = float64(time.Since(start).Microseconds()) / 1000
-		if err != nil {
-			rec.Error = err.Error()
-		} else {
-			rec.Score = res.Score
-			if res.Solution != nil {
-				rec.Matches = len(res.Solution.Matches)
+		rec := algResult{Algorithm: string(alg), Seed: seed, Regions: regions, Instances: instances}
+		// Report the minimum over the repeats: wall time and allocation
+		// deltas are noisy on shared runners, and the minimum is the
+		// stablest estimator of the work's true cost.
+		for r := 0; r < repeat; r++ {
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
+			start := time.Now()
+			results, err := fragalign.SolveBatch(context.Background(), ins, alg,
+				fragalign.WithEps(0.05), fragalign.WithFourApproxSeed(true),
+				fragalign.WithShards(shards))
+			wallMS := float64(time.Since(start).Microseconds()) / 1000
+			runtime.ReadMemStats(&m1)
+			if err != nil {
+				rec.Error = err.Error()
+				break
 			}
-			if res.Stats != nil {
-				rec.Rounds = res.Stats.Rounds
-				rec.Evaluated = res.Stats.Evaluated
-				rec.Accepted = res.Stats.Accepted
+			if r == 0 || wallMS < rec.WallMS {
+				rec.WallMS = wallMS
+			}
+			if allocs := m1.Mallocs - m0.Mallocs; r == 0 || allocs < rec.Allocs {
+				rec.Allocs = allocs
+			}
+			if bytes := m1.TotalAlloc - m0.TotalAlloc; r == 0 || bytes < rec.Bytes {
+				rec.Bytes = bytes
+			}
+			if r > 0 {
+				continue // scores and stats are deterministic across repeats
+			}
+			rec.Score, rec.Matches = 0, 0
+			for _, res := range results {
+				rec.Score += res.Score
+				if res.Solution != nil {
+					rec.Matches += len(res.Solution.Matches)
+				}
+				if res.Stats != nil {
+					rec.Rounds += res.Stats.Rounds
+					rec.Evaluated += res.Stats.Evaluated
+					rec.Accepted += res.Stats.Accepted
+				}
 			}
 		}
 		if err := enc.Encode(rec); err != nil {

@@ -1,9 +1,14 @@
 // Command csrgen generates synthetic fragmented-genome CSR instances in
-// the text format understood by csrsolve.
+// the text format understood by csrsolve, or as a JSONL batch stream for
+// csrbatch.
 //
 // Usage:
 //
 //	csrgen -seed 7 -regions 100 -contig 5 -inversions 3 -out instance.csr
+//	csrgen -seed 7 -count 64 -format jsonl | csrbatch
+//
+// With -count N, instance i is generated from seed+i and named w<seed+i>;
+// batches require -format jsonl.
 package main
 
 import (
@@ -12,6 +17,7 @@ import (
 	"os"
 
 	fragalign "repro"
+	"repro/internal/encoding"
 )
 
 func main() {
@@ -27,8 +33,21 @@ func main() {
 		noise     = flag.Float64("noise", 0.3, "relative score jitter")
 		spurious  = flag.Int("spurious", 10, "spurious alignment pairs")
 		out       = flag.String("out", "", "output file (default stdout)")
+		count     = flag.Int("count", 1, "instances to generate (seeds seed..seed+count-1)")
+		format    = flag.String("format", "text", "output format: text or jsonl")
 	)
 	flag.Parse()
+	if *format != "text" && *format != "jsonl" {
+		fmt.Fprintln(os.Stderr, "csrgen: -format must be text or jsonl")
+		os.Exit(2)
+	}
+	if *count > 1 && *format != "jsonl" {
+		fmt.Fprintln(os.Stderr, "csrgen: -count > 1 requires -format jsonl")
+		os.Exit(2)
+	}
+	if *count < 1 {
+		*count = 1
+	}
 
 	cfg := fragalign.GenConfig{
 		Seed:           *seed,
@@ -43,7 +62,6 @@ func main() {
 		Spurious:       *spurious,
 		SpuriousScore:  *baseScore / 2,
 	}
-	w := fragalign.Generate(cfg)
 	dst := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -54,10 +72,28 @@ func main() {
 		defer f.Close()
 		dst = f
 	}
-	if err := fragalign.WriteInstance(dst, w.Instance); err != nil {
-		fmt.Fprintln(os.Stderr, "csrgen:", err)
-		os.Exit(1)
+	for i := 0; i < *count; i++ {
+		cfg.Seed = *seed + int64(i)
+		w := fragalign.Generate(cfg)
+		if *count > 1 || w.Instance.Name == "" {
+			w.Instance.Name = fmt.Sprintf("w%d", cfg.Seed)
+		}
+		var err error
+		if *format == "jsonl" {
+			err = encoding.WriteJSONLine(dst, w.Instance)
+		} else {
+			err = fragalign.WriteInstance(dst, w.Instance)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "csrgen:", err)
+			os.Exit(1)
+		}
+		if *count == 1 {
+			fmt.Fprintf(os.Stderr, "csrgen: %d H contigs, %d M contigs, truth layout score %.1f\n",
+				len(w.Instance.H), len(w.Instance.M), w.TrueLayoutScore)
+		}
 	}
-	fmt.Fprintf(os.Stderr, "csrgen: %d H contigs, %d M contigs, truth layout score %.1f\n",
-		len(w.Instance.H), len(w.Instance.M), w.TrueLayoutScore)
+	if *count > 1 {
+		fmt.Fprintf(os.Stderr, "csrgen: %d instances (seeds %d..%d)\n", *count, *seed, *seed+int64(*count)-1)
+	}
 }

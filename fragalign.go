@@ -34,9 +34,11 @@
 package fragalign
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/encoding"
@@ -221,6 +223,10 @@ type solveCfg struct {
 	exactCap int
 	check    bool
 	quantize bool
+	// Batch-only knobs (see solvebatch.go).
+	shards  int
+	queue   int
+	timeout time.Duration
 }
 
 // WithWorkers parallelizes candidate evaluation (improvement algorithms)
@@ -247,6 +253,22 @@ func WithConsistencyChecks(on bool) Option { return func(c *solveCfg) { c.check 
 // multiples of X/k², re-score under the true σ at the end.
 func WithQuantizedScaling(on bool) Option { return func(c *solveCfg) { c.quantize = on } }
 
+// WithShards sets the number of concurrent per-instance solvers a batch
+// pool runs (default GOMAXPROCS). Batch APIs only; Solve ignores it.
+func WithShards(n int) Option { return func(c *solveCfg) { c.shards = n } }
+
+// WithQueueDepth bounds a batch pool's submission queue (default
+// 2×shards); Submit blocks while the queue is full. Batch APIs only.
+func WithQueueDepth(n int) Option { return func(c *solveCfg) { c.queue = n } }
+
+// WithPerInstanceTimeout gives every batch-submitted instance its own
+// solve deadline; an instance that exceeds it fails with
+// context.DeadlineExceeded without affecting the rest of the batch.
+// Batch APIs only.
+func WithPerInstanceTimeout(d time.Duration) Option {
+	return func(c *solveCfg) { c.timeout = d }
+}
+
 // Result is a solved instance.
 type Result struct {
 	// Algorithm that produced the result.
@@ -262,16 +284,32 @@ type Result struct {
 	LayoutH, LayoutM []OrientedFrag
 	// Stats carries improvement-run statistics when applicable.
 	Stats *ImproveStats
+	// Wall is the solve's wall-clock duration (queueing excluded for
+	// batch-submitted instances).
+	Wall time.Duration
 }
 
-// Solve runs the selected algorithm on the instance.
-func Solve(in *Instance, alg Algorithm, opts ...Option) (*Result, error) {
+func newSolveCfg(opts []Option) solveCfg {
 	var cfg solveCfg
 	cfg.eps = 0.05
 	for _, o := range opts {
 		o(&cfg)
 	}
+	return cfg
+}
+
+// Solve runs the selected algorithm on the instance.
+func Solve(in *Instance, alg Algorithm, opts ...Option) (*Result, error) {
+	return solveInstance(nil, in, alg, newSolveCfg(opts), nil)
+}
+
+// solveInstance is the shared solver core behind Solve and the batch APIs:
+// ctx cancels improvement runs between rounds, and eval (when non-nil) is a
+// batch-owned candidate-evaluation pool shared across concurrent solves.
+func solveInstance(ctx context.Context, in *Instance, alg Algorithm, cfg solveCfg, eval *improve.EvalPool) (*Result, error) {
 	res := &Result{Algorithm: alg}
+	start := time.Now()
+	defer func() { res.Wall = time.Since(start) }()
 	var sol *Solution
 	switch alg {
 	case Exact:
@@ -313,6 +351,8 @@ func Solve(in *Instance, alg Algorithm, opts ...Option) (*Result, error) {
 			Workers:            cfg.workers,
 			Quantize:           cfg.quantize,
 			CheckInvariants:    cfg.check,
+			Ctx:                ctx,
+			Eval:               eval,
 		})
 		if err != nil {
 			return nil, err

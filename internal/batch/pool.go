@@ -1,0 +1,212 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/improve"
+)
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("batch: pool is closed")
+
+// Runtime hands a Solver the pool resources shared across instances.
+type Runtime struct {
+	// Eval is the shared candidate-evaluation pool, nil when the pool was
+	// built with EvalWorkers == 0. Solvers pass it to improve.Options.Eval.
+	Eval *improve.EvalPool
+}
+
+// Solver solves one instance. The instance's Sigma has already been swapped
+// for the pool's cached compiled matrix; ctx is the per-instance context
+// and is already non-nil and live when the solver runs.
+type Solver func(ctx context.Context, in *core.Instance, rt Runtime) (any, error)
+
+// Options configures a Pool.
+type Options struct {
+	// Shards is the number of concurrent instance solvers; < 1 means
+	// GOMAXPROCS.
+	Shards int
+	// Queue bounds the submission queue; Submit blocks when it is full.
+	// < 1 means 2×Shards.
+	Queue int
+	// EvalWorkers sizes the shared improve.EvalPool; 0 disables it (each
+	// solve evaluates candidates on its own shard goroutine, which is the
+	// right default when Shards already saturates the machine).
+	EvalWorkers int
+	// Solve is the per-instance solver. Required.
+	Solve Solver
+}
+
+// Ticket is the handle for one submitted instance.
+type Ticket struct {
+	// Index is the submission sequence number, assigned in Submit order.
+	Index int
+
+	in   *core.Instance
+	ctx  context.Context
+	done chan struct{}
+	res  any
+	err  error
+}
+
+// Wait blocks until the instance is solved (or its context fires while it
+// is still queued or running) and returns the solver's result.
+func (t *Ticket) Wait() (any, error) {
+	<-t.done
+	return t.res, t.err
+}
+
+// Done is closed when the ticket's result is ready; wrappers use it to
+// release per-instance deadline timers without waiting themselves.
+func (t *Ticket) Done() <-chan struct{} { return t.done }
+
+// Pool is a sharded batch solver. See the package documentation.
+type Pool struct {
+	opts Options
+	jobs chan *Ticket
+	eval *improve.EvalPool
+	sigs sigCache
+	next atomic.Int64
+	// seq is a one-slot semaphore serializing enqueue+index-assignment so
+	// Ticket.Index always matches queue order under concurrent Submit —
+	// unlike a mutex, waiting submitters can still honor their contexts.
+	seq chan struct{}
+
+	mu     sync.RWMutex // guards closed against concurrent Submit/Close
+	closed bool
+	wg     sync.WaitGroup // shard goroutines
+}
+
+// New starts a pool. The caller must Close it to release the workers.
+func New(opts Options) *Pool {
+	if opts.Solve == nil {
+		panic("batch: Options.Solve is required")
+	}
+	if opts.Shards < 1 {
+		opts.Shards = runtime.GOMAXPROCS(0)
+	}
+	if opts.Queue < 1 {
+		opts.Queue = 2 * opts.Shards
+	}
+	p := &Pool{opts: opts, jobs: make(chan *Ticket, opts.Queue), seq: make(chan struct{}, 1)}
+	p.sigs.init()
+	if opts.EvalWorkers > 0 {
+		p.eval = improve.NewEvalPool(opts.EvalWorkers)
+	}
+	p.wg.Add(opts.Shards)
+	for i := 0; i < opts.Shards; i++ {
+		go p.shard()
+	}
+	return p
+}
+
+// Shards returns the number of solver goroutines.
+func (p *Pool) Shards() int { return p.opts.Shards }
+
+// Submit enqueues one instance and returns its ticket. It blocks while the
+// queue is full; ctx (nil means Background) cancels both the wait for queue
+// space and, later, the solve itself — per-instance deadlines are set by
+// deriving ctx with context.WithDeadline before submitting. The instance is
+// shallow-copied with its scorer swapped for the pool's cached compiled
+// matrix, so the caller's instance is never mutated.
+func (p *Pool) Submit(ctx context.Context, in *core.Instance) (*Ticket, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cin := *in
+	cin.Sigma = p.sigs.get(in.Sigma, in.MaxSymbolID())
+	t := &Ticket{in: &cin, ctx: ctx, done: make(chan struct{})}
+
+	// The read lock spans the send: Close's write lock therefore waits for
+	// in-flight Submits, and no Submit can send on a closed channel.
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return nil, ErrClosed
+	}
+	// Hold the sequencer across the send so no other Submit can enqueue
+	// between this ticket's send and its index assignment: Index order is
+	// exactly queue order even under concurrent submitters.
+	select {
+	case p.seq <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-p.seq }()
+	select {
+	case p.jobs <- t:
+		t.Index = int(p.next.Add(1) - 1)
+		return t, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// SolveAll submits every instance and waits for all of them, returning
+// results and errors in input order. A per-instance failure (including
+// cancellation) occupies its slot in errs; err is non-nil only when
+// submission itself failed, and the returned slices still cover every
+// submitted instance.
+func (p *Pool) SolveAll(ctx context.Context, ins []*core.Instance) (results []any, errs []error, err error) {
+	results = make([]any, len(ins))
+	errs = make([]error, len(ins))
+	tickets := make([]*Ticket, 0, len(ins))
+	for _, in := range ins {
+		t, serr := p.Submit(ctx, in)
+		if serr != nil {
+			err = fmt.Errorf("batch: submit instance %d: %w", len(tickets), serr)
+			break
+		}
+		tickets = append(tickets, t)
+	}
+	for i, t := range tickets {
+		results[i], errs[i] = t.Wait()
+	}
+	return results, errs, err
+}
+
+// Close drains the queue, stops the shards, and releases the shared eval
+// pool. Submit fails with ErrClosed afterwards; Close is idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	already := p.closed
+	p.closed = true
+	if !already {
+		close(p.jobs)
+	}
+	p.mu.Unlock()
+	if already {
+		return
+	}
+	p.wg.Wait()
+	if p.eval != nil {
+		p.eval.Close()
+	}
+}
+
+func (p *Pool) shard() {
+	defer p.wg.Done()
+	for t := range p.jobs {
+		p.run(t)
+	}
+}
+
+func (p *Pool) run(t *Ticket) {
+	defer close(t.done)
+	defer func() {
+		if r := recover(); r != nil {
+			t.err = fmt.Errorf("batch: solver panic: %v", r)
+		}
+	}()
+	if err := t.ctx.Err(); err != nil {
+		t.err = err
+		return
+	}
+	t.res, t.err = p.opts.Solve(t.ctx, t.in, Runtime{Eval: p.eval})
+}

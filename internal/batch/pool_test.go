@@ -1,0 +1,323 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/improve"
+	"repro/internal/score"
+)
+
+// testInstances generates n distinct workloads.
+func testInstances(t testing.TB, n, regions int) []*core.Instance {
+	t.Helper()
+	ins := make([]*core.Instance, n)
+	for i := range ins {
+		cfg := gen.DefaultConfig(int64(100 + i))
+		cfg.Regions = regions
+		ins[i] = gen.Generate(cfg).Instance
+		ins[i].Name = fmt.Sprintf("w%d", i)
+	}
+	return ins
+}
+
+// improveSolver runs CSR_Improve and renders the solution as a canonical
+// string, so "byte-identical results" is literal string equality.
+func improveSolver(ctx context.Context, in *core.Instance, rt Runtime) (any, error) {
+	sol, stats, err := improve.Improve(in, improve.Options{
+		Eps:                0.05,
+		SeedWithFourApprox: true,
+		Ctx:                ctx,
+		Eval:               rt.Eval,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s score=%v rounds=%d matches=[", in.Name, sol.Score(), stats.Rounds)
+	for _, mt := range sol.Matches {
+		fmt.Fprintf(&b, "%v~%v/%v:%v ", mt.HSite, mt.MSite, mt.Rev, mt.Score)
+	}
+	b.WriteString("]")
+	return b.String(), nil
+}
+
+func TestPoolSolvesInOrder(t *testing.T) {
+	ins := testInstances(t, 6, 30)
+	p := New(Options{Shards: 3, Solve: improveSolver})
+	defer p.Close()
+	results, errs, err := p.SolveAll(context.Background(), ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ins {
+		if errs[i] != nil {
+			t.Fatalf("instance %d: %v", i, errs[i])
+		}
+		got := results[i].(string)
+		if !strings.HasPrefix(got, ins[i].Name+" ") {
+			t.Fatalf("result %d out of order: %q", i, got)
+		}
+	}
+}
+
+// TestShardCountInvariance is the batch determinism contract: the same
+// instance set solved with 1, 4, and 8 shards produces byte-identical
+// per-instance results.
+func TestShardCountInvariance(t *testing.T) {
+	ins := testInstances(t, 8, 40)
+	var reference []string
+	for _, shards := range []int{1, 4, 8} {
+		p := New(Options{Shards: shards, Solve: improveSolver})
+		results, errs, err := p.SolveAll(context.Background(), ins)
+		p.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rendered := make([]string, len(ins))
+		for i := range ins {
+			if errs[i] != nil {
+				t.Fatalf("shards=%d instance %d: %v", shards, i, errs[i])
+			}
+			rendered[i] = results[i].(string)
+		}
+		if reference == nil {
+			reference = rendered
+			continue
+		}
+		for i := range rendered {
+			if rendered[i] != reference[i] {
+				t.Fatalf("shards=%d instance %d diverged:\n  got  %s\n  want %s",
+					shards, i, rendered[i], reference[i])
+			}
+		}
+	}
+}
+
+// TestPoolConcurrentSubmit stress-tests one pool under concurrent
+// submitters (run under -race in CI): every resubmission of the same
+// instance must produce the identical result.
+func TestPoolConcurrentSubmit(t *testing.T) {
+	ins := testInstances(t, 4, 30)
+	p := New(Options{Shards: 4, Queue: 2, EvalWorkers: 2, Solve: improveSolver})
+	defer p.Close()
+
+	want := make([]string, len(ins))
+	for i, in := range ins {
+		tk, err := p.Submit(context.Background(), in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := tk.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = v.(string)
+	}
+
+	const submitters = 8
+	var wg sync.WaitGroup
+	errc := make(chan error, submitters)
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i, in := range ins {
+				tk, err := p.Submit(context.Background(), in)
+				if err != nil {
+					errc <- fmt.Errorf("submitter %d: %w", g, err)
+					return
+				}
+				v, err := tk.Wait()
+				if err != nil {
+					errc <- fmt.Errorf("submitter %d instance %d: %w", g, i, err)
+					return
+				}
+				if v.(string) != want[i] {
+					errc <- fmt.Errorf("submitter %d instance %d: nondeterministic result", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+func TestSigmaCacheSharedAcrossInstances(t *testing.T) {
+	var c sigCache
+	c.init()
+	tb := score.NewTable()
+	tb.Set(1, 1, 2.5)
+	a := c.get(tb, 4)
+	b := c.get(tb, 4)
+	if a != b {
+		t.Fatal("same scorer compiled twice")
+	}
+	cp, ok := a.(*score.Compiled)
+	if !ok || cp.MaxID() < 4 {
+		t.Fatalf("cache returned %T covering %v", a, cp.MaxID())
+	}
+	// A wider alphabet forces a recompile; the cache must upgrade.
+	w := c.get(tb, 9).(*score.Compiled)
+	if w == cp || w.MaxID() < 9 {
+		t.Fatalf("cache did not widen: %v", w.MaxID())
+	}
+	// Already-compiled scorers pass through untouched.
+	if got := c.get(w, 9); got != w {
+		t.Fatal("compiled scorer was re-wrapped")
+	}
+	other := score.NewTable()
+	other.Set(1, 2, 1.0)
+	if c.get(other, 4) == a {
+		t.Fatal("distinct scorers shared one matrix")
+	}
+}
+
+func TestSubmitAfterClose(t *testing.T) {
+	ins := testInstances(t, 1, 20)
+	p := New(Options{Shards: 1, Solve: improveSolver})
+	p.Close()
+	p.Close() // idempotent
+	if _, err := p.Submit(context.Background(), ins[0]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close: %v", err)
+	}
+}
+
+func TestPerInstanceContext(t *testing.T) {
+	ins := testInstances(t, 1, 20)
+	p := New(Options{Shards: 1, Solve: improveSolver})
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tk, err := p.Submit(ctx, ins[0])
+	if err != nil {
+		// Allowed: the canceled context can also fail the submit itself.
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Submit: %v", err)
+		}
+		return
+	}
+	if _, err := tk.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait after cancel: %v", err)
+	}
+}
+
+func TestBoundedQueueRespectsContext(t *testing.T) {
+	ins := testInstances(t, 3, 20)
+	release := make(chan struct{})
+	p := New(Options{Shards: 1, Queue: 1, Solve: func(ctx context.Context, in *core.Instance, rt Runtime) (any, error) {
+		<-release
+		return "done", nil
+	}})
+	defer p.Close()
+	defer close(release)
+
+	// Occupy the shard, then fill the queue.
+	if _, err := p.Submit(context.Background(), ins[0]); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+		_, err := p.Submit(ctx, ins[1])
+		cancel()
+		if errors.Is(err, context.DeadlineExceeded) {
+			return // queue full and Submit honored the context
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Fatal("queue never filled")
+}
+
+func TestSolverPanicIsAnError(t *testing.T) {
+	ins := testInstances(t, 1, 20)
+	p := New(Options{Shards: 1, Solve: func(ctx context.Context, in *core.Instance, rt Runtime) (any, error) {
+		panic("boom")
+	}})
+	defer p.Close()
+	tk, err := p.Submit(context.Background(), ins[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tk.Wait(); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("panic not surfaced: %v", err)
+	}
+}
+
+// TestIndexMatchesQueueOrder pins the Ticket.Index contract under
+// concurrent submitters: indices are dense and agree with the order a
+// lone shard actually dequeues the work.
+func TestIndexMatchesQueueOrder(t *testing.T) {
+	const n = 64
+	var mu sync.Mutex
+	var processed []string
+	p := New(Options{Shards: 1, Queue: 2, Solve: func(ctx context.Context, in *core.Instance, rt Runtime) (any, error) {
+		mu.Lock()
+		processed = append(processed, in.Name)
+		mu.Unlock()
+		return in.Name, nil
+	}})
+	defer p.Close()
+
+	ins := testInstances(t, n, 10)
+	type tagged struct {
+		idx  int
+		name string
+	}
+	out := make(chan tagged, n)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < n; i += 8 {
+				tk, err := p.Submit(context.Background(), ins[i])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := tk.Wait(); err != nil {
+					t.Error(err)
+					return
+				}
+				out <- tagged{idx: tk.Index, name: ins[i].Name}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(out)
+
+	byIndex := make([]string, n)
+	seen := 0
+	for tg := range out {
+		if tg.idx < 0 || tg.idx >= n || byIndex[tg.idx] != "" {
+			t.Fatalf("index %d out of range or duplicated", tg.idx)
+		}
+		byIndex[tg.idx] = tg.name
+		seen++
+	}
+	if seen != n {
+		t.Fatalf("got %d tickets, want %d", seen, n)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i := range byIndex {
+		if processed[i] != byIndex[i] {
+			t.Fatalf("queue position %d processed %q but Index %d belongs to %q",
+				i, processed[i], i, byIndex[i])
+		}
+	}
+}

@@ -147,8 +147,17 @@ type jsonScore struct {
 	Value float64 `json:"v"`
 }
 
-// MarshalJSON serializes an instance to JSON.
+// MarshalJSON serializes an instance to indented JSON.
 func MarshalJSON(in *core.Instance) ([]byte, error) {
+	j, err := toWire(in)
+	if err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(j, "", "  ")
+}
+
+// toWire builds the JSON wire form with deterministic score ordering.
+func toWire(in *core.Instance) (*jsonInstance, error) {
 	tb, ok := in.Sigma.(*score.Table)
 	if !ok {
 		return nil, fmt.Errorf("encoding: only Table-scored instances can be serialized")
@@ -170,15 +179,53 @@ func MarshalJSON(in *core.Instance) ([]byte, error) {
 	tb.Pairs(func(a, b symbol.Symbol, v float64) {
 		j.Scores = append(j.Scores, jsonScore{A: in.Alpha.Name(a), B: in.Alpha.Name(b), Value: v})
 	})
-	for i := 0; i < len(j.Scores); i++ {
-		for k := i + 1; k < len(j.Scores); k++ {
-			if j.Scores[k].A < j.Scores[i].A ||
-				(j.Scores[k].A == j.Scores[i].A && j.Scores[k].B < j.Scores[i].B) {
-				j.Scores[i], j.Scores[k] = j.Scores[k], j.Scores[i]
-			}
+	sort.Slice(j.Scores, func(a, b int) bool {
+		if j.Scores[a].A != j.Scores[b].A {
+			return j.Scores[a].A < j.Scores[b].A
+		}
+		return j.Scores[a].B < j.Scores[b].B
+	})
+	return &j, nil
+}
+
+// WriteJSONLine appends one instance to w as a single compact JSON line —
+// the JSONL stream format consumed by csrbatch and ReadJSONL.
+func WriteJSONLine(w io.Writer, in *core.Instance) error {
+	j, err := toWire(in)
+	if err != nil {
+		return err
+	}
+	data, err := json.Marshal(j)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// ReadJSONL parses a stream of newline-delimited JSON instances, invoking
+// fn for each in stream order. Blank lines and '#' comment lines are
+// skipped; fn returning an error stops the scan and returns that error.
+func ReadJSONL(r io.Reader, fn func(*core.Instance) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 64<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		in, err := UnmarshalJSON([]byte(line))
+		if err != nil {
+			return fmt.Errorf("encoding: jsonl line %d: %w", lineNo, err)
+		}
+		if err := fn(in); err != nil {
+			return err
 		}
 	}
-	return json.MarshalIndent(j, "", "  ")
+	return sc.Err()
 }
 
 // UnmarshalJSON parses the JSON wire form.

@@ -130,3 +130,82 @@ func TestNonTableScorerRejected(t *testing.T) {
 		t.Fatal("identity scorer marshaled")
 	}
 }
+
+// TestJSONLRoundTrip streams several instances through WriteJSONLine /
+// ReadJSONL and checks each survives intact (same text serialization, same
+// paper-example optimum for the first).
+func TestJSONLRoundTrip(t *testing.T) {
+	ins := []*core.Instance{core.PaperExample()}
+	for seed := int64(3); seed <= 5; seed++ {
+		w := gen.Generate(gen.DefaultConfig(seed))
+		ins = append(ins, w.Instance)
+	}
+	var buf bytes.Buffer
+	want := make([]string, len(ins))
+	for i, in := range ins {
+		if err := WriteJSONLine(&buf, in); err != nil {
+			t.Fatal(err)
+		}
+		var tb bytes.Buffer
+		if err := WriteText(&tb, in); err != nil {
+			t.Fatal(err)
+		}
+		want[i] = tb.String()
+	}
+	if got := strings.Count(buf.String(), "\n"); got != len(ins) {
+		t.Fatalf("stream has %d lines, want %d", got, len(ins))
+	}
+
+	stream := "# a comment\n\n" + buf.String()
+	var got []string
+	err := ReadJSONL(strings.NewReader(stream), func(in *core.Instance) error {
+		var tb bytes.Buffer
+		if err := WriteText(&tb, in); err != nil {
+			return err
+		}
+		got = append(got, tb.String())
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ins) {
+		t.Fatalf("read %d instances, want %d", len(got), len(ins))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("instance %d changed across the JSONL round trip:\n%s\nwant:\n%s", i, got[i], want[i])
+		}
+	}
+
+	back := 0
+	err = ReadJSONL(strings.NewReader(buf.String()), func(in *core.Instance) error {
+		if back == 0 {
+			opt, err := exact.Solve(in, exact.Solver{})
+			if err != nil {
+				return err
+			}
+			if opt.Score != 11 {
+				t.Fatalf("round-tripped optimum %v, want 11", opt.Score)
+			}
+		}
+		back++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReadJSONLBadLine pins the error position reporting.
+func TestReadJSONLBadLine(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONLine(&buf, core.PaperExample()); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("{not json}\n")
+	err := ReadJSONL(&buf, func(*core.Instance) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("want a line-2 error, got %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package improve
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -40,6 +41,15 @@ type Options struct {
 	MaxRounds int
 	// Workers parallelizes candidate gain evaluation; < 1 means 1.
 	Workers int
+	// Eval is an externally owned evaluation pool. When set, candidate
+	// simulations are submitted to it instead of a per-call pool (Workers
+	// is then ignored), so batch drivers amortize worker goroutines across
+	// many concurrent solves. The pool outlives the call; Improve never
+	// closes it.
+	Eval *EvalPool
+	// Ctx cancels the solve between improvement rounds; nil means never.
+	// On cancellation Improve returns the context's error.
+	Ctx context.Context
 	// Quantize applies the literal §4.1 scaling: run the search under a
 	// scorer truncated to multiples of X/k² (X the 4-approximate score, k
 	// the match bound), then re-score the result under the true σ. Every
@@ -133,12 +143,17 @@ func Improve(in *core.Instance, opt Options) (*core.Solution, Stats, error) {
 	vers := make(map[core.FragRef]uint64)
 	st.vers = vers
 	cache := make(map[candKey]*cacheEntry)
-	var pool *workerPool
-	if workers > 1 {
-		pool = newWorkerPool(workers)
-		defer pool.close()
+	pool := opt.Eval
+	if pool == nil && workers > 1 {
+		pool = NewEvalPool(workers)
+		defer pool.Close()
 	}
 	for stats.Rounds = 0; stats.Rounds < maxRounds; stats.Rounds++ {
+		if opt.Ctx != nil {
+			if err := opt.Ctx.Err(); err != nil {
+				return nil, stats, err
+			}
+		}
 		cands := enumerate(st, opt.Methods)
 		stats.Evaluated += len(cands)
 		gains := make([]float64, len(cands))
@@ -176,11 +191,12 @@ func Improve(in *core.Instance, opt Options) (*core.Solution, Stats, error) {
 				eval(i)
 			}
 		} else {
+			batch := evalBatch{p: pool}
 			for _, i := range fresh {
 				i := i
-				pool.do(func() { eval(i) })
+				batch.do(func() { eval(i) })
 			}
-			pool.wait()
+			batch.wait()
 		}
 		if !opt.FullReeval {
 			for _, i := range fresh {

@@ -145,32 +145,61 @@ func (pm *placeMemo) put(k placeKey, v []placement) {
 	pm.mu.Unlock()
 }
 
-// workerPool is a persistent set of evaluation goroutines, created once per
-// Improve call and fed one batch of candidate simulations per round —
-// replacing the per-round goroutine spawn of the previous driver.
-type workerPool struct {
-	jobs chan func()
-	wg   sync.WaitGroup
+// EvalPool is a persistent set of candidate-evaluation goroutines. Improve
+// creates a private pool per call when Options.Workers > 1, but a pool can
+// also be created once and shared — safely, concurrently — by many Improve
+// calls via Options.Eval: completion is tracked per submission batch (see
+// evalBatch), not per pool, so batch drivers such as internal/batch reuse
+// one set of workers across thousands of solves instead of spawning
+// goroutines per instance.
+type EvalPool struct {
+	jobs    chan func()
+	workers int
+	done    sync.WaitGroup // worker goroutine lifetimes, for Close
 }
 
-func newWorkerPool(n int) *workerPool {
-	p := &workerPool{jobs: make(chan func())}
+// NewEvalPool starts n worker goroutines. n < 1 is treated as 1.
+func NewEvalPool(n int) *EvalPool {
+	if n < 1 {
+		n = 1
+	}
+	p := &EvalPool{jobs: make(chan func()), workers: n}
+	p.done.Add(n)
 	for i := 0; i < n; i++ {
 		go func() {
+			defer p.done.Done()
 			for f := range p.jobs {
 				f()
-				p.wg.Done()
 			}
 		}()
 	}
 	return p
 }
 
-func (p *workerPool) do(f func()) {
-	p.wg.Add(1)
-	p.jobs <- f
+// Workers returns the pool size.
+func (p *EvalPool) Workers() int { return p.workers }
+
+// Close stops the workers after the queued jobs drain. Callers must not
+// submit after Close.
+func (p *EvalPool) Close() {
+	close(p.jobs)
+	p.done.Wait()
 }
 
-func (p *workerPool) wait() { p.wg.Wait() }
+// evalBatch tracks one caller's batch of jobs on a (possibly shared) pool.
+// Each driver round submits its fresh candidates through its own batch and
+// waits for exactly those, regardless of what other solves have in flight.
+type evalBatch struct {
+	p  *EvalPool
+	wg sync.WaitGroup
+}
 
-func (p *workerPool) close() { close(p.jobs) }
+func (b *evalBatch) do(f func()) {
+	b.wg.Add(1)
+	b.p.jobs <- func() {
+		defer b.wg.Done()
+		f()
+	}
+}
+
+func (b *evalBatch) wait() { b.wg.Wait() }

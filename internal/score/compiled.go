@@ -2,6 +2,7 @@ package score
 
 import (
 	"math"
+	"sync"
 
 	"repro/internal/symbol"
 )
@@ -27,6 +28,11 @@ type Compiled struct {
 	n    int32 // maximum region ID covered
 	dim  int32 // 2n+1 oriented symbols
 	flat []float64
+
+	// trans caches Transposed so concurrent solves sharing one compiled
+	// matrix (the batch pool's per-alphabet cache) transpose σ once.
+	transOnce sync.Once
+	trans     *Compiled
 }
 
 // Compile evaluates base on every oriented symbol pair with region IDs up to
@@ -132,16 +138,24 @@ func (c *Compiled) IndexWord(w symbol.Word) []int32 {
 	return out
 }
 
-// Transposed returns the compiled matrix of σᵀ(a, b) = σ(b, a).
+// Transposed returns the compiled matrix of σᵀ(a, b) = σ(b, a). The result
+// is computed once and cached (safely under concurrent use), and its own
+// transpose links back to c, so repeated solves over a shared matrix pay
+// for the O(dim²) flip a single time.
 func (c *Compiled) Transposed() *Compiled {
-	t := &Compiled{base: Transpose(c.base), n: c.n, dim: c.dim, flat: make([]float64, len(c.flat))}
-	d := int(c.dim)
-	for i := 0; i < d; i++ {
-		for j := 0; j < d; j++ {
-			t.flat[j*d+i] = c.flat[i*d+j]
+	c.transOnce.Do(func() {
+		t := &Compiled{base: Transpose(c.base), n: c.n, dim: c.dim, flat: make([]float64, len(c.flat))}
+		d := int(c.dim)
+		for i := 0; i < d; i++ {
+			for j := 0; j < d; j++ {
+				t.flat[j*d+i] = c.flat[i*d+j]
+			}
 		}
-	}
-	return t
+		t.trans = c
+		t.transOnce.Do(func() {}) // mark resolved: t.Transposed() == c
+		c.trans = t
+	})
+	return c.trans
 }
 
 // transposedScorer swaps the species arguments: σᵀ(x, y) = σ(y, x).

@@ -1,0 +1,12 @@
+#!/usr/bin/env sh
+# Regenerates BENCH_BASELINE.json, the committed benchmark trajectory the
+# CI bench-trajectory job gates against (cmd/benchdiff, >25% wall-time
+# regression fails). Run on a quiet machine and commit the result when a PR
+# legitimately moves the floor — the seeds and workload sizes here must
+# stay in lockstep with .github/workflows/ci.yml.
+set -eu
+cd "$(dirname "$0")/.."
+go run ./cmd/csrbench -json -seed 1 -regions 60 -repeat 3 > BENCH_BASELINE.json
+go run ./cmd/csrbench -json -seed 1 -regions 60 -instances 8 -repeat 3 -algs csr-improve,four-approx >> BENCH_BASELINE.json
+echo "wrote BENCH_BASELINE.json:" >&2
+cat BENCH_BASELINE.json >&2

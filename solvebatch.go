@@ -1,0 +1,136 @@
+package fragalign
+
+// Batch solving: many instances, one persistent worker pool. SolveBatch is
+// the slice-in/slice-out form; BatchPool is the streaming form used by
+// cmd/csrbatch. Both wrap internal/batch, which owns the shards, the
+// bounded queue, the shared candidate-evaluation workers, and the
+// per-alphabet cache of compiled σ matrices.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/core"
+)
+
+// BatchPool solves a stream of instances with one algorithm over a
+// persistent sharded worker pool. Submissions are bounded (WithQueueDepth)
+// and individually cancelable; tickets resolve in any order but carry
+// submission indices, and each instance's result is byte-identical to what
+// sequential Solve produces, regardless of shard count.
+//
+//	pool := fragalign.NewBatchPool(fragalign.CSRImprove, fragalign.WithShards(8))
+//	defer pool.Close()
+//	t, _ := pool.Submit(ctx, in)
+//	res, err := t.Wait()
+type BatchPool struct {
+	pool    *batch.Pool
+	timeout time.Duration // per-instance deadline, 0 = none
+}
+
+// BatchTicket is the pending result of one submitted instance.
+type BatchTicket struct {
+	t *batch.Ticket
+}
+
+// Index is the ticket's submission sequence number.
+func (t *BatchTicket) Index() int { return t.t.Index }
+
+// Wait blocks for the result.
+func (t *BatchTicket) Wait() (*Result, error) {
+	v, err := t.t.Wait()
+	if err != nil {
+		return nil, err
+	}
+	return v.(*Result), nil
+}
+
+// NewBatchPool starts a batch pool solving with alg. Solve options apply to
+// every instance; WithShards, WithQueueDepth, and WithPerInstanceTimeout
+// shape the pool itself. WithWorkers(n>1) additionally creates n shared
+// candidate-evaluation workers that all in-flight improvement solves reuse
+// (leave it unset when shards alone saturate the machine). Close the pool
+// to release its goroutines.
+func NewBatchPool(alg Algorithm, opts ...Option) *BatchPool {
+	cfg := newSolveCfg(opts)
+	evalWorkers := 0
+	if cfg.workers > 1 {
+		evalWorkers = cfg.workers
+	}
+	p := batch.New(batch.Options{
+		Shards:      cfg.shards,
+		Queue:       cfg.queue,
+		EvalWorkers: evalWorkers,
+		Solve: func(ctx context.Context, in *core.Instance, rt batch.Runtime) (any, error) {
+			return solveInstance(ctx, in, alg, cfg, rt.Eval)
+		},
+	})
+	return &BatchPool{pool: p, timeout: cfg.timeout}
+}
+
+// Submit enqueues an instance, blocking while the queue is full. The
+// returned ticket resolves once a shard solves the instance; ctx (nil means
+// Background) cancels queue wait and solve alike.
+func (bp *BatchPool) Submit(ctx context.Context, in *Instance) (*BatchTicket, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var cancel context.CancelFunc
+	if bp.timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, bp.timeout)
+	}
+	t, err := bp.pool.Submit(ctx, in)
+	if err != nil {
+		if cancel != nil {
+			cancel()
+		}
+		return nil, err
+	}
+	if cancel != nil {
+		go func() {
+			<-t.Done()
+			cancel()
+		}()
+	}
+	return &BatchTicket{t: t}, nil
+}
+
+// Shards returns the pool's concurrency.
+func (bp *BatchPool) Shards() int { return bp.pool.Shards() }
+
+// Close drains queued work and stops the pool's goroutines.
+func (bp *BatchPool) Close() { bp.pool.Close() }
+
+// SolveBatch solves every instance with alg over a sharded worker pool and
+// returns results in input order — deterministically: results[i] is
+// byte-identical to Solve(ins[i], alg, opts...) no matter how many shards
+// ran (WithShards; default GOMAXPROCS). Per-instance failures leave a nil
+// slot in results and are joined into err, so callers can consume the
+// successes of a partially failed batch.
+func SolveBatch(ctx context.Context, ins []*Instance, alg Algorithm, opts ...Option) ([]*Result, error) {
+	bp := NewBatchPool(alg, opts...)
+	defer bp.Close()
+	results := make([]*Result, len(ins))
+	tickets := make([]*BatchTicket, 0, len(ins))
+	var errs []error
+	for i, in := range ins {
+		t, err := bp.Submit(ctx, in)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("fragalign: submit instance %d (%s): %w", i, in.Name, err))
+			break // submission fails only when ctx fired or the pool closed
+		}
+		tickets = append(tickets, t)
+	}
+	for i, t := range tickets {
+		r, err := t.Wait()
+		if err != nil {
+			errs = append(errs, fmt.Errorf("fragalign: instance %d (%s): %w", i, ins[i].Name, err))
+			continue
+		}
+		results[i] = r
+	}
+	return results, errors.Join(errs...)
+}
