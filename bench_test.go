@@ -181,9 +181,23 @@ func BenchmarkE9Wavefront(b *testing.B) {
 	want := align.Score(a, bb, tb)
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs() // workers=1 runs inline and must stay at 0 allocs/op
 			wf := align.WavefrontAligner{Workers: workers, BlockRows: 128, BlockCols: 128}
 			for i := 0; i < b.N; i++ {
 				if got := wf.Score(a, bb, tb); got != want {
+					b.Fatalf("score %v, want %v", got, want)
+				}
+			}
+		})
+	}
+	// Integer tiles: this σ is integral, so the quantized wavefront is exact.
+	ci := score.Compile(tb, 40).Int()
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d-int32", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			wf := align.WavefrontAligner{Workers: workers, BlockRows: 128, BlockCols: 128}
+			for i := 0; i < b.N; i++ {
+				if got := wf.Score(a, bb, ci); got != want {
 					b.Fatalf("score %v, want %v", got, want)
 				}
 			}
@@ -356,6 +370,31 @@ func BenchmarkAlignmentKernels(b *testing.B) {
 	b.Run("placements", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			align.Placements(a[:40], bb, tb, 0)
+		}
+	})
+	// Integer-quantized variants on the same inputs (this σ is integral, so
+	// the int32 kernels return bit-identical scores). The float64 dense path
+	// above is the baseline the ISSUE's ≥1.5× acceptance compares against.
+	ci := score.Compile(tb, 30).Int()
+	b.Run("score-int32", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			align.Score(a, bb, ci)
+		}
+	})
+	b.Run("banded-64-int32", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			align.ScoreBanded(a, bb, ci, 64)
+		}
+	})
+	b.Run("hirschberg-int32", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			align.Hirschberg(a, bb, ci)
+		}
+	})
+	b.Run("placements-int32", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			align.Placements(a[:40], bb, ci, 0)
 		}
 	})
 }

@@ -7,7 +7,8 @@
 //
 //	benchdiff [-max-wall 25] [-max-allocs 50] BENCH_BASELINE.json BENCH_PR.json
 //
-// Records are matched by (algorithm, seed, regions, instances). Baseline
+// Records are matched by (algorithm, mode, seed, regions, instances) — the
+// float64 and int32-quantized score paths gate independently. Baseline
 // records below the noise floors (-floor-ms, -floor-allocs) are reported
 // but never gated — sub-millisecond timings on shared runners are jitter,
 // not signal. A record present in the baseline but missing from the PR file
@@ -30,6 +31,7 @@ import (
 // two tools can evolve independently.
 type record struct {
 	Algorithm string  `json:"algorithm"`
+	Mode      string  `json:"mode"` // "" = float64 path, "int32" = quantized kernels
 	Seed      int64   `json:"seed"`
 	Regions   int     `json:"regions"`
 	Instances int     `json:"instances"`
@@ -42,13 +44,23 @@ type record struct {
 
 type key struct {
 	alg       string
+	mode      string
 	seed      int64
 	regions   int
 	instances int
 }
 
+// label renders the algorithm with its scoring mode, the table's first
+// column.
+func (k key) label() string {
+	if k.mode != "" {
+		return k.alg + "/" + k.mode
+	}
+	return k.alg
+}
+
 func (k key) String() string {
-	s := fmt.Sprintf("%s seed=%d regions=%d", k.alg, k.seed, k.regions)
+	s := fmt.Sprintf("%s seed=%d regions=%d", k.label(), k.seed, k.regions)
 	if k.instances > 1 {
 		s += fmt.Sprintf(" instances=%d", k.instances)
 	}
@@ -79,7 +91,7 @@ func load(path string) (map[key]record, []key, error) {
 		if r.Instances == 0 {
 			r.Instances = 1 // records from before the batch port
 		}
-		k := key{r.Algorithm, r.Seed, r.Regions, r.Instances}
+		k := key{r.Algorithm, r.Mode, r.Seed, r.Regions, r.Instances}
 		if _, dup := recs[k]; !dup {
 			order = append(order, k)
 		}
@@ -127,12 +139,12 @@ func main() {
 		c, ok := cur[k]
 		if !ok {
 			failures = append(failures, fmt.Sprintf("%s: missing from current run", k))
-			fmt.Fprintf(tw, "%s\t%d\t%.1f → —\t—\t—\t—\tMISSING\n", k.alg, k.instances, b.WallMS)
+			fmt.Fprintf(tw, "%s\t%d\t%.1f → —\t—\t—\t—\tMISSING\n", k.label(), k.instances, b.WallMS)
 			continue
 		}
 		if c.Error != "" {
 			failures = append(failures, fmt.Sprintf("%s: current run errored: %s", k, c.Error))
-			fmt.Fprintf(tw, "%s\t%d\t—\t—\t—\t—\tERROR\n", k.alg, k.instances)
+			fmt.Fprintf(tw, "%s\t%d\t—\t—\t—\t—\tERROR\n", k.label(), k.instances)
 			continue
 		}
 		dWall := pct(b.WallMS, c.WallMS)
@@ -153,14 +165,14 @@ func main() {
 				k, b.Allocs, c.Allocs, dAllocs, *maxAllocs))
 		}
 		fmt.Fprintf(tw, "%s\t%d\t%.1f → %.1f\t%+.1f%%\t%d → %d\t%+.1f%%\t%s\n",
-			k.alg, k.instances, b.WallMS, c.WallMS, dWall, b.Allocs, c.Allocs, dAllocs,
+			k.label(), k.instances, b.WallMS, c.WallMS, dWall, b.Allocs, c.Allocs, dAllocs,
 			strings.Join(notes, ", "))
 	}
 	sort.Slice(curOrder, func(i, j int) bool { return curOrder[i].String() < curOrder[j].String() })
 	for _, k := range curOrder {
 		if _, ok := base[k]; !ok {
 			fmt.Fprintf(tw, "%s\t%d\t— → %.1f\t—\t— → %d\t—\tNEW\n",
-				k.alg, k.instances, cur[k].WallMS, cur[k].Allocs)
+				k.label(), k.instances, cur[k].WallMS, cur[k].Allocs)
 		}
 	}
 	tw.Flush()

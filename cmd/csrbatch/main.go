@@ -47,6 +47,7 @@ func main() {
 		eps     = flag.Float64("eps", 0.05, "scaling slack for improvement algorithms")
 		seed4   = flag.Bool("seed4", true, "seed improvement with the 4-approximation")
 		timeout = flag.Duration("timeout", 0, "per-instance solve deadline (0 = none)")
+		intMode = flag.Bool("int", false, "solve with the int32-quantized score kernels (results re-scored under the exact σ)")
 	)
 	flag.Parse()
 
@@ -72,6 +73,7 @@ func main() {
 		fragalign.WithEps(*eps),
 		fragalign.WithFourApproxSeed(*seed4),
 		fragalign.WithPerInstanceTimeout(*timeout),
+		fragalign.WithIntScore(*intMode),
 	)
 	defer pool.Close()
 

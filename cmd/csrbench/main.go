@@ -30,9 +30,13 @@ import (
 	"repro/internal/experiments"
 )
 
-// algResult is one machine-readable benchmark record.
+// algResult is one machine-readable benchmark record. Mode distinguishes the
+// scoring path ("int32" for quantized integer kernels; empty means the exact
+// float64 path), and benchdiff matches records on (algorithm, mode, …) so
+// both paths are gated independently.
 type algResult struct {
 	Algorithm string  `json:"algorithm"`
+	Mode      string  `json:"mode,omitempty"`
 	Seed      int64   `json:"seed"`
 	Regions   int     `json:"regions"`
 	Instances int     `json:"instances"`
@@ -57,10 +61,12 @@ func main() {
 		repeat    = flag.Int("repeat", 1, "repetitions per algorithm for -json; the minimum is reported")
 		shards    = flag.Int("shards", 0, "batch-pool shards for -json (0 = GOMAXPROCS)")
 		algsFlag  = flag.String("algs", "", "comma-separated algorithms for -json (default all but exact)")
+		intMode   = flag.Bool("int", false, "solve with the int32-quantized score kernels (records carry mode=int32)")
+		sharedAl  = flag.Bool("shared-alphabet", false, "generate all -json instances over one canonical alphabet/σ table (exercises the batch pool's per-alphabet cache)")
 	)
 	flag.Parse()
 	if *asJSON {
-		if err := runJSON(*seed, *regions, *instances, *repeat, *shards, *algsFlag); err != nil {
+		if err := runJSON(*seed, *regions, *instances, *repeat, *shards, *algsFlag, *intMode, *sharedAl); err != nil {
 			fmt.Fprintln(os.Stderr, "csrbench:", err)
 			os.Exit(1)
 		}
@@ -80,17 +86,24 @@ func main() {
 	}
 }
 
-func runJSON(seed int64, regions, instances, repeat, shards int, algsFlag string) error {
+func runJSON(seed int64, regions, instances, repeat, shards int, algsFlag string, intMode, sharedAl bool) error {
 	if instances < 1 {
 		instances = 1
 	}
 	if repeat < 1 {
 		repeat = 1
 	}
+	var shared *fragalign.Canonical
+	if sharedAl {
+		cfg := fragalign.DefaultGenConfig(seed)
+		cfg.Regions = regions
+		shared = fragalign.NewCanonical(cfg)
+	}
 	ins := make([]*fragalign.Instance, instances)
 	for i := range ins {
 		cfg := fragalign.DefaultGenConfig(seed + int64(i))
 		cfg.Regions = regions
+		cfg.Canonical = shared
 		ins[i] = fragalign.Generate(cfg).Instance
 	}
 
@@ -110,9 +123,13 @@ func runJSON(seed int64, regions, instances, repeat, shards int, algsFlag string
 		}
 	}
 
+	mode := ""
+	if intMode {
+		mode = "int32"
+	}
 	enc := json.NewEncoder(os.Stdout)
 	for _, alg := range algs {
-		rec := algResult{Algorithm: string(alg), Seed: seed, Regions: regions, Instances: instances}
+		rec := algResult{Algorithm: string(alg), Mode: mode, Seed: seed, Regions: regions, Instances: instances}
 		// Report the minimum over the repeats: wall time and allocation
 		// deltas are noisy on shared runners, and the minimum is the
 		// stablest estimator of the work's true cost.
@@ -122,7 +139,7 @@ func runJSON(seed int64, regions, instances, repeat, shards int, algsFlag string
 			start := time.Now()
 			results, err := fragalign.SolveBatch(context.Background(), ins, alg,
 				fragalign.WithEps(0.05), fragalign.WithFourApproxSeed(true),
-				fragalign.WithShards(shards))
+				fragalign.WithShards(shards), fragalign.WithIntScore(intMode))
 			wallMS := float64(time.Since(start).Microseconds()) / 1000
 			runtime.ReadMemStats(&m1)
 			if err != nil {

@@ -6,9 +6,14 @@
 //
 //	csrgen -seed 7 -regions 100 -contig 5 -inversions 3 -out instance.csr
 //	csrgen -seed 7 -count 64 -format jsonl | csrbatch
+//	csrgen -seed 7 -count 64 -shared-alphabet -format jsonl | csrbatch
 //
 // With -count N, instance i is generated from seed+i and named w<seed+i>;
-// batches require -format jsonl.
+// batches require -format jsonl. With -shared-alphabet every instance of the
+// batch is generated over one canonical alphabet and σ table (scores drawn
+// once from the base seed; per-instance seeds drive evolution and
+// fragmentation only) — the workload shape whose σ the batch pool's
+// per-alphabet cache compiles exactly once.
 package main
 
 import (
@@ -35,6 +40,7 @@ func main() {
 		out       = flag.String("out", "", "output file (default stdout)")
 		count     = flag.Int("count", 1, "instances to generate (seeds seed..seed+count-1)")
 		format    = flag.String("format", "text", "output format: text or jsonl")
+		sharedAl  = flag.Bool("shared-alphabet", false, "generate all instances over one canonical alphabet/σ table")
 	)
 	flag.Parse()
 	if *format != "text" && *format != "jsonl" {
@@ -61,6 +67,9 @@ func main() {
 		Noise:          *noise,
 		Spurious:       *spurious,
 		SpuriousScore:  *baseScore / 2,
+	}
+	if *sharedAl {
+		cfg.Canonical = fragalign.NewCanonical(cfg)
 	}
 	dst := os.Stdout
 	if *out != "" {

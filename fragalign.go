@@ -76,6 +76,10 @@ type (
 	Symbol = symbol.Symbol
 	// GenConfig parameterizes the synthetic workload generator.
 	GenConfig = gen.Config
+	// Canonical is a shared alphabet/σ table for generated workloads: set
+	// GenConfig.Canonical so a whole batch shares one score table (and the
+	// batch pool's per-alphabet cache compiles it once).
+	Canonical = gen.Canonical
 	// Workload is a generated instance with ground truth.
 	Workload = gen.Workload
 	// Accuracy quantifies ground-truth layout recovery.
@@ -173,6 +177,9 @@ func PaperExample() *Instance { return core.PaperExample() }
 // Generate builds a synthetic fragmented-genome workload.
 func Generate(cfg GenConfig) *Workload { return gen.Generate(cfg) }
 
+// NewCanonical builds a canonical alphabet/σ table for GenConfig.Canonical.
+func NewCanonical(cfg GenConfig) *Canonical { return gen.NewCanonical(cfg) }
+
 // DefaultGenConfig returns a small structured workload configuration.
 func DefaultGenConfig(seed int64) GenConfig { return gen.DefaultConfig(seed) }
 
@@ -223,6 +230,7 @@ type solveCfg struct {
 	exactCap int
 	check    bool
 	quantize bool
+	intScore bool
 	// Batch-only knobs (see solvebatch.go).
 	shards  int
 	queue   int
@@ -252,6 +260,17 @@ func WithConsistencyChecks(on bool) Option { return func(c *solveCfg) { c.check 
 // for the improvement algorithms: search under scores truncated to
 // multiples of X/k², re-score under the true σ at the end.
 func WithQuantizedScaling(on bool) Option { return func(c *solveCfg) { c.quantize = on } }
+
+// WithIntScore runs the solver's alignment kernels over the
+// integer-quantized σ matrix: σ compiles to a flat []int32 (unit auto-derived
+// from the value range, or exact when every score is an integer multiple of
+// one unit) and every DP sweeps contiguous int32 rows — measurably faster
+// than the float64 dense path. The final solution is re-scored under the
+// true σ, so Result.Score is always exact; only the search itself sees
+// quantized values, deviating from float64 mode by at most the
+// score.CompiledInt error bound (zero for integral σ). Off by default:
+// results are then bit-identical to float64 mode.
+func WithIntScore(on bool) Option { return func(c *solveCfg) { c.intScore = on } }
 
 // WithShards sets the number of concurrent per-instance solvers a batch
 // pool runs (default GOMAXPROCS). Batch APIs only; Solve ignores it.
@@ -310,10 +329,28 @@ func solveInstance(ctx context.Context, in *Instance, alg Algorithm, cfg solveCf
 	res := &Result{Algorithm: alg}
 	start := time.Now()
 	defer func() { res.Wall = time.Since(start) }()
+	// Integer scoring mode: the non-improvement algorithms solve a shadow
+	// instance whose σ is the int32-quantized matrix, and the resulting
+	// match set is re-scored under the true σ before the conjecture is
+	// built — quantization never leaks into Result.Score. The improvement
+	// algorithms handle the same swap internally (improve.Options.IntScore).
+	solveIn := in
+	var denseSigma *score.Compiled // retained for the boundary re-score
+	intBoundary := false
+	if cfg.intScore {
+		switch alg {
+		case Exact, GreedyMatching, GreedyPlacement, FourApprox, Matching2:
+			denseSigma = score.Compile(in.Sigma, in.MaxSymbolID())
+			shadow := *in
+			shadow.Sigma = denseSigma.Int()
+			solveIn = &shadow
+			intBoundary = alg != Exact // exact re-scores its winner itself
+		}
+	}
 	var sol *Solution
 	switch alg {
 	case Exact:
-		r, err := exact.Solve(in, exact.Solver{MaxFrags: cfg.exactCap, Workers: cfg.workers})
+		r, err := exact.Solve(solveIn, exact.Solver{MaxFrags: cfg.exactCap, Workers: cfg.workers})
 		if err != nil {
 			return nil, err
 		}
@@ -321,18 +358,18 @@ func solveInstance(ctx context.Context, in *Instance, alg Algorithm, cfg solveCf
 		res.LayoutH, res.LayoutM = r.HOrder, r.MOrder
 		return res, nil
 	case GreedyMatching:
-		sol = greedy.Matching(in)
+		sol = greedy.Matching(solveIn)
 	case GreedyPlacement:
-		sol = greedy.Placement(in)
+		sol = greedy.Placement(solveIn)
 	case FourApprox:
 		var err error
-		sol, err = onecsr.FourApprox(in)
+		sol, err = onecsr.FourApprox(solveIn)
 		if err != nil {
 			return nil, err
 		}
 	case Matching2:
 		var err error
-		sol, err = improve.MatchingTwoApprox(in)
+		sol, err = improve.MatchingTwoApprox(solveIn)
 		if err != nil {
 			return nil, err
 		}
@@ -350,6 +387,7 @@ func solveInstance(ctx context.Context, in *Instance, alg Algorithm, cfg solveCf
 			SeedWithFourApprox: cfg.seed4,
 			Workers:            cfg.workers,
 			Quantize:           cfg.quantize,
+			IntScore:           cfg.intScore,
 			CheckInvariants:    cfg.check,
 			Ctx:                ctx,
 			Eval:               eval,
@@ -361,6 +399,11 @@ func solveInstance(ctx context.Context, in *Instance, alg Algorithm, cfg solveCf
 		res.Stats = &stats
 	default:
 		return nil, fmt.Errorf("fragalign: unknown algorithm %q", alg)
+	}
+	if intBoundary {
+		// Dequantization boundary: cached match scores leave the integer
+		// search re-scored under the exact σ the shadow was quantized from.
+		sol = improve.Rescore(in, sol, denseSigma)
 	}
 	conj, err := sol.BuildConjecture(in)
 	if err != nil {

@@ -25,19 +25,31 @@ import (
 
 // Score returns P_score(a, b): the maximum total σ over all monotone
 // pairings of a against b with free padding. Runs in O(|a|·|b|) time and
-// O(|b|) space.
+// O(|b|) space, allocation-free in steady state (buffers come from the
+// scratch pool).
 func Score(a, b symbol.Word, sc score.Scorer) float64 {
+	s := NewScratch()
+	defer s.Release()
+	return s.Score(a, b, sc)
+}
+
+// Score is the kernel form of the package-level Score, running on the
+// caller's scratch arena.
+func (s *Scratch) Score(a, b symbol.Word, sc score.Scorer) float64 {
 	if len(a) == 0 || len(b) == 0 {
 		return 0
 	}
-	if c := fastPath(sc, a, b, len(a)*len(b)); c != nil {
-		return scoreCompiled(a, b, c)
+	ci, cf := resolve(sc, a, b, len(a)*len(b))
+	if ci != nil {
+		return s.scoreInt(a, b, ci)
+	}
+	if cf != nil {
+		return s.scoreCompiled(a, b, cf)
 	}
 	// σ is not symmetric in its species sides, so the argument order is
 	// significant and the words are never swapped.
 	n := len(b)
-	prev := make([]float64, n+1)
-	cur := make([]float64, n+1)
+	prev, cur := s.floatRows(n + 1)
 	for i := 1; i <= len(a); i++ {
 		ai := a[i-1]
 		cur[0] = 0
@@ -60,8 +72,15 @@ func Score(a, b symbol.Word, sc score.Scorer) float64 {
 // maximum used the reversed orientation of b. This is the Fig. 7 rule for
 // matches involving a full site.
 func BestOrient(a, b symbol.Word, sc score.Scorer) (float64, bool) {
-	fwd := Score(a, b, sc)
-	rev := Score(a, b.Rev(), sc)
+	s := NewScratch()
+	defer s.Release()
+	return s.BestOrient(a, b, sc)
+}
+
+// BestOrient is the kernel form of the package-level BestOrient.
+func (s *Scratch) BestOrient(a, b symbol.Word, sc score.Scorer) (float64, bool) {
+	fwd := s.Score(a, b, sc)
+	rev := s.Score(a, b.Rev(), sc)
 	if rev > fwd {
 		return rev, true
 	}
@@ -79,19 +98,28 @@ type Col struct {
 // σ > 0) of one optimal alignment, in increasing order of both coordinates.
 // Runs in O(|a|·|b|) time and space; for long inputs prefer Hirschberg.
 func Align(a, b symbol.Word, sc score.Scorer) (float64, []Col) {
+	s := NewScratch()
+	defer s.Release()
+	return s.Align(a, b, sc)
+}
+
+// Align is the kernel form of the package-level Align, filling the DP matrix
+// in the caller's scratch arena.
+func (s *Scratch) Align(a, b symbol.Word, sc score.Scorer) (float64, []Col) {
 	m, n := len(a), len(b)
 	if m == 0 || n == 0 {
 		return 0, nil
 	}
+	ci, cf := resolve(sc, a, b, len(a)*len(b))
+	if ci != nil {
+		return s.alignInt(a, b, ci)
+	}
 	var d [][]float64
-	if c := fastPath(sc, a, b, len(a)*len(b)); c != nil {
-		d = fillCompiled(a, b, c)
-		sc = c // the traceback's O(m+n) lookups take the dense path too
+	if cf != nil {
+		d = s.fillCompiled(a, b, cf)
+		sc = cf // the traceback's O(m+n) lookups take the dense path too
 	} else {
-		d = make([][]float64, m+1)
-		for i := range d {
-			d[i] = make([]float64, n+1)
-		}
+		d = s.matrixF(m, n)
 		for i := 1; i <= m; i++ {
 			for j := 1; j <= n; j++ {
 				best := d[i-1][j-1] + sc.Score(a[i-1], b[j-1])

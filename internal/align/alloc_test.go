@@ -1,0 +1,133 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/score"
+	"repro/internal/symbol"
+)
+
+// TestScoreZeroAlloc asserts the ISSUE's steady-state guarantee: with a
+// prepared σ matrix (float64 or int32) every Score call runs entirely out of
+// the pooled scratch arena — zero heap allocations per call on both the
+// package-level and the per-Scratch form.
+func TestScoreZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("the race detector defeats sync.Pool caching on purpose")
+	}
+	r := rand.New(rand.NewSource(30))
+	tb := randIntTable(r, 20, 60, true)
+	c := score.Compile(tb, 20)
+	ci := c.Int()
+	a := randIntWord(r, 20, 300)
+	b := randIntWord(r, 20, 300)
+
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"pooled-float", func() { Score(a, b, c) }},
+		{"pooled-int", func() { Score(a, b, ci) }},
+		{"pooled-banded", func() { ScoreBanded(a, b, c, 16) }},
+		{"pooled-banded-int", func() { ScoreBanded(a, b, ci, 16) }},
+	}
+	s := NewScratch()
+	defer s.Release()
+	cases = append(cases,
+		struct {
+			name string
+			fn   func()
+		}{"scratch-float", func() { s.Score(a, b, c) }},
+		struct {
+			name string
+			fn   func()
+		}{"scratch-int", func() { s.Score(a, b, ci) }},
+	)
+	for _, tc := range cases {
+		tc.fn() // warm the pool and grow the buffers
+		if avg := testing.AllocsPerRun(50, tc.fn); avg != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", tc.name, avg)
+		}
+	}
+}
+
+// TestWavefrontZeroAlloc: the single-worker wavefront (inline blocked sweep)
+// reuses its pooled boundary rows, carries, and tile buffers — zero
+// allocations per Score in steady state, in both score modes.
+func TestWavefrontZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("the race detector defeats sync.Pool caching on purpose")
+	}
+	r := rand.New(rand.NewSource(31))
+	tb := randIntTable(r, 20, 60, true)
+	c := score.Compile(tb, 20)
+	ci := c.Int()
+	a := randIntWord(r, 20, 500)
+	b := randIntWord(r, 20, 500)
+	wf := WavefrontAligner{Workers: 1, BlockRows: 64, BlockCols: 64}
+
+	for _, tc := range []struct {
+		name string
+		sc   score.Scorer
+	}{{"float", c}, {"int", ci}} {
+		fn := func() { wf.Score(a, b, tc.sc) }
+		fn()
+		if avg := testing.AllocsPerRun(20, fn); avg != 0 {
+			t.Errorf("wavefront %s: %v allocs/op, want 0", tc.name, avg)
+		}
+	}
+}
+
+// TestWavefrontParallelMatchesSerial pins the pooled parallel scheduler to
+// the serial kernels across block shapes and worker counts.
+func TestWavefrontParallelMatchesSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(32))
+	tb := randIntTable(r, 15, 50, false)
+	c := score.Compile(tb, 15)
+	a := randIntWord(r, 15, 333)
+	b := randIntWord(r, 15, 271)
+	want := Score(a, b, c)
+	for _, workers := range []int{1, 2, 4, 7} {
+		for _, block := range []int{1, 17, 64, 1000} {
+			wf := WavefrontAligner{Workers: workers, BlockRows: block, BlockCols: block}
+			if got := wf.Score(a, b, c); got != want {
+				t.Fatalf("workers=%d block=%d: %v != %v", workers, block, got, want)
+			}
+		}
+	}
+}
+
+var benchSink float64
+
+// BenchmarkScoreIntVsFloat is the kernel-level comparison the ISSUE gates on
+// (≥1.5× for the int32 mode), on the same inputs as BenchmarkAlignmentKernels.
+func BenchmarkScoreIntVsFloat(b *testing.B) {
+	r := rand.New(rand.NewSource(11))
+	tb := score.NewTable()
+	for i := 1; i <= 30; i++ {
+		tb.Set(symbol.Symbol(i), symbol.Symbol(i%30+1), float64(1+i%5))
+	}
+	mk := func(n int) symbol.Word {
+		w := make(symbol.Word, n)
+		for i := range w {
+			w[i] = symbol.Symbol(1 + r.Intn(30))
+		}
+		return w
+	}
+	a, bb := mk(500), mk(500)
+	c := score.Compile(tb, 30)
+	ci := c.Int()
+	b.Run("float64", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			benchSink = Score(a, bb, c)
+		}
+	})
+	b.Run("int32", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			benchSink = Score(a, bb, ci)
+		}
+	})
+}

@@ -16,6 +16,13 @@ const minusInf = -1e300
 // band ≥ max(|a|,|b|). Useful when the words are near-collinear, e.g.
 // orthologous contigs with few rearrangements; runs in O(|a|·band) time.
 func ScoreBanded(a, b symbol.Word, sc score.Scorer, band int) float64 {
+	s := NewScratch()
+	defer s.Release()
+	return s.ScoreBanded(a, b, sc, band)
+}
+
+// ScoreBanded is the kernel form of the package-level ScoreBanded.
+func (s *Scratch) ScoreBanded(a, b symbol.Word, sc score.Scorer, band int) float64 {
 	m, n := len(a), len(b)
 	if m == 0 || n == 0 {
 		return 0
@@ -23,11 +30,14 @@ func ScoreBanded(a, b symbol.Word, sc score.Scorer, band int) float64 {
 	if band < 1 {
 		band = 1
 	}
-	if c := fastPath(sc, a, b, len(a)*min(len(b), 2*band+1)); c != nil {
-		return scoreBandedCompiled(a, b, c, band)
+	ci, cf := resolve(sc, a, b, len(a)*min(len(b), 2*band+1))
+	if ci != nil {
+		return s.scoreBandedInt(a, b, ci, band)
 	}
-	prev := make([]float64, n+1)
-	cur := make([]float64, n+1)
+	if cf != nil {
+		return s.scoreBandedCompiled(a, b, cf, band)
+	}
+	prev, cur := s.floatRows(n + 1)
 	// Row 0 is all zeros: leading gaps are free.
 	for i := 1; i <= m; i++ {
 		ai := a[i-1]

@@ -30,6 +30,25 @@ func fastPath(sc score.Scorer, a, b symbol.Word, area int) *score.Compiled {
 	return score.Compile(sc, need)
 }
 
+// resolve picks the kernel fast path for a scorer: (ci, nil) runs the
+// integer-quantized kernels, (nil, cf) the dense float64 kernels, and
+// (nil, nil) the interface path. A quantized matrix is used only when it
+// covers the words AND its int32 accumulation headroom holds for their
+// lengths; when the headroom fails, the alignment silently falls back to the
+// exact float64 source matrix, so integer mode is safe at any input size.
+func resolve(sc score.Scorer, a, b symbol.Word, area int) (*score.CompiledInt, *score.Compiled) {
+	if ci, ok := sc.(*score.CompiledInt); ok {
+		if ci.MaxID() < wordsMaxID(a, b) {
+			return nil, nil // out-of-range symbols: interface path (dequantized cells)
+		}
+		if ci.Fits(min(len(a), len(b))) {
+			return ci, nil
+		}
+		return nil, ci.Source()
+	}
+	return nil, fastPath(sc, a, b, area)
+}
+
 func wordsMaxID(a, b symbol.Word) int32 {
 	var m int32
 	for _, s := range a {
@@ -45,55 +64,46 @@ func wordsMaxID(a, b symbol.Word) int32 {
 	return m
 }
 
-// scoreCompiled is Score on the dense fast path: the σ row of a[i-1] is
-// hoisted out of the inner loop and b's column indices are precomputed, so
-// each cell is three compares and one slice load.
-// sparseRow lists the columns of one σ row with a positive score: pos[k] is
-// the 0-based position in b, val[k] the score against b[pos[k]].
-type sparseRow struct {
-	pos []int32
-	val []float64
-}
-
-// sparseRows builds, for each distinct symbol of a, the positive columns of
-// its σ row against b. DP rows are monotone nondecreasing, so a cell whose σ
-// is ≤ 0 reduces exactly to max(up, left) — only the positive columns ever
-// need the add, and they are typically a small fraction of the row.
-func sparseRows(a, b symbol.Word, c *score.Compiled) []*sparseRow {
-	bi := c.IndexWord(b)
-	rows := make([]*sparseRow, 2*int(c.MaxID())+1)
-	for _, s := range a {
-		ia := c.Index(s)
-		if rows[ia] != nil {
+// sparseRowsF builds, for each distinct symbol of a, the positive columns of
+// its σ row against b (s.bi must already hold b's column indices). DP rows
+// are monotone nondecreasing, so a cell whose σ is ≤ 0 reduces exactly to
+// max(up, left) — only the positive columns ever need the add, and they are
+// typically a small fraction of the row. All storage lives in the arena.
+func (s *Scratch) sparseRowsF(a symbol.Word, c *score.Compiled) {
+	s.resetSparse(2*int(c.MaxID()) + 1)
+	for _, sym := range a {
+		ia := c.Index(sym)
+		if s.rowOf[ia] != 0 {
 			continue
 		}
-		sr := &sparseRow{}
-		row := c.Row(s)
-		for j, bj := range bi {
+		row := c.Row(sym)
+		start := int32(len(s.pos))
+		for j, bj := range s.bi {
 			if v := row[bj]; v > 0 {
-				sr.pos = append(sr.pos, int32(j))
-				sr.val = append(sr.val, v)
+				s.pos = append(s.pos, int32(j))
+				s.valF = append(s.valF, v)
 			}
 		}
-		rows[ia] = sr
+		s.spans = append(s.spans, [2]int32{start, int32(len(s.pos))})
+		s.rowOf[ia] = int32(len(s.spans))
 	}
-	return rows
 }
 
 // scoreCompiled is Score on the dense fast path. It rolls a single DP array,
 // carries the diagonal and the running row max in registers, and touches σ
 // only at the precomputed positive columns of each row. Words too small to
 // amortize the O(alphabet) sparse-row table take a plain dense loop instead.
-func scoreCompiled(a, b symbol.Word, c *score.Compiled) float64 {
+func (s *Scratch) scoreCompiled(a, b symbol.Word, c *score.Compiled) float64 {
 	n := len(b)
 	if len(a)*n < 8*int(c.MaxID())+4 {
-		return scoreCompiledSmall(a, b, c)
+		return s.scoreCompiledSmall(a, b, c)
 	}
-	rows := sparseRows(a, b, c)
-	arr := make([]float64, n+1)
+	s.indexWord(c, b)
+	s.sparseRowsF(a, c)
+	arr, _ := s.floatRows(n + 1)
 	for i := 1; i <= len(a); i++ {
-		sr := rows[c.Index(a[i-1])]
-		pos, val := sr.pos, sr.val
+		span := s.spans[s.rowOf[c.Index(a[i-1])]-1]
+		pos, val := s.pos[span[0]:span[1]], s.valF[span[0]:span[1]]
 		k := 0
 		diag, best := 0.0, 0.0
 		for j := 1; j <= n; j++ {
@@ -118,11 +128,10 @@ func scoreCompiled(a, b symbol.Word, c *score.Compiled) float64 {
 
 // scoreCompiledSmall is the dense Score loop for words whose DP area is
 // smaller than the alphabet: row gathers per cell, no per-call tables.
-func scoreCompiledSmall(a, b symbol.Word, c *score.Compiled) float64 {
+func (s *Scratch) scoreCompiledSmall(a, b symbol.Word, c *score.Compiled) float64 {
 	n := len(b)
-	bi := c.IndexWord(b)
-	prev := make([]float64, n+1)
-	cur := make([]float64, n+1)
+	bi := s.indexWord(c, b)
+	prev, cur := s.floatRows(n + 1)
 	for i := 1; i <= len(a); i++ {
 		row := c.Row(a[i-1])
 		diag, best := prev[0], 0.0
@@ -146,13 +155,11 @@ func scoreCompiledSmall(a, b symbol.Word, c *score.Compiled) float64 {
 }
 
 // fillCompiled computes the full DP matrix of Align on the dense fast path.
-func fillCompiled(a, b symbol.Word, c *score.Compiled) [][]float64 {
+// The matrix is arena-backed: valid until the scratch's next matrix request.
+func (s *Scratch) fillCompiled(a, b symbol.Word, c *score.Compiled) [][]float64 {
 	m, n := len(a), len(b)
-	d := make([][]float64, m+1)
-	for i := range d {
-		d[i] = make([]float64, n+1)
-	}
-	bi := c.IndexWord(b)
+	d := s.matrixF(m, n)
+	bi := s.indexWord(c, b)
 	for i := 1; i <= m; i++ {
 		row := c.Row(a[i-1])
 		di, dp := d[i], d[i-1]
@@ -170,12 +177,12 @@ func fillCompiled(a, b symbol.Word, c *score.Compiled) [][]float64 {
 	return d
 }
 
-// lastRowCompiled is lastRow on the dense fast path.
-func lastRowCompiled(a, b symbol.Word, c *score.Compiled) []float64 {
+// lastRowCompiledInto is lastRow on the dense fast path, writing D[len(a)]
+// into dst (resized as needed).
+func (s *Scratch) lastRowCompiledInto(dst []float64, a, b symbol.Word, c *score.Compiled) []float64 {
 	n := len(b)
-	bi := c.IndexWord(b)
-	prev := make([]float64, n+1)
-	cur := make([]float64, n+1)
+	bi := s.indexWord(c, b)
+	prev, cur := s.floatRows(n + 1)
 	for i := 1; i <= len(a); i++ {
 		row := c.Row(a[i-1])
 		cur[0] = 0
@@ -191,15 +198,16 @@ func lastRowCompiled(a, b symbol.Word, c *score.Compiled) []float64 {
 		}
 		prev, cur = cur, prev
 	}
-	return prev
+	dst = growF(dst, n+1)
+	copy(dst, prev)
+	return dst
 }
 
 // scoreBandedCompiled is ScoreBanded on the dense fast path.
-func scoreBandedCompiled(a, b symbol.Word, c *score.Compiled, band int) float64 {
+func (s *Scratch) scoreBandedCompiled(a, b symbol.Word, c *score.Compiled, band int) float64 {
 	m, n := len(a), len(b)
-	bi := c.IndexWord(b)
-	prev := make([]float64, n+1)
-	cur := make([]float64, n+1)
+	bi := s.indexWord(c, b)
+	prev, cur := s.floatRows(n + 1)
 	for i := 1; i <= m; i++ {
 		row := c.Row(a[i-1])
 		center := i * n / m
@@ -234,14 +242,13 @@ func scoreBandedCompiled(a, b symbol.Word, c *score.Compiled, band int) float64 
 }
 
 // placementsCompiled is Placements on the dense fast path.
-func placementsCompiled(a, b symbol.Word, c *score.Compiled, minScore float64) []Placement {
+func (s *Scratch) placementsCompiled(a, b symbol.Word, c *score.Compiled, minScore float64) []Placement {
 	m, n := len(a), len(b)
-	bi := c.IndexWord(b)
-	const noStart = 1 << 30
-	dPrev := make([]float64, n+1)
-	dCur := make([]float64, n+1)
-	stPrev := make([]int, n+1)
-	stCur := make([]int, n+1)
+	bi := s.indexWord(c, b)
+	const noStart = int32(1) << 30
+	dPrev, dCur := s.floatRows(n + 1)
+	s.sa, s.sb = growI(s.sa, n+1), growI(s.sb, n+1)
+	stPrev, stCur := s.sa, s.sb
 	for j := range stPrev {
 		stPrev[j] = noStart
 	}
@@ -250,17 +257,17 @@ func placementsCompiled(a, b symbol.Word, c *score.Compiled, minScore float64) [
 		dCur[0] = 0
 		stCur[0] = noStart
 		for j := 1; j <= n; j++ {
-			s := row[bi[j-1]]
+			sv := row[bi[j-1]]
 			bestV := dPrev[j]
 			bestS := stPrev[j]
 			if dCur[j-1] > bestV || (dCur[j-1] == bestV && stCur[j-1] > bestS) {
 				bestV, bestS = dCur[j-1], stCur[j-1]
 			}
-			if s > 0 {
-				v := dPrev[j-1] + s
+			if sv > 0 {
+				v := dPrev[j-1] + sv
 				st := stPrev[j-1]
 				if st == noStart {
-					st = j - 1
+					st = int32(j - 1)
 				}
 				if v > bestV || (v == bestV && st > bestS) {
 					bestV, bestS = v, st
@@ -274,7 +281,7 @@ func placementsCompiled(a, b symbol.Word, c *score.Compiled, minScore float64) [
 	var out []Placement
 	for j := 1; j <= n; j++ {
 		if dPrev[j] > dPrev[j-1] && dPrev[j] > minScore && stPrev[j] != noStart {
-			out = append(out, Placement{Lo: stPrev[j], Hi: j, Score: dPrev[j]})
+			out = append(out, Placement{Lo: int(stPrev[j]), Hi: j, Score: dPrev[j]})
 		}
 	}
 	return out

@@ -24,21 +24,31 @@ type Placement struct {
 // Runs in O(|a|·|b|) time and O(|b|) space. Windows with score ≤ minScore
 // are omitted.
 func Placements(a, b symbol.Word, sc score.Scorer, minScore float64) []Placement {
+	s := NewScratch()
+	defer s.Release()
+	return s.Placements(a, b, sc, minScore)
+}
+
+// Placements is the kernel form of the package-level Placements.
+func (s *Scratch) Placements(a, b symbol.Word, sc score.Scorer, minScore float64) []Placement {
 	m, n := len(a), len(b)
 	if m == 0 || n == 0 {
 		return nil
 	}
-	if c := fastPath(sc, a, b, len(a)*len(b)); c != nil {
-		return placementsCompiled(a, b, c, minScore)
+	ci, cf := resolve(sc, a, b, len(a)*len(b))
+	if ci != nil {
+		return s.placementsInt(a, b, ci, minScore)
+	}
+	if cf != nil {
+		return s.placementsCompiled(a, b, cf, minScore)
 	}
 	// d[j]: best score of aligning all of a against b[?..j).
 	// st[j]: latest start of the first scoring column among optimal
 	// alignments achieving d[j]; n+1 when no scoring column exists.
-	const noStart = 1 << 30
-	dPrev := make([]float64, n+1)
-	dCur := make([]float64, n+1)
-	stPrev := make([]int, n+1)
-	stCur := make([]int, n+1)
+	const noStart = int32(1) << 30
+	dPrev, dCur := s.floatRows(n + 1)
+	s.sa, s.sb = growI(s.sa, n+1), growI(s.sb, n+1)
+	stPrev, stCur := s.sa, s.sb
 	for j := range stPrev {
 		stPrev[j] = noStart
 	}
@@ -47,18 +57,18 @@ func Placements(a, b symbol.Word, sc score.Scorer, minScore float64) []Placement
 		dCur[0] = 0
 		stCur[0] = noStart
 		for j := 1; j <= n; j++ {
-			s := sc.Score(ai, b[j-1])
+			sv := sc.Score(ai, b[j-1])
 			// Candidate moves: (value, start).
 			bestV := dPrev[j]
 			bestS := stPrev[j]
 			if dCur[j-1] > bestV || (dCur[j-1] == bestV && stCur[j-1] > bestS) {
 				bestV, bestS = dCur[j-1], stCur[j-1]
 			}
-			if s > 0 {
-				v := dPrev[j-1] + s
+			if sv > 0 {
+				v := dPrev[j-1] + sv
 				st := stPrev[j-1]
 				if st == noStart {
-					st = j - 1 // this diagonal is the first scoring column
+					st = int32(j - 1) // this diagonal is the first scoring column
 				}
 				if v > bestV || (v == bestV && st > bestS) {
 					bestV, bestS = v, st
@@ -75,7 +85,7 @@ func Placements(a, b symbol.Word, sc score.Scorer, minScore float64) []Placement
 		// b[..j) has its last scoring column at j−1, so the emitted window
 		// is tight on the right as well as on the left.
 		if dPrev[j] > dPrev[j-1] && dPrev[j] > minScore && stPrev[j] != noStart {
-			out = append(out, Placement{Lo: stPrev[j], Hi: j, Score: dPrev[j]})
+			out = append(out, Placement{Lo: int(stPrev[j]), Hi: j, Score: dPrev[j]})
 		}
 	}
 	return out
@@ -84,7 +94,14 @@ func Placements(a, b symbol.Word, sc score.Scorer, minScore float64) []Placement
 // BestPlacement returns the highest-scoring placement of a inside b, or
 // ok = false when no alignment scores above minScore.
 func BestPlacement(a, b symbol.Word, sc score.Scorer, minScore float64) (Placement, bool) {
-	ps := Placements(a, b, sc, minScore)
+	s := NewScratch()
+	defer s.Release()
+	return s.BestPlacement(a, b, sc, minScore)
+}
+
+// BestPlacement is the kernel form of the package-level BestPlacement.
+func (s *Scratch) BestPlacement(a, b symbol.Word, sc score.Scorer, minScore float64) (Placement, bool) {
+	ps := s.Placements(a, b, sc, minScore)
 	if len(ps) == 0 {
 		return Placement{}, false
 	}

@@ -10,23 +10,36 @@ import (
 // classic divide-and-conquer of Hirschberg (1975), adapted to free-gap
 // scoring. Time remains O(|a|·|b|).
 func Hirschberg(a, b symbol.Word, sc score.Scorer) (float64, []Col) {
-	// Compile once at the top of the recursion; every lastRow and base-case
-	// Align below then rides the dense fast path.
-	if c := fastPath(sc, a, b, len(a)*len(b)); c != nil {
-		sc = c
+	s := NewScratch()
+	defer s.Release()
+	return s.Hirschberg(a, b, sc)
+}
+
+// Hirschberg is the kernel form of the package-level Hirschberg.
+func (s *Scratch) Hirschberg(a, b symbol.Word, sc score.Scorer) (float64, []Col) {
+	// Resolve once at the top of the recursion; every lastRow and base-case
+	// Align below then rides the same fast path (sub-words only shrink, so
+	// an integer matrix that fits here fits everywhere below).
+	ci, cf := resolve(sc, a, b, len(a)*len(b))
+	if ci != nil {
+		cols := s.hirschInt(a, b, 0, 0, ci)
+		return ColsScore(cols), cols
 	}
-	cols := hirsch(a, b, 0, 0, sc)
+	if cf != nil {
+		sc = cf
+	}
+	cols := s.hirsch(a, b, 0, 0, sc)
 	return ColsScore(cols), cols
 }
 
-func hirsch(a, b symbol.Word, ioff, joff int, sc score.Scorer) []Col {
+func (s *Scratch) hirsch(a, b symbol.Word, ioff, joff int, sc score.Scorer) []Col {
 	m, n := len(a), len(b)
 	if m == 0 || n == 0 {
 		return nil
 	}
 	if m == 1 || n == 1 {
 		// Small base case: full traceback is cheap.
-		_, cols := Align(a, b, sc)
+		_, cols := s.Align(a, b, sc)
 		for k := range cols {
 			cols[k].I += ioff
 			cols[k].J += joff
@@ -34,10 +47,12 @@ func hirsch(a, b symbol.Word, ioff, joff int, sc score.Scorer) []Col {
 		return cols
 	}
 	mid := m / 2
-	// Forward scores for a[:mid] vs every prefix of b.
-	fwd := lastRow(a[:mid], b, sc)
-	// Backward scores for a[mid:] vs every suffix of b.
-	bwd := lastRow(symbol.Word(a[mid:]).Rev(), b.Rev(), sc)
+	// Forward scores for a[:mid] vs every prefix of b, backward scores for
+	// a[mid:] vs every suffix — into the dedicated boundary rows, which stay
+	// valid while lastRow reuses the rolled working pair.
+	s.ga = s.lastRowInto(s.ga, a[:mid], b, sc)
+	s.gb = s.lastRowInto(s.gb, symbol.Word(a[mid:]).Rev(), b.Rev(), sc)
+	fwd, bwd := s.ga, s.gb
 	// Choose the split point of b maximizing the combined score.
 	split, best := 0, fwd[0]+bwd[n]
 	for j := 1; j <= n; j++ {
@@ -45,24 +60,56 @@ func hirsch(a, b symbol.Word, ioff, joff int, sc score.Scorer) []Col {
 			best, split = v, j
 		}
 	}
-	left := hirsch(a[:mid], b[:split], ioff, joff, sc)
-	right := hirsch(a[mid:], b[split:], ioff+mid, joff+split, sc)
+	left := s.hirsch(a[:mid], b[:split], ioff, joff, sc)
+	right := s.hirsch(a[mid:], b[split:], ioff+mid, joff+split, sc)
 	return append(left, right...)
 }
 
-// lastRow computes D[len(a)][j] for all j in O(|a|·|b|) time, O(|b|) space.
+// hirschInt is hirsch with int32 boundary rows: the split comparison runs on
+// exact integer sums, so the recursion picks the same splits the integer
+// full-matrix DP would.
+func (s *Scratch) hirschInt(a, b symbol.Word, ioff, joff int, c *score.CompiledInt) []Col {
+	m, n := len(a), len(b)
+	if m == 0 || n == 0 {
+		return nil
+	}
+	if m == 1 || n == 1 {
+		_, cols := s.alignInt(a, b, c)
+		for k := range cols {
+			cols[k].I += ioff
+			cols[k].J += joff
+		}
+		return cols
+	}
+	mid := m / 2
+	s.ja = s.lastRowIntInto(s.ja, a[:mid], b, c)
+	s.jb = s.lastRowIntInto(s.jb, symbol.Word(a[mid:]).Rev(), b.Rev(), c)
+	fwd, bwd := s.ja, s.jb
+	split, best := 0, fwd[0]+bwd[n]
+	for j := 1; j <= n; j++ {
+		if v := fwd[j] + bwd[n-j]; v > best {
+			best, split = v, j
+		}
+	}
+	left := s.hirschInt(a[:mid], b[:split], ioff, joff, c)
+	right := s.hirschInt(a[mid:], b[split:], ioff+mid, joff+split, c)
+	return append(left, right...)
+}
+
+// lastRowInto computes D[len(a)][j] for all j in O(|a|·|b|) time, O(|b|)
+// space, into dst (resized as needed) — leaving the rolled working rows free
+// for the caller's next kernel call.
 //
 // Note: reversing both words preserves P_score because σ(x,y) does not
 // change when the pairing order flips — the DP is direction-symmetric.
 // (This is positional reversal only; symbol reversal is handled by the
 // caller via Word.Rev when orientation matters.)
-func lastRow(a, b symbol.Word, sc score.Scorer) []float64 {
-	if c := fastPath(sc, a, b, len(a)*len(b)); c != nil {
-		return lastRowCompiled(a, b, c)
+func (s *Scratch) lastRowInto(dst []float64, a, b symbol.Word, sc score.Scorer) []float64 {
+	if cf := fastPath(sc, a, b, len(a)*len(b)); cf != nil {
+		return s.lastRowCompiledInto(dst, a, b, cf)
 	}
 	n := len(b)
-	prev := make([]float64, n+1)
-	cur := make([]float64, n+1)
+	prev, cur := s.floatRows(n + 1)
 	for i := 1; i <= len(a); i++ {
 		ai := a[i-1]
 		cur[0] = 0
@@ -78,5 +125,7 @@ func lastRow(a, b symbol.Word, sc score.Scorer) []float64 {
 		}
 		prev, cur = cur, prev
 	}
-	return prev
+	dst = growF(dst, n+1)
+	copy(dst, prev)
+	return dst
 }

@@ -1,0 +1,277 @@
+package align
+
+import (
+	"math"
+
+	"repro/internal/score"
+	"repro/internal/symbol"
+)
+
+// Integer-quantized kernels: the same free-gap DP as the float64 fast path,
+// run entirely over contiguous int32 rows of a score.CompiledInt and
+// dequantized only at the boundary. The inner loops use the builtin max,
+// which the compiler lowers to branchless conditional moves for integers —
+// the branch-light form the quantized mode exists for — and int32 cells
+// halve the memory traffic of the float64 rows. resolve guarantees the
+// accumulation headroom before any of these run, so no partial total can
+// wrap.
+
+// minusInfI is the unreachable-cell sentinel of the banded int32 kernel,
+// deep enough below zero that adding any in-headroom cell cannot wrap.
+const minusInfI = int32(math.MinInt32 / 4)
+
+// sparseRowsI is sparseRowsF over quantized rows.
+func (s *Scratch) sparseRowsI(a symbol.Word, c *score.CompiledInt) {
+	s.resetSparse(2*int(c.MaxID()) + 1)
+	for _, sym := range a {
+		ia := c.Index(sym)
+		if s.rowOf[ia] != 0 {
+			continue
+		}
+		row := c.Row(sym)
+		start := int32(len(s.pos))
+		for j, bj := range s.bi {
+			if v := row[bj]; v > 0 {
+				s.pos = append(s.pos, int32(j))
+				s.valI = append(s.valI, v)
+			}
+		}
+		s.spans = append(s.spans, [2]int32{start, int32(len(s.pos))})
+		s.rowOf[ia] = int32(len(s.spans))
+	}
+}
+
+// scoreInt is Score on the int32 fast path. Beyond the int32 cells it
+// exploits a structural property of the free-gap DP: every row is monotone
+// nondecreasing, so a cell with no positive σ reduces to max(up, left-max) —
+// which leaves the rolled row unchanged once the running maximum has been
+// absorbed. The loop therefore touches only the positive columns of each row
+// plus the cells a diagonal add is still rippling through, skipping
+// untouched spans outright (rows whose symbol scores positively against
+// nothing in b are skipped whole). The skipped writes are provably no-ops,
+// so the result is identical to the full sweep.
+func (s *Scratch) scoreInt(a, b symbol.Word, c *score.CompiledInt) float64 {
+	n := len(b)
+	if len(a)*n < 8*int(c.MaxID())+4 {
+		return s.scoreIntSmall(a, b, c)
+	}
+	s.indexWordInt(c, b)
+	s.sparseRowsI(a, c)
+	arr, _ := s.intRows(n + 1)
+	for i := 1; i <= len(a); i++ {
+		span := s.spans[s.rowOf[c.Index(a[i-1])]-1]
+		pos, val := s.pos[span[0]:span[1]], s.valI[span[0]:span[1]]
+		if len(pos) == 0 {
+			continue // no adds: the whole row is a no-op
+		}
+		// j is the next column to finalize, best the new value at j-1, and
+		// oldPrev the previous row's value at j-1 (the diagonal input).
+		j := 1
+		best, oldPrev := int32(0), int32(0)
+		for k := 0; k < len(pos); k++ {
+			pj := int(pos[k]) + 1
+			// Ripple best through the add-free span [j, pj): once it is
+			// absorbed (best ≤ old cell), the rest of the span is unchanged
+			// and can be skipped — the old values are exactly the new ones.
+			for j < pj {
+				old := arr[j]
+				if best <= old {
+					j = pj
+					best = arr[pj-1]
+					oldPrev = best
+					break
+				}
+				arr[j] = best
+				oldPrev = old
+				j++
+			}
+			up := arr[pj]
+			v := max(oldPrev+val[k], up)
+			v = max(v, best)
+			arr[pj] = v
+			best = v
+			oldPrev = up
+			j = pj + 1
+		}
+		// Tail: ripple the last add until absorbed.
+		for j <= n && best > arr[j] {
+			arr[j] = best
+			j++
+		}
+	}
+	return c.Dequantize(int64(arr[n]))
+}
+
+// scoreIntSmall is the dense int32 Score loop for words smaller than the
+// alphabet.
+func (s *Scratch) scoreIntSmall(a, b symbol.Word, c *score.CompiledInt) float64 {
+	n := len(b)
+	bi := s.indexWordInt(c, b)
+	prev, cur := s.intRows(n + 1)
+	for i := 1; i <= len(a); i++ {
+		row := c.Row(a[i-1])
+		diag, best := prev[0], int32(0)
+		cur[0] = 0
+		for j := 1; j <= n; j++ {
+			v := diag + row[bi[j-1]]
+			up := prev[j]
+			v = max(v, up)
+			v = max(v, best)
+			cur[j] = v
+			best = v
+			diag = up
+		}
+		prev, cur = cur, prev
+	}
+	return c.Dequantize(int64(prev[n]))
+}
+
+// fillInt computes the full int32 DP matrix of Align.
+func (s *Scratch) fillInt(a, b symbol.Word, c *score.CompiledInt) [][]int32 {
+	m, n := len(a), len(b)
+	d := s.matrixI(m, n)
+	bi := s.indexWordInt(c, b)
+	for i := 1; i <= m; i++ {
+		row := c.Row(a[i-1])
+		di, dp := d[i], d[i-1]
+		for j := 1; j <= n; j++ {
+			best := dp[j-1] + row[bi[j-1]]
+			best = max(best, dp[j])
+			best = max(best, di[j-1])
+			di[j] = best
+		}
+	}
+	return d
+}
+
+// alignInt is Align on the int32 fast path: integer fill and traceback,
+// with column σ contributions dequantized into the emitted Cols.
+func (s *Scratch) alignInt(a, b symbol.Word, c *score.CompiledInt) (float64, []Col) {
+	m, n := len(a), len(b)
+	d := s.fillInt(a, b, c)
+	var cols []Col
+	i, j := m, n
+	for i > 0 && j > 0 {
+		q := c.Row(a[i-1])[c.Index(b[j-1])]
+		switch {
+		case q > 0 && d[i][j] == d[i-1][j-1]+q:
+			cols = append(cols, Col{I: i - 1, J: j - 1, Sigma: c.Dequantize(int64(q))})
+			i, j = i-1, j-1
+		case d[i][j] == d[i-1][j]:
+			i--
+		case d[i][j] == d[i][j-1]:
+			j--
+		default:
+			// Zero or negative σ diagonal that ties; skip it without
+			// recording a scoring column.
+			i, j = i-1, j-1
+		}
+	}
+	for l, r := 0, len(cols)-1; l < r; l, r = l+1, r-1 {
+		cols[l], cols[r] = cols[r], cols[l]
+	}
+	return c.Dequantize(int64(d[m][n])), cols
+}
+
+// lastRowIntInto computes the int32 last DP row into dst.
+func (s *Scratch) lastRowIntInto(dst []int32, a, b symbol.Word, c *score.CompiledInt) []int32 {
+	n := len(b)
+	bi := s.indexWordInt(c, b)
+	prev, cur := s.intRows(n + 1)
+	for i := 1; i <= len(a); i++ {
+		row := c.Row(a[i-1])
+		cur[0] = 0
+		for j := 1; j <= n; j++ {
+			best := prev[j-1] + row[bi[j-1]]
+			best = max(best, prev[j])
+			best = max(best, cur[j-1])
+			cur[j] = best
+		}
+		prev, cur = cur, prev
+	}
+	dst = growI(dst, n+1)
+	copy(dst, prev)
+	return dst
+}
+
+// scoreBandedInt is ScoreBanded on the int32 fast path.
+func (s *Scratch) scoreBandedInt(a, b symbol.Word, c *score.CompiledInt, band int) float64 {
+	m, n := len(a), len(b)
+	bi := s.indexWordInt(c, b)
+	prev, cur := s.intRows(n + 1)
+	for i := 1; i <= m; i++ {
+		row := c.Row(a[i-1])
+		center := i * n / m
+		lo := max(1, center-band)
+		hi := min(n, center+band)
+		for j := range cur {
+			cur[j] = minusInfI
+		}
+		cur[0] = 0
+		for j := lo; j <= hi; j++ {
+			best := minusInfI
+			if prev[j-1] > minusInfI/2 {
+				best = prev[j-1] + row[bi[j-1]]
+			}
+			best = max(best, prev[j])
+			best = max(best, cur[j-1])
+			cur[j] = best
+		}
+		prev, cur = cur, prev
+	}
+	best := int32(0)
+	for j := 0; j <= n; j++ {
+		best = max(best, prev[j])
+	}
+	return c.Dequantize(int64(best))
+}
+
+// placementsInt is Placements on the int32 fast path. minScore is compared
+// on the dequantized frontier values, so the emitted windows satisfy the
+// caller's float64 threshold exactly as the float kernel would.
+func (s *Scratch) placementsInt(a, b symbol.Word, c *score.CompiledInt, minScore float64) []Placement {
+	m, n := len(a), len(b)
+	bi := s.indexWordInt(c, b)
+	const noStart = int32(1) << 30
+	dPrev, dCur := s.intRows(n + 1)
+	s.sa, s.sb = growI(s.sa, n+1), growI(s.sb, n+1)
+	stPrev, stCur := s.sa, s.sb
+	for j := range stPrev {
+		stPrev[j] = noStart
+	}
+	for i := 1; i <= m; i++ {
+		row := c.Row(a[i-1])
+		dCur[0] = 0
+		stCur[0] = noStart
+		for j := 1; j <= n; j++ {
+			sv := row[bi[j-1]]
+			bestV := dPrev[j]
+			bestS := stPrev[j]
+			if dCur[j-1] > bestV || (dCur[j-1] == bestV && stCur[j-1] > bestS) {
+				bestV, bestS = dCur[j-1], stCur[j-1]
+			}
+			if sv > 0 {
+				v := dPrev[j-1] + sv
+				st := stPrev[j-1]
+				if st == noStart {
+					st = int32(j - 1)
+				}
+				if v > bestV || (v == bestV && st > bestS) {
+					bestV, bestS = v, st
+				}
+			}
+			dCur[j], stCur[j] = bestV, bestS
+		}
+		dPrev, dCur = dCur, dPrev
+		stPrev, stCur = stCur, stPrev
+	}
+	var out []Placement
+	for j := 1; j <= n; j++ {
+		if dPrev[j] > dPrev[j-1] && stPrev[j] != noStart {
+			if v := c.Dequantize(int64(dPrev[j])); v > minScore {
+				out = append(out, Placement{Lo: int(stPrev[j]), Hi: j, Score: v})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package align
+
+// raceEnabled reports whether the race detector is active. The zero-alloc
+// tests skip under -race: the detector intentionally defeats sync.Pool
+// caching to expose reuse races, so allocation counts are meaningless there.
+const raceEnabled = false

@@ -1,0 +1,140 @@
+package align
+
+import (
+	"sync"
+
+	"repro/internal/score"
+	"repro/internal/symbol"
+)
+
+// Scratch is a reusable arena for every buffer the alignment kernels need:
+// rolled DP row pairs (float64 and int32), start-index rows, the column-index
+// word of b, the sparse positive-column tables of the dense Score fast path,
+// Hirschberg boundary rows, and the full DP matrix of Align. All kernels are
+// methods on Scratch; the package-level functions borrow one from an internal
+// sync.Pool, so steady-state alignment — thousands of candidate simulations
+// per improvement round, every tile of a wavefront sweep — performs no heap
+// allocation at all.
+//
+// A Scratch is not safe for concurrent use: one goroutine, one Scratch.
+// Solvers hold one per solve (greedy, onecsr, exact, the improve driver);
+// the improve eval pool gives each worker its own; everyone else goes
+// through the package-level functions and shares the pool.
+type Scratch struct {
+	fa, fb []float64 // rolled float64 DP rows
+	ga, gb []float64 // Hirschberg float64 boundary rows (fwd/bwd)
+	ia, ib []int32   // rolled int32 DP rows
+	ja, jb []int32   // Hirschberg int32 boundary rows
+	sa, sb []int32   // placement start-index rows
+	bi     []int32   // column indices of b
+
+	// Sparse positive-column table of the dense Score fast path: rowOf maps
+	// an oriented symbol index to 1+its span, spans[k] indexes pos/val.
+	rowOf []int32
+	spans [][2]int32
+	pos   []int32
+	valF  []float64
+	valI  []int32
+
+	// Full DP matrix of Align: flat cells plus row headers.
+	cellsF []float64
+	rowsF  [][]float64
+	cellsI []int32
+	rowsI  [][]int32
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// NewScratch borrows a scratch arena from the package pool. Callers running
+// many alignments (a solve, a worker goroutine) should hold one for the
+// duration and Release it at the end.
+func NewScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// Release returns the arena to the pool. The caller must not use it again.
+func (s *Scratch) Release() { scratchPool.Put(s) }
+
+// growF resizes a float64 buffer to n entries, reusing capacity. Contents
+// are unspecified; callers clear what they rely on.
+func growF(b []float64, n int) []float64 {
+	if cap(b) < n {
+		return make([]float64, n)
+	}
+	return b[:n]
+}
+
+// growI resizes an int32 buffer to n entries, reusing capacity.
+func growI(b []int32, n int) []int32 {
+	if cap(b) < n {
+		return make([]int32, n)
+	}
+	return b[:n]
+}
+
+// floatRows returns the two rolled DP rows, zeroing the first (DP row 0 is
+// all zeros; the second is fully overwritten before it is read).
+func (s *Scratch) floatRows(n int) (prev, cur []float64) {
+	s.fa, s.fb = growF(s.fa, n), growF(s.fb, n)
+	clear(s.fa)
+	return s.fa, s.fb
+}
+
+// intRows is floatRows for the int32 kernels.
+func (s *Scratch) intRows(n int) (prev, cur []int32) {
+	s.ia, s.ib = growI(s.ia, n), growI(s.ib, n)
+	clear(s.ia)
+	return s.ia, s.ib
+}
+
+// indexWord fills s.bi with the column indices of b.
+func (s *Scratch) indexWord(c *score.Compiled, b symbol.Word) []int32 {
+	s.bi = c.IndexWordInto(growI(s.bi, len(b))[:0], b)
+	return s.bi
+}
+
+// indexWordInt is indexWord for a quantized matrix.
+func (s *Scratch) indexWordInt(c *score.CompiledInt, b symbol.Word) []int32 {
+	s.bi = c.IndexWordInto(growI(s.bi, len(b))[:0], b)
+	return s.bi
+}
+
+// matrixF returns an (m+1)×(n+1) float64 DP matrix with row 0 and column 0
+// zeroed, backed by the arena.
+func (s *Scratch) matrixF(m, n int) [][]float64 {
+	s.cellsF = growF(s.cellsF, (m+1)*(n+1))
+	if cap(s.rowsF) < m+1 {
+		s.rowsF = make([][]float64, m+1)
+	}
+	d := s.rowsF[:m+1]
+	for i := range d {
+		d[i] = s.cellsF[i*(n+1) : (i+1)*(n+1)]
+		d[i][0] = 0
+	}
+	clear(d[0])
+	return d
+}
+
+// matrixI is matrixF for the int32 kernels.
+func (s *Scratch) matrixI(m, n int) [][]int32 {
+	s.cellsI = growI(s.cellsI, (m+1)*(n+1))
+	if cap(s.rowsI) < m+1 {
+		s.rowsI = make([][]int32, m+1)
+	}
+	d := s.rowsI[:m+1]
+	for i := range d {
+		d[i] = s.cellsI[i*(n+1) : (i+1)*(n+1)]
+		d[i][0] = 0
+	}
+	clear(d[0])
+	return d
+}
+
+// resetSparse prepares the sparse positive-column table for a matrix of the
+// given oriented dimension.
+func (s *Scratch) resetSparse(dim int) {
+	s.rowOf = growI(s.rowOf, dim)
+	clear(s.rowOf)
+	s.spans = s.spans[:0]
+	s.pos = s.pos[:0]
+	s.valF = s.valF[:0]
+	s.valI = s.valI[:0]
+}

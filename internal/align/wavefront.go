@@ -2,6 +2,7 @@ package align
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/score"
 	"repro/internal/symbol"
@@ -16,13 +17,65 @@ import (
 // cluster.
 //
 // Memory is O(number-of-tile-rows × |b|): only tile boundary rows are
-// retained, as in coarse-grained cluster implementations.
+// retained, as in coarse-grained cluster implementations — and all of it
+// (boundary rows, carry columns, dependency counters, tile working rows) is
+// pooled and reused across calls, so steady-state scoring allocates nothing
+// with Workers == 1 (which runs the tiles inline as a blocked cache-friendly
+// sweep) and only scheduling state otherwise. A quantized σ
+// (score.CompiledInt) runs every tile in int32 and dequantizes the final
+// corner only.
 type WavefrontAligner struct {
-	// Workers is the number of goroutines; values < 1 mean 1.
+	// Workers is the number of goroutines; values < 1 mean 1. With exactly
+	// one worker the tiles run inline on the calling goroutine: same blocked
+	// schedule, no channels, no spawns.
 	Workers int
 	// BlockRows and BlockCols are the tile dimensions; values < 1 default
 	// to 128.
 	BlockRows, BlockCols int
+}
+
+// wfState is the pooled per-call state of one wavefront run: the retained
+// tile boundary rows and right-boundary carry columns (float64 and int32
+// variants), the column index word, and the tile dependency counters.
+type wfState struct {
+	a, b   symbol.Word
+	sc     score.Scorer
+	cm     *score.Compiled
+	ci     *score.CompiledInt
+	bi     []int32
+	m, n   int
+	br, bc int
+	nI, nJ int
+
+	rowBuf [][]float64 // rowBuf[I][j] = D[rowEnd(I)][j]; rowBuf[0] = DP row 0
+	carry  [][]float64 // carry[I][r] = D[rowLo(I)+r][colDone], updated in place
+	rowBufI [][]int32
+	carryI  [][]int32
+	deps    []int32
+}
+
+var wfPool = sync.Pool{New: func() any { return new(wfState) }}
+
+func growRowsF(rows [][]float64, k, n int) [][]float64 {
+	if cap(rows) < k {
+		rows = append(rows[:cap(rows)], make([][]float64, k-cap(rows))...)
+	}
+	rows = rows[:k]
+	for i := range rows {
+		rows[i] = growF(rows[i], n)
+	}
+	return rows
+}
+
+func growRowsI(rows [][]int32, k, n int) [][]int32 {
+	if cap(rows) < k {
+		rows = append(rows[:cap(rows)], make([][]int32, k-cap(rows))...)
+	}
+	rows = rows[:k]
+	for i := range rows {
+		rows[i] = growI(rows[i], n)
+	}
+	return rows
 }
 
 // Score returns P_score(a, b), identical to the serial Score.
@@ -42,49 +95,68 @@ func (w WavefrontAligner) Score(a, b symbol.Word, sc score.Scorer) float64 {
 	if workers < 1 {
 		workers = 1
 	}
-	nI := (m + br - 1) / br // tile rows
-	nJ := (n + bc - 1) / bc // tile cols
 
-	// Dense fast path: all tiles share one compiled matrix and one column
-	// index vector for b.
-	cm := fastPath(sc, a, b, len(a)*len(b))
-	var bIdx []int32
-	if cm != nil {
-		bIdx = cm.IndexWord(b)
-	}
+	ws := wfPool.Get().(*wfState)
+	ws.a, ws.b, ws.sc = a, b, sc
+	ws.m, ws.n = m, n
+	ws.br, ws.bc = br, bc
+	ws.nI = (m + br - 1) / br
+	ws.nJ = (n + bc - 1) / bc
+	ws.ci, ws.cm = resolve(sc, a, b, m*n)
 
-	// rowBuf[I][j] = D[rowEnd(I)][j] once every tile of tile-row I left of
-	// column j is done; rowBuf[0] is the all-zero DP row 0.
-	rowBuf := make([][]float64, nI+1)
-	rowBuf[0] = make([]float64, n+1)
-	for I := 1; I <= nI; I++ {
-		rowBuf[I] = make([]float64, n+1)
-	}
-	// carry[I] holds the right boundary column of the most recent tile in
-	// tile-row I: carry[I][r] = D[rowLo(I)+r][colDone], r = 0..height, with
-	// carry[I][0] the value on the boundary row above. Tiles within a row
-	// run strictly left to right, so the carry needs no locking.
-	carry := make([][]float64, nI)
-	for I := 0; I < nI; I++ {
-		h := br
-		if (I+1)*br > m {
-			h = m - I*br
+	// Boundary rows and carry columns; row 0 and column 0 of the DP are all
+	// zeros, everything else is fully written by some tile before it is read.
+	if ws.ci != nil {
+		ws.bi = ws.ci.IndexWordInto(growI(ws.bi, n)[:0], b)
+		ws.rowBufI = growRowsI(ws.rowBufI, ws.nI+1, n+1)
+		clear(ws.rowBufI[0])
+		ws.carryI = growRowsI(ws.carryI, ws.nI, br+1)
+		for I := range ws.carryI {
+			clear(ws.carryI[I])
 		}
-		carry[I] = make([]float64, h+1) // column 0 of the DP is all zeros
+	} else {
+		if ws.cm != nil {
+			ws.bi = ws.cm.IndexWordInto(growI(ws.bi, n)[:0], b)
+		}
+		ws.rowBuf = growRowsF(ws.rowBuf, ws.nI+1, n+1)
+		clear(ws.rowBuf[0])
+		ws.carry = growRowsF(ws.carry, ws.nI, br+1)
+		for I := range ws.carry {
+			clear(ws.carry[I])
+		}
 	}
 
-	type tile struct{ I, J int }
-	total := nI * nJ
-	ready := make(chan tile, total)
-	var wg sync.WaitGroup
-	wg.Add(total)
+	if workers == 1 {
+		s := NewScratch()
+		for I := 0; I < ws.nI; I++ {
+			for J := 0; J < ws.nJ; J++ {
+				ws.tile(I, J, s)
+			}
+		}
+		s.Release()
+	} else {
+		ws.runParallel(workers)
+	}
 
-	// Remaining dependency count per tile.
-	deps := make([]int32, total)
-	var mu sync.Mutex
-	idx := func(I, J int) int { return I*nJ + J }
-	for I := 0; I < nI; I++ {
-		for J := 0; J < nJ; J++ {
+	var out float64
+	if ws.ci != nil {
+		out = ws.ci.Dequantize(int64(ws.rowBufI[ws.nI][n]))
+	} else {
+		out = ws.rowBuf[ws.nI][n]
+	}
+	// Drop references to caller data before pooling the state.
+	ws.a, ws.b, ws.sc, ws.cm, ws.ci = nil, nil, nil, nil, nil
+	wfPool.Put(ws)
+	return out
+}
+
+// runParallel executes the tiles over a worker pool with per-tile dependency
+// counters: a tile is enqueued when both its up- and left-neighbour are done.
+func (ws *wfState) runParallel(workers int) {
+	total := ws.nI * ws.nJ
+	ws.deps = growI(ws.deps, total)
+	for I := 0; I < ws.nI; I++ {
+		for J := 0; J < ws.nJ; J++ {
 			d := int32(0)
 			if I > 0 {
 				d++
@@ -92,87 +164,29 @@ func (w WavefrontAligner) Score(a, b symbol.Word, sc score.Scorer) float64 {
 			if J > 0 {
 				d++
 			}
-			deps[idx(I, J)] = d
+			ws.deps[I*ws.nJ+J] = d
 		}
 	}
+	type tile struct{ I, J int32 }
+	ready := make(chan tile, total)
+	var wg sync.WaitGroup
+	wg.Add(total)
 	release := func(I, J int) {
-		if I >= nI || J >= nJ {
+		if I >= ws.nI || J >= ws.nJ {
 			return
 		}
-		mu.Lock()
-		deps[idx(I, J)]--
-		run := deps[idx(I, J)] == 0
-		mu.Unlock()
-		if run {
-			ready <- tile{I, J}
+		if atomic.AddInt32(&ws.deps[I*ws.nJ+J], -1) == 0 {
+			ready <- tile{int32(I), int32(J)}
 		}
 	}
-
-	compute := func(t tile) {
-		rowLo := t.I * br
-		rowHi := min(m, rowLo+br)
-		colLo := t.J * bc
-		colHi := min(n, colLo+bc)
-		h := rowHi - rowLo
-		wdt := colHi - colLo
-
-		top := rowBuf[t.I][colLo : colHi+1] // includes corner at index 0? no: rowBuf[I][colLo..colHi]
-		left := carry[t.I]                  // left[r] = D[rowLo+r][colLo]
-
-		// Local DP over the tile, rolling rows. prev[c] = D[row-1][colLo+c].
-		prev := make([]float64, wdt+1)
-		cur := make([]float64, wdt+1)
-		// Initialize prev from the boundary row above: D[rowLo][colLo..colHi].
-		copy(prev, top)
-		// But top[0] is D[rowLo][colLo] which must equal left[0]; they agree
-		// by construction.
-		newCarry := make([]float64, h+1)
-		newCarry[0] = prev[wdt]
-		for r := 1; r <= h; r++ {
-			ai := a[rowLo+r-1]
-			cur[0] = left[r]
-			if cm != nil {
-				row := cm.Row(ai)
-				bi := bIdx[colLo:colHi]
-				for c := 1; c <= wdt; c++ {
-					best := prev[c-1] + row[bi[c-1]]
-					if prev[c] > best {
-						best = prev[c]
-					}
-					if cur[c-1] > best {
-						best = cur[c-1]
-					}
-					cur[c] = best
-				}
-			} else {
-				for c := 1; c <= wdt; c++ {
-					best := prev[c-1] + sc.Score(ai, b[colLo+c-1])
-					if prev[c] > best {
-						best = prev[c]
-					}
-					if cur[c-1] > best {
-						best = cur[c-1]
-					}
-					cur[c] = best
-				}
-			}
-			newCarry[r] = cur[wdt]
-			prev, cur = cur, prev
-		}
-		// Publish bottom boundary row segment and right column.
-		copy(rowBuf[t.I+1][colLo+1:colHi+1], prev[1:])
-		if colLo == 0 {
-			rowBuf[t.I+1][0] = 0
-		}
-		copy(carry[t.I], newCarry)
-	}
-
 	for g := 0; g < workers; g++ {
 		go func() {
+			s := NewScratch()
+			defer s.Release()
 			for t := range ready {
-				compute(t)
-				release(t.I+1, t.J)
-				release(t.I, t.J+1)
+				ws.tile(int(t.I), int(t.J), s)
+				release(int(t.I)+1, int(t.J))
+				release(int(t.I), int(t.J)+1)
 				wg.Done()
 			}
 		}()
@@ -180,5 +194,86 @@ func (w WavefrontAligner) Score(a, b symbol.Word, sc score.Scorer) float64 {
 	ready <- tile{0, 0}
 	wg.Wait()
 	close(ready)
-	return rowBuf[nI][n]
+}
+
+// tile computes one DP tile, reading the boundary row above and the carry
+// column to its left and publishing its own bottom row and right column.
+// Tiles within a tile-row run strictly left to right, so the carry is
+// updated in place: slot r is rewritten only after the row that read it.
+func (ws *wfState) tile(I, J int, s *Scratch) {
+	rowLo := I * ws.br
+	rowHi := min(ws.m, rowLo+ws.br)
+	colLo := J * ws.bc
+	colHi := min(ws.n, colLo+ws.bc)
+	h := rowHi - rowLo
+	wdt := colHi - colLo
+
+	if ws.ci != nil {
+		top := ws.rowBufI[I][colLo : colHi+1]
+		left := ws.carryI[I]
+		prev, cur := s.intRows(wdt + 1)
+		copy(prev, top)
+		left[0] = prev[wdt]
+		bi := ws.bi[colLo:colHi]
+		for r := 1; r <= h; r++ {
+			row := ws.ci.Row(ws.a[rowLo+r-1])
+			cur[0] = left[r]
+			for c := 1; c <= wdt; c++ {
+				best := prev[c-1] + row[bi[c-1]]
+				best = max(best, prev[c])
+				best = max(best, cur[c-1])
+				cur[c] = best
+			}
+			left[r] = cur[wdt]
+			prev, cur = cur, prev
+		}
+		copy(ws.rowBufI[I+1][colLo+1:colHi+1], prev[1:])
+		if colLo == 0 {
+			ws.rowBufI[I+1][0] = 0
+		}
+		return
+	}
+
+	top := ws.rowBuf[I][colLo : colHi+1]
+	left := ws.carry[I]
+	prev, cur := s.floatRows(wdt + 1)
+	copy(prev, top)
+	left[0] = prev[wdt]
+	for r := 1; r <= h; r++ {
+		ai := ws.a[rowLo+r-1]
+		cur[0] = left[r]
+		if ws.cm != nil {
+			row := ws.cm.Row(ai)
+			bi := ws.bi[colLo:colHi]
+			for c := 1; c <= wdt; c++ {
+				best := prev[c-1] + row[bi[c-1]]
+				if prev[c] > best {
+					best = prev[c]
+				}
+				if cur[c-1] > best {
+					best = cur[c-1]
+				}
+				cur[c] = best
+			}
+		} else {
+			for c := 1; c <= wdt; c++ {
+				best := prev[c-1] + ws.sc.Score(ai, ws.b[colLo+c-1])
+				if prev[c] > best {
+					best = prev[c]
+				}
+				if cur[c-1] > best {
+					best = cur[c-1]
+				}
+				cur[c] = best
+			}
+		}
+		left[r] = cur[wdt]
+		prev, cur = cur, prev
+	}
+	// Publish the bottom boundary row segment; the right column was carried
+	// in place above.
+	copy(ws.rowBuf[I+1][colLo+1:colHi+1], prev[1:])
+	if colLo == 0 {
+		ws.rowBuf[I+1][0] = 0
+	}
 }

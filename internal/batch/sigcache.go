@@ -9,6 +9,10 @@ import (
 
 // sigCache maps scorer identity to its compiled dense matrix, so the many
 // instances of one alphabet that share a σ table compile it exactly once.
+// The matrix's derived forms ride along: Transposed and the
+// integer-quantized Int matrix are both cached on the Compiled itself
+// (sync.Once), so int-mode batch solves quantize one alphabet exactly once
+// no matter how many shards race on it.
 //
 // Identity is the scorer interface value itself (for the common *score.Table
 // the pointer), which is precisely the "same σ" relation batch workloads

@@ -50,9 +50,10 @@ func Solve(in *core.Instance, cfg Solver) (Result, error) {
 	for i, ml := range mLayouts {
 		mWords[i] = layoutWord(in, core.SpeciesM, ml)
 	}
-	// One compiled σ shared by every layout alignment (and every worker:
-	// the matrix is read-only after compilation).
-	sigma := score.Compile(in.Sigma, in.MaxSymbolID())
+	// One prepared σ shared by every layout alignment (and every worker:
+	// the matrix — dense float64 or int32-quantized — is read-only after
+	// preparation).
+	sigma := score.Prepare(in.Sigma, in.MaxSymbolID())
 
 	workers := cfg.Workers
 	if workers < 1 {
@@ -71,10 +72,12 @@ func Solve(in *core.Instance, cfg Solver) (Result, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			scr := align.NewScratch()
+			defer scr.Release()
 			for hi := w; hi < len(hLayouts); hi += workers {
 				hw := layoutWord(in, core.SpeciesH, hLayouts[hi])
 				for mi := range mLayouts {
-					sc := align.Score(hw, mWords[mi], sigma)
+					sc := scr.Score(hw, mWords[mi], sigma)
 					b := &results[w]
 					if sc > b.score || (sc == b.score && (hi < b.h || (hi == b.h && mi < b.m))) {
 						*b = best{score: sc, h: hi, m: mi}
@@ -93,6 +96,12 @@ func Solve(in *core.Instance, cfg Solver) (Result, error) {
 			(b.score == win.score && (b.h < win.h || (b.h == win.h && b.m < win.m))) {
 			win = b
 		}
+	}
+	if ci, ok := sigma.(*score.CompiledInt); ok && win.h >= 0 {
+		// Integer-quantized enumeration: the winning layout was chosen under
+		// quantized scores; report its exact score under the true σ.
+		hw := layoutWord(in, core.SpeciesH, hLayouts[win.h])
+		win.score = align.Score(hw, mWords[win.m], ci.Source())
 	}
 	return Result{
 		Score:  win.score,

@@ -45,6 +45,70 @@ type Config struct {
 	Spurious int
 	// SpuriousScore caps the spurious scores (drawn uniformly below it).
 	SpuriousScore float64
+	// Canonical, when set, generates the instance over a shared canonical
+	// alphabet and σ table (see NewCanonical) instead of a fresh per-instance
+	// table: every instance of a batch then carries the *same* score.Table
+	// pointer, so the batch pool's per-alphabet cache compiles (and
+	// quantizes) σ exactly once for the whole workload. The canonical table
+	// must cover at least Regions regions.
+	Canonical *Canonical
+}
+
+// Canonical is a shared alphabet and σ table for a family of generated
+// instances: ortholog scores for every ancestral region (drawn once from the
+// canonical seed, jitter included) plus the spurious pairs. Instances
+// generated against one Canonical differ in evolution and fragmentation but
+// agree on symbols and scores — the "many instances, one σ" shape a serving
+// workload has, which the batch pool's per-alphabet cache exploits.
+type Canonical struct {
+	Alpha   *symbol.Alphabet
+	Sigma   *score.Table
+	regions int
+	hSyms   []symbol.Symbol
+	mSyms   []symbol.Symbol
+}
+
+// Regions returns the number of ancestral regions the table covers.
+func (c *Canonical) Regions() int { return c.regions }
+
+// NewCanonical builds the shared alphabet/σ table for the configuration:
+// scores for all cfg.Regions ortholog pairs and cfg.Spurious spurious pairs,
+// drawn deterministically from cfg.Seed.
+func NewCanonical(cfg Config) *Canonical {
+	if cfg.Regions < 1 {
+		cfg.Regions = 1
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	c := &Canonical{
+		Alpha:   symbol.NewAlphabet(),
+		Sigma:   score.NewTable(),
+		regions: cfg.Regions,
+		hSyms:   make([]symbol.Symbol, cfg.Regions),
+		mSyms:   make([]symbol.Symbol, cfg.Regions),
+	}
+	for i := 0; i < cfg.Regions; i++ {
+		c.hSyms[i] = c.Alpha.Intern(fmt.Sprintf("H%d", i))
+		c.mSyms[i] = c.Alpha.Intern(fmt.Sprintf("M%d", i))
+	}
+	for i := 0; i < cfg.Regions; i++ {
+		s := cfg.BaseScore * (1 + cfg.Noise*(2*r.Float64()-1))
+		if s < 1 {
+			s = 1
+		}
+		c.Sigma.Set(c.hSyms[i], c.mSyms[i], s)
+	}
+	for k := 0; k < cfg.Spurious; k++ {
+		hi := r.Intn(cfg.Regions)
+		mi := r.Intn(cfg.Regions)
+		ms := c.mSyms[mi]
+		if r.Intn(2) == 0 {
+			ms = ms.Rev()
+		}
+		if c.Sigma.Score(c.hSyms[hi], ms) == 0 && cfg.SpuriousScore > 0 {
+			c.Sigma.Set(c.hSyms[hi], ms, 1+r.Float64()*(cfg.SpuriousScore-1))
+		}
+	}
+	return c
 }
 
 // DefaultConfig returns a small but structured workload configuration.
@@ -88,16 +152,26 @@ func Generate(cfg Config) *Workload {
 	if cfg.MeanContig < 1 {
 		cfg.MeanContig = 1
 	}
-	al := symbol.NewAlphabet()
-	tb := score.NewTable()
-
-	// Ancestral regions; species-specific symbols so σ is a genuine
-	// cross-species table.
-	hSyms := make([]symbol.Symbol, cfg.Regions)
-	mSyms := make([]symbol.Symbol, cfg.Regions)
-	for i := 0; i < cfg.Regions; i++ {
-		hSyms[i] = al.Intern(fmt.Sprintf("H%d", i))
-		mSyms[i] = al.Intern(fmt.Sprintf("M%d", i))
+	var al *symbol.Alphabet
+	var tb *score.Table
+	var hSyms, mSyms []symbol.Symbol
+	if c := cfg.Canonical; c != nil {
+		if c.regions < cfg.Regions {
+			cfg.Regions = c.regions // the shared table bounds the region count
+		}
+		al, tb = c.Alpha, c.Sigma
+		hSyms, mSyms = c.hSyms[:cfg.Regions], c.mSyms[:cfg.Regions]
+	} else {
+		al = symbol.NewAlphabet()
+		tb = score.NewTable()
+		// Ancestral regions; species-specific symbols so σ is a genuine
+		// cross-species table.
+		hSyms = make([]symbol.Symbol, cfg.Regions)
+		mSyms = make([]symbol.Symbol, cfg.Regions)
+		for i := 0; i < cfg.Regions; i++ {
+			hSyms[i] = al.Intern(fmt.Sprintf("H%d", i))
+			mSyms[i] = al.Intern(fmt.Sprintf("M%d", i))
+		}
 	}
 
 	// Species H keeps ancestral order; species M evolves.
@@ -136,28 +210,38 @@ func Generate(cfg Config) *Workload {
 		mGenome = append(append(append(symbol.Word(nil), rest[:pos]...), seg...), rest[pos:]...)
 	}
 
-	// Ortholog scores for regions surviving in both species.
+	// Ortholog scores for regions surviving in both species. With a
+	// canonical table the scores (and spurious pairs) were drawn once from
+	// the canonical seed; per-instance randomness drives structure only.
 	ortho := 0.0
-	for i := 0; i < cfg.Regions; i++ {
-		if present[i][0] && present[i][1] {
-			s := cfg.BaseScore * (1 + cfg.Noise*(2*r.Float64()-1))
-			if s < 1 {
-				s = 1
+	if cfg.Canonical != nil {
+		for i := 0; i < cfg.Regions; i++ {
+			if present[i][0] && present[i][1] {
+				ortho += tb.Score(hSyms[i], mSyms[i])
 			}
-			tb.Set(hSyms[i], mSyms[i], s)
-			ortho += s
 		}
-	}
-	// Spurious alignments between random cross pairs.
-	for k := 0; k < cfg.Spurious; k++ {
-		hi := r.Intn(cfg.Regions)
-		mi := r.Intn(cfg.Regions)
-		ms := mSyms[mi]
-		if r.Intn(2) == 0 {
-			ms = ms.Rev()
+	} else {
+		for i := 0; i < cfg.Regions; i++ {
+			if present[i][0] && present[i][1] {
+				s := cfg.BaseScore * (1 + cfg.Noise*(2*r.Float64()-1))
+				if s < 1 {
+					s = 1
+				}
+				tb.Set(hSyms[i], mSyms[i], s)
+				ortho += s
+			}
 		}
-		if tb.Score(hSyms[hi], ms) == 0 && cfg.SpuriousScore > 0 {
-			tb.Set(hSyms[hi], ms, 1+r.Float64()*(cfg.SpuriousScore-1))
+		// Spurious alignments between random cross pairs.
+		for k := 0; k < cfg.Spurious; k++ {
+			hi := r.Intn(cfg.Regions)
+			mi := r.Intn(cfg.Regions)
+			ms := mSyms[mi]
+			if r.Intn(2) == 0 {
+				ms = ms.Rev()
+			}
+			if tb.Score(hSyms[hi], ms) == 0 && cfg.SpuriousScore > 0 {
+				tb.Set(hSyms[hi], ms, 1+r.Float64()*(cfg.SpuriousScore-1))
+			}
 		}
 	}
 

@@ -19,7 +19,11 @@ import (
 // highest-scoring pairs, consuming both fragments. The result is a set of
 // full–full matches (always consistent).
 func Matching(in *core.Instance) *core.Solution {
-	sigma := score.Compile(in.Sigma, in.MaxSymbolID())
+	// Prepare keeps a caller-selected scoring mode (e.g. an int32-quantized
+	// matrix) on its fast path; one scratch arena serves the whole sweep.
+	sigma := score.Prepare(in.Sigma, in.MaxSymbolID())
+	scr := align.NewScratch()
+	defer scr.Release()
 	type cand struct {
 		h, m  int
 		rev   bool
@@ -28,7 +32,7 @@ func Matching(in *core.Instance) *core.Solution {
 	var cands []cand
 	for hi := range in.H {
 		for mi := range in.M {
-			sc, rev := align.BestOrient(in.H[hi].Regions, in.M[mi].Regions, sigma)
+			sc, rev := scr.BestOrient(in.H[hi].Regions, in.M[mi].Regions, sigma)
 			if sc > 0 {
 				cands = append(cands, cand{h: hi, m: mi, rev: rev, score: sc})
 			}
@@ -66,7 +70,9 @@ func Matching(in *core.Instance) *core.Solution {
 // highest-scoring placement whose window is still free and whose H fragment
 // is unused. Produces 1-islands only (full H sites in disjoint M windows).
 func Placement(in *core.Instance) *core.Solution {
-	sigma := score.Compile(in.Sigma, in.MaxSymbolID())
+	sigma := score.Prepare(in.Sigma, in.MaxSymbolID())
+	scr := align.NewScratch()
+	defer scr.Release()
 	type cand struct {
 		h, m   int
 		rev    bool
@@ -80,7 +86,7 @@ func Placement(in *core.Instance) *core.Solution {
 			m := in.M[mi].Regions
 			for o := 0; o < 2; o++ {
 				rev := o == 1
-				for _, p := range align.Placements(h.Orient(rev), m, sigma, 0) {
+				for _, p := range scr.Placements(h.Orient(rev), m, sigma, 0) {
 					cands = append(cands, cand{h: hi, m: mi, rev: rev, lo: p.Lo, hi: p.Hi, score: p.Score})
 				}
 			}
@@ -127,7 +133,7 @@ func Placement(in *core.Instance) *core.Solution {
 			HSite: hs,
 			MSite: ms,
 			Rev:   c.rev,
-			Score: align.Score(in.SiteWord(hs), in.SiteWord(ms).Orient(c.rev), sigma),
+			Score: scr.Score(in.SiteWord(hs), in.SiteWord(ms).Orient(c.rev), sigma),
 		})
 	}
 	return sol

@@ -164,7 +164,7 @@ func i2Attempt(f core.FragRef, fe end, fw int, g core.FragRef, ge end, gw int) a
 			fWord := st.in.Frag(f.Sp, f.Idx).Regions[fLo:fHi]
 			gWord := st.in.Frag(g.Sp, g.Idx).Regions[gLo:gHi]
 			sigma := st.sigmaFor(f.Sp)
-			sc, cols := align.Align(fWord, gWord.Orient(rev), sigma)
+			sc, cols := st.scr.Align(fWord, gWord.Orient(rev), sigma)
 			if sc <= 0 || len(cols) == 0 {
 				return st.delta - start
 			}
@@ -255,7 +255,7 @@ func i3Attempt(f, g core.FragRef, chainID int, candidates func(st *state, x core
 				bestGain, applied := 0.0, false
 				var bestAt attempt
 				for _, at := range candidates(st, x, exclude) {
-					sim := st.clone()
+					sim := st.clone() // inherits this goroutine's scratch
 					gain := at.run(sim)
 					if gain > bestGain {
 						bestGain, bestAt, applied = gain, at, true

@@ -56,6 +56,15 @@ type Options struct {
 	// accepted improvement then gains at least one quantum, limiting
 	// improvements to 4k² without any gain threshold.
 	Quantize bool
+	// IntScore runs the search under the integer-quantized σ matrix
+	// (score.CompiledInt): every alignment kernel then sweeps contiguous
+	// int32 rows instead of float64, and the final solution is re-scored
+	// under the true σ at the boundary. Search decisions differ from float
+	// mode by at most the quantization bound (zero when σ is unit-quantized,
+	// e.g. integral tables — see score.CompiledInt.Exact). Combines with
+	// Quantize: the scaled shadow scorer is then quantized exactly, since
+	// its values are multiples of the scaling unit by construction.
+	IntScore bool
 	// FullReeval disables the incremental candidate cache, re-simulating
 	// every candidate every round. The accepted attempt sequence is
 	// identical either way (see incremental.go); this exists for A/B
@@ -89,6 +98,29 @@ func Improve(in *core.Instance, opt Options) (*core.Solution, Stats, error) {
 	}
 	if opt.Methods == 0 {
 		opt.Methods = AllMethods
+	}
+	// Integer-quantized search: swap σ for its int32 matrix, run the whole
+	// algorithm under it, and re-score the result under the true σ at the
+	// end — the same shadow-instance shape as the Quantize path below. When
+	// Quantize is also set it runs first (outer), so the scaled scorer is
+	// what gets quantized to integers; its values are unit multiples, making
+	// the integer representation exact.
+	if opt.IntScore && !opt.Quantize {
+		ci := score.Compile(in.Sigma, in.MaxSymbolID()).Int()
+		shadow := *in
+		shadow.Sigma = ci
+		iopt := opt
+		iopt.IntScore = false
+		if iopt.Seed != nil {
+			iopt.Seed = rescore(&shadow, iopt.Seed)
+		}
+		sol, istats, err := Improve(&shadow, iopt)
+		if err != nil {
+			return nil, istats, err
+		}
+		sol = rescore(in, sol)
+		istats.Final = sol.Score()
+		return sol, istats, nil
 	}
 	workers := opt.Workers
 	if workers < 1 {
@@ -140,6 +172,7 @@ func Improve(in *core.Instance, opt Options) (*core.Solution, Stats, error) {
 	}
 
 	st := newState(in, seed)
+	defer st.scr.Release() // the driver's own alignment scratch arena
 	vers := make(map[core.FragRef]uint64)
 	st.vers = vers
 	cache := make(map[candKey]*cacheEntry)
@@ -175,10 +208,11 @@ func Improve(in *core.Instance, opt Options) (*core.Solution, Stats, error) {
 			fresh = append(fresh, i)
 		}
 		recs := make([]*readRecorder, len(cands))
-		eval := func(i int) {
+		eval := func(i int, scr *align.Scratch) {
 			rec := newReadRecorder(vers)
 			sim := st.clone()
 			sim.rec = rec
+			sim.scr = scr // the evaluating goroutine's scratch arena
 			// Zero the gain accumulator so every evaluation performs the
 			// identical float additions regardless of the live state's
 			// accumulated delta — cached and fresh gains stay bit-equal.
@@ -188,13 +222,13 @@ func Improve(in *core.Instance, opt Options) (*core.Solution, Stats, error) {
 		}
 		if pool == nil || len(fresh) < 2 {
 			for _, i := range fresh {
-				eval(i)
+				eval(i, st.scr)
 			}
 		} else {
 			batch := evalBatch{p: pool}
 			for _, i := range fresh {
 				i := i
-				batch.do(func() { eval(i) })
+				batch.do(func(scr *align.Scratch) { eval(i, scr) })
 			}
 			batch.wait()
 		}
@@ -243,13 +277,24 @@ func Improve(in *core.Instance, opt Options) (*core.Solution, Stats, error) {
 }
 
 // rescore refreshes every cached match score under the instance's σ,
-// compiled once for the pass.
+// prepared once for the pass (a pre-quantized σ stays on the integer
+// kernels).
 func rescore(in *core.Instance, sol *core.Solution) *core.Solution {
+	return Rescore(in, sol, score.Prepare(in.Sigma, in.MaxSymbolID()))
+}
+
+// Rescore returns a copy of the solution with every cached match score
+// recomputed against the instance's words under the given scorer — the
+// shared re-scoring boundary of the quantized modes (callers pass the exact
+// dense σ to dequantize a search result, or a shadow scorer to re-truncate a
+// seed).
+func Rescore(in *core.Instance, sol *core.Solution, sc score.Scorer) *core.Solution {
 	out := sol.Clone()
-	sc := score.Compile(in.Sigma, in.MaxSymbolID())
+	s := align.NewScratch()
+	defer s.Release()
 	for i := range out.Matches {
 		mt := &out.Matches[i]
-		mt.Score = align.Score(in.SiteWord(mt.HSite), in.SiteWord(mt.MSite).Orient(mt.Rev), sc)
+		mt.Score = s.Score(in.SiteWord(mt.HSite), in.SiteWord(mt.MSite).Orient(mt.Rev), sc)
 	}
 	return out
 }

@@ -3,6 +3,7 @@ package improve
 import (
 	"sync"
 
+	"repro/internal/align"
 	"repro/internal/core"
 )
 
@@ -151,9 +152,11 @@ func (pm *placeMemo) put(k placeKey, v []placement) {
 // calls via Options.Eval: completion is tracked per submission batch (see
 // evalBatch), not per pool, so batch drivers such as internal/batch reuse
 // one set of workers across thousands of solves instead of spawning
-// goroutines per instance.
+// goroutines per instance. Each worker owns an align.Scratch arena for its
+// lifetime and passes it to every task, so candidate simulations reuse one
+// set of DP buffers across all the solves the worker ever touches.
 type EvalPool struct {
-	jobs    chan func()
+	jobs    chan func(*align.Scratch)
 	workers int
 	done    sync.WaitGroup // worker goroutine lifetimes, for Close
 }
@@ -163,13 +166,15 @@ func NewEvalPool(n int) *EvalPool {
 	if n < 1 {
 		n = 1
 	}
-	p := &EvalPool{jobs: make(chan func()), workers: n}
+	p := &EvalPool{jobs: make(chan func(*align.Scratch)), workers: n}
 	p.done.Add(n)
 	for i := 0; i < n; i++ {
 		go func() {
 			defer p.done.Done()
+			s := align.NewScratch()
+			defer s.Release()
 			for f := range p.jobs {
-				f()
+				f(s)
 			}
 		}()
 	}
@@ -194,11 +199,11 @@ type evalBatch struct {
 	wg sync.WaitGroup
 }
 
-func (b *evalBatch) do(f func()) {
+func (b *evalBatch) do(f func(*align.Scratch)) {
 	b.wg.Add(1)
-	b.p.jobs <- func() {
+	b.p.jobs <- func(s *align.Scratch) {
 		defer b.wg.Done()
-		f()
+		f(s)
 	}
 }
 

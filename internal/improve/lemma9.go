@@ -17,14 +17,16 @@ func MatchingTwoApprox(in *core.Instance) (*core.Solution, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
-	sigma := score.Compile(in.Sigma, in.MaxSymbolID())
+	sigma := score.Prepare(in.Sigma, in.MaxSymbolID())
+	scr := align.NewScratch()
+	defer scr.Release()
 	weights := make([][]float64, len(in.H))
 	revs := make([][]bool, len(in.H))
 	for hi := range in.H {
 		weights[hi] = make([]float64, len(in.M))
 		revs[hi] = make([]bool, len(in.M))
 		for mi := range in.M {
-			sc, rev := align.BestOrient(in.H[hi].Regions, in.M[mi].Regions, sigma)
+			sc, rev := scr.BestOrient(in.H[hi].Regions, in.M[mi].Regions, sigma)
 			if sc > 0 {
 				weights[hi][mi] = sc
 				revs[hi][mi] = rev

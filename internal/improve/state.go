@@ -56,10 +56,16 @@ type state struct {
 	nextID int
 	locked map[core.FragRef]bool
 
-	sig   *score.Compiled // σ compiled over the instance alphabet
-	sigT  *score.Compiled // σᵀ for M-first alignments
+	sig   score.Scorer // σ prepared over the instance alphabet (dense float64 or int32-quantized)
+	sigT  score.Scorer // σᵀ for M-first alignments
 	memo  *alignMemo
 	pmemo *placeMemo
+	// scr is the goroutine-local alignment scratch arena, never nil: the
+	// driver's on the live state, an eval worker's on the simulations it
+	// runs. Clones inherit it (correct for same-goroutine sub-simulations);
+	// the driver overwrites it with the worker's arena before a simulation
+	// crosses goroutines (see eval in driver.go).
+	scr *align.Scratch
 	// revWords[sp][i] is fragment i of species sp reversed, materialized
 	// once per solve (shared by clones) so hot loops never re-allocate it.
 	revWords [2][]symbol.Word
@@ -75,16 +81,17 @@ type state struct {
 }
 
 func newState(in *core.Instance, seed *core.Solution) *state {
-	sig := score.Compile(in.Sigma, in.MaxSymbolID())
+	sig := score.Prepare(in.Sigma, in.MaxSymbolID())
 	st := &state{
 		in:      in,
 		matches: make(map[int]core.Match),
 		byFrag:  make(map[core.FragRef][]int),
 		locked:  make(map[core.FragRef]bool),
 		sig:     sig,
-		sigT:    sig.Transposed(),
+		sigT:    score.Transpose(sig),
 		memo:    newAlignMemo(),
 		pmemo:   newPlaceMemo(),
+		scr:     align.NewScratch(),
 	}
 	for _, sp := range []core.Species{core.SpeciesH, core.SpeciesM} {
 		frags := in.Frags(sp)
@@ -143,6 +150,7 @@ func (st *state) clone() *state {
 		revWords: st.revWords,
 		delta:    st.delta,
 		rec:      st.rec, // sub-simulations keep recording
+		scr:      st.scr, // overwritten by the worker on cross-goroutine evals
 		// vers deliberately dropped: simulations never bump live versions.
 	}
 	for id, mt := range st.matches {
@@ -337,7 +345,7 @@ func (st *state) placements(x core.FragRef, rev bool, z core.FragRef, lo, hi int
 		return v
 	}
 	zoneWord := st.in.Frag(z.Sp, z.Idx).Regions[lo:hi]
-	v := align.Placements(st.fragWord(x, rev), zoneWord, st.sigmaFor(x.Sp), 0)
+	v := st.scr.Placements(st.fragWord(x, rev), zoneWord, st.sigmaFor(x.Sp), 0)
 	st.pmemo.put(k, v)
 	return v
 }
@@ -359,7 +367,7 @@ func (st *state) siteScore(h, m core.Site, rev bool) float64 {
 	if v, ok := st.memo.get(k); ok {
 		return v
 	}
-	v := align.Score(st.in.SiteWord(h), st.in.SiteWord(m).Orient(rev), st.sig)
+	v := st.scr.Score(st.in.SiteWord(h), st.in.SiteWord(m).Orient(rev), st.sig)
 	st.memo.put(k, v)
 	return v
 }

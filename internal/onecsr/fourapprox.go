@@ -43,10 +43,11 @@ func FourApprox(in *core.Instance) (*core.Solution, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
-	// One compiled σ serves both doubling halves, every placement DP, and
-	// the final validations.
+	// One prepared σ — dense float64, or the caller's int32-quantized
+	// matrix — serves both doubling halves, every placement DP, and the
+	// final validations.
 	cin := *in
-	cin.Sigma = score.Compile(in.Sigma, in.MaxSymbolID())
+	cin.Sigma = score.Prepare(in.Sigma, in.MaxSymbolID())
 	a, err := HalfOnConcat(&cin)
 	if err != nil {
 		return nil, err
@@ -59,10 +60,12 @@ func FourApprox(in *core.Instance) (*core.Solution, error) {
 	b := transposeSolution(bT)
 	// Recompute scores under the original σ orientation (they are equal,
 	// but the cached values must verify against in.Sigma).
+	scr := align.NewScratch()
 	for i := range b.Matches {
 		mt := &b.Matches[i]
-		mt.Score = align.Score(in.SiteWord(mt.HSite), in.SiteWord(mt.MSite).Orient(mt.Rev), cin.Sigma)
+		mt.Score = scr.Score(in.SiteWord(mt.HSite), in.SiteWord(mt.MSite).Orient(mt.Rev), cin.Sigma)
 	}
+	scr.Release()
 	if err := b.Validate(&cin); err != nil {
 		return nil, fmt.Errorf("onecsr: transposed solution invalid: %w", err)
 	}

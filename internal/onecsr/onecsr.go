@@ -19,7 +19,7 @@ import (
 // single reference word (fragment mIdx of species M): every Pareto-optimal
 // fit placement of every H fragment, in both orientations, becomes an
 // interval with profit MS(hᵢ, m(d,e)).
-func placementSet(in *core.Instance, mIdx int) []isp.Interval {
+func placementSet(scr *align.Scratch, in *core.Instance, mIdx int) []isp.Interval {
 	m := in.M[mIdx].Regions
 	var out []isp.Interval
 	id := 0
@@ -27,7 +27,7 @@ func placementSet(in *core.Instance, mIdx int) []isp.Interval {
 		h := in.H[hi].Regions
 		for orient := 0; orient < 2; orient++ {
 			rev := orient == 1
-			for _, p := range align.Placements(h.Orient(rev), m, in.Sigma, 0) {
+			for _, p := range scr.Placements(h.Orient(rev), m, in.Sigma, 0) {
 				out = append(out, isp.Interval{
 					ID:     id<<1 | orient,
 					Job:    hi,
@@ -52,11 +52,14 @@ func SolveOne(in *core.Instance) (*core.Solution, error) {
 	if len(in.M) != 1 {
 		return nil, fmt.Errorf("onecsr: instance has %d M fragments, want 1", len(in.M))
 	}
-	// Compile σ once for the whole placement sweep (a no-op when the caller
-	// already passed a compiled instance, as FourApprox does).
+	// Prepare σ once for the whole placement sweep (a no-op when the caller
+	// already passed a prepared instance, as FourApprox does); one scratch
+	// arena serves every placement DP and match re-score of the solve.
 	cin := *in
-	cin.Sigma = score.Compile(in.Sigma, in.MaxSymbolID())
-	res := isp.TwoPhase(placementSet(&cin, 0))
+	cin.Sigma = score.Prepare(in.Sigma, in.MaxSymbolID())
+	scr := align.NewScratch()
+	defer scr.Release()
+	res := isp.TwoPhase(placementSet(scr, &cin, 0))
 	sol := &core.Solution{}
 	for _, iv := range res.Selected {
 		rev := iv.ID&1 == 1
@@ -67,7 +70,7 @@ func SolveOne(in *core.Instance) (*core.Solution, error) {
 			HSite: hs,
 			MSite: ms,
 			Rev:   rev,
-			Score: align.Score(h, in.SiteWord(ms).Orient(rev), cin.Sigma),
+			Score: scr.Score(h, in.SiteWord(ms).Orient(rev), cin.Sigma),
 		})
 	}
 	return sol, nil
@@ -104,13 +107,15 @@ func concatM(in *core.Instance) (*core.Instance, []int) {
 // chain (caterpillar) fragments, which remain consistent.
 func splitByBounds(in *core.Instance, cat *core.Instance, bounds []int, sol *core.Solution) (*core.Solution, error) {
 	out := &core.Solution{}
+	scr := align.NewScratch()
+	defer scr.Release()
 	fragOf := func(pos int) int {
 		return sort.SearchInts(bounds, pos+1) - 1
 	}
 	for _, mt := range sol.Matches {
 		h := cat.SiteWord(mt.HSite)
 		mw := cat.SiteWord(mt.MSite)
-		_, cols := align.Align(h, mw.Orient(mt.Rev), cat.Sigma)
+		_, cols := scr.Align(h, mw.Orient(mt.Rev), cat.Sigma)
 		if len(cols) == 0 {
 			continue
 		}
@@ -183,7 +188,7 @@ func splitByBounds(in *core.Instance, cat *core.Instance, bounds []int, sol *cor
 				Lo:      p.mLo - bounds[p.mFrag],
 				Hi:      p.mHi - bounds[p.mFrag],
 			}
-			sc := align.Score(in.SiteWord(hs), in.SiteWord(ms).Orient(mt.Rev), in.Sigma)
+			sc := scr.Score(in.SiteWord(hs), in.SiteWord(ms).Orient(mt.Rev), in.Sigma)
 			out.Matches = append(out.Matches, core.Match{
 				HSite: hs, MSite: ms, Rev: mt.Rev, Score: sc,
 			})

@@ -33,6 +33,11 @@ type Compiled struct {
 	// matrix (the batch pool's per-alphabet cache) transpose σ once.
 	transOnce sync.Once
 	trans     *Compiled
+
+	// intc caches Int() — the integer-quantized form — so it is built once
+	// per compiled matrix and shared alongside the transpose.
+	intOnce sync.Once
+	intc    *CompiledInt
 }
 
 // Compile evaluates base on every oriented symbol pair with region IDs up to
@@ -131,11 +136,17 @@ func (c *Compiled) Index(b symbol.Symbol) int32 { return int32(b) + c.n }
 // IndexWord maps every symbol of w to its column index, for hoisting the
 // index computation out of DP inner loops.
 func (c *Compiled) IndexWord(w symbol.Word) []int32 {
-	out := make([]int32, len(w))
-	for i, s := range w {
-		out[i] = int32(s) + c.n
+	return c.IndexWordInto(make([]int32, 0, len(w)), w)
+}
+
+// IndexWordInto is IndexWord appending into dst[:0], so kernels and scratch
+// arenas reuse one backing array across calls instead of allocating per DP.
+func (c *Compiled) IndexWordInto(dst []int32, w symbol.Word) []int32 {
+	dst = dst[:0]
+	for _, s := range w {
+		dst = append(dst, int32(s)+c.n)
 	}
-	return out
+	return dst
 }
 
 // Transposed returns the compiled matrix of σᵀ(a, b) = σ(b, a). The result
@@ -164,11 +175,13 @@ type transposedScorer struct{ base Scorer }
 func (t transposedScorer) Score(a, b symbol.Symbol) float64 { return t.base.Score(b, a) }
 
 // Transpose returns the scorer with species sides exchanged. Transposing a
-// transpose returns the original scorer; transposing a Compiled returns the
-// transposed dense matrix.
+// transpose returns the original scorer; transposing a dense matrix (float64
+// or int32-quantized) returns the transposed dense matrix.
 func Transpose(sc Scorer) Scorer {
 	switch s := sc.(type) {
 	case *Compiled:
+		return s.Transposed()
+	case *CompiledInt:
 		return s.Transposed()
 	case transposedScorer:
 		return s.base

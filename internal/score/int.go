@@ -1,0 +1,245 @@
+package score
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/symbol"
+)
+
+// intHeadroomBits bounds the magnitude of a quantized cell: |q| ≤ 2^intHeadroomBits.
+// DP accumulation adds at most min(|a|,|b|) cells, so with 31 value bits in an
+// int32 the integer kernels are overflow-safe for words up to
+// 2^(31−intHeadroomBits) regions; longer alignments fall back to the exact
+// float64 path (see Fits).
+const intHeadroomBits = 20
+
+// CompiledInt is an integer-quantized dense σ-matrix: every cell of a
+// *Compiled rounded to the nearest multiple of a quantization unit and stored
+// as that multiple in a flat []int32. Alignment kernels that detect a
+// *CompiledInt run their DP entirely in int32 — contiguous 4-byte rows,
+// branch-light max loops — and dequantize only the final total.
+//
+// The quantization unit is chosen at build time (see (*Compiled).Int): the
+// declared unit of a Quantized base scorer when one exists, 1 when every cell
+// is already integral (the common integer-σ case, which quantizes exactly),
+// and otherwise maxAbs/2^20 auto-derived from the matrix's value range. The
+// per-cell rounding error is recorded in cellErr, giving the provable bound
+//
+//	|Dequantize(intScore) − floatScore| ≤ cellErr · min(|a|, |b|)
+//
+// for any alignment of words a, b (Bound); when cellErr is 0 the two modes
+// score identically (Exact).
+//
+// A CompiledInt is itself a Scorer — Score returns the dequantized cell — so
+// it can flow through every kernel and solver interface unchanged; the exact
+// float64 matrix it was built from stays reachable via Source.
+type CompiledInt struct {
+	src     *Compiled
+	unit    float64
+	n       int32 // maximum region ID covered
+	dim     int32 // 2n+1 oriented symbols
+	flat    []int32
+	maxAbs  int32   // largest |cell|, for overflow headroom checks
+	cellErr float64 // max over cells of |v − q·unit|
+
+	// trans caches Transposed, mirroring Compiled.
+	transOnce sync.Once
+	trans     *CompiledInt
+}
+
+// Int returns the integer-quantized form of the matrix, computed once and
+// cached — solvers and the batch pool's per-alphabet cache share one
+// quantization per compiled σ, exactly as they share one transpose.
+func (c *Compiled) Int() *CompiledInt {
+	c.intOnce.Do(func() {
+		c.intc = quantize(c, chooseUnit(c))
+	})
+	return c.intc
+}
+
+// IntWithUnit quantizes the matrix with an explicit unit (not cached). A
+// non-positive unit falls back to the automatic choice; a unit too fine for
+// the matrix's value range is coarsened so every cell stays well inside
+// int32 (|q| ≤ 2^30).
+func (c *Compiled) IntWithUnit(unit float64) *CompiledInt {
+	if unit <= 0 {
+		unit = chooseUnit(c)
+	}
+	if m := maxAbsCell(c); m/unit > float64(int32(1)<<30) {
+		unit = m / float64(int32(1)<<30)
+	}
+	return quantize(c, unit)
+}
+
+// maxAbsCell returns the largest |cell| of the compiled matrix.
+func maxAbsCell(c *Compiled) float64 {
+	v := 0.0
+	for _, x := range c.flat {
+		if a := math.Abs(x); a > v {
+			v = a
+		}
+	}
+	return v
+}
+
+// chooseUnit picks the quantization unit for a compiled matrix:
+//
+//  1. the declared unit of a Quantized base scorer, when its headroom holds;
+//  2. 1, when every cell is integral (quantization is then exact);
+//  3. maxAbs/2^20 otherwise — ~20 significant bits per cell, leaving
+//     overflow headroom for alignments of up to 2^11 regions.
+func chooseUnit(c *Compiled) float64 {
+	maxAbs := maxAbsCell(c)
+	if maxAbs == 0 {
+		return 1
+	}
+	headroom := float64(int32(1) << intHeadroomBits)
+	if q, ok := c.base.(Quantized); ok && q.Unit > 0 && maxAbs/q.Unit <= 2*headroom {
+		return q.Unit
+	}
+	integral := true
+	for _, v := range c.flat {
+		if v != math.Trunc(v) {
+			integral = false
+			break
+		}
+	}
+	if integral && maxAbs <= 2*headroom {
+		return 1
+	}
+	return maxAbs / headroom
+}
+
+func quantize(c *Compiled, unit float64) *CompiledInt {
+	ci := &CompiledInt{
+		src:  c,
+		unit: unit,
+		n:    c.n,
+		dim:  c.dim,
+		flat: make([]int32, len(c.flat)),
+	}
+	for i, v := range c.flat {
+		q := int32(math.Round(v / unit))
+		ci.flat[i] = q
+		a := q
+		if a < 0 {
+			a = -a
+		}
+		if a > ci.maxAbs {
+			ci.maxAbs = a
+		}
+		if e := math.Abs(v - float64(q)*unit); e > ci.cellErr {
+			ci.cellErr = e
+		}
+	}
+	return ci
+}
+
+// Source returns the exact float64 matrix the quantization was built from.
+func (c *CompiledInt) Source() *Compiled { return c.src }
+
+// MaxID returns the largest region ID the matrix covers.
+func (c *CompiledInt) MaxID() int32 { return c.n }
+
+// Unit returns the quantization unit: every cell is an int32 multiple of it.
+func (c *CompiledInt) Unit() float64 { return c.unit }
+
+// Exact reports whether quantization was lossless: every cell dequantizes to
+// the exact float64 the source matrix holds, so integer and float kernels
+// agree on every alignment (σ values that are unit multiples, e.g. integral
+// tables, always quantize exactly).
+func (c *CompiledInt) Exact() bool { return c.cellErr == 0 }
+
+// Bound returns the worst-case absolute error of a dequantized alignment
+// score against the exact float64 score, for alignments with at most pathLen
+// scoring columns (pathLen = min(|a|, |b|) is always safe): each column's σ
+// is off by at most the recorded per-cell rounding error.
+func (c *CompiledInt) Bound(pathLen int) float64 {
+	if pathLen < 0 {
+		pathLen = 0
+	}
+	return c.cellErr * float64(pathLen)
+}
+
+// Fits reports whether an alignment DP over words of minimum length minLen
+// can accumulate in int32 without overflow: every partial total is at most
+// (minLen+1)·(maxAbs+1) in magnitude. Kernels fall back to the exact float64
+// matrix when this fails, so quantized mode is safe at any input size.
+func (c *CompiledInt) Fits(minLen int) bool {
+	return (int64(c.maxAbs)+1)*(int64(minLen)+1) <= math.MaxInt32
+}
+
+// Dequantize maps an accumulated integer score back to the float64 scale.
+func (c *CompiledInt) Dequantize(q int64) float64 { return float64(q) * c.unit }
+
+// Score implements Scorer: in-range pairs return the dequantized cell, so
+// interface-path alignments agree with the integer kernels; out-of-range
+// symbols fall back to the exact base scorer.
+func (c *CompiledInt) Score(a, b symbol.Symbol) float64 {
+	ia, ib := int32(a)+c.n, int32(b)+c.n
+	if uint32(ia) >= uint32(c.dim) || uint32(ib) >= uint32(c.dim) {
+		return c.src.Score(a, b)
+	}
+	return float64(c.flat[ia*c.dim+ib]) * c.unit
+}
+
+// Row returns the dense quantized row for symbol a: Row(a)[Index(b)] is the
+// integer multiple of Unit scoring (a, b). The caller must ensure |a| ≤
+// MaxID; the returned slice must not be modified.
+func (c *CompiledInt) Row(a symbol.Symbol) []int32 {
+	ia := int(int32(a) + c.n)
+	return c.flat[ia*int(c.dim) : (ia+1)*int(c.dim)]
+}
+
+// Index returns the column index of symbol b within a Row.
+func (c *CompiledInt) Index(b symbol.Symbol) int32 { return int32(b) + c.n }
+
+// IndexWordInto maps every symbol of w to its column index, appending into
+// dst[:0] so hot loops reuse one backing array (see Compiled.IndexWordInto).
+func (c *CompiledInt) IndexWordInto(dst []int32, w symbol.Word) []int32 {
+	dst = dst[:0]
+	for _, s := range w {
+		dst = append(dst, int32(s)+c.n)
+	}
+	return dst
+}
+
+// Transposed returns the quantized matrix of σᵀ, cached like
+// Compiled.Transposed and linked back so t.Transposed() == c. The transpose
+// shares the unit, error bound, and headroom of the original.
+func (c *CompiledInt) Transposed() *CompiledInt {
+	c.transOnce.Do(func() {
+		t := &CompiledInt{
+			src:     c.src.Transposed(),
+			unit:    c.unit,
+			n:       c.n,
+			dim:     c.dim,
+			flat:    make([]int32, len(c.flat)),
+			maxAbs:  c.maxAbs,
+			cellErr: c.cellErr,
+		}
+		d := int(c.dim)
+		for i := 0; i < d; i++ {
+			for j := 0; j < d; j++ {
+				t.flat[j*d+i] = c.flat[i*d+j]
+			}
+		}
+		t.trans = c
+		t.transOnce.Do(func() {})
+		c.trans = t
+	})
+	return c.trans
+}
+
+// Prepare returns a kernel-ready scorer covering region IDs up to maxID:
+// dense matrices (float64 or int32-quantized) that already cover the range
+// pass through unchanged, anything else compiles to a dense float64 matrix.
+// Solvers use it so a caller-selected scoring mode survives their internal
+// compile step.
+func Prepare(sc Scorer, maxID int32) Scorer {
+	if ci, ok := sc.(*CompiledInt); ok && ci.n >= maxID {
+		return ci
+	}
+	return Compile(sc, maxID)
+}

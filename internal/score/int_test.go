@@ -1,0 +1,207 @@
+package score
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/symbol"
+)
+
+// randTable builds a random sparse table over region IDs 1..n. Integral
+// forces integer-valued scores.
+func randTable(r *rand.Rand, n int, pairs int, integral bool) *Table {
+	tb := NewTable()
+	for k := 0; k < pairs; k++ {
+		a := symbol.Symbol(1 + r.Intn(n))
+		b := symbol.Symbol(1 + r.Intn(n))
+		if r.Intn(2) == 0 {
+			b = b.Rev()
+		}
+		var v float64
+		if integral {
+			v = float64(1 + r.Intn(20))
+		} else {
+			v = r.Float64() * 20
+		}
+		tb.Set(a, b, v)
+	}
+	return tb
+}
+
+func symbolsUpTo(n int32) []symbol.Symbol {
+	var out []symbol.Symbol
+	for id := int32(1); id <= n; id++ {
+		out = append(out, symbol.Symbol(id), symbol.Symbol(id).Rev())
+	}
+	return out
+}
+
+// TestIntExactOnIntegralTable: integer-valued σ quantizes with unit 1,
+// losslessly.
+func TestIntExactOnIntegralTable(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	c := Compile(randTable(r, 12, 40, true), 12)
+	ci := c.Int()
+	if ci.Unit() != 1 {
+		t.Fatalf("unit = %v, want 1 for an integral table", ci.Unit())
+	}
+	if !ci.Exact() {
+		t.Fatalf("integral table must quantize exactly (cellErr bound %v)", ci.Bound(1))
+	}
+	for _, a := range symbolsUpTo(12) {
+		for _, b := range symbolsUpTo(12) {
+			if got, want := ci.Score(a, b), c.Score(a, b); got != want {
+				t.Fatalf("Score(%v,%v) = %v, want %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+// TestIntCellBound: every cell of a float-valued quantization is within the
+// recorded per-cell error, which itself is at most unit/2 (round to nearest).
+func TestIntCellBound(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		c := Compile(randTable(r, 10, 30, false), 10)
+		ci := c.Int()
+		if ci.Bound(1) > ci.Unit()/2+1e-12 {
+			t.Fatalf("cell error %v exceeds unit/2 = %v", ci.Bound(1), ci.Unit()/2)
+		}
+		for _, a := range symbolsUpTo(10) {
+			for _, b := range symbolsUpTo(10) {
+				d := math.Abs(ci.Score(a, b) - c.Score(a, b))
+				if d > ci.Bound(1)+1e-12 {
+					t.Fatalf("cell (%v,%v): |%v − %v| = %v > bound %v",
+						a, b, ci.Score(a, b), c.Score(a, b), d, ci.Bound(1))
+				}
+			}
+		}
+	}
+}
+
+// TestIntScorerLaws: the quantized matrix is itself a lawful scorer —
+// reversal symmetry and free pads survive quantization (symmetric cells hold
+// equal values, so they round identically).
+func TestIntScorerLaws(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	ci := Compile(randTable(r, 9, 35, false), 9).Int()
+	if a, b, ok := Verify(ci, symbolsUpTo(9)); !ok {
+		t.Fatalf("scorer laws violated at (%v, %v)", a, b)
+	}
+}
+
+// TestIntQuantizedUnit: a Quantized base scorer donates its declared unit,
+// and the truncated values quantize exactly.
+func TestIntQuantizedUnit(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	base := randTable(r, 8, 30, false)
+	q := Quantized{Base: base, Unit: 0.25}
+	ci := Compile(q, 8).Int()
+	if ci.Unit() != 0.25 {
+		t.Fatalf("unit = %v, want the Quantized unit 0.25", ci.Unit())
+	}
+	if !ci.Exact() {
+		t.Fatalf("quantized-scorer cells are unit multiples; Int must be exact (err %v)", ci.Bound(1))
+	}
+}
+
+// TestIntTransposed: the transpose swaps argument order, caches, and links
+// back.
+func TestIntTransposed(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	ci := Compile(randTable(r, 7, 25, false), 7).Int()
+	tr := ci.Transposed()
+	if tr.Transposed() != ci {
+		t.Fatal("double transpose must return the original matrix")
+	}
+	if ci.Transposed() != tr {
+		t.Fatal("Transposed must cache")
+	}
+	for _, a := range symbolsUpTo(7) {
+		for _, b := range symbolsUpTo(7) {
+			if tr.Score(a, b) != ci.Score(b, a) {
+				t.Fatalf("transpose(%v,%v): %v != %v", a, b, tr.Score(a, b), ci.Score(b, a))
+			}
+		}
+	}
+	if Transpose(ci) != tr {
+		t.Fatal("score.Transpose must return the quantized transpose")
+	}
+}
+
+// TestIntFits: headroom arithmetic.
+func TestIntFits(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	c := Compile(randTable(r, 6, 20, true), 6)
+	ci := c.Int() // maxAbs ≤ 20
+	if !ci.Fits(1 << 20) {
+		t.Fatal("small cells must fit very long words")
+	}
+	big := c.IntWithUnit(1e-9) // unit clamps so cells peak near 2^30
+	if big.maxAbs > int32(1)<<30 {
+		t.Fatalf("maxAbs %d escaped the int32 clamp", big.maxAbs)
+	}
+	if big.Fits(1000) {
+		t.Fatalf("maxAbs %d × 1001 must not fit int32", big.maxAbs)
+	}
+}
+
+// TestIntCached: Int is computed once and shared.
+func TestIntCached(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	c := Compile(randTable(r, 5, 15, true), 5)
+	if c.Int() != c.Int() {
+		t.Fatal("Int must cache")
+	}
+	if c.Int().Source() != c {
+		t.Fatal("Source must return the compiled float matrix")
+	}
+}
+
+// TestPrepare: dense matrices pass through, everything else compiles.
+func TestPrepare(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	tb := randTable(r, 6, 20, false)
+	c := Compile(tb, 6)
+	if Prepare(c, 6) != c {
+		t.Fatal("Prepare must pass a covering Compiled through")
+	}
+	ci := c.Int()
+	if Prepare(ci, 6) != ci {
+		t.Fatal("Prepare must pass a covering CompiledInt through")
+	}
+	if _, ok := Prepare(tb, 6).(*Compiled); !ok {
+		t.Fatal("Prepare must compile a raw table")
+	}
+	if _, ok := Prepare(ci, 99).(*Compiled); !ok {
+		t.Fatal("Prepare must recompile an undersized quantized matrix to a covering float matrix")
+	}
+}
+
+// TestIndexWordInto: append-into-dst reuses the backing array.
+func TestIndexWordInto(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	c := Compile(randTable(r, 6, 20, false), 6)
+	w := symbol.Word{1, 2, symbol.Symbol(3).Rev(), symbol.Pad}
+	want := c.IndexWord(w)
+	buf := make([]int32, 0, 16)
+	got := c.IndexWordInto(buf, w)
+	if len(got) != len(want) {
+		t.Fatalf("len %d != %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("index %d: %d != %d", i, got[i], want[i])
+		}
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("IndexWordInto must reuse dst's backing array")
+	}
+	gi := c.Int().IndexWordInto(buf, w)
+	for i := range gi {
+		if gi[i] != want[i] {
+			t.Fatalf("int index %d: %d != %d", i, gi[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package fragalign
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+// TestIntScoreExactOnIntegralSigma: the paper example's σ is integral, so
+// the int32-quantized mode is provably exact — every algorithm must return
+// the same score as float64 mode.
+func TestIntScoreExactOnIntegralSigma(t *testing.T) {
+	in := PaperExample()
+	for _, alg := range Algorithms() {
+		res, err := Solve(in, alg, WithFourApproxSeed(true))
+		if err != nil {
+			t.Fatalf("%s float: %v", alg, err)
+		}
+		resI, err := Solve(in, alg, WithFourApproxSeed(true), WithIntScore(true))
+		if err != nil {
+			t.Fatalf("%s int: %v", alg, err)
+		}
+		if resI.Score != res.Score {
+			t.Errorf("%s: int %v != float %v (integral σ must be exact)", alg, resI.Score, res.Score)
+		}
+	}
+}
+
+// TestIntScoreGenWorkloads: on float-valued generated σ the integer search
+// sees scores within the quantization bound; the solutions it finds are
+// re-scored under the exact σ, so results stay consistent (Solve validates
+// the conjecture) and land within a whisker of float mode.
+func TestIntScoreGenWorkloads(t *testing.T) {
+	for _, seed := range []int64{3, 7, 11} {
+		w := Generate(DefaultGenConfig(seed))
+		for _, alg := range []Algorithm{CSRImprove, FourApprox, GreedyPlacement, Matching2} {
+			res, err := Solve(w.Instance, alg, WithFourApproxSeed(true))
+			if err != nil {
+				t.Fatalf("seed %d %s float: %v", seed, alg, err)
+			}
+			resI, err := Solve(w.Instance, alg, WithFourApproxSeed(true), WithIntScore(true))
+			if err != nil {
+				t.Fatalf("seed %d %s int: %v", seed, alg, err)
+			}
+			if d := math.Abs(resI.Score - res.Score); d > 0.01*(1+res.Score) {
+				t.Errorf("seed %d %s: int %v strays %.3g from float %v", seed, alg, resI.Score, d, res.Score)
+			}
+		}
+	}
+}
+
+// TestIntScoreQuantizedScaling: the literal §4.1 scaling composed with
+// integer mode — the scaled scorer's values are unit multiples, so the
+// integer representation of the shadow search is exact.
+func TestIntScoreQuantizedScaling(t *testing.T) {
+	w := Generate(DefaultGenConfig(5))
+	res, err := Solve(w.Instance, CSRImprove, WithFourApproxSeed(true), WithQuantizedScaling(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resI, err := Solve(w.Instance, CSRImprove, WithFourApproxSeed(true),
+		WithQuantizedScaling(true), WithIntScore(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resI.Score != res.Score {
+		t.Errorf("quantized scaling: int %v != float %v (scaled σ is unit-quantized, must be exact)",
+			resI.Score, res.Score)
+	}
+}
+
+// TestSolveBatchIntMode: the batch pool's determinism guarantee holds in
+// integer mode too — any shard count, byte-identical to sequential
+// int-mode Solve — and the shared canonical σ compiles/quantizes once.
+func TestSolveBatchIntMode(t *testing.T) {
+	shared := NewCanonical(DefaultGenConfig(40))
+	ins := make([]*Instance, 6)
+	for i := range ins {
+		cfg := DefaultGenConfig(int64(40 + i))
+		cfg.Canonical = shared
+		ins[i] = Generate(cfg).Instance
+	}
+	want := make([]*Result, len(ins))
+	for i, in := range ins {
+		r, err := Solve(in, CSRImprove, WithFourApproxSeed(true), WithIntScore(true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = r
+	}
+	got, err := SolveBatch(context.Background(), ins, CSRImprove,
+		WithFourApproxSeed(true), WithIntScore(true), WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i].Score != want[i].Score || len(got[i].Solution.Matches) != len(want[i].Solution.Matches) {
+			t.Errorf("instance %d: batch (%v, %d matches) != sequential (%v, %d)",
+				i, got[i].Score, len(got[i].Solution.Matches), want[i].Score, len(want[i].Solution.Matches))
+		}
+	}
+}
+
+// TestCanonicalSharedSigma: instances generated against one Canonical carry
+// the same σ table pointer and alphabet, the precondition for the batch
+// pool's per-alphabet cache.
+func TestCanonicalSharedSigma(t *testing.T) {
+	shared := NewCanonical(DefaultGenConfig(50))
+	a := Generate(func() GenConfig { c := DefaultGenConfig(50); c.Canonical = shared; return c }())
+	b := Generate(func() GenConfig { c := DefaultGenConfig(51); c.Canonical = shared; return c }())
+	if a.Instance.Sigma != b.Instance.Sigma {
+		t.Fatal("canonical instances must share one σ table")
+	}
+	if a.Instance.Alpha != b.Instance.Alpha {
+		t.Fatal("canonical instances must share one alphabet")
+	}
+	if a.Instance.Name == b.Instance.Name {
+		t.Fatal("distinct seeds must generate distinct instances")
+	}
+	for _, w := range []*Workload{a, b} {
+		if _, err := Solve(w.Instance, FourApprox); err != nil {
+			t.Fatalf("canonical instance does not solve: %v", err)
+		}
+	}
+}

@@ -8,5 +8,7 @@ set -eu
 cd "$(dirname "$0")/.."
 go run ./cmd/csrbench -json -seed 1 -regions 60 -repeat 3 > BENCH_BASELINE.json
 go run ./cmd/csrbench -json -seed 1 -regions 60 -instances 8 -repeat 3 -algs csr-improve,four-approx >> BENCH_BASELINE.json
+go run ./cmd/csrbench -json -seed 1 -regions 60 -repeat 3 -int -algs csr-improve,four-approx >> BENCH_BASELINE.json
+go run ./cmd/csrbench -json -seed 1 -regions 60 -instances 8 -repeat 3 -int -algs csr-improve,four-approx >> BENCH_BASELINE.json
 echo "wrote BENCH_BASELINE.json:" >&2
 cat BENCH_BASELINE.json >&2
