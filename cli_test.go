@@ -8,6 +8,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"repro/internal/encoding"
 )
 
 // TestCLIRoundTrip exercises the command-line tools end to end: generate a
@@ -115,6 +117,51 @@ func TestCLIBatchPipeline(t *testing.T) {
 		}
 		if !strings.Contains(line, `"name":"w`) || !strings.Contains(line, `"score":`) {
 			t.Fatalf("line %d malformed: %s", i, line)
+		}
+	}
+}
+
+// TestCLIBatchUnordered exercises the completion-order streaming mode: the
+// output must contain one record per instance with the submission indices
+// forming a permutation, readable through encoding.ReadJSONLResults.
+func TestCLIBatchUnordered(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool not available")
+	}
+	dir := t.TempDir()
+	stream := filepath.Join(dir, "batch.jsonl")
+
+	genCmd := exec.Command("go", "run", "./cmd/csrgen",
+		"-seed", "11", "-regions", "30", "-count", "5", "-format", "jsonl", "-out", stream)
+	if out, err := genCmd.CombinedOutput(); err != nil {
+		t.Fatalf("csrgen: %v\n%s", err, out)
+	}
+
+	batchCmd := exec.Command("go", "run", "./cmd/csrbatch",
+		"-algo", "csr-improve", "-shards", "2", "-unordered", stream)
+	out, err := batchCmd.Output()
+	if err != nil {
+		t.Fatalf("csrbatch -unordered: %v", err)
+	}
+	seen := map[int]bool{}
+	if err := encoding.ReadJSONLResults(strings.NewReader(string(out)), func(r encoding.ResultRecord) error {
+		if r.Error != "" {
+			t.Fatalf("record %d failed: %s", r.Index, r.Error)
+		}
+		if seen[r.Index] {
+			t.Fatalf("duplicate index %d", r.Index)
+		}
+		seen[r.Index] = true
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if !seen[i] {
+			t.Fatalf("missing index %d in unordered output:\n%s", i, out)
 		}
 	}
 }

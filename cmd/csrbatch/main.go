@@ -1,24 +1,28 @@
 // Command csrbatch streams CSR instances through the sharded batch-solving
 // pool: JSONL instances in (stdin or a file), one JSON result record per
-// instance out, in input order, plus aggregate throughput stats on stderr.
+// instance out, plus aggregate throughput stats on stderr.
 //
 // Usage:
 //
 //	csrgen -count 64 -format jsonl | csrbatch -algo csr-improve -shards 8
 //	csrbatch -timeout 30s instances.jsonl > results.jsonl
+//	csrbatch -unordered instances.jsonl | consumer
 //
-// Results stream as instances finish, but always in submission order, so
-// output is byte-identical for any -shards value.
+// By default results stream as instances finish but always in submission
+// order, so output is byte-identical for any -shards value. With -unordered
+// they stream in completion order instead — each record still carries its
+// submission index — so downstream pipelines (encoding.ReadJSONLResults)
+// start consuming before the slowest instance finishes.
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sync"
 	"time"
 
 	fragalign "repro"
@@ -26,28 +30,17 @@ import (
 	"repro/internal/encoding"
 )
 
-// record is the per-instance output line.
-type record struct {
-	Index     int     `json:"index"`
-	Name      string  `json:"name,omitempty"`
-	Algorithm string  `json:"algorithm"`
-	Score     float64 `json:"score"`
-	Matches   int     `json:"matches,omitempty"`
-	Rounds    int     `json:"rounds,omitempty"`
-	WallMS    float64 `json:"wall_ms"`
-	Error     string  `json:"error,omitempty"`
-}
-
 func main() {
 	var (
-		algo    = flag.String("algo", "csr-improve", "algorithm for every instance")
-		shards  = flag.Int("shards", 0, "concurrent solvers (0 = GOMAXPROCS)")
-		queue   = flag.Int("queue", 0, "submission queue bound (0 = 2×shards)")
-		workers = flag.Int("workers", 1, "shared candidate-evaluation workers (>1 adds a shared eval pool)")
-		eps     = flag.Float64("eps", 0.05, "scaling slack for improvement algorithms")
-		seed4   = flag.Bool("seed4", true, "seed improvement with the 4-approximation")
-		timeout = flag.Duration("timeout", 0, "per-instance solve deadline (0 = none)")
-		intMode = flag.Bool("int", false, "solve with the int32-quantized score kernels (results re-scored under the exact σ)")
+		algo      = flag.String("algo", "csr-improve", "algorithm for every instance")
+		shards    = flag.Int("shards", 0, "concurrent solvers (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 0, "submission queue bound (0 = 2×shards)")
+		workers   = flag.Int("workers", 1, "shared candidate-evaluation workers (>1 adds a shared eval pool)")
+		eps       = flag.Float64("eps", 0.05, "scaling slack for improvement algorithms")
+		seed4     = flag.Bool("seed4", true, "seed improvement with the 4-approximation")
+		timeout   = flag.Duration("timeout", 0, "per-instance solve deadline (0 = none)")
+		intMode   = flag.Bool("int", false, "solve with the int32-quantized score kernels (results re-scored under the exact σ)")
+		unordered = flag.Bool("unordered", false, "emit results in completion order instead of submission order")
 	)
 	flag.Parse()
 
@@ -78,10 +71,13 @@ func main() {
 	defer pool.Close()
 
 	// The reader goroutine parses and submits (blocking on the bounded
-	// queue for backpressure); the main goroutine drains tickets in
-	// submission order so the output stream is deterministic.
+	// queue for backpressure); the result records are emitted either in
+	// submission order (the main goroutine drains tickets sequentially) or,
+	// with -unordered, in completion order (a goroutine per ticket resolves
+	// into a shared channel).
 	type pending struct {
 		ticket *fragalign.BatchTicket
+		index  int
 		name   string
 		err    error // submission-time failure (deadline hit while queued)
 	}
@@ -89,51 +85,87 @@ func main() {
 	var readErr error
 	go func() {
 		defer close(tickets)
+		index := 0
 		readErr = encoding.ReadJSONL(src, func(in *core.Instance) error {
 			t, err := pool.Submit(context.Background(), in)
 			if errors.Is(err, context.DeadlineExceeded) {
 				// The per-instance deadline expired while waiting for queue
 				// space: record the failure, keep the stream going.
-				tickets <- pending{name: in.Name, err: err}
+				tickets <- pending{index: index, name: in.Name, err: err}
+				index++
 				return nil
 			}
 			if err != nil {
 				return err
 			}
-			tickets <- pending{ticket: t, name: in.Name}
+			tickets <- pending{ticket: t, index: index, name: in.Name}
+			index++
 			return nil
 		})
 	}()
 
-	enc := json.NewEncoder(os.Stdout)
-	start := time.Now()
-	var solved, failed int
-	var solveTotal time.Duration
-	index := 0
-	for p := range tickets {
-		rec := record{Index: index, Name: p.name, Algorithm: *algo}
-		index++
+	resolve := func(p pending) encoding.ResultRecord {
+		rec := encoding.ResultRecord{Index: p.index, Name: p.name, Algorithm: *algo}
 		var res *fragalign.Result
 		err := p.err
 		if err == nil {
 			res, err = p.ticket.Wait()
 		}
 		if err != nil {
-			failed++
 			rec.Error = err.Error()
+			return rec
+		}
+		rec.Score = res.Score
+		rec.WallMS = float64(res.Wall.Microseconds()) / 1000
+		if res.Solution != nil {
+			rec.Matches = len(res.Solution.Matches)
+		}
+		if res.Stats != nil {
+			rec.Rounds = res.Stats.Rounds
+		}
+		return rec
+	}
+
+	// records carries resolved results to the single writer below. In
+	// ordered mode it is fed sequentially; in unordered mode a bounded set
+	// of resolver goroutines sends on completion — bounded so a consumer
+	// slower than the solvers still exerts backpressure through Submit
+	// instead of accumulating a goroutine per solved-but-unwritten result.
+	records := make(chan encoding.ResultRecord, pool.Shards()*2)
+	go func() {
+		defer close(records)
+		if !*unordered {
+			for p := range tickets {
+				records <- resolve(p)
+			}
+			return
+		}
+		sem := make(chan struct{}, pool.Shards()*2)
+		var wg sync.WaitGroup
+		for p := range tickets {
+			p := p
+			sem <- struct{}{}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				records <- resolve(p)
+				<-sem
+			}()
+		}
+		wg.Wait()
+	}()
+
+	start := time.Now()
+	var solved, failed int
+	var wallTotal time.Duration
+	for rec := range records {
+		if rec.Error != "" {
+			failed++
 		} else {
 			solved++
-			solveTotal += res.Wall
-			rec.Score = res.Score
-			rec.WallMS = float64(res.Wall.Microseconds()) / 1000
-			if res.Solution != nil {
-				rec.Matches = len(res.Solution.Matches)
-			}
-			if res.Stats != nil {
-				rec.Rounds = res.Stats.Rounds
-			}
+			wallTotal += time.Duration(rec.WallMS * float64(time.Millisecond))
 		}
-		if err := enc.Encode(rec); err != nil {
+		if err := encoding.WriteJSONLResult(os.Stdout, &rec); err != nil {
 			fmt.Fprintln(os.Stderr, "csrbatch:", err)
 			os.Exit(1)
 		}
@@ -151,7 +183,7 @@ func main() {
 	}
 	mean := time.Duration(0)
 	if solved > 0 {
-		mean = solveTotal / time.Duration(solved)
+		mean = wallTotal / time.Duration(solved)
 	}
 	fmt.Fprintf(os.Stderr,
 		"csrbatch: %d instances (%d failed) in %v over %d shards — %.1f inst/s, mean solve %v\n",

@@ -5,6 +5,7 @@
 //
 //	csrbench [-seed 1] [-only E2,E7]
 //	csrbench -json [-seed 1] [-regions 60] [-instances 8] [-repeat 3] [-algs csr-improve,four-approx]
+//	csrbench -json -full-enum -algs csr-improve   # incremental-enumeration ablation row
 //
 // With -json it instead solves synthetic workloads with every selected
 // algorithm and emits machine-readable records — per-algorithm wall time,
@@ -30,10 +31,12 @@ import (
 	"repro/internal/experiments"
 )
 
-// algResult is one machine-readable benchmark record. Mode distinguishes the
-// scoring path ("int32" for quantized integer kernels; empty means the exact
-// float64 path), and benchdiff matches records on (algorithm, mode, …) so
-// both paths are gated independently.
+// algResult is one machine-readable benchmark record. Mode distinguishes
+// the solver path — "int32" for the quantized integer kernels, "full-enum"
+// for from-scratch candidate enumeration (the incremental-enumeration
+// ablation), "int32+full-enum" for both, empty for the default exact
+// float64 path — and benchdiff matches records on (algorithm, mode, …) so
+// every path is gated independently.
 type algResult struct {
 	Algorithm string  `json:"algorithm"`
 	Mode      string  `json:"mode,omitempty"`
@@ -48,7 +51,11 @@ type algResult struct {
 	Rounds    int     `json:"rounds,omitempty"`
 	Evaluated int     `json:"evaluated,omitempty"`
 	Accepted  int     `json:"accepted,omitempty"`
-	Error     string  `json:"error,omitempty"`
+	// EnumRefreshed / EnumReused aggregate the enumeration subsystem's
+	// piece-cache traffic over the batch (improve.Stats).
+	EnumRefreshed int    `json:"enum_refreshed,omitempty"`
+	EnumReused    int    `json:"enum_reused,omitempty"`
+	Error         string `json:"error,omitempty"`
 }
 
 func main() {
@@ -62,11 +69,12 @@ func main() {
 		shards    = flag.Int("shards", 0, "batch-pool shards for -json (0 = GOMAXPROCS)")
 		algsFlag  = flag.String("algs", "", "comma-separated algorithms for -json (default all but exact)")
 		intMode   = flag.Bool("int", false, "solve with the int32-quantized score kernels (records carry mode=int32)")
+		fullEnum  = flag.Bool("full-enum", false, "disable incremental candidate enumeration — the ablation trajectory row (records carry mode=full-enum)")
 		sharedAl  = flag.Bool("shared-alphabet", false, "generate all -json instances over one canonical alphabet/σ table (exercises the batch pool's per-alphabet cache)")
 	)
 	flag.Parse()
 	if *asJSON {
-		if err := runJSON(*seed, *regions, *instances, *repeat, *shards, *algsFlag, *intMode, *sharedAl); err != nil {
+		if err := runJSON(*seed, *regions, *instances, *repeat, *shards, *algsFlag, *intMode, *fullEnum, *sharedAl); err != nil {
 			fmt.Fprintln(os.Stderr, "csrbench:", err)
 			os.Exit(1)
 		}
@@ -86,7 +94,7 @@ func main() {
 	}
 }
 
-func runJSON(seed int64, regions, instances, repeat, shards int, algsFlag string, intMode, sharedAl bool) error {
+func runJSON(seed int64, regions, instances, repeat, shards int, algsFlag string, intMode, fullEnum, sharedAl bool) error {
 	if instances < 1 {
 		instances = 1
 	}
@@ -123,10 +131,14 @@ func runJSON(seed int64, regions, instances, repeat, shards int, algsFlag string
 		}
 	}
 
-	mode := ""
+	var modes []string
 	if intMode {
-		mode = "int32"
+		modes = append(modes, "int32")
 	}
+	if fullEnum {
+		modes = append(modes, "full-enum")
+	}
+	mode := strings.Join(modes, "+")
 	enc := json.NewEncoder(os.Stdout)
 	for _, alg := range algs {
 		rec := algResult{Algorithm: string(alg), Mode: mode, Seed: seed, Regions: regions, Instances: instances}
@@ -139,7 +151,8 @@ func runJSON(seed int64, regions, instances, repeat, shards int, algsFlag string
 			start := time.Now()
 			results, err := fragalign.SolveBatch(context.Background(), ins, alg,
 				fragalign.WithEps(0.05), fragalign.WithFourApproxSeed(true),
-				fragalign.WithShards(shards), fragalign.WithIntScore(intMode))
+				fragalign.WithShards(shards), fragalign.WithIntScore(intMode),
+				fragalign.WithIncrementalEnum(!fullEnum))
 			wallMS := float64(time.Since(start).Microseconds()) / 1000
 			runtime.ReadMemStats(&m1)
 			if err != nil {
@@ -168,6 +181,8 @@ func runJSON(seed int64, regions, instances, repeat, shards int, algsFlag string
 					rec.Rounds += res.Stats.Rounds
 					rec.Evaluated += res.Stats.Evaluated
 					rec.Accepted += res.Stats.Accepted
+					rec.EnumRefreshed += res.Stats.EnumRefreshed
+					rec.EnumReused += res.Stats.EnumReused
 				}
 			}
 		}

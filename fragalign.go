@@ -231,6 +231,7 @@ type solveCfg struct {
 	check    bool
 	quantize bool
 	intScore bool
+	fullEnum bool
 	// Batch-only knobs (see solvebatch.go).
 	shards  int
 	queue   int
@@ -271,6 +272,18 @@ func WithQuantizedScaling(on bool) Option { return func(c *solveCfg) { c.quantiz
 // score.CompiledInt error bound (zero for integral σ). Off by default:
 // results are then bit-identical to float64 mode.
 func WithIntScore(on bool) Option { return func(c *solveCfg) { c.intScore = on } }
+
+// WithIncrementalEnum toggles the improvement driver's incremental
+// candidate-enumeration subsystem (on by default): candidate windows are
+// cached per fragment under the driver's version counters and only the
+// windows that read a fragment touched by the last accepted attempt are
+// re-enumerated each round — the candidate list, the accepted-attempt
+// sequence, and the final solution are bit-identical either way (the A/B
+// oracle is enforced by the improve test suite). Pass false to re-enumerate
+// from scratch every round, for A/B benchmarking (csrbench -full-enum).
+// ImproveStats.EnumRefreshed / EnumReused report the subsystem's cache
+// traffic.
+func WithIncrementalEnum(on bool) Option { return func(c *solveCfg) { c.fullEnum = !on } }
 
 // WithShards sets the number of concurrent per-instance solvers a batch
 // pool runs (default GOMAXPROCS). Batch APIs only; Solve ignores it.
@@ -323,8 +336,10 @@ func Solve(in *Instance, alg Algorithm, opts ...Option) (*Result, error) {
 }
 
 // solveInstance is the shared solver core behind Solve and the batch APIs:
-// ctx cancels improvement runs between rounds, and eval (when non-nil) is a
-// batch-owned candidate-evaluation pool shared across concurrent solves.
+// ctx cancels improvement runs sub-round (between candidate simulations,
+// between enumeration shards, and inside TPA batches), and eval (when
+// non-nil) is a batch-owned evaluation pool shared across concurrent solves
+// for both simulation and enumeration jobs.
 func solveInstance(ctx context.Context, in *Instance, alg Algorithm, cfg solveCfg, eval *improve.EvalPool) (*Result, error) {
 	res := &Result{Algorithm: alg}
 	start := time.Now()
@@ -388,6 +403,7 @@ func solveInstance(ctx context.Context, in *Instance, alg Algorithm, cfg solveCf
 			Workers:            cfg.workers,
 			Quantize:           cfg.quantize,
 			IntScore:           cfg.intScore,
+			FullEnum:           cfg.fullEnum,
 			CheckInvariants:    cfg.check,
 			Ctx:                ctx,
 			Eval:               eval,

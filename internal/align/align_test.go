@@ -65,6 +65,58 @@ func TestScoreMatchesBruteForce(t *testing.T) {
 	}
 }
 
+// TestScoreSkipSweepMatchesDense pins the float64 skip-propagation sweep
+// (the sparse positive-column fast path of scoreCompiled, ported from the
+// int32 kernel) against the plain dense loop and the interface path: the
+// skipped writes must be no-ops, bit for bit, across densities — including
+// all-negative rows (no adds at all), near-empty tables, and dense ones.
+func TestScoreSkipSweepMatchesDense(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	s := NewScratch()
+	defer s.Release()
+	for trial := 0; trial < 200; trial++ {
+		alpha := 3 + r.Intn(6)
+		density := []float64{0, 0.02, 0.1, 0.5, 0.9}[trial%5]
+		tb := randTable(r, alpha, density)
+		// Sprinkle negative entries: they must behave exactly like absent
+		// ones in the sparse sweep (only positive columns carry adds).
+		for i := 1; i <= alpha; i++ {
+			if r.Intn(3) == 0 {
+				tb.Set(symbol.Symbol(i), symbol.Symbol(r.Intn(alpha)+1), -float64(1+r.Intn(5)))
+			}
+		}
+		// Long words so len(a)*len(b) clears the small-path threshold and
+		// the skip sweep actually runs.
+		a := randOrientedWord(r, 20+r.Intn(40), alpha)
+		b := randOrientedWord(r, 20+r.Intn(40), alpha)
+		c := score.Compile(tb, int32(alpha))
+		got := s.scoreCompiled(a, b, c)
+		if want := s.scoreCompiledSmall(a, b, c); got != want {
+			t.Fatalf("trial %d: skip sweep %v != dense loop %v", trial, got, want)
+		}
+		// The interface path is the independent reference implementation.
+		n := len(b)
+		prev := make([]float64, n+1)
+		cur := make([]float64, n+1)
+		for i := 1; i <= len(a); i++ {
+			for j := 1; j <= n; j++ {
+				best := prev[j-1] + tb.Score(a[i-1], b[j-1])
+				if prev[j] > best {
+					best = prev[j]
+				}
+				if cur[j-1] > best {
+					best = cur[j-1]
+				}
+				cur[j] = best
+			}
+			prev, cur = cur, prev
+		}
+		if got != prev[n] {
+			t.Fatalf("trial %d: skip sweep %v != reference %v", trial, got, prev[n])
+		}
+	}
+}
+
 func TestScoreEmpty(t *testing.T) {
 	tb := score.NewTable()
 	if Score(nil, symbol.Word{1}, tb) != 0 || Score(symbol.Word{1}, nil, tb) != 0 {

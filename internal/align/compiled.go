@@ -89,10 +89,18 @@ func (s *Scratch) sparseRowsF(a symbol.Word, c *score.Compiled) {
 	}
 }
 
-// scoreCompiled is Score on the dense fast path. It rolls a single DP array,
-// carries the diagonal and the running row max in registers, and touches σ
-// only at the precomputed positive columns of each row. Words too small to
-// amortize the O(alphabet) sparse-row table take a plain dense loop instead.
+// scoreCompiled is Score on the dense fast path, using the same
+// skip-propagation sweep as the int32 kernel (scoreInt): DP rows are
+// monotone nondecreasing, so a cell with no positive σ reduces to
+// max(up, left-max) — which leaves the rolled row unchanged once the
+// running maximum has been absorbed. The loop therefore touches only the
+// positive columns of each row plus the cells a diagonal add is still
+// rippling through, skipping untouched spans outright (rows whose symbol
+// scores positively against nothing in b are skipped whole). The skipped
+// writes are provably no-ops and the per-cell arithmetic is unchanged (one
+// add, then maxima), so the result is bit-identical to the full sweep.
+// Words too small to amortize the O(alphabet) sparse-row table take a plain
+// dense loop instead.
 func (s *Scratch) scoreCompiled(a, b symbol.Word, c *score.Compiled) float64 {
 	n := len(b)
 	if len(a)*n < 8*int(c.MaxID())+4 {
@@ -104,23 +112,47 @@ func (s *Scratch) scoreCompiled(a, b symbol.Word, c *score.Compiled) float64 {
 	for i := 1; i <= len(a); i++ {
 		span := s.spans[s.rowOf[c.Index(a[i-1])]-1]
 		pos, val := s.pos[span[0]:span[1]], s.valF[span[0]:span[1]]
-		k := 0
-		diag, best := 0.0, 0.0
-		for j := 1; j <= n; j++ {
-			up := arr[j]
-			v := up
-			if k < len(pos) && int(pos[k]) == j-1 {
-				if d := diag + val[k]; d > v {
-					v = d
+		if len(pos) == 0 {
+			continue // no adds: the whole row is a no-op
+		}
+		// j is the next column to finalize, best the new value at j-1, and
+		// oldPrev the previous row's value at j-1 (the diagonal input).
+		j := 1
+		best, oldPrev := 0.0, 0.0
+		for k := 0; k < len(pos); k++ {
+			pj := int(pos[k]) + 1
+			// Ripple best through the add-free span [j, pj): once it is
+			// absorbed (best ≤ old cell), the rest of the span is unchanged
+			// and can be skipped — the old values are exactly the new ones.
+			for j < pj {
+				old := arr[j]
+				if best <= old {
+					j = pj
+					best = arr[pj-1]
+					oldPrev = best
+					break
 				}
-				k++
+				arr[j] = best
+				oldPrev = old
+				j++
+			}
+			up := arr[pj]
+			v := oldPrev + val[k]
+			if up > v {
+				v = up
 			}
 			if best > v {
 				v = best
 			}
-			arr[j] = v
+			arr[pj] = v
 			best = v
-			diag = up
+			oldPrev = up
+			j = pj + 1
+		}
+		// Tail: ripple the last add until absorbed.
+		for j <= n && best > arr[j] {
+			arr[j] = best
+			j++
 		}
 	}
 	return arr[n]

@@ -9,21 +9,29 @@
 //     instances from a bounded queue. Parallelism comes from solving
 //     distinct instances on distinct shards, so individual solves default
 //     to single-threaded evaluation.
-//   - One improve.EvalPool (optional): candidate-simulation workers shared
-//     by every in-flight improvement solve, instead of goroutines spawned
-//     per instance.
+//   - One improve.EvalPool (optional): workers shared by every in-flight
+//     improvement solve for both of the driver's shardable job kinds —
+//     candidate gain simulations and enumeration piece refreshes
+//     (internal/improve/enum) — instead of goroutines spawned per
+//     instance. Because completion is tracked per submission batch, the
+//     enumeration shards of one solve overlap with the simulations of
+//     another on the same workers.
 //   - A per-alphabet cache of compiled σ matrices keyed by scorer
 //     identity: thousands of instances sharing one score table compile σ
 //     into the dense matrix once, and the lazily cached transpose
-//     (score.Compiled.Transposed) is likewise shared.
+//     (score.Compiled.Transposed) is likewise shared. The JSONL reader
+//     (encoding.ReadJSONL) content-deduplicates σ tables, so streamed
+//     pipelines hit this cache across process boundaries too.
 //
 // Submission is bounded and cancelable: Submit blocks while the queue is
 // full (respecting the submission context) and each instance carries its
-// own context, checked before the solve starts and between improvement
-// rounds. Results are delivered through Tickets in submission order, so
-// output ordering — and, because each solve is deterministic in isolation,
-// every per-instance result — is byte-identical regardless of the shard
-// count or scheduling (see TestShardCountInvariance).
+// own context, checked before the solve starts and — sub-round — between
+// candidate simulations, between enumeration shards, and inside TPA
+// batches, so a per-instance deadline interrupts even a single long
+// improvement round. Results are delivered through Tickets in submission
+// order, so output ordering — and, because each solve is deterministic in
+// isolation, every per-instance result — is byte-identical regardless of
+// the shard count or scheduling (see TestShardCountInvariance).
 //
 // The public surface is fragalign.SolveBatch / fragalign.NewBatchPool and
 // the csrbatch command; this package carries the machinery.

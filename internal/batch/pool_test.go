@@ -213,6 +213,65 @@ func TestPerInstanceContext(t *testing.T) {
 	}
 }
 
+// TestPerInstanceDeadlineSubRound pins the fine-grained cancellation path:
+// a deadline that fires mid-solve on a large instance must surface as that
+// instance's error well before the solve would have finished, while other
+// instances sharing the pool (and its eval workers) complete normally with
+// results identical to an undisturbed pool.
+func TestPerInstanceDeadlineSubRound(t *testing.T) {
+	big := testInstances(t, 1, 90)[0]
+	small := testInstances(t, 3, 30)
+	run := func(cancelBig bool) ([]any, []error) {
+		p := New(Options{Shards: 2, EvalWorkers: 2, Solve: improveSolver})
+		defer p.Close()
+		ctx := context.Background()
+		bigCtx := ctx
+		var cancel context.CancelFunc
+		if cancelBig {
+			bigCtx, cancel = context.WithTimeout(ctx, 5*time.Millisecond)
+			defer cancel()
+		}
+		var tickets []*Ticket
+		tb, err := p.Submit(bigCtx, big)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets = append(tickets, tb)
+		for _, in := range small {
+			tk, err := p.Submit(ctx, in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tickets = append(tickets, tk)
+		}
+		results := make([]any, len(tickets))
+		errs := make([]error, len(tickets))
+		for i, tk := range tickets {
+			results[i], errs[i] = tk.Wait()
+		}
+		return results, errs
+	}
+	ref, refErrs := run(false)
+	got, errs := run(true)
+	for i, err := range refErrs {
+		if err != nil {
+			t.Fatalf("reference instance %d: %v", i, err)
+		}
+	}
+	if !errors.Is(errs[0], context.DeadlineExceeded) {
+		t.Fatalf("big instance error = %v, want deadline exceeded", errs[0])
+	}
+	for i := 1; i < len(got); i++ {
+		if errs[i] != nil {
+			t.Fatalf("small instance %d failed alongside the cancellation: %v", i, errs[i])
+		}
+		if got[i] != ref[i] {
+			t.Fatalf("small instance %d diverged after a concurrent cancellation:\n%v\nwant\n%v",
+				i, got[i], ref[i])
+		}
+	}
+}
+
 func TestBoundedQueueRespectsContext(t *testing.T) {
 	ins := testInstances(t, 3, 20)
 	release := make(chan struct{})

@@ -207,7 +207,38 @@ func WriteJSONLine(w io.Writer, in *core.Instance) error {
 // ReadJSONL parses a stream of newline-delimited JSON instances, invoking
 // fn for each in stream order. Blank lines and '#' comment lines are
 // skipped; fn returning an error stops the scan and returns that error.
+//
+// Score tables are content-deduplicated across the stream: instances whose
+// score entries are identical share one alphabet and one *score.Table, so a
+// `csrgen -shared-alphabet | csrbatch` pipeline presents the same scorer
+// identity for every instance and the batch pool's per-alphabet cache
+// (internal/batch) compiles — and int-quantizes — the σ matrix exactly once
+// across process boundaries, just as in-process gen.Canonical workloads do.
+// The shared alphabet is grown only by the reader goroutine (novel
+// fragment-only region names); solvers never touch Instance.Alpha, so
+// previously delivered instances are unaffected.
 func ReadJSONL(r io.Reader, fn func(*core.Instance) error) error {
+	var dedup sigDedup
+	return scanLines(r, "jsonl", func(line string) error {
+		var j jsonInstance
+		if err := json.Unmarshal([]byte(line), &j); err != nil {
+			return err
+		}
+		in, err := dedup.instance(&j)
+		if err != nil {
+			return err
+		}
+		if err := fn(in); err != nil {
+			return lineStop{err}
+		}
+		return nil
+	})
+}
+
+// scanLines drives the shared JSONL scanning loop: large line buffers,
+// blank/'#' skipping, and positioned error wrapping. perLine errors other
+// than the caller's own (wrapped in lineStop) gain the stream position.
+func scanLines(r io.Reader, what string, perLine func(line string) error) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 64<<20)
 	lineNo := 0
@@ -217,15 +248,175 @@ func ReadJSONL(r io.Reader, fn func(*core.Instance) error) error {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		in, err := UnmarshalJSON([]byte(line))
-		if err != nil {
-			return fmt.Errorf("encoding: jsonl line %d: %w", lineNo, err)
-		}
-		if err := fn(in); err != nil {
-			return err
+		if err := perLine(line); err != nil {
+			if ls, ok := err.(lineStop); ok {
+				return ls.err
+			}
+			return fmt.Errorf("encoding: %s line %d: %w", what, lineNo, err)
 		}
 	}
 	return sc.Err()
+}
+
+// lineStop marks an error that came from the caller's per-record callback,
+// which must propagate verbatim rather than gain a line position.
+type lineStop struct{ err error }
+
+func (l lineStop) Error() string { return l.err.Error() }
+
+// sigDedup shares one alphabet + σ table across all stream instances with
+// identical score semantics. Keys are the resolved (last entry wins, as in
+// score.Table.Set) canonical score triples; fragment words are parsed
+// against the shared alphabet, interning any region names the σ table does
+// not mention. The cache is bounded: workloads that benefit share a handful
+// of tables, so past maxSigmas new σ content is parsed per line, uncached.
+type sigDedup struct {
+	m map[string]*sharedSigma
+}
+
+// maxSigmas bounds the retained tables (and their key strings) so a
+// heterogeneous million-line stream cannot grow reader memory linearly.
+const maxSigmas = 128
+
+type sharedSigma struct {
+	al *symbol.Alphabet
+	tb *score.Table
+}
+
+// resolveScores canonicalizes the wire entries into the semantic σ content:
+// duplicate (A, B) pairs collapse to the last value in wire order — exactly
+// what applying them to a score.Table yields — then sort by (A, B). The
+// result is both the cache key material and the table-build order.
+func resolveScores(scores []jsonScore) []jsonScore {
+	resolved := make([]jsonScore, 0, len(scores))
+	last := make(map[[2]string]int, len(scores))
+	for _, s := range scores {
+		if i, ok := last[[2]string{s.A, s.B}]; ok {
+			resolved[i].Value = s.Value
+			continue
+		}
+		last[[2]string{s.A, s.B}] = len(resolved)
+		resolved = append(resolved, s)
+	}
+	sort.Slice(resolved, func(a, b int) bool {
+		if resolved[a].A != resolved[b].A {
+			return resolved[a].A < resolved[b].A
+		}
+		return resolved[a].B < resolved[b].B
+	})
+	return resolved
+}
+
+// instance builds a core.Instance from the wire form, reusing a previously
+// built alphabet/table when the score semantics match.
+func (d *sigDedup) instance(j *jsonInstance) (*core.Instance, error) {
+	if d.m == nil {
+		d.m = make(map[string]*sharedSigma)
+	}
+	resolved := resolveScores(j.Scores)
+	triples := make([]string, len(resolved))
+	for i, s := range resolved {
+		triples[i] = s.A + "\x00" + s.B + "\x00" + strconv.FormatFloat(s.Value, 'g', -1, 64)
+	}
+	k := strings.Join(triples, "\x01")
+	sh, ok := d.m[k]
+	if !ok {
+		// First sight of this σ content: intern the score names first, in
+		// canonical (resolved, sorted) order, so every later instance of
+		// the key resolves them to the same symbol IDs regardless of its
+		// own fragment content.
+		sh = &sharedSigma{al: symbol.NewAlphabet(), tb: score.NewTable()}
+		for _, js := range resolved {
+			a, err := sh.al.ParseSymbol(js.A)
+			if err != nil {
+				return nil, err
+			}
+			b, err := sh.al.ParseSymbol(js.B)
+			if err != nil {
+				return nil, err
+			}
+			sh.tb.Set(a, b, js.Value)
+		}
+		if len(d.m) < maxSigmas {
+			d.m[k] = sh
+		}
+	}
+	in := &core.Instance{Name: j.Name, Alpha: sh.al, Sigma: sh.tb}
+	parse := func(jf jsonFrag) (core.Fragment, error) {
+		w := make(symbol.Word, 0, len(jf.Regions))
+		for _, tok := range jf.Regions {
+			s, err := sh.al.ParseSymbol(tok)
+			if err != nil {
+				return core.Fragment{}, err
+			}
+			w = append(w, s)
+		}
+		return core.Fragment{Name: jf.Name, Regions: w}, nil
+	}
+	for _, jf := range j.H {
+		f, err := parse(jf)
+		if err != nil {
+			return nil, err
+		}
+		in.H = append(in.H, f)
+	}
+	for _, jf := range j.M {
+		f, err := parse(jf)
+		if err != nil {
+			return nil, err
+		}
+		in.M = append(in.M, f)
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// ResultRecord is the per-instance JSONL result line emitted by csrbatch
+// and consumed by downstream pipelines via ReadJSONLResults. Index is the
+// submission sequence number — in `-unordered` streams it is the only link
+// back to the input order.
+type ResultRecord struct {
+	Index     int     `json:"index"`
+	Name      string  `json:"name,omitempty"`
+	Algorithm string  `json:"algorithm"`
+	Score     float64 `json:"score"`
+	Matches   int     `json:"matches,omitempty"`
+	Rounds    int     `json:"rounds,omitempty"`
+	WallMS    float64 `json:"wall_ms"`
+	Error     string  `json:"error,omitempty"`
+}
+
+// WriteJSONLResult appends one result record to w as a compact JSON line.
+func WriteJSONLResult(w io.Writer, rec *ResultRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// ReadJSONLResults parses a stream of csrbatch result lines, invoking fn
+// for each record in stream order (which is completion order for
+// `csrbatch -unordered` output — callers needing input order can collect by
+// Index). Blank lines and '#' comments are skipped; fn returning an error
+// stops the scan and returns that error. This is the reader half of the
+// streamed result sink: a downstream pipeline can start consuming solved
+// instances before the slowest instance of the batch finishes.
+func ReadJSONLResults(r io.Reader, fn func(ResultRecord) error) error {
+	return scanLines(r, "results", func(line string) error {
+		var rec ResultRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			return err
+		}
+		if err := fn(rec); err != nil {
+			return lineStop{err}
+		}
+		return nil
+	})
 }
 
 // UnmarshalJSON parses the JSON wire form.

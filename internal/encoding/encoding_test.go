@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exact"
 	"repro/internal/gen"
+	"repro/internal/onecsr"
 	"repro/internal/score"
 )
 
@@ -194,6 +195,134 @@ func TestJSONLRoundTrip(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestReadJSONLSigmaDedup pins the content-dedup of σ tables: instances
+// generated over one canonical alphabet must come back from the JSONL
+// stream sharing a single *score.Table (the batch pool's per-alphabet cache
+// keys on scorer identity), while a different σ must not be shared — and
+// dedup must not change any solve result.
+func TestReadJSONLSigmaDedup(t *testing.T) {
+	cfg := gen.DefaultConfig(7)
+	shared := gen.NewCanonical(cfg)
+	var buf bytes.Buffer
+	for i := int64(0); i < 3; i++ {
+		c := gen.DefaultConfig(7 + i)
+		c.Canonical = shared
+		if err := WriteJSONLine(&buf, gen.Generate(c).Instance); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A fourth instance over its own alphabet/σ.
+	if err := WriteJSONLine(&buf, gen.Generate(gen.DefaultConfig(99)).Instance); err != nil {
+		t.Fatal(err)
+	}
+	stream := buf.String()
+
+	var got []*core.Instance
+	if err := ReadJSONL(strings.NewReader(stream), func(in *core.Instance) error {
+		got = append(got, in)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("read %d instances, want 4", len(got))
+	}
+	if got[0].Sigma != got[1].Sigma || got[1].Sigma != got[2].Sigma {
+		t.Fatal("canonical-alphabet instances do not share one σ table")
+	}
+	if got[0].Alpha != got[1].Alpha {
+		t.Fatal("canonical-alphabet instances do not share one alphabet")
+	}
+	if got[3].Sigma == got[0].Sigma {
+		t.Fatal("distinct σ content wrongly shared")
+	}
+	// Dedup must be semantically invisible: every instance solves to the
+	// same optimum as its solo-parsed (UnmarshalJSON) form.
+	solo := 0
+	if err := ReadJSONL(strings.NewReader(stream), func(*core.Instance) error { solo++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range strings.SplitAfter(strings.TrimSpace(stream), "\n") {
+		ref, err := UnmarshalJSON([]byte(strings.TrimSpace(line)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := onecsr.FourApprox(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := onecsr.FourApprox(got[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Score() != b.Score() {
+			t.Fatalf("instance %d: dedup changed the solution: %v vs %v", i, b.Score(), a.Score())
+		}
+	}
+}
+
+// TestReadJSONLDuplicateScoreSemantics pins dedup against external
+// producers that repeat an (A, B) pair: the applied σ must match
+// UnmarshalJSON (last entry wins), and two lines whose duplicates resolve
+// to different values must not be conflated under one table.
+func TestReadJSONLDuplicateScoreSemantics(t *testing.T) {
+	lineWins1 := `{"h":[{"name":"h","regions":["a"]}],"m":[{"name":"m","regions":["b"]}],"scores":[{"a":"a","b":"b","v":2},{"a":"a","b":"b","v":1}]}`
+	lineWins2 := `{"h":[{"name":"h","regions":["a"]}],"m":[{"name":"m","regions":["b"]}],"scores":[{"a":"a","b":"b","v":1},{"a":"a","b":"b","v":2}]}`
+	stream := lineWins1 + "\n" + lineWins2 + "\n"
+	var got []*core.Instance
+	if err := ReadJSONL(strings.NewReader(stream), func(in *core.Instance) error {
+		got = append(got, in)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Sigma == got[1].Sigma {
+		t.Fatal("instances with different resolved σ share one table")
+	}
+	for i, line := range []string{lineWins1, lineWins2} {
+		ref, err := UnmarshalJSON([]byte(line))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ref.Sigma.Score(ref.H[0].Regions[0], ref.M[0].Regions[0])
+		if v := got[i].Sigma.Score(got[i].H[0].Regions[0], got[i].M[0].Regions[0]); v != want {
+			t.Fatalf("line %d: σ(a,b) = %v through ReadJSONL, %v through UnmarshalJSON", i, v, want)
+		}
+	}
+}
+
+// TestResultRecordsRoundTrip streams result records through
+// WriteJSONLResult / ReadJSONLResults.
+func TestResultRecordsRoundTrip(t *testing.T) {
+	in := []ResultRecord{
+		{Index: 2, Name: "w2", Algorithm: "csr-improve", Score: 12.5, Matches: 3, Rounds: 2, WallMS: 1.25},
+		{Index: 0, Name: "w0", Algorithm: "csr-improve", Score: 7, WallMS: 0.5},
+		{Index: 1, Name: "w1", Algorithm: "csr-improve", Error: "context deadline exceeded"},
+	}
+	var buf bytes.Buffer
+	for i := range in {
+		if err := WriteJSONLResult(&buf, &in[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stream := "# results\n" + buf.String()
+	var out []ResultRecord
+	if err := ReadJSONLResults(strings.NewReader(stream), func(r ResultRecord) error {
+		out = append(out, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("read %d records, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("record %d changed: %+v vs %+v", i, out[i], in[i])
+		}
 	}
 }
 

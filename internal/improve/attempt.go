@@ -1,117 +1,82 @@
 package improve
 
 import (
-	"fmt"
-
 	"repro/internal/align"
 	"repro/internal/core"
+	"repro/internal/improve/enum"
 )
 
-// attempt is one improvement attempt: a closure that mutates a state and
-// returns the score gain. Attempts are simulated on clones during
-// evaluation and replayed on the live state when accepted.
-type attempt struct {
-	// key identifies the attempt: the comparable cache key of the
-	// incremental driver and the basis of log messages. Identical keys
-	// denote identical attempt closures.
-	key candKey
-	// run applies the attempt and returns the gain.
-	run func(st *state) float64
-}
+// candKey is the structural identity of an attempt: the comparable cache
+// key of the incremental driver, produced by the enumeration subsystem.
+// Identical keys denote identical attempt behavior; attempts are simulated
+// on clones during evaluation and replayed on the live state when accepted,
+// dispatched by runCand — candidate lists carry no per-candidate closures.
+type candKey = enum.Cand
 
-// kind returns the method label "I1", "I2" or "I3".
-func (at attempt) kind() string {
-	switch at.key.kind {
-	case 1:
-		return "I1"
-	case 2:
-		return "I2"
+// runCand applies the attempt identified by k and returns the gain.
+func runCand(st *state, k candKey) float64 {
+	switch k.Kind {
+	case enum.KindI1:
+		return runI1(st, k)
+	case enum.KindI2:
+		return runI2(st, k)
 	default:
-		return "I3"
+		return runI3(st, k)
 	}
 }
 
-// candKey is the structural identity of an attempt. Enumeration runs every
-// round over thousands of candidates, so the key is a flat comparable
-// struct rather than a formatted string.
-type candKey struct {
-	kind byte // 1, 2, 3
-	f, g core.FragRef
-	// I1: a1, a2 = window [wLo, wHi) on g.
-	// I2: a1, a2 = f end and depth; b1, b2 = g end and depth.
-	// I3: a1 = chain match ID.
-	a1, a2, b1, b2 int
-}
+// runI1 is the Full CSR improvement method I1(f, ḡ, ĝ) of §4.2: prepare
+// fragment f (detaching it) and the window ĝ = [wLo, wHi) on fragment g;
+// plug f into its best placement ḡ inside the window; run TPA on the
+// remnants ĝ − ḡ and on the partner sites freed by the preparation.
+func runI1(st *state, k candKey) float64 {
+	f, g, wLo, wHi := k.F, k.G, k.A1, k.A2
+	start := st.delta
+	st.lock(f)
+	defer st.unlock(f)
 
-// desc renders the attempt for error messages (cold path only).
-func (at attempt) desc() string {
-	k := at.key
-	switch k.kind {
-	case 1:
-		return fmt.Sprintf("I1(%v→%v[%d,%d))", k.f, k.g, k.a1, k.a2)
-	case 2:
-		return fmt.Sprintf("I2(%v.%v:%d↔%v.%v:%d)", k.f, end(k.a1), k.a2, k.g, end(k.b1), k.b2)
-	default:
-		return fmt.Sprintf("I3(%v~%v#%d)", k.f, k.g, k.a1)
+	// Prepare f: detach it from everything (its full site is plugged in).
+	// Freed partner zones are not refilled here — Fig. 9 runs TPA only on
+	// the target-side zones.
+	for _, id := range st.fragMatchIDs(f) {
+		st.removeMatch(id)
 	}
-}
+	// Prepare the target window.
+	freed := st.prepare(g, wLo, wHi)
 
-// i1Attempt builds the Full CSR improvement method I1(f, ḡ, ĝ) of §4.2:
-// prepare fragment f (detaching it) and the window ĝ = [wLo, wHi) on
-// fragment g; plug f into its best placement ḡ inside the window; run TPA
-// on the remnants ĝ − ḡ and on the partner sites freed by the preparation.
-func i1Attempt(f, g core.FragRef, wLo, wHi int) attempt {
-	return attempt{
-		key: candKey{kind: 1, f: f, g: g, a1: wLo, a2: wHi},
-		run: func(st *state) float64 {
-			start := st.delta
-			st.locked[f] = true
-			defer delete(st.locked, f)
-
-			// Prepare f: detach it from everything (its full site is
-			// plugged in). Freed partner zones are not refilled here —
-			// Fig. 9 runs TPA only on the target-side zones.
-			for _, id := range st.fragMatchIDs(f) {
-				st.removeMatch(id)
+	// Best placement of f inside the prepared window (the last entry of
+	// the Pareto frontier is the best-scoring one).
+	bestScore, bestRev := 0.0, false
+	var best align.Placement
+	for o := 0; o < 2; o++ {
+		rev := o == 1
+		if ps := st.placements(f, rev, g, wLo, wHi); len(ps) > 0 {
+			if p := ps[len(ps)-1]; p.Score > bestScore {
+				best, bestScore, bestRev = p, p.Score, rev
 			}
-			// Prepare the target window.
-			freed := st.prepare(g, wLo, wHi)
-
-			// Best placement of f inside the prepared window (the last
-			// entry of the Pareto frontier is the best-scoring one).
-			bestScore, bestRev := 0.0, false
-			var best align.Placement
-			for o := 0; o < 2; o++ {
-				rev := o == 1
-				if ps := st.placements(f, rev, g, wLo, wHi); len(ps) > 0 {
-					if p := ps[len(ps)-1]; p.Score > bestScore {
-						best, bestScore, bestRev = p, p.Score, rev
-					}
-				}
-			}
-			if bestScore <= 0 {
-				return st.delta - start // preparation-only "attempt" (never accepted)
-			}
-			mt := st.mkMatch(f, bestRev, g, wLo+best.Lo, wLo+best.Hi)
-			st.addMatch(mt)
-
-			// TPA on the window remnants, then on freed partner sites.
-			st.tpa([]core.Site{
-				{Species: g.Sp, Frag: g.Idx, Lo: wLo, Hi: wLo + best.Lo},
-				{Species: g.Sp, Frag: g.Idx, Lo: wLo + best.Hi, Hi: wHi},
-			})
-			st.tpa(freed)
-			return st.delta - start
-		},
+		}
 	}
+	if bestScore <= 0 {
+		return st.delta - start // preparation-only "attempt" (never accepted)
+	}
+	mt := st.mkMatch(f, bestRev, g, wLo+best.Lo, wLo+best.Hi)
+	st.addMatch(mt)
+
+	// TPA on the window remnants, then on freed partner sites.
+	st.tpa([]core.Site{
+		{Species: g.Sp, Frag: g.Idx, Lo: wLo, Hi: wLo + best.Lo},
+		{Species: g.Sp, Frag: g.Idx, Lo: wLo + best.Hi, Hi: wHi},
+	})
+	st.tpa(freed)
+	return st.delta - start
 }
 
 // end identifies a fragment end for border matches.
 type end int
 
 const (
-	leftEnd  end = 0
-	rightEnd end = 1
+	leftEnd  end = enum.LeftEnd
+	rightEnd end = enum.RightEnd
 )
 
 func (e end) String() string {
@@ -121,95 +86,92 @@ func (e end) String() string {
 	return "R"
 }
 
-// i2Attempt builds the Border CSR improvement method I2 of §4.3/§4.4:
-// prepare end windows on f and g (breaking their 2-islands), form the
-// border match joining fEnd of f to gEnd of g, then run TPA on the inner
-// remnants and freed partner sites. The relative orientation is forced by
-// the end combination (same ends ⇒ reversed), mirroring the Fig. 8 rule.
-//
-// fw and gw give how deep the prepared windows reach into each fragment
-// (wf regions from the chosen end).
-func i2Attempt(f core.FragRef, fe end, fw int, g core.FragRef, ge end, gw int) attempt {
-	return attempt{
-		key: candKey{kind: 2, f: f, g: g, a1: int(fe), a2: fw, b1: int(ge), b2: gw},
-		run: func(st *state) float64 {
-			start := st.delta
-			st.locked[f] = true
-			st.locked[g] = true
-			defer delete(st.locked, f)
-			defer delete(st.locked, g)
+// runI2 is the Border CSR improvement method I2 of §4.3/§4.4: prepare end
+// windows on f and g (breaking their 2-islands), form the border match
+// joining fEnd of f to gEnd of g, then run TPA on the inner remnants and
+// freed partner sites. The relative orientation is forced by the end
+// combination (same ends ⇒ reversed), mirroring the Fig. 8 rule. The key's
+// depths (A2, B2) give how deep the prepared windows reach into each
+// fragment from the chosen end.
+func runI2(st *state, k candKey) float64 {
+	f, g := k.F, k.G
+	fe, fw := end(k.A1), k.A2
+	ge, gw := end(k.B1), k.B2
+	start := st.delta
+	st.lock(f)
+	st.lock(g)
+	defer st.unlock(f)
+	defer st.unlock(g)
 
-			nf := st.in.Frag(f.Sp, f.Idx).Len()
-			ng := st.in.Frag(g.Sp, g.Idx).Len()
-			fLo, fHi := windowAt(fe, fw, nf)
-			gLo, gHi := windowAt(ge, gw, ng)
+	nf := st.in.Frag(f.Sp, f.Idx).Len()
+	ng := st.in.Frag(g.Sp, g.Idx).Len()
+	fLo, fHi := windowAt(fe, fw, nf)
+	gLo, gHi := windowAt(ge, gw, ng)
 
-			freed := st.prepare(f, fLo, fHi)
-			freed = append(freed, st.prepare(g, gLo, gHi)...)
-			// Multi-edge guard: a conjecture pair merges two matches
-			// between the same fragments into one, so any surviving f–g
-			// match must yield to the new link. Its sites become zones.
-			for _, id := range st.fragMatchIDs(f) {
-				mt := st.matches[id]
-				if mt.Side(g.Sp).Frag == g.Idx {
-					st.removeMatch(id)
-					freed = append(freed, mt.HSite, mt.MSite)
-				}
-			}
-
-			// Border alignment: orient g's window relative to f per the
-			// end rule, then claim sites from the outermost scoring
-			// columns to the fragment ends.
-			rev := fe == ge
-			fWord := st.in.Frag(f.Sp, f.Idx).Regions[fLo:fHi]
-			gWord := st.in.Frag(g.Sp, g.Idx).Regions[gLo:gHi]
-			sigma := st.sigmaFor(f.Sp)
-			sc, cols := st.scr.Align(fWord, gWord.Orient(rev), sigma)
-			if sc <= 0 || len(cols) == 0 {
-				return st.delta - start
-			}
-			fSpanLo, fSpanHi := fLo+cols[0].I, fLo+cols[len(cols)-1].I+1
-			gj0, gj1 := cols[0].J, cols[len(cols)-1].J
-			if rev {
-				gj0, gj1 = (gHi-gLo)-1-gj1, (gHi-gLo)-1-gj0
-			}
-			gSpanLo, gSpanHi := gLo+gj0, gLo+gj1+1
-			// Extend claims to the fragment ends (the chain link must be
-			// outermost; dangling tails are junk no other match may use).
-			fSite := claimToEnd(fe, fSpanLo, fSpanHi, nf)
-			gSite := claimToEnd(ge, gSpanLo, gSpanHi, ng)
-
-			var mt core.Match
-			fs := core.Site{Species: f.Sp, Frag: f.Idx, Lo: fSite[0], Hi: fSite[1]}
-			gs := core.Site{Species: g.Sp, Frag: g.Idx, Lo: gSite[0], Hi: gSite[1]}
-			if f.Sp == core.SpeciesH {
-				mt = core.Match{HSite: fs, MSite: gs, Rev: rev}
-			} else {
-				mt = core.Match{HSite: gs, MSite: fs, Rev: rev}
-			}
-			mt.Score = st.siteScore(mt.HSite, mt.MSite, mt.Rev)
-			st.addMatch(mt)
-
-			// TPA on the inner remnants (window minus claimed site) and
-			// the freed partner sites.
-			var zones []core.Site
-			if fe == rightEnd && fSite[0] > fLo {
-				zones = append(zones, core.Site{Species: f.Sp, Frag: f.Idx, Lo: fLo, Hi: fSite[0]})
-			}
-			if fe == leftEnd && fSite[1] < fHi {
-				zones = append(zones, core.Site{Species: f.Sp, Frag: f.Idx, Lo: fSite[1], Hi: fHi})
-			}
-			if ge == rightEnd && gSite[0] > gLo {
-				zones = append(zones, core.Site{Species: g.Sp, Frag: g.Idx, Lo: gLo, Hi: gSite[0]})
-			}
-			if ge == leftEnd && gSite[1] < gHi {
-				zones = append(zones, core.Site{Species: g.Sp, Frag: g.Idx, Lo: gSite[1], Hi: gHi})
-			}
-			st.tpa(zones)
-			st.tpa(freed)
-			return st.delta - start
-		},
+	freed := st.prepare(f, fLo, fHi)
+	freed = append(freed, st.prepare(g, gLo, gHi)...)
+	// Multi-edge guard: a conjecture pair merges two matches between the
+	// same fragments into one, so any surviving f–g match must yield to
+	// the new link. Its sites become zones.
+	for _, id := range st.fragMatchIDs(f) {
+		mt := st.matches[id]
+		if mt.Side(g.Sp).Frag == g.Idx {
+			st.removeMatch(id)
+			freed = append(freed, mt.HSite, mt.MSite)
+		}
 	}
+
+	// Border alignment: orient g's window relative to f per the end rule,
+	// then claim sites from the outermost scoring columns to the fragment
+	// ends.
+	rev := fe == ge
+	fWord := st.in.Frag(f.Sp, f.Idx).Regions[fLo:fHi]
+	gWord := st.in.Frag(g.Sp, g.Idx).Regions[gLo:gHi]
+	sigma := st.sigmaFor(f.Sp)
+	sc, cols := st.scr.Align(fWord, gWord.Orient(rev), sigma)
+	if sc <= 0 || len(cols) == 0 {
+		return st.delta - start
+	}
+	fSpanLo, fSpanHi := fLo+cols[0].I, fLo+cols[len(cols)-1].I+1
+	gj0, gj1 := cols[0].J, cols[len(cols)-1].J
+	if rev {
+		gj0, gj1 = (gHi-gLo)-1-gj1, (gHi-gLo)-1-gj0
+	}
+	gSpanLo, gSpanHi := gLo+gj0, gLo+gj1+1
+	// Extend claims to the fragment ends (the chain link must be
+	// outermost; dangling tails are junk no other match may use).
+	fSite := claimToEnd(fe, fSpanLo, fSpanHi, nf)
+	gSite := claimToEnd(ge, gSpanLo, gSpanHi, ng)
+
+	var mt core.Match
+	fs := core.Site{Species: f.Sp, Frag: f.Idx, Lo: fSite[0], Hi: fSite[1]}
+	gs := core.Site{Species: g.Sp, Frag: g.Idx, Lo: gSite[0], Hi: gSite[1]}
+	if f.Sp == core.SpeciesH {
+		mt = core.Match{HSite: fs, MSite: gs, Rev: rev}
+	} else {
+		mt = core.Match{HSite: gs, MSite: fs, Rev: rev}
+	}
+	mt.Score = st.siteScore(mt.HSite, mt.MSite, mt.Rev)
+	st.addMatch(mt)
+
+	// TPA on the inner remnants (window minus claimed site) and the freed
+	// partner sites.
+	var zones []core.Site
+	if fe == rightEnd && fSite[0] > fLo {
+		zones = append(zones, core.Site{Species: f.Sp, Frag: f.Idx, Lo: fLo, Hi: fSite[0]})
+	}
+	if fe == leftEnd && fSite[1] < fHi {
+		zones = append(zones, core.Site{Species: f.Sp, Frag: f.Idx, Lo: fSite[1], Hi: fHi})
+	}
+	if ge == rightEnd && gSite[0] > gLo {
+		zones = append(zones, core.Site{Species: g.Sp, Frag: g.Idx, Lo: gLo, Hi: gSite[0]})
+	}
+	if ge == leftEnd && gSite[1] < gHi {
+		zones = append(zones, core.Site{Species: g.Sp, Frag: g.Idx, Lo: gSite[1], Hi: gHi})
+	}
+	st.tpa(zones)
+	st.tpa(freed)
+	return st.delta - start
 }
 
 func windowAt(e end, depth, n int) (int, int) {
@@ -229,43 +191,70 @@ func claimToEnd(e end, spanLo, spanHi, n int) [2]int {
 	return [2]int{spanLo, n}
 }
 
-// i3Attempt rewires a 2-island (§4.3 method I3): break the chain match
+// runI3 is the 2-island rewiring method I3 (§4.3): break the chain match
 // joining f and g, then greedily run the best I2 attempt for f (excluding
 // g as partner) followed by the best I2 attempt for g (excluding f). The
 // compound gain is evaluated atomically, capturing the cases where
 // breaking the island only pays off when both ends are re-linked.
-func i3Attempt(f, g core.FragRef, chainID int, candidates func(st *state, x core.FragRef, exclude core.FragRef) []attempt) attempt {
-	return attempt{
-		key: candKey{kind: 3, f: f, g: g, a1: chainID},
-		run: func(st *state) float64 {
-			start := st.delta
-			// The existence of the chain match depends on f's and g's match
-			// sets; record the reads even on the early-out path.
-			st.note(f)
-			st.note(g)
-			if _, ok := st.matches[chainID]; !ok {
-				return 0
+func runI3(st *state, k candKey) float64 {
+	f, g, chainID := k.F, k.G, k.A1
+	start := st.delta
+	// The existence of the chain match depends on f's and g's match sets;
+	// record the reads even on the early-out path.
+	st.note(f)
+	st.note(g)
+	if !st.isLive(chainID) {
+		return 0
+	}
+	st.removeMatch(chainID)
+	var buf []candKey
+	for _, x := range [2]core.FragRef{f, g} {
+		exclude := g
+		if x == g {
+			exclude = f
+		}
+		buf = i2CandsFor(st, x, exclude, buf[:0])
+		bestGain, bestIdx := 0.0, -1
+		for i := range buf {
+			sim := st.clone() // inherits this goroutine's scratch
+			gain := runCand(sim, buf[i])
+			sim.release()
+			if gain > bestGain {
+				bestGain, bestIdx = gain, i
 			}
-			st.removeMatch(chainID)
-			for _, x := range []core.FragRef{f, g} {
-				exclude := g
-				if x == g {
-					exclude = f
-				}
-				bestGain, applied := 0.0, false
-				var bestAt attempt
-				for _, at := range candidates(st, x, exclude) {
-					sim := st.clone() // inherits this goroutine's scratch
-					gain := at.run(sim)
-					if gain > bestGain {
-						bestGain, bestAt, applied = gain, at, true
-					}
-				}
-				if applied {
-					bestAt.run(st)
-				}
+		}
+		if bestIdx >= 0 {
+			runCand(st, buf[bestIdx])
+		}
+	}
+	return st.delta - start
+}
+
+// i2CandsFor enumerates the I2 candidates pairing fragment only against
+// every fragment except exclude, on the current (simulation) state. End
+// depths are computed on the fly — the reads go through st and are thus
+// recorded by the simulation's readRecorder, exactly like the rest of the
+// attempt's work.
+func i2CandsFor(st *state, only, exclude core.FragRef, dst []candKey) []candKey {
+	onlyDepths := stateEndDepths(st, only)
+	return enum.AppendI2(dst,
+		st.in.NumFrags(core.SpeciesH), st.in.NumFrags(core.SpeciesM),
+		only, exclude,
+		func(fr core.FragRef) [2]enum.Depths {
+			if fr == only {
+				return onlyDepths
 			}
-			return st.delta - start
-		},
+			return stateEndDepths(st, fr)
+		})
+}
+
+// stateEndDepths computes both end-depth sets of fr against st's current
+// occupation.
+func stateEndDepths(st *state, fr core.FragRef) [2]enum.Depths {
+	n := st.in.Frag(fr.Sp, fr.Idx).Len()
+	sites := st.sitesOn(fr)
+	return [2]enum.Depths{
+		enum.EndDepthsAt(sites, n, enum.LeftEnd),
+		enum.EndDepthsAt(sites, n, enum.RightEnd),
 	}
 }

@@ -3,10 +3,10 @@ package improve
 import (
 	"context"
 	"fmt"
-	"sort"
 
 	"repro/internal/align"
 	"repro/internal/core"
+	"repro/internal/improve/enum"
 	"repro/internal/onecsr"
 	"repro/internal/score"
 )
@@ -42,13 +42,17 @@ type Options struct {
 	// Workers parallelizes candidate gain evaluation; < 1 means 1.
 	Workers int
 	// Eval is an externally owned evaluation pool. When set, candidate
-	// simulations are submitted to it instead of a per-call pool (Workers
-	// is then ignored), so batch drivers amortize worker goroutines across
-	// many concurrent solves. The pool outlives the call; Improve never
-	// closes it.
+	// simulations and enumeration refreshes are submitted to it instead of
+	// a per-call pool (Workers is then ignored), so batch drivers amortize
+	// worker goroutines across many concurrent solves — enumeration shards
+	// of one solve overlap with gain simulations of another. The pool
+	// outlives the call; Improve never closes it.
 	Eval *EvalPool
-	// Ctx cancels the solve between improvement rounds; nil means never.
-	// On cancellation Improve returns the context's error.
+	// Ctx cancels the solve; nil means never. Cancellation is sub-round:
+	// the driver checks between rounds, between candidate simulations,
+	// between enumeration shards, and inside TPA batches, and returns the
+	// context's error without mutating the live state — an accepted attempt
+	// is always applied atomically.
 	Ctx context.Context
 	// Quantize applies the literal §4.1 scaling: run the search under a
 	// scorer truncated to multiples of X/k² (X the 4-approximate score, k
@@ -65,11 +69,17 @@ type Options struct {
 	// Quantize: the scaled shadow scorer is then quantized exactly, since
 	// its values are multiples of the scaling unit by construction.
 	IntScore bool
-	// FullReeval disables the incremental candidate cache, re-simulating
-	// every candidate every round. The accepted attempt sequence is
-	// identical either way (see incremental.go); this exists for A/B
+	// FullReeval disables both incremental caches — candidate gains and
+	// enumeration pieces — re-enumerating and re-simulating everything
+	// every round. The accepted attempt sequence is identical either way
+	// (see incremental.go and the enum package); this exists for A/B
 	// verification and benchmarking.
 	FullReeval bool
+	// FullEnum disables only the incremental enumeration cache, keeping
+	// the gain cache: candidates are re-enumerated from scratch every
+	// round. The A/B knob for the enumeration subsystem alone
+	// (fragalign.WithIncrementalEnum(false)).
+	FullEnum bool
 	// minGain is an internal acceptance floor. The quantized path sets it
 	// to half a quantum: every true gain is a whole multiple of the
 	// quantum, so the floor only rejects floating-point noise around zero.
@@ -77,6 +87,9 @@ type Options struct {
 	// CheckInvariants validates consistency after every accepted attempt
 	// (slow; for tests).
 	CheckInvariants bool
+	// onAccept, when set, observes every accepted attempt in order (test
+	// hook for the enumeration oracle).
+	onAccept func(candKey)
 }
 
 // Stats reports how an improvement run went.
@@ -86,6 +99,12 @@ type Stats struct {
 	Accepted  int
 	Threshold float64
 	Final     float64
+	// EnumRefreshed and EnumReused count the enumeration subsystem's
+	// piece-cache traffic across all rounds: pieces recomputed vs served
+	// from cache. Under FullEnum/FullReeval every piece refreshes every
+	// round, so EnumReused is zero and EnumRefreshed counts pieces×rounds.
+	EnumRefreshed int
+	EnumReused    int
 }
 
 // Improve runs the selected iterative-improvement algorithm to a local
@@ -173,68 +192,130 @@ func Improve(in *core.Instance, opt Options) (*core.Solution, Stats, error) {
 
 	st := newState(in, seed)
 	defer st.scr.Release() // the driver's own alignment scratch arena
-	vers := make(map[core.FragRef]uint64)
-	st.vers = vers
+	vers := st.vers
 	cache := make(map[candKey]*cacheEntry)
 	pool := opt.Eval
 	if pool == nil && workers > 1 {
 		pool = NewEvalPool(workers)
 		defer pool.Close()
 	}
-	for stats.Rounds = 0; stats.Rounds < maxRounds; stats.Rounds++ {
-		if opt.Ctx != nil {
-			if err := opt.Ctx.Err(); err != nil {
-				return nil, stats, err
-			}
+	canceled := func() error {
+		if opt.Ctx == nil {
+			return nil
 		}
-		cands := enumerate(st, opt.Methods)
+		return opt.Ctx.Err()
+	}
+	// Enumeration runs incrementally against the live version counters; its
+	// dirty-piece refreshes are sharded over the eval pool when one exists,
+	// overlapping with the candidate simulations of concurrent solves.
+	en := enum.New(opt.Methods&FullOnly != 0, opt.Methods&BorderOnly != 0)
+	fullEnum := opt.FullReeval || opt.FullEnum
+	runShards := func(tasks []func()) {
+		const chunk = 8
+		if pool == nil || len(tasks) < 2*chunk {
+			for _, t := range tasks {
+				t()
+			}
+			return
+		}
+		batch := evalBatch{p: pool}
+		for lo := 0; lo < len(tasks); lo += chunk {
+			part := tasks[lo:min(lo+chunk, len(tasks))]
+			batch.do(func(*align.Scratch) {
+				for _, t := range part {
+					if canceled() != nil {
+						return // stale pieces are fine: the round aborts
+					}
+					t()
+				}
+			})
+		}
+		batch.wait()
+	}
+	// Per-round buffers, reused across rounds.
+	var (
+		gains []float64
+		recs  []*readRecorder
+		fresh []int
+	)
+	for stats.Rounds = 0; stats.Rounds < maxRounds; stats.Rounds++ {
+		if err := canceled(); err != nil {
+			return nil, stats, err
+		}
+		if fullEnum {
+			en.Invalidate()
+		}
+		cands := en.Candidates(enumView{st: st}, runShards)
+		if err := canceled(); err != nil {
+			return nil, stats, err
+		}
 		stats.Evaluated += len(cands)
-		gains := make([]float64, len(cands))
+		if cap(gains) < len(cands) {
+			gains = make([]float64, len(cands))
+			recs = make([]*readRecorder, len(cands))
+		} else {
+			gains = gains[:len(cands)]
+			recs = recs[:len(cands)]
+		}
+		clear(gains)
+		clear(recs)
 		// Reuse cached gains whose recorded read sets are untouched;
 		// re-simulate only candidates invalidated by the matches the last
 		// accepted attempt actually changed.
-		fresh := make([]int, 0, len(cands))
-		for i, at := range cands {
+		fresh = fresh[:0]
+		for i, key := range cands {
 			if !opt.FullReeval {
-				if e, ok := cache[at.key]; ok {
+				if e, ok := cache[key]; ok {
 					if e.valid(vers) {
 						e.seen = stats.Rounds
 						gains[i] = e.gain
 						continue
 					}
-					delete(cache, at.key)
+					delete(cache, key)
 				}
 			}
 			fresh = append(fresh, i)
 		}
-		recs := make([]*readRecorder, len(cands))
 		eval := func(i int, scr *align.Scratch) {
 			rec := newReadRecorder(vers)
 			sim := st.clone()
 			sim.rec = rec
 			sim.scr = scr // the evaluating goroutine's scratch arena
+			sim.ctx = opt.Ctx
 			// Zero the gain accumulator so every evaluation performs the
 			// identical float additions regardless of the live state's
 			// accumulated delta — cached and fresh gains stay bit-equal.
 			sim.delta = 0
-			gains[i] = cands[i].run(sim)
+			gains[i] = runCand(sim, cands[i])
+			sim.release()
 			recs[i] = rec
 		}
 		if pool == nil || len(fresh) < 2 {
 			for _, i := range fresh {
+				if canceled() != nil {
+					break
+				}
 				eval(i, st.scr)
 			}
 		} else {
 			batch := evalBatch{p: pool}
 			for _, i := range fresh {
 				i := i
-				batch.do(func(scr *align.Scratch) { eval(i, scr) })
+				batch.do(func(scr *align.Scratch) {
+					if canceled() != nil {
+						return // discarded below; skip the simulation
+					}
+					eval(i, scr)
+				})
 			}
 			batch.wait()
 		}
+		if err := canceled(); err != nil {
+			return nil, stats, err
+		}
 		if !opt.FullReeval {
 			for _, i := range fresh {
-				cache[cands[i].key] = &cacheEntry{gain: gains[i], reads: recs[i].reads, seen: stats.Rounds}
+				cache[cands[i]] = &cacheEntry{gain: gains[i], reads: recs[i].reads, seen: stats.Rounds}
 			}
 			// Sweep entries whose keys were not enumerated this round:
 			// their generating structure (windows, chain matches) is gone,
@@ -255,22 +336,27 @@ func Improve(in *core.Instance, opt Options) (*core.Solution, Stats, error) {
 			break
 		}
 		st.delta = 0 // replay under the same accumulator base as the simulation
-		got := cands[bestIdx].run(st)
+		got := runCand(st, cands[bestIdx])
 		stats.Accepted++
+		if opt.onAccept != nil {
+			opt.onAccept(cands[bestIdx])
+		}
 		if diff := got - bestGain; diff > 1e-6*(1+bestGain) || diff < -1e-6*(1+bestGain) {
 			return nil, stats, fmt.Errorf("improve: %s replayed gain %v != simulated %v",
-				cands[bestIdx].desc(), got, bestGain)
+				cands[bestIdx], got, bestGain)
 		}
 		if opt.CheckInvariants {
 			sol := st.solution()
 			if err := sol.Validate(in); err != nil {
-				return nil, stats, fmt.Errorf("improve: after %s: %w", cands[bestIdx].desc(), err)
+				return nil, stats, fmt.Errorf("improve: after %s: %w", cands[bestIdx], err)
 			}
 			if _, err := sol.BuildConjecture(in); err != nil {
-				return nil, stats, fmt.Errorf("improve: after %s: inconsistent solution: %w", cands[bestIdx].desc(), err)
+				return nil, stats, fmt.Errorf("improve: after %s: inconsistent solution: %w", cands[bestIdx], err)
 			}
 		}
 	}
+	es := en.Stats()
+	stats.EnumRefreshed, stats.EnumReused = es.Refreshed, es.Reused
 	sol := st.solution()
 	stats.Final = sol.Score()
 	return sol, stats, nil
@@ -299,173 +385,3 @@ func Rescore(in *core.Instance, sol *core.Solution, sc score.Scorer) *core.Solut
 	return out
 }
 
-// enumerate generates the candidate attempts for the current state.
-func enumerate(st *state, methods Methods) []attempt {
-	var out []attempt
-	if methods&FullOnly != 0 {
-		out = append(out, i1Candidates(st)...)
-	}
-	if methods&BorderOnly != 0 {
-		out = append(out, i2Candidates(st, core.FragRef{Idx: -1}, core.FragRef{Idx: -1})...)
-		out = append(out, i3Candidates(st)...)
-	}
-	return out
-}
-
-// i1Candidates proposes I1 attempts: every fragment f against every
-// preparable window on every opposite-species fragment g. Windows are the
-// maximal free gaps of g, optionally extended over the neighbouring match
-// site on each side (triggering restriction), and the whole fragment.
-// Target windows are computed once per g, not once per (f, g) pair.
-func i1Candidates(st *state) []attempt {
-	windows := [2][][][2]int{}
-	for _, sp := range []core.Species{core.SpeciesH, core.SpeciesM} {
-		windows[sp] = make([][][2]int, st.in.NumFrags(sp))
-		for gi := range windows[sp] {
-			windows[sp][gi] = targetWindows(st, core.FragRef{Sp: sp, Idx: gi})
-		}
-	}
-	var out []attempt
-	for _, sp := range []core.Species{core.SpeciesH, core.SpeciesM} {
-		for fi := 0; fi < st.in.NumFrags(sp); fi++ {
-			f := core.FragRef{Sp: sp, Idx: fi}
-			osp := sp.Other()
-			for gi := 0; gi < st.in.NumFrags(osp); gi++ {
-				g := core.FragRef{Sp: osp, Idx: gi}
-				for _, w := range windows[osp][gi] {
-					out = append(out, i1Attempt(f, g, w[0], w[1]))
-				}
-			}
-		}
-	}
-	return out
-}
-
-// targetWindows lists candidate preparation windows on fragment g: free
-// gaps, gaps extended across one neighbouring site per side, and the whole
-// fragment. All windows have endpoints on site boundaries, hence are never
-// hidden.
-func targetWindows(st *state, g core.FragRef) [][2]int {
-	n := st.in.Frag(g.Sp, g.Idx).Len()
-	sites := st.sitesOn(g)
-	set := map[[2]int]bool{{0, n}: true}
-	for _, gap := range st.freeGaps(g) {
-		set[gap] = true
-		lo, hi := gap[0], gap[1]
-		// Extend across the neighbouring sites, when they exist.
-		for _, s := range sites {
-			if s.Hi == lo {
-				set[[2]int{s.Lo, hi}] = true
-			}
-			if s.Lo == hi {
-				set[[2]int{lo, s.Hi}] = true
-			}
-		}
-	}
-	out := make([][2]int, 0, len(set))
-	for w := range set {
-		if w[0] < w[1] {
-			out = append(out, w)
-		}
-	}
-	sort.Slice(out, func(a, b int) bool {
-		if out[a][0] != out[b][0] {
-			return out[a][0] < out[b][0]
-		}
-		return out[a][1] < out[b][1]
-	})
-	return out
-}
-
-// i2Candidates proposes I2 attempts. When only (exclude filters) a specific
-// fragment x is wanted (the I3 rewiring case), pass x via the only
-// parameter; otherwise pass Idx:-1 sentinels to enumerate all pairs.
-// Window depths per end: the maximal free depth (no tearing) and the whole
-// fragment (tear everything on that side).
-func i2Candidates(st *state, only core.FragRef, exclude core.FragRef) []attempt {
-	// End depths are computed once per (fragment, end), not once per pair.
-	depths := [2][][2][]int{}
-	for _, sp := range []core.Species{core.SpeciesH, core.SpeciesM} {
-		depths[sp] = make([][2][]int, st.in.NumFrags(sp))
-		for fi := range depths[sp] {
-			fr := core.FragRef{Sp: sp, Idx: fi}
-			if only.Idx >= 0 && only.Sp == sp && only.Idx != fi {
-				continue
-			}
-			depths[sp][fi] = [2][]int{
-				endDepths(st, fr, leftEnd),
-				endDepths(st, fr, rightEnd),
-			}
-		}
-	}
-	var out []attempt
-	for fi := 0; fi < st.in.NumFrags(core.SpeciesH); fi++ {
-		f := core.FragRef{Sp: core.SpeciesH, Idx: fi}
-		if only.Idx >= 0 && only.Sp == core.SpeciesH && only.Idx != fi {
-			continue
-		}
-		if exclude.Idx >= 0 && exclude == f {
-			continue
-		}
-		for gi := 0; gi < st.in.NumFrags(core.SpeciesM); gi++ {
-			g := core.FragRef{Sp: core.SpeciesM, Idx: gi}
-			if only.Idx >= 0 && only.Sp == core.SpeciesM && only.Idx != gi {
-				continue
-			}
-			if exclude.Idx >= 0 && exclude == g {
-				continue
-			}
-			for _, fe := range []end{leftEnd, rightEnd} {
-				for _, ge := range []end{leftEnd, rightEnd} {
-					for _, fw := range depths[core.SpeciesH][fi][fe] {
-						for _, gw := range depths[core.SpeciesM][gi][ge] {
-							out = append(out, i2Attempt(f, fe, fw, g, ge, gw))
-						}
-					}
-				}
-			}
-		}
-	}
-	return out
-}
-
-// endDepths returns the candidate window depths at one end of a fragment:
-// the free depth up to the outermost match (when positive) and the full
-// length.
-func endDepths(st *state, fr core.FragRef, e end) []int {
-	n := st.in.Frag(fr.Sp, fr.Idx).Len()
-	sites := st.sitesOn(fr)
-	free := n
-	if len(sites) > 0 {
-		if e == leftEnd {
-			free = sites[0].Lo
-		} else {
-			free = n - sites[len(sites)-1].Hi
-		}
-	}
-	if free > 0 && free < n {
-		return []int{free, n}
-	}
-	return []int{n}
-}
-
-// i3Candidates proposes one I3 rewiring per current 2-island.
-func i3Candidates(st *state) []attempt {
-	var out []attempt
-	seen := map[int]bool{}
-	for fi := 0; fi < st.in.NumFrags(core.SpeciesH); fi++ {
-		f := core.FragRef{Sp: core.SpeciesH, Idx: fi}
-		for _, id := range st.chainMatchIDs(f) {
-			if seen[id] {
-				continue
-			}
-			seen[id] = true
-			mt := st.matches[id]
-			g := core.FragRef{Sp: core.SpeciesM, Idx: mt.MSite.Frag}
-			out = append(out, i3Attempt(f, g, id, func(s *state, x core.FragRef, excl core.FragRef) []attempt {
-				return i2Candidates(s, x, excl)
-			}))
-		}
-	}
-	return out
-}

@@ -1,0 +1,469 @@
+// Package enum is the candidate-enumeration subsystem of the CSR
+// improvement driver: it generates the I1/I2/I3 attempt candidates of §4.2–
+// §4.4 for the current solver state, incrementally.
+//
+// Full enumeration is O(F²·W) per improvement round — every fragment pair
+// times every preparation window — and between two rounds almost all of it
+// is unchanged: an accepted attempt touches a handful of fragments, and only
+// the candidate windows that read one of those fragments can differ. The
+// Enumerator therefore caches enumeration per *piece* — the I1 target
+// windows of one fragment, the I2 end depths of one fragment, the I3 chain
+// links of one fragment — together with the read set (fragment → version)
+// that produced it, exactly the invalidation scheme the driver's gain cache
+// uses for simulations (see improve/incremental.go). Each round it
+// re-enumerates only the dirty pieces and rebuilds the merged candidate list
+// in the canonical order, so the output is always element-for-element
+// identical to enumerating from scratch (the improve package enforces this
+// against the Options.FullReeval oracle).
+//
+// Piece refreshes are independent closures; the driver may run them inline
+// or shard them over the shared evaluation pool (improve.EvalPool), where
+// they overlap with candidate simulations of concurrent batch solves.
+package enum
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// Kind labels the improvement method that generates a candidate.
+type Kind uint8
+
+// Candidate kinds: the paper's improvement methods I1 (plug a fragment into
+// a prepared window), I2 (form a border match between two fragment ends),
+// and I3 (rewire a 2-island).
+const (
+	KindI1 Kind = 1 + iota
+	KindI2
+	KindI3
+)
+
+// String returns the method label "I1", "I2" or "I3".
+func (k Kind) String() string {
+	switch k {
+	case KindI1:
+		return "I1"
+	case KindI2:
+		return "I2"
+	default:
+		return "I3"
+	}
+}
+
+// Cand is the structural identity of one improvement attempt: a flat
+// comparable struct, usable directly as a cache key.
+//
+//	I1: A1, A2 = the window [A1, A2) on g.
+//	I2: A1, A2 = f's end and depth; B1, B2 = g's end and depth.
+//	I3: A1 = the chain match ID.
+type Cand struct {
+	Kind Kind
+	F, G core.FragRef
+	A1   int
+	A2   int
+	B1   int
+	B2   int
+}
+
+// String renders the candidate for error messages (cold path only).
+func (c Cand) String() string {
+	switch c.Kind {
+	case KindI1:
+		return fmt.Sprintf("I1(%v→%v[%d,%d))", c.F, c.G, c.A1, c.A2)
+	case KindI2:
+		return fmt.Sprintf("I2(%v.%s:%d↔%v.%s:%d)", c.F, endLabel(c.A1), c.A2, c.G, endLabel(c.B1), c.B2)
+	default:
+		return fmt.Sprintf("I3(%v~%v#%d)", c.F, c.G, c.A1)
+	}
+}
+
+// Fragment ends for I2 candidates.
+const (
+	LeftEnd  = 0
+	RightEnd = 1
+)
+
+func endLabel(e int) string {
+	if e == LeftEnd {
+		return "L"
+	}
+	return "R"
+}
+
+// Chain is one I3 rewiring site: the chain match ID joining an H fragment
+// to its M partner G.
+type Chain struct {
+	ID int
+	G  core.FragRef
+}
+
+// Reads is a recorded read set: every fragment a piece's enumeration
+// consulted, with the live version at read time. A cached piece is reusable
+// iff every recorded fragment still has its recorded version.
+type Reads map[core.FragRef]uint64
+
+// Note records a read of fr at version v (first read wins, matching the
+// recording rule of the driver's simulation recorder).
+func (r Reads) Note(fr core.FragRef, v uint64) {
+	if _, ok := r[fr]; !ok {
+		r[fr] = v
+	}
+}
+
+// Source is the read-only view of the solver state the Enumerator consumes.
+// Implementations must record every fragment a query reads into the passed
+// Reads set; queries must be safe for concurrent use while the state is
+// quiescent (the driver enumerates strictly between mutations).
+type Source interface {
+	// NumFrags returns the fragment count of one species (fixed per solve).
+	NumFrags(sp core.Species) int
+	// FragLen returns the region count of a fragment (fixed per solve).
+	FragLen(fr core.FragRef) int
+	// Version returns the live version of a fragment's match data.
+	Version(fr core.FragRef) uint64
+	// Sites returns the occupied sites on fr, sorted by position. The slice
+	// is transient: valid only until the next call.
+	Sites(fr core.FragRef, r Reads) []core.Site
+	// Chains returns fr's 2-island chain links in site order.
+	Chains(fr core.FragRef, r Reads) []Chain
+}
+
+// Runner executes a batch of independent piece-refresh tasks, possibly
+// concurrently. A nil Runner runs them inline.
+type Runner func(tasks []func())
+
+// Depths holds the candidate I2 window depths at one fragment end: the free
+// depth up to the outermost match (when it exists and is partial) and the
+// full fragment length. Value type, so cached pieces hold no per-end
+// allocations.
+type Depths struct {
+	d [2]int
+	n int
+}
+
+// Len returns the number of candidate depths.
+func (d Depths) Len() int { return d.n }
+
+// At returns the i-th candidate depth.
+func (d Depths) At(i int) int { return d.d[i] }
+
+// EndDepthsAt computes the candidate window depths at one end of a fragment
+// of length n whose occupied sites (sorted) are given: the free depth when
+// positive and partial, then the full length.
+func EndDepthsAt(sites []core.Site, n int, e int) Depths {
+	free := n
+	if len(sites) > 0 {
+		if e == LeftEnd {
+			free = sites[0].Lo
+		} else {
+			free = n - sites[len(sites)-1].Hi
+		}
+	}
+	if free > 0 && free < n {
+		return Depths{d: [2]int{free, n}, n: 2}
+	}
+	return Depths{d: [2]int{n}, n: 1}
+}
+
+// WindowsOf computes the I1 target windows of a fragment of length n with
+// the given occupied sites (sorted): its maximal free gaps, each gap
+// extended across one neighbouring site per side, and the whole fragment —
+// sorted and deduplicated. All windows have endpoints on site boundaries,
+// hence are never hidden.
+func WindowsOf(sites []core.Site, n int) [][2]int {
+	wins := [][2]int{{0, n}}
+	pos := 0
+	addGap := func(lo, hi int) {
+		wins = append(wins, [2]int{lo, hi})
+		// Extend across the neighbouring sites, when they exist.
+		for _, s := range sites {
+			if s.Hi == lo {
+				wins = append(wins, [2]int{s.Lo, hi})
+			}
+			if s.Lo == hi {
+				wins = append(wins, [2]int{lo, s.Hi})
+			}
+		}
+	}
+	for _, s := range sites {
+		if s.Lo > pos {
+			addGap(pos, s.Lo)
+		}
+		pos = s.Hi
+	}
+	if pos < n {
+		addGap(pos, n)
+	}
+	out := wins[:0]
+	for _, w := range wins {
+		if w[0] < w[1] {
+			out = append(out, w)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a][0] != out[b][0] {
+			return out[a][0] < out[b][0]
+		}
+		return out[a][1] < out[b][1]
+	})
+	dedup := out[:0]
+	for _, w := range out {
+		if len(dedup) > 0 && dedup[len(dedup)-1] == w {
+			continue
+		}
+		dedup = append(dedup, w)
+	}
+	return dedup
+}
+
+// AppendI2 appends the I2 candidates in canonical (fi, gi, fe, ge, fw, gw)
+// order. only restricts one species to a single fragment and exclude drops
+// one fragment from pairing (Idx < 0 sentinels disable either filter);
+// depths supplies the per-end window depths of a fragment — the Enumerator
+// passes its cached pieces, the I3 rewiring path computes them on the fly
+// against its simulation state.
+func AppendI2(dst []Cand, nh, nm int, only, exclude core.FragRef, depths func(core.FragRef) [2]Depths) []Cand {
+	for fi := 0; fi < nh; fi++ {
+		f := core.FragRef{Sp: core.SpeciesH, Idx: fi}
+		if only.Idx >= 0 && only.Sp == core.SpeciesH && only.Idx != fi {
+			continue
+		}
+		if exclude.Idx >= 0 && exclude == f {
+			continue
+		}
+		df := depths(f)
+		for gi := 0; gi < nm; gi++ {
+			g := core.FragRef{Sp: core.SpeciesM, Idx: gi}
+			if only.Idx >= 0 && only.Sp == core.SpeciesM && only.Idx != gi {
+				continue
+			}
+			if exclude.Idx >= 0 && exclude == g {
+				continue
+			}
+			dg := depths(g)
+			for fe := LeftEnd; fe <= RightEnd; fe++ {
+				for ge := LeftEnd; ge <= RightEnd; ge++ {
+					for wi := 0; wi < df[fe].Len(); wi++ {
+						for wj := 0; wj < dg[ge].Len(); wj++ {
+							dst = append(dst, Cand{
+								Kind: KindI2, F: f, G: g,
+								A1: fe, A2: df[fe].At(wi),
+								B1: ge, B2: dg[ge].At(wj),
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// Stats counts the Enumerator's piece-cache traffic over a solve.
+type Stats struct {
+	// Refreshed is the number of enumeration pieces recomputed.
+	Refreshed int
+	// Reused is the number of rounds × pieces served from cache.
+	Reused int
+}
+
+// piece is one cached enumeration unit plus the read set justifying it.
+type piece[T any] struct {
+	ok    bool
+	reads Reads
+	val   T
+}
+
+// valid reports whether the piece exists and every fragment it read still
+// has the version it read.
+func (p *piece[T]) valid(src Source) bool {
+	if !p.ok {
+		return false
+	}
+	for fr, v := range p.reads {
+		if src.Version(fr) != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Enumerator incrementally enumerates improvement candidates for one solve.
+// It is not safe for concurrent use; one solve, one Enumerator.
+type Enumerator struct {
+	full, border bool
+	sized        bool
+	nh, nm       int
+
+	win   [2][]piece[[][2]int]  // I1 target windows per fragment
+	dep   [2][]piece[[2]Depths] // I2 end depths per fragment
+	chain []piece[[]Chain]      // I3 chain links per H fragment
+
+	cands []Cand   // merged candidate list, rebuilt each Candidates call
+	tasks []func() // dirty-piece refresh tasks, reused across rounds
+	// refreshed counts tasks that actually executed (atomic: tasks may run
+	// on pool workers, and a canceled round skips queued tasks).
+	refreshed atomic.Int64
+	reused    int
+}
+
+// New returns an Enumerator for the selected method families.
+func New(full, border bool) *Enumerator {
+	return &Enumerator{full: full, border: border}
+}
+
+// Stats returns the cumulative piece-cache counters.
+func (e *Enumerator) Stats() Stats {
+	return Stats{Refreshed: int(e.refreshed.Load()), Reused: e.reused}
+}
+
+// Invalidate drops every cached piece, forcing the next Candidates call to
+// enumerate from scratch — the A/B oracle mode of the driver.
+func (e *Enumerator) Invalidate() {
+	for sp := 0; sp < 2; sp++ {
+		for i := range e.win[sp] {
+			e.win[sp][i].ok = false
+		}
+		for i := range e.dep[sp] {
+			e.dep[sp][i].ok = false
+		}
+	}
+	for i := range e.chain {
+		e.chain[i].ok = false
+	}
+}
+
+func (e *Enumerator) size(src Source) {
+	if e.sized {
+		return
+	}
+	e.sized = true
+	e.nh = src.NumFrags(core.SpeciesH)
+	e.nm = src.NumFrags(core.SpeciesM)
+	for sp, n := range [2]int{e.nh, e.nm} {
+		if e.full {
+			e.win[sp] = make([]piece[[][2]int], n)
+		}
+		if e.border {
+			e.dep[sp] = make([]piece[[2]Depths], n)
+		}
+	}
+	if e.border {
+		e.chain = make([]piece[[]Chain], e.nh)
+	}
+}
+
+// Candidates returns the full candidate list for the current state,
+// re-enumerating only the pieces whose recorded reads are dirty. The
+// returned slice is owned by the Enumerator and valid until the next call.
+// run executes the refresh tasks (nil means inline); tasks are independent
+// and may run concurrently.
+func (e *Enumerator) Candidates(src Source, run Runner) []Cand {
+	e.size(src)
+	e.tasks = e.tasks[:0]
+	refresh := func(sp core.Species, idx int) {
+		fr := core.FragRef{Sp: sp, Idx: idx}
+		if e.full {
+			if p := &e.win[sp][idx]; !p.valid(src) {
+				e.tasks = append(e.tasks, func() {
+					r := make(Reads, 2)
+					p.val = WindowsOf(src.Sites(fr, r), src.FragLen(fr))
+					p.reads, p.ok = r, true
+					e.refreshed.Add(1)
+				})
+			} else {
+				e.reused++
+			}
+		}
+		if e.border {
+			if p := &e.dep[sp][idx]; !p.valid(src) {
+				e.tasks = append(e.tasks, func() {
+					r := make(Reads, 1)
+					n := src.FragLen(fr)
+					sites := src.Sites(fr, r)
+					p.val = [2]Depths{EndDepthsAt(sites, n, LeftEnd), EndDepthsAt(sites, n, RightEnd)}
+					p.reads, p.ok = r, true
+					e.refreshed.Add(1)
+				})
+			} else {
+				e.reused++
+			}
+			if sp == core.SpeciesH {
+				if p := &e.chain[idx]; !p.valid(src) {
+					e.tasks = append(e.tasks, func() {
+						r := make(Reads, 4)
+						p.val = src.Chains(fr, r)
+						p.reads, p.ok = r, true
+						e.refreshed.Add(1)
+					})
+				} else {
+					e.reused++
+				}
+			}
+		}
+	}
+	for i := 0; i < e.nh; i++ {
+		refresh(core.SpeciesH, i)
+	}
+	for i := 0; i < e.nm; i++ {
+		refresh(core.SpeciesM, i)
+	}
+	if len(e.tasks) > 0 {
+		if run != nil {
+			run(e.tasks)
+		} else {
+			for _, t := range e.tasks {
+				t()
+			}
+		}
+	}
+	e.rebuild()
+	return e.cands
+}
+
+// rebuild merges the cached pieces into the canonical candidate order:
+// I1 over (species, f, g, window), then I2 over (f, g, ends, depths), then
+// one I3 per chain link — element-for-element what from-scratch enumeration
+// produces.
+func (e *Enumerator) rebuild() {
+	e.cands = e.cands[:0]
+	if e.full {
+		for sp := core.SpeciesH; sp <= core.SpeciesM; sp++ {
+			osp := sp.Other()
+			nf, ng := e.numFrags(sp), e.numFrags(osp)
+			for fi := 0; fi < nf; fi++ {
+				f := core.FragRef{Sp: sp, Idx: fi}
+				for gi := 0; gi < ng; gi++ {
+					g := core.FragRef{Sp: osp, Idx: gi}
+					for _, w := range e.win[osp][gi].val {
+						e.cands = append(e.cands, Cand{Kind: KindI1, F: f, G: g, A1: w[0], A2: w[1]})
+					}
+				}
+			}
+		}
+	}
+	if e.border {
+		none := core.FragRef{Idx: -1}
+		e.cands = AppendI2(e.cands, e.nh, e.nm, none, none, func(fr core.FragRef) [2]Depths {
+			return e.dep[fr.Sp][fr.Idx].val
+		})
+		// Chain links are disjoint across H fragments (a match touches
+		// exactly one H fragment), so no cross-piece dedup is needed.
+		for fi := 0; fi < e.nh; fi++ {
+			f := core.FragRef{Sp: core.SpeciesH, Idx: fi}
+			for _, ch := range e.chain[fi].val {
+				e.cands = append(e.cands, Cand{Kind: KindI3, F: f, G: ch.G, A1: ch.ID})
+			}
+		}
+	}
+}
+
+func (e *Enumerator) numFrags(sp core.Species) int {
+	if sp == core.SpeciesH {
+		return e.nh
+	}
+	return e.nm
+}

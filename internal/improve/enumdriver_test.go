@@ -1,0 +1,201 @@
+package improve
+
+import (
+	"context"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+)
+
+// TestIncrementalEnumMatchesFull is the enumeration subsystem's oracle: the
+// incremental Enumerator (dirty-window re-enumeration merged with the
+// cached candidate set) must drive the solver through the exact same
+// accepted-attempt sequence — and enumerate the same number of candidates —
+// as from-scratch enumeration with full re-simulation (Options.FullReeval),
+// across seeds and method families. FullEnum alone (fresh enumeration, gain
+// cache on) must coincide too, triangulating the two caches independently.
+func TestIncrementalEnumMatchesFull(t *testing.T) {
+	for _, seed := range []int64{3, 7, 11, 19} {
+		for _, m := range []struct {
+			name    string
+			methods Methods
+		}{
+			{"all", AllMethods},
+			{"full", FullOnly},
+			{"border", BorderOnly},
+		} {
+			cfg := gen.DefaultConfig(seed)
+			cfg.Regions = 40
+			w := gen.Generate(cfg)
+			base := Options{Methods: m.methods, Eps: 0.05, SeedWithFourApprox: true}
+			type run struct {
+				name     string
+				opt      Options
+				accepted []candKey
+				stats    Stats
+				score    float64
+				matches  any
+			}
+			runs := []*run{
+				{name: "incremental", opt: base},
+				{name: "full-enum", opt: base},
+				{name: "full-reeval", opt: base},
+			}
+			runs[1].opt.FullEnum = true
+			runs[2].opt.FullReeval = true
+			for _, r := range runs {
+				r.opt.onAccept = func(k candKey) { r.accepted = append(r.accepted, k) }
+				sol, stats, err := Improve(w.Instance, r.opt)
+				if err != nil {
+					t.Fatalf("seed %d %s %s: %v", seed, m.name, r.name, err)
+				}
+				r.stats, r.score, r.matches = stats, sol.Score(), sol.Matches
+			}
+			ref := runs[2]
+			for _, r := range runs[:2] {
+				if !reflect.DeepEqual(r.accepted, ref.accepted) {
+					t.Errorf("seed %d %s: %s accepted sequence diverges:\n%v\nwant\n%v",
+						seed, m.name, r.name, r.accepted, ref.accepted)
+				}
+				if r.stats.Evaluated != ref.stats.Evaluated || r.stats.Rounds != ref.stats.Rounds ||
+					r.stats.Accepted != ref.stats.Accepted {
+					t.Errorf("seed %d %s: %s stats diverge: %+v vs %+v",
+						seed, m.name, r.name, r.stats, ref.stats)
+				}
+				if r.score != ref.score || !reflect.DeepEqual(r.matches, ref.matches) {
+					t.Errorf("seed %d %s: %s solution diverges (score %v vs %v)",
+						seed, m.name, r.name, r.score, ref.score)
+				}
+			}
+			// The incremental run must actually reuse pieces (the point of
+			// the subsystem) once the solve spans more than one round.
+			if runs[0].stats.Rounds > 1 && runs[0].stats.EnumReused == 0 {
+				t.Errorf("seed %d %s: incremental run reused no enumeration pieces: %+v",
+					seed, m.name, runs[0].stats)
+			}
+		}
+	}
+}
+
+// countCtx is a deterministic cancellation probe: it reports itself
+// canceled after the Nth Err() poll, letting tests cancel mid-round without
+// timing races.
+type countCtx struct {
+	context.Context
+	polls atomic.Int64
+	after int64
+}
+
+func newCountCtx(after int64) *countCtx {
+	return &countCtx{Context: context.Background(), after: after}
+}
+
+func (c *countCtx) Err() error {
+	if c.polls.Add(1) > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestImproveCancelMidRound drives the solver with a context that fires
+// partway through candidate evaluation: Improve must return ctx.Err()
+// promptly with no solution, at every cancellation depth — including
+// mid-simulation (the TPA batches poll the context too).
+func TestImproveCancelMidRound(t *testing.T) {
+	cfg := gen.DefaultConfig(5)
+	cfg.Regions = 40
+	w := gen.Generate(cfg)
+	for _, after := range []int64{0, 1, 7, 50, 400} {
+		ctx := newCountCtx(after)
+		sol, _, err := Improve(w.Instance, Options{Eps: 0.05, SeedWithFourApprox: true, Ctx: ctx})
+		if err != context.Canceled {
+			t.Fatalf("after %d polls: err = %v, want context.Canceled", after, err)
+		}
+		if sol != nil {
+			t.Fatalf("after %d polls: got a solution alongside the error", after)
+		}
+	}
+}
+
+// TestImproveCancelLeavesPoolUsable cancels one solve mid-round on a shared
+// eval pool and checks a concurrent solve on the same pool is unaffected —
+// its result must be bit-identical to a solo reference run. This is the
+// "no corrupted state" half of the cancellation contract: aborted
+// simulations are discarded wholesale, and the pool's workers (with their
+// per-worker scratch arenas) remain consistent for other solves.
+func TestImproveCancelLeavesPoolUsable(t *testing.T) {
+	cfg := gen.DefaultConfig(6)
+	cfg.Regions = 40
+	w := gen.Generate(cfg)
+	ref, refStats, err := Improve(w.Instance, Options{Eps: 0.05, SeedWithFourApprox: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pool := NewEvalPool(4)
+	defer pool.Close()
+	done := make(chan error, 1)
+	go func() {
+		ctx := newCountCtx(25)
+		_, _, err := Improve(w.Instance, Options{Eps: 0.05, SeedWithFourApprox: true, Ctx: ctx, Eval: pool})
+		done <- err
+	}()
+	sol, stats, err := Improve(w.Instance, Options{Eps: 0.05, SeedWithFourApprox: true, Eval: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cerr := <-done; cerr != context.Canceled {
+		t.Fatalf("canceled solve returned %v, want context.Canceled", cerr)
+	}
+	if sol.Score() != ref.Score() || stats.Accepted != refStats.Accepted {
+		t.Fatalf("pool solve diverged after a concurrent cancellation: score %v vs %v",
+			sol.Score(), ref.Score())
+	}
+	if !reflect.DeepEqual(sol.Matches, ref.Matches) {
+		t.Fatal("pool solve matches diverged after a concurrent cancellation")
+	}
+}
+
+// TestImproveCancelPromptness checks sub-round latency with a real context:
+// on a workload whose rounds take much longer than the deadline, the solve
+// must come back close to the deadline, not at the next round boundary.
+func TestImproveCancelPromptness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := gen.DefaultConfig(8)
+	cfg.Regions = 90 // rounds well beyond the deadline
+	w := gen.Generate(cfg)
+	solo := time.Now()
+	if _, _, err := Improve(w.Instance, Options{Eps: 0.05, SeedWithFourApprox: true}); err != nil {
+		t.Fatal(err)
+	}
+	full := time.Since(solo)
+	// Shrink the deadline until a run actually gets interrupted; pooled
+	// arenas make warm solves faster than the cold reference, so a fixed
+	// fraction of the reference wall can race with completion.
+	for deadline := full / 8; deadline >= 50*time.Microsecond; deadline /= 4 {
+		ctx, cancel := context.WithTimeout(context.Background(), deadline)
+		start := time.Now()
+		_, _, err := Improve(w.Instance, Options{Eps: 0.05, SeedWithFourApprox: true, Ctx: ctx})
+		elapsed := time.Since(start)
+		cancel()
+		if err == nil {
+			continue // solve beat this deadline; try a tighter one
+		}
+		if err != context.DeadlineExceeded {
+			t.Fatalf("err = %v, want deadline exceeded", err)
+		}
+		// Generous bound: well under the full solve, i.e. the cancellation
+		// did not wait for a round boundary on this round-dominated
+		// workload.
+		if elapsed > full/2+50*time.Millisecond {
+			t.Fatalf("cancellation took %v of a %v solve — not sub-round", elapsed, full)
+		}
+		return
+	}
+	t.Skip("machine solves the workload faster than any deadline; nothing to observe")
+}

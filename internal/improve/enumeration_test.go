@@ -6,7 +6,23 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exact"
+	"repro/internal/improve/enum"
 )
+
+// targetWindows and endDepths are thin shims over the enumeration
+// subsystem's pure window functions, exercised here against live states.
+func targetWindows(st *state, fr core.FragRef) [][2]int {
+	return enum.WindowsOf(st.sitesOn(fr), st.in.Frag(fr.Sp, fr.Idx).Len())
+}
+
+func endDepths(st *state, fr core.FragRef, e end) []int {
+	d := enum.EndDepthsAt(st.sitesOn(fr), st.in.Frag(fr.Sp, fr.Idx).Len(), int(e))
+	out := make([]int, d.Len())
+	for i := range out {
+		out[i] = d.At(i)
+	}
+	return out
+}
 
 func TestTargetWindows(t *testing.T) {
 	in := core.PaperExample()
@@ -147,8 +163,8 @@ func TestTPADirect(t *testing.T) {
 func TestTPARespectsLocks(t *testing.T) {
 	in := core.PaperExample()
 	st := newState(in, nil)
-	st.locked[core.FragRef{Sp: core.SpeciesH, Idx: 0}] = true
-	st.locked[core.FragRef{Sp: core.SpeciesH, Idx: 1}] = true
+	st.lock(core.FragRef{Sp: core.SpeciesH, Idx: 0})
+	st.lock(core.FragRef{Sp: core.SpeciesH, Idx: 1})
 	gain := st.tpa([]core.Site{{Species: core.SpeciesM, Frag: 0, Lo: 0, Hi: 2}})
 	if gain != 0 || len(st.matches) != 0 {
 		t.Fatalf("locked fragments were placed: gain %v, %d matches", gain, len(st.matches))

@@ -13,7 +13,7 @@ import (
 //  1. Per-fragment versions. The live state carries a version counter per
 //     fragment, bumped whenever a match touching that fragment is added,
 //     removed, or restricted. Simulations never bump versions (clones drop
-//     the map).
+//     the counters).
 //
 //  2. Recorded read sets. A simulation records every fragment whose match
 //     data it consults (all per-fragment reads funnel through
@@ -34,23 +34,27 @@ import (
 //     that cannot participate in their improvement.
 //
 // Together these make the incremental driver accept exactly the same
-// attempt sequence as full re-evaluation (enforced by TestIncrementalMatchesFull).
+// attempt sequence as full re-evaluation (enforced by
+// TestIncrementalMatchesFull). The enumeration subsystem
+// (internal/improve/enum) caches candidate windows under the same
+// version-counter scheme, so the per-round candidate list is likewise
+// bit-identical to from-scratch enumeration (TestIncrementalEnumMatchesFull).
 
 // readRecorder captures the fragments a simulation reads, with the live
 // version current at read time. One recorder per candidate evaluation; the
-// live version map is only ever read here.
+// live version counters are only ever read here.
 type readRecorder struct {
-	vers  map[core.FragRef]uint64
+	vers  *versions
 	reads map[core.FragRef]uint64
 }
 
-func newReadRecorder(vers map[core.FragRef]uint64) *readRecorder {
+func newReadRecorder(vers *versions) *readRecorder {
 	return &readRecorder{vers: vers, reads: make(map[core.FragRef]uint64, 8)}
 }
 
 func (r *readRecorder) note(fr core.FragRef) {
 	if _, ok := r.reads[fr]; !ok {
-		r.reads[fr] = r.vers[fr]
+		r.reads[fr] = r.vers.of(fr)
 	}
 }
 
@@ -67,9 +71,9 @@ type cacheEntry struct {
 
 // valid reports whether every fragment the evaluation read still has the
 // version it read.
-func (e *cacheEntry) valid(vers map[core.FragRef]uint64) bool {
+func (e *cacheEntry) valid(vers *versions) bool {
 	for fr, v := range e.reads {
-		if vers[fr] != v {
+		if vers.of(fr) != v {
 			return false
 		}
 	}
@@ -146,15 +150,18 @@ func (pm *placeMemo) put(k placeKey, v []placement) {
 	pm.mu.Unlock()
 }
 
-// EvalPool is a persistent set of candidate-evaluation goroutines. Improve
-// creates a private pool per call when Options.Workers > 1, but a pool can
-// also be created once and shared — safely, concurrently — by many Improve
-// calls via Options.Eval: completion is tracked per submission batch (see
-// evalBatch), not per pool, so batch drivers such as internal/batch reuse
-// one set of workers across thousands of solves instead of spawning
-// goroutines per instance. Each worker owns an align.Scratch arena for its
-// lifetime and passes it to every task, so candidate simulations reuse one
-// set of DP buffers across all the solves the worker ever touches.
+// EvalPool is a persistent set of worker goroutines for the driver's
+// shardable jobs: candidate gain simulations and enumeration piece
+// refreshes (internal/improve/enum). Improve creates a private pool per
+// call when Options.Workers > 1, but a pool can also be created once and
+// shared — safely, concurrently — by many Improve calls via Options.Eval:
+// completion is tracked per submission batch (see evalBatch), not per pool,
+// so batch drivers such as internal/batch reuse one set of workers across
+// thousands of solves instead of spawning goroutines per instance, and the
+// enumeration shards of one solve overlap with the simulations of another.
+// Each worker owns an align.Scratch arena for its lifetime and passes it to
+// every task, so candidate simulations reuse one set of DP buffers across
+// all the solves the worker ever touches.
 type EvalPool struct {
 	jobs    chan func(*align.Scratch)
 	workers int
@@ -192,8 +199,9 @@ func (p *EvalPool) Close() {
 }
 
 // evalBatch tracks one caller's batch of jobs on a (possibly shared) pool.
-// Each driver round submits its fresh candidates through its own batch and
-// waits for exactly those, regardless of what other solves have in flight.
+// Each driver round submits its fresh candidates — and each enumeration
+// refresh its dirty pieces — through its own batch and waits for exactly
+// those, regardless of what other solves have in flight.
 type evalBatch struct {
 	p  *EvalPool
 	wg sync.WaitGroup

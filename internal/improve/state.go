@@ -22,14 +22,19 @@
 // simulation, TPA batch, and replay. Candidate gains are evaluated
 // incrementally: each simulation records the fragments whose match data it
 // read, accepted attempts bump per-fragment version counters, and a cached
-// gain is reused whenever its recorded read set is untouched. The recorded
-// gains are bit-identical to fresh evaluation (see incremental.go for the
-// invariants), so the incremental driver accepts exactly the same attempt
-// sequence as full per-round re-evaluation (Options.FullReeval).
+// gain is reused whenever its recorded read set is untouched. The same
+// version counters drive the incremental candidate-enumeration subsystem
+// (internal/improve/enum), which re-enumerates only the attempt windows
+// that read a dirty fragment. The recorded gains are bit-identical to fresh
+// evaluation (see incremental.go for the invariants), so the incremental
+// driver accepts exactly the same attempt sequence as full per-round
+// re-enumeration and re-evaluation (Options.FullReeval).
 package improve
 
 import (
+	"context"
 	"sort"
+	"sync"
 
 	"repro/internal/align"
 	"repro/internal/core"
@@ -37,24 +42,59 @@ import (
 	"repro/internal/symbol"
 )
 
+// versions is the live state's per-fragment version counters, bumped
+// whenever a match touching a fragment is added, removed, or restricted.
+// Both the gain cache and the enumeration piece cache invalidate on them.
+type versions struct {
+	v [2][]uint64
+}
+
+func newVersions(in *core.Instance) *versions {
+	var vs versions
+	vs.v[core.SpeciesH] = make([]uint64, in.NumFrags(core.SpeciesH))
+	vs.v[core.SpeciesM] = make([]uint64, in.NumFrags(core.SpeciesM))
+	return &vs
+}
+
+// of returns the current version of fragment fr.
+func (vs *versions) of(fr core.FragRef) uint64 { return vs.v[fr.Sp][fr.Idx] }
+
 // state is the solver's working solution: a set of live matches keyed by
 // stable IDs, plus fragments locked by the improvement attempt currently
 // being simulated.
 //
+// Storage is slice-backed throughout — match IDs are indices into a dense
+// slice with a liveness mask, and the per-fragment match index is a slice
+// of small ID lists — so cloning a state for a candidate simulation is a
+// handful of memcpys instead of map rebuilds, and clones are recycled
+// through a pool (clone/release) to make steady-state simulation
+// allocation-free.
+//
 // Shared across the whole solve (pointers copied by clone): the compiled σ
 // matrices sig/sigT and the site-alignment memo. Owned per state: the match
 // set and the attempt gain accumulator delta. The live driver state
-// additionally owns the per-fragment version map vers (clones drop it);
-// simulations may carry a readRecorder rec (clones keep it).
+// additionally owns the per-fragment version counters vers (clones drop
+// them); simulations may carry a readRecorder rec and a cancellation probe
+// ctx (clones keep both).
 type state struct {
-	in      *core.Instance
-	matches map[int]core.Match
-	// byFrag indexes the IDs of matches touching each fragment, so
-	// per-fragment queries never scan the whole match set. Lists are
-	// unsorted; fragMatchIDs sorts a copy on demand.
-	byFrag map[core.FragRef][]int
-	nextID int
-	locked map[core.FragRef]bool
+	in *core.Instance
+	// matches is the ID-indexed match store; alive masks the live entries
+	// and free recycles dead IDs (LIFO), keeping the store at roughly the
+	// live match count so clones stay small. ID allocation is still fully
+	// deterministic: a simulation and its replay perform the same operation
+	// sequence from the same start state (free list included), so they
+	// allocate identical IDs — and a cached gain's validity implies its
+	// referenced IDs are unchanged, since freeing an ID bumps the versions
+	// of the fragments its match touched.
+	matches []core.Match
+	alive   []bool
+	free    []int32
+	// byFrag[sp][i] lists the IDs of live matches touching fragment i of
+	// species sp. Lists are unsorted; fragMatchIDs sorts a copy on demand.
+	byFrag [2][][]int32
+	// locked lists fragments pinned by the attempt being simulated (at most
+	// a few entries; linear scans beat a map here).
+	locked []core.FragRef
 
 	sig   score.Scorer // σ prepared over the instance alphabet (dense float64 or int32-quantized)
 	sigT  score.Scorer // σᵀ for M-first alignments
@@ -73,28 +113,33 @@ type state struct {
 	// delta accumulates the score change of the attempt being applied:
 	// +score on add, −score on remove, the difference on restriction.
 	delta float64
-	// vers is the live state's per-fragment version map (nil on clones).
-	vers map[core.FragRef]uint64
+	// vers is the live state's per-fragment version counters (nil on
+	// clones: simulations never bump live versions).
+	vers *versions
 	// rec records fragment reads during a simulation (nil on the live
 	// state and on replays).
 	rec *readRecorder
+	// ctx, when non-nil, is the solve's cancellation probe: long-running
+	// simulation work (the TPA batches) aborts early once it fires. Only
+	// simulations carry it — the live state and replays keep it nil, so an
+	// accepted attempt is always applied atomically.
+	ctx context.Context
 }
 
 func newState(in *core.Instance, seed *core.Solution) *state {
 	sig := score.Prepare(in.Sigma, in.MaxSymbolID())
 	st := &state{
-		in:      in,
-		matches: make(map[int]core.Match),
-		byFrag:  make(map[core.FragRef][]int),
-		locked:  make(map[core.FragRef]bool),
-		sig:     sig,
-		sigT:    score.Transpose(sig),
-		memo:    newAlignMemo(),
-		pmemo:   newPlaceMemo(),
-		scr:     align.NewScratch(),
+		in:   in,
+		sig:  sig,
+		sigT: score.Transpose(sig),
+		memo:  newAlignMemo(),
+		pmemo: newPlaceMemo(),
+		scr:   align.NewScratch(),
+		vers:  newVersions(in),
 	}
 	for _, sp := range []core.Species{core.SpeciesH, core.SpeciesM} {
 		frags := in.Frags(sp)
+		st.byFrag[sp] = make([][]int32, len(frags))
 		st.revWords[sp] = make([]symbol.Word, len(frags))
 		for i := range frags {
 			st.revWords[sp][i] = frags[i].Regions.Rev()
@@ -102,9 +147,9 @@ func newState(in *core.Instance, seed *core.Solution) *state {
 	}
 	if seed != nil {
 		for _, mt := range seed.Matches {
-			id := st.nextID
-			st.nextID++
-			st.matches[id] = mt
+			id := len(st.matches)
+			st.matches = append(st.matches, mt)
+			st.alive = append(st.alive, true)
 			st.index(id, mt)
 		}
 	}
@@ -113,60 +158,74 @@ func newState(in *core.Instance, seed *core.Solution) *state {
 
 // index adds match id to both fragments' ID lists.
 func (st *state) index(id int, mt core.Match) {
-	h := core.FragRef{Sp: core.SpeciesH, Idx: mt.HSite.Frag}
-	m := core.FragRef{Sp: core.SpeciesM, Idx: mt.MSite.Frag}
-	st.byFrag[h] = append(st.byFrag[h], id)
-	st.byFrag[m] = append(st.byFrag[m], id)
+	st.byFrag[core.SpeciesH][mt.HSite.Frag] = append(st.byFrag[core.SpeciesH][mt.HSite.Frag], int32(id))
+	st.byFrag[core.SpeciesM][mt.MSite.Frag] = append(st.byFrag[core.SpeciesM][mt.MSite.Frag], int32(id))
 }
 
 // unindex removes match id from both fragments' ID lists.
 func (st *state) unindex(id int, mt core.Match) {
-	for _, fr := range [2]core.FragRef{
-		{Sp: core.SpeciesH, Idx: mt.HSite.Frag},
-		{Sp: core.SpeciesM, Idx: mt.MSite.Frag},
-	} {
-		ids := st.byFrag[fr]
+	for sp, frag := range [2]int{mt.HSite.Frag, mt.MSite.Frag} {
+		ids := st.byFrag[sp][frag]
 		for i, v := range ids {
-			if v == id {
+			if v == int32(id) {
 				ids[i] = ids[len(ids)-1]
-				st.byFrag[fr] = ids[:len(ids)-1]
+				st.byFrag[sp][frag] = ids[:len(ids)-1]
 				break
 			}
 		}
 	}
 }
 
+// statePool recycles simulation clones: candidate evaluation clones the
+// live state thousands of times per round, and the backing arrays of a
+// released clone are reused wholesale by the next one.
+var statePool = sync.Pool{New: func() any { return new(state) }}
+
+// clone returns a pooled copy of st for simulation. The caller must release
+// it when the simulation is done and must not use it afterwards.
 func (st *state) clone() *state {
-	c := &state{
-		in:       st.in,
-		matches:  make(map[int]core.Match, len(st.matches)),
-		byFrag:   make(map[core.FragRef][]int, len(st.byFrag)),
-		nextID:   st.nextID,
-		locked:   make(map[core.FragRef]bool, len(st.locked)),
-		sig:      st.sig,
-		sigT:     st.sigT,
-		memo:     st.memo,
-		pmemo:    st.pmemo,
-		revWords: st.revWords,
-		delta:    st.delta,
-		rec:      st.rec, // sub-simulations keep recording
-		scr:      st.scr, // overwritten by the worker on cross-goroutine evals
-		// vers deliberately dropped: simulations never bump live versions.
-	}
-	for id, mt := range st.matches {
-		c.matches[id] = mt
-	}
-	for fr, ids := range st.byFrag {
-		if len(ids) == 0 {
-			continue
+	c := statePool.Get().(*state)
+	c.in = st.in
+	c.matches = append(c.matches[:0], st.matches...)
+	c.alive = append(c.alive[:0], st.alive...)
+	c.free = append(c.free[:0], st.free...)
+	for sp := 0; sp < 2; sp++ {
+		src := st.byFrag[sp]
+		dst := c.byFrag[sp]
+		if cap(dst) < len(src) {
+			dst = make([][]int32, len(src))
 		}
-		// Fresh backing arrays: unindex swap-deletes in place.
-		c.byFrag[fr] = append([]int(nil), ids...)
+		dst = dst[:len(src)]
+		for i, ids := range src {
+			// Fresh (reused) backing arrays: unindex swap-deletes in place.
+			dst[i] = append(dst[i][:0], ids...)
+		}
+		c.byFrag[sp] = dst
 	}
-	for fr := range st.locked {
-		c.locked[fr] = true
-	}
+	c.locked = append(c.locked[:0], st.locked...)
+	c.sig, c.sigT = st.sig, st.sigT
+	c.memo, c.pmemo = st.memo, st.pmemo
+	c.scr = st.scr // overwritten by the worker on cross-goroutine evals
+	c.revWords = st.revWords
+	c.delta = st.delta
+	c.vers = nil        // simulations never bump live versions
+	c.rec = st.rec      // sub-simulations keep recording
+	c.ctx = st.ctx      // sub-simulations stay cancelable
 	return c
+}
+
+// release returns a simulation clone to the pool, dropping its references
+// to solve-shared structures.
+func (st *state) release() {
+	st.in = nil
+	st.sig, st.sigT = nil, nil
+	st.memo, st.pmemo = nil, nil
+	st.scr = nil
+	st.revWords = [2][]symbol.Word{}
+	st.vers = nil
+	st.rec = nil
+	st.ctx = nil
+	statePool.Put(st)
 }
 
 // note records a read of fragment fr's match data during a simulation.
@@ -182,43 +241,83 @@ func (st *state) bump(mt core.Match) {
 	if st.vers == nil {
 		return
 	}
-	st.vers[core.FragRef{Sp: core.SpeciesH, Idx: mt.HSite.Frag}]++
-	st.vers[core.FragRef{Sp: core.SpeciesM, Idx: mt.MSite.Frag}]++
+	st.vers.v[core.SpeciesH][mt.HSite.Frag]++
+	st.vers.v[core.SpeciesM][mt.MSite.Frag]++
 }
 
-// score sums in sorted-ID order so that a simulation and its replay (which
-// allocate identical IDs) produce bit-identical totals.
+// isLive reports whether match id exists in this state.
+func (st *state) isLive(id int) bool {
+	return id >= 0 && id < len(st.alive) && st.alive[id]
+}
+
+// lock pins fr for the duration of an attempt simulation.
+func (st *state) lock(fr core.FragRef) { st.locked = append(st.locked, fr) }
+
+// unlock releases the most recent lock on fr.
+func (st *state) unlock(fr core.FragRef) {
+	for i := len(st.locked) - 1; i >= 0; i-- {
+		if st.locked[i] == fr {
+			st.locked = append(st.locked[:i], st.locked[i+1:]...)
+			return
+		}
+	}
+}
+
+// isLocked reports whether fr is pinned by the running attempt.
+func (st *state) isLocked(fr core.FragRef) bool {
+	for _, l := range st.locked {
+		if l == fr {
+			return true
+		}
+	}
+	return false
+}
+
+// score sums in ascending-ID order so that a simulation and its replay
+// (which allocate identical IDs) produce bit-identical totals.
 func (st *state) score() float64 {
 	t := 0.0
-	for _, id := range st.matchIDs() {
-		t += st.matches[id].Score
+	for id, ok := range st.alive {
+		if ok {
+			t += st.matches[id].Score
+		}
 	}
 	return t
 }
 
 func (st *state) solution() *core.Solution {
-	ids := st.matchIDs()
-	sol := &core.Solution{Matches: make([]core.Match, 0, len(ids))}
-	for _, id := range ids {
-		sol.Matches = append(sol.Matches, st.matches[id])
+	sol := &core.Solution{}
+	for id, ok := range st.alive {
+		if ok {
+			sol.Matches = append(sol.Matches, st.matches[id])
+		}
 	}
 	return sol
 }
 
-// matchIDs returns the live match IDs in deterministic order.
+// matchIDs returns the live match IDs in deterministic (ascending) order.
 func (st *state) matchIDs() []int {
-	ids := make([]int, 0, len(st.matches))
-	for id := range st.matches {
-		ids = append(ids, id)
+	ids := make([]int, 0, len(st.alive))
+	for id, ok := range st.alive {
+		if ok {
+			ids = append(ids, id)
+		}
 	}
-	sort.Ints(ids)
 	return ids
 }
 
 func (st *state) addMatch(mt core.Match) int {
-	id := st.nextID
-	st.nextID++
-	st.matches[id] = mt
+	var id int
+	if n := len(st.free); n > 0 {
+		id = int(st.free[n-1])
+		st.free = st.free[:n-1]
+		st.matches[id] = mt
+		st.alive[id] = true
+	} else {
+		id = len(st.matches)
+		st.matches = append(st.matches, mt)
+		st.alive = append(st.alive, true)
+	}
 	st.index(id, mt)
 	st.delta += mt.Score
 	st.bump(mt)
@@ -234,14 +333,18 @@ func (st *state) setMatch(id int, mt core.Match) {
 }
 
 // fragMatchIDs returns the IDs of matches touching fragment fr, sorted by
-// site position.
+// site position. The slice is freshly built: callers mutate state while
+// iterating it.
 func (st *state) fragMatchIDs(fr core.FragRef) []int {
 	st.note(fr)
-	idx := st.byFrag[fr]
+	idx := st.byFrag[fr.Sp][fr.Idx]
 	if len(idx) == 0 {
 		return nil
 	}
-	ids := append([]int(nil), idx...) // callers mutate state while iterating
+	ids := make([]int, len(idx))
+	for i, v := range idx {
+		ids[i] = int(v)
+	}
 	sort.Slice(ids, func(a, b int) bool {
 		sa := st.matches[ids[a]].Side(fr.Sp).Lo
 		sb := st.matches[ids[b]].Side(fr.Sp).Lo
@@ -255,7 +358,7 @@ func (st *state) fragMatchIDs(fr core.FragRef) []int {
 
 func (st *state) degree(fr core.FragRef) int {
 	st.note(fr)
-	return len(st.byFrag[fr])
+	return len(st.byFrag[fr.Sp][fr.Idx])
 }
 
 // contribution is Cb(f, S): the total score of matches touching fr.
@@ -391,7 +494,8 @@ func (st *state) mkMatch(x core.FragRef, rev bool, z core.FragRef, lo, hi int) c
 // removeMatch deletes a match and returns it.
 func (st *state) removeMatch(id int) core.Match {
 	mt := st.matches[id]
-	delete(st.matches, id)
+	st.alive[id] = false
+	st.free = append(st.free, int32(id))
 	st.unindex(id, mt)
 	st.delta -= mt.Score
 	st.bump(mt)

@@ -22,6 +22,12 @@ import (
 // zones first): within one batch all new matches plug an opposite-species
 // fragment in full, so a batch can never place a window onto a fragment
 // that simultaneously receives a full-site match.
+//
+// On a simulation whose solve context has fired, TPA batches return
+// immediately: the simulation's gain is garbage, but the driver discards
+// every in-flight result on cancellation, and the live state (which never
+// carries a context) is untouched — this is what makes per-instance
+// cancellation sub-round even inside one long candidate evaluation.
 func (st *state) tpa(zones []core.Site) float64 {
 	var hz, mz []core.Site
 	for _, z := range zones {
@@ -43,6 +49,9 @@ func (st *state) tpa(zones []core.Site) float64 {
 
 // tpaBatch runs one single-species TPA batch.
 func (st *state) tpaBatch(zones []core.Site) float64 {
+	if st.ctx != nil && st.ctx.Err() != nil {
+		return 0 // canceled mid-simulation; the driver discards this gain
+	}
 	type zoneRec struct {
 		fr   core.FragRef
 		lo   int
@@ -100,7 +109,7 @@ func (st *state) tpaBatch(zones []core.Site) float64 {
 		sp := z.fr.Sp.Other()
 		for xi := 0; xi < st.in.NumFrags(sp); xi++ {
 			x := core.FragRef{Sp: sp, Idx: xi}
-			if st.locked[x] {
+			if st.isLocked(x) {
 				continue
 			}
 			// Cb(x) is consulted lazily, only once x shows a positive

@@ -10,5 +10,9 @@ go run ./cmd/csrbench -json -seed 1 -regions 60 -repeat 3 > BENCH_BASELINE.json
 go run ./cmd/csrbench -json -seed 1 -regions 60 -instances 8 -repeat 3 -algs csr-improve,four-approx >> BENCH_BASELINE.json
 go run ./cmd/csrbench -json -seed 1 -regions 60 -repeat 3 -int -algs csr-improve,four-approx >> BENCH_BASELINE.json
 go run ./cmd/csrbench -json -seed 1 -regions 60 -instances 8 -repeat 3 -int -algs csr-improve,four-approx >> BENCH_BASELINE.json
+# Incremental-enumeration ablation row (mode=full-enum): tracks what
+# from-scratch per-round enumeration costs, so the E7Improve/enum gap
+# stays visible in the committed trajectory.
+go run ./cmd/csrbench -json -seed 1 -regions 60 -instances 8 -repeat 3 -full-enum -algs csr-improve >> BENCH_BASELINE.json
 echo "wrote BENCH_BASELINE.json:" >&2
 cat BENCH_BASELINE.json >&2
