@@ -175,6 +175,29 @@ func BenchmarkE7Improve(b *testing.B) {
 			}
 		})
 	}
+	// Selection-engine pair on the same multi-round workload: select-lazy is
+	// the generation-stamped gain heap (the default), select-eager the
+	// full-list ablation. Identical accepted sequences
+	// (TestLazySelectionMatchesFull); the gap is the per-round candidate
+	// walk the heap avoids.
+	for _, e := range []struct {
+		name  string
+		eager bool
+	}{
+		{"select-lazy", false},
+		{"select-eager", true},
+	} {
+		b.Run(e.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, _, err := improve.Improve(w.Instance, improve.Options{
+					Methods: improve.AllMethods, Eps: 0.05, EagerSelect: e.eager,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkE8Matching measures the Lemma 9 Hungarian-based 2-approximation.

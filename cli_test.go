@@ -5,6 +5,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"testing"
@@ -163,6 +164,72 @@ func TestCLIBatchUnordered(t *testing.T) {
 		if !seen[i] {
 			t.Fatalf("missing index %d in unordered output:\n%s", i, out)
 		}
+	}
+}
+
+// TestCLIBatchReplay exercises the -results-from replay mode: a stored
+// unordered result stream must replay through the ordered sink as exactly
+// the records of the original run resequenced by submission index, and
+// through the unordered sink byte-identical to the archive — all without
+// re-solving anything.
+func TestCLIBatchReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool not available")
+	}
+	dir := t.TempDir()
+	stream := filepath.Join(dir, "batch.jsonl")
+	stored := filepath.Join(dir, "results.jsonl")
+
+	genCmd := exec.Command("go", "run", "./cmd/csrgen",
+		"-seed", "13", "-regions", "30", "-count", "5", "-format", "jsonl", "-out", stream)
+	if out, err := genCmd.CombinedOutput(); err != nil {
+		t.Fatalf("csrgen: %v\n%s", err, out)
+	}
+	solveCmd := exec.Command("go", "run", "./cmd/csrbatch",
+		"-algo", "csr-improve", "-shards", "2", "-unordered", stream)
+	archived, err := solveCmd.Output()
+	if err != nil {
+		t.Fatalf("csrbatch -unordered: %v", err)
+	}
+	if err := os.WriteFile(stored, archived, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ordered, err := exec.Command("go", "run", "./cmd/csrbatch", "-results-from", stored).Output()
+	if err != nil {
+		t.Fatalf("csrbatch -results-from: %v", err)
+	}
+	var idx []int
+	records := map[int]encoding.ResultRecord{}
+	if err := encoding.ReadJSONLResults(strings.NewReader(string(ordered)), func(r encoding.ResultRecord) error {
+		idx = append(idx, r.Index)
+		records[r.Index] = r
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 5 || !sort.IntsAreSorted(idx) {
+		t.Fatalf("ordered replay emitted indices %v, want 0..4 ascending", idx)
+	}
+	// The replayed records must carry the archived payloads untouched.
+	if err := encoding.ReadJSONLResults(strings.NewReader(string(archived)), func(r encoding.ResultRecord) error {
+		if got := records[r.Index]; got != r {
+			t.Fatalf("record %d mutated in replay: %+v vs %+v", r.Index, got, r)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	passthrough, err := exec.Command("go", "run", "./cmd/csrbatch", "-results-from", stored, "-unordered").Output()
+	if err != nil {
+		t.Fatalf("csrbatch -results-from -unordered: %v", err)
+	}
+	if string(passthrough) != string(archived) {
+		t.Fatalf("unordered replay is not byte-identical to the archive:\n%s\nvs\n%s", passthrough, archived)
 	}
 }
 

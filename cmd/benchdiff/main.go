@@ -11,9 +11,13 @@
 // float64 and int32-quantized score paths gate independently. Baseline
 // records below the noise floors (-floor-ms, -floor-allocs) are reported
 // but never gated — sub-millisecond timings on shared runners are jitter,
-// not signal. A record present in the baseline but missing from the PR file
-// fails the gate (an algorithm silently dropped from the sweep is itself a
-// regression); new PR-only records are reported as additions.
+// not signal. Improve rows additionally gate on the lazy selection
+// engine's resimulated count (-max-resim, deterministic per workload, so
+// no noise floor — just a size floor), catching staleness-tracking rot
+// that wall-time jitter would hide. A record present in the baseline but
+// missing from the PR file fails the gate (an algorithm silently dropped
+// from the sweep is itself a regression); new PR-only records are reported
+// as additions.
 package main
 
 import (
@@ -39,7 +43,15 @@ type record struct {
 	Allocs    uint64  `json:"allocs"`
 	Bytes     uint64  `json:"bytes"`
 	Score     float64 `json:"score"`
-	Error     string  `json:"error,omitempty"`
+	// Evaluated and Resimulated are the improve driver's work counters
+	// (deterministic, unlike wall time): gains obtained per round and stale
+	// gains re-simulated by the lazy selection engine. Improve rows — rows
+	// whose baseline carries these counters — are gated on a resimulated
+	// regression, which catches staleness-tracking rot (over-invalidation)
+	// that runner noise would hide in the wall gate.
+	Evaluated   int    `json:"evaluated,omitempty"`
+	Resimulated int    `json:"resimulated,omitempty"`
+	Error       string `json:"error,omitempty"`
 }
 
 type key struct {
@@ -112,8 +124,10 @@ func main() {
 	var (
 		maxWall     = flag.Float64("max-wall", 25, "max wall-time regression percent before failing (0 disables)")
 		maxAllocs   = flag.Float64("max-allocs", 50, "max allocation-count regression percent before failing (0 disables)")
+		maxResim    = flag.Float64("max-resim", 25, "max resimulated-count regression percent for improve rows before failing (0 disables)")
 		floorMS     = flag.Float64("floor-ms", 5, "baseline wall floor in ms; faster records are never gated")
 		floorAllocs = flag.Uint64("floor-allocs", 100000, "baseline allocation floor; smaller records are never alloc-gated")
+		floorResim  = flag.Int("floor-resim", 50, "baseline resimulated floor; smaller records are never resim-gated")
 	)
 	flag.Parse()
 	if flag.NArg() != 2 {
@@ -163,6 +177,17 @@ func main() {
 			notes = append(notes, "ALLOC REGRESSION")
 			failures = append(failures, fmt.Sprintf("%s: allocs %d → %d (%+.1f%% > %.0f%%)",
 				k, b.Allocs, c.Allocs, dAllocs, *maxAllocs))
+		}
+		// Resimulated counts are deterministic per workload, so this gate has
+		// no noise floor problem — only a size floor against ratio blowups on
+		// tiny counts. Rows without baseline counters (non-improve
+		// algorithms, eager/full-enum ablations) are skipped.
+		if b.Resimulated >= *floorResim && *maxResim > 0 {
+			if dResim := pct(float64(b.Resimulated), float64(c.Resimulated)); dResim > *maxResim {
+				notes = append(notes, "RESIM REGRESSION")
+				failures = append(failures, fmt.Sprintf("%s: resimulated %d → %d (%+.1f%% > %.0f%%)",
+					k, b.Resimulated, c.Resimulated, dResim, *maxResim))
+			}
 		}
 		fmt.Fprintf(tw, "%s\t%d\t%.1f → %.1f\t%+.1f%%\t%d → %d\t%+.1f%%\t%s\n",
 			k.label(), k.instances, b.WallMS, c.WallMS, dWall, b.Allocs, c.Allocs, dAllocs,

@@ -7,12 +7,20 @@
 //	csrgen -count 64 -format jsonl | csrbatch -algo csr-improve -shards 8
 //	csrbatch -timeout 30s instances.jsonl > results.jsonl
 //	csrbatch -unordered instances.jsonl | consumer
+//	csrbatch -results-from results.jsonl | consumer
 //
 // By default results stream as instances finish but always in submission
 // order, so output is byte-identical for any -shards value. With -unordered
 // they stream in completion order instead — each record still carries its
 // submission index — so downstream pipelines (encoding.ReadJSONLResults)
 // start consuming before the slowest instance finishes.
+//
+// -results-from replays a stored result stream instead of solving: the
+// records are re-emitted through the same ordered/unordered sinks (ordered
+// resequences by submission index, so a stored -unordered stream replays
+// byte-identical to the ordered run that would have produced it), letting
+// benchdiff-style tooling and sink consumers run over archived result
+// streams without re-solving the instances.
 package main
 
 import (
@@ -22,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
@@ -41,8 +50,22 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "per-instance solve deadline (0 = none)")
 		intMode   = flag.Bool("int", false, "solve with the int32-quantized score kernels (results re-scored under the exact σ)")
 		unordered = flag.Bool("unordered", false, "emit results in completion order instead of submission order")
+		lazySel   = flag.Bool("lazy", true, "use the lazy best-first candidate-selection engine (false = eager full-list ablation)")
+		replay    = flag.String("results-from", "", "replay a stored result JSONL stream through the sinks instead of solving")
 	)
 	flag.Parse()
+
+	if *replay != "" {
+		if flag.NArg() > 0 {
+			fmt.Fprintln(os.Stderr, "csrbatch: -results-from replaces the instance input; drop the positional argument")
+			os.Exit(2)
+		}
+		if err := runReplay(*replay, *unordered); err != nil {
+			fmt.Fprintln(os.Stderr, "csrbatch:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	src := io.Reader(os.Stdin)
 	if flag.NArg() > 1 {
@@ -67,6 +90,7 @@ func main() {
 		fragalign.WithFourApproxSeed(*seed4),
 		fragalign.WithPerInstanceTimeout(*timeout),
 		fragalign.WithIntScore(*intMode),
+		fragalign.WithLazySelection(*lazySel),
 	)
 	defer pool.Close()
 
@@ -191,4 +215,84 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// runReplay re-emits a stored result stream ("-" for stdin) through the
+// ordered or unordered sink without solving anything. Unordered preserves
+// the stored stream order; ordered resequences by submission index,
+// buffering out-of-order records until their predecessors arrive and
+// flushing any residue (gaps in an incomplete archive) in index order at
+// EOF. The stderr summary reports the stored per-instance wall times, not
+// replay time, so pipelines can tell archived cost from replay cost.
+func runReplay(path string, unordered bool) error {
+	src := io.Reader(os.Stdin)
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	start := time.Now()
+	var solved, failed int
+	var wallTotal time.Duration
+	emit := func(rec encoding.ResultRecord) error {
+		if rec.Error != "" {
+			failed++
+		} else {
+			solved++
+			wallTotal += time.Duration(rec.WallMS * float64(time.Millisecond))
+		}
+		return encoding.WriteJSONLResult(os.Stdout, &rec)
+	}
+	var err error
+	if unordered {
+		err = encoding.ReadJSONLResults(src, emit)
+	} else {
+		pending := map[int]encoding.ResultRecord{}
+		next := 0
+		err = encoding.ReadJSONLResults(src, func(rec encoding.ResultRecord) error {
+			pending[rec.Index] = rec
+			for {
+				r, ok := pending[next]
+				if !ok {
+					return nil
+				}
+				if e := emit(r); e != nil {
+					return e
+				}
+				delete(pending, next)
+				next++
+			}
+		})
+		if err == nil && len(pending) > 0 {
+			// Incomplete archive: flush the residue in index order.
+			rest := make([]int, 0, len(pending))
+			for idx := range pending {
+				rest = append(rest, idx)
+			}
+			sort.Ints(rest)
+			for _, idx := range rest {
+				if e := emit(pending[idx]); e != nil {
+					return e
+				}
+			}
+		}
+	}
+	if err != nil {
+		return err
+	}
+	total := solved + failed
+	mean := time.Duration(0)
+	if solved > 0 {
+		mean = wallTotal / time.Duration(solved)
+	}
+	fmt.Fprintf(os.Stderr,
+		"csrbatch: replayed %d stored records (%d failed) in %v — stored mean solve %v\n",
+		total, failed, time.Since(start).Round(time.Millisecond), mean.Round(time.Microsecond))
+	if failed > 0 {
+		os.Exit(1)
+	}
+	return nil
 }

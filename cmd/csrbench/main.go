@@ -6,6 +6,7 @@
 //	csrbench [-seed 1] [-only E2,E7]
 //	csrbench -json [-seed 1] [-regions 60] [-instances 8] [-repeat 3] [-algs csr-improve,four-approx]
 //	csrbench -json -full-enum -algs csr-improve   # incremental-enumeration ablation row
+//	csrbench -json -lazy=false -algs csr-improve  # eager-selection ablation row (mode=eager)
 //
 // With -json it instead solves synthetic workloads with every selected
 // algorithm and emits machine-readable records — per-algorithm wall time,
@@ -34,9 +35,10 @@ import (
 // algResult is one machine-readable benchmark record. Mode distinguishes
 // the solver path — "int32" for the quantized integer kernels, "full-enum"
 // for from-scratch candidate enumeration (the incremental-enumeration
-// ablation), "int32+full-enum" for both, empty for the default exact
-// float64 path — and benchdiff matches records on (algorithm, mode, …) so
-// every path is gated independently.
+// ablation), "eager" for the full-list selection engine (the lazy-selection
+// ablation, csrbench -lazy=false), combinations joined with "+", empty for
+// the default exact float64 lazy path — and benchdiff matches records on
+// (algorithm, mode, …) so every path is gated independently.
 type algResult struct {
 	Algorithm string  `json:"algorithm"`
 	Mode      string  `json:"mode,omitempty"`
@@ -48,9 +50,23 @@ type algResult struct {
 	Bytes     uint64  `json:"bytes"`
 	Score     float64 `json:"score"`
 	Matches   int     `json:"matches,omitempty"`
-	Rounds    int     `json:"rounds,omitempty"`
-	Evaluated int     `json:"evaluated,omitempty"`
-	Accepted  int     `json:"accepted,omitempty"`
+	// Evaluated counts candidate gains obtained per round, summed over the
+	// batch: the full enumerated list each round under the eager engines,
+	// only the gains actually computed by simulation under the lazy engine
+	// (improve.Stats.Evaluated).
+	Rounds    int `json:"rounds,omitempty"`
+	Evaluated int `json:"evaluated,omitempty"`
+	Accepted  int `json:"accepted,omitempty"`
+	// Popped / Resimulated / Skipped aggregate the lazy selection engine's
+	// heap traffic over the batch (improve.Stats): heap extractions, stale
+	// candidates re-simulated after an accepted attempt dirtied them, and
+	// cached candidates carried through a selection untouched. All zero in
+	// "eager" / "full-enum" mode rows. benchdiff gates improve rows on a
+	// resimulated-count regression, so staleness-tracking rot is caught in
+	// CI even when wall time hides it.
+	Popped      int `json:"popped,omitempty"`
+	Resimulated int `json:"resimulated,omitempty"`
+	Skipped     int `json:"skipped,omitempty"`
 	// EnumRefreshed / EnumReused aggregate the enumeration subsystem's
 	// piece-cache traffic over the batch (improve.Stats).
 	EnumRefreshed int    `json:"enum_refreshed,omitempty"`
@@ -70,11 +86,12 @@ func main() {
 		algsFlag  = flag.String("algs", "", "comma-separated algorithms for -json (default all but exact)")
 		intMode   = flag.Bool("int", false, "solve with the int32-quantized score kernels (records carry mode=int32)")
 		fullEnum  = flag.Bool("full-enum", false, "disable incremental candidate enumeration — the ablation trajectory row (records carry mode=full-enum)")
+		lazySel   = flag.Bool("lazy", true, "use the lazy best-first selection engine; false runs the eager full-list ablation (records carry mode=eager)")
 		sharedAl  = flag.Bool("shared-alphabet", false, "generate all -json instances over one canonical alphabet/σ table (exercises the batch pool's per-alphabet cache)")
 	)
 	flag.Parse()
 	if *asJSON {
-		if err := runJSON(*seed, *regions, *instances, *repeat, *shards, *algsFlag, *intMode, *fullEnum, *sharedAl); err != nil {
+		if err := runJSON(*seed, *regions, *instances, *repeat, *shards, *algsFlag, *intMode, *fullEnum, *lazySel, *sharedAl); err != nil {
 			fmt.Fprintln(os.Stderr, "csrbench:", err)
 			os.Exit(1)
 		}
@@ -94,7 +111,7 @@ func main() {
 	}
 }
 
-func runJSON(seed int64, regions, instances, repeat, shards int, algsFlag string, intMode, fullEnum, sharedAl bool) error {
+func runJSON(seed int64, regions, instances, repeat, shards int, algsFlag string, intMode, fullEnum, lazySel, sharedAl bool) error {
 	if instances < 1 {
 		instances = 1
 	}
@@ -138,6 +155,9 @@ func runJSON(seed int64, regions, instances, repeat, shards int, algsFlag string
 	if fullEnum {
 		modes = append(modes, "full-enum")
 	}
+	if !lazySel {
+		modes = append(modes, "eager")
+	}
 	mode := strings.Join(modes, "+")
 	enc := json.NewEncoder(os.Stdout)
 	for _, alg := range algs {
@@ -152,7 +172,8 @@ func runJSON(seed int64, regions, instances, repeat, shards int, algsFlag string
 			results, err := fragalign.SolveBatch(context.Background(), ins, alg,
 				fragalign.WithEps(0.05), fragalign.WithFourApproxSeed(true),
 				fragalign.WithShards(shards), fragalign.WithIntScore(intMode),
-				fragalign.WithIncrementalEnum(!fullEnum))
+				fragalign.WithIncrementalEnum(!fullEnum),
+				fragalign.WithLazySelection(lazySel))
 			wallMS := float64(time.Since(start).Microseconds()) / 1000
 			runtime.ReadMemStats(&m1)
 			if err != nil {
@@ -181,6 +202,9 @@ func runJSON(seed int64, regions, instances, repeat, shards int, algsFlag string
 					rec.Rounds += res.Stats.Rounds
 					rec.Evaluated += res.Stats.Evaluated
 					rec.Accepted += res.Stats.Accepted
+					rec.Popped += res.Stats.Popped
+					rec.Resimulated += res.Stats.Resimulated
+					rec.Skipped += res.Stats.Skipped
 					rec.EnumRefreshed += res.Stats.EnumRefreshed
 					rec.EnumReused += res.Stats.EnumReused
 				}

@@ -7,9 +7,17 @@
 // containers the series records the scheduling overhead instead.
 //
 // Run: go run ./examples/parallel
+//
+// -deadline bounds every wavefront sweep: the tile schedulers poll the
+// context between tiles (WavefrontAligner.Ctx / ScoreCtx), so a sweep that
+// exceeds the budget returns context.DeadlineExceeded mid-matrix instead of
+// running to the corner — the serving posture for very large single
+// alignments. Try -deadline 1ms to watch the 3000×3000 sweep get cut off.
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -21,6 +29,8 @@ import (
 )
 
 func main() {
+	deadline := flag.Duration("deadline", 0, "per-sweep time budget (0 = none); exceeded sweeps abort mid-matrix")
+	flag.Parse()
 	const n = 3000
 	r := rand.New(rand.NewSource(11))
 	tb := score.NewTable()
@@ -52,9 +62,23 @@ func main() {
 
 	for _, workers := range []int{1, 2, 4, 8} {
 		wf := align.WavefrontAligner{Workers: workers, BlockRows: 256, BlockCols: 256}
+		var cancel context.CancelFunc
+		if *deadline > 0 {
+			var ctx context.Context
+			ctx, cancel = context.WithTimeout(context.Background(), *deadline)
+			wf.Ctx = ctx
+		}
 		t0 = time.Now()
-		got := wf.Score(a, b, tb)
+		got, err := wf.ScoreCtx(a, b, tb)
 		el := time.Since(t0)
+		if cancel != nil {
+			cancel()
+		}
+		if err != nil {
+			fmt.Printf("wavefront workers=%-3d interrupted mid-sweep after %v: %v\n",
+				workers, el.Round(time.Millisecond), err)
+			continue
+		}
 		status := "OK"
 		if got != serial {
 			status = "MISMATCH"

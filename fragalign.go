@@ -224,14 +224,15 @@ func Algorithms() []Algorithm {
 type Option func(*solveCfg)
 
 type solveCfg struct {
-	workers  int
-	eps      float64
-	seed4    bool
-	exactCap int
-	check    bool
-	quantize bool
-	intScore bool
-	fullEnum bool
+	workers     int
+	eps         float64
+	seed4       bool
+	exactCap    int
+	check       bool
+	quantize    bool
+	intScore    bool
+	fullEnum    bool
+	eagerSelect bool
 	// Batch-only knobs (see solvebatch.go).
 	shards  int
 	queue   int
@@ -284,6 +285,21 @@ func WithIntScore(on bool) Option { return func(c *solveCfg) { c.intScore = on }
 // ImproveStats.EnumRefreshed / EnumReused report the subsystem's cache
 // traffic.
 func WithIncrementalEnum(on bool) Option { return func(c *solveCfg) { c.fullEnum = !on } }
+
+// WithLazySelection toggles the improvement driver's lazy best-first
+// candidate-selection engine (on by default): cached candidate gains live
+// in a generation-stamped slot array feeding an indexed max-heap, accepted
+// attempts dirty only the candidates that read a touched fragment (via a
+// per-fragment inverted dependency index), and each round re-simulates just
+// that stale frontier before accepting the heap top — so converged rounds
+// touch O(dirty + log C) candidates instead of walking all C. Accepted
+// attempt sequences, match sets, and scores are bit-identical either way
+// (the improve test suite triangulates the engines against the FullEnum and
+// FullReeval oracles). Pass false to fall back to the eager full-list
+// engine, for A/B benchmarking (csrbench -lazy=false).
+// ImproveStats.Popped / Resimulated / Skipped report the engine's heap
+// traffic.
+func WithLazySelection(on bool) Option { return func(c *solveCfg) { c.eagerSelect = !on } }
 
 // WithShards sets the number of concurrent per-instance solvers a batch
 // pool runs (default GOMAXPROCS). Batch APIs only; Solve ignores it.
@@ -404,6 +420,7 @@ func solveInstance(ctx context.Context, in *Instance, alg Algorithm, cfg solveCf
 			Quantize:           cfg.quantize,
 			IntScore:           cfg.intScore,
 			FullEnum:           cfg.fullEnum,
+			EagerSelect:        cfg.eagerSelect,
 			CheckInvariants:    cfg.check,
 			Ctx:                ctx,
 			Eval:               eval,

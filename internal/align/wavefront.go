@@ -1,6 +1,7 @@
 package align
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -32,6 +33,14 @@ type WavefrontAligner struct {
 	// BlockRows and BlockCols are the tile dimensions; values < 1 default
 	// to 128.
 	BlockRows, BlockCols int
+	// Ctx, when non-nil, cancels a sweep between tiles: the schedulers
+	// (inline and parallel alike) poll it before computing each tile, so a
+	// deadline interrupts even one very large single alignment mid-sweep
+	// instead of at the matrix boundary. A canceled Score returns 0; use
+	// ScoreCtx to observe the error. Cancellation never corrupts the pooled
+	// sweep state — remaining tiles are skipped, not half-computed, and the
+	// state is recycled as usual.
+	Ctx context.Context
 }
 
 // wfState is the pooled per-call state of one wavefront run: the retained
@@ -47,8 +56,8 @@ type wfState struct {
 	br, bc int
 	nI, nJ int
 
-	rowBuf [][]float64 // rowBuf[I][j] = D[rowEnd(I)][j]; rowBuf[0] = DP row 0
-	carry  [][]float64 // carry[I][r] = D[rowLo(I)+r][colDone], updated in place
+	rowBuf  [][]float64 // rowBuf[I][j] = D[rowEnd(I)][j]; rowBuf[0] = DP row 0
+	carry   [][]float64 // carry[I][r] = D[rowLo(I)+r][colDone], updated in place
 	rowBufI [][]int32
 	carryI  [][]int32
 	deps    []int32
@@ -78,11 +87,20 @@ func growRowsI(rows [][]int32, k, n int) [][]int32 {
 	return rows
 }
 
-// Score returns P_score(a, b), identical to the serial Score.
+// Score returns P_score(a, b), identical to the serial Score. A canceled
+// Ctx yields 0; ScoreCtx surfaces the error.
 func (w WavefrontAligner) Score(a, b symbol.Word, sc score.Scorer) float64 {
+	out, _ := w.ScoreCtx(a, b, sc)
+	return out
+}
+
+// ScoreCtx is Score with the cancellation error surfaced: it returns the
+// Ctx error when the sweep was interrupted (the partial score is discarded)
+// and otherwise the exact score.
+func (w WavefrontAligner) ScoreCtx(a, b symbol.Word, sc score.Scorer) (float64, error) {
 	m, n := len(a), len(b)
 	if m == 0 || n == 0 {
-		return 0
+		return 0, nil
 	}
 	br, bc := w.BlockRows, w.BlockCols
 	if br < 1 {
@@ -128,14 +146,20 @@ func (w WavefrontAligner) Score(a, b symbol.Word, sc score.Scorer) float64 {
 
 	if workers == 1 {
 		s := NewScratch()
+	sweep:
 		for I := 0; I < ws.nI; I++ {
 			for J := 0; J < ws.nJ; J++ {
+				// Poll between tiles: a tile is the cancellation quantum, so
+				// a deadline interrupts the sweep mid-matrix.
+				if w.Ctx != nil && w.Ctx.Err() != nil {
+					break sweep
+				}
 				ws.tile(I, J, s)
 			}
 		}
 		s.Release()
 	} else {
-		ws.runParallel(workers)
+		ws.runParallel(workers, w.Ctx)
 	}
 
 	var out float64
@@ -147,12 +171,20 @@ func (w WavefrontAligner) Score(a, b symbol.Word, sc score.Scorer) float64 {
 	// Drop references to caller data before pooling the state.
 	ws.a, ws.b, ws.sc, ws.cm, ws.ci = nil, nil, nil, nil, nil
 	wfPool.Put(ws)
-	return out
+	if w.Ctx != nil {
+		if err := w.Ctx.Err(); err != nil {
+			return 0, err // the partial sweep's corner is garbage
+		}
+	}
+	return out, nil
 }
 
 // runParallel executes the tiles over a worker pool with per-tile dependency
 // counters: a tile is enqueued when both its up- and left-neighbour are done.
-func (ws *wfState) runParallel(workers int) {
+// A canceled ctx stops the compute but not the scheduling: remaining tiles
+// drain through the dependency graph as no-ops, so the wait group settles
+// without deadlock and the pooled state stays reusable.
+func (ws *wfState) runParallel(workers int, ctx context.Context) {
 	total := ws.nI * ws.nJ
 	ws.deps = growI(ws.deps, total)
 	for I := 0; I < ws.nI; I++ {
@@ -167,6 +199,7 @@ func (ws *wfState) runParallel(workers int) {
 			ws.deps[I*ws.nJ+J] = d
 		}
 	}
+	var stop atomic.Bool
 	type tile struct{ I, J int32 }
 	ready := make(chan tile, total)
 	var wg sync.WaitGroup
@@ -184,7 +217,13 @@ func (ws *wfState) runParallel(workers int) {
 			s := NewScratch()
 			defer s.Release()
 			for t := range ready {
-				ws.tile(int(t.I), int(t.J), s)
+				if !stop.Load() {
+					if ctx != nil && ctx.Err() != nil {
+						stop.Store(true) // fast path for the other workers
+					} else {
+						ws.tile(int(t.I), int(t.J), s)
+					}
+				}
 				release(int(t.I)+1, int(t.J))
 				release(int(t.I), int(t.J)+1)
 				wg.Done()

@@ -1,0 +1,96 @@
+package align
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/score"
+	"repro/internal/symbol"
+)
+
+func wfWords(n int, seed int64) (symbol.Word, symbol.Word, *score.Table) {
+	r := rand.New(rand.NewSource(seed))
+	tb := score.NewTable()
+	for i := 1; i <= 40; i++ {
+		tb.Set(symbol.Symbol(i), symbol.Symbol(i%40+1), float64(1+i%7))
+	}
+	mk := func() symbol.Word {
+		w := make(symbol.Word, n)
+		for i := range w {
+			w[i] = symbol.Symbol(1 + r.Intn(40))
+		}
+		return w
+	}
+	return mk(), mk(), tb
+}
+
+// TestWavefrontCancel checks the contract of a canceled sweep on both
+// schedulers: ScoreCtx returns the context error (and a zero score), a nil
+// or un-fired context scores exactly, and the pooled state survives a
+// cancellation — the next sweep on the same pool is exact.
+func TestWavefrontCancel(t *testing.T) {
+	a, b, tb := wfWords(600, 1)
+	want := Score(a, b, tb)
+	for _, workers := range []int{1, 4} {
+		wf := WavefrontAligner{Workers: workers, BlockRows: 64, BlockCols: 64}
+		if got, err := wf.ScoreCtx(a, b, tb); err != nil || got != want {
+			t.Fatalf("workers=%d: nil ctx: got %v, %v; want %v", workers, got, err, want)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel() // fired before the sweep: every tile is skipped
+		wf.Ctx = ctx
+		got, err := wf.ScoreCtx(a, b, tb)
+		if err != context.Canceled || got != 0 {
+			t.Fatalf("workers=%d: canceled ctx: got %v, err %v; want 0, context.Canceled", workers, got, err)
+		}
+		if wf.Score(a, b, tb) != 0 {
+			t.Fatalf("workers=%d: canceled Score must return 0", workers)
+		}
+		// The pooled sweep state must be intact after the aborted run.
+		wf.Ctx = context.Background()
+		if got, err := wf.ScoreCtx(a, b, tb); err != nil || got != want {
+			t.Fatalf("workers=%d: post-cancel sweep: got %v, %v; want %v", workers, got, err, want)
+		}
+	}
+}
+
+// TestWavefrontCancelPromptness bounds the latency of a mid-sweep deadline
+// on an alignment whose full sweep takes much longer: the return must come
+// well before the sweep would have finished, proving the tile scheduler —
+// not the caller — observed the deadline (the ROADMAP follow-up from the
+// sub-round solver cancellation work).
+func TestWavefrontCancelPromptness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	a, b, tb := wfWords(4000, 2)
+	for _, workers := range []int{1, 4} {
+		wf := WavefrontAligner{Workers: workers, BlockRows: 64, BlockCols: 64}
+		solo := time.Now()
+		wf.Score(a, b, tb)
+		full := time.Since(solo)
+		// Shrink the deadline until a sweep actually gets interrupted; warm
+		// pools can make later sweeps faster than the reference.
+		for deadline := full / 8; deadline >= 50*time.Microsecond; deadline /= 4 {
+			ctx, cancel := context.WithTimeout(context.Background(), deadline)
+			wf.Ctx = ctx
+			start := time.Now()
+			_, err := wf.ScoreCtx(a, b, tb)
+			elapsed := time.Since(start)
+			cancel()
+			if err == nil {
+				continue // the sweep beat this deadline; tighten
+			}
+			if err != context.DeadlineExceeded {
+				t.Fatalf("workers=%d: err = %v, want deadline exceeded", workers, err)
+			}
+			if elapsed > full/2+50*time.Millisecond {
+				t.Fatalf("workers=%d: cancellation took %v of a %v sweep — not mid-sweep", workers, elapsed, full)
+			}
+			return
+		}
+		t.Logf("workers=%d: machine sweeps faster than every deadline; nothing to observe", workers)
+	}
+}

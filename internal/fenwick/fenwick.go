@@ -13,6 +13,12 @@ type Tree struct {
 // New returns a tree over n positions, all zero.
 func New(n int) *Tree { return &Tree{sums: make([]float64, n+1)} }
 
+// Wrap returns a tree over a caller-owned backing array of n+1 zeroed
+// slots — the allocation-free form for callers that pool their buffers
+// (the two-phase ISP scratch). The caller keeps ownership and must re-zero
+// the array before reuse.
+func Wrap(sums []float64) Tree { return Tree{sums: sums} }
+
 // Len returns the number of positions.
 func (t *Tree) Len() int { return len(t.sums) - 1 }
 

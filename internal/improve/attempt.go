@@ -41,8 +41,10 @@ func runI1(st *state, k candKey) float64 {
 	for _, id := range st.fragMatchIDs(f) {
 		st.removeMatch(id)
 	}
-	// Prepare the target window.
-	freed := st.prepare(g, wLo, wHi)
+	// Prepare the target window (freed zones accumulate in the state's
+	// reusable buffer; consumed by the TPA calls below).
+	st.freedBuf = st.prepare(st.freedBuf[:0], g, wLo, wHi)
+	freed := st.freedBuf
 
 	// Best placement of f inside the prepared window (the last entry of
 	// the Pareto frontier is the best-scoring one).
@@ -108,8 +110,8 @@ func runI2(st *state, k candKey) float64 {
 	fLo, fHi := windowAt(fe, fw, nf)
 	gLo, gHi := windowAt(ge, gw, ng)
 
-	freed := st.prepare(f, fLo, fHi)
-	freed = append(freed, st.prepare(g, gLo, gHi)...)
+	freed := st.prepare(st.freedBuf[:0], f, fLo, fHi)
+	freed = st.prepare(freed, g, gLo, gHi)
 	// Multi-edge guard: a conjecture pair merges two matches between the
 	// same fragments into one, so any surviving f–g match must yield to
 	// the new link. Its sites become zones.
@@ -120,6 +122,7 @@ func runI2(st *state, k candKey) float64 {
 			freed = append(freed, mt.HSite, mt.MSite)
 		}
 	}
+	st.freedBuf = freed
 
 	// Border alignment: orient g's window relative to f per the end rule,
 	// then claim sites from the outermost scoring columns to the fragment
@@ -156,7 +159,8 @@ func runI2(st *state, k candKey) float64 {
 
 	// TPA on the inner remnants (window minus claimed site) and the freed
 	// partner sites.
-	var zones []core.Site
+	zones := st.zonesBuf[:0]
+	defer func() { st.zonesBuf = zones[:0] }()
 	if fe == rightEnd && fSite[0] > fLo {
 		zones = append(zones, core.Site{Species: f.Sp, Frag: f.Idx, Lo: fLo, Hi: fSite[0]})
 	}

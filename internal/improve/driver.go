@@ -80,6 +80,15 @@ type Options struct {
 	// round. The A/B knob for the enumeration subsystem alone
 	// (fragalign.WithIncrementalEnum(false)).
 	FullEnum bool
+	// EagerSelect disables the lazy best-first selection engine
+	// (selection.go): every round then walks the full enumerated candidate
+	// list and serves gains from the per-key cache map — the PR 4 driver.
+	// The accepted attempt sequence, match set, and scores are identical
+	// either way (TestLazySelectionMatchesFull); this is the selection
+	// ablation knob (fragalign.WithLazySelection(false), csrbench
+	// -lazy=false). FullEnum and FullReeval imply it: both oracles re-walk
+	// the full candidate list by definition.
+	EagerSelect bool
 	// minGain is an internal acceptance floor. The quantized path sets it
 	// to half a quantum: every true gain is a whole multiple of the
 	// quantum, so the floor only rejects floating-point noise around zero.
@@ -94,11 +103,30 @@ type Options struct {
 
 // Stats reports how an improvement run went.
 type Stats struct {
-	Rounds    int
+	Rounds int
+	// Evaluated counts candidate gains obtained per round. Under the eager
+	// engines (EagerSelect/FullEnum/FullReeval) that is the full candidate
+	// list every round — enumerated candidates, whether served from cache
+	// or re-simulated. Under the lazy engine it is the gains actually
+	// computed by simulation, which on converged rounds is just the dirty
+	// frontier; the ≥3× per-round reduction is the engine's acceptance
+	// criterion.
 	Evaluated int
 	Accepted  int
 	Threshold float64
 	Final     float64
+	// Popped, Resimulated and Skipped report the lazy selection engine's
+	// heap traffic (all zero under the eager engines). Popped counts heap
+	// extractions: the stale frontier pulled for re-simulation each round
+	// plus the current-top inspection that ends the round. Resimulated
+	// counts frontier slots that already had a recorded gain — the
+	// candidates invalidated by accepted attempts (first-time simulations
+	// of newly enumerated candidates are excluded). Skipped counts live
+	// candidates carried through a selection untouched — cached gains the
+	// eager loop would have re-checked.
+	Popped      int
+	Resimulated int
+	Skipped     int
 	// EnumRefreshed and EnumReused count the enumeration subsystem's
 	// piece-cache traffic across all rounds: pieces recomputed vs served
 	// from cache. Under FullEnum/FullReeval every piece refreshes every
@@ -114,6 +142,21 @@ func Improve(in *core.Instance, opt Options) (*core.Solution, Stats, error) {
 	var stats Stats
 	if err := in.Validate(); err != nil {
 		return nil, stats, err
+	}
+	// The memo keys pack fragment indices into 20 bits and site bounds into
+	// 21 (incremental.go: mkAlignKey/mkPlaceKey); reject instances beyond
+	// those ranges up front — a silent packed-key collision would corrupt
+	// cached scores. Real instances are orders of magnitude smaller.
+	const maxPackFrags, maxPackLen = 1 << 20, 1 << 21
+	for _, sp := range []core.Species{core.SpeciesH, core.SpeciesM} {
+		if n := in.NumFrags(sp); n >= maxPackFrags {
+			return nil, stats, fmt.Errorf("improve: %d %v fragments exceed the %d supported", n, sp, maxPackFrags-1)
+		}
+		for i := 0; i < in.NumFrags(sp); i++ {
+			if l := in.Frag(sp, i).Len(); l >= maxPackLen {
+				return nil, stats, fmt.Errorf("improve: fragment %v/%d length %d exceeds the %d supported", sp, i, l, maxPackLen-1)
+			}
+		}
 	}
 	if opt.Methods == 0 {
 		opt.Methods = AllMethods
@@ -141,6 +184,15 @@ func Improve(in *core.Instance, opt Options) (*core.Solution, Stats, error) {
 		istats.Final = sol.Score()
 		return sol, istats, nil
 	}
+	// Prepare σ once for the whole solve: the baseline 4-approximation and
+	// the driver state then share one compiled matrix (and its cached
+	// transpose) instead of each compiling their own. Scoring is
+	// bit-identical — a compiled matrix returns the exact float64 cells of
+	// its base scorer — and batch-pooled instances, whose Sigma is already
+	// the pool's cached matrix, pass through untouched.
+	prepared := *in
+	prepared.Sigma = score.Prepare(in.Sigma, in.MaxSymbolID())
+	in = &prepared
 	workers := opt.Workers
 	if workers < 1 {
 		workers = 1
@@ -193,7 +245,6 @@ func Improve(in *core.Instance, opt Options) (*core.Solution, Stats, error) {
 	st := newState(in, seed)
 	defer st.scr.Release() // the driver's own alignment scratch arena
 	vers := st.vers
-	cache := make(map[candKey]*cacheEntry)
 	pool := opt.Eval
 	if pool == nil && workers > 1 {
 		pool = NewEvalPool(workers)
@@ -232,6 +283,22 @@ func Improve(in *core.Instance, opt Options) (*core.Solution, Stats, error) {
 		}
 		batch.wait()
 	}
+	floor := max(stats.Threshold, opt.minGain)
+	if !fullEnum && !opt.EagerSelect {
+		// Default path: the lazy best-first selection engine (selection.go).
+		// The eager loop below survives as its oracle and ablation.
+		if err := improveLazy(opt, st, en, pool, runShards, canceled, maxRounds, floor, &stats); err != nil {
+			return nil, stats, err
+		}
+		es := en.Stats()
+		stats.EnumRefreshed, stats.EnumReused = es.Refreshed, es.Reused
+		sol := st.solution()
+		stats.Final = sol.Score()
+		return sol, stats, nil
+	}
+	// The eager engines: per-round full-list selection with the per-key
+	// gain-cache map (dropped under FullReeval).
+	cache := make(map[candKey]*cacheEntry)
 	// Per-round buffers, reused across rounds.
 	var (
 		gains []float64
@@ -326,33 +393,21 @@ func Improve(in *core.Instance, opt Options) (*core.Solution, Stats, error) {
 				}
 			}
 		}
-		bestIdx, bestGain := -1, max(stats.Threshold, opt.minGain)
+		// Argmax under the same total order the lazy engine's heap uses:
+		// strictly best gain, ties to the enum.Less-least candidate (which
+		// coincides with list position for I1/I2; I3 ties resolve by chain
+		// ID in both engines).
+		bestIdx, bestGain := -1, floor
 		for i, g := range gains {
-			if g > bestGain {
+			if g > bestGain || (bestIdx >= 0 && g == bestGain && enum.Less(cands[i], cands[bestIdx])) {
 				bestIdx, bestGain = i, g
 			}
 		}
 		if bestIdx < 0 {
 			break
 		}
-		st.delta = 0 // replay under the same accumulator base as the simulation
-		got := runCand(st, cands[bestIdx])
-		stats.Accepted++
-		if opt.onAccept != nil {
-			opt.onAccept(cands[bestIdx])
-		}
-		if diff := got - bestGain; diff > 1e-6*(1+bestGain) || diff < -1e-6*(1+bestGain) {
-			return nil, stats, fmt.Errorf("improve: %s replayed gain %v != simulated %v",
-				cands[bestIdx], got, bestGain)
-		}
-		if opt.CheckInvariants {
-			sol := st.solution()
-			if err := sol.Validate(in); err != nil {
-				return nil, stats, fmt.Errorf("improve: after %s: %w", cands[bestIdx], err)
-			}
-			if _, err := sol.BuildConjecture(in); err != nil {
-				return nil, stats, fmt.Errorf("improve: after %s: inconsistent solution: %w", cands[bestIdx], err)
-			}
+		if err := replayAccept(st, &opt, &stats, cands[bestIdx], bestGain); err != nil {
+			return nil, stats, err
 		}
 	}
 	es := en.Stats()
@@ -360,6 +415,33 @@ func Improve(in *core.Instance, opt Options) (*core.Solution, Stats, error) {
 	sol := st.solution()
 	stats.Final = sol.Score()
 	return sol, stats, nil
+}
+
+// replayAccept applies an accepted candidate on the live state and verifies
+// the replayed gain matches the simulated one — shared by both selection
+// engines (the lazy engine resets st.bumpLog beforehand to collect the
+// replay's dirty fragment set). The replay runs with a zeroed accumulator,
+// mirroring the simulation's float addition sequence exactly.
+func replayAccept(st *state, opt *Options, stats *Stats, key candKey, want float64) error {
+	st.delta = 0
+	got := runCand(st, key)
+	stats.Accepted++
+	if opt.onAccept != nil {
+		opt.onAccept(key)
+	}
+	if diff := got - want; diff > 1e-6*(1+want) || diff < -1e-6*(1+want) {
+		return fmt.Errorf("improve: %s replayed gain %v != simulated %v", key, got, want)
+	}
+	if opt.CheckInvariants {
+		sol := st.solution()
+		if err := sol.Validate(st.in); err != nil {
+			return fmt.Errorf("improve: after %s: %w", key, err)
+		}
+		if _, err := sol.BuildConjecture(st.in); err != nil {
+			return fmt.Errorf("improve: after %s: inconsistent solution: %w", key, err)
+		}
+	}
+	return nil
 }
 
 // rescore refreshes every cached match score under the instance's σ,
@@ -384,4 +466,3 @@ func Rescore(in *core.Instance, sol *core.Solution, sc score.Scorer) *core.Solut
 	}
 	return out
 }
-

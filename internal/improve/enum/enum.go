@@ -19,10 +19,18 @@
 // Piece refreshes are independent closures; the driver may run them inline
 // or shard them over the shared evaluation pool (improve.EvalPool), where
 // they overlap with candidate simulations of concurrent batch solves.
+//
+// Two consumption modes share the piece cache. Candidates rebuilds the full
+// merged candidate list each call — the eager driver's per-round input.
+// Repair instead reports which pieces actually changed value, so the lazy
+// best-first selection engine (improve/selection.go) can patch just the
+// affected candidate blocks of its heap and leave everything else — cached
+// gains included — untouched.
 package enum
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"sync/atomic"
 
@@ -78,6 +86,55 @@ func (c Cand) String() string {
 	default:
 		return fmt.Sprintf("I3(%v~%v#%d)", c.F, c.G, c.A1)
 	}
+}
+
+// Less is the canonical total order on candidates, the driver's gain
+// tie-break: among equal-gain attempts the Less-least candidate is accepted.
+// It is consistent with the canonical enumeration order Candidates emits —
+// I1 before I2 before I3; I1 by (species of F, F, G, window lo, window hi);
+// I2 by (F, G, F's end, G's end, then depths, which AppendI2 emits in
+// increasing order) — so for I1/I2 ties it selects exactly the first
+// occurrence in the enumerated list. I3 candidates within one H fragment
+// are ordered by chain-match ID (the only state-independent identity they
+// carry; the enumerated list orders them by site position, which can differ
+// — both selection engines therefore break I3 ties through Less, never
+// through list position).
+func Less(a, b Cand) bool {
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	if a.F != b.F {
+		if a.F.Sp != b.F.Sp {
+			return a.F.Sp < b.F.Sp
+		}
+		return a.F.Idx < b.F.Idx
+	}
+	if a.G.Idx != b.G.Idx {
+		return a.G.Idx < b.G.Idx
+	}
+	if a.Kind == KindI2 {
+		// The enumeration nests ends outside depths: (fe, ge, fw, gw).
+		if a.A1 != b.A1 {
+			return a.A1 < b.A1
+		}
+		if a.B1 != b.B1 {
+			return a.B1 < b.B1
+		}
+		if a.A2 != b.A2 {
+			return a.A2 < b.A2
+		}
+		return a.B2 < b.B2
+	}
+	if a.A1 != b.A1 {
+		return a.A1 < b.A1
+	}
+	if a.A2 != b.A2 {
+		return a.A2 < b.A2
+	}
+	if a.B1 != b.B1 {
+		return a.B1 < b.B1
+	}
+	return a.B2 < b.B2
 }
 
 // Fragment ends for I2 candidates.
@@ -262,6 +319,27 @@ func AppendI2(dst []Cand, nh, nm int, only, exclude core.FragRef, depths func(co
 	return dst
 }
 
+// PieceKind identifies one cached-enumeration piece family.
+type PieceKind uint8
+
+// Piece families: the I1 target windows of one fragment, the I2 end depths
+// of one fragment, and the I3 chain links of one H fragment.
+const (
+	PieceI1Windows PieceKind = iota
+	PieceI2Depths
+	PieceI3Chains
+)
+
+// Change reports one enumeration piece whose refreshed value differs from
+// the previously cached one — the unit of targeted repair: exactly the
+// candidates generated from this piece (I1 windows of Frag, I2 depth
+// products involving Frag, or I3 chain links of Frag) may have appeared,
+// disappeared, or changed identity.
+type Change struct {
+	Kind PieceKind
+	Frag core.FragRef
+}
+
 // Stats counts the Enumerator's piece-cache traffic over a solve.
 type Stats struct {
 	// Refreshed is the number of enumeration pieces recomputed.
@@ -304,6 +382,12 @@ type Enumerator struct {
 
 	cands []Cand   // merged candidate list, rebuilt each Candidates call
 	tasks []func() // dirty-piece refresh tasks, reused across rounds
+	// refs[i] identifies the piece tasks[i] refreshes and changed[i] records
+	// whether its value actually moved; walked serially after the tasks ran,
+	// so change reporting is deterministic regardless of task scheduling.
+	refs    []Change
+	changed []bool
+	changes []Change
 	// refreshed counts tasks that actually executed (atomic: tasks may run
 	// on pool workers, and a canceled round skips queued tasks).
 	refreshed atomic.Int64
@@ -356,23 +440,33 @@ func (e *Enumerator) size(src Source) {
 	}
 }
 
-// Candidates returns the full candidate list for the current state,
-// re-enumerating only the pieces whose recorded reads are dirty. The
-// returned slice is owned by the Enumerator and valid until the next call.
-// run executes the refresh tasks (nil means inline); tasks are independent
-// and may run concurrently.
-func (e *Enumerator) Candidates(src Source, run Runner) []Cand {
+// refresh re-enumerates every piece whose recorded reads are dirty (sharded
+// through run; nil runs inline) and records, per piece, whether its value
+// actually changed. A piece refreshing to an identical value still updates
+// its recorded read set — otherwise it would stay permanently dirty — but
+// reports no change. Task scheduling order never affects the outcome: each
+// task touches only its own piece and its own changed slot.
+func (e *Enumerator) refresh(src Source, run Runner) {
 	e.size(src)
-	e.tasks = e.tasks[:0]
-	refresh := func(sp core.Species, idx int) {
+	e.tasks, e.refs, e.changed = e.tasks[:0], e.refs[:0], e.changed[:0]
+	add := func(kind PieceKind, fr core.FragRef, task func(i int)) {
+		i := len(e.tasks)
+		e.refs = append(e.refs, Change{Kind: kind, Frag: fr})
+		e.changed = append(e.changed, false)
+		e.tasks = append(e.tasks, func() {
+			task(i)
+			e.refreshed.Add(1)
+		})
+	}
+	visit := func(sp core.Species, idx int) {
 		fr := core.FragRef{Sp: sp, Idx: idx}
 		if e.full {
 			if p := &e.win[sp][idx]; !p.valid(src) {
-				e.tasks = append(e.tasks, func() {
+				add(PieceI1Windows, fr, func(i int) {
 					r := make(Reads, 2)
-					p.val = WindowsOf(src.Sites(fr, r), src.FragLen(fr))
-					p.reads, p.ok = r, true
-					e.refreshed.Add(1)
+					v := WindowsOf(src.Sites(fr, r), src.FragLen(fr))
+					e.changed[i] = !p.ok || !slices.Equal(p.val, v)
+					p.val, p.reads, p.ok = v, r, true
 				})
 			} else {
 				e.reused++
@@ -380,24 +474,24 @@ func (e *Enumerator) Candidates(src Source, run Runner) []Cand {
 		}
 		if e.border {
 			if p := &e.dep[sp][idx]; !p.valid(src) {
-				e.tasks = append(e.tasks, func() {
+				add(PieceI2Depths, fr, func(i int) {
 					r := make(Reads, 1)
 					n := src.FragLen(fr)
 					sites := src.Sites(fr, r)
-					p.val = [2]Depths{EndDepthsAt(sites, n, LeftEnd), EndDepthsAt(sites, n, RightEnd)}
-					p.reads, p.ok = r, true
-					e.refreshed.Add(1)
+					v := [2]Depths{EndDepthsAt(sites, n, LeftEnd), EndDepthsAt(sites, n, RightEnd)}
+					e.changed[i] = !p.ok || p.val != v
+					p.val, p.reads, p.ok = v, r, true
 				})
 			} else {
 				e.reused++
 			}
 			if sp == core.SpeciesH {
 				if p := &e.chain[idx]; !p.valid(src) {
-					e.tasks = append(e.tasks, func() {
+					add(PieceI3Chains, fr, func(i int) {
 						r := make(Reads, 4)
-						p.val = src.Chains(fr, r)
-						p.reads, p.ok = r, true
-						e.refreshed.Add(1)
+						v := src.Chains(fr, r)
+						e.changed[i] = !p.ok || !slices.Equal(p.val, v)
+						p.val, p.reads, p.ok = v, r, true
 					})
 				} else {
 					e.reused++
@@ -406,10 +500,10 @@ func (e *Enumerator) Candidates(src Source, run Runner) []Cand {
 		}
 	}
 	for i := 0; i < e.nh; i++ {
-		refresh(core.SpeciesH, i)
+		visit(core.SpeciesH, i)
 	}
 	for i := 0; i < e.nm; i++ {
-		refresh(core.SpeciesM, i)
+		visit(core.SpeciesM, i)
 	}
 	if len(e.tasks) > 0 {
 		if run != nil {
@@ -420,9 +514,44 @@ func (e *Enumerator) Candidates(src Source, run Runner) []Cand {
 			}
 		}
 	}
+}
+
+// Candidates returns the full candidate list for the current state,
+// re-enumerating only the pieces whose recorded reads are dirty. The
+// returned slice is owned by the Enumerator and valid until the next call.
+// run executes the refresh tasks (nil means inline); tasks are independent
+// and may run concurrently.
+func (e *Enumerator) Candidates(src Source, run Runner) []Cand {
+	e.refresh(src, run)
 	e.rebuild()
 	return e.cands
 }
+
+// Repair refreshes the dirty pieces and returns the pieces whose values
+// changed, in deterministic (species, fragment, piece-family) order — the
+// input of the lazy selection engine's targeted heap repair. The returned
+// slice is owned by the Enumerator and valid until the next call. On the
+// first call every piece is dirty, so every piece is reported.
+func (e *Enumerator) Repair(src Source, run Runner) []Change {
+	e.refresh(src, run)
+	e.changes = e.changes[:0]
+	for i, c := range e.changed {
+		if c {
+			e.changes = append(e.changes, e.refs[i])
+		}
+	}
+	return e.changes
+}
+
+// Windows returns the cached I1 target windows of fr. Valid after a
+// Candidates or Repair call; the slice is owned by the Enumerator.
+func (e *Enumerator) Windows(fr core.FragRef) [][2]int { return e.win[fr.Sp][fr.Idx].val }
+
+// EndDepths returns the cached I2 end depths of fr (left, right).
+func (e *Enumerator) EndDepths(fr core.FragRef) [2]Depths { return e.dep[fr.Sp][fr.Idx].val }
+
+// ChainLinks returns the cached I3 chain links of the H fragment fr.
+func (e *Enumerator) ChainLinks(fr core.FragRef) []Chain { return e.chain[fr.Idx].val }
 
 // rebuild merges the cached pieces into the canonical candidate order:
 // I1 over (species, f, g, window), then I2 over (f, g, ends, depths), then

@@ -44,6 +44,10 @@ func TestIncrementalEnumMatchesFull(t *testing.T) {
 				{name: "full-enum", opt: base},
 				{name: "full-reeval", opt: base},
 			}
+			// EagerSelect pins the full-list engine whose Evaluated counts
+			// this test compares; the lazy engine's oracle is
+			// TestLazySelectionMatchesFull.
+			runs[0].opt.EagerSelect = true
 			runs[1].opt.FullEnum = true
 			runs[2].opt.FullReeval = true
 			for _, r := range runs {

@@ -31,19 +31,27 @@ func (v enumView) Version(fr core.FragRef) uint64 {
 
 func (v enumView) note(r enum.Reads, fr core.FragRef) { r.Note(fr, v.Version(fr)) }
 
-// Sites returns fr's occupied sites, reading only fr's match data.
+// Sites returns fr's occupied sites, reading only fr's match data. Unlike
+// the single-goroutine state accessors it allocates its result: refresh
+// tasks call it concurrently from several pool workers, so the per-state
+// scratch buffers are off limits here.
 func (v enumView) Sites(fr core.FragRef, r enum.Reads) []core.Site {
 	v.note(r, fr)
-	return v.st.sitesOn(fr)
+	ids := v.st.fragMatchIDsInto(nil, fr)
+	out := make([]core.Site, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, v.st.matches[id].Side(fr.Sp))
+	}
+	return out
 }
 
 // Chains returns fr's 2-island links in site order. The computation reads
 // fr's match list plus the degree of every partner fragment, so all of
-// those are recorded.
+// those are recorded. Allocates for the same concurrency reason as Sites.
 func (v enumView) Chains(fr core.FragRef, r enum.Reads) []enum.Chain {
 	v.note(r, fr)
 	var out []enum.Chain
-	for _, id := range v.st.fragMatchIDs(fr) {
+	for _, id := range v.st.fragMatchIDsInto(nil, fr) {
 		mt := v.st.matches[id]
 		m := core.FragRef{Sp: core.SpeciesM, Idx: mt.MSite.Frag}
 		v.note(r, m)

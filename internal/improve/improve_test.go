@@ -216,7 +216,7 @@ func TestPrepareRestrictsAndFrees(t *testing.T) {
 	// satellite. Preparing any window on the satellite detaches it (the
 	// paper's Simp(S) rule), freeing the partner site on h1.
 	m1 := core.FragRef{Sp: core.SpeciesM, Idx: 0}
-	freed := st.prepare(m1, 1, 2)
+	freed := st.prepare(nil, m1, 1, 2)
 	if len(freed) != 1 || freed[0] != (core.Site{Species: core.SpeciesH, Frag: 0, Lo: 0, Hi: 2}) {
 		t.Fatalf("freed %v, want the h1 partner site", freed)
 	}
@@ -235,7 +235,7 @@ func TestPrepareRestrictsAndFrees(t *testing.T) {
 	h1 := core.FragRef{Sp: core.SpeciesH, Idx: 0}
 	_ = h1
 	m1ref := core.FragRef{Sp: core.SpeciesM, Idx: 0}
-	freed2 := st2.prepare(m1ref, 1, 2)
+	freed2 := st2.prepare(nil, m1ref, 1, 2)
 	if len(freed2) != 0 {
 		t.Fatalf("freed %v, want none (restriction of the center side)", freed2)
 	}
@@ -250,7 +250,7 @@ func TestPrepareRestrictsAndFrees(t *testing.T) {
 	// breaking the chain.
 	st3 := newState(in, core.PaperExampleOptimum())
 	m2 := core.FragRef{Sp: core.SpeciesM, Idx: 1}
-	freed3 := st3.prepare(m2, 0, 2)
+	freed3 := st3.prepare(nil, m2, 0, 2)
 	if len(freed3) != 2 {
 		t.Fatalf("freed %v, want h-side partner sites of both m2 matches", freed3)
 	}

@@ -40,29 +40,44 @@ import (
 // version-counter scheme, so the per-round candidate list is likewise
 // bit-identical to from-scratch enumeration (TestIncrementalEnumMatchesFull).
 
+// readEntry is one recorded fragment read: the fragment plus the live
+// version at first read.
+type readEntry struct {
+	fr  core.FragRef
+	ver uint64
+}
+
 // readRecorder captures the fragments a simulation reads, with the live
 // version current at read time. One recorder per candidate evaluation; the
-// live version counters are only ever read here.
+// live version counters are only ever read here. Read sets are small (a
+// simulation touches a handful of fragments), so a linear-scanned slice
+// beats a map on both the first-read dedup check and the downstream
+// iteration — and recording order becomes deterministic, which keeps every
+// structure derived from read sets (the lazy engine's dependency lists)
+// deterministic too.
 type readRecorder struct {
 	vers  *versions
-	reads map[core.FragRef]uint64
+	reads []readEntry
 }
 
 func newReadRecorder(vers *versions) *readRecorder {
-	return &readRecorder{vers: vers, reads: make(map[core.FragRef]uint64, 8)}
+	return &readRecorder{vers: vers}
 }
 
 func (r *readRecorder) note(fr core.FragRef) {
-	if _, ok := r.reads[fr]; !ok {
-		r.reads[fr] = r.vers.of(fr)
+	for _, e := range r.reads {
+		if e.fr == fr {
+			return // first read wins
+		}
 	}
+	r.reads = append(r.reads, readEntry{fr: fr, ver: r.vers.of(fr)})
 }
 
 // cacheEntry is one memoized candidate gain plus the read set that
 // justifies it.
 type cacheEntry struct {
 	gain  float64
-	reads map[core.FragRef]uint64
+	reads []readEntry
 	// seen is the last round this entry's key was enumerated; the driver
 	// sweeps unseen entries each round so the cache tracks the live
 	// candidate set instead of every key ever generated.
@@ -72,19 +87,32 @@ type cacheEntry struct {
 // valid reports whether every fragment the evaluation read still has the
 // version it read.
 func (e *cacheEntry) valid(vers *versions) bool {
-	for fr, v := range e.reads {
-		if vers.of(fr) != v {
+	for _, r := range e.reads {
+		if vers.of(r.fr) != r.ver {
 			return false
 		}
 	}
 	return true
 }
 
-// alignKey identifies one site-word alignment: score of H-site h against
-// M-site m at orientation rev under the instance σ.
+// alignKey identifies one site-word alignment — score of H-site h against
+// M-site m at orientation rev under the instance σ — packed into two words
+// for cheap hashing (fragment indices fit 20 bits, site bounds 21, far
+// beyond any constructible instance; rev rides the top bit).
 type alignKey struct {
-	h, m core.Site
-	rev  bool
+	h, m uint64
+}
+
+func packSite(s core.Site) uint64 {
+	return uint64(s.Species)<<62 | uint64(s.Frag)<<42 | uint64(s.Lo)<<21 | uint64(s.Hi)
+}
+
+func mkAlignKey(h, m core.Site, rev bool) alignKey {
+	k := alignKey{h: packSite(h), m: packSite(m)}
+	if rev {
+		k.h |= 1 << 63
+	}
+	return k
 }
 
 // alignMemo caches site-word alignment scores. Scores depend only on the
@@ -113,13 +141,22 @@ func (am *alignMemo) put(k alignKey, v float64) {
 	am.mu.Unlock()
 }
 
-// placeKey identifies one fit-placement query: fragment x at orientation
-// rev into the window [lo, hi) of fragment z.
+// placeKey identifies one fit-placement query — fragment x at orientation
+// rev into the window [lo, hi) of fragment z — packed into two words so map
+// lookups hash 16 bytes instead of a 40-byte struct (placements are the
+// hottest memo in candidate simulation; the packing measurably cuts
+// per-candidate hashing cost). Fragment indices fit 30 bits and window
+// bounds 32, both far beyond any constructible instance.
 type placeKey struct {
-	x      core.FragRef
-	rev    bool
-	z      core.FragRef
-	lo, hi int
+	a, b uint64
+}
+
+func mkPlaceKey(x core.FragRef, rev bool, z core.FragRef, lo, hi int) placeKey {
+	a := uint64(x.Sp)<<63 | uint64(z.Sp)<<62 | uint64(x.Idx)<<31 | uint64(z.Idx)<<1
+	if rev {
+		a |= 1
+	}
+	return placeKey{a: a, b: uint64(lo)<<32 | uint64(uint32(hi))}
 }
 
 // placeMemo caches Pareto placement frontiers. Like site-word scores they

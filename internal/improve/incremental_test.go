@@ -40,7 +40,12 @@ func TestIncrementalMatchesFull(t *testing.T) {
 	for _, tc := range cases {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
-			inc, incStats, err := Improve(tc.in, tc.opt)
+			// EagerSelect pins the per-key gain-cache engine this test is
+			// about; the lazy engine has its own oracle
+			// (TestLazySelectionMatchesFull).
+			eager := tc.opt
+			eager.EagerSelect = true
+			inc, incStats, err := Improve(tc.in, eager)
 			if err != nil {
 				t.Fatalf("incremental: %v", err)
 			}

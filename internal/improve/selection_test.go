@@ -1,0 +1,336 @@
+package improve
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/improve/enum"
+)
+
+// TestLazySelectionMatchesFull is the lazy selection engine's oracle: the
+// generation-stamped gain heap must drive the solver through the exact same
+// accepted-attempt sequence — and to a bit-identical final match set and
+// score — as the eager full-list engine, the fresh-enumeration engine
+// (FullEnum), and the cache-free oracle (FullReeval), across seeds and all
+// three method families. The accepted sequence is observed through the
+// onAccept hook, so divergence is caught at the first differing attempt,
+// not just in the final solution.
+func TestLazySelectionMatchesFull(t *testing.T) {
+	for _, seed := range []int64{2, 3, 5, 7, 11, 13, 17, 19, 23} {
+		for _, m := range []struct {
+			name    string
+			methods Methods
+		}{
+			{"csr", AllMethods},
+			{"full", FullOnly},
+			{"border", BorderOnly},
+		} {
+			cfg := gen.DefaultConfig(seed)
+			cfg.Regions = 40
+			w := gen.Generate(cfg)
+			base := Options{Methods: m.methods, Eps: 0.05, SeedWithFourApprox: seed%2 == 0}
+			type run struct {
+				name     string
+				opt      Options
+				accepted []candKey
+				stats    Stats
+				score    float64
+				matches  any
+			}
+			runs := []*run{
+				{name: "lazy", opt: base},
+				{name: "eager", opt: base},
+				{name: "full-enum", opt: base},
+				{name: "full-reeval", opt: base},
+			}
+			runs[1].opt.EagerSelect = true
+			runs[2].opt.FullEnum = true
+			runs[3].opt.FullReeval = true
+			for _, r := range runs {
+				r.opt.onAccept = func(k candKey) { r.accepted = append(r.accepted, k) }
+				sol, stats, err := Improve(w.Instance, r.opt)
+				if err != nil {
+					t.Fatalf("seed %d %s %s: %v", seed, m.name, r.name, err)
+				}
+				r.stats, r.score, r.matches = stats, sol.Score(), sol.Matches
+			}
+			ref := runs[3] // the cache-free oracle
+			for _, r := range runs[:3] {
+				if !reflect.DeepEqual(r.accepted, ref.accepted) {
+					t.Errorf("seed %d %s: %s accepted sequence diverges:\n%v\nwant\n%v",
+						seed, m.name, r.name, r.accepted, ref.accepted)
+				}
+				if r.stats.Rounds != ref.stats.Rounds || r.stats.Accepted != ref.stats.Accepted {
+					t.Errorf("seed %d %s: %s rounds/accepted diverge: %+v vs %+v",
+						seed, m.name, r.name, r.stats, ref.stats)
+				}
+				if r.score != ref.score || !reflect.DeepEqual(r.matches, ref.matches) {
+					t.Errorf("seed %d %s: %s solution diverges (score %v vs %v)",
+						seed, m.name, r.name, r.score, ref.score)
+				}
+			}
+			lazy := runs[0]
+			// The engine must actually be lazy: on a multi-round solve the
+			// gains computed must undercut the eager engine's full-list
+			// walks, and some candidates must be carried untouched.
+			if lazy.stats.Rounds > 1 {
+				if lazy.stats.Evaluated >= runs[1].stats.Evaluated {
+					t.Errorf("seed %d %s: lazy evaluated %d ≥ eager %d — no laziness",
+						seed, m.name, lazy.stats.Evaluated, runs[1].stats.Evaluated)
+				}
+				if lazy.stats.Skipped == 0 {
+					t.Errorf("seed %d %s: lazy run skipped no cached candidates: %+v",
+						seed, m.name, lazy.stats)
+				}
+			}
+			if runs[1].stats.Popped != 0 || runs[1].stats.Resimulated != 0 || runs[1].stats.Skipped != 0 {
+				t.Errorf("seed %d %s: eager run reported lazy counters: %+v", seed, m.name, runs[1].stats)
+			}
+		}
+	}
+}
+
+// TestLazySelectionModes covers the lazy engine under the remaining solver
+// modes — quantized scaling, integer kernels, a shared eval pool, and a
+// non-trivial seed — against the eager engine, so no mode silently falls
+// off the bit-identical contract.
+func TestLazySelectionModes(t *testing.T) {
+	cfg := gen.DefaultConfig(9)
+	cfg.Regions = 40
+	w := gen.Generate(cfg)
+	pool := NewEvalPool(4)
+	defer pool.Close()
+	for _, tc := range []struct {
+		name string
+		opt  Options
+	}{
+		{"quantize", Options{Quantize: true, SeedWithFourApprox: true}},
+		{"int-score", Options{IntScore: true, Eps: 0.05, SeedWithFourApprox: true}},
+		{"pool", Options{Eps: 0.05, Eval: pool}},
+		{"workers", Options{Eps: 0.05, Workers: 4}},
+		{"empty-start", Options{Eps: 0.05}},
+		{"eps-zero", Options{Eps: 0, MaxRounds: 12}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			lazySol, lazyStats, err := Improve(w.Instance, tc.opt)
+			if err != nil {
+				t.Fatalf("lazy: %v", err)
+			}
+			eager := tc.opt
+			eager.EagerSelect = true
+			ref, refStats, err := Improve(w.Instance, eager)
+			if err != nil {
+				t.Fatalf("eager: %v", err)
+			}
+			if lazySol.Score() != ref.Score() || lazyStats.Accepted != refStats.Accepted ||
+				lazyStats.Rounds != refStats.Rounds {
+				t.Errorf("diverged: lazy score %v (%+v) vs eager %v (%+v)",
+					lazySol.Score(), lazyStats, ref.Score(), refStats)
+			}
+			if !reflect.DeepEqual(lazySol.Matches, ref.Matches) {
+				t.Errorf("match sets diverge")
+			}
+		})
+	}
+}
+
+// TestLazySelectionCancel drives the lazy engine with the deterministic
+// countCtx probe at several depths: cancellation must surface promptly with
+// no solution and must not corrupt the pool for concurrent use (the refill
+// batches poll the context exactly like the eager evaluation batches).
+func TestLazySelectionCancel(t *testing.T) {
+	cfg := gen.DefaultConfig(5)
+	cfg.Regions = 40
+	w := gen.Generate(cfg)
+	for _, after := range []int64{0, 1, 7, 50, 400} {
+		ctx := newCountCtx(after)
+		sol, _, err := Improve(w.Instance, Options{Eps: 0.05, SeedWithFourApprox: true, Ctx: ctx})
+		if err != context.Canceled {
+			t.Fatalf("after %d polls: err = %v, want context.Canceled", after, err)
+		}
+		if sol != nil {
+			t.Fatalf("after %d polls: got a solution alongside the error", after)
+		}
+	}
+}
+
+// heapSlots drains the selector's heap destructively, returning the slot
+// order — test helper for inspecting the selection order.
+func heapSlots(s *lazySel) []int32 {
+	var out []int32
+	for len(s.heap) > 0 {
+		top := s.heap[0]
+		out = append(out, top)
+		s.heapRemove(top)
+	}
+	return out
+}
+
+// TestLazyHeapRepair unit-tests the selector's repair machinery on a
+// hand-built instance: dirty re-keying moves a slot to the stale queue and
+// out of the heap, stamp mismatches kill outdated dependency and stale
+// entries, block rebuilds free and re-allocate candidates, and the heap
+// drains in (gain, canonical-order) sequence throughout. Everything is
+// deterministic — no solver, no goroutines.
+func TestLazyHeapRepair(t *testing.T) {
+	in := core.PaperExample()
+	var sel lazySel
+	sel.init(in, true, true)
+
+	mk := func(gi, lo, hi int) candKey {
+		return candKey{Kind: enum.KindI1, F: core.FragRef{Sp: core.SpeciesH, Idx: 0},
+			G: core.FragRef{Sp: core.SpeciesM, Idx: gi}, A1: lo, A2: hi}
+	}
+	reads := func(frs ...core.FragRef) []readEntry {
+		var out []readEntry
+		for _, fr := range frs {
+			out = append(out, readEntry{fr: fr})
+		}
+		return out
+	}
+	g0 := core.FragRef{Sp: core.SpeciesM, Idx: 0}
+	g1 := core.FragRef{Sp: core.SpeciesM, Idx: 1}
+
+	a := sel.alloc(mk(0, 0, 1))
+	b := sel.alloc(mk(0, 0, 2))
+	c := sel.alloc(mk(1, 0, 1))
+	if sel.liveCount != 3 || len(sel.staleList) != 3 {
+		t.Fatalf("after alloc: liveCount %d staleList %d", sel.liveCount, len(sel.staleList))
+	}
+	// Record gains, draining the stale queue as the driver's refill would:
+	// b on top, then a (tie with c broken by canonical order: G.Idx 0 < 1),
+	// then c.
+	sel.record(a, 2, reads(g0))
+	sel.record(b, 5, reads(g0))
+	sel.record(c, 2, reads(g1))
+	sel.staleList = sel.staleList[:0]
+	if top, ok := sel.peek(); !ok || top != b {
+		t.Fatalf("peek = %d, want %d", top, b)
+	}
+	order := heapSlots(&sel)
+	if !reflect.DeepEqual(order, []int32{b, a, c}) {
+		t.Fatalf("drain order %v, want [%d %d %d] (gain desc, ties canonical)", order, b, a, c)
+	}
+	for _, id := range order {
+		sel.heapPush(id) // restore
+	}
+
+	// Dirty g0: a and b re-key out of the heap onto the stale queue; c is
+	// untouched and becomes the top.
+	sel.dirty([]core.FragRef{g0})
+	if top, ok := sel.peek(); !ok || top != c {
+		t.Fatalf("after dirty: peek = %v, want %d", top, c)
+	}
+	if got := len(sel.staleList); got != 2 {
+		t.Fatalf("after dirty: staleList %d, want 2", got)
+	}
+	if !sel.slots[a].stale || !sel.slots[b].stale || sel.slots[c].stale {
+		t.Fatalf("staleness flags wrong: a=%v b=%v c=%v",
+			sel.slots[a].stale, sel.slots[b].stale, sel.slots[c].stale)
+	}
+	// A second dirty sweep of g0 is a no-op: the dependency list was
+	// consumed and the slots' stamps moved on.
+	sel.dirty([]core.FragRef{g0})
+	if got := len(sel.staleList); got != 2 {
+		t.Fatalf("idempotent dirty appended: staleList %d, want 2", got)
+	}
+	// Re-record a with a higher gain: it must rejoin the heap above c.
+	sel.record(a, 9, reads(g0))
+	if top, ok := sel.peek(); !ok || top != a {
+		t.Fatalf("after re-record: peek = %v, want %d", top, a)
+	}
+
+	// Free b while stale: its staleList entry must be ignored by the stamp
+	// filter, and its slot recycles for a fresh candidate.
+	sel.freeSlot(b)
+	if sel.liveCount != 2 {
+		t.Fatalf("liveCount after free = %d, want 2", sel.liveCount)
+	}
+	d := sel.alloc(mk(1, 1, 2))
+	if d != b {
+		t.Fatalf("slot not recycled: got %d, want %d", d, b)
+	}
+	valid := 0
+	for _, ref := range sel.staleList {
+		if sl := &sel.slots[ref.slot]; sl.live && sl.stale && sl.stamp == ref.stamp {
+			valid++
+		}
+	}
+	// Only the recycled slot d's fresh entry survives the stamp filter: b's
+	// old entry died with the free, and a was re-recorded.
+	if valid != 1 {
+		t.Fatalf("stale entries surviving stamp filter = %d, want 1", valid)
+	}
+
+	// Heap removal from the middle keeps the heap property: fill with
+	// distinct gains, remove an inner element, and drain.
+	sel2 := lazySel{}
+	sel2.init(in, true, false)
+	var ids []int32
+	for i, g := range []float64{3, 7, 1, 9, 5} {
+		id := sel2.alloc(mk(0, i, i+1))
+		sel2.record(id, g, reads(g0))
+		ids = append(ids, id)
+	}
+	sel2.heapRemove(ids[1]) // gain 7
+	got := heapSlots(&sel2)
+	want := []int32{ids[3], ids[4], ids[0], ids[2]} // 9, 5, 3, 1
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("drain after middle removal = %v, want %v", got, want)
+	}
+}
+
+// TestLazySharedPoolConcurrent runs several lazy solves concurrently on one
+// shared eval pool — the refill path racing the enumeration shards of other
+// solves — and checks every result is bit-identical to a solo reference.
+// Run under -race in CI, this is the shared-pool refill data-race guard.
+func TestLazySharedPoolConcurrent(t *testing.T) {
+	const solvers = 4
+	pool := NewEvalPool(3)
+	defer pool.Close()
+	type res struct {
+		score float64
+		stats Stats
+		err   error
+	}
+	ws := make([]*gen.Workload, solvers)
+	refs := make([]res, solvers)
+	for i := range ws {
+		cfg := gen.DefaultConfig(int64(40 + i))
+		cfg.Regions = 40
+		ws[i] = gen.Generate(cfg)
+		sol, stats, err := Improve(ws[i].Instance, Options{Eps: 0.05, SeedWithFourApprox: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = res{score: sol.Score(), stats: stats}
+	}
+	out := make([]res, solvers)
+	done := make(chan int, solvers)
+	for i := 0; i < solvers; i++ {
+		i := i
+		go func() {
+			sol, stats, err := Improve(ws[i].Instance, Options{Eps: 0.05, SeedWithFourApprox: true, Eval: pool})
+			if err == nil {
+				out[i] = res{score: sol.Score(), stats: stats}
+			} else {
+				out[i] = res{err: err}
+			}
+			done <- i
+		}()
+	}
+	for range out {
+		<-done
+	}
+	for i, r := range out {
+		if r.err != nil {
+			t.Fatalf("solver %d: %v", i, r.err)
+		}
+		if r.score != refs[i].score || r.stats != refs[i].stats {
+			t.Errorf("solver %d diverged on shared pool: %+v vs solo %+v", i, r, refs[i])
+		}
+	}
+}

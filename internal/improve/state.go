@@ -33,11 +33,11 @@ package improve
 
 import (
 	"context"
-	"sort"
 	"sync"
 
 	"repro/internal/align"
 	"repro/internal/core"
+	"repro/internal/isp"
 	"repro/internal/score"
 	"repro/internal/symbol"
 )
@@ -116,6 +116,11 @@ type state struct {
 	// vers is the live state's per-fragment version counters (nil on
 	// clones: simulations never bump live versions).
 	vers *versions
+	// bumpLog, when non-nil on the live state, collects every fragment
+	// whose version bumps during an accepted-attempt replay — the lazy
+	// selection engine's dirty set (selection.go). Fragments may repeat;
+	// consumers sweep idempotently. Nil on clones and on eager replays.
+	bumpLog []core.FragRef
 	// rec records fragment reads during a simulation (nil on the live
 	// state and on replays).
 	rec *readRecorder
@@ -124,14 +129,35 @@ type state struct {
 	// simulations carry it — the live state and replays keep it nil, so an
 	// accepted attempt is always applied atomically.
 	ctx context.Context
+
+	// Per-state scratch buffers, reused across the thousands of accessor
+	// calls one simulation makes and — because simulation states are
+	// pool-recycled (clone/release) — across every simulation a pooled
+	// object ever serves. Each holds transient results valid only until the
+	// next call of its producer; no producer is re-entered while a caller
+	// still iterates its result (the accessors document this contract).
+	// They are owned per state object: clone() leaves them alone and
+	// release() keeps their capacity in the pool.
+	idsBuf   []int          // fragMatchIDs result
+	sitesBuf []core.Site    // sitesOn result
+	gapsBuf  [][2]int       // freeGaps result
+	clipBuf  [][2]int       // clipFree result (distinct: iterates gapsBuf)
+	freedBuf []core.Site    // prepare's freed-zone accumulator (caller-reset)
+	zonesBuf []core.Site    // runI2's remnant-zone list
+	tpaZrs   []tpaZone      // tpaBatch zone records
+	tpaCands []tpaCand      // tpaBatch candidate list
+	tpaIvs   []isp.Interval // tpaBatch ISP intervals
+	tpaHz    []core.Site    // tpa species split, H side
+	tpaMz    []core.Site    // tpa species split, M side
+	ispScr   *isp.Scratch   // two-phase selection scratch, lazily created
 }
 
 func newState(in *core.Instance, seed *core.Solution) *state {
 	sig := score.Prepare(in.Sigma, in.MaxSymbolID())
 	st := &state{
-		in:   in,
-		sig:  sig,
-		sigT: score.Transpose(sig),
+		in:    in,
+		sig:   sig,
+		sigT:  score.Transpose(sig),
 		memo:  newAlignMemo(),
 		pmemo: newPlaceMemo(),
 		scr:   align.NewScratch(),
@@ -208,9 +234,10 @@ func (st *state) clone() *state {
 	c.scr = st.scr // overwritten by the worker on cross-goroutine evals
 	c.revWords = st.revWords
 	c.delta = st.delta
-	c.vers = nil        // simulations never bump live versions
-	c.rec = st.rec      // sub-simulations keep recording
-	c.ctx = st.ctx      // sub-simulations stay cancelable
+	c.vers = nil    // simulations never bump live versions
+	c.bumpLog = nil // (and therefore never log bumps)
+	c.rec = st.rec  // sub-simulations keep recording
+	c.ctx = st.ctx  // sub-simulations stay cancelable
 	return c
 }
 
@@ -223,6 +250,7 @@ func (st *state) release() {
 	st.scr = nil
 	st.revWords = [2][]symbol.Word{}
 	st.vers = nil
+	st.bumpLog = nil
 	st.rec = nil
 	st.ctx = nil
 	statePool.Put(st)
@@ -236,13 +264,18 @@ func (st *state) note(fr core.FragRef) {
 }
 
 // bump advances the version of both fragments a match touches (live state
-// only; a no-op on simulations).
+// only; a no-op on simulations), logging them when a bump log is attached.
 func (st *state) bump(mt core.Match) {
 	if st.vers == nil {
 		return
 	}
 	st.vers.v[core.SpeciesH][mt.HSite.Frag]++
 	st.vers.v[core.SpeciesM][mt.MSite.Frag]++
+	if st.bumpLog != nil {
+		st.bumpLog = append(st.bumpLog,
+			core.FragRef{Sp: core.SpeciesH, Idx: mt.HSite.Frag},
+			core.FragRef{Sp: core.SpeciesM, Idx: mt.MSite.Frag})
+	}
 }
 
 // isLive reports whether match id exists in this state.
@@ -333,27 +366,41 @@ func (st *state) setMatch(id int, mt core.Match) {
 }
 
 // fragMatchIDs returns the IDs of matches touching fragment fr, sorted by
-// site position. The slice is freshly built: callers mutate state while
-// iterating it.
+// site position (ties by ID — a unique total order, so any sort yields the
+// same sequence). The result lives in a per-state buffer, valid until the
+// next call: callers may mutate match state while iterating it, but never
+// re-enter fragMatchIDs mid-iteration. Lists are a handful of entries, so
+// an allocation-free insertion sort beats the reflective sort.Slice that
+// used to dominate this accessor.
 func (st *state) fragMatchIDs(fr core.FragRef) []int {
+	if cap(st.idsBuf) < 16 {
+		st.idsBuf = make([]int, 0, 16)
+	}
+	st.idsBuf = st.fragMatchIDsInto(st.idsBuf, fr)
+	return st.idsBuf
+}
+
+// fragMatchIDsInto is fragMatchIDs into a caller-owned buffer — the
+// concurrency-safe form the enumeration Source adapter uses while refresh
+// tasks query the quiescent state from several pool workers at once.
+func (st *state) fragMatchIDsInto(dst []int, fr core.FragRef) []int {
 	st.note(fr)
 	idx := st.byFrag[fr.Sp][fr.Idx]
-	if len(idx) == 0 {
-		return nil
+	dst = dst[:0]
+	for _, v := range idx {
+		dst = append(dst, int(v))
 	}
-	ids := make([]int, len(idx))
-	for i, v := range idx {
-		ids[i] = int(v)
-	}
-	sort.Slice(ids, func(a, b int) bool {
-		sa := st.matches[ids[a]].Side(fr.Sp).Lo
-		sb := st.matches[ids[b]].Side(fr.Sp).Lo
-		if sa != sb {
-			return sa < sb
+	key := func(id int) int { return st.matches[id].Side(fr.Sp).Lo }
+	for i := 1; i < len(dst); i++ {
+		id, lo := dst[i], key(dst[i])
+		j := i - 1
+		for j >= 0 && (key(dst[j]) > lo || (key(dst[j]) == lo && dst[j] > id)) {
+			dst[j+1] = dst[j]
+			j--
 		}
-		return ids[a] < ids[b]
-	})
-	return ids
+		dst[j+1] = id
+	}
+	return dst
 }
 
 func (st *state) degree(fr core.FragRef) int {
@@ -386,20 +433,24 @@ func (st *state) chainMatchIDs(fr core.FragRef) []int {
 	return out
 }
 
-// sitesOn returns the sites occupied on fragment fr, sorted.
+// sitesOn returns the sites occupied on fragment fr, sorted. The result is
+// a per-state buffer, valid until the next call (the enum Source interface
+// documents the same transience).
 func (st *state) sitesOn(fr core.FragRef) []core.Site {
 	ids := st.fragMatchIDs(fr)
-	out := make([]core.Site, 0, len(ids))
+	out := st.sitesBuf[:0]
 	for _, id := range ids {
 		out = append(out, st.matches[id].Side(fr.Sp))
 	}
+	st.sitesBuf = out
 	return out
 }
 
-// freeGaps returns the maximal unoccupied intervals of fragment fr.
+// freeGaps returns the maximal unoccupied intervals of fragment fr, in a
+// per-state buffer valid until the next call.
 func (st *state) freeGaps(fr core.FragRef) [][2]int {
 	n := st.in.Frag(fr.Sp, fr.Idx).Len()
-	var out [][2]int
+	out := st.gapsBuf[:0]
 	pos := 0
 	for _, s := range st.sitesOn(fr) {
 		if s.Lo > pos {
@@ -410,19 +461,22 @@ func (st *state) freeGaps(fr core.FragRef) [][2]int {
 	if pos < n {
 		out = append(out, [2]int{pos, n})
 	}
+	st.gapsBuf = out
 	return out
 }
 
 // clipFree intersects [lo, hi) on fr with the free space, returning the
-// free sub-intervals.
+// free sub-intervals in a per-state buffer (distinct from freeGaps's, which
+// it iterates) valid until the next call.
 func (st *state) clipFree(fr core.FragRef, lo, hi int) [][2]int {
-	var out [][2]int
+	out := st.clipBuf[:0]
 	for _, g := range st.freeGaps(fr) {
 		a, b := max(g[0], lo), min(g[1], hi)
 		if a < b {
 			out = append(out, [2]int{a, b})
 		}
 	}
+	st.clipBuf = out
 	return out
 }
 
@@ -443,7 +497,7 @@ type placement = align.Placement
 // the lifetime of the solve. The returned slice is shared: callers must not
 // modify it.
 func (st *state) placements(x core.FragRef, rev bool, z core.FragRef, lo, hi int) []placement {
-	k := placeKey{x: x, rev: rev, z: z, lo: lo, hi: hi}
+	k := mkPlaceKey(x, rev, z, lo, hi)
 	if v, ok := st.pmemo.get(k); ok {
 		return v
 	}
@@ -466,7 +520,7 @@ func (st *state) fragWord(fr core.FragRef, rev bool) symbol.Word {
 // rev, memoized for the lifetime of the solve (the score depends only on
 // the instance words and σ).
 func (st *state) siteScore(h, m core.Site, rev bool) float64 {
-	k := alignKey{h: h, m: m, rev: rev}
+	k := mkAlignKey(h, m, rev)
 	if v, ok := st.memo.get(k); ok {
 		return v
 	}
@@ -521,11 +575,12 @@ func otherSite(mt core.Match, sp core.Species) core.Site {
 //     structure) is removed outright, mirroring the paper's Simp(S)
 //     "detach" rule.
 //
-// It returns the partner sites freed by removals — the TPA zones of the
-// calling improvement method. Preparing a hidden window is the caller's
-// responsibility to avoid; windows bounded by existing site endpoints are
-// never hidden.
-func (st *state) prepare(fr core.FragRef, lo, hi int) (freed []core.Site) {
+// It appends the partner sites freed by removals — the TPA zones of the
+// calling improvement method — onto freed (callers pass a reusable buffer,
+// typically st.freedBuf[:0], and may chain calls). Preparing a hidden
+// window is the caller's responsibility to avoid; windows bounded by
+// existing site endpoints are never hidden.
+func (st *state) prepare(freed []core.Site, fr core.FragRef, lo, hi int) []core.Site {
 	for _, id := range st.fragMatchIDs(fr) {
 		mt := st.matches[id]
 		s := mt.Side(fr.Sp)

@@ -1,7 +1,7 @@
 package improve
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/core"
 	"repro/internal/isp"
@@ -29,7 +29,7 @@ import (
 // carries a context) is untouched — this is what makes per-instance
 // cancellation sub-round even inside one long candidate evaluation.
 func (st *state) tpa(zones []core.Site) float64 {
-	var hz, mz []core.Site
+	hz, mz := st.tpaHz[:0], st.tpaMz[:0]
 	for _, z := range zones {
 		if z.Species == core.SpeciesH {
 			hz = append(hz, z)
@@ -37,6 +37,7 @@ func (st *state) tpa(zones []core.Site) float64 {
 			mz = append(mz, z)
 		}
 	}
+	st.tpaHz, st.tpaMz = hz, mz
 	gain := 0.0
 	if len(hz) > 0 {
 		gain += st.tpaBatch(hz)
@@ -47,39 +48,55 @@ func (st *state) tpa(zones []core.Site) float64 {
 	return gain
 }
 
+// tpaZone is one clipped zone record of a TPA batch; tpaCand one candidate
+// placement. Both live in per-state buffers (state.tpaZrs / state.tpaCands)
+// reused across the thousands of batches a pooled simulation state runs.
+type tpaZone struct {
+	fr   core.FragRef
+	lo   int
+	hi   int
+	base int // ISP coordinate offset
+}
+
+type tpaCand struct {
+	x      core.FragRef
+	rev    bool
+	zone   int // index into the zone records
+	lo, hi int // window within the zone's fragment (absolute)
+	score  float64
+}
+
 // tpaBatch runs one single-species TPA batch.
 func (st *state) tpaBatch(zones []core.Site) float64 {
 	if st.ctx != nil && st.ctx.Err() != nil {
 		return 0 // canceled mid-simulation; the driver discards this gain
 	}
-	type zoneRec struct {
-		fr   core.FragRef
-		lo   int
-		hi   int
-		base int // ISP coordinate offset
-	}
-	var zrs []zoneRec
+	zrs := st.tpaZrs[:0]
 	base := 0
 	for _, z := range zones {
 		fr := core.FragRef{Sp: z.Species, Idx: z.Frag}
 		for _, g := range st.clipFree(fr, z.Lo, z.Hi) {
-			zrs = append(zrs, zoneRec{fr: fr, lo: g[0], hi: g[1], base: base})
+			zrs = append(zrs, tpaZone{fr: fr, lo: g[0], hi: g[1], base: base})
 			base += g[1] - g[0] + 1
 		}
 	}
+	st.tpaZrs = zrs
 	if len(zrs) == 0 {
 		return 0
 	}
 	// Merge duplicate zone records (two freed sites may clip to the same
 	// gap).
-	sort.Slice(zrs, func(a, b int) bool {
-		if zrs[a].fr != zrs[b].fr {
-			if zrs[a].fr.Sp != zrs[b].fr.Sp {
-				return zrs[a].fr.Sp < zrs[b].fr.Sp
-			}
-			return zrs[a].fr.Idx < zrs[b].fr.Idx
+	slices.SortFunc(zrs, func(a, b tpaZone) int {
+		if a.fr.Sp != b.fr.Sp {
+			return int(a.fr.Sp) - int(b.fr.Sp)
 		}
-		return zrs[a].lo < zrs[b].lo
+		if a.fr.Idx != b.fr.Idx {
+			return a.fr.Idx - b.fr.Idx
+		}
+		if a.lo != b.lo {
+			return a.lo - b.lo
+		}
+		return a.hi - b.hi
 	})
 	dedup := zrs[:0]
 	for _, z := range zrs {
@@ -92,16 +109,10 @@ func (st *state) tpaBatch(zones []core.Site) float64 {
 		dedup = append(dedup, z)
 	}
 	zrs = dedup
+	st.tpaZrs = zrs
 
-	type cand struct {
-		x      core.FragRef
-		rev    bool
-		zone   int // index into zrs
-		lo, hi int // window within the zone's fragment (absolute)
-		score  float64
-	}
-	var cands []cand
-	var intervals []isp.Interval
+	cands := st.tpaCands[:0]
+	intervals := st.tpaIvs[:0]
 	jobOf := func(fr core.FragRef) int {
 		return int(fr.Sp)*max(len(st.in.H), len(st.in.M)) + fr.Idx
 	}
@@ -131,7 +142,7 @@ func (st *state) tpaBatch(zones []core.Site) float64 {
 					if profit <= 0 {
 						continue
 					}
-					cands = append(cands, cand{
+					cands = append(cands, tpaCand{
 						x: x, rev: rev, zone: zi,
 						lo: z.lo + p.Lo, hi: z.lo + p.Hi,
 						score: p.Score,
@@ -147,13 +158,17 @@ func (st *state) tpaBatch(zones []core.Site) float64 {
 			}
 		}
 	}
+	st.tpaCands, st.tpaIvs = cands, intervals
 	if len(intervals) == 0 {
 		return 0
 	}
-	res := isp.TwoPhase(intervals)
+	if st.ispScr == nil {
+		st.ispScr = new(isp.Scratch)
+	}
+	res := isp.TwoPhaseScratch(st.ispScr, intervals, 2*max(len(st.in.H), len(st.in.M)))
 	gain := 0.0
 	// Deterministic application order.
-	sort.Slice(res.Selected, func(a, b int) bool { return res.Selected[a].ID < res.Selected[b].ID })
+	slices.SortFunc(res.Selected, func(a, b isp.Interval) int { return a.ID - b.ID })
 	for _, iv := range res.Selected {
 		c := cands[iv.ID]
 		// Detach x from its current matches.

@@ -1,10 +1,51 @@
 package isp
 
 import (
+	"slices"
 	"sort"
 
 	"repro/internal/fenwick"
 )
+
+// Scratch holds the reusable working state of TwoPhaseScratch: the filtered
+// item list, the compressed coordinate table, the Fenwick array, the
+// per-job logs (dense, indexed by job id), the evaluation stack, and the
+// selection buffer. One call's cost then allocates nothing in steady state
+// — the paper's TPA subroutine runs TwoPhase thousands of times per
+// improvement round, which made the per-call maps and trees the hottest
+// allocation site of candidate simulation. Not safe for concurrent use: one
+// goroutine, one Scratch.
+type Scratch struct {
+	items []Interval
+	his   []int
+	fen   []float64
+	stack []stackedIv
+	sel   []Interval
+
+	jobLog   [][]jobEntry
+	jobTotal []float64
+	usedJob  []bool
+	touched  []int32 // jobs written this call, for O(touched) reset
+}
+
+type jobEntry struct {
+	hi  int
+	sum float64 // running total of pushed v for this job up to this entry
+}
+
+type stackedIv struct {
+	iv Interval
+	v  float64
+}
+
+// grow sizes the per-job tables for job ids in [0, numJobs).
+func (s *Scratch) grow(numJobs int) {
+	if len(s.jobLog) < numJobs {
+		s.jobLog = append(s.jobLog, make([][]jobEntry, numJobs-len(s.jobLog))...)
+		s.jobTotal = append(s.jobTotal, make([]float64, numJobs-len(s.jobTotal))...)
+		s.usedJob = append(s.usedJob, make([]bool, numJobs-len(s.usedJob))...)
+	}
+}
 
 // TwoPhase runs the two-phase algorithm of Berman and DasGupta ("Multi-phase
 // algorithms for throughput maximization for real-time scheduling", J. Comb.
@@ -23,59 +64,76 @@ import (
 // The conflict sum decomposes as (time overlaps) + (same job) − (both); the
 // first term is a Fenwick suffix sum over right endpoints, the last two are
 // per-job prefix sums, giving O(log n) per interval.
+//
+// The result's Selected slice is freshly allocated; hot callers use
+// TwoPhaseScratch instead.
 func TwoPhase(intervals []Interval) Result {
-	items := make([]Interval, 0, len(intervals))
+	maxJob := -1
+	for _, iv := range intervals {
+		if iv.Job > maxJob {
+			maxJob = iv.Job
+		}
+	}
+	res := TwoPhaseScratch(new(Scratch), intervals, maxJob+1)
+	res.Selected = append([]Interval(nil), res.Selected...)
+	return res
+}
+
+// TwoPhaseScratch is TwoPhase over caller-owned scratch state: every
+// internal structure, the returned Selected slice included, lives in s and
+// is valid only until the next call with the same Scratch. Job ids must lie
+// in [0, numJobs). The selection is identical to TwoPhase — the evaluation
+// order is a total order (Hi, Lo, ID), so the sort produces one sequence
+// regardless of algorithm or scratch reuse.
+func TwoPhaseScratch(s *Scratch, intervals []Interval, numJobs int) Result {
+	items := s.items[:0]
 	for _, iv := range intervals {
 		if iv.Profit > 0 && iv.Hi > iv.Lo {
 			items = append(items, iv)
 		}
 	}
+	s.items = items
 	if len(items) == 0 {
 		return Result{}
 	}
-	sort.Slice(items, func(i, j int) bool {
-		if items[i].Hi != items[j].Hi {
-			return items[i].Hi < items[j].Hi
+	slices.SortFunc(items, func(a, b Interval) int {
+		if a.Hi != b.Hi {
+			return a.Hi - b.Hi
 		}
-		if items[i].Lo != items[j].Lo {
-			return items[i].Lo < items[j].Lo
+		if a.Lo != b.Lo {
+			return a.Lo - b.Lo
 		}
-		return items[i].ID < items[j].ID
+		return a.ID - b.ID
 	})
 
 	// Coordinate-compress right endpoints for the Fenwick tree.
-	his := make([]int, 0, len(items))
+	his := s.his[:0]
 	for _, iv := range items {
 		his = append(his, iv.Hi)
 	}
-	sort.Ints(his)
+	slices.Sort(his)
 	his = dedupInts(his)
+	s.his = his
 	rank := func(x int) int { return sort.SearchInts(his, x) }
 
-	overlapByHi := fenwick.New(len(his))
-	type jobEntry struct {
-		hi  int
-		sum float64 // running total of pushed v for this job up to this entry
+	if cap(s.fen) < len(his)+1 {
+		s.fen = make([]float64, len(his)+1)
 	}
-	jobLog := make(map[int][]jobEntry)
-	jobTotal := make(map[int]float64)
+	overlapByHi := fenwick.Wrap(s.fen[:len(his)+1])
+	s.grow(numJobs)
 
-	type stacked struct {
-		iv Interval
-		v  float64
-	}
-	var stack []stacked
-
+	stack := s.stack[:0]
+	touched := s.touched[:0]
 	for _, iv := range items {
 		// Σ v(J) over stack intervals overlapping iv in time: pushed J have
 		// J.Hi ≤ iv.Hi; overlap ⇔ J.Hi > iv.Lo.
 		overlap := overlapByHi.Total() - overlapByHi.PrefixSum(rank(iv.Lo+1))
 		// Σ v(J) over stack intervals of the same job.
-		sameJob := jobTotal[iv.Job]
+		sameJob := s.jobTotal[iv.Job]
 		// Σ v(J) over stack intervals of the same job that also overlap —
 		// counted twice above. Per-job entries have non-decreasing hi.
 		both := 0.0
-		log := jobLog[iv.Job]
+		log := s.jobLog[iv.Job]
 		if len(log) > 0 {
 			// First entry with hi > iv.Lo.
 			k := sort.Search(len(log), func(i int) bool { return log[i].hi > iv.Lo })
@@ -91,30 +149,42 @@ func TwoPhase(intervals []Interval) Result {
 		if v <= 0 {
 			continue
 		}
-		stack = append(stack, stacked{iv, v})
+		stack = append(stack, stackedIv{iv, v})
 		overlapByHi.Add(rank(iv.Hi), v)
-		jobTotal[iv.Job] += v
-		jobLog[iv.Job] = append(log, jobEntry{hi: iv.Hi, sum: jobTotal[iv.Job]})
+		if len(log) == 0 && s.jobTotal[iv.Job] == 0 {
+			touched = append(touched, int32(iv.Job))
+		}
+		s.jobTotal[iv.Job] += v
+		s.jobLog[iv.Job] = append(log, jobEntry{hi: iv.Hi, sum: s.jobTotal[iv.Job]})
 	}
+	s.stack = stack
 
 	// Selection phase: pop in reverse order; candidates have hi no larger
 	// than every selected interval's hi, so time conflict ⇔ candidate.Hi >
 	// min selected Lo.
-	var res Result
+	res := Result{Selected: s.sel[:0]}
 	minLo := int(^uint(0) >> 1) // max int
-	usedJob := make(map[int]bool)
 	for i := len(stack) - 1; i >= 0; i-- {
 		iv := stack[i].iv
-		if usedJob[iv.Job] || iv.Hi > minLo {
+		if s.usedJob[iv.Job] || iv.Hi > minLo {
 			continue
 		}
 		res.Selected = append(res.Selected, iv)
 		res.Total += iv.Profit
-		usedJob[iv.Job] = true
+		s.usedJob[iv.Job] = true
 		if iv.Lo < minLo {
 			minLo = iv.Lo
 		}
 	}
+	s.sel = res.Selected
+	// O(touched) reset of the dense per-job tables for the next call.
+	for _, j := range touched {
+		s.jobLog[j] = s.jobLog[j][:0]
+		s.jobTotal[j] = 0
+		s.usedJob[j] = false
+	}
+	s.touched = touched[:0]
+	clear(s.fen[:len(his)+1])
 	return res
 }
 

@@ -35,7 +35,14 @@ const intHeadroomBits = 20
 // it can flow through every kernel and solver interface unchanged; the exact
 // float64 matrix it was built from stays reachable via Source.
 type CompiledInt struct {
+	// src is the exact float64 matrix the quantization was built from. On a
+	// transposed matrix it is materialized lazily (see source): the integer
+	// kernels never touch it, so eagerly densifying the float64 transpose
+	// per alphabet was pure memory traffic — the int32-mode batch
+	// regression — and it is only ever needed on the rare fallback paths
+	// (out-of-range symbols, alignments too long for int32 headroom).
 	src     *Compiled
+	srcOnce sync.Once
 	unit    float64
 	n       int32 // maximum region ID covered
 	dim     int32 // 2n+1 oriented symbols
@@ -46,6 +53,18 @@ type CompiledInt struct {
 	// trans caches Transposed, mirroring Compiled.
 	transOnce sync.Once
 	trans     *CompiledInt
+}
+
+// source returns the exact float64 matrix, materializing a transposed
+// matrix's source on first use (c.trans is then the original, whose source
+// is always present).
+func (c *CompiledInt) source() *Compiled {
+	c.srcOnce.Do(func() {
+		if c.src == nil {
+			c.src = c.trans.src.Transposed()
+		}
+	})
+	return c.src
 }
 
 // Int returns the integer-quantized form of the matrix, computed once and
@@ -136,8 +155,9 @@ func quantize(c *Compiled, unit float64) *CompiledInt {
 	return ci
 }
 
-// Source returns the exact float64 matrix the quantization was built from.
-func (c *CompiledInt) Source() *Compiled { return c.src }
+// Source returns the exact float64 matrix the quantization was built from
+// (built on demand for transposed matrices).
+func (c *CompiledInt) Source() *Compiled { return c.source() }
 
 // MaxID returns the largest region ID the matrix covers.
 func (c *CompiledInt) MaxID() int32 { return c.n }
@@ -179,7 +199,7 @@ func (c *CompiledInt) Dequantize(q int64) float64 { return float64(q) * c.unit }
 func (c *CompiledInt) Score(a, b symbol.Symbol) float64 {
 	ia, ib := int32(a)+c.n, int32(b)+c.n
 	if uint32(ia) >= uint32(c.dim) || uint32(ib) >= uint32(c.dim) {
-		return c.src.Score(a, b)
+		return c.source().Score(a, b)
 	}
 	return float64(c.flat[ia*c.dim+ib]) * c.unit
 }
@@ -207,11 +227,12 @@ func (c *CompiledInt) IndexWordInto(dst []int32, w symbol.Word) []int32 {
 
 // Transposed returns the quantized matrix of σᵀ, cached like
 // Compiled.Transposed and linked back so t.Transposed() == c. The transpose
-// shares the unit, error bound, and headroom of the original.
+// shares the unit, error bound, and headroom of the original; its float64
+// source matrix is NOT built here — the int32 kernels never read it, so it
+// materializes only if a fallback path asks (Source/source).
 func (c *CompiledInt) Transposed() *CompiledInt {
 	c.transOnce.Do(func() {
 		t := &CompiledInt{
-			src:     c.src.Transposed(),
 			unit:    c.unit,
 			n:       c.n,
 			dim:     c.dim,

@@ -14,5 +14,8 @@ go run ./cmd/csrbench -json -seed 1 -regions 60 -instances 8 -repeat 3 -int -alg
 # from-scratch per-round enumeration costs, so the E7Improve/enum gap
 # stays visible in the committed trajectory.
 go run ./cmd/csrbench -json -seed 1 -regions 60 -instances 8 -repeat 3 -full-enum -algs csr-improve >> BENCH_BASELINE.json
+# Lazy-selection ablation row (mode=eager): the full-list selection engine,
+# so the heap engine's win — and any future erosion of it — stays visible.
+go run ./cmd/csrbench -json -seed 1 -regions 60 -instances 8 -repeat 3 -lazy=false -algs csr-improve >> BENCH_BASELINE.json
 echo "wrote BENCH_BASELINE.json:" >&2
 cat BENCH_BASELINE.json >&2
