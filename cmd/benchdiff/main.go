@@ -14,7 +14,10 @@
 // not signal. Improve rows additionally gate on the lazy selection
 // engine's resimulated count (-max-resim, deterministic per workload, so
 // no noise floor — just a size floor), catching staleness-tracking rot
-// that wall-time jitter would hide. A record present in the baseline but
+// that wall-time jitter would hide. With -max-int-ratio set, the current
+// run's batch csr-improve rows are additionally gated on the
+// int32-vs-float64 wall ratio — a same-run comparison immune to runner
+// drift, protecting the quantized kernels' payoff. A record present in the baseline but
 // missing from the PR file fails the gate (an algorithm silently dropped
 // from the sweep is itself a regression); new PR-only records are reported
 // as additions.
@@ -128,6 +131,7 @@ func main() {
 		floorMS     = flag.Float64("floor-ms", 5, "baseline wall floor in ms; faster records are never gated")
 		floorAllocs = flag.Uint64("floor-allocs", 100000, "baseline allocation floor; smaller records are never alloc-gated")
 		floorResim  = flag.Int("floor-resim", 50, "baseline resimulated floor; smaller records are never resim-gated")
+		maxIntRatio = flag.Float64("max-int-ratio", 0, "max int32/float64 wall ratio for batch csr-improve rows of the CURRENT run (0 disables)")
 	)
 	flag.Parse()
 	if flag.NArg() != 2 {
@@ -201,6 +205,35 @@ func main() {
 		}
 	}
 	tw.Flush()
+
+	// Relative mode gate: within the CURRENT run, the quantized batch solve
+	// must keep its wall-time win over the float64 path. Both rows come from
+	// the same runner and run, so their ratio is far more stable than either
+	// absolute wall — this is the gate that protects the int32 kernels' payoff
+	// from eroding silently while absolute thresholds absorb runner drift.
+	// Gated rows: csr-improve at instances > 1 (the pinned batch workload;
+	// single-instance rows are too close to the wall floor to ratio-gate).
+	if *maxIntRatio > 0 {
+		for _, k := range curOrder {
+			if k.alg != "csr-improve" || k.mode != "int32" || k.instances <= 1 {
+				continue
+			}
+			fk := k
+			fk.mode = ""
+			fc, ok := cur[fk]
+			ic := cur[k]
+			if !ok || ic.Error != "" || fc.Error != "" || fc.WallMS < *floorMS {
+				continue
+			}
+			ratio := ic.WallMS / fc.WallMS
+			fmt.Printf("int32/float64 wall ratio (%s, instances=%d): %.1f/%.1f = %.3f (max %.2f)\n",
+				k.alg, k.instances, ic.WallMS, fc.WallMS, ratio, *maxIntRatio)
+			if ratio > *maxIntRatio {
+				failures = append(failures, fmt.Sprintf("%s: int32 wall %.1fms vs float64 %.1fms — ratio %.3f > %.2f",
+					k, ic.WallMS, fc.WallMS, ratio, *maxIntRatio))
+			}
+		}
+	}
 
 	if len(failures) > 0 {
 		fmt.Fprintf(os.Stderr, "\nbenchdiff: %d regression(s):\n", len(failures))

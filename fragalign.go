@@ -436,7 +436,8 @@ func solveInstance(ctx context.Context, in *Instance, alg Algorithm, cfg solveCf
 	if intBoundary {
 		// Dequantization boundary: cached match scores leave the integer
 		// search re-scored under the exact σ the shadow was quantized from.
-		sol = improve.Rescore(in, sol, denseSigma)
+		// The solver built sol for this call alone, so mutate it directly.
+		improve.RescoreInPlace(in, sol, denseSigma)
 	}
 	conj, err := sol.BuildConjecture(in)
 	if err != nil {

@@ -68,6 +68,38 @@ func (s *Scratch) Score(a, b symbol.Word, sc score.Scorer) float64 {
 	return prev[n]
 }
 
+// ScoreAtLeast returns an upper bound on P_score(a, b) that is exact
+// whenever it exceeds atLeast. Callers that only act on scores above a
+// threshold (candidate screens, acceptance floors) can therefore treat the
+// result exactly like Score: any returned value ≤ atLeast would have been
+// rejected anyway, and any value > atLeast is the true score. On the
+// quantized fast path the kernel stops as soon as a per-row suffix gain
+// bound proves the remaining rows cannot lift the score above atLeast —
+// the bound arithmetic is exact in integers, so the early exit cannot
+// misclassify. Other σ tiers compute the exact score (a float-tier bound
+// would need directed rounding to stay sound).
+func ScoreAtLeast(a, b symbol.Word, sc score.Scorer, atLeast float64) float64 {
+	s := NewScratch()
+	defer s.Release()
+	return s.ScoreAtLeast(a, b, sc, atLeast)
+}
+
+// ScoreAtLeast is the kernel form of the package-level ScoreAtLeast,
+// running on the caller's scratch arena.
+func (s *Scratch) ScoreAtLeast(a, b symbol.Word, sc score.Scorer, atLeast float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	ci, cf := resolve(sc, a, b, len(a)*len(b))
+	if ci != nil {
+		return s.scoreAtLeastInt(a, b, ci, atLeast)
+	}
+	if cf != nil {
+		return s.scoreCompiled(a, b, cf)
+	}
+	return s.Score(a, b, sc)
+}
+
 // BestOrient returns max(P_score(a,b), P_score(a,bᴿ)) and whether the
 // maximum used the reversed orientation of b. This is the Fig. 7 rule for
 // matches involving a full site.

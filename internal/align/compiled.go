@@ -86,6 +86,7 @@ func (s *Scratch) sparseRowsF(a symbol.Word, c *score.Compiled) {
 		}
 		s.spans = append(s.spans, [2]int32{start, int32(len(s.pos))})
 		s.rowOf[ia] = int32(len(s.spans))
+		s.rowIdx = append(s.rowIdx, ia)
 	}
 }
 

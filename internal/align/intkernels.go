@@ -9,47 +9,152 @@ import (
 
 // Integer-quantized kernels: the same free-gap DP as the float64 fast path,
 // run entirely over contiguous int32 rows of a score.CompiledInt and
-// dequantized only at the boundary. The inner loops use the builtin max,
-// which the compiler lowers to branchless conditional moves for integers —
-// the branch-light form the quantized mode exists for — and int32 cells
-// halve the memory traffic of the float64 rows. resolve guarantees the
-// accumulation headroom before any of these run, so no partial total can
-// wrap.
+// dequantized only at the boundary. Two complementary strategies split the
+// kernels:
+//
+//   - Sparse skip sweeps (Score, ScoreAtLeast, Placements): DP rows are
+//     monotone nondecreasing, so cells without a positive σ reduce to
+//     max(up, left-max) and whole add-free spans are provably unchanged —
+//     the loop touches only the positive columns plus the cells a diagonal
+//     add is still rippling through.
+//   - Lane-blocked dense rows (Align's fill, lastRow, wavefront tiles):
+//     when every cell must be materialized, the row runs through dpRowInt
+//     (lanes.go) — 8 int32 cells per iteration on the portable tier, an
+//     AVX2 prefix-max scan on amd64 — over a σ row pre-gathered into
+//     contiguous memory (Scratch.gatherI).
+//
+// resolve guarantees the accumulation headroom before any of these run, so
+// no partial total can wrap.
 
 // minusInfI is the unreachable-cell sentinel of the banded int32 kernel,
 // deep enough below zero that adding any in-headroom cell cannot wrap.
 const minusInfI = int32(math.MinInt32 / 4)
 
-// sparseRowsI is sparseRowsF over quantized rows.
+// sparseRowsI is sparseRowsF over quantized rows, additionally recording
+// each span's maximum value (spanMax) — the row's largest possible gain,
+// which the early-exit bounds of ScoreAtLeast and placementsInt sum into
+// a suffix bound on the remaining rows.
+//
+// Unlike the float build, it does not scan a σ row per distinct symbol: it
+// intersects the matrix's cached positive-column lists (CompiledInt.PosRow
+// — σ rows are overwhelmingly zero) with an inverse index of b built in
+// one O(|b|) pass, so the per-symbol cost is proportional to the row's
+// positive cells and their hits in b rather than to |b|.
 func (s *Scratch) sparseRowsI(a symbol.Word, c *score.CompiledInt) {
-	s.resetSparse(2*int(c.MaxID()) + 1)
+	dim := 2*int(c.MaxID()) + 1
+	s.resetSparse(dim)
+	if cap(s.bHead) < dim {
+		s.bHead = make([]int32, dim)
+	} else {
+		for _, col := range s.bTouched {
+			s.bHead[col] = 0
+		}
+		s.bHead = s.bHead[:dim]
+	}
+	s.bTouched = s.bTouched[:0]
+	s.bNext = growI(s.bNext, len(s.bi)+1)
+	for j := len(s.bi) - 1; j >= 0; j-- {
+		col := s.bi[j]
+		if s.bHead[col] == 0 {
+			s.bTouched = append(s.bTouched, col)
+		}
+		s.bNext[j+1] = s.bHead[col]
+		s.bHead[col] = int32(j + 1)
+	}
 	for _, sym := range a {
 		ia := c.Index(sym)
 		if s.rowOf[ia] != 0 {
 			continue
 		}
-		row := c.Row(sym)
+		cols, vals := c.PosRow(sym)
 		start := int32(len(s.pos))
-		for j, bj := range s.bi {
-			if v := row[bj]; v > 0 {
-				s.pos = append(s.pos, int32(j))
+		mx := int32(0)
+		for k, col := range cols {
+			h := s.bHead[col]
+			if h == 0 {
+				continue
+			}
+			v := vals[k]
+			for j := h; j != 0; j = s.bNext[j] {
+				s.pos = append(s.pos, j-1)
 				s.valI = append(s.valI, v)
 			}
+			if v > mx {
+				mx = v
+			}
 		}
+		// Hits arrive grouped by column (each group ascending); the sweep
+		// needs ascending positions. Rows hit through one column — the
+		// common case — are already sorted and cost a linear pass.
+		sortPosVal(s.pos[start:], s.valI[start:])
 		s.spans = append(s.spans, [2]int32{start, int32(len(s.pos))})
+		s.spanMax = append(s.spanMax, mx)
 		s.rowOf[ia] = int32(len(s.spans))
+		s.rowIdx = append(s.rowIdx, ia)
 	}
 }
 
-// scoreInt is Score on the int32 fast path. Beyond the int32 cells it
-// exploits a structural property of the free-gap DP: every row is monotone
-// nondecreasing, so a cell with no positive σ reduces to max(up, left-max) —
-// which leaves the rolled row unchanged once the running maximum has been
-// absorbed. The loop therefore touches only the positive columns of each row
-// plus the cells a diagonal add is still rippling through, skipping
-// untouched spans outright (rows whose symbol scores positively against
-// nothing in b are skipped whole). The skipped writes are provably no-ops,
-// so the result is identical to the full sweep.
+// sortPosVal insertion-sorts the parallel position/value pairs by position.
+// Positions are distinct (each b cell lives in exactly one column chain)
+// and arrive as a handful of ascending runs, for which insertion sort is
+// near-linear.
+func sortPosVal(pos, val []int32) {
+	for i := 1; i < len(pos); i++ {
+		p, v := pos[i], val[i]
+		j := i
+		for j > 0 && pos[j-1] > p {
+			pos[j], val[j] = pos[j-1], val[j-1]
+			j--
+		}
+		pos[j], val[j] = p, v
+	}
+}
+
+// intSkipRow advances the rolled DP row arr (arr[0] = 0, monotone) by one
+// row whose positive columns are pos/val: the skip-propagation sweep of
+// scoreInt. The skipped writes are provably no-ops, so the result is
+// identical to the full dense row update.
+func intSkipRow(arr []int32, pos, val []int32) {
+	n := len(arr) - 1
+	// j is the next column to finalize, best the new value at j-1, and
+	// oldPrev the previous row's value at j-1 (the diagonal input).
+	j := 1
+	best, oldPrev := int32(0), int32(0)
+	for k := 0; k < len(pos); k++ {
+		pj := int(pos[k]) + 1
+		// Ripple best through the add-free span [j, pj): once it is
+		// absorbed (best ≤ old cell), the rest of the span is unchanged
+		// and can be skipped — the old values are exactly the new ones.
+		for j < pj {
+			old := arr[j]
+			if best <= old {
+				j = pj
+				best = arr[pj-1]
+				oldPrev = best
+				break
+			}
+			arr[j] = best
+			oldPrev = old
+			j++
+		}
+		up := arr[pj]
+		v := max(oldPrev+val[k], up)
+		v = max(v, best)
+		arr[pj] = v
+		best = v
+		oldPrev = up
+		j = pj + 1
+	}
+	// Tail: ripple the last add until absorbed.
+	for j <= n && best > arr[j] {
+		arr[j] = best
+		j++
+	}
+}
+
+// scoreInt is Score on the int32 fast path: the sparse skip sweep over
+// positive columns (see intSkipRow), which beats even the lane-blocked
+// dense row because typical σ rows score positively against few columns.
 func (s *Scratch) scoreInt(a, b symbol.Word, c *score.CompiledInt) float64 {
 	n := len(b)
 	if len(a)*n < 8*int(c.MaxID())+4 {
@@ -64,82 +169,75 @@ func (s *Scratch) scoreInt(a, b symbol.Word, c *score.CompiledInt) float64 {
 		if len(pos) == 0 {
 			continue // no adds: the whole row is a no-op
 		}
-		// j is the next column to finalize, best the new value at j-1, and
-		// oldPrev the previous row's value at j-1 (the diagonal input).
-		j := 1
-		best, oldPrev := int32(0), int32(0)
-		for k := 0; k < len(pos); k++ {
-			pj := int(pos[k]) + 1
-			// Ripple best through the add-free span [j, pj): once it is
-			// absorbed (best ≤ old cell), the rest of the span is unchanged
-			// and can be skipped — the old values are exactly the new ones.
-			for j < pj {
-				old := arr[j]
-				if best <= old {
-					j = pj
-					best = arr[pj-1]
-					oldPrev = best
-					break
-				}
-				arr[j] = best
-				oldPrev = old
-				j++
-			}
-			up := arr[pj]
-			v := max(oldPrev+val[k], up)
-			v = max(v, best)
-			arr[pj] = v
-			best = v
-			oldPrev = up
-			j = pj + 1
+		intSkipRow(arr, pos, val)
+	}
+	return c.Dequantize(int64(arr[n]))
+}
+
+// scoreAtLeastInt is ScoreAtLeast on the int32 fast path: the scoreInt
+// sweep with an adaptive early exit. Every DP path gains at most one σ cell
+// per row, so after row i the final score is bounded by
+//
+//	max_j D[i][j] + Σ_{i' > i} spanMax(i')
+//
+// and the kernel bails with that bound as soon as it cannot clear atLeast.
+// The bound arithmetic is exact in integers — no rounding direction to get
+// wrong, which is why the early exit lives on the quantized tier only.
+func (s *Scratch) scoreAtLeastInt(a, b symbol.Word, c *score.CompiledInt, atLeast float64) float64 {
+	n := len(b)
+	if len(a)*n < 8*int(c.MaxID())+4 {
+		return s.scoreIntSmall(a, b, c) // small words: exact is cheapest
+	}
+	s.indexWordInt(c, b)
+	s.sparseRowsI(a, c)
+	remaining := int64(0)
+	for _, sym := range a {
+		remaining += int64(s.spanMax[s.rowOf[c.Index(sym)]-1])
+	}
+	if ub := c.Dequantize(remaining); ub <= atLeast {
+		return ub // the all-rows gain bound already rules the pair out
+	}
+	arr, _ := s.intRows(n + 1)
+	for i := 1; i <= len(a); i++ {
+		r := s.rowOf[c.Index(a[i-1])] - 1
+		span := s.spans[r]
+		remaining -= int64(s.spanMax[r])
+		pos, val := s.pos[span[0]:span[1]], s.valI[span[0]:span[1]]
+		if len(pos) == 0 {
+			continue // row max and suffix bound both unchanged
 		}
-		// Tail: ripple the last add until absorbed.
-		for j <= n && best > arr[j] {
-			arr[j] = best
-			j++
+		intSkipRow(arr, pos, val)
+		// arr[n] is the row maximum (rows are monotone nondecreasing).
+		if ub := c.Dequantize(int64(arr[n]) + remaining); ub <= atLeast {
+			return ub
 		}
 	}
 	return c.Dequantize(int64(arr[n]))
 }
 
-// scoreIntSmall is the dense int32 Score loop for words smaller than the
-// alphabet.
+// scoreIntSmall is the int32 Score loop for words smaller than the
+// alphabet: per-row gather plus the lane-blocked row kernel, no per-call
+// tables.
 func (s *Scratch) scoreIntSmall(a, b symbol.Word, c *score.CompiledInt) float64 {
 	n := len(b)
 	bi := s.indexWordInt(c, b)
 	prev, cur := s.intRows(n + 1)
 	for i := 1; i <= len(a); i++ {
-		row := c.Row(a[i-1])
-		diag, best := prev[0], int32(0)
 		cur[0] = 0
-		for j := 1; j <= n; j++ {
-			v := diag + row[bi[j-1]]
-			up := prev[j]
-			v = max(v, up)
-			v = max(v, best)
-			cur[j] = v
-			best = v
-			diag = up
-		}
+		s.dpRowIntAuto(prev, cur, c.Row(a[i-1]), bi)
 		prev, cur = cur, prev
 	}
 	return c.Dequantize(int64(prev[n]))
 }
 
-// fillInt computes the full int32 DP matrix of Align.
+// fillInt computes the full int32 DP matrix of Align, one lane-blocked row
+// at a time.
 func (s *Scratch) fillInt(a, b symbol.Word, c *score.CompiledInt) [][]int32 {
 	m, n := len(a), len(b)
 	d := s.matrixI(m, n)
 	bi := s.indexWordInt(c, b)
 	for i := 1; i <= m; i++ {
-		row := c.Row(a[i-1])
-		di, dp := d[i], d[i-1]
-		for j := 1; j <= n; j++ {
-			best := dp[j-1] + row[bi[j-1]]
-			best = max(best, dp[j])
-			best = max(best, di[j-1])
-			di[j] = best
-		}
+		s.dpRowIntAuto(d[i-1], d[i], c.Row(a[i-1]), bi) // d[i][0] preset to 0 by matrixI
 	}
 	return d
 }
@@ -173,20 +271,15 @@ func (s *Scratch) alignInt(a, b symbol.Word, c *score.CompiledInt) (float64, []C
 	return c.Dequantize(int64(d[m][n])), cols
 }
 
-// lastRowIntInto computes the int32 last DP row into dst.
+// lastRowIntInto computes the int32 last DP row into dst with the
+// lane-blocked row kernel.
 func (s *Scratch) lastRowIntInto(dst []int32, a, b symbol.Word, c *score.CompiledInt) []int32 {
 	n := len(b)
 	bi := s.indexWordInt(c, b)
 	prev, cur := s.intRows(n + 1)
 	for i := 1; i <= len(a); i++ {
-		row := c.Row(a[i-1])
 		cur[0] = 0
-		for j := 1; j <= n; j++ {
-			best := prev[j-1] + row[bi[j-1]]
-			best = max(best, prev[j])
-			best = max(best, cur[j-1])
-			cur[j] = best
-		}
+		s.dpRowIntAuto(prev, cur, c.Row(a[i-1]), bi)
 		prev, cur = cur, prev
 	}
 	dst = growI(dst, n+1)
@@ -194,13 +287,17 @@ func (s *Scratch) lastRowIntInto(dst []int32, a, b symbol.Word, c *score.Compile
 	return dst
 }
 
-// scoreBandedInt is ScoreBanded on the int32 fast path.
+// scoreBandedInt is ScoreBanded on the int32 fast path. The cell update
+// keeps the per-cell sentinel guard on the scalar tier — band-edge cells
+// can carry legitimately negative values, which the vector tier's zero-fill
+// prefix scan does not admit (see dpRowInt's ≥ 0 contract) — and reads σ
+// through the column index map directly: band segments are narrow, so a
+// separate gather pass costs more than it saves.
 func (s *Scratch) scoreBandedInt(a, b symbol.Word, c *score.CompiledInt, band int) float64 {
 	m, n := len(a), len(b)
 	bi := s.indexWordInt(c, b)
 	prev, cur := s.intRows(n + 1)
 	for i := 1; i <= m; i++ {
-		row := c.Row(a[i-1])
 		center := i * n / m
 		lo := max(1, center-band)
 		hi := min(n, center+band)
@@ -208,6 +305,7 @@ func (s *Scratch) scoreBandedInt(a, b symbol.Word, c *score.CompiledInt, band in
 			cur[j] = minusInfI
 		}
 		cur[0] = 0
+		row := c.Row(a[i-1])
 		for j := lo; j <= hi; j++ {
 			best := minusInfI
 			if prev[j-1] > minusInfI/2 {
@@ -226,50 +324,109 @@ func (s *Scratch) scoreBandedInt(a, b symbol.Word, c *score.CompiledInt, band in
 	return c.Dequantize(int64(best))
 }
 
-// placementsInt is Placements on the int32 fast path. minScore is compared
-// on the dequantized frontier values, so the emitted windows satisfy the
-// caller's float64 threshold exactly as the float kernel would.
+// The int32 placement kernel packs a DP cell's (value, start) pair into one
+// int64 — value in the high 32 bits, start in the low 32 — so the kernel's
+// lexicographic order (larger value wins, ties prefer the larger start, the
+// exact tie-break of the float kernel) is plain int64 comparison: starts
+// are nonnegative and below 2³¹, so the low word compares like an unsigned
+// and never disturbs the value ordering.
+
+func pkPack(v, st int32) int64 { return int64(v)<<32 | int64(uint32(st)) }
+func pkVal(p int64) int32      { return int32(p >> 32) }
+func pkStart(p int64) int32    { return int32(uint32(p)) }
+
+// placementsInt is Placements on the int32 fast path: the packed-pair form
+// of the skip-propagation sweep. Packed rows are monotone nondecreasing
+// exactly like score rows (each is a running lexicographic prefix max), so
+// the same absorption argument applies: add-free spans are unchanged, rows
+// whose symbol has no positive column are skipped whole, and the sweep
+// touches only positive columns plus active ripples. The frontier depends
+// only on the final row, so a suffix gain bound also ends the sweep early
+// once no remaining row can lift any final value above minScore — the
+// common case for the low-similarity fragment pairs that dominate TPA
+// candidate evaluation. minScore is compared on dequantized values, so the
+// emitted windows satisfy the caller's float64 threshold exactly as the
+// float kernel would.
 func (s *Scratch) placementsInt(a, b symbol.Word, c *score.CompiledInt, minScore float64) []Placement {
 	m, n := len(a), len(b)
-	bi := s.indexWordInt(c, b)
+	s.indexWordInt(c, b)
+	s.sparseRowsI(a, c)
+	remaining := int64(0)
+	for _, sym := range a {
+		remaining += int64(s.spanMax[s.rowOf[c.Index(sym)]-1])
+	}
+	if c.Dequantize(remaining) <= minScore {
+		return nil // even the sum of per-row best gains cannot clear it
+	}
 	const noStart = int32(1) << 30
-	dPrev, dCur := s.intRows(n + 1)
-	s.sa, s.sb = growI(s.sa, n+1), growI(s.sb, n+1)
-	stPrev, stCur := s.sa, s.sb
-	for j := range stPrev {
-		stPrev[j] = noStart
+	pk0 := pkPack(0, noStart)
+	arr := growI64(s.pk, n+1)
+	s.pk = arr
+	for j := range arr {
+		arr[j] = pk0
 	}
 	for i := 1; i <= m; i++ {
-		row := c.Row(a[i-1])
-		dCur[0] = 0
-		stCur[0] = noStart
-		for j := 1; j <= n; j++ {
-			sv := row[bi[j-1]]
-			bestV := dPrev[j]
-			bestS := stPrev[j]
-			if dCur[j-1] > bestV || (dCur[j-1] == bestV && stCur[j-1] > bestS) {
-				bestV, bestS = dCur[j-1], stCur[j-1]
-			}
-			if sv > 0 {
-				v := dPrev[j-1] + sv
-				st := stPrev[j-1]
-				if st == noStart {
-					st = int32(j - 1)
-				}
-				if v > bestV || (v == bestV && st > bestS) {
-					bestV, bestS = v, st
-				}
-			}
-			dCur[j], stCur[j] = bestV, bestS
+		r := s.rowOf[c.Index(a[i-1])] - 1
+		span := s.spans[r]
+		remaining -= int64(s.spanMax[r])
+		pos, val := s.pos[span[0]:span[1]], s.valI[span[0]:span[1]]
+		if len(pos) == 0 {
+			continue // no adds: the packed row is provably unchanged
 		}
-		dPrev, dCur = dCur, dPrev
-		stPrev, stCur = stCur, stPrev
+		j := 1
+		best, oldPrev := arr[0], arr[0]
+		for k := 0; k < len(pos); k++ {
+			pj := int(pos[k]) + 1
+			for j < pj {
+				old := arr[j]
+				if best <= old {
+					j = pj
+					best = arr[pj-1]
+					oldPrev = best
+					break
+				}
+				arr[j] = best
+				oldPrev = old
+				j++
+			}
+			up := arr[pj]
+			st := pkStart(oldPrev)
+			if st == noStart {
+				st = int32(pj - 1) // this diagonal is the first scoring column
+			}
+			v := pkPack(pkVal(oldPrev)+val[k], st)
+			v = max(v, up)
+			v = max(v, best)
+			arr[pj] = v
+			best = v
+			oldPrev = up
+			j = pj + 1
+		}
+		for j <= n && best > arr[j] {
+			arr[j] = best
+			j++
+		}
+		if c.Dequantize(int64(pkVal(arr[n]))+remaining) <= minScore {
+			return nil // no remaining row can lift the frontier above minScore
+		}
 	}
-	var out []Placement
+	// Count emissions first so the result is a single exact-size allocation
+	// (the caller memoizes it, so it cannot live in the scratch arena).
+	cnt := 0
 	for j := 1; j <= n; j++ {
-		if dPrev[j] > dPrev[j-1] && stPrev[j] != noStart {
-			if v := c.Dequantize(int64(dPrev[j])); v > minScore {
-				out = append(out, Placement{Lo: int(stPrev[j]), Hi: j, Score: v})
+		if pkVal(arr[j]) > pkVal(arr[j-1]) && pkStart(arr[j]) != noStart &&
+			c.Dequantize(int64(pkVal(arr[j]))) > minScore {
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return nil
+	}
+	out := make([]Placement, 0, cnt)
+	for j := 1; j <= n; j++ {
+		if pkVal(arr[j]) > pkVal(arr[j-1]) && pkStart(arr[j]) != noStart {
+			if v := c.Dequantize(int64(pkVal(arr[j]))); v > minScore {
+				out = append(out, Placement{Lo: int(pkStart(arr[j])), Hi: j, Score: v})
 			}
 		}
 	}

@@ -1,0 +1,114 @@
+package align
+
+// Lane-blocked int32 DP row kernels. The free-gap row update
+//
+//	cur[j] = max(prev[j-1] + g[j-1], prev[j], cur[j-1])
+//
+// is a prefix-max scan of the data-parallel term
+//
+//	t[j] = max(prev[j-1] + g[j-1], prev[j])
+//
+// so a row splits into an 8-wide add/max block (independent lanes, full ILP)
+// followed by a max-scan. The portable tier below unrolls both by the lane
+// width with bounds-check-free slice windows; on amd64 an AVX2 tier computes
+// the same row with vector adds and a log-step in-register prefix max
+// (lanes_amd64.s), dispatched behind a CPUID probe — or unconditionally when
+// the build pins GOAMD64=v3, which implies AVX2. The rolled scalar loop is
+// retained (dpRowIntScalar) as the fallback and the bit-exactness oracle of
+// the fuzz tests; all three tiers produce identical cells.
+//
+// g holds the σ row of the current symbol of a gathered against b
+// (g[j] = row[bi[j]], see Scratch.gatherRowI): the gather is hoisted out of
+// the inner loop so every tier streams contiguous int32.
+
+// laneWidth mirrors score.LaneWidth without importing it into the hot path.
+const laneWidth = 8
+
+// dpRowInt computes cur[1..n] of one free-gap DP row, n = len(g), with
+// cur[0] preset by the caller (0 for plain rows, the left carry for
+// wavefront tiles). prev and cur must not alias and hold at least n+1 cells.
+// Returns cur[n], which — rows being monotone nondecreasing — is the row
+// maximum. All cells of prev and cur[0] must be ≥ 0 (true for every
+// free-gap DP with zero boundary); g may be negative.
+func dpRowInt(prev, cur, g []int32) int32 {
+	n := len(g)
+	if useAVX2 && n >= 2*laneWidth {
+		k := n &^ (laneWidth - 1)
+		best := dpRowAVX2(prev, cur, g, k)
+		for j := k + 1; j <= n; j++ {
+			best = max(best, max(prev[j-1]+g[j-1], prev[j]))
+			cur[j] = best
+		}
+		return best
+	}
+	return dpRowIntGo(prev, cur, g)
+}
+
+// dpRowIntGo is the portable lane tier: 8 cells per iteration, slice windows
+// sized so the compiler drops every bounds check, adds independent across
+// lanes, and the prefix max an unrolled scan chain of branch-free CMOVs.
+func dpRowIntGo(prev, cur, g []int32) int32 {
+	n := len(g)
+	best := cur[0]
+	j := 1
+	for ; j+laneWidth <= n+1; j += laneWidth {
+		p := prev[j-1 : j+laneWidth] // prev[j-1 .. j+7], 9 cells
+		gg := g[j-1 : j-1+laneWidth : j-1+laneWidth]
+		c := cur[j : j+laneWidth : j+laneWidth]
+		t0 := max(p[0]+gg[0], p[1])
+		t1 := max(p[1]+gg[1], p[2])
+		t2 := max(p[2]+gg[2], p[3])
+		t3 := max(p[3]+gg[3], p[4])
+		t4 := max(p[4]+gg[4], p[5])
+		t5 := max(p[5]+gg[5], p[6])
+		t6 := max(p[6]+gg[6], p[7])
+		t7 := max(p[7]+gg[7], p[8])
+		best = max(best, t0)
+		c[0] = best
+		best = max(best, t1)
+		c[1] = best
+		best = max(best, t2)
+		c[2] = best
+		best = max(best, t3)
+		c[3] = best
+		best = max(best, t4)
+		c[4] = best
+		best = max(best, t5)
+		c[5] = best
+		best = max(best, t6)
+		c[6] = best
+		best = max(best, t7)
+		c[7] = best
+	}
+	for ; j <= n; j++ {
+		best = max(best, max(prev[j-1]+g[j-1], prev[j]))
+		cur[j] = best
+	}
+	return best
+}
+
+// dpRowIntIdx is dpRowInt with the σ gather fused into the sweep: the cell
+// term reads row[bi[j]] in place of a pre-gathered g. Rows too narrow for
+// the AVX2 tier to engage lose more to the separate gather pass than the
+// lane unroll wins back — typical improve-loop words are a handful of
+// symbols — so Scratch.dpRowIntAuto routes them here and gathers only from
+// 2·laneWidth up. Same cells, same contract as dpRowInt.
+func dpRowIntIdx(prev, cur, row, bi []int32) int32 {
+	best := cur[0]
+	for j, bj := range bi {
+		best = max(best, max(prev[j]+row[bj], prev[j+1]))
+		cur[j+1] = best
+	}
+	return best
+}
+
+// dpRowIntScalar is the rolled reference row: the scalar fallback the fuzz
+// tests hold every lane tier against.
+func dpRowIntScalar(prev, cur, g []int32) int32 {
+	best := cur[0]
+	for j := 1; j <= len(g); j++ {
+		best = max(best, max(prev[j-1]+g[j-1], prev[j]))
+		cur[j] = best
+	}
+	return best
+}

@@ -1,0 +1,49 @@
+//go:build amd64 && !noasm
+
+package align
+
+// The AVX2 lane tier. dpRowAVX2 (lanes_amd64.s) computes the same row cells
+// as dpRowIntGo with 8-lane vector adds and a log-step in-register prefix
+// max. Dispatch is decided once at package init: unconditionally on when the
+// build pins GOAMD64=v3 (the microarchitecture level that guarantees AVX2),
+// otherwise by a CPUID probe — feature bit, AVX OS support (OSXSAVE +
+// XCR0 YMM state), and the AVX2 leaf. Build with -tags noasm to force the
+// portable tier (lanes_generic.go).
+
+// cpuid executes the CPUID instruction (lanes_amd64.s).
+func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads XCR0 (lanes_amd64.s); callers must check OSXSAVE first.
+func xgetbv() (eax, edx uint32)
+
+// dpRowAVX2 computes cur[1..n] of one free-gap DP row (see dpRowInt for the
+// cell contract) and returns cur[n]. n must be a positive multiple of the
+// lane width; prev, cur and g must hold at least n+1, n+1 and n cells.
+func dpRowAVX2(prev, cur, g []int32, n int) int32
+
+var useAVX2 = amd64v3 || probeAVX2()
+
+func probeAVX2() bool {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, c1, _ := cpuid(1, 0)
+	const osxsave, avx = 1 << 27, 1 << 28
+	if c1&osxsave == 0 || c1&avx == 0 {
+		return false
+	}
+	if lo, _ := xgetbv(); lo&6 != 6 {
+		return false // OS does not save XMM+YMM state
+	}
+	_, b7, _, _ := cpuid(7, 0)
+	return b7&(1<<5) != 0 // AVX2
+}
+
+// setAVX2ForTest forces the dispatch for a test and returns the restore
+// func, so the portable tier is exercised on AVX2 machines too.
+func setAVX2ForTest(v bool) func() {
+	old := useAVX2
+	useAVX2 = v
+	return func() { useAVX2 = old }
+}

@@ -1,0 +1,77 @@
+//go:build amd64 && !noasm
+
+#include "textflag.h"
+
+// func dpRowAVX2(prev, cur, g []int32, n int) int32
+//
+// One free-gap DP row, 8 int32 cells per iteration:
+//
+//	t[j]   = max(prev[j-1] + g[j-1], prev[j])   (vector add + max)
+//	cur[j] = max(t[j], cur[j-1])                (prefix max)
+//
+// The prefix max runs in-register: two byte-shift/max steps scan each
+// 128-bit half, one cross-half step folds the low half's top lane into the
+// high half, and a broadcast lane carries the running maximum between
+// blocks. Shifted-in zero lanes are harmless because every cell is ≥ 0
+// (free-gap DP with zero boundary; see dpRowInt's contract). n is a
+// positive multiple of 8; cur[0] is preset by the caller.
+TEXT ·dpRowAVX2(SB), NOSPLIT, $0-84
+	MOVQ prev_base+0(FP), SI
+	MOVQ cur_base+24(FP), DI
+	MOVQ g_base+48(FP), DX
+	MOVQ n+72(FP), CX
+
+	VPBROADCASTD (DI), Y0      // Y0 = carry: cur[0] in all lanes
+	XORQ AX, AX                // j = 0 (0-based cell index)
+
+loop:
+	VMOVDQU (SI)(AX*4), Y1     // prev[j .. j+7]   (diagonal inputs)
+	VMOVDQU 4(SI)(AX*4), Y2    // prev[j+1 .. j+8] (up inputs)
+	VPADDD  (DX)(AX*4), Y1, Y1 // diag + g[j .. j+7]
+	VPMAXSD Y2, Y1, Y1         // t
+
+	// Prefix max within each 128-bit half (shift in zeros, cells ≥ 0).
+	VPSLLDQ $4, Y1, Y2
+	VPMAXSD Y2, Y1, Y1
+	VPSLLDQ $8, Y1, Y2
+	VPMAXSD Y2, Y1, Y1
+	// Fold the low half's top lane (its scan total) into the high half.
+	VPERM2I128 $0x08, Y1, Y1, Y2 // Y2 = [ hi: Y1.lo128, lo: 0 ]
+	VPSHUFD $0xFF, Y2, Y2        // hi half = lane 3 of Y1.lo128; lo stays 0
+	VPMAXSD Y2, Y1, Y1
+	// Carry from the previous block.
+	VPMAXSD Y0, Y1, Y1
+
+	VMOVDQU Y1, 4(DI)(AX*4)    // cur[j+1 .. j+8]
+
+	// New carry: lane 7 (the block's running maximum) in all lanes.
+	VPERMQ  $0xFF, Y1, Y0      // qword 3 everywhere → lanes [6,7,6,7,...]
+	VPSHUFD $0xFF, Y0, Y0      // lane 7 everywhere
+
+	ADDQ $8, AX
+	CMPQ AX, CX
+	JL   loop
+
+	VMOVD X0, AX               // carry lane 0 = cur[n]
+	MOVL AX, ret+80(FP)
+	VZEROUPPER
+	RET
+
+// func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL eaxArg+0(FP), AX
+	MOVL ecxArg+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

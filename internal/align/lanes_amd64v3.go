@@ -1,0 +1,6 @@
+//go:build amd64.v3
+
+package align
+
+// GOAMD64=v3 (or higher) guarantees AVX2: skip the runtime probe.
+const amd64v3 = true

@@ -1,0 +1,16 @@
+//go:build !amd64 || noasm
+
+package align
+
+// Portable build (non-amd64, or -tags noasm): the AVX2 tier compiles out
+// entirely — useAVX2 is a false constant, so dpRowInt's vector branch is
+// dead-code-eliminated and every row runs the unrolled Go tier.
+
+const useAVX2 = false
+
+func dpRowAVX2(prev, cur, g []int32, n int) int32 {
+	panic("align: AVX2 kernel called on a build without it")
+}
+
+// setAVX2ForTest is a no-op on builds without the AVX2 tier.
+func setAVX2ForTest(bool) func() { return func() {} }

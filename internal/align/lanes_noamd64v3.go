@@ -1,0 +1,6 @@
+//go:build !amd64.v3
+
+package align
+
+// Builds below GOAMD64=v3 probe for AVX2 at init (lanes_amd64.go).
+const amd64v3 = false

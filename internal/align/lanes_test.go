@@ -1,0 +1,167 @@
+package align
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"repro/internal/score"
+)
+
+// laneCase builds one random row-update instance honouring the kernel
+// contract: prev cells ≥ 0 (monotone half the time, like a real DP row),
+// cur[0] ≥ 0, g unrestricted in sign. Values stay far below the int32
+// accumulation headroom.
+func laneCase(r *rand.Rand, n int) (prev []int32, c0 int32, row []int32, bi []int32, g []int32) {
+	prev = make([]int32, n+1)
+	for j := range prev {
+		prev[j] = int32(r.Intn(1 << 20))
+	}
+	if r.Intn(2) == 0 {
+		for j := 1; j <= n; j++ {
+			prev[j] = max(prev[j], prev[j-1])
+		}
+	}
+	c0 = int32(r.Intn(1 << 20))
+	dim := 1 + r.Intn(64)
+	row = make([]int32, dim)
+	for j := range row {
+		row[j] = int32(r.Intn(1<<21) - 1<<20)
+	}
+	bi = make([]int32, n)
+	g = make([]int32, n)
+	for j := range bi {
+		bi[j] = int32(r.Intn(dim))
+		g[j] = row[bi[j]]
+	}
+	return
+}
+
+// checkLaneTier runs one kernel form against the scalar oracle.
+func checkLaneTier(t *testing.T, name string, want []int32, wb int32, c0 int32, run func(cur []int32) int32) {
+	t.Helper()
+	cur := make([]int32, len(want))
+	cur[0] = c0
+	if gb := run(cur); gb != wb {
+		t.Fatalf("%s: n=%d best %d, scalar %d", name, len(want)-1, gb, wb)
+	}
+	for j, w := range want {
+		if cur[j] != w {
+			t.Fatalf("%s: n=%d cell %d: %d, scalar %d", name, len(want)-1, j, cur[j], w)
+		}
+	}
+}
+
+// checkLaneKernels holds every lane tier to the scalar oracle on one
+// instance: the portable 8-wide tier, the fused-gather index tier, the
+// dispatcher with AVX2 forced off, and — when the host supports it — the
+// AVX2 tier itself.
+func checkLaneKernels(t *testing.T, prev []int32, c0 int32, row, bi, g []int32) {
+	t.Helper()
+	want := make([]int32, len(prev))
+	want[0] = c0
+	wb := dpRowIntScalar(prev, want, g)
+
+	checkLaneTier(t, "go", want, wb, c0, func(cur []int32) int32 {
+		return dpRowIntGo(prev, cur, g)
+	})
+	checkLaneTier(t, "idx", want, wb, c0, func(cur []int32) int32 {
+		return dpRowIntIdx(prev, cur, row, bi)
+	})
+	restore := setAVX2ForTest(false)
+	checkLaneTier(t, "dispatch-portable", want, wb, c0, func(cur []int32) int32 {
+		return dpRowInt(prev, cur, g)
+	})
+	restore()
+	if useAVX2 {
+		checkLaneTier(t, "dispatch-avx2", want, wb, c0, func(cur []int32) int32 {
+			return dpRowInt(prev, cur, g)
+		})
+	}
+}
+
+// TestLaneKernelWidths sweeps every row width through three lane blocks —
+// covering each ragged-tail residue on both sides of the AVX2 engagement
+// threshold (2·laneWidth) — with several random instances per width.
+func TestLaneKernelWidths(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for n := 1; n <= 3*laneWidth+laneWidth-1; n++ {
+		for trial := 0; trial < 8; trial++ {
+			prev, c0, row, bi, g := laneCase(r, n)
+			checkLaneKernels(t, prev, c0, row, bi, g)
+		}
+	}
+}
+
+// FuzzLaneKernelsMatchScalar drives the same tier-vs-oracle property from
+// fuzzed widths and contents, including widths far beyond the sweep.
+func FuzzLaneKernelsMatchScalar(f *testing.F) {
+	f.Add(int64(1), uint16(1))
+	f.Add(int64(2), uint16(laneWidth-1))
+	f.Add(int64(3), uint16(laneWidth))
+	f.Add(int64(4), uint16(laneWidth+5))
+	f.Add(int64(5), uint16(2*laneWidth))   // AVX2 engagement width
+	f.Add(int64(6), uint16(2*laneWidth+7)) // AVX2 + maximal ragged tail
+	f.Add(int64(7), uint16(100))
+	f.Add(int64(8), uint16(1000))
+	f.Fuzz(func(t *testing.T, seed int64, n uint16) {
+		width := int(n)%2048 + 1
+		r := rand.New(rand.NewSource(seed))
+		prev, c0, row, bi, g := laneCase(r, width)
+		checkLaneKernels(t, prev, c0, row, bi, g)
+	})
+}
+
+// TestScoreAtLeastSound pins the ScoreAtLeast contract against the exact
+// kernel: any result above the threshold is the exact score, and whenever
+// the exact score clears the threshold the early exit must not have fired —
+// a screening caller can never lose a qualifying pair. The returned value is
+// also always an upper bound on the exact score (it is either the score
+// itself or the suffix bound that justified the exit).
+func TestScoreAtLeastSound(t *testing.T) {
+	r := rand.New(rand.NewSource(40))
+	for trial := 0; trial < 300; trial++ {
+		ids := 3 + r.Intn(10)
+		tb := randIntTable(r, ids, 5+r.Intn(40), r.Intn(2) == 0)
+		c := score.Compile(tb, int32(ids))
+		ci := c.Int()
+		a := randIntWord(r, ids, 1+r.Intn(80))
+		b := randIntWord(r, ids, 1+r.Intn(80))
+		exact := Score(a, b, ci)
+		ths := []float64{-1, 0, exact - 1, exact, exact + 1, 2 * exact, r.Float64() * 100}
+		for _, th := range ths {
+			got := ScoreAtLeast(a, b, ci, th)
+			if got < exact {
+				t.Fatalf("trial %d th=%v: ScoreAtLeast %v below exact %v", trial, th, got, exact)
+			}
+			if got > th && got != exact {
+				t.Fatalf("trial %d th=%v: result %v above threshold must be exact %v", trial, th, got, exact)
+			}
+			if got <= th && exact > th {
+				t.Fatalf("trial %d th=%v: early exit (%v) excluded qualifying exact score %v", trial, th, got, exact)
+			}
+		}
+	}
+}
+
+// TestPlacementsThresholdSound holds the int32 placement kernel — including
+// both of its suffix-bound early bails — to the float64 kernel (which has no
+// early exit) across random thresholds, on integral σ where the two must
+// agree exactly.
+func TestPlacementsThresholdSound(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 200; trial++ {
+		ids := 3 + r.Intn(10)
+		tb := randIntTable(r, ids, 5+r.Intn(40), true)
+		c := score.Compile(tb, int32(ids))
+		ci := c.Int()
+		a := randIntWord(r, ids, 1+r.Intn(60))
+		b := randIntWord(r, ids, 1+r.Intn(60))
+		th := float64(r.Intn(30) - 2)
+		pf := Placements(a, b, c, th)
+		pi := Placements(a, b, ci, th)
+		if !slices.Equal(pi, pf) {
+			t.Fatalf("trial %d th=%v: int placements %v != float %v", trial, th, pi, pf)
+		}
+	}
+}

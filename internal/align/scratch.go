@@ -30,11 +30,31 @@ type Scratch struct {
 
 	// Sparse positive-column table of the dense Score fast path: rowOf maps
 	// an oriented symbol index to 1+its span, spans[k] indexes pos/val.
-	rowOf []int32
-	spans [][2]int32
-	pos   []int32
-	valF  []float64
-	valI  []int32
+	// spanMax[k] is the largest value of span k (0 when empty) — the int32
+	// kernels' per-row maximum gain, powering the early-exit suffix bounds
+	// of ScoreAtLeast and the placement kernels.
+	rowOf   []int32
+	rowIdx  []int32 // oriented indices set in rowOf, for O(touched) reset
+	spans   [][2]int32
+	pos     []int32
+	valF    []float64
+	valI    []int32
+	spanMax []int32
+
+	// Inverse index of b for the int32 sparse build: bHead[col] chains the
+	// positions of b holding oriented column col (1-based indices into
+	// bNext, ascending). bTouched lists the set bHead cells for O(touched)
+	// reset, mirroring rowIdx.
+	bHead    []int32
+	bNext    []int32
+	bTouched []int32
+
+	// gv is the gathered σ row of the lane kernels (gv[j] = row[bi[j]]):
+	// the gather is hoisted out of the DP inner loop so the lane tiers
+	// stream contiguous int32. pk is the packed (value, start) row of the
+	// int32 placement kernel.
+	gv []int32
+	pk []int64
 
 	// Full DP matrix of Align: flat cells plus row headers.
 	cellsF []float64
@@ -129,12 +149,53 @@ func (s *Scratch) matrixI(m, n int) [][]int32 {
 }
 
 // resetSparse prepares the sparse positive-column table for a matrix of the
-// given oriented dimension.
+// given oriented dimension. rowOf is kept all-zero between calls by undoing
+// exactly the entries the last build set (rowIdx) — words are a handful of
+// symbols while dim is the full oriented alphabet, so clearing only the
+// touched cells beats a dim-wide memclr on every Score/Placements call.
 func (s *Scratch) resetSparse(dim int) {
-	s.rowOf = growI(s.rowOf, dim)
-	clear(s.rowOf)
+	if cap(s.rowOf) < dim {
+		s.rowOf = make([]int32, dim)
+	} else {
+		for _, ia := range s.rowIdx {
+			s.rowOf[ia] = 0
+		}
+		s.rowOf = s.rowOf[:dim]
+	}
+	s.rowIdx = s.rowIdx[:0]
 	s.spans = s.spans[:0]
 	s.pos = s.pos[:0]
 	s.valF = s.valF[:0]
 	s.valI = s.valI[:0]
+	s.spanMax = s.spanMax[:0]
+}
+
+// growI64 is growI for int64 buffers.
+func growI64(b []int64, n int) []int64 {
+	if cap(b) < n {
+		return make([]int64, n)
+	}
+	return b[:n]
+}
+
+// gatherI fills s.gv[j] = row[bi[j]] and returns it — one contiguous
+// gathered σ row for the lane kernels.
+func (s *Scratch) gatherI(row []int32, bi []int32) []int32 {
+	s.gv = growI(s.gv, len(bi))
+	g := s.gv
+	for j, bj := range bi {
+		g[j] = row[bj]
+	}
+	return g
+}
+
+// dpRowIntAuto advances one int32 DP row through the cheapest tier for its
+// width: the fused index sweep below the lane cut, gather plus lane kernel
+// from 2·laneWidth up (the narrowest row the AVX2 tier accepts).
+func (s *Scratch) dpRowIntAuto(prev, cur, row, bi []int32) {
+	if len(bi) < 2*laneWidth {
+		dpRowIntIdx(prev, cur, row, bi)
+		return
+	}
+	dpRowInt(prev, cur, s.gatherI(row, bi))
 }

@@ -202,7 +202,7 @@ func (ws *wfState) runParallel(workers int, ctx context.Context) {
 	var stop atomic.Bool
 	type tile struct{ I, J int32 }
 	ready := make(chan tile, total)
-	var wg sync.WaitGroup
+	var wg, workersWG sync.WaitGroup
 	wg.Add(total)
 	release := func(I, J int) {
 		if I >= ws.nI || J >= ws.nJ {
@@ -212,8 +212,10 @@ func (ws *wfState) runParallel(workers int, ctx context.Context) {
 			ready <- tile{int32(I), int32(J)}
 		}
 	}
+	workersWG.Add(workers)
 	for g := 0; g < workers; g++ {
 		go func() {
+			defer workersWG.Done()
 			s := NewScratch()
 			defer s.Release()
 			for t := range ready {
@@ -233,6 +235,11 @@ func (ws *wfState) runParallel(workers int, ctx context.Context) {
 	ready <- tile{0, 0}
 	wg.Wait()
 	close(ready)
+	// Join the workers, not just the tiles: a returned sweep must leave no
+	// goroutines winding down behind it (their scratch Gets and Releases
+	// would otherwise race into whatever the caller does next — visible as
+	// phantom allocations in zero-alloc measurements).
+	workersWG.Wait()
 }
 
 // tile computes one DP tile, reading the boundary row above and the carry
@@ -255,14 +262,10 @@ func (ws *wfState) tile(I, J int, s *Scratch) {
 		left[0] = prev[wdt]
 		bi := ws.bi[colLo:colHi]
 		for r := 1; r <= h; r++ {
-			row := ws.ci.Row(ws.a[rowLo+r-1])
+			// Tile cells are genuine full-matrix DP cells (≥ 0), so the
+			// lane kernel's contract holds even for interior tiles.
 			cur[0] = left[r]
-			for c := 1; c <= wdt; c++ {
-				best := prev[c-1] + row[bi[c-1]]
-				best = max(best, prev[c])
-				best = max(best, cur[c-1])
-				cur[c] = best
-			}
+			s.dpRowIntAuto(prev, cur, ws.ci.Row(ws.a[rowLo+r-1]), bi)
 			left[r] = cur[wdt]
 			prev, cur = cur, prev
 		}

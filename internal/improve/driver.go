@@ -180,7 +180,8 @@ func Improve(in *core.Instance, opt Options) (*core.Solution, Stats, error) {
 		if err != nil {
 			return nil, istats, err
 		}
-		sol = rescore(in, sol)
+		// The inner call built sol from its own state: re-score it in place.
+		RescoreInPlace(in, sol, score.Prepare(in.Sigma, in.MaxSymbolID()))
 		istats.Final = sol.Score()
 		return sol, istats, nil
 	}
@@ -232,7 +233,8 @@ func Improve(in *core.Instance, opt Options) (*core.Solution, Stats, error) {
 		if err != nil {
 			return nil, qstats, err
 		}
-		sol = rescore(in, sol)
+		// The inner call built sol from its own state: re-score it in place.
+		RescoreInPlace(in, sol, score.Prepare(in.Sigma, in.MaxSymbolID()))
 		qstats.Final = sol.Score()
 		qstats.Threshold = unit
 		return sol, qstats, nil
@@ -250,6 +252,11 @@ func Improve(in *core.Instance, opt Options) (*core.Solution, Stats, error) {
 		pool = NewEvalPool(workers)
 		defer pool.Close()
 	}
+	// Pool-less solves run every simulation inline on this goroutine (all
+	// concurrent paths below fall back to sequential loops when pool is
+	// nil), so the shared memos can elide their locks.
+	st.memo.seq = pool == nil
+	st.pmemo.seq = pool == nil
 	canceled := func() error {
 		if opt.Ctx == nil {
 			return nil
@@ -458,11 +465,18 @@ func rescore(in *core.Instance, sol *core.Solution) *core.Solution {
 // seed).
 func Rescore(in *core.Instance, sol *core.Solution, sc score.Scorer) *core.Solution {
 	out := sol.Clone()
+	RescoreInPlace(in, out, sc)
+	return out
+}
+
+// RescoreInPlace is Rescore mutating sol directly — the allocation-free form
+// for solutions the caller owns outright (a solver's freshly built result,
+// never a user-provided seed).
+func RescoreInPlace(in *core.Instance, sol *core.Solution, sc score.Scorer) {
 	s := align.NewScratch()
 	defer s.Release()
-	for i := range out.Matches {
-		mt := &out.Matches[i]
+	for i := range sol.Matches {
+		mt := &sol.Matches[i]
 		mt.Score = s.Score(in.SiteWord(mt.HSite), in.SiteWord(mt.MSite).Orient(mt.Rev), sc)
 	}
-	return out
 }

@@ -1,0 +1,112 @@
+package improve
+
+// fragIndex is the per-species fragment → live-match-ID index, arena-backed
+// so a simulation clone is four memcpys instead of a per-fragment slice
+// loop: fragment f's ID list occupies ids[off[f] : off[f]+ln[f]] inside a
+// reserved block of cp[f] cells. Lists grow by relocating to the arena end
+// with doubled capacity (the abandoned block stays behind as garbage), and
+// the arena compacts deterministically once garbage dominates. List order is
+// insertion order perturbed by swap-deletes — callers must not depend on it
+// (fragMatchIDsInto sorts; degree only counts).
+//
+// Every operation is a pure function of the operation sequence, so a
+// simulation and its replay — and a clone and its source — hold identical
+// layouts, preserving the driver's determinism invariants.
+type fragIndex struct {
+	ids []int32
+	off []int32
+	ln  []int32
+	cp  []int32
+	// sumCp tracks Σ cp (live capacity); the arena compacts when its length
+	// exceeds 4× this, bounding both memory and clone cost at a small
+	// multiple of the live index size.
+	sumCp int32
+	// tmp is the compaction double-buffer, swapped with ids each pass so
+	// steady-state compaction allocates nothing.
+	tmp []int32
+}
+
+// reset sizes the index for n fragments with all lists empty.
+func (fi *fragIndex) reset(n int) {
+	fi.ids = fi.ids[:0]
+	if cap(fi.off) < n {
+		fi.off = make([]int32, n)
+		fi.ln = make([]int32, n)
+		fi.cp = make([]int32, n)
+	} else {
+		fi.off, fi.ln, fi.cp = fi.off[:n], fi.ln[:n], fi.cp[:n]
+	}
+	clear(fi.off)
+	clear(fi.ln)
+	clear(fi.cp)
+	fi.sumCp = 0
+}
+
+// list returns fragment f's ID list, valid until the next add on f.
+func (fi *fragIndex) list(f int) []int32 {
+	o := fi.off[f]
+	return fi.ids[o : o+fi.ln[f]]
+}
+
+// add appends id to fragment f's list.
+func (fi *fragIndex) add(f int, id int32) {
+	if fi.ln[f] < fi.cp[f] {
+		fi.ids[fi.off[f]+fi.ln[f]] = id
+		fi.ln[f]++
+		return
+	}
+	// Relocate to the arena end with doubled capacity (min 4).
+	nc := max(4, 2*fi.cp[f])
+	o := int32(len(fi.ids))
+	fi.ids = append(fi.ids, fi.list(f)...)
+	fi.ids = append(fi.ids, id)
+	for int32(len(fi.ids)) < o+nc {
+		fi.ids = append(fi.ids, 0)
+	}
+	fi.sumCp += nc - fi.cp[f]
+	fi.off[f], fi.cp[f] = o, nc
+	fi.ln[f]++
+	if int32(len(fi.ids)) > 4*fi.sumCp {
+		fi.compact()
+	}
+}
+
+// remove swap-deletes id from fragment f's list.
+func (fi *fragIndex) remove(f int, id int32) {
+	l := fi.list(f)
+	for i, v := range l {
+		if v == id {
+			l[i] = l[len(l)-1]
+			fi.ln[f]--
+			return
+		}
+	}
+}
+
+// compact rewrites every live block front-to-back (fragment order, so the
+// result is a pure function of the logical index contents) into the spare
+// buffer, then swaps buffers.
+func (fi *fragIndex) compact() {
+	tmp := fi.tmp
+	if cap(tmp) < int(fi.sumCp) {
+		tmp = make([]int32, fi.sumCp)
+	}
+	tmp = tmp[:fi.sumCp]
+	w := int32(0)
+	for f := range fi.off {
+		copy(tmp[w:], fi.list(f))
+		fi.off[f] = w
+		w += fi.cp[f]
+	}
+	fi.tmp = fi.ids[:0]
+	fi.ids = tmp
+}
+
+// copyFrom makes fi an exact layout copy of src.
+func (fi *fragIndex) copyFrom(src *fragIndex) {
+	fi.ids = append(fi.ids[:0], src.ids...)
+	fi.off = append(fi.off[:0], src.off...)
+	fi.ln = append(fi.ln[:0], src.ln...)
+	fi.cp = append(fi.cp[:0], src.cp...)
+	fi.sumCp = src.sumCp
+}

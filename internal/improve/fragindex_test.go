@@ -1,0 +1,110 @@
+package improve
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// fiOracle is the reference implementation of fragIndex: one ID set per
+// fragment. List order is unspecified in both, so comparisons sort.
+type fiOracle []map[int32]bool
+
+func newFiOracle(n int) fiOracle {
+	o := make(fiOracle, n)
+	for i := range o {
+		o[i] = map[int32]bool{}
+	}
+	return o
+}
+
+func (o fiOracle) sorted(f int) []int32 {
+	out := make([]int32, 0, len(o[f]))
+	for id := range o[f] {
+		out = append(out, id)
+	}
+	slices.Sort(out)
+	return out
+}
+
+func checkFragIndex(t *testing.T, tag string, fi *fragIndex, o fiOracle) {
+	t.Helper()
+	for f := range o {
+		got := slices.Clone(fi.list(f))
+		slices.Sort(got)
+		if want := o.sorted(f); !slices.Equal(got, want) {
+			t.Fatalf("%s: frag %d: %v, oracle %v", tag, f, got, want)
+		}
+	}
+}
+
+// TestFragIndexMatchesMapOracle drives the arena-backed index through random
+// add/remove sequences — heavy enough to force list relocations and arena
+// compactions — against a map oracle, including a mid-sequence copyFrom clone
+// that then diverges from its source, and a reset that reuses the arena.
+func TestFragIndexMatchesMapOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(50))
+	const nFrags = 37
+	for round := 0; round < 3; round++ {
+		var fi fragIndex
+		fi.reset(nFrags)
+		o := newFiOracle(nFrags)
+		nextID := int32(1)
+
+		mutate := func(fi *fragIndex, o fiOracle, ops int) {
+			for k := 0; k < ops; k++ {
+				f := r.Intn(nFrags)
+				if len(o[f]) > 0 && r.Intn(3) == 0 {
+					var id int32
+					for id = range o[f] {
+						break
+					}
+					fi.remove(f, id)
+					delete(o[f], id)
+				} else {
+					fi.add(f, nextID)
+					o[f][nextID] = true
+					nextID++
+				}
+			}
+		}
+
+		mutate(&fi, o, 800)
+		checkFragIndex(t, "pre-clone", &fi, o)
+
+		// Clone, then mutate source and clone independently: the layouts
+		// share no storage, so neither may observe the other's edits.
+		var cl fragIndex
+		cl.copyFrom(&fi)
+		oc := newFiOracle(nFrags)
+		for f := range o {
+			for id := range o[f] {
+				oc[f][id] = true
+			}
+		}
+		mutate(&fi, o, 600)
+		mutate(&cl, oc, 600)
+		checkFragIndex(t, "source after clone", &fi, o)
+		checkFragIndex(t, "clone", &cl, oc)
+
+		// Drain most lists to leave garbage behind, then verify again.
+		for f := 0; f < nFrags; f++ {
+			for id := range o[f] {
+				if r.Intn(4) != 0 {
+					fi.remove(f, id)
+					delete(o[f], id)
+				}
+			}
+		}
+		mutate(&fi, o, 400)
+		checkFragIndex(t, "post-drain", &fi, o)
+
+		// reset must clear every list while reusing the arena.
+		fi.reset(nFrags)
+		for f := 0; f < nFrags; f++ {
+			if len(fi.list(f)) != 0 {
+				t.Fatalf("round %d: frag %d non-empty after reset", round, f)
+			}
+		}
+	}
+}

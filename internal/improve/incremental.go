@@ -121,7 +121,12 @@ func mkAlignKey(h, m core.Site, rev bool) alignKey {
 // (concurrent simulations included, hence the lock).
 type alignMemo struct {
 	mu sync.RWMutex
-	m  map[alignKey]float64
+	// seq marks a pool-less solve: every simulation, refresh, and replay
+	// runs inline on the driver goroutine (see the pool == nil fallbacks),
+	// so the memo skips its lock — the RWMutex atomics are measurable on
+	// the hottest memos at single-worker batch scale.
+	seq bool
+	m   map[alignKey]float64
 }
 
 func newAlignMemo() *alignMemo {
@@ -129,6 +134,10 @@ func newAlignMemo() *alignMemo {
 }
 
 func (am *alignMemo) get(k alignKey) (float64, bool) {
+	if am.seq {
+		v, ok := am.m[k]
+		return v, ok
+	}
 	am.mu.RLock()
 	v, ok := am.m[k]
 	am.mu.RUnlock()
@@ -136,6 +145,10 @@ func (am *alignMemo) get(k alignKey) (float64, bool) {
 }
 
 func (am *alignMemo) put(k alignKey, v float64) {
+	if am.seq {
+		am.m[k] = v
+		return
+	}
 	am.mu.Lock()
 	am.m[k] = v
 	am.mu.Unlock()
@@ -162,28 +175,112 @@ func mkPlaceKey(x core.FragRef, rev bool, z core.FragRef, lo, hi int) placeKey {
 // placeMemo caches Pareto placement frontiers. Like site-word scores they
 // depend only on the instance words and σ, so one memo serves every
 // simulation and TPA batch of a solve. Values are shared read-only slices.
+//
+// The memo is the hottest lookup structure of candidate simulation — every
+// TPA zone probes it twice per fragment — and a generic map spends most of
+// each probe in hashing and control-group machinery. It is therefore a flat
+// open-addressed table: entries are only ever inserted (a memo never
+// deletes), so linear probing with doubling growth suffices, and the common
+// hit is one multiply-mix, one slot load, and one 16-byte key compare.
 type placeMemo struct {
 	mu sync.RWMutex
-	m  map[placeKey][]placement
+	// seq: see alignMemo.seq — lock elision for pool-less solves.
+	seq  bool
+	tab  []pmEntry
+	mask uint64
+	n    int
+}
+
+type pmEntry struct {
+	key  placeKey
+	val  []placement
+	used bool
 }
 
 // placement mirrors align.Placement; aliased here to avoid an import cycle
 // in the key file. (Defined as a type alias in state.go.)
 
 func newPlaceMemo() *placeMemo {
-	return &placeMemo{m: make(map[placeKey][]placement, 256)}
+	const initSlots = 1 << 10
+	return &placeMemo{tab: make([]pmEntry, initSlots), mask: initSlots - 1}
+}
+
+// pmHash mixes the packed key words. The packing concentrates entropy in a
+// few bit fields, so both words get a multiply spread and a fold before
+// indexing.
+func pmHash(k placeKey) uint64 {
+	h := (k.a ^ 0x9E3779B97F4A7C15) * 0xBF58476D1CE4E5B9
+	h ^= k.b * 0x94D049BB133111EB
+	return h ^ (h >> 29)
+}
+
+func (pm *placeMemo) lookup(k placeKey) ([]placement, bool) {
+	i := pmHash(k) & pm.mask
+	for {
+		e := &pm.tab[i]
+		if !e.used {
+			return nil, false
+		}
+		if e.key == k {
+			return e.val, true
+		}
+		i = (i + 1) & pm.mask
+	}
+}
+
+func (pm *placeMemo) insert(k placeKey, v []placement) {
+	if 2*(pm.n+1) > len(pm.tab) {
+		pm.grow()
+	}
+	i := pmHash(k) & pm.mask
+	for {
+		e := &pm.tab[i]
+		if !e.used {
+			*e = pmEntry{key: k, val: v, used: true}
+			pm.n++
+			return
+		}
+		if e.key == k {
+			e.val = v
+			return
+		}
+		i = (i + 1) & pm.mask
+	}
+}
+
+func (pm *placeMemo) grow() {
+	old := pm.tab
+	pm.tab = make([]pmEntry, 2*len(old))
+	pm.mask = uint64(len(pm.tab) - 1)
+	for i := range old {
+		if !old[i].used {
+			continue
+		}
+		j := pmHash(old[i].key) & pm.mask
+		for pm.tab[j].used {
+			j = (j + 1) & pm.mask
+		}
+		pm.tab[j] = old[i]
+	}
 }
 
 func (pm *placeMemo) get(k placeKey) ([]placement, bool) {
+	if pm.seq {
+		return pm.lookup(k)
+	}
 	pm.mu.RLock()
-	v, ok := pm.m[k]
+	v, ok := pm.lookup(k)
 	pm.mu.RUnlock()
 	return v, ok
 }
 
 func (pm *placeMemo) put(k placeKey, v []placement) {
+	if pm.seq {
+		pm.insert(k, v)
+		return
+	}
 	pm.mu.Lock()
-	pm.m[k] = v
+	pm.insert(k, v)
 	pm.mu.Unlock()
 }
 

@@ -89,9 +89,11 @@ type state struct {
 	matches []core.Match
 	alive   []bool
 	free    []int32
-	// byFrag[sp][i] lists the IDs of live matches touching fragment i of
-	// species sp. Lists are unsorted; fragMatchIDs sorts a copy on demand.
-	byFrag [2][][]int32
+	// byFrag[sp] indexes the IDs of live matches by the fragment of species
+	// sp they touch, arena-backed (fragindex.go) so clones copy four flat
+	// slices per species. Lists are unsorted; fragMatchIDs sorts a copy on
+	// demand.
+	byFrag [2]fragIndex
 	// locked lists fragments pinned by the attempt being simulated (at most
 	// a few entries; linear scans beat a map here).
 	locked []core.FragRef
@@ -165,7 +167,7 @@ func newState(in *core.Instance, seed *core.Solution) *state {
 	}
 	for _, sp := range []core.Species{core.SpeciesH, core.SpeciesM} {
 		frags := in.Frags(sp)
-		st.byFrag[sp] = make([][]int32, len(frags))
+		st.byFrag[sp].reset(len(frags))
 		st.revWords[sp] = make([]symbol.Word, len(frags))
 		for i := range frags {
 			st.revWords[sp][i] = frags[i].Regions.Rev()
@@ -184,22 +186,14 @@ func newState(in *core.Instance, seed *core.Solution) *state {
 
 // index adds match id to both fragments' ID lists.
 func (st *state) index(id int, mt core.Match) {
-	st.byFrag[core.SpeciesH][mt.HSite.Frag] = append(st.byFrag[core.SpeciesH][mt.HSite.Frag], int32(id))
-	st.byFrag[core.SpeciesM][mt.MSite.Frag] = append(st.byFrag[core.SpeciesM][mt.MSite.Frag], int32(id))
+	st.byFrag[core.SpeciesH].add(mt.HSite.Frag, int32(id))
+	st.byFrag[core.SpeciesM].add(mt.MSite.Frag, int32(id))
 }
 
 // unindex removes match id from both fragments' ID lists.
 func (st *state) unindex(id int, mt core.Match) {
-	for sp, frag := range [2]int{mt.HSite.Frag, mt.MSite.Frag} {
-		ids := st.byFrag[sp][frag]
-		for i, v := range ids {
-			if v == int32(id) {
-				ids[i] = ids[len(ids)-1]
-				st.byFrag[sp][frag] = ids[:len(ids)-1]
-				break
-			}
-		}
-	}
+	st.byFrag[core.SpeciesH].remove(mt.HSite.Frag, int32(id))
+	st.byFrag[core.SpeciesM].remove(mt.MSite.Frag, int32(id))
 }
 
 // statePool recycles simulation clones: candidate evaluation clones the
@@ -215,19 +209,8 @@ func (st *state) clone() *state {
 	c.matches = append(c.matches[:0], st.matches...)
 	c.alive = append(c.alive[:0], st.alive...)
 	c.free = append(c.free[:0], st.free...)
-	for sp := 0; sp < 2; sp++ {
-		src := st.byFrag[sp]
-		dst := c.byFrag[sp]
-		if cap(dst) < len(src) {
-			dst = make([][]int32, len(src))
-		}
-		dst = dst[:len(src)]
-		for i, ids := range src {
-			// Fresh (reused) backing arrays: unindex swap-deletes in place.
-			dst[i] = append(dst[i][:0], ids...)
-		}
-		c.byFrag[sp] = dst
-	}
+	c.byFrag[0].copyFrom(&st.byFrag[0])
+	c.byFrag[1].copyFrom(&st.byFrag[1])
 	c.locked = append(c.locked[:0], st.locked...)
 	c.sig, c.sigT = st.sig, st.sigT
 	c.memo, c.pmemo = st.memo, st.pmemo
@@ -385,7 +368,7 @@ func (st *state) fragMatchIDs(fr core.FragRef) []int {
 // tasks query the quiescent state from several pool workers at once.
 func (st *state) fragMatchIDsInto(dst []int, fr core.FragRef) []int {
 	st.note(fr)
-	idx := st.byFrag[fr.Sp][fr.Idx]
+	idx := st.byFrag[fr.Sp].list(fr.Idx)
 	dst = dst[:0]
 	for _, v := range idx {
 		dst = append(dst, int(v))
@@ -405,7 +388,7 @@ func (st *state) fragMatchIDsInto(dst []int, fr core.FragRef) []int {
 
 func (st *state) degree(fr core.FragRef) int {
 	st.note(fr)
-	return len(st.byFrag[fr.Sp][fr.Idx])
+	return int(st.byFrag[fr.Sp].ln[fr.Idx])
 }
 
 // contribution is Cb(f, S): the total score of matches touching fr.

@@ -42,13 +42,22 @@ type Compiled struct {
 
 // Compile evaluates base on every oriented symbol pair with region IDs up to
 // maxID and returns the dense matrix. If base is already a Compiled covering
-// maxID it is returned as is. Cost is O(maxID²) base evaluations.
+// maxID it is returned as is. A *Table additionally remembers its last
+// compilation: recompiling an unmutated table that was already compiled for a
+// sufficient maxID returns the identical matrix (with its cached transpose
+// and quantization) instead of re-densifying. Cost is O(maxID²) base
+// evaluations on a miss.
 func Compile(base Scorer, maxID int32) *Compiled {
 	if maxID < 0 {
 		maxID = 0
 	}
 	if c, ok := base.(*Compiled); ok && c.n >= maxID {
 		return c
+	}
+	if t, ok := base.(*Table); ok {
+		if e := t.compiled.Load(); e != nil && e.gen == t.gen && e.c.n >= maxID {
+			return e.c
+		}
 	}
 	n := maxID
 	dim := 2*n + 1
@@ -102,6 +111,9 @@ func Compile(base Scorer, maxID int32) *Compiled {
 				row[b+n] = base.Score(symbol.Symbol(a), symbol.Symbol(b))
 			}
 		}
+	}
+	if t, ok := base.(*Table); ok {
+		t.compiled.Store(&tableCompiled{gen: t.gen, c: c})
 	}
 	return c
 }

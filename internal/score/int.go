@@ -46,6 +46,11 @@ type CompiledInt struct {
 	unit    float64
 	n       int32 // maximum region ID covered
 	dim     int32 // 2n+1 oriented symbols
+	// stride is the row pitch of flat: dim rounded up to the lane width
+	// (LaneWidth), so every row starts lane-aligned and the lane-blocked
+	// kernels can read full 8-cell blocks without a per-row remainder
+	// special case. Padding cells are zero and unreachable through Index.
+	stride  int32
 	flat    []int32
 	maxAbs  int32   // largest |cell|, for overflow headroom checks
 	cellErr float64 // max over cells of |v − q·unit|
@@ -53,6 +58,17 @@ type CompiledInt struct {
 	// trans caches Transposed, mirroring Compiled.
 	transOnce sync.Once
 	trans     *CompiledInt
+
+	// Per-row positive-column index, built lazily (posOnce) and shared by
+	// every solve over this matrix: row a's positive cells are
+	// posCol/posVal[posOff[ia]:posOff[ia+1]] (ia the row index). The sparse
+	// sweep kernels intersect these few cells with the word b instead of
+	// scanning a full σ row per symbol — σ matrices are overwhelmingly
+	// zero, so the positive lists are tiny.
+	posOnce sync.Once
+	posOff  []int32
+	posCol  []int32
+	posVal  []int32
 }
 
 // source returns the exact float64 matrix, materializing a transposed
@@ -130,26 +146,39 @@ func chooseUnit(c *Compiled) float64 {
 	return maxAbs / headroom
 }
 
+// LaneWidth is the int32 lane block of the vectorized DP kernels: quantized
+// matrix rows are padded to a multiple of it at compile time.
+const LaneWidth = 8
+
+// padStride rounds a row length up to the lane width.
+func padStride(dim int32) int32 { return (dim + LaneWidth - 1) &^ (LaneWidth - 1) }
+
 func quantize(c *Compiled, unit float64) *CompiledInt {
 	ci := &CompiledInt{
-		src:  c,
-		unit: unit,
-		n:    c.n,
-		dim:  c.dim,
-		flat: make([]int32, len(c.flat)),
+		src:    c,
+		unit:   unit,
+		n:      c.n,
+		dim:    c.dim,
+		stride: padStride(c.dim),
 	}
-	for i, v := range c.flat {
-		q := int32(math.Round(v / unit))
-		ci.flat[i] = q
-		a := q
-		if a < 0 {
-			a = -a
-		}
-		if a > ci.maxAbs {
-			ci.maxAbs = a
-		}
-		if e := math.Abs(v - float64(q)*unit); e > ci.cellErr {
-			ci.cellErr = e
+	d, st := int(c.dim), int(ci.stride)
+	ci.flat = make([]int32, st*d)
+	for r := 0; r < d; r++ {
+		src := c.flat[r*d : (r+1)*d]
+		dst := ci.flat[r*st : r*st+d]
+		for j, v := range src {
+			q := int32(math.Round(v / unit))
+			dst[j] = q
+			a := q
+			if a < 0 {
+				a = -a
+			}
+			if a > ci.maxAbs {
+				ci.maxAbs = a
+			}
+			if e := math.Abs(v - float64(q)*unit); e > ci.cellErr {
+				ci.cellErr = e
+			}
 		}
 	}
 	return ci
@@ -201,15 +230,16 @@ func (c *CompiledInt) Score(a, b symbol.Symbol) float64 {
 	if uint32(ia) >= uint32(c.dim) || uint32(ib) >= uint32(c.dim) {
 		return c.source().Score(a, b)
 	}
-	return float64(c.flat[ia*c.dim+ib]) * c.unit
+	return float64(c.flat[ia*c.stride+ib]) * c.unit
 }
 
 // Row returns the dense quantized row for symbol a: Row(a)[Index(b)] is the
 // integer multiple of Unit scoring (a, b). The caller must ensure |a| ≤
-// MaxID; the returned slice must not be modified.
+// MaxID; the returned slice must not be modified. The row is padded to
+// LaneWidth with zero cells beyond index dim−1.
 func (c *CompiledInt) Row(a symbol.Symbol) []int32 {
 	ia := int(int32(a) + c.n)
-	return c.flat[ia*int(c.dim) : (ia+1)*int(c.dim)]
+	return c.flat[ia*int(c.stride) : (ia+1)*int(c.stride)]
 }
 
 // Index returns the column index of symbol b within a Row.
@@ -225,6 +255,32 @@ func (c *CompiledInt) IndexWordInto(dst []int32, w symbol.Word) []int32 {
 	return dst
 }
 
+// PosRow returns the positive cells of symbol a's quantized row as parallel
+// column-index and value slices (column order, ascending). The index over
+// all rows is built once per matrix and cached; the returned slices must
+// not be modified. The caller must ensure |a| ≤ MaxID.
+func (c *CompiledInt) PosRow(a symbol.Symbol) (cols, vals []int32) {
+	c.posOnce.Do(c.buildPosRows)
+	ia := int(int32(a) + c.n)
+	lo, hi := c.posOff[ia], c.posOff[ia+1]
+	return c.posCol[lo:hi], c.posVal[lo:hi]
+}
+
+func (c *CompiledInt) buildPosRows() {
+	d, st := int(c.dim), int(c.stride)
+	c.posOff = make([]int32, d+1)
+	for i := 0; i < d; i++ {
+		row := c.flat[i*st : i*st+d]
+		for j, v := range row {
+			if v > 0 {
+				c.posCol = append(c.posCol, int32(j))
+				c.posVal = append(c.posVal, v)
+			}
+		}
+		c.posOff[i+1] = int32(len(c.posCol))
+	}
+}
+
 // Transposed returns the quantized matrix of σᵀ, cached like
 // Compiled.Transposed and linked back so t.Transposed() == c. The transpose
 // shares the unit, error bound, and headroom of the original; its float64
@@ -236,14 +292,15 @@ func (c *CompiledInt) Transposed() *CompiledInt {
 			unit:    c.unit,
 			n:       c.n,
 			dim:     c.dim,
+			stride:  c.stride,
 			flat:    make([]int32, len(c.flat)),
 			maxAbs:  c.maxAbs,
 			cellErr: c.cellErr,
 		}
-		d := int(c.dim)
+		d, st := int(c.dim), int(c.stride)
 		for i := 0; i < d; i++ {
 			for j := 0; j < d; j++ {
-				t.flat[j*d+i] = c.flat[i*d+j]
+				t.flat[j*st+i] = c.flat[i*st+j]
 			}
 		}
 		t.trans = c

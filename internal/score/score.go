@@ -26,6 +26,7 @@ package score
 
 import (
 	"math"
+	"sync/atomic"
 
 	"repro/internal/symbol"
 )
@@ -55,6 +56,22 @@ func canonKey(a, b symbol.Symbol) pairKey {
 // is not usable; create with NewTable.
 type Table struct {
 	m map[pairKey]float64
+	// gen counts mutations; compiled caches the last Compile result stamped
+	// with the gen it saw, so repeated solves over one table — every batch
+	// driver's steady state — reuse one dense matrix (and, through its
+	// sub-caches, one quantization and one transpose) instead of
+	// re-densifying per pool. Mutating and compiling a table concurrently
+	// is as unsynchronized as mutating and scoring one; the cache pointer
+	// itself is atomic so concurrent Compile calls stay safe.
+	gen      uint64
+	compiled atomic.Pointer[tableCompiled]
+}
+
+// tableCompiled stamps a cached dense matrix with the table generation it
+// was built from.
+type tableCompiled struct {
+	gen uint64
+	c   *Compiled
 }
 
 // NewTable returns an empty sparse score table.
@@ -67,6 +84,7 @@ func (t *Table) Set(a, b symbol.Symbol, v float64) {
 	if a.IsPad() || b.IsPad() {
 		return
 	}
+	t.gen++
 	t.m[canonKey(a, b)] = v
 }
 
