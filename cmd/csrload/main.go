@@ -1,0 +1,343 @@
+// Command csrload is the load-generator harness for csrserve: open-loop
+// Poisson arrivals at a target request rate, each request a JSONL batch of
+// generated instances POSTed to /v1/solve, with achieved req/s and latency
+// quantiles on stderr.
+//
+// Usage:
+//
+//	csrload -url http://localhost:8437 -rate 50 -requests 200
+//	csrload -self -shards 8 -rate 0 -requests 64 -json > row.json
+//
+// Arrivals are open-loop (scheduled up front from a seeded exponential
+// process, independent of response times) and latency is measured from the
+// scheduled arrival, so a slow server shows up as growing latency rather
+// than being silently absorbed by a stalled generator (no coordinated
+// omission). -rate 0 removes pacing entirely: every request is due at t=0
+// and the run measures saturated throughput.
+//
+// With -self the harness starts an in-process csrserve-equivalent on a
+// loopback port and drives that — no daemon management, which is how the
+// pinned serve-sustained benchmark row runs in CI. -json emits a
+// benchdiff-compatible record (algorithm "serve-sustained", wall_ms = the
+// run's total elapsed time) on stdout; -hist writes a latency histogram.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	fragalign "repro"
+	"repro/internal/encoding"
+	"repro/internal/serve"
+)
+
+type reqResult struct {
+	latency    time.Duration
+	status     int
+	retryAfter string // Retry-After header on a 429
+	records    int
+	failures   int // error records within an accepted stream
+	score      float64
+	err        error // transport/parse failure
+}
+
+func main() {
+	var (
+		url      = flag.String("url", "", "csrserve base URL (empty requires -self)")
+		self     = flag.Bool("self", false, "start an in-process server on loopback and drive it")
+		rate     = flag.Float64("rate", 50, "target request arrivals per second (0 = no pacing, all due at t=0)")
+		requests = flag.Int("requests", 200, "total requests to send")
+		perReq   = flag.Int("instances", 4, "instances per request")
+		regions  = flag.Int("regions", 40, "regions per generated instance")
+		seed     = flag.Int64("seed", 1, "workload and arrival-process seed")
+		tenant   = flag.String("tenant", "load", "X-Tenant header (empty disables σ affinity)")
+		order    = flag.String("order", "", "order query parameter (submission|completion)")
+		timeout  = flag.Duration("timeout", 0, "per-instance timeout query parameter (0 = server default)")
+		repeat   = flag.Int("repeat", 1, "run the whole load this many times and report the fastest run (min-of-N, the csrbench timing convention)")
+		histPath = flag.String("hist", "", "write a latency histogram to this file")
+		jsonOut  = flag.Bool("json", false, "emit a benchdiff-compatible JSON record on stdout")
+		// -self pool shape.
+		algo   = flag.String("algo", "csr-improve", "algorithm (-self)")
+		shards = flag.Int("shards", 0, "pool shards (-self; 0 = GOMAXPROCS)")
+		queue  = flag.Int("queue", 0, "pool queue bound (-self; 0 = 2×shards)")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintln(os.Stderr, "usage: csrload [flags]")
+		os.Exit(2)
+	}
+	if *requests <= 0 || *perReq <= 0 {
+		fmt.Fprintln(os.Stderr, "csrload: -requests and -instances must be positive")
+		os.Exit(2)
+	}
+
+	base := *url
+	if *self {
+		if base != "" {
+			fmt.Fprintln(os.Stderr, "csrload: -self and -url are mutually exclusive")
+			os.Exit(2)
+		}
+		var stop func()
+		base, stop = startSelf(*algo, *shards, *queue)
+		defer stop()
+	} else if base == "" {
+		fmt.Fprintln(os.Stderr, "csrload: need -url or -self")
+		os.Exit(2)
+	}
+	base = strings.TrimRight(base, "/")
+	target := base + "/v1/solve"
+	var params []string
+	if *order != "" {
+		params = append(params, "order="+*order)
+	}
+	if *timeout > 0 {
+		params = append(params, "timeout="+timeout.String())
+	}
+	if len(params) > 0 {
+		target += "?" + strings.Join(params, "&")
+	}
+
+	// Pre-generate every request body and the full arrival schedule before
+	// the clock starts: the measured run does no generation work, and the
+	// same seed always produces the same workload and the same arrival
+	// process.
+	bodies := make([][]byte, *requests)
+	for i := range bodies {
+		var buf bytes.Buffer
+		for j := 0; j < *perReq; j++ {
+			cfg := fragalign.DefaultGenConfig(*seed*1_000_000 + int64(i**perReq+j))
+			cfg.Regions = *regions
+			in := fragalign.Generate(cfg).Instance
+			in.Name = fmt.Sprintf("r%d.%d", i, j)
+			if err := encoding.WriteJSONLine(&buf, in); err != nil {
+				fmt.Fprintln(os.Stderr, "csrload:", err)
+				os.Exit(1)
+			}
+		}
+		bodies[i] = buf.Bytes()
+	}
+	arrivals := make([]time.Duration, *requests)
+	if *rate > 0 {
+		rng := rand.New(rand.NewSource(*seed))
+		var at time.Duration
+		for i := range arrivals {
+			at += time.Duration(rng.ExpFloat64() / *rate * float64(time.Second))
+			arrivals[i] = at
+		}
+	}
+
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: *requests}}
+	run := func() ([]reqResult, time.Duration) {
+		results := make([]reqResult, *requests)
+		start := time.Now()
+		var wg sync.WaitGroup
+		for i := range bodies {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				due := start.Add(arrivals[i])
+				if d := time.Until(due); d > 0 {
+					time.Sleep(d)
+				}
+				results[i] = shoot(client, target, *tenant, bodies[i])
+				// Open-loop latency: from scheduled arrival, not actual send.
+				results[i].latency = time.Since(due)
+			}()
+		}
+		wg.Wait()
+		return results, time.Since(start)
+	}
+	if *repeat < 1 {
+		*repeat = 1
+	}
+	results, elapsed := run()
+	for r := 1; r < *repeat; r++ {
+		res, el := run()
+		if el < elapsed {
+			results, elapsed = res, el
+		}
+	}
+
+	var ok, rejected, retryAfterOK, failed, records, instFail int
+	var score float64
+	var lats []time.Duration
+	for i, r := range results {
+		switch {
+		case r.err != nil:
+			failed++
+			fmt.Fprintf(os.Stderr, "csrload: request %d: %v\n", i, r.err)
+		case r.status == http.StatusTooManyRequests:
+			rejected++
+			if r.retryAfter != "" {
+				retryAfterOK++
+			}
+		case r.status != http.StatusOK:
+			failed++
+			fmt.Fprintf(os.Stderr, "csrload: request %d: HTTP %d\n", i, r.status)
+		default:
+			ok++
+			records += r.records
+			instFail += r.failures
+			score += r.score
+			lats = append(lats, r.latency)
+		}
+	}
+
+	rps := 0.0
+	if elapsed > 0 {
+		rps = float64(ok) / elapsed.Seconds()
+	}
+	fmt.Fprintf(os.Stderr,
+		"csrload: %d requests (%d ok, %d rejected 429, %d failed) in %v — %.1f req/s, %.1f inst/s\n",
+		*requests, ok, rejected, failed, elapsed.Round(time.Millisecond), rps,
+		float64(records)/elapsed.Seconds())
+	if rejected > 0 {
+		fmt.Fprintf(os.Stderr, "csrload: Retry-After present on %d/%d rejections\n",
+			retryAfterOK, rejected)
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		fmt.Fprintf(os.Stderr, "csrload: latency p50 %v  p90 %v  p99 %v  max %v\n",
+			quantile(lats, 0.50).Round(time.Microsecond),
+			quantile(lats, 0.90).Round(time.Microsecond),
+			quantile(lats, 0.99).Round(time.Microsecond),
+			lats[len(lats)-1].Round(time.Microsecond))
+	}
+	if *histPath != "" {
+		if err := writeHist(*histPath, lats); err != nil {
+			fmt.Fprintln(os.Stderr, "csrload:", err)
+			os.Exit(1)
+		}
+	}
+	if *jsonOut {
+		rec := map[string]any{
+			"algorithm": "serve-sustained",
+			"seed":      *seed,
+			"regions":   *regions,
+			"instances": *requests * *perReq,
+			"wall_ms":   float64(elapsed.Microseconds()) / 1000,
+			"allocs":    0, // below benchdiff's alloc floor: the wall gate is the contract
+			"score":     score,
+			"requests":  *requests,
+			"rejected":  rejected,
+		}
+		data, err := json.Marshal(rec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "csrload:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(data))
+	}
+	if failed > 0 || instFail > 0 {
+		fmt.Fprintf(os.Stderr, "csrload: %d failed requests, %d failed instances\n", failed, instFail)
+		os.Exit(1)
+	}
+}
+
+// shoot sends one request and consumes its stream.
+func shoot(client *http.Client, target, tenant string, body []byte) reqResult {
+	req, err := http.NewRequest(http.MethodPost, target, bytes.NewReader(body))
+	if err != nil {
+		return reqResult{err: err}
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	if tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return reqResult{err: err}
+	}
+	defer resp.Body.Close()
+	r := reqResult{status: resp.StatusCode, retryAfter: resp.Header.Get("Retry-After")}
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return r
+	}
+	r.err = encoding.ReadJSONLResults(resp.Body, func(rec encoding.ResultRecord) error {
+		r.records++
+		if rec.Error != "" {
+			r.failures++
+		} else {
+			r.score += rec.Score
+		}
+		return nil
+	})
+	return r
+}
+
+// quantile returns the q-quantile of sorted latencies (nearest-rank).
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// writeHist writes a log2-bucketed latency histogram: one "le_ms count"
+// line per bucket (cumulative, Prometheus-style), ending with "+inf".
+func writeHist(path string, lats []time.Duration) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintln(f, "# csrload latency histogram: cumulative request count per le_ms bucket")
+	cum := 0
+	i := 0
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	for le := time.Millisecond; le <= 1<<16*time.Millisecond; le *= 2 {
+		for i < len(lats) && lats[i] <= le {
+			cum++
+			i++
+		}
+		fmt.Fprintf(f, "%d %d\n", le/time.Millisecond, cum)
+	}
+	fmt.Fprintf(f, "+inf %d\n", len(lats))
+	return nil
+}
+
+// startSelf runs an in-process server on a loopback port and returns its
+// base URL plus a shutdown function.
+func startSelf(algo string, shards, queue int) (string, func()) {
+	pool := fragalign.NewBatchPool(fragalign.Algorithm(algo),
+		fragalign.WithShards(shards),
+		fragalign.WithQueueDepth(queue),
+		fragalign.WithFourApproxSeed(true),
+	)
+	srv, err := serve.New(serve.Options{Pool: serve.AdaptBatchPool(pool), Algorithm: algo})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "csrload:", err)
+		os.Exit(1)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "csrload:", err)
+		os.Exit(1)
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	fmt.Fprintf(os.Stderr, "csrload: self-serving on http://%s (%d shards, queue %d)\n",
+		ln.Addr(), pool.Shards(), pool.Counters().QueueCap)
+	return "http://" + ln.Addr().String(), func() {
+		hs.Close()
+		pool.Close()
+	}
+}

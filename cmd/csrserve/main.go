@@ -1,0 +1,131 @@
+// Command csrserve is the long-lived alignment daemon: one warm
+// fragalign.BatchPool behind an HTTP frontend (internal/serve), so a fleet
+// of clients shares the pool's shards, bounded queue, and per-alphabet
+// compiled-σ cache instead of paying process startup and σ compilation per
+// batch.
+//
+// Usage:
+//
+//	csrserve -addr :8437 -algo csr-improve -shards 8 &
+//	csrgen -count 64 -format jsonl | curl -sN --data-binary @- \
+//	    -H 'X-Tenant: acme' http://localhost:8437/v1/solve
+//	curl -s http://localhost:8437/metrics | jq .pool.sigma_hit_rate
+//
+// POST /v1/solve takes the csrbatch JSONL instance format and streams one
+// result record per instance (submission order; ?order=completion streams
+// as instances finish). ?timeout=30s bounds each instance's solve; the
+// X-Tenant header keys σ-cache affinity across requests. When the pool's
+// queue is full the whole request is refused with 429 + Retry-After —
+// admission control instead of unbounded buffering. An admitted request's
+// records are byte-identical to a csrbatch run over the same input
+// (wall_ms excepted).
+//
+// SIGTERM/SIGINT starts a graceful drain: /healthz flips to 503, new
+// solves are refused, in-flight streams finish (up to -grace), then the
+// pool shuts down.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	fragalign "repro"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8437", "listen address (use 127.0.0.1:0 for an ephemeral port; the bound address is printed on stderr)")
+		algo       = flag.String("algo", "csr-improve", "algorithm for every instance")
+		shards     = flag.Int("shards", 0, "concurrent solvers (0 = GOMAXPROCS)")
+		queue      = flag.Int("queue", 0, "submission queue bound (0 = 2×shards)")
+		workers    = flag.Int("workers", 1, "shared candidate-evaluation workers (>1 adds a shared eval pool)")
+		eps        = flag.Float64("eps", 0.05, "scaling slack for improvement algorithms")
+		seed4      = flag.Bool("seed4", true, "seed improvement with the 4-approximation")
+		intMode    = flag.Bool("int", false, "solve with the int32-quantized score kernels")
+		lazySel    = flag.Bool("lazy", true, "use the lazy best-first candidate-selection engine")
+		timeout    = flag.Duration("timeout", 0, "default per-instance solve deadline when a request sets none (0 = none)")
+		maxTimeout = flag.Duration("max-timeout", 5*time.Minute, "cap on the per-instance deadline a request may ask for (0 = uncapped)")
+		maxBody    = flag.Int64("max-body", 256<<20, "request body size limit in bytes")
+		tenants    = flag.Int("tenants", 64, "σ-affinity interner cache bound (tenants beyond this evict LRU)")
+		grace      = flag.Duration("grace", 30*time.Second, "drain grace period before in-flight requests are cut off")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintln(os.Stderr, "usage: csrserve [flags]")
+		os.Exit(2)
+	}
+
+	pool := fragalign.NewBatchPool(fragalign.Algorithm(*algo),
+		fragalign.WithShards(*shards),
+		fragalign.WithQueueDepth(*queue),
+		fragalign.WithWorkers(*workers),
+		fragalign.WithEps(*eps),
+		fragalign.WithFourApproxSeed(*seed4),
+		fragalign.WithIntScore(*intMode),
+		fragalign.WithLazySelection(*lazySel),
+	)
+	defer pool.Close()
+
+	srv, err := serve.New(serve.Options{
+		Pool:           serve.AdaptBatchPool(pool),
+		Algorithm:      *algo,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MaxBody:        *maxBody,
+		Tenants:        *tenants,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "csrserve:", err)
+		os.Exit(1)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "csrserve:", err)
+		os.Exit(1)
+	}
+	hs := &http.Server{Handler: srv}
+	fmt.Fprintf(os.Stderr, "csrserve: listening on http://%s (%s, %d shards, queue %d)\n",
+		ln.Addr(), *algo, pool.Shards(), pool.Counters().QueueCap)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "csrserve:", err)
+		os.Exit(1)
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "csrserve: %v — draining (grace %v)\n", s, *grace)
+	}
+
+	// Drain: stop admitting (healthz 503 → load balancers route away; new
+	// solves 503) but KEEP LISTENING while in-flight streams finish, so
+	// probes and rejections stay observable during the drain window; only
+	// then shut the listener down and close the pool.
+	srv.StartDrain()
+	deadline := time.Now().Add(*grace)
+	for srv.InFlightRequests() > 0 && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if n := srv.InFlightRequests(); n > 0 {
+		fmt.Fprintf(os.Stderr, "csrserve: grace expired with %d requests in flight\n", n)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "csrserve: shutdown:", err)
+	}
+	fmt.Fprintln(os.Stderr, "csrserve: drained")
+}

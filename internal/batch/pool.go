@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/improve"
@@ -14,6 +15,10 @@ import (
 
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = errors.New("batch: pool is closed")
+
+// ErrQueueFull is returned by TrySubmit when the submission queue has no
+// free slot — the admission-control signal servers turn into a 429.
+var ErrQueueFull = errors.New("batch: submission queue is full")
 
 // Runtime hands a Solver the pool resources shared across instances.
 type Runtime struct {
@@ -66,17 +71,62 @@ func (t *Ticket) Wait() (any, error) {
 // release per-instance deadline timers without waiting themselves.
 func (t *Ticket) Done() <-chan struct{} { return t.done }
 
+// Counters is a point-in-time snapshot of a Pool's observable state, the
+// raw material for admission control and a /metrics surface. All cumulative
+// fields count since New.
+type Counters struct {
+	// QueueDepth is the number of submitted instances waiting for a shard
+	// right now; QueueCap is the configured bound. Depth == Cap means the
+	// next TrySubmit is rejected.
+	QueueDepth int
+	QueueCap   int
+	// InFlight is the number of instances currently being solved.
+	InFlight int
+	// Submitted counts accepted submissions (Submit and TrySubmit alike);
+	// Rejected counts TrySubmit refusals due to a full queue.
+	Submitted int64
+	Rejected  int64
+	// Completed counts solves that returned a result; Failed counts solves
+	// that returned an error — cancellations, deadline hits, and solver
+	// panics included. Submitted == Completed + Failed + QueueDepth +
+	// InFlight at any quiescent point.
+	Completed int64
+	Failed    int64
+	// SigmaHits and SigmaMisses count the per-alphabet compiled-σ cache:
+	// a hit is a submission whose scorer was already compiled (or arrived
+	// pre-compiled), a miss paid the dense compile.
+	SigmaHits   int64
+	SigmaMisses int64
+	// ShardBusy is the cumulative wall time each shard spent solving,
+	// indexed by shard; busy/elapsed per shard is the pool's utilization.
+	ShardBusy []time.Duration
+}
+
 // Pool is a sharded batch solver. See the package documentation.
 type Pool struct {
 	opts Options
 	jobs chan *Ticket
-	eval *improve.EvalPool
-	sigs sigCache
-	next atomic.Int64
+	// space is the queue-bound token semaphore: it starts with Queue
+	// tokens, Submit/TrySubmit take one before sending on jobs, and a shard
+	// returns it on dequeue. The invariant tokens_free + len(jobs) == Queue
+	// makes the jobs send below always non-blocking, so the seq critical
+	// section is O(ns) and TrySubmit can reject without ever blocking
+	// behind a stalled Submit.
+	space chan struct{}
+	eval  *improve.EvalPool
+	sigs  sigCache
+	next  atomic.Int64
 	// seq is a one-slot semaphore serializing enqueue+index-assignment so
 	// Ticket.Index always matches queue order under concurrent Submit —
 	// unlike a mutex, waiting submitters can still honor their contexts.
 	seq chan struct{}
+
+	submitted atomic.Int64
+	rejected  atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	inflight  atomic.Int64
+	busy      []atomic.Int64 // per-shard cumulative solve nanoseconds
 
 	mu     sync.RWMutex // guards closed against concurrent Submit/Close
 	closed bool
@@ -94,20 +144,52 @@ func New(opts Options) *Pool {
 	if opts.Queue < 1 {
 		opts.Queue = 2 * opts.Shards
 	}
-	p := &Pool{opts: opts, jobs: make(chan *Ticket, opts.Queue), seq: make(chan struct{}, 1)}
+	p := &Pool{
+		opts:  opts,
+		jobs:  make(chan *Ticket, opts.Queue),
+		space: make(chan struct{}, opts.Queue),
+		seq:   make(chan struct{}, 1),
+		busy:  make([]atomic.Int64, opts.Shards),
+	}
+	for i := 0; i < opts.Queue; i++ {
+		p.space <- struct{}{}
+	}
 	p.sigs.init()
 	if opts.EvalWorkers > 0 {
 		p.eval = improve.NewEvalPool(opts.EvalWorkers)
 	}
 	p.wg.Add(opts.Shards)
 	for i := 0; i < opts.Shards; i++ {
-		go p.shard()
+		go p.shard(i)
 	}
 	return p
 }
 
 // Shards returns the number of solver goroutines.
 func (p *Pool) Shards() int { return p.opts.Shards }
+
+// Counters returns a snapshot of the pool's queue, solve, and σ-cache
+// counters. Safe for concurrent use; the snapshot is internally consistent
+// only at quiescence (fields are read individually, not atomically as a
+// set), which is all a metrics surface needs.
+func (p *Pool) Counters() Counters {
+	c := Counters{
+		QueueDepth:  len(p.jobs),
+		QueueCap:    cap(p.jobs),
+		InFlight:    int(p.inflight.Load()),
+		Submitted:   p.submitted.Load(),
+		Rejected:    p.rejected.Load(),
+		Completed:   p.completed.Load(),
+		Failed:      p.failed.Load(),
+		SigmaHits:   p.sigs.hits.Load(),
+		SigmaMisses: p.sigs.misses.Load(),
+		ShardBusy:   make([]time.Duration, len(p.busy)),
+	}
+	for i := range p.busy {
+		c.ShardBusy[i] = time.Duration(p.busy[i].Load())
+	}
+	return c
+}
 
 // Submit enqueues one instance and returns its ticket. It blocks while the
 // queue is full; ctx (nil means Background) cancels both the wait for queue
@@ -119,33 +201,67 @@ func (p *Pool) Submit(ctx context.Context, in *core.Instance) (*Ticket, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	cin := *in
-	cin.Sigma = p.sigs.get(in.Sigma, in.MaxSymbolID())
-	t := &Ticket{in: &cin, ctx: ctx, done: make(chan struct{})}
-
-	// The read lock spans the send: Close's write lock therefore waits for
-	// in-flight Submits, and no Submit can send on a closed channel.
+	// The read lock spans the enqueue: Close's write lock therefore waits
+	// for in-flight Submits, and no Submit can send on a closed channel.
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	if p.closed {
 		return nil, ErrClosed
 	}
-	// Hold the sequencer across the send so no other Submit can enqueue
-	// between this ticket's send and its index assignment: Index order is
-	// exactly queue order even under concurrent submitters.
+	// Take a queue slot first — the only wait that can last — without
+	// holding seq, so non-blocking TrySubmit callers are never stuck
+	// behind a backpressured Submit.
+	select {
+	case <-p.space:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return p.enqueue(ctx, in)
+}
+
+// TrySubmit is the non-blocking form of Submit: when the queue has no free
+// slot it fails immediately with ErrQueueFull instead of waiting, counting
+// the rejection. This is the admission-control primitive — a server maps
+// ErrQueueFull to 429 + Retry-After rather than absorbing unbounded load.
+func (p *Pool) TrySubmit(ctx context.Context, in *core.Instance) (*Ticket, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return nil, ErrClosed
+	}
+	select {
+	case <-p.space:
+	default:
+		p.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+	return p.enqueue(ctx, in)
+}
+
+// enqueue finishes a submission that already holds a queue-slot token (and
+// the closed read lock): swap in the cached σ, then send + assign the index
+// under seq so Ticket.Index order is exactly queue order.
+func (p *Pool) enqueue(ctx context.Context, in *core.Instance) (*Ticket, error) {
+	cin := *in
+	cin.Sigma = p.sigs.get(in.Sigma, in.MaxSymbolID())
+	t := &Ticket{in: &cin, ctx: ctx, done: make(chan struct{})}
 	select {
 	case p.seq <- struct{}{}:
 	case <-ctx.Done():
+		p.space <- struct{}{} // return the unused slot
 		return nil, ctx.Err()
 	}
-	defer func() { <-p.seq }()
-	select {
-	case p.jobs <- t:
-		t.Index = int(p.next.Add(1) - 1)
-		return t, nil
-	case <-ctx.Done():
-		return nil, ctx.Err()
-	}
+	// Holding a space token guarantees len(jobs) < cap, so this send never
+	// blocks; holding seq across send + assignment keeps index order equal
+	// to queue order even under concurrent submitters.
+	p.jobs <- t
+	t.Index = int(p.next.Add(1) - 1)
+	<-p.seq
+	p.submitted.Add(1)
+	return t, nil
 }
 
 // SolveAll submits every instance and waits for all of them, returning
@@ -172,7 +288,9 @@ func (p *Pool) SolveAll(ctx context.Context, ins []*core.Instance) (results []an
 }
 
 // Close drains the queue, stops the shards, and releases the shared eval
-// pool. Submit fails with ErrClosed afterwards; Close is idempotent.
+// pool. Submit fails with ErrClosed afterwards; Close is idempotent. This
+// is the graceful-drain primitive: queued and in-flight instances finish
+// (Close blocks for them), only new submissions are refused.
 func (p *Pool) Close() {
 	p.mu.Lock()
 	already := p.closed
@@ -190,15 +308,30 @@ func (p *Pool) Close() {
 	}
 }
 
-func (p *Pool) shard() {
+func (p *Pool) shard(id int) {
 	defer p.wg.Done()
 	for t := range p.jobs {
-		p.run(t)
+		// Return the queue slot on dequeue, not completion: the bound
+		// covers waiting work, matching the pre-token semantics where the
+		// jobs channel itself was the bound.
+		p.space <- struct{}{}
+		p.run(id, t)
 	}
 }
 
-func (p *Pool) run(t *Ticket) {
-	defer close(t.done)
+func (p *Pool) run(id int, t *Ticket) {
+	p.inflight.Add(1)
+	start := time.Now()
+	defer func() {
+		p.busy[id].Add(int64(time.Since(start)))
+		p.inflight.Add(-1)
+		if t.err != nil {
+			p.failed.Add(1)
+		} else {
+			p.completed.Add(1)
+		}
+		close(t.done)
+	}()
 	defer func() {
 		if r := recover(); r != nil {
 			t.err = fmt.Errorf("batch: solver panic: %v", r)

@@ -316,6 +316,174 @@ func TestSolverPanicIsAnError(t *testing.T) {
 	}
 }
 
+// TestTrySubmitQueueFull pins the admission-control primitive: with the
+// lone shard occupied and the one-slot queue full, TrySubmit must fail
+// immediately with ErrQueueFull (never block), count the rejection, and
+// succeed again once the queue drains.
+func TestTrySubmitQueueFull(t *testing.T) {
+	ins := testInstances(t, 4, 20)
+	release := make(chan struct{})
+	p := New(Options{Shards: 1, Queue: 1, Solve: func(ctx context.Context, in *core.Instance, rt Runtime) (any, error) {
+		<-release
+		return in.Name, nil
+	}})
+	defer p.Close()
+
+	// Occupy the shard, then the queue's single slot. The first submit may
+	// be dequeued at any moment, so poll until the queue slot is provably
+	// held.
+	if _, err := p.Submit(context.Background(), ins[0]); err != nil {
+		t.Fatal(err)
+	}
+	var queued *Ticket
+	deadline := time.Now().Add(5 * time.Second)
+	for queued == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("queue never filled")
+		}
+		tk, err := p.TrySubmit(context.Background(), ins[1])
+		if errors.Is(err, ErrQueueFull) {
+			continue // the first instance was still queued; retry
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		queued = tk
+	}
+	// Shard busy on ins[0], queue holds ins[1]: rejection is now certain.
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.TrySubmit(context.Background(), ins[2])
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrQueueFull) {
+			t.Fatalf("TrySubmit on a full queue: %v, want ErrQueueFull", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("TrySubmit blocked on a full queue")
+	}
+	c := p.Counters()
+	if c.Rejected < 1 {
+		t.Fatalf("Rejected = %d, want >= 1", c.Rejected)
+	}
+	if c.QueueDepth != 1 || c.QueueCap != 1 {
+		t.Fatalf("queue depth/cap = %d/%d, want 1/1", c.QueueDepth, c.QueueCap)
+	}
+	if c.InFlight != 1 {
+		t.Fatalf("InFlight = %d, want 1", c.InFlight)
+	}
+
+	close(release)
+	if _, err := queued.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// Drained: TrySubmit admits again.
+	tk, err := p.TrySubmit(context.Background(), ins[3])
+	if err != nil {
+		t.Fatalf("TrySubmit after drain: %v", err)
+	}
+	if _, err := tk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrySubmitAfterClose(t *testing.T) {
+	ins := testInstances(t, 1, 20)
+	p := New(Options{Shards: 1, Solve: improveSolver})
+	p.Close()
+	if _, err := p.TrySubmit(context.Background(), ins[0]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("TrySubmit after Close: %v", err)
+	}
+}
+
+// TestCountersLifecycle checks the cumulative counters across a small
+// batch: submissions reconcile with completions and failures, shards accrue
+// busy time, and the σ cache reports one miss plus hits for the instances
+// sharing the table.
+func TestCountersLifecycle(t *testing.T) {
+	const n = 6
+	ins := testInstances(t, n, 20)
+	// One shared σ table across all instances so the cache traffic is
+	// deterministic: 1 compile, n-1 hits.
+	shared := score.NewTable()
+	shared.Set(1, 1, 2.0)
+	for _, in := range ins {
+		in.Sigma = shared
+	}
+	p := New(Options{Shards: 2, Solve: func(ctx context.Context, in *core.Instance, rt Runtime) (any, error) {
+		time.Sleep(time.Millisecond)
+		if in.Name == "w0" {
+			return nil, fmt.Errorf("synthetic failure")
+		}
+		return in.Name, nil
+	}})
+	defer p.Close()
+	_, errs, err := p.SolveAll(context.Background(), ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs[0] == nil {
+		t.Fatal("synthetic failure not reported")
+	}
+	c := p.Counters()
+	if c.Submitted != n {
+		t.Fatalf("Submitted = %d, want %d", c.Submitted, n)
+	}
+	if c.Completed != n-1 || c.Failed != 1 {
+		t.Fatalf("Completed/Failed = %d/%d, want %d/1", c.Completed, c.Failed, n-1)
+	}
+	if c.QueueDepth != 0 || c.InFlight != 0 {
+		t.Fatalf("quiescent pool reports depth=%d inflight=%d", c.QueueDepth, c.InFlight)
+	}
+	if c.SigmaMisses != 1 || c.SigmaHits != n-1 {
+		t.Fatalf("σ cache hits/misses = %d/%d, want %d/1", c.SigmaHits, c.SigmaMisses, n-1)
+	}
+	if len(c.ShardBusy) != 2 {
+		t.Fatalf("ShardBusy has %d entries, want 2", len(c.ShardBusy))
+	}
+	var busy time.Duration
+	for _, d := range c.ShardBusy {
+		busy += d
+	}
+	if busy < n*time.Millisecond {
+		t.Fatalf("cumulative busy time %v, want >= %v", busy, n*time.Millisecond)
+	}
+}
+
+// TestTrySubmitIndexOrder checks that TrySubmit participates in the same
+// dense queue-ordered index sequence as Submit.
+func TestTrySubmitIndexOrder(t *testing.T) {
+	ins := testInstances(t, 8, 10)
+	p := New(Options{Shards: 1, Queue: 16, Solve: func(ctx context.Context, in *core.Instance, rt Runtime) (any, error) {
+		return in.Name, nil
+	}})
+	defer p.Close()
+	var tickets []*Ticket
+	for i, in := range ins {
+		var tk *Ticket
+		var err error
+		if i%2 == 0 {
+			tk, err = p.Submit(context.Background(), in)
+		} else {
+			tk, err = p.TrySubmit(context.Background(), in)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets = append(tickets, tk)
+	}
+	for i, tk := range tickets {
+		if tk.Index != i {
+			t.Fatalf("ticket %d has index %d", i, tk.Index)
+		}
+		if _, err := tk.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 // TestIndexMatchesQueueOrder pins the Ticket.Index contract under
 // concurrent submitters: indices are dense and agree with the order a
 // lone shard actually dequeues the work.

@@ -3,6 +3,7 @@ package batch
 import (
 	"reflect"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/score"
 )
@@ -22,6 +23,12 @@ import (
 type sigCache struct {
 	mu sync.Mutex
 	m  map[score.Scorer]*score.Compiled
+	// hits counts submissions served without compiling (map hits and
+	// pre-compiled scorers alike); misses counts dense compiles paid —
+	// including per-submit compiles of uncomparable scorers. Exposed via
+	// Pool.Counters as the σ-cache hit rate.
+	hits   atomic.Int64
+	misses atomic.Int64
 }
 
 func (c *sigCache) init() { c.m = make(map[score.Scorer]*score.Compiled) }
@@ -36,16 +43,20 @@ func (c *sigCache) get(sc score.Scorer, maxID int32) score.Scorer {
 		return nil
 	}
 	if cp, ok := sc.(*score.Compiled); ok && cp.MaxID() >= maxID {
+		c.hits.Add(1)
 		return cp
 	}
 	if !reflect.TypeOf(sc).Comparable() {
+		c.misses.Add(1)
 		return score.Compile(sc, maxID)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if cp, ok := c.m[sc]; ok && cp.MaxID() >= maxID {
+		c.hits.Add(1)
 		return cp
 	}
+	c.misses.Add(1)
 	cp := score.Compile(sc, maxID)
 	c.m[sc] = cp
 	return cp

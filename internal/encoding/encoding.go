@@ -20,6 +20,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/score"
@@ -218,13 +219,22 @@ func WriteJSONLine(w io.Writer, in *core.Instance) error {
 // fragment-only region names); solvers never touch Instance.Alpha, so
 // previously delivered instances are unaffected.
 func ReadJSONL(r io.Reader, fn func(*core.Instance) error) error {
-	var dedup sigDedup
+	return ReadJSONLWith(r, NewSigmaInterner(), fn)
+}
+
+// ReadJSONLWith is ReadJSONL with a caller-owned SigmaInterner, extending
+// the σ-table dedup across streams: a server that keeps one interner per
+// tenant hands every request of that tenant the same *score.Table for the
+// same σ content, so the batch pool's identity-keyed cache compiles — and
+// int-quantizes — the tenant's alphabet once for its lifetime instead of
+// once per request.
+func ReadJSONLWith(r io.Reader, si *SigmaInterner, fn func(*core.Instance) error) error {
 	return scanLines(r, "jsonl", func(line string) error {
 		var j jsonInstance
 		if err := json.Unmarshal([]byte(line), &j); err != nil {
 			return err
 		}
-		in, err := dedup.instance(&j)
+		in, err := si.instance(&j)
 		if err != nil {
 			return err
 		}
@@ -264,14 +274,27 @@ type lineStop struct{ err error }
 
 func (l lineStop) Error() string { return l.err.Error() }
 
-// sigDedup shares one alphabet + σ table across all stream instances with
-// identical score semantics. Keys are the resolved (last entry wins, as in
+// SigmaInterner shares one alphabet + σ table across all instances (of one
+// stream, or of many streams when reused via ReadJSONLWith) with identical
+// score semantics. Keys are the resolved (last entry wins, as in
 // score.Table.Set) canonical score triples; fragment words are parsed
 // against the shared alphabet, interning any region names the σ table does
 // not mention. The cache is bounded: workloads that benefit share a handful
 // of tables, so past maxSigmas new σ content is parsed per line, uncached.
-type sigDedup struct {
-	m map[string]*sharedSigma
+//
+// An interner is safe for concurrent streams: instance construction — the
+// only phase that touches the shared alphabets — is serialized internally,
+// so two simultaneous requests of one tenant cannot race on alphabet
+// growth. Instances already delivered are never mutated (solvers do not
+// touch Instance.Alpha).
+type SigmaInterner struct {
+	mu sync.Mutex
+	m  map[string]*sharedSigma
+}
+
+// NewSigmaInterner returns an empty interner.
+func NewSigmaInterner() *SigmaInterner {
+	return &SigmaInterner{m: make(map[string]*sharedSigma)}
 }
 
 // maxSigmas bounds the retained tables (and their key strings) so a
@@ -309,7 +332,9 @@ func resolveScores(scores []jsonScore) []jsonScore {
 
 // instance builds a core.Instance from the wire form, reusing a previously
 // built alphabet/table when the score semantics match.
-func (d *sigDedup) instance(j *jsonInstance) (*core.Instance, error) {
+func (d *SigmaInterner) instance(j *jsonInstance) (*core.Instance, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.m == nil {
 		d.m = make(map[string]*sharedSigma)
 	}

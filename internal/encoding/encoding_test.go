@@ -3,6 +3,7 @@ package encoding
 import (
 	"bytes"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -195,6 +196,75 @@ func TestJSONLRoundTrip(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSigmaInternerAcrossStreams pins the cross-stream σ affinity that
+// serving depends on: two separate JSONL streams (two requests of one
+// tenant) read through one SigmaInterner must share a single *score.Table
+// for identical σ content — the identity the batch pool's per-alphabet
+// cache keys on — while fresh interners (distinct tenants) must not share.
+// The interner must also be safe for concurrent streams.
+func TestSigmaInternerAcrossStreams(t *testing.T) {
+	cfg := gen.DefaultConfig(7)
+	shared := gen.NewCanonical(cfg)
+	line := func(seed int64) string {
+		c := gen.DefaultConfig(seed)
+		c.Canonical = shared
+		var buf bytes.Buffer
+		if err := WriteJSONLine(&buf, gen.Generate(c).Instance); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	s1, s2 := line(7), line(8)
+
+	si := NewSigmaInterner()
+	read := func(stream string, in *SigmaInterner) *core.Instance {
+		var got *core.Instance
+		if err := ReadJSONLWith(strings.NewReader(stream), in, func(i *core.Instance) error {
+			got = i
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	a, b := read(s1, si), read(s2, si)
+	if a.Sigma != b.Sigma || a.Alpha != b.Alpha {
+		t.Fatal("same interner, same σ content: streams do not share one table")
+	}
+	if other := read(s2, NewSigmaInterner()); other.Sigma == a.Sigma {
+		t.Fatal("fresh interner wrongly shares a table with the first")
+	}
+
+	// Concurrent streams through one interner (run under -race in CI).
+	conc := NewSigmaInterner()
+	results := make([]*core.Instance, 8)
+	lines := make([]string, len(results))
+	for g := range lines {
+		lines[g] = line(int64(20 + g))
+	}
+	var wg sync.WaitGroup
+	for g := range results {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var got *core.Instance
+			err := ReadJSONLWith(strings.NewReader(lines[g]), conc, func(i *core.Instance) error {
+				got = i
+				return nil
+			})
+			if err == nil {
+				results[g] = got
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, r := range results[1:] {
+		if r.Sigma != results[0].Sigma {
+			t.Fatal("concurrent streams did not converge on one σ table")
+		}
 	}
 }
 

@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+
+	fragalign "repro"
+)
+
+// counters is the server-side half of the /metrics surface: request
+// admission outcomes, instance outcomes, and the ImproveStats aggregates
+// accumulated over every solved instance. All fields are cumulative since
+// server start.
+type counters struct {
+	inflight       atomic.Int64 // /v1/solve requests currently processing
+	requests       atomic.Int64 // /v1/solve requests accepted for processing
+	rejected       atomic.Int64 // whole requests refused 429 (queue full)
+	drainRejected  atomic.Int64 // requests refused 503 while draining
+	instancesOK    atomic.Int64 // instances solved
+	instancesFail  atomic.Int64 // instances that resolved with an error
+	solveNanos     atomic.Int64 // cumulative Result.Wall over solved instances
+	rounds         atomic.Int64
+	evaluated      atomic.Int64
+	accepted       atomic.Int64
+	popped         atomic.Int64
+	resimulated    atomic.Int64
+	skipped        atomic.Int64
+	enumRefreshed  atomic.Int64
+	enumReused     atomic.Int64
+	bytesStreamed  atomic.Int64 // result bytes written to clients
+	recordsWritten atomic.Int64 // result records written to clients
+}
+
+func (c *counters) addImprove(st *fragalign.ImproveStats) {
+	c.rounds.Add(int64(st.Rounds))
+	c.evaluated.Add(int64(st.Evaluated))
+	c.accepted.Add(int64(st.Accepted))
+	c.popped.Add(int64(st.Popped))
+	c.resimulated.Add(int64(st.Resimulated))
+	c.skipped.Add(int64(st.Skipped))
+	c.enumRefreshed.Add(int64(st.EnumRefreshed))
+	c.enumReused.Add(int64(st.EnumReused))
+}
+
+// Metrics is the JSON document served at /metrics. The schema is part of
+// the serving contract (documented in README "Serving"); fields only get
+// added, never renamed.
+type Metrics struct {
+	Pool    PoolMetrics    `json:"pool"`
+	Server  ServerMetrics  `json:"server"`
+	Improve ImproveMetrics `json:"improve"`
+}
+
+// PoolMetrics mirrors fragalign.BatchCounters plus derived rates.
+type PoolMetrics struct {
+	Shards      int     `json:"shards"`
+	QueueDepth  int     `json:"queue_depth"`
+	QueueCap    int     `json:"queue_cap"`
+	InFlight    int     `json:"in_flight"`
+	Submitted   int64   `json:"submitted"`
+	Rejected    int64   `json:"rejected"`
+	Completed   int64   `json:"completed"`
+	Failed      int64   `json:"failed"`
+	SigmaHits   int64   `json:"sigma_hits"`
+	SigmaMisses int64   `json:"sigma_misses"`
+	// SigmaHitRate is hits/(hits+misses), 0 when no traffic.
+	SigmaHitRate float64   `json:"sigma_hit_rate"`
+	ShardBusyMS  []float64 `json:"shard_busy_ms"`
+}
+
+// ServerMetrics is the HTTP layer's own view.
+type ServerMetrics struct {
+	Draining         bool    `json:"draining"`
+	RequestsInFlight int64   `json:"requests_in_flight"`
+	Requests         int64   `json:"requests"`
+	RejectedRequests int64   `json:"rejected_requests"` // 429s
+	DrainRejected    int64   `json:"drain_rejected"`    // 503s while draining
+	InstancesSolved  int64   `json:"instances_solved"`
+	InstancesFailed  int64   `json:"instances_failed"`
+	SolveMSTotal     float64 `json:"solve_ms_total"` // sum of Result.Wall
+	MeanSolveMS      float64 `json:"mean_solve_ms"`
+	RecordsWritten   int64   `json:"records_written"`
+	BytesStreamed    int64   `json:"bytes_streamed"`
+	Tenants          int     `json:"tenants"` // live σ-affinity interners
+	UptimeSeconds    float64 `json:"uptime_seconds"`
+}
+
+// ImproveMetrics aggregates fragalign.ImproveStats over all solved
+// instances: the solver's work counters, exported so a fleet can watch
+// cache-efficiency trends (popped vs resimulated vs skipped, enum reuse)
+// under live traffic.
+type ImproveMetrics struct {
+	Rounds        int64 `json:"rounds"`
+	Evaluated     int64 `json:"evaluated"`
+	Accepted      int64 `json:"accepted"`
+	Popped        int64 `json:"popped"`
+	Resimulated   int64 `json:"resimulated"`
+	Skipped       int64 `json:"skipped"`
+	EnumRefreshed int64 `json:"enum_refreshed"`
+	EnumReused    int64 `json:"enum_reused"`
+}
+
+// snapshot assembles the full metrics document.
+func (s *Server) snapshot() Metrics {
+	pc := s.opts.Pool.Counters()
+	busy := make([]float64, len(pc.ShardBusy))
+	for i, d := range pc.ShardBusy {
+		busy[i] = float64(d.Microseconds()) / 1000
+	}
+	hitRate := 0.0
+	if total := pc.SigmaHits + pc.SigmaMisses; total > 0 {
+		hitRate = float64(pc.SigmaHits) / float64(total)
+	}
+	solved := s.ctr.instancesOK.Load()
+	solveMS := float64(s.ctr.solveNanos.Load()) / 1e6
+	mean := 0.0
+	if solved > 0 {
+		mean = solveMS / float64(solved)
+	}
+	return Metrics{
+		Pool: PoolMetrics{
+			Shards:       s.opts.Pool.Shards(),
+			QueueDepth:   pc.QueueDepth,
+			QueueCap:     pc.QueueCap,
+			InFlight:     pc.InFlight,
+			Submitted:    pc.Submitted,
+			Rejected:     pc.Rejected,
+			Completed:    pc.Completed,
+			Failed:       pc.Failed,
+			SigmaHits:    pc.SigmaHits,
+			SigmaMisses:  pc.SigmaMisses,
+			SigmaHitRate: hitRate,
+			ShardBusyMS:  busy,
+		},
+		Server: ServerMetrics{
+			Draining:         s.draining.Load(),
+			RequestsInFlight: s.ctr.inflight.Load(),
+			Requests:         s.ctr.requests.Load(),
+			RejectedRequests: s.ctr.rejected.Load(),
+			DrainRejected:    s.ctr.drainRejected.Load(),
+			InstancesSolved:  solved,
+			InstancesFailed:  s.ctr.instancesFail.Load(),
+			SolveMSTotal:     solveMS,
+			MeanSolveMS:      mean,
+			RecordsWritten:   s.ctr.recordsWritten.Load(),
+			BytesStreamed:    s.ctr.bytesStreamed.Load(),
+			Tenants:          s.tenants.len(),
+			UptimeSeconds:    time.Since(s.started).Seconds(),
+		},
+		Improve: ImproveMetrics{
+			Rounds:        s.ctr.rounds.Load(),
+			Evaluated:     s.ctr.evaluated.Load(),
+			Accepted:      s.ctr.accepted.Load(),
+			Popped:        s.ctr.popped.Load(),
+			Resimulated:   s.ctr.resimulated.Load(),
+			Skipped:       s.ctr.skipped.Load(),
+			EnumRefreshed: s.ctr.enumRefreshed.Load(),
+			EnumReused:    s.ctr.enumReused.Load(),
+		},
+	}
+}

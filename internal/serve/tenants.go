@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"sync"
+
+	"repro/internal/encoding"
+)
+
+// tenantCache holds one encoding.SigmaInterner per tenant key, giving a
+// client σ-cache affinity across requests: every request a tenant sends
+// with the same σ content resolves to the same *score.Table identity, so
+// the batch pool compiles (and int-quantizes) the tenant's alphabet once
+// for its connection lifetime instead of once per request.
+//
+// The cache is bounded by max: when full, the least-recently-used tenant's
+// interner is dropped — its σ simply recompiles on that tenant's next
+// request, so eviction is a performance event, never a correctness one.
+type tenantCache struct {
+	mu  sync.Mutex
+	max int
+	m   map[string]*tenantEntry
+	gen int64 // logical clock for LRU
+}
+
+type tenantEntry struct {
+	si   *encoding.SigmaInterner
+	used int64
+}
+
+func newTenantCache(max int) *tenantCache {
+	return &tenantCache{max: max, m: make(map[string]*tenantEntry)}
+}
+
+// get returns the tenant's interner, creating (and, when over the bound,
+// evicting the stalest) as needed. An empty tenant key gets a fresh
+// throwaway interner: no affinity without identification.
+func (tc *tenantCache) get(tenant string) *encoding.SigmaInterner {
+	if tenant == "" {
+		return encoding.NewSigmaInterner()
+	}
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	tc.gen++
+	if e, ok := tc.m[tenant]; ok {
+		e.used = tc.gen
+		return e.si
+	}
+	if len(tc.m) >= tc.max {
+		var coldest string
+		var coldestUsed int64
+		for k, e := range tc.m {
+			if coldest == "" || e.used < coldestUsed {
+				coldest, coldestUsed = k, e.used
+			}
+		}
+		delete(tc.m, coldest)
+	}
+	e := &tenantEntry{si: encoding.NewSigmaInterner(), used: tc.gen}
+	tc.m[tenant] = e
+	return e.si
+}
+
+func (tc *tenantCache) len() int {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return len(tc.m)
+}

@@ -17,5 +17,12 @@ go run ./cmd/csrbench -json -seed 1 -regions 60 -instances 8 -repeat 3 -full-enu
 # Lazy-selection ablation row (mode=eager): the full-list selection engine,
 # so the heap engine's win — and any future erosion of it — stays visible.
 go run ./cmd/csrbench -json -seed 1 -regions 60 -instances 8 -repeat 3 -lazy=false -algs csr-improve >> BENCH_BASELINE.json
+# Serving-path sustained-throughput row (algorithm=serve-sustained): csrload
+# saturates an in-process csrserve over loopback HTTP; wall_ms is the run's
+# total elapsed, so daemon-layer regressions (framing, admission, σ
+# affinity, stream-out) trip the same benchdiff wall gate as solver rows.
+# Keep the flags in lockstep with the CI bench-trajectory job.
+go run ./cmd/csrload -self -rate 0 -requests 32 -instances 4 -regions 60 \
+    -seed 1 -shards 4 -queue 128 -repeat 3 -json >> BENCH_BASELINE.json
 echo "wrote BENCH_BASELINE.json:" >&2
 cat BENCH_BASELINE.json >&2

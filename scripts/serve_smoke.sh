@@ -1,0 +1,121 @@
+#!/usr/bin/env sh
+# End-to-end smoke of the csrserve daemon, run by the CI serve-smoke job
+# and runnable locally. Proves the serving contract on a real process (not
+# httptest): a csrgen→HTTP round trip is byte-identical to cmd/csrbatch
+# over the same input (wall_ms stripped — it is timing), admission control
+# answers 429 with Retry-After when the queue is full, and SIGTERM drains
+# gracefully (healthz flips to 503, in-flight work finishes, clean exit).
+set -eu
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+server_pid=""
+cleanup() {
+    [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$workdir/csrserve" ./cmd/csrserve
+go build -o "$workdir/csrgen" ./cmd/csrgen
+go build -o "$workdir/csrbatch" ./cmd/csrbatch
+go build -o "$workdir/csrload" ./cmd/csrload
+
+# The daemon picks an ephemeral loopback port and prints it on stderr.
+"$workdir/csrserve" -addr 127.0.0.1:0 -shards 4 -queue 32 \
+    2>"$workdir/serve.log" &
+server_pid=$!
+base=""
+for _ in $(seq 1 100); do
+    base=$(sed -n 's/.*listening on \(http:\/\/[^ ]*\).*/\1/p' "$workdir/serve.log")
+    if [ -n "$base" ] && curl -fsS "$base/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    base=""
+    sleep 0.1
+done
+[ -n "$base" ] || { echo "serve_smoke: server never came up"; cat "$workdir/serve.log"; exit 1; }
+echo "serve_smoke: daemon at $base"
+
+# 1. Round trip: served results must be byte-identical to csrbatch over the
+#    same instances — at a shard count different from the server's, which
+#    is exactly the determinism contract. wall_ms is timing, strip it.
+"$workdir/csrgen" -count 24 -seed 7 -format jsonl > "$workdir/instances.jsonl"
+strip_wall() { sed 's/,"wall_ms":[0-9.e+-]*//'; }
+curl -fsS --data-binary @"$workdir/instances.jsonl" "$base/v1/solve" \
+    | strip_wall > "$workdir/served.jsonl"
+"$workdir/csrbatch" -shards 2 "$workdir/instances.jsonl" 2>/dev/null \
+    | strip_wall > "$workdir/batch.jsonl"
+if ! cmp -s "$workdir/served.jsonl" "$workdir/batch.jsonl"; then
+    echo "serve_smoke: served stream differs from csrbatch:"
+    diff "$workdir/batch.jsonl" "$workdir/served.jsonl" | head -20
+    exit 1
+fi
+records=$(wc -l < "$workdir/served.jsonl")
+[ "$records" -eq 24 ] || { echo "serve_smoke: expected 24 records, got $records"; exit 1; }
+echo "serve_smoke: round trip byte-identical to csrbatch ($records records)"
+
+# 2. Completion-order stream: same record set, every index present once.
+curl -fsS --data-binary @"$workdir/instances.jsonl" "$base/v1/solve?order=completion" \
+    | jq -s 'map(.index) | sort == [range(24)]' | grep -qx true \
+    || { echo "serve_smoke: completion-order stream lost records"; exit 1; }
+echo "serve_smoke: completion-order stream complete"
+
+# 3. Metrics surface: pool and server sections live, σ cache exercised.
+curl -fsS "$base/metrics" > "$workdir/metrics.json"
+jq -e '.pool.completed >= 48 and .server.requests >= 2
+       and .server.instances_solved >= 48 and .improve.rounds > 0' \
+    "$workdir/metrics.json" >/dev/null \
+    || { echo "serve_smoke: metrics implausible:"; cat "$workdir/metrics.json"; exit 1; }
+echo "serve_smoke: metrics live"
+
+# 4. Admission control: saturate the pool (open-loop burst far beyond the
+#    32-slot queue, large instances so shards stay busy) and require that
+#    at least one request is refused with 429 + Retry-After while the
+#    accepted ones still finish clean. csrload exits non-zero on any hard
+#    failure, so 429s being handled as clean rejections is also asserted.
+"$workdir/csrload" -url "$base" -rate 0 -requests 60 -instances 4 -regions 80 \
+    2>"$workdir/load.log" || { echo "serve_smoke: load run failed:"; cat "$workdir/load.log"; exit 1; }
+cat "$workdir/load.log"
+rejected=$(sed -n 's/.*(\([0-9]*\) ok, \([0-9]*\) rejected 429.*/\2/p' "$workdir/load.log")
+[ -n "$rejected" ] && [ "$rejected" -gt 0 ] \
+    || { echo "serve_smoke: burst never tripped admission control"; exit 1; }
+# Every rejection must carry Retry-After; csrload verifies the header on
+# each 429 and reports the tally.
+grep -q "Retry-After present on $rejected/$rejected rejections" "$workdir/load.log" \
+    || { echo "serve_smoke: some 429s lacked Retry-After"; exit 1; }
+curl -fsS "$base/metrics" | jq -e '.server.rejected_requests > 0' >/dev/null \
+    || { echo "serve_smoke: rejections missing from metrics"; exit 1; }
+echo "serve_smoke: admission control live ($rejected rejected, all with Retry-After)"
+
+# 5. Graceful drain: park a request mid-stream (body held open), SIGTERM
+#    the daemon, and require (a) healthz flips to 503, (b) the in-flight
+#    stream still completes with all its records, (c) clean exit.
+fifo="$workdir/drain.fifo"; mkfifo "$fifo"
+( head -c 0 /dev/null; "$workdir/csrgen" -count 1 -seed 11 -format jsonl; sleep 2; \
+  "$workdir/csrgen" -count 1 -seed 12 -format jsonl ) > "$fifo" &
+feeder_pid=$!
+# -T - streams stdin as it arrives (chunked); --data-binary would buffer
+# the fifo to EOF and the request would never be in flight at drain time.
+curl -sN -X POST -T - "$base/v1/solve" < "$fifo" \
+    > "$workdir/drain.jsonl" &
+curl_pid=$!
+sleep 0.5
+kill -TERM "$server_pid"
+for _ in $(seq 1 50); do
+    code=$(curl -s -o /dev/null -w '%{http_code}' "$base/healthz" || true)
+    [ "$code" = 503 ] && break
+    sleep 0.1
+done
+[ "$code" = 503 ] || { echo "serve_smoke: healthz did not flip to 503 on drain"; exit 1; }
+new=$(curl -s -o /dev/null -w '%{http_code}' --data-binary @"$workdir/instances.jsonl" "$base/v1/solve" || true)
+[ "$new" = 503 ] || { echo "serve_smoke: new request during drain got $new, want 503"; exit 1; }
+wait "$feeder_pid" "$curl_pid" || { echo "serve_smoke: in-flight request died during drain"; exit 1; }
+drained=$(wc -l < "$workdir/drain.jsonl")
+[ "$drained" -eq 2 ] || { echo "serve_smoke: in-flight stream truncated ($drained/2 records)"; exit 1; }
+wait "$server_pid" || { echo "serve_smoke: server exited non-zero after SIGTERM"; exit 1; }
+server_pid=""
+grep -q drained "$workdir/serve.log" || { echo "serve_smoke: no drain log line"; exit 1; }
+echo "serve_smoke: graceful drain ok (in-flight stream completed with $drained records)"
+
+echo "serve_smoke: all checks passed"

@@ -16,6 +16,15 @@ import (
 	"repro/internal/core"
 )
 
+// ErrQueueFull is returned by BatchPool.TrySubmit when the submission
+// queue has no free slot. Servers translate it into backpressure the
+// client can see — csrserve answers 429 with a Retry-After hint.
+var ErrQueueFull = batch.ErrQueueFull
+
+// BatchCounters is a snapshot of a BatchPool's queue, solve, and σ-cache
+// counters (see internal/batch.Counters); csrserve exports it at /metrics.
+type BatchCounters = batch.Counters
+
 // BatchPool solves a stream of instances with one algorithm over a
 // persistent sharded worker pool. Submissions are bounded (WithQueueDepth)
 // and individually cancelable; tickets resolve in any order but carry
@@ -38,6 +47,10 @@ type BatchTicket struct {
 
 // Index is the ticket's submission sequence number.
 func (t *BatchTicket) Index() int { return t.t.Index }
+
+// Done is closed when the ticket's result is ready; select on it to
+// multiplex many pending tickets without a goroutine per Wait.
+func (t *BatchTicket) Done() <-chan struct{} { return t.t.Done() }
 
 // Wait blocks for the result.
 func (t *BatchTicket) Wait() (*Result, error) {
@@ -75,6 +88,19 @@ func NewBatchPool(alg Algorithm, opts ...Option) *BatchPool {
 // returned ticket resolves once a shard solves the instance; ctx (nil means
 // Background) cancels queue wait and solve alike.
 func (bp *BatchPool) Submit(ctx context.Context, in *Instance) (*BatchTicket, error) {
+	return bp.submit(ctx, in, bp.pool.Submit)
+}
+
+// TrySubmit is the non-blocking form of Submit: when the bounded queue has
+// no free slot it fails immediately with ErrQueueFull instead of waiting.
+// This is the admission-control entry point for serving frontends that
+// must shed load rather than absorb it.
+func (bp *BatchPool) TrySubmit(ctx context.Context, in *Instance) (*BatchTicket, error) {
+	return bp.submit(ctx, in, bp.pool.TrySubmit)
+}
+
+func (bp *BatchPool) submit(ctx context.Context, in *Instance,
+	do func(context.Context, *core.Instance) (*batch.Ticket, error)) (*BatchTicket, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -82,7 +108,7 @@ func (bp *BatchPool) Submit(ctx context.Context, in *Instance) (*BatchTicket, er
 	if bp.timeout > 0 {
 		ctx, cancel = context.WithTimeout(ctx, bp.timeout)
 	}
-	t, err := bp.pool.Submit(ctx, in)
+	t, err := do(ctx, in)
 	if err != nil {
 		if cancel != nil {
 			cancel()
@@ -97,6 +123,9 @@ func (bp *BatchPool) Submit(ctx context.Context, in *Instance) (*BatchTicket, er
 	}
 	return &BatchTicket{t: t}, nil
 }
+
+// Counters snapshots the pool's queue, solve, and σ-cache counters.
+func (bp *BatchPool) Counters() BatchCounters { return bp.pool.Counters() }
 
 // Shards returns the pool's concurrency.
 func (bp *BatchPool) Shards() int { return bp.pool.Shards() }
