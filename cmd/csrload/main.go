@@ -7,6 +7,7 @@
 //
 //	csrload -url http://localhost:8437 -rate 50 -requests 200
 //	csrload -self -shards 8 -rate 0 -requests 64 -json > row.json
+//	csrload -self -rate 5 -requests 50 -tenant2 heavy -tenant2-requests 200
 //
 // Arrivals are open-loop (scheduled up front from a seeded exponential
 // process, independent of response times) and latency is measured from the
@@ -14,6 +15,20 @@
 // than being silently absorbed by a stalled generator (no coordinated
 // omission). -rate 0 removes pacing entirely: every request is due at t=0
 // and the run measures saturated throughput.
+//
+// -retries N makes the client honor admission control: a 429-rejected
+// request is retried up to N times, waiting at least the server's
+// Retry-After hint with jittered exponential backoff on top. Rejections
+// that exhaust their retries still count as rejected; the summary reports
+// how many retries the run spent and how many records came back partial
+// (graceful degradation under ?timeout=).
+//
+// -tenant2 NAME enables the two-tenant fairness mode: a second tenant with
+// its own arrival process (-tenant2-rate, -tenant2-requests) floods the
+// same server while the primary tenant's latency is measured, and the
+// summary reports per-tenant quantiles. The -json row then carries
+// algorithm "serve-fairness" (wall_ms = the primary tenant's p99 in ms),
+// pinning the fairness property in the benchmark trajectory.
 //
 // With -self the harness starts an in-process csrserve-equivalent on a
 // loopback port and drives that — no daemon management, which is how the
@@ -34,6 +49,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -49,8 +65,59 @@ type reqResult struct {
 	retryAfter string // Retry-After header on a 429
 	records    int
 	failures   int // error records within an accepted stream
+	partials   int // partial records within an accepted stream
+	retries    int // 429 retries this request spent
 	score      float64
 	err        error // transport/parse failure
+}
+
+// summary aggregates one tenant's request results.
+type summary struct {
+	ok, rejected, retryAfterOK, failed int
+	records, instFail, partials        int
+	retries                            int
+	score                              float64
+	lats                               []time.Duration
+}
+
+func summarize(label string, results []reqResult) summary {
+	var s summary
+	for i, r := range results {
+		s.retries += r.retries
+		switch {
+		case r.err != nil:
+			s.failed++
+			fmt.Fprintf(os.Stderr, "csrload: %s request %d: %v\n", label, i, r.err)
+		case r.status == http.StatusTooManyRequests:
+			s.rejected++
+			if r.retryAfter != "" {
+				s.retryAfterOK++
+			}
+		case r.status != http.StatusOK:
+			s.failed++
+			fmt.Fprintf(os.Stderr, "csrload: %s request %d: HTTP %d\n", label, i, r.status)
+		default:
+			s.ok++
+			s.records += r.records
+			s.instFail += r.failures
+			s.partials += r.partials
+			s.score += r.score
+			s.lats = append(s.lats, r.latency)
+		}
+	}
+	sort.Slice(s.lats, func(i, j int) bool { return s.lats[i] < s.lats[j] })
+	return s
+}
+
+func (s summary) quantileLine() string {
+	if len(s.lats) == 0 {
+		return "no accepted requests"
+	}
+	return fmt.Sprintf("p50 %v  p90 %v  p99 %v  max %v",
+		quantile(s.lats, 0.50).Round(time.Microsecond),
+		quantile(s.lats, 0.90).Round(time.Microsecond),
+		quantile(s.lats, 0.99).Round(time.Microsecond),
+		s.lats[len(s.lats)-1].Round(time.Microsecond))
 }
 
 func main() {
@@ -65,9 +132,15 @@ func main() {
 		tenant   = flag.String("tenant", "load", "X-Tenant header (empty disables σ affinity)")
 		order    = flag.String("order", "", "order query parameter (submission|completion)")
 		timeout  = flag.Duration("timeout", 0, "per-instance timeout query parameter (0 = server default)")
+		partial  = flag.Bool("partial", false, "ask for graceful degradation (?partial=1)")
+		retries  = flag.Int("retries", 0, "retry 429-rejected requests up to this many times, honoring Retry-After with jittered exponential backoff")
 		repeat   = flag.Int("repeat", 1, "run the whole load this many times and report the fastest run (min-of-N, the csrbench timing convention)")
 		histPath = flag.String("hist", "", "write a latency histogram to this file")
 		jsonOut  = flag.Bool("json", false, "emit a benchdiff-compatible JSON record on stdout")
+		// Two-tenant fairness mode.
+		tenant2         = flag.String("tenant2", "", "second tenant name: floods the server with its own arrival process while the primary tenant is measured (enables the serve-fairness JSON row)")
+		tenant2Rate     = flag.Float64("tenant2-rate", 0, "second tenant's arrival rate (0 = no pacing)")
+		tenant2Requests = flag.Int("tenant2-requests", 0, "second tenant's request count (0 = same as -requests)")
 		// -self pool shape.
 		algo   = flag.String("algo", "csr-improve", "algorithm (-self)")
 		shards = flag.Int("shards", 0, "pool shards (-self; 0 = GOMAXPROCS)")
@@ -81,6 +154,15 @@ func main() {
 	if *requests <= 0 || *perReq <= 0 {
 		fmt.Fprintln(os.Stderr, "csrload: -requests and -instances must be positive")
 		os.Exit(2)
+	}
+	fairness := *tenant2 != ""
+	if fairness && *tenant2 == *tenant {
+		fmt.Fprintln(os.Stderr, "csrload: -tenant2 must differ from -tenant")
+		os.Exit(2)
+	}
+	n2 := *tenant2Requests
+	if n2 <= 0 {
+		n2 = *requests
 	}
 
 	base := *url
@@ -105,6 +187,9 @@ func main() {
 	if *timeout > 0 {
 		params = append(params, "timeout="+timeout.String())
 	}
+	if *partial {
+		params = append(params, "partial=1")
+	}
 	if len(params) > 0 {
 		target += "?" + strings.Join(params, "&")
 	}
@@ -113,36 +198,49 @@ func main() {
 	// the clock starts: the measured run does no generation work, and the
 	// same seed always produces the same workload and the same arrival
 	// process.
-	bodies := make([][]byte, *requests)
-	for i := range bodies {
-		var buf bytes.Buffer
-		for j := 0; j < *perReq; j++ {
-			cfg := fragalign.DefaultGenConfig(*seed*1_000_000 + int64(i**perReq+j))
-			cfg.Regions = *regions
-			in := fragalign.Generate(cfg).Instance
-			in.Name = fmt.Sprintf("r%d.%d", i, j)
-			if err := encoding.WriteJSONLine(&buf, in); err != nil {
-				fmt.Fprintln(os.Stderr, "csrload:", err)
-				os.Exit(1)
+	genBodies := func(n int, prefix string, seedBase int64) [][]byte {
+		bodies := make([][]byte, n)
+		for i := range bodies {
+			var buf bytes.Buffer
+			for j := 0; j < *perReq; j++ {
+				cfg := fragalign.DefaultGenConfig(seedBase + int64(i**perReq+j))
+				cfg.Regions = *regions
+				in := fragalign.Generate(cfg).Instance
+				in.Name = fmt.Sprintf("%s%d.%d", prefix, i, j)
+				if err := encoding.WriteJSONLine(&buf, in); err != nil {
+					fmt.Fprintln(os.Stderr, "csrload:", err)
+					os.Exit(1)
+				}
+			}
+			bodies[i] = buf.Bytes()
+		}
+		return bodies
+	}
+	genArrivals := func(n int, rate float64, seed int64) []time.Duration {
+		arrivals := make([]time.Duration, n)
+		if rate > 0 {
+			rng := rand.New(rand.NewSource(seed))
+			var at time.Duration
+			for i := range arrivals {
+				at += time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+				arrivals[i] = at
 			}
 		}
-		bodies[i] = buf.Bytes()
+		return arrivals
 	}
-	arrivals := make([]time.Duration, *requests)
-	if *rate > 0 {
-		rng := rand.New(rand.NewSource(*seed))
-		var at time.Duration
-		for i := range arrivals {
-			at += time.Duration(rng.ExpFloat64() / *rate * float64(time.Second))
-			arrivals[i] = at
-		}
+	bodies := genBodies(*requests, "r", *seed*1_000_000)
+	arrivals := genArrivals(*requests, *rate, *seed)
+	var bodies2 [][]byte
+	var arrivals2 []time.Duration
+	if fairness {
+		bodies2 = genBodies(n2, "h", *seed*1_000_000+500_000)
+		arrivals2 = genArrivals(n2, *tenant2Rate, *seed+1)
 	}
 
-	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: *requests}}
-	run := func() ([]reqResult, time.Duration) {
-		results := make([]reqResult, *requests)
-		start := time.Now()
-		var wg sync.WaitGroup
+	maxConns := *requests + len(bodies2)
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: maxConns}}
+	group := func(start time.Time, ten string, bodies [][]byte, arrivals []time.Duration,
+		results []reqResult, seedBase int64, wg *sync.WaitGroup) {
 		for i := range bodies {
 			i := i
 			wg.Add(1)
@@ -152,72 +250,84 @@ func main() {
 				if d := time.Until(due); d > 0 {
 					time.Sleep(d)
 				}
-				results[i] = shoot(client, target, *tenant, bodies[i])
-				// Open-loop latency: from scheduled arrival, not actual send.
+				results[i] = shootRetry(client, target, ten, bodies[i], *retries,
+					rand.New(rand.NewSource(seedBase+int64(i))))
+				// Open-loop latency: from scheduled arrival, not actual
+				// send — retries and their backoff included.
 				results[i].latency = time.Since(due)
 			}()
 		}
+	}
+	run := func() ([]reqResult, []reqResult, time.Duration) {
+		results := make([]reqResult, *requests)
+		results2 := make([]reqResult, len(bodies2))
+		start := time.Now()
+		var wg sync.WaitGroup
+		group(start, *tenant, bodies, arrivals, results, *seed*7_000_000, &wg)
+		if fairness {
+			group(start, *tenant2, bodies2, arrivals2, results2, *seed*7_000_000+500_000, &wg)
+		}
 		wg.Wait()
-		return results, time.Since(start)
+		return results, results2, time.Since(start)
 	}
 	if *repeat < 1 {
 		*repeat = 1
 	}
-	results, elapsed := run()
+	// min-of-N selection: by elapsed time normally; in fairness mode by the
+	// measured tenant's p99, since that is the row's gated quantity.
+	lightP99 := func(rs []reqResult) time.Duration {
+		var lats []time.Duration
+		for _, r := range rs {
+			if r.err == nil && r.status == http.StatusOK {
+				lats = append(lats, r.latency)
+			}
+		}
+		if len(lats) == 0 {
+			return math.MaxInt64
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		return quantile(lats, 0.99)
+	}
+	results, results2, elapsed := run()
 	for r := 1; r < *repeat; r++ {
-		res, el := run()
-		if el < elapsed {
-			results, elapsed = res, el
+		res, res2, el := run()
+		if fairness && lightP99(res) < lightP99(results) || !fairness && el < elapsed {
+			results, results2, elapsed = res, res2, el
 		}
 	}
 
-	var ok, rejected, retryAfterOK, failed, records, instFail int
-	var score float64
-	var lats []time.Duration
-	for i, r := range results {
-		switch {
-		case r.err != nil:
-			failed++
-			fmt.Fprintf(os.Stderr, "csrload: request %d: %v\n", i, r.err)
-		case r.status == http.StatusTooManyRequests:
-			rejected++
-			if r.retryAfter != "" {
-				retryAfterOK++
-			}
-		case r.status != http.StatusOK:
-			failed++
-			fmt.Fprintf(os.Stderr, "csrload: request %d: HTTP %d\n", i, r.status)
-		default:
-			ok++
-			records += r.records
-			instFail += r.failures
-			score += r.score
-			lats = append(lats, r.latency)
-		}
+	s1 := summarize(*tenant, results)
+	var s2 summary
+	if fairness {
+		s2 = summarize(*tenant2, results2)
 	}
 
 	rps := 0.0
 	if elapsed > 0 {
-		rps = float64(ok) / elapsed.Seconds()
+		rps = float64(s1.ok+s2.ok) / elapsed.Seconds()
 	}
 	fmt.Fprintf(os.Stderr,
-		"csrload: %d requests (%d ok, %d rejected 429, %d failed) in %v — %.1f req/s, %.1f inst/s\n",
-		*requests, ok, rejected, failed, elapsed.Round(time.Millisecond), rps,
-		float64(records)/elapsed.Seconds())
-	if rejected > 0 {
+		"csrload: %d requests (%d ok, %d rejected 429, %d failed, %d retries spent) in %v — %.1f req/s, %.1f inst/s\n",
+		len(results)+len(results2), s1.ok+s2.ok, s1.rejected+s2.rejected, s1.failed+s2.failed,
+		s1.retries+s2.retries, elapsed.Round(time.Millisecond), rps,
+		float64(s1.records+s2.records)/elapsed.Seconds())
+	if rej := s1.rejected + s2.rejected; rej > 0 {
 		fmt.Fprintf(os.Stderr, "csrload: Retry-After present on %d/%d rejections\n",
-			retryAfterOK, rejected)
+			s1.retryAfterOK+s2.retryAfterOK, rej)
 	}
-	if len(lats) > 0 {
-		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-		fmt.Fprintf(os.Stderr, "csrload: latency p50 %v  p90 %v  p99 %v  max %v\n",
-			quantile(lats, 0.50).Round(time.Microsecond),
-			quantile(lats, 0.90).Round(time.Microsecond),
-			quantile(lats, 0.99).Round(time.Microsecond),
-			lats[len(lats)-1].Round(time.Microsecond))
+	if p := s1.partials + s2.partials; p > 0 {
+		fmt.Fprintf(os.Stderr, "csrload: %d records returned partial (graceful degradation)\n", p)
+	}
+	if fairness {
+		fmt.Fprintf(os.Stderr, "csrload: tenant %q: %d ok, %d rejected — latency %s\n",
+			*tenant, s1.ok, s1.rejected, s1.quantileLine())
+		fmt.Fprintf(os.Stderr, "csrload: tenant %q: %d ok, %d rejected — latency %s\n",
+			*tenant2, s2.ok, s2.rejected, s2.quantileLine())
+	} else if len(s1.lats) > 0 {
+		fmt.Fprintf(os.Stderr, "csrload: latency %s\n", s1.quantileLine())
 	}
 	if *histPath != "" {
-		if err := writeHist(*histPath, lats); err != nil {
+		if err := writeHist(*histPath, s1.lats); err != nil {
 			fmt.Fprintln(os.Stderr, "csrload:", err)
 			os.Exit(1)
 		}
@@ -230,9 +340,24 @@ func main() {
 			"instances": *requests * *perReq,
 			"wall_ms":   float64(elapsed.Microseconds()) / 1000,
 			"allocs":    0, // below benchdiff's alloc floor: the wall gate is the contract
-			"score":     score,
+			"score":     s1.score + s2.score,
 			"requests":  *requests,
-			"rejected":  rejected,
+			"rejected":  s1.rejected + s2.rejected,
+			"retries":   s1.retries + s2.retries,
+			"partials":  s1.partials + s2.partials,
+		}
+		if fairness {
+			// The fairness row's gated quantity is the measured tenant's
+			// p99 under contention, not run elapsed time.
+			rec["algorithm"] = "serve-fairness"
+			p99 := time.Duration(0)
+			if len(s1.lats) > 0 {
+				p99 = quantile(s1.lats, 0.99)
+			}
+			rec["wall_ms"] = float64(p99.Microseconds()) / 1000
+			rec["rejected"] = s1.rejected
+			rec["tenant2_requests"] = n2
+			rec["tenant2_rejected"] = s2.rejected
 		}
 		data, err := json.Marshal(rec)
 		if err != nil {
@@ -241,10 +366,37 @@ func main() {
 		}
 		fmt.Println(string(data))
 	}
-	if failed > 0 || instFail > 0 {
+	if failed, instFail := s1.failed+s2.failed, s1.instFail+s2.instFail; failed > 0 || instFail > 0 {
 		fmt.Fprintf(os.Stderr, "csrload: %d failed requests, %d failed instances\n", failed, instFail)
 		os.Exit(1)
 	}
+	if fairness && s1.rejected > 0 {
+		fmt.Fprintf(os.Stderr, "csrload: fairness violation: measured tenant %q rejected %d times\n",
+			*tenant, s1.rejected)
+		os.Exit(1)
+	}
+}
+
+// shootRetry sends one request, retrying admission rejections up to
+// retries times. Each wait honors the server's Retry-After hint as a floor
+// and adds jittered exponential backoff on top (full jitter over the
+// backoff term), so a retrying fleet spreads out instead of thundering
+// back at the hinted second.
+func shootRetry(client *http.Client, target, tenant string, body []byte, retries int, rng *rand.Rand) reqResult {
+	backoff := 50 * time.Millisecond
+	r := shoot(client, target, tenant, body)
+	for attempt := 0; attempt < retries && r.err == nil && r.status == http.StatusTooManyRequests; attempt++ {
+		wait := time.Duration(rng.Int63n(int64(backoff)))
+		if secs, err := strconv.Atoi(r.retryAfter); err == nil && secs > 0 {
+			wait += time.Duration(secs) * time.Second
+		}
+		time.Sleep(wait)
+		backoff *= 2
+		spent := r.retries + 1
+		r = shoot(client, target, tenant, body)
+		r.retries = spent
+	}
+	return r
 }
 
 // shoot sends one request and consumes its stream.
@@ -269,9 +421,13 @@ func shoot(client *http.Client, target, tenant string, body []byte) reqResult {
 	}
 	r.err = encoding.ReadJSONLResults(resp.Body, func(rec encoding.ResultRecord) error {
 		r.records++
-		if rec.Error != "" {
+		switch {
+		case rec.Error != "":
 			r.failures++
-		} else {
+		default:
+			if rec.Partial {
+				r.partials++
+			}
 			r.score += rec.Score
 		}
 		return nil

@@ -14,11 +14,17 @@
 // POST /v1/solve takes the csrbatch JSONL instance format and streams one
 // result record per instance (submission order; ?order=completion streams
 // as instances finish). ?timeout=30s bounds each instance's solve; the
-// X-Tenant header keys σ-cache affinity across requests. When the pool's
-// queue is full the whole request is refused with 429 + Retry-After —
-// admission control instead of unbounded buffering. An admitted request's
-// records are byte-identical to a csrbatch run over the same input
-// (wall_ms excepted).
+// X-Tenant header keys σ-cache affinity AND fair admission across requests.
+// Admission is weighted max-min fair per tenant: a tenant below its fair
+// share of the queue (-tenant-weight sets shares, -tenant-max-inflight
+// hard-caps a tenant) is admitted even under load, while an over-share
+// tenant is refused 429 with a Retry-After keyed to its own backlog.
+// ?partial=1 (or -partial) turns deadline failures mid-improvement into
+// "partial": true records carrying the last accepted solution. An admitted
+// request's records are byte-identical to a csrbatch run over the same
+// input (wall_ms excepted; partial records excepted, by definition).
+// -chaos arms the fault-injection harness (internal/faultinject) inside
+// the live daemon for game-day drills.
 //
 // SIGTERM/SIGINT starts a graceful drain: /healthz flips to 503, new
 // solves are refused, in-flight streams finish (up to -grace), then the
@@ -34,12 +40,36 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	fragalign "repro"
+	"repro/internal/faultinject"
 	"repro/internal/serve"
 )
+
+// parseWeights parses the -tenant-weight grammar: "name=w,name=w" with
+// positive float weights.
+func parseWeights(spec string) (map[string]float64, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	weights := make(map[string]float64)
+	for _, kv := range strings.Split(spec, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("tenant weight %q is not name=w", kv)
+		}
+		w, err := strconv.ParseFloat(val, 64)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("tenant weight %q: weight must be a positive number", kv)
+		}
+		weights[name] = w
+	}
+	return weights, nil
+}
 
 func main() {
 	var (
@@ -57,11 +87,37 @@ func main() {
 		maxBody    = flag.Int64("max-body", 256<<20, "request body size limit in bytes")
 		tenants    = flag.Int("tenants", 64, "σ-affinity interner cache bound (tenants beyond this evict LRU)")
 		grace      = flag.Duration("grace", 30*time.Second, "drain grace period before in-flight requests are cut off")
+
+		tenantMax     = flag.Int("tenant-max-inflight", 0, "cap any one tenant's in-flight instances (0 = no cap)")
+		tenantWeights = flag.String("tenant-weight", "", "per-tenant fair-share weights as name=w,name=w (default weight 1; falls back to $CSRSERVE_TENANT_WEIGHTS)")
+		partial       = flag.Bool("partial", false, "serve partial results by default: deadline failures mid-improvement resolve as partial records unless a request says ?partial=0")
+		chaos         = flag.String("chaos", "", "arm fault-injection rules, e.g. shard-slow:p=0.05:d=50ms,solve-panic:nth=1000 (see internal/faultinject; empty = none)")
+		chaosSeed     = flag.Int64("chaos-seed", 1, "seed for the -chaos probability coin")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintln(os.Stderr, "usage: csrserve [flags]")
 		os.Exit(2)
+	}
+
+	weightSpec := *tenantWeights
+	if weightSpec == "" {
+		weightSpec = os.Getenv("CSRSERVE_TENANT_WEIGHTS")
+	}
+	weights, err := parseWeights(weightSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "csrserve:", err)
+		os.Exit(2)
+	}
+	var inj *fragalign.FaultInjector
+	if *chaos != "" {
+		rules, err := faultinject.ParseRules(*chaos)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "csrserve:", err)
+			os.Exit(2)
+		}
+		inj = faultinject.New(*chaosSeed, rules...)
+		fmt.Fprintf(os.Stderr, "csrserve: CHAOS ARMED: %s (seed %d)\n", *chaos, *chaosSeed)
 	}
 
 	pool := fragalign.NewBatchPool(fragalign.Algorithm(*algo),
@@ -72,16 +128,21 @@ func main() {
 		fragalign.WithFourApproxSeed(*seed4),
 		fragalign.WithIntScore(*intMode),
 		fragalign.WithLazySelection(*lazySel),
+		fragalign.WithFaultInjector(inj),
 	)
 	defer pool.Close()
 
 	srv, err := serve.New(serve.Options{
-		Pool:           serve.AdaptBatchPool(pool),
-		Algorithm:      *algo,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		MaxBody:        *maxBody,
-		Tenants:        *tenants,
+		Pool:              serve.AdaptBatchPool(pool),
+		Algorithm:         *algo,
+		DefaultTimeout:    *timeout,
+		MaxTimeout:        *maxTimeout,
+		MaxBody:           *maxBody,
+		Tenants:           *tenants,
+		TenantMaxInflight: *tenantMax,
+		TenantWeights:     weights,
+		Partial:           *partial,
+		Inject:            inj,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "csrserve:", err)

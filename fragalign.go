@@ -43,6 +43,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/encoding"
 	"repro/internal/exact"
+	"repro/internal/faultinject"
 	"repro/internal/gen"
 	"repro/internal/greedy"
 	"repro/internal/improve"
@@ -233,10 +234,12 @@ type solveCfg struct {
 	intScore    bool
 	fullEnum    bool
 	eagerSelect bool
+	partial     bool
 	// Batch-only knobs (see solvebatch.go).
 	shards  int
 	queue   int
 	timeout time.Duration
+	inject  *faultinject.Injector
 }
 
 // WithWorkers parallelizes candidate evaluation (improvement algorithms)
@@ -300,6 +303,37 @@ func WithIncrementalEnum(on bool) Option { return func(c *solveCfg) { c.fullEnum
 // ImproveStats.Popped / Resimulated / Skipped report the engine's heap
 // traffic.
 func WithLazySelection(on bool) Option { return func(c *solveCfg) { c.eagerSelect = !on } }
+
+// WithPartialResults degrades deadline and cancellation failures of the
+// improvement algorithms gracefully: when the context fires mid-solve, the
+// solver returns the last accepted solution — consistent, with Score exact
+// under the true σ — and marks ImproveStats.Partial instead of failing with
+// the context error. In the spirit of the paper's 4-approximation, an
+// anytime answer beats no answer; off by default, so deadline overruns stay
+// hard errors. Per-submission opt-in for batch pools goes through
+// ContextWithPartial instead.
+func WithPartialResults(on bool) Option { return func(c *solveCfg) { c.partial = on } }
+
+// partialKey marks a context whose solves should degrade gracefully.
+type partialKey struct{}
+
+// ContextWithPartial marks ctx so any solve submitted under it behaves as if
+// WithPartialResults(true) were set — the per-request form used by csrserve's
+// ?partial=1, where one pool serves requests with different preferences.
+func ContextWithPartial(ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, partialKey{}, true)
+}
+
+func partialFromContext(ctx context.Context) bool {
+	if ctx == nil {
+		return false
+	}
+	on, _ := ctx.Value(partialKey{}).(bool)
+	return on
+}
 
 // WithShards sets the number of concurrent per-instance solvers a batch
 // pool runs (default GOMAXPROCS). Batch APIs only; Solve ignores it.
@@ -422,6 +456,7 @@ func solveInstance(ctx context.Context, in *Instance, alg Algorithm, cfg solveCf
 			FullEnum:           cfg.fullEnum,
 			EagerSelect:        cfg.eagerSelect,
 			CheckInvariants:    cfg.check,
+			Partial:            cfg.partial || partialFromContext(ctx),
 			Ctx:                ctx,
 			Eval:               eval,
 		})

@@ -1,0 +1,215 @@
+package batch
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// checkQueueInvariant asserts the token-semaphore bookkeeping at quiescence:
+// every queue slot is either a free token in space or an undequeued job, so
+// tokens_free + len(jobs) == Queue. A leaked or double-returned token — the
+// failure a panicking or stalling shard could plausibly cause — breaks this
+// permanently, wedging (or overcommitting) every later submission.
+func checkQueueInvariant(t *testing.T, p *Pool) {
+	t.Helper()
+	free, queued, bound := len(p.space), len(p.jobs), cap(p.space)
+	if free+queued != bound {
+		t.Fatalf("queue invariant broken: %d free tokens + %d queued jobs != %d slots",
+			free, queued, bound)
+	}
+}
+
+// TestChaosPanicIsolation: an injected solver panic on every 3rd solve must
+// resolve those tickets as errors while every other instance solves normally,
+// with Completed + Failed == Submitted and the token semaphore intact.
+func TestChaosPanicIsolation(t *testing.T) {
+	ins := testInstances(t, 12, 25)
+	p := New(Options{
+		Shards: 2,
+		Solve:  improveSolver,
+		Inject: faultinject.New(1, faultinject.Rule{Point: faultinject.SolvePanic, Nth: 3}),
+	})
+	defer p.Close()
+
+	results, errs, err := p.SolveAll(context.Background(), ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	panics := 0
+	for i := range ins {
+		if errs[i] != nil {
+			if !strings.Contains(errs[i].Error(), "solver panic") {
+				t.Fatalf("instance %d: unexpected error %v", i, errs[i])
+			}
+			panics++
+			continue
+		}
+		if !strings.HasPrefix(results[i].(string), ins[i].Name+" ") {
+			t.Fatalf("instance %d: bad result %v", i, results[i])
+		}
+	}
+	if panics != 4 {
+		t.Fatalf("got %d injected panics, want 4 (every 3rd of 12 solves)", panics)
+	}
+
+	c := p.Counters()
+	if c.Submitted != 12 || c.Completed != 8 || c.Failed != 4 {
+		t.Fatalf("counters inconsistent after panics: submitted=%d completed=%d failed=%d",
+			c.Submitted, c.Completed, c.Failed)
+	}
+	checkQueueInvariant(t, p)
+
+	// The pool is still fully operational: the 13th solve (not a multiple
+	// of 3) succeeds.
+	tk, err := p.Submit(context.Background(), ins[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tk.Wait(); err != nil {
+		t.Fatalf("solve after panic storm: %v", err)
+	}
+	checkQueueInvariant(t, p)
+}
+
+// TestChaosPanicNeverWedgesSemaphore: with EVERY solve panicking on a
+// single-shard pool, far more submissions than the queue bound must still
+// flow through — a panic that leaked the shard goroutine or a queue token
+// would block a later Submit forever.
+func TestChaosPanicNeverWedgesSemaphore(t *testing.T) {
+	ins := testInstances(t, 1, 20)
+	p := New(Options{
+		Shards: 1,
+		Queue:  2,
+		Solve:  improveSolver,
+		Inject: faultinject.New(1, faultinject.Rule{Point: faultinject.SolvePanic}),
+	})
+	defer p.Close()
+
+	for i := 0; i < 10; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		tk, err := p.Submit(ctx, ins[0])
+		if err != nil {
+			cancel()
+			t.Fatalf("submit %d blocked or failed: %v", i, err)
+		}
+		_, werr := tk.Wait()
+		cancel()
+		if werr == nil || !strings.Contains(werr.Error(), "solver panic") {
+			t.Fatalf("solve %d: got %v, want injected panic", i, werr)
+		}
+	}
+	c := p.Counters()
+	if c.Failed != 10 || c.Completed != 0 {
+		t.Fatalf("counters after all-panic run: completed=%d failed=%d", c.Completed, c.Failed)
+	}
+	checkQueueInvariant(t, p)
+}
+
+// TestChaosQueueStallDrain: with every dequeue's token return stalled, a
+// burst larger than the queue bound still solves completely and Close
+// drains cleanly — the stall shrinks effective queue capacity but must
+// never strand a submitted ticket.
+func TestChaosQueueStallDrain(t *testing.T) {
+	ins := testInstances(t, 8, 25)
+	p := New(Options{
+		Shards: 2,
+		Queue:  2,
+		Solve:  improveSolver,
+		Inject: faultinject.New(1, faultinject.Rule{Point: faultinject.QueueStall, Delay: 10 * time.Millisecond}),
+	})
+
+	results, errs, err := p.SolveAll(context.Background(), ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ins {
+		if errs[i] != nil {
+			t.Fatalf("instance %d under queue stall: %v", i, errs[i])
+		}
+		if !strings.HasPrefix(results[i].(string), ins[i].Name+" ") {
+			t.Fatalf("instance %d: bad result %v", i, results[i])
+		}
+	}
+	checkQueueInvariant(t, p)
+	done := make(chan struct{})
+	go func() { p.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close did not drain under injected queue stalls")
+	}
+}
+
+// TestChaosSlowShardHonorsDeadline: an injected shard stall far longer than
+// the instance deadline must wake on the deadline and resolve the ticket as
+// a deadline failure promptly — the stall cannot hold a doomed instance
+// hostage for its full injected delay.
+func TestChaosSlowShardHonorsDeadline(t *testing.T) {
+	ins := testInstances(t, 1, 25)
+	p := New(Options{
+		Shards: 1,
+		Solve:  improveSolver,
+		Inject: faultinject.New(1, faultinject.Rule{Point: faultinject.ShardSlow, Delay: time.Hour}),
+	})
+	defer p.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	tk, err := p.Submit(ctx, ins[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, werr := tk.Wait()
+	if werr == nil || !strings.Contains(werr.Error(), context.DeadlineExceeded.Error()) {
+		t.Fatalf("got %v, want deadline exceeded", werr)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("stalled ticket took %v to resolve; the stall ignored the deadline", elapsed)
+	}
+	checkQueueInvariant(t, p)
+}
+
+// TestChaosSigmaDropIdentity is the σ-cache corruption guard: solves whose
+// interned scorer identity is randomly dropped (forcing fresh compiles that
+// bypass the cache) must produce byte-identical results to an uninjected
+// pool — correctness can depend only on σ's content, never on which
+// compiled-matrix identity a solve happened to receive.
+func TestChaosSigmaDropIdentity(t *testing.T) {
+	ins := testInstances(t, 8, 30)
+
+	clean := New(Options{Shards: 2, Solve: improveSolver})
+	want, werrs, err := clean.SolveAll(context.Background(), ins)
+	clean.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	chaos := New(Options{
+		Shards: 2,
+		Solve:  improveSolver,
+		Inject: faultinject.New(7, faultinject.Rule{Point: faultinject.SigmaDrop, Nth: 2}),
+	})
+	defer chaos.Close()
+	got, gerrs, err := chaos.SolveAll(context.Background(), ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ins {
+		if werrs[i] != nil || gerrs[i] != nil {
+			t.Fatalf("instance %d errored: clean=%v chaos=%v", i, werrs[i], gerrs[i])
+		}
+		if got[i].(string) != want[i].(string) {
+			t.Fatalf("instance %d diverged under σ-cache drops:\n  got  %s\n  want %s",
+				i, got[i], want[i])
+		}
+	}
+	if c := chaos.Counters(); c.SigmaMisses >= 8 {
+		t.Fatalf("σ-cache misses %d: injected drops must bypass the cache, not churn it", c.SigmaMisses)
+	}
+	checkQueueInvariant(t, chaos)
+}

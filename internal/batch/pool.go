@@ -10,7 +10,9 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/improve"
+	"repro/internal/score"
 )
 
 // ErrClosed is returned by Submit after Close.
@@ -46,6 +48,10 @@ type Options struct {
 	EvalWorkers int
 	// Solve is the per-instance solver. Required.
 	Solve Solver
+	// Inject arms the fault-injection points inside the pool (shard
+	// panics, slow shards, queue-return stalls, deadline overruns, σ-cache
+	// drops). Nil — the default — injects nothing; see internal/faultinject.
+	Inject *faultinject.Injector
 }
 
 // Ticket is the handle for one submitted instance.
@@ -115,6 +121,7 @@ type Pool struct {
 	space chan struct{}
 	eval  *improve.EvalPool
 	sigs  sigCache
+	inj   *faultinject.Injector
 	next  atomic.Int64
 	// seq is a one-slot semaphore serializing enqueue+index-assignment so
 	// Ticket.Index always matches queue order under concurrent Submit —
@@ -150,6 +157,7 @@ func New(opts Options) *Pool {
 		space: make(chan struct{}, opts.Queue),
 		seq:   make(chan struct{}, 1),
 		busy:  make([]atomic.Int64, opts.Shards),
+		inj:   opts.Inject,
 	}
 	for i := 0; i < opts.Queue; i++ {
 		p.space <- struct{}{}
@@ -246,7 +254,14 @@ func (p *Pool) TrySubmit(ctx context.Context, in *core.Instance) (*Ticket, error
 // under seq so Ticket.Index order is exactly queue order.
 func (p *Pool) enqueue(ctx context.Context, in *core.Instance) (*Ticket, error) {
 	cin := *in
-	cin.Sigma = p.sigs.get(in.Sigma, in.MaxSymbolID())
+	if p.inj.Fires(faultinject.SigmaDrop) {
+		// Injected σ-cache drop: compile fresh, bypassing the identity
+		// cache. The corruption guard — results must not depend on which
+		// matrix identity a solve happened to receive.
+		cin.Sigma = score.Compile(in.Sigma, in.MaxSymbolID())
+	} else {
+		cin.Sigma = p.sigs.get(in.Sigma, in.MaxSymbolID())
+	}
 	t := &Ticket{in: &cin, ctx: ctx, done: make(chan struct{})}
 	select {
 	case p.seq <- struct{}{}:
@@ -311,6 +326,9 @@ func (p *Pool) Close() {
 func (p *Pool) shard(id int) {
 	defer p.wg.Done()
 	for t := range p.jobs {
+		// Injected queue stall: delay the slot return, so the bounded
+		// queue looks full longer than the work it actually holds.
+		p.inj.Stall(t.ctx, faultinject.QueueStall)
 		// Return the queue slot on dequeue, not completion: the bound
 		// covers waiting work, matching the pre-token semantics where the
 		// jobs channel itself was the bound.
@@ -341,5 +359,16 @@ func (p *Pool) run(id int, t *Ticket) {
 		t.err = err
 		return
 	}
+	// Injected slow shard: stall before solving, waking early if the
+	// instance's deadline fires (the solve then starts with a dead context
+	// and resolves as a deadline failure — or a partial result).
+	p.inj.Stall(t.ctx, faultinject.ShardSlow)
+	if p.inj.Fires(faultinject.SolvePanic) {
+		panic("faultinject: injected solver panic")
+	}
 	t.res, t.err = p.opts.Solve(t.ctx, t.in, Runtime{Eval: p.eval})
+	// Injected deadline overrun: a solver that ignores cancellation and
+	// keeps the shard busy past its deadline — deliberately not woken by
+	// ctx.Done.
+	p.inj.StallHard(faultinject.DeadlineOverrun)
 }

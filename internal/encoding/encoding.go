@@ -21,6 +21,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/score"
@@ -290,6 +291,15 @@ func (l lineStop) Error() string { return l.err.Error() }
 type SigmaInterner struct {
 	mu sync.Mutex
 	m  map[string]*sharedSigma
+	// hits and misses count instance() resolutions served from the cache
+	// vs built fresh — the per-tenant σ-affinity signal csrserve exports
+	// in its tenants_detail metrics.
+	hits, misses atomic.Int64
+}
+
+// Stats reports the interner's cumulative σ-content cache hits and misses.
+func (d *SigmaInterner) Stats() (hits, misses int64) {
+	return d.hits.Load(), d.misses.Load()
 }
 
 // NewSigmaInterner returns an empty interner.
@@ -345,7 +355,10 @@ func (d *SigmaInterner) instance(j *jsonInstance) (*core.Instance, error) {
 	}
 	k := strings.Join(triples, "\x01")
 	sh, ok := d.m[k]
-	if !ok {
+	if ok {
+		d.hits.Add(1)
+	} else {
+		d.misses.Add(1)
 		// First sight of this σ content: intern the score names first, in
 		// canonical (resolved, sorted) order, so every later instance of
 		// the key resolves them to the same symbol IDs regardless of its
@@ -409,8 +422,13 @@ type ResultRecord struct {
 	Score     float64 `json:"score"`
 	Matches   int     `json:"matches,omitempty"`
 	Rounds    int     `json:"rounds,omitempty"`
-	WallMS    float64 `json:"wall_ms"`
-	Error     string  `json:"error,omitempty"`
+	// Partial marks a gracefully degraded solve: the deadline fired
+	// mid-improvement and the record carries the last accepted solution
+	// (score exact under the true σ) instead of an error. Emitted only when
+	// true, so default-mode output is unchanged.
+	Partial bool    `json:"partial,omitempty"`
+	WallMS  float64 `json:"wall_ms"`
+	Error   string  `json:"error,omitempty"`
 }
 
 // WriteJSONLResult appends one result record to w as a compact JSON line.

@@ -1,0 +1,273 @@
+// Package faultinject is the build-tag-free fault-injection harness behind
+// the chaos test suites: a set of named sequence points in the batch pool
+// and the serving stack where an Injector can arm faults — solver panics,
+// slow shards, queue-return stalls, deadline overruns, σ-cache drops, and
+// response-path stalls — either probabilistically (seeded, reproducible) or
+// on exact hit counts.
+//
+// The zero value of the integration is "no faults, no cost": every
+// production call site holds a *Injector that is nil by default, and every
+// method is safe (and trivially cheap) on a nil receiver. There is no build
+// tag; chaos coverage runs in the ordinary test binary and in ordinary
+// builds when an operator arms it, so the code path the chaos suite proves
+// is byte-for-byte the production code path.
+package faultinject
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Point names one instrumented location. Each point is hit (counted) every
+// time execution passes it, and fires only when an armed rule triggers.
+type Point uint8
+
+const (
+	// SolvePanic panics inside a batch shard's solve, within the pool's
+	// recover scope — the "solver bug" fault. The chaos suite proves a
+	// panicking shard resolves its ticket with an error, keeps the pool
+	// counters consistent, and never wedges the queue-token semaphore.
+	SolvePanic Point = iota
+	// ShardSlow stalls a shard for the rule's Delay before it starts
+	// solving, waking early if the instance's context fires — the
+	// "overloaded machine" fault behind the drain-under-stall tests.
+	ShardSlow
+	// QueueStall stalls the return of a dequeued instance's queue-slot
+	// token, so the bounded queue looks full longer than the work it
+	// holds — the "queue not draining" fault admission control must
+	// tolerate.
+	QueueStall
+	// DeadlineOverrun stalls after a solve completes without honoring the
+	// instance context — a solver that ignores cancellation and overruns
+	// its deadline. Unlike ShardSlow the stall does not wake on ctx.Done:
+	// that is the fault.
+	DeadlineOverrun
+	// SigmaDrop makes the pool's per-alphabet σ cache treat a lookup as a
+	// miss, recompiling the matrix fresh. The corruption guard: results
+	// must be byte-identical whether σ came from the cache or a fresh
+	// compile, so a run with SigmaDrop armed proves no solver depends on
+	// cached-matrix identity for correctness.
+	SigmaDrop
+	// ServeStall stalls the HTTP handler between admission and streaming,
+	// waking early if the request context fires — the fault that widens
+	// the drain and mid-stream-disconnect windows the serve chaos suite
+	// targets.
+	ServeStall
+
+	numPoints
+)
+
+var pointNames = [numPoints]string{
+	SolvePanic:      "solve-panic",
+	ShardSlow:       "shard-slow",
+	QueueStall:      "queue-stall",
+	DeadlineOverrun: "deadline-overrun",
+	SigmaDrop:       "sigma-drop",
+	ServeStall:      "serve-stall",
+}
+
+func (p Point) String() string {
+	if p < numPoints {
+		return pointNames[p]
+	}
+	return fmt.Sprintf("faultinject.Point(%d)", uint8(p))
+}
+
+// ParsePoint resolves a point name ("solve-panic", "shard-slow", ...) — the
+// csrserve -chaos flag grammar.
+func ParsePoint(name string) (Point, error) {
+	for p, n := range pointNames {
+		if n == name {
+			return Point(p), nil
+		}
+	}
+	return 0, fmt.Errorf("faultinject: unknown point %q", name)
+}
+
+// ParseRule parses one csrserve -chaos rule spec:
+//
+//	point[:p=PROB][:nth=N][:after=K][:d=DELAY]
+//
+// e.g. "shard-slow:p=0.05:d=50ms" (5% of solves stall 50ms) or
+// "solve-panic:nth=1000" (every 1000th solve panics).
+func ParseRule(spec string) (Rule, error) {
+	fields := strings.Split(spec, ":")
+	p, err := ParsePoint(fields[0])
+	if err != nil {
+		return Rule{}, err
+	}
+	r := Rule{Point: p}
+	for _, f := range fields[1:] {
+		key, val, ok := strings.Cut(f, "=")
+		if !ok {
+			return Rule{}, fmt.Errorf("faultinject: rule field %q is not key=value", f)
+		}
+		switch key {
+		case "p":
+			if r.Prob, err = strconv.ParseFloat(val, 64); err != nil || r.Prob < 0 || r.Prob > 1 {
+				return Rule{}, fmt.Errorf("faultinject: bad probability %q", val)
+			}
+		case "nth":
+			if r.Nth, err = strconv.Atoi(val); err != nil || r.Nth < 0 {
+				return Rule{}, fmt.Errorf("faultinject: bad nth %q", val)
+			}
+		case "after":
+			if r.After, err = strconv.Atoi(val); err != nil || r.After < 0 {
+				return Rule{}, fmt.Errorf("faultinject: bad after %q", val)
+			}
+		case "d":
+			if r.Delay, err = time.ParseDuration(val); err != nil || r.Delay < 0 {
+				return Rule{}, fmt.Errorf("faultinject: bad delay %q", val)
+			}
+		default:
+			return Rule{}, fmt.Errorf("faultinject: unknown rule field %q", key)
+		}
+	}
+	return r, nil
+}
+
+// ParseRules parses a comma-separated list of rule specs (the full -chaos
+// flag value). An empty string arms nothing.
+func ParseRules(specs string) ([]Rule, error) {
+	if specs == "" {
+		return nil, nil
+	}
+	var rules []Rule
+	for _, spec := range strings.Split(specs, ",") {
+		r, err := ParseRule(strings.TrimSpace(spec))
+		if err != nil {
+			return nil, err
+		}
+		rules = append(rules, r)
+	}
+	return rules, nil
+}
+
+// Rule arms one point. A rule triggers on a hit when the hit's (1-based)
+// sequence number matches the rule's sequence condition AND the seeded coin
+// passes. Prob 0 is treated as 1 (pure sequence rules stay deterministic);
+// Nth/After 0 match every hit (pure probability rules).
+type Rule struct {
+	Point Point
+	// Prob is the per-hit trigger probability in (0, 1]; 0 means always
+	// (the rule is then purely sequence-conditioned).
+	Prob float64
+	// Nth triggers on hits whose sequence number is a multiple of Nth
+	// (1-based); 0 matches every hit.
+	Nth int
+	// After suppresses the rule for the first After hits; 0 arms it
+	// immediately.
+	After int
+	// Delay is the stall duration for the stall-type points (ShardSlow,
+	// QueueStall, DeadlineOverrun, ServeStall); ignored by SolvePanic and
+	// SigmaDrop.
+	Delay time.Duration
+}
+
+// Injector decides, per hit, whether an armed fault fires. Safe for
+// concurrent use; all methods are no-ops on a nil receiver, which is the
+// production default.
+type Injector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules [numPoints][]Rule
+	hits  [numPoints]atomic.Int64
+	fired [numPoints]atomic.Int64
+}
+
+// New builds an injector over a seeded coin; the same seed and hit sequence
+// reproduce the same fault sequence.
+func New(seed int64, rules ...Rule) *Injector {
+	inj := &Injector{rng: rand.New(rand.NewSource(seed))}
+	for _, r := range rules {
+		if r.Point < numPoints {
+			inj.rules[r.Point] = append(inj.rules[r.Point], r)
+		}
+	}
+	return inj
+}
+
+// Fire records a hit at p and reports whether an armed rule triggers,
+// returning the triggering rule's Delay. Nil injectors (and unarmed
+// points) never fire.
+func (inj *Injector) Fire(p Point) (bool, time.Duration) {
+	if inj == nil || p >= numPoints {
+		return false, 0
+	}
+	if len(inj.rules[p]) == 0 {
+		inj.hits[p].Add(1)
+		return false, 0
+	}
+	n := inj.hits[p].Add(1)
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	for _, r := range inj.rules[p] {
+		if int64(r.After) >= n {
+			continue
+		}
+		if r.Nth > 1 && n%int64(r.Nth) != 0 {
+			continue
+		}
+		if r.Prob > 0 && r.Prob < 1 && inj.rng.Float64() >= r.Prob {
+			continue
+		}
+		inj.fired[p].Add(1)
+		return true, r.Delay
+	}
+	return false, 0
+}
+
+// Fires is Fire for points whose fault has no duration (SolvePanic,
+// SigmaDrop).
+func (inj *Injector) Fires(p Point) bool {
+	fired, _ := inj.Fire(p)
+	return fired
+}
+
+// Stall fires p and, when it triggers with a positive delay, sleeps for the
+// delay or until ctx is done, whichever comes first (nil ctx never wakes the
+// stall early). It reports whether the point fired.
+func (inj *Injector) Stall(ctx context.Context, p Point) bool {
+	fired, d := inj.Fire(p)
+	if !fired || d <= 0 {
+		return fired
+	}
+	if ctx == nil {
+		time.Sleep(d)
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+	return true
+}
+
+// StallHard is Stall without a context: the stall runs its full delay even
+// if the surrounding work was canceled — the DeadlineOverrun semantics.
+func (inj *Injector) StallHard(p Point) bool { return inj.Stall(nil, p) }
+
+// Hits returns the number of times p was passed; Fired the number of times
+// an armed rule triggered there. Both are 0 on a nil injector.
+func (inj *Injector) Hits(p Point) int64 {
+	if inj == nil || p >= numPoints {
+		return 0
+	}
+	return inj.hits[p].Load()
+}
+
+// Fired returns the number of times p's armed rules triggered.
+func (inj *Injector) Fired(p Point) int64 {
+	if inj == nil || p >= numPoints {
+		return 0
+	}
+	return inj.fired[p].Load()
+}

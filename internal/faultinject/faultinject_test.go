@@ -1,0 +1,162 @@
+package faultinject
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilInjectorNeverFires: every method must be a safe no-op on the nil
+// receiver — the production default.
+func TestNilInjectorNeverFires(t *testing.T) {
+	var inj *Injector
+	for p := Point(0); p < numPoints; p++ {
+		if fired, d := inj.Fire(p); fired || d != 0 {
+			t.Fatalf("nil injector fired at %v", p)
+		}
+		if inj.Fires(p) || inj.Stall(context.Background(), p) || inj.StallHard(p) {
+			t.Fatalf("nil injector triggered at %v", p)
+		}
+		if inj.Hits(p) != 0 || inj.Fired(p) != 0 {
+			t.Fatalf("nil injector counted at %v", p)
+		}
+	}
+}
+
+// TestSequenceRule: Nth/After conditions are exact and deterministic.
+func TestSequenceRule(t *testing.T) {
+	inj := New(1, Rule{Point: SolvePanic, Nth: 3, After: 3})
+	var fires []int
+	for i := 1; i <= 12; i++ {
+		if inj.Fires(SolvePanic) {
+			fires = append(fires, i)
+		}
+	}
+	want := []int{6, 9, 12} // multiples of 3 after the first 3 hits
+	if len(fires) != len(want) {
+		t.Fatalf("fired on hits %v, want %v", fires, want)
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("fired on hits %v, want %v", fires, want)
+		}
+	}
+	if inj.Hits(SolvePanic) != 12 || inj.Fired(SolvePanic) != 3 {
+		t.Fatalf("hits %d fired %d, want 12/3", inj.Hits(SolvePanic), inj.Fired(SolvePanic))
+	}
+}
+
+// TestProbabilityRuleReproducible: the same seed reproduces the same fault
+// sequence, and the empirical rate is in the right ballpark.
+func TestProbabilityRuleReproducible(t *testing.T) {
+	run := func() []bool {
+		inj := New(42, Rule{Point: ShardSlow, Prob: 0.3})
+		out := make([]bool, 1000)
+		for i := range out {
+			out[i], _ = inj.Fire(ShardSlow)
+		}
+		return out
+	}
+	a, b := run(), run()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("hit %d diverged across same-seed runs", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired < 200 || fired > 400 {
+		t.Fatalf("Prob 0.3 fired %d/1000", fired)
+	}
+}
+
+// TestStallWakesOnContext: a canceled context cuts a Stall short, while
+// StallHard runs the full delay regardless.
+func TestStallWakesOnContext(t *testing.T) {
+	inj := New(1,
+		Rule{Point: ShardSlow, Delay: 5 * time.Second},
+		Rule{Point: DeadlineOverrun, Delay: 20 * time.Millisecond})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if !inj.Stall(ctx, ShardSlow) {
+		t.Fatal("armed stall did not fire")
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("canceled stall slept %v", el)
+	}
+	start = time.Now()
+	if !inj.StallHard(DeadlineOverrun) {
+		t.Fatal("armed hard stall did not fire")
+	}
+	if el := time.Since(start); el < 20*time.Millisecond {
+		t.Fatalf("hard stall cut short at %v", el)
+	}
+}
+
+// TestConcurrentFire: counters stay consistent under concurrent hits (the
+// -race guard for the injector itself).
+func TestConcurrentFire(t *testing.T) {
+	inj := New(7, Rule{Point: QueueStall, Prob: 0.5})
+	var wg sync.WaitGroup
+	const workers, each = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				inj.Fire(QueueStall)
+			}
+		}()
+	}
+	wg.Wait()
+	if inj.Hits(QueueStall) != workers*each {
+		t.Fatalf("hits %d, want %d", inj.Hits(QueueStall), workers*each)
+	}
+	if f := inj.Fired(QueueStall); f <= 0 || f >= workers*each {
+		t.Fatalf("fired %d out of range", f)
+	}
+}
+
+// TestParsePoint round-trips every point name.
+func TestParsePoint(t *testing.T) {
+	for p := Point(0); p < numPoints; p++ {
+		got, err := ParsePoint(p.String())
+		if err != nil || got != p {
+			t.Fatalf("ParsePoint(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := ParsePoint("bogus"); err == nil {
+		t.Fatal("ParsePoint accepted garbage")
+	}
+}
+
+func TestParseRules(t *testing.T) {
+	rules, err := ParseRules("shard-slow:p=0.05:d=50ms, solve-panic:nth=1000:after=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Rule{
+		{Point: ShardSlow, Prob: 0.05, Delay: 50 * time.Millisecond},
+		{Point: SolvePanic, Nth: 1000, After: 10},
+	}
+	if len(rules) != len(want) {
+		t.Fatalf("got %d rules, want %d", len(rules), len(want))
+	}
+	for i := range want {
+		if rules[i] != want[i] {
+			t.Fatalf("rule %d = %+v, want %+v", i, rules[i], want[i])
+		}
+	}
+	if r, err := ParseRules(""); err != nil || r != nil {
+		t.Fatalf("empty spec: %v, %v", r, err)
+	}
+	for _, bad := range []string{"bogus", "shard-slow:p=2", "shard-slow:d=-1s", "shard-slow:x=1", "shard-slow:p"} {
+		if _, err := ParseRules(bad); err == nil {
+			t.Fatalf("ParseRules accepted %q", bad)
+		}
+	}
+}

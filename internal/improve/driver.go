@@ -89,6 +89,13 @@ type Options struct {
 	// -lazy=false). FullEnum and FullReeval imply it: both oracles re-walk
 	// the full candidate list by definition.
 	EagerSelect bool
+	// Partial degrades cancellation gracefully: when Ctx fires mid-solve,
+	// the driver stops at the next sub-round check and returns the last
+	// accepted state as a valid solution with Stats.Partial set, instead of
+	// the context error. The result is exactly what an uncanceled run would
+	// have produced after the same accepted attempts — consistent, and (in
+	// the quantized modes) re-scored under the true σ.
+	Partial bool
 	// minGain is an internal acceptance floor. The quantized path sets it
 	// to half a quantum: every true gain is a whole multiple of the
 	// quantum, so the floor only rejects floating-point noise around zero.
@@ -133,6 +140,10 @@ type Stats struct {
 	// round, so EnumReused is zero and EnumRefreshed counts pieces×rounds.
 	EnumRefreshed int
 	EnumReused    int
+	// Partial reports that the run was cut short by its context under
+	// Options.Partial: the returned solution is the last accepted state,
+	// not a local optimum.
+	Partial bool
 }
 
 // Improve runs the selected iterative-improvement algorithm to a local
@@ -314,6 +325,10 @@ func Improve(in *core.Instance, opt Options) (*core.Solution, Stats, error) {
 	)
 	for stats.Rounds = 0; stats.Rounds < maxRounds; stats.Rounds++ {
 		if err := canceled(); err != nil {
+			if opt.Partial {
+				stats.Partial = true
+				break
+			}
 			return nil, stats, err
 		}
 		if fullEnum {
@@ -321,6 +336,10 @@ func Improve(in *core.Instance, opt Options) (*core.Solution, Stats, error) {
 		}
 		cands := en.Candidates(enumView{st: st}, runShards)
 		if err := canceled(); err != nil {
+			if opt.Partial {
+				stats.Partial = true
+				break
+			}
 			return nil, stats, err
 		}
 		stats.Evaluated += len(cands)
@@ -385,6 +404,10 @@ func Improve(in *core.Instance, opt Options) (*core.Solution, Stats, error) {
 			batch.wait()
 		}
 		if err := canceled(); err != nil {
+			if opt.Partial {
+				stats.Partial = true
+				break
+			}
 			return nil, stats, err
 		}
 		if !opt.FullReeval {

@@ -1,0 +1,152 @@
+package improve
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/score"
+)
+
+// TestImprovePartialDegradesGracefully cancels the solver at every depth the
+// deterministic probe can reach and checks the Partial contract: no error, a
+// consistent solution whose accepted-attempt sequence is a prefix of the
+// uncanceled run's, and a score that never falls below the seed.
+func TestImprovePartialDegradesGracefully(t *testing.T) {
+	cfg := gen.DefaultConfig(5)
+	cfg.Regions = 40
+	w := gen.Generate(cfg)
+	in := w.Instance
+
+	var fullAccepts []candKey
+	full, fullStats, err := Improve(in, Options{
+		Eps: 0.05, SeedWithFourApprox: true,
+		onAccept: func(k candKey) { fullAccepts = append(fullAccepts, k) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fullStats.Partial {
+		t.Fatal("uncanceled run reported Partial")
+	}
+
+	for _, after := range []int64{0, 1, 7, 50, 400, 100000} {
+		var accepts []candKey
+		ctx := newCountCtx(after)
+		sol, stats, err := Improve(in, Options{
+			Eps: 0.05, SeedWithFourApprox: true, Ctx: ctx, Partial: true,
+			onAccept: func(k candKey) { accepts = append(accepts, k) },
+		})
+		if err != nil {
+			t.Fatalf("after %d polls: err = %v, want graceful partial", after, err)
+		}
+		if sol == nil {
+			t.Fatalf("after %d polls: nil solution", after)
+		}
+		if err := sol.Validate(in); err != nil {
+			t.Fatalf("after %d polls: inconsistent partial solution: %v", after, err)
+		}
+		if _, err := sol.BuildConjecture(in); err != nil {
+			t.Fatalf("after %d polls: unrealizable partial solution: %v", after, err)
+		}
+		if len(accepts) > len(fullAccepts) ||
+			!reflect.DeepEqual(accepts, fullAccepts[:len(accepts)]) {
+			t.Fatalf("after %d polls: accepted sequence %v is not a prefix of %v",
+				after, accepts, fullAccepts)
+		}
+		if ctx.polls.Load() > after {
+			// The probe actually fired mid-solve.
+			if !stats.Partial {
+				t.Fatalf("after %d polls: canceled run did not report Partial", after)
+			}
+			if sol.Score() > full.Score() {
+				t.Fatalf("after %d polls: partial score %v exceeds converged %v",
+					after, sol.Score(), full.Score())
+			}
+		} else {
+			// The solve converged before the probe fired: identical to full.
+			if stats.Partial {
+				t.Fatalf("after %d polls: completed run reported Partial", after)
+			}
+			if sol.Score() != full.Score() || !reflect.DeepEqual(sol.Matches, full.Matches) {
+				t.Fatalf("after %d polls: completed run diverged from reference", after)
+			}
+		}
+	}
+}
+
+// TestImprovePartialQuantizedModes checks Partial propagates through the
+// IntScore and Quantize shadow recursions, and that the partial solution's
+// cached match scores are exact under the true σ (the dequantization
+// boundary still runs).
+func TestImprovePartialQuantizedModes(t *testing.T) {
+	cfg := gen.DefaultConfig(9)
+	cfg.Regions = 40
+	w := gen.Generate(cfg)
+	in := w.Instance
+	for _, mode := range []struct {
+		name string
+		opt  Options
+	}{
+		{"int", Options{Eps: 0.05, SeedWithFourApprox: true, IntScore: true, Partial: true}},
+		{"quantize", Options{Eps: 0.05, SeedWithFourApprox: true, Quantize: true, Partial: true}},
+		{"quantize-int", Options{Eps: 0.05, SeedWithFourApprox: true, Quantize: true, IntScore: true, Partial: true}},
+	} {
+		opt := mode.opt
+		ctx := newCountCtx(20)
+		opt.Ctx = ctx
+		sol, stats, err := Improve(in, opt)
+		if err != nil {
+			t.Fatalf("%s: err = %v, want graceful partial", mode.name, err)
+		}
+		if ctx.polls.Load() > 20 && !stats.Partial {
+			t.Fatalf("%s: canceled run did not report Partial", mode.name)
+		}
+		if err := sol.Validate(in); err != nil {
+			t.Fatalf("%s: inconsistent partial solution: %v", mode.name, err)
+		}
+		// Score exactness: re-scoring under the true σ must be a no-op.
+		re := Rescore(in, sol, score.Prepare(in.Sigma, in.MaxSymbolID()))
+		if re.Score() != sol.Score() {
+			t.Fatalf("%s: partial score %v not exact under true σ (want %v)",
+				mode.name, sol.Score(), re.Score())
+		}
+		if stats.Final != sol.Score() {
+			t.Fatalf("%s: Stats.Final %v != solution score %v", mode.name, stats.Final, sol.Score())
+		}
+	}
+}
+
+// TestImprovePartialLazyEngine exercises the Partial path of the lazy
+// selection engine specifically (the default path), including an immediate
+// pre-round cancellation that must hand back the seed.
+func TestImprovePartialLazyEngine(t *testing.T) {
+	cfg := gen.DefaultConfig(11)
+	cfg.Regions = 40
+	w := gen.Generate(cfg)
+	in := w.Instance
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // dead before the first round
+	sol, stats, err := Improve(in, Options{
+		Eps: 0.05, SeedWithFourApprox: true, Ctx: ctx, Partial: true,
+	})
+	if err != nil {
+		t.Fatalf("err = %v, want graceful partial", err)
+	}
+	if !stats.Partial || stats.Accepted != 0 {
+		t.Fatalf("pre-round cancel: stats %+v, want Partial with 0 accepts", stats)
+	}
+	if err := sol.Validate(in); err != nil {
+		t.Fatalf("seed hand-back invalid: %v", err)
+	}
+	if sol.Score() <= 0 {
+		t.Fatalf("4-approx seed hand-back scored %v, want > 0", sol.Score())
+	}
+	// Without Partial the same cancellation is still the hard error.
+	if _, _, err := Improve(in, Options{
+		Eps: 0.05, SeedWithFourApprox: true, Ctx: ctx,
+	}); err != context.Canceled {
+		t.Fatalf("non-partial canceled run: err = %v, want context.Canceled", err)
+	}
+}

@@ -381,6 +381,10 @@ func improveLazy(opt Options, st *state, en *enum.Enumerator,
 	)
 	for stats.Rounds = 0; stats.Rounds < maxRounds; stats.Rounds++ {
 		if err := canceled(); err != nil {
+			if opt.Partial {
+				stats.Partial = true
+				return nil
+			}
 			return err
 		}
 		// Targeted enumeration repair: only pieces whose values moved
@@ -388,6 +392,10 @@ func improveLazy(opt Options, st *state, en *enum.Enumerator,
 		// and its cached gain.
 		sel.repair(en, en.Repair(enumView{st: st}, runShards))
 		if err := canceled(); err != nil {
+			if opt.Partial {
+				stats.Partial = true
+				return nil
+			}
 			return err
 		}
 		// Refill: the stale frontier — conceptually the run of +∞-keyed
@@ -438,7 +446,14 @@ func improveLazy(opt Options, st *state, en *enum.Enumerator,
 			}
 			batch.wait()
 		}
+		// This check runs before sel.record, so aborting here leaves the
+		// live state exactly at the last accepted attempt — the partial
+		// result contract.
 		if err := canceled(); err != nil {
+			if opt.Partial {
+				stats.Partial = true
+				return nil
+			}
 			return err
 		}
 		for i, id := range frontier {

@@ -29,6 +29,7 @@ type counters struct {
 	enumReused     atomic.Int64
 	bytesStreamed  atomic.Int64 // result bytes written to clients
 	recordsWritten atomic.Int64 // result records written to clients
+	partials       atomic.Int64 // instances resolved as partial (graceful degradation)
 }
 
 func (c *counters) addImprove(st *fragalign.ImproveStats) {
@@ -49,6 +50,25 @@ type Metrics struct {
 	Pool    PoolMetrics    `json:"pool"`
 	Server  ServerMetrics  `json:"server"`
 	Improve ImproveMetrics `json:"improve"`
+	// TenantsDetail breaks admission and σ-affinity down per tenant key.
+	// Bounded: entries live exactly as long as the σ-affinity LRU keeps the
+	// tenant, so the map cannot grow past the tenant-cache bound (plus
+	// currently active tenants). Unidentified requests are not listed.
+	TenantsDetail map[string]TenantMetrics `json:"tenants_detail"`
+}
+
+// TenantMetrics is one tenant's live admission and σ-affinity state.
+type TenantMetrics struct {
+	InFlight int     `json:"in_flight"` // instances submitted, unresolved
+	Weight   float64 `json:"weight"`
+	Admitted int64   `json:"admitted"` // cumulative instances admitted
+	Rejected int64   `json:"rejected"` // cumulative requests refused 429
+	// SigmaHits / SigmaMisses count the tenant interner's σ-content cache
+	// traffic: misses are fresh alphabet/table builds, hits reuse the
+	// tenant's interned identity (what the batch pool's compile cache
+	// keys on).
+	SigmaHits   int64 `json:"sigma_hits"`
+	SigmaMisses int64 `json:"sigma_misses"`
 }
 
 // PoolMetrics mirrors fragalign.BatchCounters plus derived rates.
@@ -81,6 +101,7 @@ type ServerMetrics struct {
 	MeanSolveMS      float64 `json:"mean_solve_ms"`
 	RecordsWritten   int64   `json:"records_written"`
 	BytesStreamed    int64   `json:"bytes_streamed"`
+	PartialResults   int64   `json:"partial_results"` // gracefully degraded instances
 	Tenants          int     `json:"tenants"` // live σ-affinity interners
 	UptimeSeconds    float64 `json:"uptime_seconds"`
 }
@@ -144,6 +165,7 @@ func (s *Server) snapshot() Metrics {
 			MeanSolveMS:      mean,
 			RecordsWritten:   s.ctr.recordsWritten.Load(),
 			BytesStreamed:    s.ctr.bytesStreamed.Load(),
+			PartialResults:   s.ctr.partials.Load(),
 			Tenants:          s.tenants.len(),
 			UptimeSeconds:    time.Since(s.started).Seconds(),
 		},
@@ -157,5 +179,6 @@ func (s *Server) snapshot() Metrics {
 			EnumRefreshed: s.ctr.enumRefreshed.Load(),
 			EnumReused:    s.ctr.enumReused.Load(),
 		},
+		TenantsDetail: s.tenants.detail(),
 	}
 }

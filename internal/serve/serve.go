@@ -14,15 +14,24 @@
 //	GET  /healthz    200 "ok" while serving, 503 "draining" after drain
 //	                 starts — the load-balancer eviction signal.
 //
-// Admission control is enforced at the request boundary: the first
-// instance of a request is admitted with the pool's non-blocking
-// TrySubmit, and when the bounded queue has no free slot the whole request
-// is refused with 429 plus a Retry-After estimate — the daemon sheds load
-// instead of absorbing it. Once a request is admitted, its remaining
-// instances use blocking submission: within one admitted stream the
-// bounded queue exerts ordinary backpressure on the request body, exactly
-// the csrbatch semantics, which keeps an admitted request's results
-// byte-identical to a csrbatch run over the same input (wall_ms aside).
+// Admission control is enforced at the request boundary, per tenant: the
+// first instance of a request passes weighted max-min fair admission
+// (admission.go) — a tenant below its fair share of the queue is admitted
+// even under load (blocking submission), a tenant at or above its share
+// only gets the queue's actual slack (non-blocking submission), and an
+// over-share tenant is refused 429 with a Retry-After keyed to its own
+// drain estimate. A solo tenant's share is the whole capacity, so
+// single-tenant servers shed load exactly as before. Once a request is
+// admitted, its remaining instances use blocking submission: within one
+// admitted stream the bounded queue exerts ordinary backpressure on the
+// request body, exactly the csrbatch semantics, which keeps an admitted
+// request's results byte-identical to a csrbatch run over the same input
+// (wall_ms aside).
+//
+// Graceful degradation: with ?partial=1 (or the server-wide Partial
+// option) an instance whose deadline fires mid-improvement resolves as a
+// "partial": true record carrying the last accepted solution — score exact
+// under the true σ — instead of a deadline error.
 //
 // Graceful drain (Server.StartDrain, wired to SIGTERM by csrserve) flips
 // /healthz to 503 and refuses new /v1/solve requests with 503 while
@@ -45,6 +54,7 @@ import (
 	fragalign "repro"
 	"repro/internal/core"
 	"repro/internal/encoding"
+	"repro/internal/faultinject"
 )
 
 // Options configures a Server.
@@ -64,6 +74,25 @@ type Options struct {
 	MaxBody int64
 	// Tenants bounds the σ-affinity interner cache; 0 means 64.
 	Tenants int
+	// TenantMaxInflight caps any one tenant's in-flight instances; a
+	// request whose tenant is at the cap is refused 429 regardless of
+	// queue headroom. 0 means no per-tenant cap.
+	TenantMaxInflight int
+	// TenantWeights gives named tenants a fair-share weight (default 1);
+	// shares are proportional to weight over the active tenant set.
+	TenantWeights map[string]float64
+	// AdmitCapacity overrides the fair-share capacity denominator; 0
+	// derives it from the pool's queue bound.
+	AdmitCapacity int
+	// Partial makes graceful degradation the server default: deadline
+	// failures mid-improvement resolve as partial records for every
+	// request that does not say ?partial=0. Off by default — requests
+	// opt in with ?partial=1.
+	Partial bool
+	// Inject arms the serve-side chaos point (faultinject.ServeStall) and
+	// is handed nowhere else; pool-side points are armed on the pool
+	// itself. Nil — the default — injects nothing.
+	Inject *faultinject.Injector
 }
 
 // Server is the HTTP daemon. Create with New, mount as an http.Handler.
@@ -93,7 +122,7 @@ func New(opts Options) (*Server, error) {
 	s := &Server{
 		opts:    opts,
 		mux:     http.NewServeMux(),
-		tenants: newTenantCache(opts.Tenants),
+		tenants: newTenantCache(opts.Tenants, opts.TenantWeights, 1),
 		started: time.Now(),
 	}
 	s.mux.HandleFunc("/v1/solve", s.handleSolve)
@@ -164,6 +193,47 @@ func (s *Server) retryAfterSeconds() int {
 	return secs
 }
 
+// retryAfterTenant estimates how long a tenant refused by fair admission
+// should back off: the time its own queue excess needs to drain across the
+// shards, from the observed mean solve time (1s before any observation),
+// clamped to [1s, 60s] whole seconds. A heavily over-share tenant is told
+// to stay away longer than one nudging its cap — per-tenant backoff, not a
+// global constant.
+func (s *Server) retryAfterTenant(excess int) int {
+	mean := time.Second
+	if solved := s.ctr.instancesOK.Load(); solved > 0 {
+		mean = time.Duration(s.ctr.solveNanos.Load() / solved)
+	}
+	shards := s.opts.Pool.Shards()
+	if shards < 1 {
+		shards = 1
+	}
+	if excess < 1 {
+		excess = 1
+	}
+	est := mean * time.Duration(excess) / time.Duration(shards)
+	secs := int(math.Ceil(est.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
+// admitCapacity is the fair-share denominator: the configured override, or
+// the pool's queue bound.
+func (s *Server) admitCapacity() int {
+	if s.opts.AdmitCapacity > 0 {
+		return s.opts.AdmitCapacity
+	}
+	if qc := s.opts.Pool.Counters().QueueCap; qc > 0 {
+		return qc
+	}
+	return 1
+}
+
 // pending is one instance's place in a request's pipeline, mirroring the
 // csrbatch sink structure.
 type pending struct {
@@ -171,7 +241,8 @@ type pending struct {
 	cancel context.CancelFunc
 	index  int
 	name   string
-	err    error // submission-time failure (deadline hit while queued)
+	ten    *tenantEntry // non-nil iff an in-flight reservation is held
+	err    error        // submission-time failure (deadline hit while queued)
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -207,6 +278,17 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if s.opts.MaxTimeout > 0 && (timeout == 0 || timeout > s.opts.MaxTimeout) {
 		timeout = s.opts.MaxTimeout
 	}
+	partial := s.opts.Partial
+	switch q.Get("partial") {
+	case "":
+	case "1", "true":
+		partial = true
+	case "0", "false":
+		partial = false
+	default:
+		http.Error(w, "partial must be 0 or 1", http.StatusBadRequest)
+		return
+	}
 	tenant := r.Header.Get("X-Tenant")
 	if t := q.Get("tenant"); t != "" {
 		tenant = t
@@ -225,44 +307,66 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	si := s.tenants.get(tenant)
+	ten := s.tenants.acquire(tenant)
+	defer s.tenants.release(ten)
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBody)
 	reqCtx := r.Context()
+	subCtx := reqCtx
+	if partial {
+		subCtx = fragalign.ContextWithPartial(reqCtx)
+	}
 
 	// Reader goroutine: parse and submit, blocking on the bounded queue for
 	// backpressure — except the request's first instance, which must clear
-	// non-blocking admission or the whole request is refused 429 before any
-	// response byte is written.
+	// per-tenant fair admission (admission.go) or the whole request is
+	// refused 429 before any response byte is written.
 	var errRejected = errors.New("serve: admission refused")
+	capacity := s.admitCapacity()
+	rejectExcess := 1 // sizes the Retry-After hint when errRejected
 	buf := 2 * s.opts.Pool.Shards()
 	tickets := make(chan pending, buf)
 	var readErr error
 	go func() {
 		defer close(tickets)
 		index := 0
-		readErr = encoding.ReadJSONLWith(body, si, func(in *core.Instance) error {
-			ictx := reqCtx
+		readErr = encoding.ReadJSONLWith(body, ten.si, func(in *core.Instance) error {
+			ictx := subCtx
 			var cancel context.CancelFunc
 			if timeout > 0 {
-				ictx, cancel = context.WithTimeout(reqCtx, timeout)
+				ictx, cancel = context.WithTimeout(subCtx, timeout)
 			}
 			var t Ticket
 			var err error
 			if index == 0 {
-				t, err = s.opts.Pool.TrySubmit(ictx, in)
-				if errors.Is(err, fragalign.ErrQueueFull) {
+				dec, excess := s.tenants.admitFirst(ten, capacity, s.opts.TenantMaxInflight)
+				switch dec {
+				case admitReject:
 					if cancel != nil {
 						cancel()
 					}
+					rejectExcess = excess
 					return errRejected
+				case admitSlack:
+					t, err = s.opts.Pool.TrySubmit(ictx, in)
+					if errors.Is(err, fragalign.ErrQueueFull) {
+						if cancel != nil {
+							cancel()
+						}
+						s.tenants.unadmit(ten)
+						return errRejected
+					}
+				default: // admitGuaranteed
+					t, err = s.opts.Pool.Submit(ictx, in)
 				}
 			} else {
+				s.tenants.reserve(ten)
 				t, err = s.opts.Pool.Submit(ictx, in)
 			}
 			if err != nil {
 				// Per-instance submission failure (deadline or cancellation
 				// while queued): record it, keep the stream going — unless
 				// the whole request is gone.
+				s.tenants.finishInstance(ten)
 				if cancel != nil {
 					cancel()
 				}
@@ -273,11 +377,15 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 				index++
 				return nil
 			}
-			tickets <- pending{ticket: t, cancel: cancel, index: index, name: in.Name}
+			tickets <- pending{ticket: t, cancel: cancel, index: index, name: in.Name, ten: ten}
 			index++
 			return nil
 		})
 	}()
+
+	// Injected handler stall (chaos: widens the drain and mid-stream
+	// disconnect windows between admission and streaming).
+	s.opts.Inject.Stall(reqCtx, faultinject.ServeStall)
 
 	// The single writer: resolve pendings (in submission or completion
 	// order), stream records, flush per record so clients consume results
@@ -334,9 +442,10 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 	switch {
 	case errors.Is(readErr, errRejected):
-		// Nothing admitted, nothing written: refuse the whole request.
+		// Nothing admitted, nothing written: refuse the whole request with
+		// the rejected tenant's own drain estimate.
 		s.ctr.rejected.Add(1)
-		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterTenant(rejectExcess)))
 		http.Error(w, "queue full", http.StatusTooManyRequests)
 	case readErr != nil && reqCtx.Err() == nil:
 		if !wroteAny {
@@ -366,6 +475,9 @@ func (s *Server) resolve(p pending) encoding.ResultRecord {
 	if p.cancel != nil {
 		p.cancel()
 	}
+	if p.ten != nil {
+		s.tenants.finishInstance(p.ten)
+	}
 	if err != nil {
 		s.ctr.instancesFail.Add(1)
 		rec.Error = err.Error()
@@ -380,6 +492,10 @@ func (s *Server) resolve(p pending) encoding.ResultRecord {
 	}
 	if res.Stats != nil {
 		rec.Rounds = res.Stats.Rounds
+		if res.Stats.Partial {
+			rec.Partial = true
+			s.ctr.partials.Add(1)
+		}
 		s.ctr.addImprove(res.Stats)
 	}
 	return rec

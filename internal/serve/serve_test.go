@@ -245,22 +245,56 @@ func (p *fakePool) contexts() []context.Context {
 	return append([]context.Context(nil), p.ctxs...)
 }
 
-// TestAdmission429: a full queue refuses the whole request before writing
-// any response byte — 429, Retry-After set, nothing streamed.
+// TestAdmission429: a tenant at its in-flight cap is refused before any
+// response byte is written — 429, Retry-After set, nothing streamed — while
+// an unrelated tenant still gets in.
 func TestAdmission429(t *testing.T) {
-	fp := &fakePool{reject: true}
-	s, err := New(Options{Pool: fp, Algorithm: "x"})
+	fp := &fakePool{block: true}
+	s, err := New(Options{Pool: fp, Algorithm: "x", TenantMaxInflight: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(s)
 	defer ts.Close()
 
-	body := jsonlBody(t, workloads(t, 3, 20))
-	resp, err := http.Post(ts.URL+"/v1/solve", "application/x-ndjson", bytes.NewReader(body))
+	// First request from t1 is admitted and parks on its blocked ticket
+	// (released by canceling the client context at the end).
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	pr, pw := io.Pipe()
+	go pw.Write(jsonlBody(t, workloads(t, 1, 20)))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/solve", pr)
 	if err != nil {
 		t.Fatal(err)
 	}
+	req.Header.Set("X-Tenant", "t1")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	waitFor(t, 5*time.Second, func() bool { return len(fp.contexts()) == 1 })
+
+	// Second t1 request hits the per-tenant cap: whole-request 429. (The
+	// ?timeout lets admitted requests resolve their blocked tickets.)
+	post := func(tenant string) *http.Response {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/solve?timeout=50ms",
+			bytes.NewReader(jsonlBody(t, workloads(t, 1, 20))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("X-Tenant", tenant)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	resp := post("t1")
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("status %d, want 429", resp.StatusCode)
@@ -274,6 +308,237 @@ func TestAdmission429(t *testing.T) {
 	if n := s.ctr.rejected.Load(); n != 1 {
 		t.Fatalf("rejected counter %d, want 1", n)
 	}
+
+	// A different tenant is unaffected by t1's cap.
+	resp2 := post("t2")
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode == http.StatusTooManyRequests {
+		t.Fatal("t2 refused because t1 is at its cap")
+	}
+
+	cancel()
+	pw.Close()
+	<-done
+}
+
+// TestAdmissionSlackQueueFull exercises the slack path end to end: an
+// at-share tenant's request falls back to non-blocking submission and is
+// refused when the queue is actually full, with the reservation rolled
+// back.
+func TestAdmissionSlackQueueFull(t *testing.T) {
+	// TrySubmit always fails (reject), Submit admits but blocks tickets:
+	// capacity 8, tenant "heavy" parks 4 in-flight instances (exactly its
+	// 8/2 share once "light" is active) across two held requests — two
+	// instances each, so every reader returns to its body read and the
+	// server can notice client disconnects at cleanup — and "light" parks
+	// 1. heavy's next request is at share with global headroom → slack →
+	// TrySubmit → 429.
+	fp := &fakePool{block: true, reject: true}
+	s, err := New(Options{Pool: fp, Algorithm: "x"}) // capacity = fake QueueCap = 8
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	hold := func(tenant string, n int) func() {
+		ctx, cancel := context.WithCancel(context.Background())
+		pr, pw := io.Pipe()
+		go pw.Write(jsonlBody(t, workloads(t, n, 20)))
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/solve", pr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("X-Tenant", tenant)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			resp, err := http.DefaultClient.Do(req)
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+		return func() { cancel(); pw.Close(); <-done }
+	}
+	finishHeavy1 := hold("heavy", 2)
+	defer finishHeavy1()
+	waitFor(t, 5*time.Second, func() bool { return len(fp.contexts()) == 2 })
+	finishHeavy2 := hold("heavy", 2)
+	defer finishHeavy2()
+	waitFor(t, 5*time.Second, func() bool { return len(fp.contexts()) == 4 })
+	finishLight := hold("light", 1)
+	defer finishLight()
+	waitFor(t, 5*time.Second, func() bool { return len(fp.contexts()) == 5 })
+
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/solve",
+		bytes.NewReader(jsonlBody(t, workloads(t, 1, 20))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Tenant", "heavy")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("slack-path status %d, want 429", resp.StatusCode)
+	}
+	// The failed slack reservation must roll back: heavy still shows
+	// exactly 4 in-flight instances, and the rejection is booked to it.
+	d := s.tenants.detail()
+	if h := d["heavy"]; h.InFlight != 4 || h.Rejected != 1 {
+		t.Fatalf("heavy after slack rejection: %+v", h)
+	}
+	if l := d["light"]; l.InFlight != 1 || l.Rejected != 0 {
+		t.Fatalf("light after heavy's rejection: %+v", l)
+	}
+}
+
+// TestAdmitFirstDecisions pins the fair-share decision table at the unit
+// level: guaranteed below share, slack at share with headroom, reject over
+// cap / over capacity / over the 2×capacity guaranteed bound, and
+// weight-proportional shares.
+func TestAdmitFirstDecisions(t *testing.T) {
+	const capacity = 8
+	tc := newTenantCache(16, map[string]float64{"vip": 3}, 1)
+	park := func(key string, n int) *tenantEntry {
+		e := tc.acquire(key)
+		for i := 0; i < n; i++ {
+			tc.reserve(e)
+		}
+		return e
+	}
+	decide := func(e *tenantEntry, maxInflight int) admitDecision {
+		d, _ := tc.admitFirst(e, capacity, maxInflight)
+		if d != admitReject {
+			// Roll the probe's reservation back so decisions stay
+			// independent.
+			tc.mu.Lock()
+			e.inflight--
+			tc.total--
+			e.admitted--
+			tc.mu.Unlock()
+		}
+		return d
+	}
+
+	// Solo tenant: whole capacity is its share.
+	solo := park("solo", 0)
+	if d := decide(solo, 0); d != admitGuaranteed {
+		t.Fatalf("fresh solo tenant: %v, want guaranteed", d)
+	}
+	park("solo", capacity-1) // share-1 in flight: still guaranteed
+	if d := decide(solo, 0); d != admitGuaranteed {
+		t.Fatalf("solo below share: %v, want guaranteed", d)
+	}
+	tc.reserve(solo) // at share AND at capacity: no slack left
+	if d := decide(solo, 0); d != admitReject {
+		t.Fatalf("solo at capacity: %v, want reject", d)
+	}
+	for i := 0; i < capacity; i++ {
+		tc.finishInstance(solo)
+	}
+
+	// Two equal tenants split the capacity 4/4; the under-share one is
+	// guaranteed even while the other holds 6.
+	heavy := park("heavy", 6)
+	light := park("light", 1)
+	if d := decide(light, 0); d != admitGuaranteed {
+		t.Fatalf("under-share tenant: %v, want guaranteed", d)
+	}
+	if d := decide(heavy, 0); d != admitSlack {
+		t.Fatalf("over-share tenant with headroom: %v, want slack", d)
+	}
+	park("heavy", 1) // total now 8 = capacity: no slack
+	if d := decide(heavy, 0); d != admitReject {
+		t.Fatalf("over-share tenant without headroom: %v, want reject", d)
+	}
+	// The under-share tenant still gets the guaranteed path past a full
+	// queue — the point of fair admission.
+	if d := decide(light, 0); d != admitGuaranteed {
+		t.Fatalf("under-share tenant at full queue: %v, want guaranteed", d)
+	}
+
+	// Per-tenant cap trumps share.
+	if d := decide(light, 1); d != admitReject {
+		t.Fatalf("tenant at its cap: %v, want reject", d)
+	}
+
+	// Weighted share: vip (weight 3) vs heavy+light (1 each) gets
+	// 8·3/5 = 4 guaranteed slots even with the queue saturated; its 5th
+	// would be over share.
+	vip := park("vip", 3)
+	if d := decide(vip, 0); d != admitGuaranteed {
+		t.Fatalf("weighted tenant below its share: %v, want guaranteed", d)
+	}
+	park("vip", 1)
+	if d := decide(vip, 0); d != admitReject {
+		t.Fatalf("weighted tenant at share, queue full: %v, want reject", d)
+	}
+
+	// Hard global bound: guaranteed admission stops at 2×capacity.
+	fresh := park("glutton", 0)
+	tc.mu.Lock()
+	for tc.total < 2*capacity {
+		fresh.inflight++
+		tc.total++
+	}
+	tc.mu.Unlock()
+	newbie := park("newbie", 0)
+	if d := decide(newbie, 0); d != admitReject {
+		t.Fatalf("fresh tenant past 2×capacity: %v, want reject", d)
+	}
+}
+
+// TestTenantEvictionPinning is the regression test for the evict-then-
+// recreate race: an entry held by a live request must never be evicted, so
+// two concurrent requests of one tenant always share one interner.
+func TestTenantEvictionPinning(t *testing.T) {
+	tc := newTenantCache(1, nil, 1)
+	a1 := tc.acquire("a")
+	b := tc.acquire("b") // over the bound: "a" is pinned, so no eviction
+	a2 := tc.acquire("a")
+	if a1 != a2 {
+		t.Fatal("concurrent requests of one tenant got different entries")
+	}
+	if a1.si != a2.si {
+		t.Fatal("concurrent requests of one tenant got different interners")
+	}
+	tc.release(a1)
+	tc.release(a2)
+	tc.release(b)
+	// With "a" idle, the bound applies again: acquiring "c" evicts one.
+	c := tc.acquire("c")
+	if tc.len() > 2 {
+		t.Fatalf("cache size %d after eviction opportunity", tc.len())
+	}
+	tc.release(c)
+
+	// Hammer the invariant under -race: for any key, every entry held at
+	// the same moment must be identical.
+	tc2 := newTenantCache(2, nil, 1)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			key := fmt.Sprintf("k%d", g%4)
+			for i := 0; i < 500; i++ {
+				e1 := tc2.acquire(key)
+				e2 := tc2.acquire(key)
+				if e1 != e2 {
+					t.Errorf("key %s: concurrent acquires diverged", key)
+				}
+				tc2.release(e2)
+				tc2.release(e1)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // TestPerRequestDeadline: ?timeout= gives every instance of the request

@@ -6,62 +6,141 @@ import (
 	"repro/internal/encoding"
 )
 
-// tenantCache holds one encoding.SigmaInterner per tenant key, giving a
-// client σ-cache affinity across requests: every request a tenant sends
-// with the same σ content resolves to the same *score.Table identity, so
-// the batch pool compiles (and int-quantizes) the tenant's alphabet once
-// for its connection lifetime instead of once per request.
+// tenantCache holds the per-tenant serving state: one encoding.SigmaInterner
+// per tenant key (σ-cache affinity — every request a tenant sends with the
+// same σ content resolves to the same *score.Table identity, so the batch
+// pool compiles the tenant's alphabet once for its connection lifetime) plus
+// the admission bookkeeping fair sharing runs on (in-flight instances,
+// weight, admitted/rejected tallies; see admission.go).
 //
-// The cache is bounded by max: when full, the least-recently-used tenant's
-// interner is dropped — its σ simply recompiles on that tenant's next
-// request, so eviction is a performance event, never a correctness one.
+// The cache is bounded by max: when a new tenant would exceed the bound the
+// least-recently-used idle tenant's entry is dropped — its σ simply
+// recompiles on that tenant's next request, so eviction is a performance
+// event, never a correctness one. Entries pinned by an active request
+// (refs > 0) or by in-flight instances are never evicted: a request that
+// resolved its interner keeps exactly that interner for its whole stream,
+// so two concurrent requests of one tenant can never be handed different
+// interners for the same key by an evict/recreate race. The map can
+// therefore exceed max transiently, by at most the number of concurrently
+// active tenants — bounded by the HTTP server's connection limit, not by
+// tenant-key cardinality.
 type tenantCache struct {
 	mu  sync.Mutex
 	max int
 	m   map[string]*tenantEntry
-	gen int64 // logical clock for LRU
+	// anon holds the per-request throwaway entries of unidentified
+	// requests (no tenant key): each is its own single-request tenant for
+	// fairness purposes, active only while its request runs.
+	anon      map[*tenantEntry]struct{}
+	gen       int64 // logical clock for LRU
+	total     int   // in-flight instances across all tenants
+	weights   map[string]float64
+	defWeight float64
 }
 
+// tenantEntry is one tenant's live state. All non-interner fields are
+// guarded by the owning cache's mutex.
 type tenantEntry struct {
-	si   *encoding.SigmaInterner
-	used int64
+	key      string
+	si       *encoding.SigmaInterner
+	used     int64
+	refs     int // active requests holding the entry (eviction pin)
+	inflight int // instances submitted and not yet resolved (eviction pin)
+	weight   float64
+	admitted int64 // cumulative instances admitted
+	rejected int64 // cumulative requests refused 429 for this tenant
 }
 
-func newTenantCache(max int) *tenantCache {
-	return &tenantCache{max: max, m: make(map[string]*tenantEntry)}
-}
-
-// get returns the tenant's interner, creating (and, when over the bound,
-// evicting the stalest) as needed. An empty tenant key gets a fresh
-// throwaway interner: no affinity without identification.
-func (tc *tenantCache) get(tenant string) *encoding.SigmaInterner {
-	if tenant == "" {
-		return encoding.NewSigmaInterner()
+func newTenantCache(max int, weights map[string]float64, defWeight float64) *tenantCache {
+	if defWeight <= 0 {
+		defWeight = 1
 	}
+	return &tenantCache{
+		max:       max,
+		m:         make(map[string]*tenantEntry),
+		anon:      make(map[*tenantEntry]struct{}),
+		weights:   weights,
+		defWeight: defWeight,
+	}
+}
+
+// acquire pins and returns the tenant's entry for the duration of one
+// request, creating (and, when over the bound, evicting the stalest idle
+// entry) as needed. An empty tenant key gets a fresh single-request entry:
+// no affinity without identification, but still a fairness participant.
+func (tc *tenantCache) acquire(tenant string) *tenantEntry {
 	tc.mu.Lock()
 	defer tc.mu.Unlock()
 	tc.gen++
+	if tenant == "" {
+		e := &tenantEntry{si: encoding.NewSigmaInterner(), used: tc.gen, refs: 1, weight: tc.defWeight}
+		tc.anon[e] = struct{}{}
+		return e
+	}
 	if e, ok := tc.m[tenant]; ok {
 		e.used = tc.gen
-		return e.si
+		e.refs++
+		return e
 	}
 	if len(tc.m) >= tc.max {
-		var coldest string
-		var coldestUsed int64
-		for k, e := range tc.m {
-			if coldest == "" || e.used < coldestUsed {
-				coldest, coldestUsed = k, e.used
+		// Evict the coldest idle entry. Every entry may be pinned (refs or
+		// in-flight instances); the map then overflows transiently rather
+		// than yank an interner out from under a live request.
+		var coldest *tenantEntry
+		for _, e := range tc.m {
+			if e.refs > 0 || e.inflight > 0 {
+				continue
+			}
+			if coldest == nil || e.used < coldest.used {
+				coldest = e
 			}
 		}
-		delete(tc.m, coldest)
+		if coldest != nil {
+			delete(tc.m, coldest.key)
+		}
 	}
-	e := &tenantEntry{si: encoding.NewSigmaInterner(), used: tc.gen}
+	w := tc.defWeight
+	if ww, ok := tc.weights[tenant]; ok && ww > 0 {
+		w = ww
+	}
+	e := &tenantEntry{key: tenant, si: encoding.NewSigmaInterner(), used: tc.gen, refs: 1, weight: w}
 	tc.m[tenant] = e
-	return e.si
+	return e
+}
+
+// release unpins an entry at the end of its request.
+func (tc *tenantCache) release(e *tenantEntry) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	e.refs--
+	if e.key == "" && e.refs <= 0 && e.inflight <= 0 {
+		delete(tc.anon, e)
+	}
 }
 
 func (tc *tenantCache) len() int {
 	tc.mu.Lock()
 	defer tc.mu.Unlock()
 	return len(tc.m)
+}
+
+// detail snapshots every named tenant's admission and σ-affinity state for
+// /metrics — bounded by the cache bound itself, since entries live exactly
+// as long as the LRU keeps them.
+func (tc *tenantCache) detail() map[string]TenantMetrics {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	out := make(map[string]TenantMetrics, len(tc.m))
+	for k, e := range tc.m {
+		hits, misses := e.si.Stats()
+		out[k] = TenantMetrics{
+			InFlight:    e.inflight,
+			Weight:      e.weight,
+			Admitted:    e.admitted,
+			Rejected:    e.rejected,
+			SigmaHits:   hits,
+			SigmaMisses: misses,
+		}
+	}
+	return out
 }

@@ -24,5 +24,13 @@ go run ./cmd/csrbench -json -seed 1 -regions 60 -instances 8 -repeat 3 -lazy=fal
 # Keep the flags in lockstep with the CI bench-trajectory job.
 go run ./cmd/csrload -self -rate 0 -requests 32 -instances 4 -regions 60 \
     -seed 1 -shards 4 -queue 128 -repeat 3 -json >> BENCH_BASELINE.json
+# Two-tenant fairness row (algorithm=serve-fairness): a paced light tenant
+# measured under a heavy tenant's unpaced flood on a deliberately small
+# queue; wall_ms is the light tenant's p99, so regressions in fair
+# admission's latency isolation trip the wall gate. csrload itself exits
+# non-zero if the light tenant is ever rejected.
+go run ./cmd/csrload -self -rate 40 -requests 50 -instances 1 -regions 60 \
+    -seed 1 -shards 4 -queue 8 -tenant light -tenant2 heavy -tenant2-rate 0 \
+    -tenant2-requests 40 -repeat 3 -json >> BENCH_BASELINE.json
 echo "wrote BENCH_BASELINE.json:" >&2
 cat BENCH_BASELINE.json >&2

@@ -88,6 +88,23 @@ curl -fsS "$base/metrics" | jq -e '.server.rejected_requests > 0' >/dev/null \
     || { echo "serve_smoke: rejections missing from metrics"; exit 1; }
 echo "serve_smoke: admission control live ($rejected rejected, all with Retry-After)"
 
+# 4b. Per-tenant fairness: repeat the saturating burst as tenant "heavy"
+#     while a paced low-rate tenant "light" is measured. Fair admission
+#     must admit every light request (csrload exits non-zero on a light
+#     rejection in -tenant2 mode) and the per-tenant /metrics breakdown
+#     must show both tenants.
+"$workdir/csrload" -url "$base" -rate 10 -requests 10 -instances 1 -regions 40 \
+    -tenant light -tenant2 heavy -tenant2-rate 0 -tenant2-requests 40 \
+    2>"$workdir/fair.log" || { echo "serve_smoke: fairness run failed:"; cat "$workdir/fair.log"; exit 1; }
+cat "$workdir/fair.log"
+grep -q 'tenant "light": 10 ok, 0 rejected' "$workdir/fair.log" \
+    || { echo "serve_smoke: light tenant was not fully admitted"; exit 1; }
+curl -fsS "$base/metrics" | jq -e '.tenants_detail.light.admitted >= 10
+        and .tenants_detail.heavy.admitted > 0
+        and .tenants_detail.light.rejected == 0' >/dev/null \
+    || { echo "serve_smoke: per-tenant metrics missing or wrong"; exit 1; }
+echo "serve_smoke: two-tenant burst fair (light fully admitted under heavy flood)"
+
 # 5. Graceful drain: park a request mid-stream (body held open), SIGTERM
 #    the daemon, and require (a) healthz flips to 503, (b) the in-flight
 #    stream still completes with all its records, (c) clean exit.

@@ -14,7 +14,19 @@ import (
 
 	"repro/internal/batch"
 	"repro/internal/core"
+	"repro/internal/faultinject"
 )
+
+// FaultInjector arms the chaos sequence points inside a batch pool (see
+// internal/faultinject): solver panics, slow shards, queue-return stalls,
+// deadline overruns, σ-cache drops. Nil — the default — injects nothing.
+type FaultInjector = faultinject.Injector
+
+// WithFaultInjector arms fault injection on a batch pool. Batch APIs only;
+// nil restores the default (no faults).
+func WithFaultInjector(inj *FaultInjector) Option {
+	return func(c *solveCfg) { c.inject = inj }
+}
 
 // ErrQueueFull is returned by BatchPool.TrySubmit when the submission
 // queue has no free slot. Servers translate it into backpressure the
@@ -77,6 +89,7 @@ func NewBatchPool(alg Algorithm, opts ...Option) *BatchPool {
 		Shards:      cfg.shards,
 		Queue:       cfg.queue,
 		EvalWorkers: evalWorkers,
+		Inject:      cfg.inject,
 		Solve: func(ctx context.Context, in *core.Instance, rt batch.Runtime) (any, error) {
 			return solveInstance(ctx, in, alg, cfg, rt.Eval)
 		},
