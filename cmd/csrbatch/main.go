@@ -51,6 +51,7 @@ func main() {
 		intMode   = flag.Bool("int", false, "solve with the int32-quantized score kernels (results re-scored under the exact σ)")
 		unordered = flag.Bool("unordered", false, "emit results in completion order instead of submission order")
 		lazySel   = flag.Bool("lazy", true, "use the lazy best-first candidate-selection engine (false = eager full-list ablation)")
+		seeded    = flag.Bool("seeded", false, "minimizer-seeded sparse candidate generation (genome-scale mode; see README)")
 		partial   = flag.Bool("partial", false, "graceful degradation: a -timeout firing mid-improvement yields the last accepted solution as a partial record instead of an error")
 		replay    = flag.String("results-from", "", "replay a stored result JSONL stream through the sinks instead of solving")
 	)
@@ -92,6 +93,7 @@ func main() {
 		fragalign.WithPerInstanceTimeout(*timeout),
 		fragalign.WithIntScore(*intMode),
 		fragalign.WithLazySelection(*lazySel),
+		fragalign.WithSeededCandidates(*seeded),
 		fragalign.WithPartialResults(*partial),
 	)
 	defer pool.Close()

@@ -69,9 +69,35 @@ type algResult struct {
 	Skipped     int `json:"skipped,omitempty"`
 	// EnumRefreshed / EnumReused aggregate the enumeration subsystem's
 	// piece-cache traffic over the batch (improve.Stats).
-	EnumRefreshed int    `json:"enum_refreshed,omitempty"`
-	EnumReused    int    `json:"enum_reused,omitempty"`
-	Error         string `json:"error,omitempty"`
+	EnumRefreshed int `json:"enum_refreshed,omitempty"`
+	EnumReused    int `json:"enum_reused,omitempty"`
+	// SeedPairs aggregates the seeded candidate universe size over the
+	// batch (improve.Stats.SeedPairs); zero unless -seeded.
+	SeedPairs int `json:"seed_pairs,omitempty"`
+	// Recovery is the seeded/exact score ratio measured on a downsampled
+	// sibling of the preset instance (see -seed-accuracy); only present on
+	// the first record of a -seed-accuracy run.
+	Recovery float64 `json:"recovery,omitempty"`
+	Error    string  `json:"error,omitempty"`
+}
+
+// jsonOpts carries the -json benchmark configuration.
+type jsonOpts struct {
+	seed        int64
+	regions     int
+	instances   int
+	repeat      int
+	shards      int
+	algs        string
+	intMode     bool
+	fullEnum    bool
+	lazySel     bool
+	sharedAl    bool
+	seeded      bool
+	preset      string
+	label       string
+	seedAcc     bool
+	minRecovery float64
 }
 
 func main() {
@@ -88,10 +114,22 @@ func main() {
 		fullEnum  = flag.Bool("full-enum", false, "disable incremental candidate enumeration — the ablation trajectory row (records carry mode=full-enum)")
 		lazySel   = flag.Bool("lazy", true, "use the lazy best-first selection engine; false runs the eager full-list ablation (records carry mode=eager)")
 		sharedAl  = flag.Bool("shared-alphabet", false, "generate all -json instances over one canonical alphabet/σ table (exercises the batch pool's per-alphabet cache)")
+		seeded    = flag.Bool("seeded", false, "solve with minimizer-seeded sparse candidates (records carry mode=seeded)")
+		preset    = flag.String("preset", "", "generate -json workloads from a named preset (genome-small, genome-large) instead of -regions")
+		label     = flag.String("label", "", "override the algorithm field of -json records (trajectory row naming)")
+		seedAcc   = flag.Bool("seed-accuracy", false, "also measure seeded/exact score recovery on a downsampled sibling instance; adds a recovery field")
+		minRec    = flag.Float64("min-recovery", 0, "with -seed-accuracy: exit non-zero when recovery falls below this ratio")
 	)
 	flag.Parse()
 	if *asJSON {
-		if err := runJSON(*seed, *regions, *instances, *repeat, *shards, *algsFlag, *intMode, *fullEnum, *lazySel, *sharedAl); err != nil {
+		opts := jsonOpts{
+			seed: *seed, regions: *regions, instances: *instances,
+			repeat: *repeat, shards: *shards, algs: *algsFlag,
+			intMode: *intMode, fullEnum: *fullEnum, lazySel: *lazySel,
+			sharedAl: *sharedAl, seeded: *seeded, preset: *preset,
+			label: *label, seedAcc: *seedAcc, minRecovery: *minRec,
+		}
+		if err := runJSON(opts); err != nil {
 			fmt.Fprintln(os.Stderr, "csrbench:", err)
 			os.Exit(1)
 		}
@@ -111,25 +149,43 @@ func main() {
 	}
 }
 
-func runJSON(seed int64, regions, instances, repeat, shards int, algsFlag string, intMode, fullEnum, lazySel, sharedAl bool) error {
+func runJSON(o jsonOpts) error {
+	seed, regions := o.seed, o.regions
+	instances, repeat, shards := o.instances, o.repeat, o.shards
+	algsFlag := o.algs
+	intMode, fullEnum, lazySel := o.intMode, o.fullEnum, o.lazySel
 	if instances < 1 {
 		instances = 1
 	}
 	if repeat < 1 {
 		repeat = 1
 	}
-	var shared *fragalign.Canonical
-	if sharedAl {
-		cfg := fragalign.DefaultGenConfig(seed)
-		cfg.Regions = regions
-		shared = fragalign.NewCanonical(cfg)
+	var base fragalign.GenConfig
+	if o.preset != "" {
+		pc, ok := fragalign.GenPreset(o.preset, seed)
+		if !ok {
+			return fmt.Errorf("unknown -preset %q (have %v)", o.preset, fragalign.GenPresetNames())
+		}
+		base, regions = pc, pc.Regions
+	} else {
+		base = fragalign.DefaultGenConfig(seed)
+		base.Regions = regions
+		if o.sharedAl {
+			base.Canonical = fragalign.NewCanonical(base)
+		}
 	}
 	ins := make([]*fragalign.Instance, instances)
 	for i := range ins {
-		cfg := fragalign.DefaultGenConfig(seed + int64(i))
-		cfg.Regions = regions
-		cfg.Canonical = shared
+		cfg := base
+		cfg.Seed = seed + int64(i)
 		ins[i] = fragalign.Generate(cfg).Instance
+	}
+	recovery := 0.0
+	if o.seedAcc {
+		var err error
+		if recovery, err = measureRecovery(o.preset, seed); err != nil {
+			return err
+		}
 	}
 
 	var algs []fragalign.Algorithm
@@ -149,6 +205,9 @@ func runJSON(seed int64, regions, instances, repeat, shards int, algsFlag string
 	}
 
 	var modes []string
+	if o.seeded {
+		modes = append(modes, "seeded")
+	}
 	if intMode {
 		modes = append(modes, "int32")
 	}
@@ -160,8 +219,14 @@ func runJSON(seed int64, regions, instances, repeat, shards int, algsFlag string
 	}
 	mode := strings.Join(modes, "+")
 	enc := json.NewEncoder(os.Stdout)
-	for _, alg := range algs {
+	for ai, alg := range algs {
 		rec := algResult{Algorithm: string(alg), Mode: mode, Seed: seed, Regions: regions, Instances: instances}
+		if o.label != "" {
+			rec.Algorithm = o.label
+		}
+		if o.seedAcc && ai == 0 {
+			rec.Recovery = recovery
+		}
 		// Report the minimum over the repeats: wall time and allocation
 		// deltas are noisy on shared runners, and the minimum is the
 		// stablest estimator of the work's true cost.
@@ -173,7 +238,8 @@ func runJSON(seed int64, regions, instances, repeat, shards int, algsFlag string
 				fragalign.WithEps(0.05), fragalign.WithFourApproxSeed(true),
 				fragalign.WithShards(shards), fragalign.WithIntScore(intMode),
 				fragalign.WithIncrementalEnum(!fullEnum),
-				fragalign.WithLazySelection(lazySel))
+				fragalign.WithLazySelection(lazySel),
+				fragalign.WithSeededCandidates(o.seeded))
 			wallMS := float64(time.Since(start).Microseconds()) / 1000
 			runtime.ReadMemStats(&m1)
 			if err != nil {
@@ -207,6 +273,7 @@ func runJSON(seed int64, regions, instances, repeat, shards int, algsFlag string
 					rec.Skipped += res.Stats.Skipped
 					rec.EnumRefreshed += res.Stats.EnumRefreshed
 					rec.EnumReused += res.Stats.EnumReused
+					rec.SeedPairs += res.Stats.SeedPairs
 				}
 			}
 		}
@@ -214,5 +281,48 @@ func runJSON(seed int64, regions, instances, repeat, shards int, algsFlag string
 			return err
 		}
 	}
+	if o.seedAcc && o.minRecovery > 0 && recovery < o.minRecovery {
+		return fmt.Errorf("seeded recovery %.4f below -min-recovery %.4f", recovery, o.minRecovery)
+	}
 	return nil
+}
+
+// measureRecovery solves one downsampled (~300-region) sibling of the
+// preset family twice — classic all-pairs enumeration and minimizer-seeded
+// — and returns the seeded/classic score ratio. Downsampling keeps the
+// exact solve tractable while preserving the preset's rearrangement and
+// spurious-pair density, so the ratio is a per-run guard that the seeding
+// pipeline still recovers the solutions the full sweep would find.
+func measureRecovery(preset string, seed int64) (float64, error) {
+	cfg := fragalign.DefaultGenConfig(seed)
+	cfg.Regions = 300
+	cfg.MeanContig = 6
+	cfg.Inversions = 12
+	cfg.InversionLen = 25
+	cfg.Translocations = 3
+	cfg.Spurious = 30
+	if preset != "" {
+		if pc, ok := fragalign.GenPreset(preset, seed); ok {
+			// Inherit the preset's score model parameters; the shape above
+			// stays downsampled.
+			cfg.BaseScore, cfg.Noise, cfg.SpuriousScore = pc.BaseScore, pc.Noise, pc.SpuriousScore
+		}
+	}
+	in := fragalign.Generate(cfg).Instance
+	common := []fragalign.Option{
+		fragalign.WithEps(0.05), fragalign.WithFourApproxSeed(true),
+	}
+	exact, err := fragalign.Solve(in, fragalign.CSRImprove, common...)
+	if err != nil {
+		return 0, fmt.Errorf("recovery exact solve: %w", err)
+	}
+	sdd, err := fragalign.Solve(in, fragalign.CSRImprove,
+		append(common, fragalign.WithSeededCandidates(true))...)
+	if err != nil {
+		return 0, fmt.Errorf("recovery seeded solve: %w", err)
+	}
+	if exact.Score == 0 {
+		return 1, nil
+	}
+	return sdd.Score / exact.Score, nil
 }

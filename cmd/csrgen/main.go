@@ -41,8 +41,12 @@ func main() {
 		count     = flag.Int("count", 1, "instances to generate (seeds seed..seed+count-1)")
 		format    = flag.String("format", "text", "output format: text or jsonl")
 		sharedAl  = flag.Bool("shared-alphabet", false, "generate all instances over one canonical alphabet/σ table")
+		preset    = flag.String("preset", "", "named workload preset (genome-small, genome-large); overrides the shape flags and forces -format jsonl")
 	)
 	flag.Parse()
+	if *preset != "" {
+		*format = "jsonl"
+	}
 	if *format != "text" && *format != "jsonl" {
 		fmt.Fprintln(os.Stderr, "csrgen: -format must be text or jsonl")
 		os.Exit(2)
@@ -68,7 +72,15 @@ func main() {
 		Spurious:       *spurious,
 		SpuriousScore:  *baseScore / 2,
 	}
-	if *sharedAl {
+	if *preset != "" {
+		pc, ok := fragalign.GenPreset(*preset, *seed)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "csrgen: unknown -preset %q (have %v)\n",
+				*preset, fragalign.GenPresetNames())
+			os.Exit(2)
+		}
+		cfg = pc
+	} else if *sharedAl {
 		cfg.Canonical = fragalign.NewCanonical(cfg)
 	}
 	dst := os.Stdout

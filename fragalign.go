@@ -49,6 +49,7 @@ import (
 	"repro/internal/improve"
 	"repro/internal/onecsr"
 	"repro/internal/score"
+	"repro/internal/seed"
 	"repro/internal/symbol"
 )
 
@@ -184,6 +185,15 @@ func NewCanonical(cfg GenConfig) *Canonical { return gen.NewCanonical(cfg) }
 // DefaultGenConfig returns a small structured workload configuration.
 func DefaultGenConfig(seed int64) GenConfig { return gen.DefaultConfig(seed) }
 
+// GenPreset returns a named workload configuration ("genome-small",
+// "genome-large"); ok is false for unknown names. The genome presets carry
+// a shared canonical alphabet — reuse the returned Config (changing only
+// Seed) across a batch so every instance targets the same σ table.
+func GenPreset(name string, seed int64) (GenConfig, bool) { return gen.Preset(name, seed) }
+
+// GenPresetNames lists the presets accepted by GenPreset.
+func GenPresetNames() []string { return gen.PresetNames() }
+
 // ReadInstance parses the text instance format.
 func ReadInstance(r io.Reader) (*Instance, error) { return encoding.ReadText(r) }
 
@@ -235,6 +245,8 @@ type solveCfg struct {
 	fullEnum    bool
 	eagerSelect bool
 	partial     bool
+	seeded      bool
+	seedParams  seed.Params
 	// Batch-only knobs (see solvebatch.go).
 	shards  int
 	queue   int
@@ -303,6 +315,21 @@ func WithIncrementalEnum(on bool) Option { return func(c *solveCfg) { c.fullEnum
 // ImproveStats.Popped / Resimulated / Skipped report the engine's heap
 // traffic.
 func WithLazySelection(on bool) Option { return func(c *solveCfg) { c.eagerSelect = !on } }
+
+// WithSeededCandidates replaces all-pairs candidate enumeration in the
+// improvement algorithms with minimizer seed-and-chain candidate generation
+// (internal/seed): only fragment pairs whose words share σ-translated
+// minimizer chains enter the search. This is the genome-scale mode — pair
+// sweeps become near-linear in the fragment count — at the cost of a
+// documented recall bound: pairs whose best alignment has no seed chain are
+// never tried.
+func WithSeededCandidates(on bool) Option { return func(c *solveCfg) { c.seeded = on } }
+
+// WithSeedParams overrides the seeding pipeline's tuning (implies nothing
+// about WithSeededCandidates; set both). The zero value means
+// seed.DefaultParams(); Params.Exhaustive selects the provably lossless
+// positive-σ mask instead of minimizers.
+func WithSeedParams(p seed.Params) Option { return func(c *solveCfg) { c.seedParams = p } }
 
 // WithPartialResults degrades deadline and cancellation failures of the
 // improvement algorithms gracefully: when the context fires mid-solve, the
@@ -455,6 +482,8 @@ func solveInstance(ctx context.Context, in *Instance, alg Algorithm, cfg solveCf
 			IntScore:           cfg.intScore,
 			FullEnum:           cfg.fullEnum,
 			EagerSelect:        cfg.eagerSelect,
+			Seeded:             cfg.seeded,
+			SeedParams:         cfg.seedParams,
 			CheckInvariants:    cfg.check,
 			Partial:            cfg.partial || partialFromContext(ctx),
 			Ctx:                ctx,

@@ -131,3 +131,42 @@ func BenchmarkScoreIntVsFloat(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkSparseRowBuild isolates the per-call sparse-row table build that
+// fronts the skip-propagation kernels: long words over a large alphabet with
+// few positive cells per row, where the build (not the DP sweep) dominates.
+// The float64 and int32 variants share the PosRow × inverse-column-index
+// construction; this row is the before/after gauge for that build.
+func BenchmarkSparseRowBuild(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	const dim = 2000
+	tb := score.NewTable()
+	for i := 1; i <= dim; i++ {
+		// ~4 positive partners per symbol.
+		for k := 0; k < 4; k++ {
+			tb.Set(symbol.Symbol(i), symbol.Symbol(1+r.Intn(dim)), float64(1+r.Intn(5)))
+		}
+	}
+	mk := func(n int) symbol.Word {
+		w := make(symbol.Word, n)
+		for i := range w {
+			w[i] = symbol.Symbol(1 + r.Intn(dim))
+		}
+		return w
+	}
+	a, bb := mk(1200), mk(1200)
+	c := score.Compile(tb, dim)
+	ci := c.Int()
+	b.Run("float64", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			benchSink = Score(a, bb, c)
+		}
+	})
+	b.Run("int32", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			benchSink = Score(a, bb, ci)
+		}
+	})
+}

@@ -69,24 +69,53 @@ func wordsMaxID(a, b symbol.Word) int32 {
 // are monotone nondecreasing, so a cell whose σ is ≤ 0 reduces exactly to
 // max(up, left) — only the positive columns ever need the add, and they are
 // typically a small fraction of the row. All storage lives in the arena.
+//
+// Like sparseRowsI, it intersects the matrix's cached positive-column lists
+// (Compiled.PosRow) with an inverse index of b built in one O(|b|) pass, so
+// the per-symbol cost is proportional to the row's positive cells and their
+// hits in b rather than to |b| (the previous build scanned a full σ row per
+// distinct symbol).
 func (s *Scratch) sparseRowsF(a symbol.Word, c *score.Compiled) {
-	s.resetSparse(2*int(c.MaxID()) + 1)
+	dim := 2*int(c.MaxID()) + 1
+	s.resetSparse(dim)
+	s.indexB(dim)
 	for _, sym := range a {
 		ia := c.Index(sym)
 		if s.rowOf[ia] != 0 {
 			continue
 		}
-		row := c.Row(sym)
+		cols, vals := c.PosRow(sym)
 		start := int32(len(s.pos))
-		for j, bj := range s.bi {
-			if v := row[bj]; v > 0 {
-				s.pos = append(s.pos, int32(j))
+		for k, col := range cols {
+			h := s.bHead[col]
+			if h == 0 {
+				continue
+			}
+			v := vals[k]
+			for j := h; j != 0; j = s.bNext[j] {
+				s.pos = append(s.pos, j-1)
 				s.valF = append(s.valF, v)
 			}
 		}
+		// Hits arrive grouped by column (each group ascending); the sweep
+		// needs ascending positions (see sortPosVal).
+		sortPosValF(s.pos[start:], s.valF[start:])
 		s.spans = append(s.spans, [2]int32{start, int32(len(s.pos))})
 		s.rowOf[ia] = int32(len(s.spans))
 		s.rowIdx = append(s.rowIdx, ia)
+	}
+}
+
+// sortPosValF is sortPosVal with float64 values.
+func sortPosValF(pos []int32, val []float64) {
+	for i := 1; i < len(pos); i++ {
+		p, v := pos[i], val[i]
+		j := i
+		for j > 0 && pos[j-1] > p {
+			pos[j], val[j] = pos[j-1], val[j-1]
+			j--
+		}
+		pos[j], val[j] = p, v
 	}
 }
 

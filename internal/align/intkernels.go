@@ -43,24 +43,7 @@ const minusInfI = int32(math.MinInt32 / 4)
 func (s *Scratch) sparseRowsI(a symbol.Word, c *score.CompiledInt) {
 	dim := 2*int(c.MaxID()) + 1
 	s.resetSparse(dim)
-	if cap(s.bHead) < dim {
-		s.bHead = make([]int32, dim)
-	} else {
-		for _, col := range s.bTouched {
-			s.bHead[col] = 0
-		}
-		s.bHead = s.bHead[:dim]
-	}
-	s.bTouched = s.bTouched[:0]
-	s.bNext = growI(s.bNext, len(s.bi)+1)
-	for j := len(s.bi) - 1; j >= 0; j-- {
-		col := s.bi[j]
-		if s.bHead[col] == 0 {
-			s.bTouched = append(s.bTouched, col)
-		}
-		s.bNext[j+1] = s.bHead[col]
-		s.bHead[col] = int32(j + 1)
-	}
+	s.indexB(dim)
 	for _, sym := range a {
 		ia := c.Index(sym)
 		if s.rowOf[ia] != 0 {

@@ -170,6 +170,31 @@ func (s *Scratch) resetSparse(dim int) {
 	s.spanMax = s.spanMax[:0]
 }
 
+// indexB builds the inverse index of b for the sparse positive-column
+// builds: bHead[col] chains the positions of b holding oriented column col
+// (1-based indices into bNext, ascending), from s.bi in one reverse O(|b|)
+// pass. bTouched lists the set bHead cells for O(touched) reset.
+func (s *Scratch) indexB(dim int) {
+	if cap(s.bHead) < dim {
+		s.bHead = make([]int32, dim)
+	} else {
+		for _, col := range s.bTouched {
+			s.bHead[col] = 0
+		}
+		s.bHead = s.bHead[:dim]
+	}
+	s.bTouched = s.bTouched[:0]
+	s.bNext = growI(s.bNext, len(s.bi)+1)
+	for j := len(s.bi) - 1; j >= 0; j-- {
+		col := s.bi[j]
+		if s.bHead[col] == 0 {
+			s.bTouched = append(s.bTouched, col)
+		}
+		s.bNext[j+1] = s.bHead[col]
+		s.bHead[col] = int32(j + 1)
+	}
+}
+
 // growI64 is growI for int64 buffers.
 func growI64(b []int64, n int) []int64 {
 	if cap(b) < n {

@@ -561,10 +561,20 @@ func E11Recovery(seed int64) *Table {
 		{"60/inv=3", 60, 3},
 		{"120/inv=0", 120, 0},
 		{"120/inv=3", 120, 3},
+		// A downsampled sibling of the genome presets (short contigs,
+		// heavy rearrangement): the seeded row below reports how much of
+		// clean enumeration's recovery the minimizer pipeline retains.
+		{"genome-ds/300", 300, 12},
 	} {
 		cfg := gen.DefaultConfig(seed)
 		cfg.Regions = setting.regions
 		cfg.Inversions = setting.inversions
+		if setting.regions >= 300 {
+			cfg.MeanContig = 6
+			cfg.InversionLen = 25
+			cfg.Translocations = 3
+			cfg.Spurious = 30
+		}
 		w := gen.Generate(cfg)
 		in := w.Instance
 		type algo struct {
@@ -576,6 +586,11 @@ func E11Recovery(seed int64) *Table {
 			{"four-approx", func() (*core.Solution, error) { return onecsr.FourApprox(in) }},
 			{"csr-improve", func() (*core.Solution, error) {
 				s, _, err := improve.Improve(in, improve.Options{Eps: 0.05, SeedWithFourApprox: true})
+				return s, err
+			}},
+			{"csr-improve/seeded", func() (*core.Solution, error) {
+				s, _, err := improve.Improve(in, improve.Options{
+					Eps: 0.05, SeedWithFourApprox: true, Seeded: true})
 				return s, err
 			}},
 		}

@@ -1,0 +1,59 @@
+package fenwick
+
+import "math"
+
+// MaxTree is the prefix-max counterpart of Tree: point updates that only
+// ever raise a position's value, and prefix-maximum queries, both in
+// O(log n). It additionally tracks an int32 payload (an anchor index) for
+// the maximising position, with deterministic smallest-payload tie-breaks —
+// the best-chain-score query structure of the sweep-line anchor chainer
+// (internal/seed).
+type MaxTree struct {
+	vals []float64
+	args []int32
+}
+
+// NewMax returns a max-tree over n positions, all −Inf with payload −1.
+func NewMax(n int) *MaxTree {
+	t := &MaxTree{vals: make([]float64, n+1), args: make([]int32, n+1)}
+	for i := range t.vals {
+		t.vals[i] = math.Inf(-1)
+		t.args[i] = -1
+	}
+	return t
+}
+
+// Len returns the number of positions.
+func (t *MaxTree) Len() int { return len(t.vals) - 1 }
+
+// Reset restores every position to −Inf/−1 without reallocating.
+func (t *MaxTree) Reset() {
+	for i := range t.vals {
+		t.vals[i] = math.Inf(-1)
+		t.args[i] = -1
+	}
+}
+
+// Update raises position i (0-based) to at least v with payload id. Equal
+// values keep the smaller payload, so query results are independent of
+// update order among ties.
+func (t *MaxTree) Update(i int, v float64, id int32) {
+	for i++; i < len(t.vals); i += i & (-i) {
+		if v > t.vals[i] || (v == t.vals[i] && id < t.args[i]) {
+			t.vals[i] = v
+			t.args[i] = id
+		}
+	}
+}
+
+// PrefixMax returns the maximum value over positions 0..i−1 and its
+// payload; (−Inf, −1) when the range is empty or never updated.
+func (t *MaxTree) PrefixMax(i int) (float64, int32) {
+	v, id := math.Inf(-1), int32(-1)
+	for ; i > 0; i -= i & (-i) {
+		if t.vals[i] > v || (t.vals[i] == v && t.args[i] < id && t.args[i] >= 0) {
+			v, id = t.vals[i], t.args[i]
+		}
+	}
+	return v, id
+}

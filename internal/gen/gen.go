@@ -128,6 +128,40 @@ func DefaultConfig(seed int64) Config {
 	}
 }
 
+// Preset returns a named workload configuration. The genome presets model
+// fragmented whole-genome comparisons: thousands of conserved regions in
+// short contigs, heavy rearrangement, and a sizable spurious-pair floor.
+// They use a shared canonical alphabet (one σ table per preset family) so a
+// batch of instances at different seeds exercises the same score model.
+//
+//	genome-small — 5,000 regions; the CI-sized seeded benchmark target.
+//	genome-large — 50,000 regions; offline only (the dense σ table alone
+//	               is tens of GB — run with seeded mode on big-memory hosts).
+//
+// Unknown names return ok == false.
+func Preset(name string, seed int64) (Config, bool) {
+	cfg := DefaultConfig(seed)
+	switch name {
+	case "genome-small":
+		cfg.Regions = 5000
+	case "genome-large":
+		cfg.Regions = 50000
+	default:
+		return Config{}, false
+	}
+	scale := cfg.Regions / 5000
+	cfg.MeanContig = 6
+	cfg.Inversions = 40 * scale
+	cfg.InversionLen = 25
+	cfg.Translocations = 8 * scale
+	cfg.Spurious = 500 * scale
+	cfg.Canonical = NewCanonical(cfg)
+	return cfg, true
+}
+
+// PresetNames lists the named presets accepted by Preset, for flag help.
+func PresetNames() []string { return []string{"genome-small", "genome-large"} }
+
 // Workload is a generated instance plus its ground truth.
 type Workload struct {
 	Instance *core.Instance

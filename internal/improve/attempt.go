@@ -247,14 +247,14 @@ func runI3(st *state, k candKey) float64 {
 }
 
 // i2CandsFor enumerates the I2 candidates pairing fragment only against
-// every fragment except exclude, on the current (simulation) state. End
-// depths are computed on the fly — the reads go through st and are thus
-// recorded by the simulation's readRecorder, exactly like the rest of the
-// attempt's work.
+// its pair-universe partners except exclude, on the current (simulation)
+// state. End depths are computed on the fly — the reads go through st and
+// are thus recorded by the simulation's readRecorder, exactly like the rest
+// of the attempt's work.
 func i2CandsFor(st *state, only, exclude core.FragRef, dst []candKey) []candKey {
 	onlyDepths := stateEndDepths(st, only)
 	return enum.AppendI2(dst,
-		st.in.NumFrags(core.SpeciesH), st.in.NumFrags(core.SpeciesM),
+		st.pairs,
 		only, exclude,
 		func(fr core.FragRef) [2]enum.Depths {
 			if fr == only {

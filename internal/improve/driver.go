@@ -9,6 +9,7 @@ import (
 	"repro/internal/improve/enum"
 	"repro/internal/onecsr"
 	"repro/internal/score"
+	"repro/internal/seed"
 )
 
 // Methods selects which improvement methods the driver uses.
@@ -89,6 +90,18 @@ type Options struct {
 	// -lazy=false). FullEnum and FullReeval imply it: both oracles re-walk
 	// the full candidate list by definition.
 	EagerSelect bool
+	// Seeded replaces all-pairs candidate enumeration with the minimizer
+	// seed-and-chain pipeline (internal/seed): only fragment pairs whose
+	// words share σ-translated minimizer chains (SeedParams.Exhaustive:
+	// pairs with any positive σ cell — provably lossless) enter the
+	// enumeration, I3 rewiring, and TPA loops. On genome-scale instances
+	// this turns the quadratic pair sweeps into near-linear ones; on small
+	// instances with exhaustive params the accepted sequence is
+	// bit-identical to the unseeded solve (TestSeededExhaustiveParity).
+	Seeded bool
+	// SeedParams tunes the seeding pipeline; the zero value means
+	// seed.DefaultParams().
+	SeedParams seed.Params
 	// Partial degrades cancellation gracefully: when Ctx fires mid-solve,
 	// the driver stops at the next sub-round check and returns the last
 	// accepted state as a valid solution with Stats.Partial set, instead of
@@ -144,6 +157,11 @@ type Stats struct {
 	// Options.Partial: the returned solution is the last accepted state,
 	// not a local optimum.
 	Partial bool
+	// SeedPairs and SeedAnchors report the seeded candidate universe
+	// (Options.Seeded): pairs admitted out of nh×nm possible, and minimizer
+	// anchors matched. Zero on unseeded solves.
+	SeedPairs   int
+	SeedAnchors int
 }
 
 // Improve runs the selected iterative-improvement algorithm to a local
@@ -209,12 +227,12 @@ func Improve(in *core.Instance, opt Options) (*core.Solution, Stats, error) {
 	if workers < 1 {
 		workers = 1
 	}
-	seed := opt.Seed
+	seedSol := opt.Seed
 	var baseline float64
 	if fa, err := onecsr.FourApprox(in); err == nil {
 		baseline = fa.Score()
-		if opt.SeedWithFourApprox && seed == nil {
-			seed = fa
+		if opt.SeedWithFourApprox && seedSol == nil {
+			seedSol = fa
 		}
 	}
 	k := in.MaxMatches()
@@ -233,8 +251,8 @@ func Improve(in *core.Instance, opt Options) (*core.Solution, Stats, error) {
 		qopt := opt
 		qopt.Quantize = false
 		qopt.minGain = unit / 2
-		if qopt.Seed == nil && seed != nil {
-			qopt.Seed = seed
+		if qopt.Seed == nil && seedSol != nil {
+			qopt.Seed = seedSol
 		}
 		qopt.SeedWithFourApprox = false
 		if qopt.Seed != nil {
@@ -255,8 +273,23 @@ func Improve(in *core.Instance, opt Options) (*core.Solution, Stats, error) {
 		maxRounds = 4*k*k + k + 16
 	}
 
-	st := newState(in, seed)
+	st := newState(in, seedSol)
 	defer st.scr.Release() // the driver's own alignment scratch arena
+	if opt.Seeded {
+		// Seed-and-chain candidate generation: restrict the solve's pair
+		// universe to the chained (or, with Exhaustive, positive-σ) pairs.
+		// Runs against the prepared σ, so the shadow recursions above seed
+		// under the scorer the search actually uses.
+		sp := opt.SeedParams
+		if sp == (seed.Params{}) {
+			sp = seed.DefaultParams()
+		}
+		res := seed.Candidates(in, sp)
+		st.pairs = enum.NewPairSet(
+			in.NumFrags(core.SpeciesH), in.NumFrags(core.SpeciesM), res.PairList())
+		stats.SeedPairs = res.Stats.Pairs
+		stats.SeedAnchors = res.Stats.Anchors
+	}
 	vers := st.vers
 	pool := opt.Eval
 	if pool == nil && workers > 1 {
@@ -277,7 +310,7 @@ func Improve(in *core.Instance, opt Options) (*core.Solution, Stats, error) {
 	// Enumeration runs incrementally against the live version counters; its
 	// dirty-piece refreshes are sharded over the eval pool when one exists,
 	// overlapping with the candidate simulations of concurrent solves.
-	en := enum.New(opt.Methods&FullOnly != 0, opt.Methods&BorderOnly != 0)
+	en := enum.New(opt.Methods&FullOnly != 0, opt.Methods&BorderOnly != 0, st.pairs)
 	fullEnum := opt.FullReeval || opt.FullEnum
 	runShards := func(tasks []func()) {
 		const chunk = 8

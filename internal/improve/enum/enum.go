@@ -277,13 +277,14 @@ func WindowsOf(sites []core.Site, n int) [][2]int {
 }
 
 // AppendI2 appends the I2 candidates in canonical (fi, gi, fe, ge, fw, gw)
-// order. only restricts one species to a single fragment and exclude drops
-// one fragment from pairing (Idx < 0 sentinels disable either filter);
-// depths supplies the per-end window depths of a fragment — the Enumerator
-// passes its cached pieces, the I3 rewiring path computes them on the fly
-// against its simulation state.
-func AppendI2(dst []Cand, nh, nm int, only, exclude core.FragRef, depths func(core.FragRef) [2]Depths) []Cand {
-	for fi := 0; fi < nh; fi++ {
+// order, restricted to the pair universe. only restricts one species to a
+// single fragment and exclude drops one fragment from pairing (Idx < 0
+// sentinels disable either filter); depths supplies the per-end window
+// depths of a fragment — the Enumerator passes its cached pieces, the I3
+// rewiring path computes them on the fly against its simulation state. A
+// dense universe iterates exactly the classic nested (fi, gi) loops.
+func AppendI2(dst []Cand, ps *PairSet, only, exclude core.FragRef, depths func(core.FragRef) [2]Depths) []Cand {
+	for fi := 0; fi < ps.NumH(); fi++ {
 		f := core.FragRef{Sp: core.SpeciesH, Idx: fi}
 		if only.Idx >= 0 && only.Sp == core.SpeciesH && only.Idx != fi {
 			continue
@@ -292,7 +293,8 @@ func AppendI2(dst []Cand, nh, nm int, only, exclude core.FragRef, depths func(co
 			continue
 		}
 		df := depths(f)
-		for gi := 0; gi < nm; gi++ {
+		for _, gi32 := range ps.MPartners(fi) {
+			gi := int(gi32)
 			g := core.FragRef{Sp: core.SpeciesM, Idx: gi}
 			if only.Idx >= 0 && only.Sp == core.SpeciesM && only.Idx != gi {
 				continue
@@ -375,6 +377,7 @@ type Enumerator struct {
 	full, border bool
 	sized        bool
 	nh, nm       int
+	pairs        *PairSet
 
 	win   [2][]piece[[][2]int]  // I1 target windows per fragment
 	dep   [2][]piece[[2]Depths] // I2 end depths per fragment
@@ -394,10 +397,15 @@ type Enumerator struct {
 	reused    int
 }
 
-// New returns an Enumerator for the selected method families.
-func New(full, border bool) *Enumerator {
-	return &Enumerator{full: full, border: border}
+// New returns an Enumerator for the selected method families over the given
+// pair universe. A nil universe means all pairs (classic enumeration).
+func New(full, border bool, ps *PairSet) *Enumerator {
+	return &Enumerator{full: full, border: border, pairs: ps}
 }
+
+// Pairs returns the enumerator's pair universe (never nil after the first
+// Candidates/Repair call sized it).
+func (e *Enumerator) Pairs() *PairSet { return e.pairs }
 
 // Stats returns the cumulative piece-cache counters.
 func (e *Enumerator) Stats() Stats {
@@ -427,6 +435,9 @@ func (e *Enumerator) size(src Source) {
 	e.sized = true
 	e.nh = src.NumFrags(core.SpeciesH)
 	e.nm = src.NumFrags(core.SpeciesM)
+	if e.pairs == nil {
+		e.pairs = AllPairs(e.nh, e.nm)
+	}
 	for sp, n := range [2]int{e.nh, e.nm} {
 		if e.full {
 			e.win[sp] = make([]piece[[][2]int], n)
@@ -562,10 +573,11 @@ func (e *Enumerator) rebuild() {
 	if e.full {
 		for sp := core.SpeciesH; sp <= core.SpeciesM; sp++ {
 			osp := sp.Other()
-			nf, ng := e.numFrags(sp), e.numFrags(osp)
+			nf := e.numFrags(sp)
 			for fi := 0; fi < nf; fi++ {
 				f := core.FragRef{Sp: sp, Idx: fi}
-				for gi := 0; gi < ng; gi++ {
+				for _, gi32 := range e.pairs.PartnersOf(f) {
+					gi := int(gi32)
 					g := core.FragRef{Sp: osp, Idx: gi}
 					for _, w := range e.win[osp][gi].val {
 						e.cands = append(e.cands, Cand{Kind: KindI1, F: f, G: g, A1: w[0], A2: w[1]})
@@ -576,7 +588,7 @@ func (e *Enumerator) rebuild() {
 	}
 	if e.border {
 		none := core.FragRef{Idx: -1}
-		e.cands = AppendI2(e.cands, e.nh, e.nm, none, none, func(fr core.FragRef) [2]Depths {
+		e.cands = AppendI2(e.cands, e.pairs, none, none, func(fr core.FragRef) [2]Depths {
 			return e.dep[fr.Sp][fr.Idx].val
 		})
 		// Chain links are disjoint across H fragments (a match touches

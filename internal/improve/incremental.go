@@ -182,19 +182,20 @@ func mkPlaceKey(x core.FragRef, rev bool, z core.FragRef, lo, hi int) placeKey {
 // open-addressed table: entries are only ever inserted (a memo never
 // deletes), so linear probing with doubling growth suffices, and the common
 // hit is one multiply-mix, one slot load, and one 16-byte key compare.
+// The table is stored as parallel key/value/used arrays rather than one
+// slice of structs: the probe loop touches only keys (16 bytes) and the
+// occupancy bytes, so a miss chain walks two dense arrays instead of
+// dragging each slot's 24-byte value header through the cache, and the
+// hot negative probe stays within a couple of cache lines.
 type placeMemo struct {
 	mu sync.RWMutex
 	// seq: see alignMemo.seq — lock elision for pool-less solves.
 	seq  bool
-	tab  []pmEntry
+	keys []placeKey
+	vals [][]placement
+	used []bool
 	mask uint64
 	n    int
-}
-
-type pmEntry struct {
-	key  placeKey
-	val  []placement
-	used bool
 }
 
 // placement mirrors align.Placement; aliased here to avoid an import cycle
@@ -202,7 +203,12 @@ type pmEntry struct {
 
 func newPlaceMemo() *placeMemo {
 	const initSlots = 1 << 10
-	return &placeMemo{tab: make([]pmEntry, initSlots), mask: initSlots - 1}
+	return &placeMemo{
+		keys: make([]placeKey, initSlots),
+		vals: make([][]placement, initSlots),
+		used: make([]bool, initSlots),
+		mask: initSlots - 1,
+	}
 }
 
 // pmHash mixes the packed key words. The packing concentrates entropy in a
@@ -217,31 +223,29 @@ func pmHash(k placeKey) uint64 {
 func (pm *placeMemo) lookup(k placeKey) ([]placement, bool) {
 	i := pmHash(k) & pm.mask
 	for {
-		e := &pm.tab[i]
-		if !e.used {
+		if !pm.used[i] {
 			return nil, false
 		}
-		if e.key == k {
-			return e.val, true
+		if pm.keys[i] == k {
+			return pm.vals[i], true
 		}
 		i = (i + 1) & pm.mask
 	}
 }
 
 func (pm *placeMemo) insert(k placeKey, v []placement) {
-	if 2*(pm.n+1) > len(pm.tab) {
+	if 2*(pm.n+1) > len(pm.keys) {
 		pm.grow()
 	}
 	i := pmHash(k) & pm.mask
 	for {
-		e := &pm.tab[i]
-		if !e.used {
-			*e = pmEntry{key: k, val: v, used: true}
+		if !pm.used[i] {
+			pm.keys[i], pm.vals[i], pm.used[i] = k, v, true
 			pm.n++
 			return
 		}
-		if e.key == k {
-			e.val = v
+		if pm.keys[i] == k {
+			pm.vals[i] = v
 			return
 		}
 		i = (i + 1) & pm.mask
@@ -249,18 +253,21 @@ func (pm *placeMemo) insert(k placeKey, v []placement) {
 }
 
 func (pm *placeMemo) grow() {
-	old := pm.tab
-	pm.tab = make([]pmEntry, 2*len(old))
-	pm.mask = uint64(len(pm.tab) - 1)
-	for i := range old {
-		if !old[i].used {
+	oldKeys, oldVals, oldUsed := pm.keys, pm.vals, pm.used
+	n := 2 * len(oldKeys)
+	pm.keys = make([]placeKey, n)
+	pm.vals = make([][]placement, n)
+	pm.used = make([]bool, n)
+	pm.mask = uint64(n - 1)
+	for i := range oldKeys {
+		if !oldUsed[i] {
 			continue
 		}
-		j := pmHash(old[i].key) & pm.mask
-		for pm.tab[j].used {
+		j := pmHash(oldKeys[i]) & pm.mask
+		for pm.used[j] {
 			j = (j + 1) & pm.mask
 		}
-		pm.tab[j] = old[i]
+		pm.keys[j], pm.vals[j], pm.used[j] = oldKeys[i], oldVals[i], true
 	}
 }
 

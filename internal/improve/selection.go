@@ -89,13 +89,20 @@ type lazySel struct {
 	// its windows), I2 blocks by the (H, M) fragment pair, I3 blocks by the
 	// H fragment owning the chain links.
 	i1 [2][][]int32
-	i2 [][]int32 // index fi*nm + gi
+	i2 [][]int32 // indexed by pairs.Rank(fi, gi)
 	i3 [][]int32
+	// pairs is the solve's candidate pair universe; blocks and loops cover
+	// only its pairs (all of them under classic enumeration).
+	pairs *enum.PairSet
 }
 
-func (s *lazySel) init(in *core.Instance, full, border bool) {
+func (s *lazySel) init(in *core.Instance, full, border bool, ps *enum.PairSet) {
 	s.full, s.border = full, border
 	s.nh, s.nm = in.NumFrags(core.SpeciesH), in.NumFrags(core.SpeciesM)
+	if ps == nil {
+		ps = enum.AllPairs(s.nh, s.nm)
+	}
+	s.pairs = ps
 	for sp, n := range [2]int{s.nh, s.nm} {
 		s.deps[sp] = make([][]depRef, n)
 		if full {
@@ -103,7 +110,7 @@ func (s *lazySel) init(in *core.Instance, full, border bool) {
 		}
 	}
 	if border {
-		s.i2 = make([][]int32, s.nh*s.nm)
+		s.i2 = make([][]int32, ps.Len())
 		s.i3 = make([][]int32, s.nh)
 	}
 }
@@ -206,7 +213,7 @@ func (s *lazySel) repair(en *enum.Enumerator, changes []enum.Change) {
 }
 
 // rebuildI1 regenerates the I1 candidates targeting g's windows: every
-// fragment of the opposite species plugs into every window, in canonical
+// pair-universe partner of g plugs into every window, in canonical
 // (f, window) order.
 func (s *lazySel) rebuildI1(en *enum.Enumerator, g core.FragRef) {
 	blk := s.i1[g.Sp][g.Idx]
@@ -216,12 +223,8 @@ func (s *lazySel) rebuildI1(en *enum.Enumerator, g core.FragRef) {
 	blk = blk[:0]
 	wins := en.Windows(g)
 	fsp := g.Sp.Other()
-	nf := s.nh
-	if fsp == core.SpeciesM {
-		nf = s.nm
-	}
-	for fi := 0; fi < nf; fi++ {
-		f := core.FragRef{Sp: fsp, Idx: fi}
+	for _, fi32 := range s.pairs.PartnersOf(g) {
+		f := core.FragRef{Sp: fsp, Idx: int(fi32)}
 		for _, w := range wins {
 			blk = append(blk, s.alloc(candKey{Kind: enum.KindI1, F: f, G: g, A1: w[0], A2: w[1]}))
 		}
@@ -232,12 +235,12 @@ func (s *lazySel) rebuildI1(en *enum.Enumerator, g core.FragRef) {
 // rebuildI2Row regenerates every I2 pair block involving fr.
 func (s *lazySel) rebuildI2Row(en *enum.Enumerator, fr core.FragRef) {
 	if fr.Sp == core.SpeciesH {
-		for gi := 0; gi < s.nm; gi++ {
-			s.rebuildI2Pair(en, fr.Idx, gi)
+		for _, gi := range s.pairs.MPartners(fr.Idx) {
+			s.rebuildI2Pair(en, fr.Idx, int(gi))
 		}
 	} else {
-		for fi := 0; fi < s.nh; fi++ {
-			s.rebuildI2Pair(en, fi, fr.Idx)
+		for _, fi := range s.pairs.HPartners(fr.Idx) {
+			s.rebuildI2Pair(en, int(fi), fr.Idx)
 		}
 	}
 }
@@ -247,7 +250,10 @@ func (s *lazySel) rebuildI2Row(en *enum.Enumerator, fr core.FragRef) {
 // (fe, ge, fw, gw) order (depth values are emitted increasing, matching
 // enum.AppendI2).
 func (s *lazySel) rebuildI2Pair(en *enum.Enumerator, fi, gi int) {
-	bi := fi*s.nm + gi
+	bi := s.pairs.Rank(fi, gi)
+	if bi < 0 {
+		return // pair outside the universe: no block to maintain
+	}
 	blk := s.i2[bi]
 	for _, id := range blk {
 		s.freeSlot(id)
@@ -370,7 +376,7 @@ func improveLazy(opt Options, st *state, en *enum.Enumerator,
 	maxRounds int, floor float64, stats *Stats) error {
 
 	var sel lazySel
-	sel.init(st.in, opt.Methods&FullOnly != 0, opt.Methods&BorderOnly != 0)
+	sel.init(st.in, opt.Methods&FullOnly != 0, opt.Methods&BorderOnly != 0, st.pairs)
 	// A non-nil bump log arms the live state's version bumps to record the
 	// dirty set of each accepted replay (state.bump).
 	st.bumpLog = make([]core.FragRef, 0, 32)

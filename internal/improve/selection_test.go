@@ -178,7 +178,7 @@ func heapSlots(s *lazySel) []int32 {
 func TestLazyHeapRepair(t *testing.T) {
 	in := core.PaperExample()
 	var sel lazySel
-	sel.init(in, true, true)
+	sel.init(in, true, true, nil)
 
 	mk := func(gi, lo, hi int) candKey {
 		return candKey{Kind: enum.KindI1, F: core.FragRef{Sp: core.SpeciesH, Idx: 0},
@@ -268,7 +268,7 @@ func TestLazyHeapRepair(t *testing.T) {
 	// Heap removal from the middle keeps the heap property: fill with
 	// distinct gains, remove an inner element, and drain.
 	sel2 := lazySel{}
-	sel2.init(in, true, false)
+	sel2.init(in, true, false, nil)
 	var ids []int32
 	for i, g := range []float64{3, 7, 1, 9, 5} {
 		id := sel2.alloc(mk(0, i, i+1))

@@ -37,6 +37,7 @@ import (
 
 	"repro/internal/align"
 	"repro/internal/core"
+	"repro/internal/improve/enum"
 	"repro/internal/isp"
 	"repro/internal/score"
 	"repro/internal/symbol"
@@ -98,6 +99,12 @@ type state struct {
 	// a few entries; linear scans beat a map here).
 	locked []core.FragRef
 
+	// pairs is the solve's candidate pair universe (never nil): dense under
+	// classic enumeration, sparse under seeded candidate generation. Every
+	// pair-producing loop — enumeration, I3's internal I2 scan, TPA's
+	// cross-fragment sweep — iterates it instead of all nh×nm pairs.
+	pairs *enum.PairSet
+
 	sig   score.Scorer // σ prepared over the instance alphabet (dense float64 or int32-quantized)
 	sigT  score.Scorer // σᵀ for M-first alignments
 	memo  *alignMemo
@@ -158,6 +165,7 @@ func newState(in *core.Instance, seed *core.Solution) *state {
 	sig := score.Prepare(in.Sigma, in.MaxSymbolID())
 	st := &state{
 		in:    in,
+		pairs: enum.AllPairs(in.NumFrags(core.SpeciesH), in.NumFrags(core.SpeciesM)),
 		sig:   sig,
 		sigT:  score.Transpose(sig),
 		memo:  newAlignMemo(),
@@ -212,6 +220,7 @@ func (st *state) clone() *state {
 	c.byFrag[0].copyFrom(&st.byFrag[0])
 	c.byFrag[1].copyFrom(&st.byFrag[1])
 	c.locked = append(c.locked[:0], st.locked...)
+	c.pairs = st.pairs
 	c.sig, c.sigT = st.sig, st.sigT
 	c.memo, c.pmemo = st.memo, st.pmemo
 	c.scr = st.scr // overwritten by the worker on cross-goroutine evals
@@ -228,6 +237,7 @@ func (st *state) clone() *state {
 // to solve-shared structures.
 func (st *state) release() {
 	st.in = nil
+	st.pairs = nil
 	st.sig, st.sigT = nil, nil
 	st.memo, st.pmemo = nil, nil
 	st.scr = nil

@@ -118,8 +118,13 @@ func (st *state) tpaBatch(zones []core.Site) float64 {
 	}
 	for zi, z := range zrs {
 		sp := z.fr.Sp.Other()
-		for xi := 0; xi < st.in.NumFrags(sp); xi++ {
-			x := core.FragRef{Sp: sp, Idx: xi}
+		// Only pair-universe partners of the zone's fragment can place
+		// positively into its freed window: a positive placement needs a
+		// positive σ cell against the zone word, and the universe is a
+		// superset of all positive-σ pairs (exhaustive mode) or the seeded
+		// restriction of them. Ascending order matches the dense loop.
+		for _, xi32 := range st.pairs.PartnersOf(z.fr) {
+			x := core.FragRef{Sp: sp, Idx: int(xi32)}
 			if st.isLocked(x) {
 				continue
 			}

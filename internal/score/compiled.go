@@ -38,6 +38,14 @@ type Compiled struct {
 	// per compiled matrix and shared alongside the transpose.
 	intOnce sync.Once
 	intc    *CompiledInt
+
+	// Cached positive-cell index (PosRow), built once per matrix like the
+	// CompiledInt one: posOff[i]..posOff[i+1] spans row i's positive columns
+	// in posCol/posVal.
+	posOnce sync.Once
+	posOff  []int32
+	posCol  []int32
+	posVal  []float64
 }
 
 // Compile evaluates base on every oriented symbol pair with region IDs up to
@@ -159,6 +167,33 @@ func (c *Compiled) IndexWordInto(dst []int32, w symbol.Word) []int32 {
 		dst = append(dst, int32(s)+c.n)
 	}
 	return dst
+}
+
+// PosRow returns the positive cells of symbol a's row as parallel
+// column-index and value slices (column order, ascending) — the float64
+// counterpart of CompiledInt.PosRow. The index over all rows is built once
+// per matrix and cached; the returned slices must not be modified. The
+// caller must ensure |a| ≤ MaxID.
+func (c *Compiled) PosRow(a symbol.Symbol) (cols []int32, vals []float64) {
+	c.posOnce.Do(c.buildPosRows)
+	ia := int(int32(a) + c.n)
+	lo, hi := c.posOff[ia], c.posOff[ia+1]
+	return c.posCol[lo:hi], c.posVal[lo:hi]
+}
+
+func (c *Compiled) buildPosRows() {
+	d := int(c.dim)
+	c.posOff = make([]int32, d+1)
+	for i := 0; i < d; i++ {
+		row := c.flat[i*d : (i+1)*d]
+		for j, v := range row {
+			if v > 0 {
+				c.posCol = append(c.posCol, int32(j))
+				c.posVal = append(c.posVal, v)
+			}
+		}
+		c.posOff[i+1] = int32(len(c.posCol))
+	}
 }
 
 // Transposed returns the compiled matrix of σᵀ(a, b) = σ(b, a). The result

@@ -1,0 +1,307 @@
+// Package seed implements minimizer-seeded sparse candidate generation for
+// genome-scale CSR instances: the seed-and-chain pipeline that replaces
+// all-pairs fragment enumeration with an O(anchors log anchors) sweep.
+//
+// The pipeline has three stages:
+//
+//  1. A minimizer index over the H fragment words: (k, w)-minimizers of each
+//     word's oriented-symbol token sequence, hashed into an inverted index,
+//     with postings lists longer than a frequency cap dropped (repetitive
+//     seeds carry no pairing signal).
+//  2. Anchor matching: each M fragment is translated into H-token space
+//     through σ (for an oriented M symbol b, its token is the positive-σ
+//     partner argmax_h σ(h, b); species words share no literal symbols, so
+//     cross-species k-mer identity only exists through σ), queried against
+//     the index in both orientations, and every postings hit becomes an
+//     anchor (fragH, fragM, posH, posM, len, rev).
+//  3. An O(n log n) sweep-line colinear chainer per fragment pair and
+//     orientation (chain.go, backed by fenwick.MaxTree) scores anchor
+//     chains under a decomposable gap penalty and keeps the best chain per
+//     orientation; surviving chains optionally verify their banded window
+//     through the existing ScoreBanded / ScoreAtLeast kernels before the
+//     pair is admitted.
+//
+// The output is a sparse fragment-pair set (plus per-pair chain windows)
+// that the improve driver consumes as its candidate universe
+// (improve.Options.Seeded): pairs without anchors are never enumerated,
+// which is what opens the 5–50k-region regime.
+//
+// Exhaustive mode (Params.Exhaustive) replaces the minimizer machinery with
+// a provably complete mask: a pair (f, g) is admitted iff some symbol of g
+// has a positive σ cell against some symbol of f in either orientation
+// class. Any I1/I2/I3 attempt on a pair without such a cell aligns to
+// nothing and returns gain ≤ 0, so restricting enumeration to this mask is
+// bit-identical to all-pairs enumeration — the parity oracle the tests
+// enforce (see improve's seeded parity test).
+package seed
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/score"
+)
+
+// Params tunes the seeding pipeline. The zero value is not useful; start
+// from DefaultParams.
+type Params struct {
+	// K is the k-mer length in regions (tokens). Fragments shorter than K
+	// are indexed whole, at level min(K, len) — see index.go.
+	K int
+	// W is the minimizer window: one k-mer is selected out of every W
+	// consecutive ones. W=1 indexes every k-mer (full sensitivity).
+	W int
+	// MaxFreq drops minimizers whose postings list exceeds it (repetitive
+	// seeds). ≤ 0 disables the cap.
+	MaxFreq int
+	// Gap is the chain gap penalty per skipped region (both axes).
+	Gap float64
+	// MinChain is the minimum chain score (anchored tokens minus gap costs)
+	// a pair must reach; 0 admits any anchored pair.
+	MinChain float64
+	// Band is the extra half-width added to a chain window's banded
+	// verification alignment, and the slack the window is extended by.
+	Band int
+	// Verify re-scores each surviving chain window through the banded
+	// kernels (ScoreBanded on float64 σ, ScoreAtLeast on int32) and drops
+	// pairs whose window aligns to nothing.
+	Verify bool
+	// Exhaustive replaces minimizer seeding with the complete positive-σ
+	// pair mask (bit-identical candidate search; see the package comment).
+	Exhaustive bool
+}
+
+// DefaultParams returns the tuning used by the genome presets: 3-region
+// seeds, 4-wide winnowing, a generous frequency cap, and banded
+// verification on.
+func DefaultParams() Params {
+	return Params{K: 3, W: 4, MaxFreq: 64, Gap: 0.5, MinChain: 0, Band: 8, Verify: true}
+}
+
+func (p Params) sanitized() Params {
+	if p.K < 1 {
+		p.K = 1
+	}
+	if p.W < 1 {
+		p.W = 1
+	}
+	if p.Gap < 0 {
+		p.Gap = 0
+	}
+	if p.Band < 0 {
+		p.Band = 0
+	}
+	return p
+}
+
+// Chain is one surviving anchor chain of a pair: its score and the window
+// it spans on both fragments (M in forward coordinates).
+type Chain struct {
+	Rev      bool
+	Score    float64
+	Anchors  int
+	HLo, HHi int
+	MLo, MHi int
+}
+
+// Pair is one admitted fragment pair with its surviving chains (best per
+// orientation, best-first; empty in exhaustive mode, which admits pairs
+// without windows).
+type Pair struct {
+	H, M   int
+	Chains []Chain
+}
+
+// Stats reports the pipeline's funnel.
+type Stats struct {
+	// Minimizers indexed over the H fragments; Capped postings lists were
+	// dropped by the frequency cap.
+	Minimizers int
+	Capped     int
+	// Anchors emitted by index queries.
+	Anchors int
+	// AnchoredPairs is the number of distinct pairs sharing ≥ 1 minimizer
+	// (in exhaustive mode: pairs in the positive-σ mask).
+	AnchoredPairs int
+	// Pairs survive chain scoring and verification — the driver's candidate
+	// universe.
+	Pairs int
+}
+
+// Result is the seeding output: the admitted pairs, sorted by (H, M).
+type Result struct {
+	Pairs []Pair
+	Stats Stats
+}
+
+// Candidates runs the seeding pipeline over the instance. σ is prepared
+// (dense-compiled) if the instance has not already done so; the improve
+// driver passes instances whose Sigma is the solve's shared matrix, so no
+// extra compilation happens there.
+func Candidates(in *core.Instance, p Params) *Result {
+	p = p.sanitized()
+	sx := newSigmaIndex(score.Prepare(in.Sigma, in.MaxSymbolID()))
+	if p.Exhaustive {
+		return exhaustivePairs(in, sx)
+	}
+	res := &Result{}
+	idx := buildIndex(in, p, &res.Stats)
+	var (
+		anchors []Anchor
+		cs      chainScratch
+		pairs   []Pair
+	)
+	for mi := 0; mi < in.NumFrags(core.SpeciesM); mi++ {
+		anchors = idx.queryFrag(in, sx, mi, anchors[:0])
+		res.Stats.Anchors += len(anchors)
+		if len(anchors) == 0 {
+			continue
+		}
+		SortAnchors(anchors)
+		lenM := in.Frag(core.SpeciesM, mi).Len()
+		// Walk the (H, rev) groups of this M fragment's sorted anchors.
+		for lo := 0; lo < len(anchors); {
+			hi := lo + 1
+			for hi < len(anchors) && anchors[hi].H == anchors[lo].H && anchors[hi].Rev == anchors[lo].Rev {
+				hi++
+			}
+			ch := chainBest(anchors[lo:hi], p.Gap, &cs)
+			if anchors[lo].Rev {
+				// Chain coordinates are in the reversed M word; flip the
+				// window back to forward coordinates.
+				ch.MLo, ch.MHi = lenM-ch.MHi, lenM-ch.MLo
+			}
+			if ch.Score >= p.MinChain {
+				hIdx := int(anchors[lo].H)
+				if n := len(pairs); n > 0 && pairs[n-1].H == hIdx && pairs[n-1].M == mi {
+					pairs[n-1].Chains = appendChain(pairs[n-1].Chains, ch)
+				} else {
+					pairs = append(pairs, Pair{H: hIdx, M: mi, Chains: []Chain{ch}})
+				}
+			}
+			lo = hi
+		}
+	}
+	// AnchoredPairs counts distinct anchored pairs regardless of MinChain.
+	res.Stats.AnchoredPairs = countAnchoredPairs(pairs)
+	if p.Verify {
+		pairs = verifyPairs(in, p, pairs)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].H != pairs[j].H {
+			return pairs[i].H < pairs[j].H
+		}
+		return pairs[i].M < pairs[j].M
+	})
+	res.Pairs = pairs
+	res.Stats.Pairs = len(pairs)
+	return res
+}
+
+// appendChain keeps a pair's chain list best-first (ties keep insertion
+// order: forward before reverse).
+func appendChain(chains []Chain, ch Chain) []Chain {
+	chains = append(chains, ch)
+	for i := len(chains) - 1; i > 0 && chains[i].Score > chains[i-1].Score; i-- {
+		chains[i], chains[i-1] = chains[i-1], chains[i]
+	}
+	return chains
+}
+
+func countAnchoredPairs(pairs []Pair) int {
+	// The builder merges consecutive (H, M) duplicates, so entries are
+	// already distinct pairs.
+	return len(pairs)
+}
+
+// verifyPairs re-scores each pair's chain windows through the banded
+// kernels, dropping chains (and pairs) whose window aligns to nothing. The
+// H window is the alignment's first word, so σ is used H-first exactly as
+// the improve attempts do.
+func verifyPairs(in *core.Instance, p Params, pairs []Pair) []Pair {
+	scr := newVerifyScratch(in)
+	defer scr.release()
+	out := pairs[:0]
+	for _, pr := range pairs {
+		kept := pr.Chains[:0]
+		for _, ch := range pr.Chains {
+			if scr.positive(in, p, pr, ch) {
+				kept = append(kept, ch)
+			}
+		}
+		if len(kept) > 0 {
+			pr.Chains = kept
+			out = append(out, pr)
+		}
+	}
+	return out
+}
+
+// PairList flattens the result into (H, M) index pairs — the improve
+// driver's PairSet input.
+func (r *Result) PairList() [][2]int32 {
+	out := make([][2]int32, len(r.Pairs))
+	for i, p := range r.Pairs {
+		out[i] = [2]int32{int32(p.H), int32(p.M)}
+	}
+	return out
+}
+
+// exhaustivePairs computes the complete positive-σ pair mask: (f, g) is
+// admitted iff some symbol of g scores positively against some symbol of f
+// in either orientation class. The mask is a superset of every pair any
+// improvement attempt can extract a positive alignment from, which is what
+// makes seeded search under it bit-identical to all-pairs enumeration.
+func exhaustivePairs(in *core.Instance, sx sigmaIndex) *Result {
+	nh := in.NumFrags(core.SpeciesH)
+	// Index H fragments by the canonical region IDs they contain.
+	byCanon := make([][]int32, sx.maxID()+1)
+	for hi := 0; hi < nh; hi++ {
+		for _, s := range in.Frag(core.SpeciesH, hi).Regions {
+			id := s.ID()
+			if id <= 0 || int(id) >= len(byCanon) {
+				continue
+			}
+			if l := byCanon[id]; len(l) == 0 || l[len(l)-1] != int32(hi) {
+				byCanon[id] = append(byCanon[id], int32(hi))
+			}
+		}
+	}
+	res := &Result{}
+	stamp := make([]int32, nh)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	var marked []int32
+	for mi := 0; mi < in.NumFrags(core.SpeciesM); mi++ {
+		marked = marked[:0]
+		for _, b := range in.Frag(core.SpeciesM, mi).Regions {
+			for _, ob := range [2]int32{int32(b), int32(b.Rev())} {
+				sx.eachPartnerCanon(ob, func(id int32) {
+					if int(id) >= len(byCanon) {
+						return
+					}
+					for _, hi := range byCanon[id] {
+						if stamp[hi] != int32(mi) {
+							stamp[hi] = int32(mi)
+							marked = append(marked, hi)
+						}
+					}
+				})
+			}
+		}
+		sort.Slice(marked, func(i, j int) bool { return marked[i] < marked[j] })
+		for _, hi := range marked {
+			res.Pairs = append(res.Pairs, Pair{H: int(hi), M: mi})
+		}
+	}
+	sort.Slice(res.Pairs, func(i, j int) bool {
+		if res.Pairs[i].H != res.Pairs[j].H {
+			return res.Pairs[i].H < res.Pairs[j].H
+		}
+		return res.Pairs[i].M < res.Pairs[j].M
+	})
+	res.Stats.AnchoredPairs = len(res.Pairs)
+	res.Stats.Pairs = len(res.Pairs)
+	return res
+}

@@ -17,6 +17,14 @@ go run ./cmd/csrbench -json -seed 1 -regions 60 -instances 8 -repeat 3 -full-enu
 # Lazy-selection ablation row (mode=eager): the full-list selection engine,
 # so the heap engine's win — and any future erosion of it — stays visible.
 go run ./cmd/csrbench -json -seed 1 -regions 60 -instances 8 -repeat 3 -lazy=false -algs csr-improve >> BENCH_BASELINE.json
+# Genome-scale seeded row (algorithm=csr-genome, mode=seeded): the pinned
+# 5k-region genome-small preset solved with minimizer-seeded sparse
+# candidates. Single repeat — the row is dominated by the dense-σ build,
+# whose wall is stable — and the same invocation measures seeded-vs-classic
+# score recovery on a downsampled sibling instance, failing below 0.9
+# (the quality gate rides with the perf row). Classic all-pairs mode on
+# this preset is benchmarked offline only (≥10x the seeded wall).
+go run ./cmd/csrbench -json -seed 1 -preset genome-small -seeded -algs csr-improve     -label csr-genome -seed-accuracy -min-recovery 0.9 >> BENCH_BASELINE.json
 # Serving-path sustained-throughput row (algorithm=serve-sustained): csrload
 # saturates an in-process csrserve over loopback HTTP; wall_ms is the run's
 # total elapsed, so daemon-layer regressions (framing, admission, σ
