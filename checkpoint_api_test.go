@@ -1,0 +1,142 @@
+package fragalign
+
+// Public-API plumbing tests for crash-safe solves: checkpoint sinks and
+// resume logs attached per submission via context, and the memory-budget
+// admission gate — the surfaces csrbatch -journal and csrserve -mem-budget
+// are built on. The bit-identity semantics themselves are pinned in
+// internal/improve; here we prove the root package wires them through a
+// BatchPool unchanged.
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// apiSink is a minimal CheckpointSink over the exported op type.
+type apiSink struct{ ops []CheckpointOp }
+
+func (s *apiSink) Accept(c CheckpointOp) error {
+	s.ops = append(s.ops, c)
+	return nil
+}
+
+func checkpointWorkload() *Instance {
+	// Unseeded improvement on this config accepts a non-trivial op sequence
+	// (the 4-approx seed would already be locally optimal).
+	cfg := DefaultGenConfig(11)
+	cfg.Regions = 60
+	return Generate(cfg).Instance
+}
+
+func TestBatchPoolCheckpointResume(t *testing.T) {
+	in := checkpointWorkload()
+	pool := NewBatchPool(CSRImprove, WithShards(2))
+	defer pool.Close()
+
+	sink := &apiSink{}
+	tk, err := pool.Submit(ContextWithCheckpoint(nil, sink), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := tk.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.ops) == 0 {
+		t.Fatal("no ops checkpointed; workload too easy to test resume")
+	}
+	if full.Stats == nil || full.Stats.Accepted != len(sink.ops) {
+		t.Fatalf("sink saw %d ops, stats %+v", len(sink.ops), full.Stats)
+	}
+
+	// Resume from a prefix: same score, same matches, fresh sink holds
+	// exactly the remainder of the full log.
+	k := len(sink.ops) / 2
+	tail := &apiSink{}
+	ctx := ContextWithResume(ContextWithCheckpoint(nil, tail), sink.ops[:k])
+	tk, err = pool.Submit(ctx, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tk.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Resumed != k {
+		t.Fatalf("Stats.Resumed = %d, want %d", res.Stats.Resumed, k)
+	}
+	if res.Score != full.Score {
+		t.Fatalf("resumed score %v, want %v", res.Score, full.Score)
+	}
+	if !reflect.DeepEqual(res.Solution.Matches, full.Solution.Matches) {
+		t.Fatal("resumed match set diverged")
+	}
+	if !reflect.DeepEqual(append(sink.ops[:k:k], tail.ops...), sink.ops) {
+		t.Fatalf("resumed checkpoint tail %v does not extend the prefix to %v", tail.ops, sink.ops)
+	}
+}
+
+func TestSolveHonorsCheckpointOptions(t *testing.T) {
+	// The one-shot Solve path has no context parameter; SolveBatch with one
+	// instance is the documented way to checkpoint a single long solve.
+	in := checkpointWorkload()
+	sink := &apiSink{}
+	pool := NewBatchPool(CSRImprove, WithShards(1))
+	defer pool.Close()
+	tk, err := pool.Submit(ContextWithCheckpoint(context.Background(), sink), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Foreign resume ops must fail the instance, not poison the pool.
+	bad := sink.ops[0]
+	bad.F.Idx = 999
+	tk, err = pool.Submit(ContextWithResume(nil, []CheckpointOp{bad}), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tk.Wait(); err == nil {
+		t.Fatal("foreign resume op solved cleanly")
+	}
+	// The pool is still healthy afterwards.
+	tk, err = pool.Submit(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tk.Wait(); err != nil {
+		t.Fatalf("pool unhealthy after rejected resume: %v", err)
+	}
+}
+
+func TestMemBudgetPublicAPI(t *testing.T) {
+	in := checkpointWorkload()
+	est := EstimateMem(in)
+	if est.Total() <= 0 || est.SigmaBytes <= 0 {
+		t.Fatalf("degenerate estimate: %+v", est)
+	}
+
+	pool := NewBatchPool(CSRImprove, WithShards(1), WithMemBudget(est.Total()/2))
+	defer pool.Close()
+	var ob *OverBudgetError
+	if _, err := pool.Submit(nil, in); !errors.As(err, &ob) {
+		t.Fatalf("Submit err = %v, want *OverBudgetError", err)
+	}
+	if ob.Budget != est.Total()/2 || ob.Estimate.Total() != est.Total() {
+		t.Fatalf("error payload wrong: %+v vs estimate %d", ob, est.Total())
+	}
+
+	ok := NewBatchPool(CSRImprove, WithShards(1), WithMemBudget(est.Total()*4))
+	defer ok.Close()
+	tk, err := ok.Submit(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -21,6 +21,19 @@
 // byte-identical to the ordered run that would have produced it), letting
 // benchdiff-style tooling and sink consumers run over archived result
 // streams without re-solving the instances.
+//
+// -journal dir/ makes the run crash-safe: every completed instance's record
+// is written to dir/results/NNNNNN.json via atomic temp-file + rename and
+// then recorded in dir/manifest.jsonl (appended + fsynced), while each
+// in-flight improvement solve streams its accepted-op checkpoint to
+// dir/ckpt/NNNNNN.ckpt (-ckpt-every sets the fsync cadence). After a crash —
+// kill -9 included — re-running with -resume over the same input skips
+// manifested instances (their stored records are re-emitted), fast-forwards
+// checkpointed in-flight solves through their accepted-op logs, and solves
+// the rest from scratch; the final stdout stream is byte-identical to the
+// uninterrupted run's (wall_ms excepted — solve time is re-measured).
+// -mem-budget refuses instances whose estimated memory footprint exceeds
+// the budget instead of dying on OOM.
 package main
 
 import (
@@ -54,6 +67,11 @@ func main() {
 		seeded    = flag.Bool("seeded", false, "minimizer-seeded sparse candidate generation (genome-scale mode; see README)")
 		partial   = flag.Bool("partial", false, "graceful degradation: a -timeout firing mid-improvement yields the last accepted solution as a partial record instead of an error")
 		replay    = flag.String("results-from", "", "replay a stored result JSONL stream through the sinks instead of solving")
+
+		journalDir = flag.String("journal", "", "journal directory for crash-safe runs: durable per-instance results + completion manifest + in-flight solve checkpoints (empty = no journal)")
+		resume     = flag.Bool("resume", false, "resume a crashed -journal run: skip manifested instances, fast-forward checkpointed solves (requires -journal and the same input and flags)")
+		ckptEvery  = flag.Int("ckpt-every", 1, "fsync the solve checkpoint every N accepted ops (1 = every op; larger trades crash-replay work for fewer syncs)")
+		memBudget  = flag.String("mem-budget", "", "per-instance memory budget, e.g. 512M or 2G; over-budget instances fail their record instead of dying on OOM (empty = no budget)")
 	)
 	flag.Parse()
 
@@ -67,6 +85,30 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	}
+
+	budget, err := encoding.ParseByteSize(*memBudget)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "csrbatch:", err)
+		os.Exit(2)
+	}
+	if *resume && *journalDir == "" {
+		fmt.Fprintln(os.Stderr, "csrbatch: -resume requires -journal")
+		os.Exit(2)
+	}
+	var jr *journal
+	if *journalDir != "" {
+		// The fingerprint pins every flag that shapes the accepted-op
+		// trajectory; a -resume under different flags must re-solve, not
+		// replay another configuration's log.
+		fp := fmt.Sprintf("%s|eps=%g|seed4=%t|int=%t|lazy=%t|seeded=%t",
+			*algo, *eps, *seed4, *intMode, *lazySel, *seeded)
+		jr, err = openJournal(*journalDir, *algo, fp, *resume, *ckptEvery)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "csrbatch:", err)
+			os.Exit(1)
+		}
+		defer jr.close()
 	}
 
 	src := io.Reader(os.Stdin)
@@ -95,6 +137,7 @@ func main() {
 		fragalign.WithLazySelection(*lazySel),
 		fragalign.WithSeededCandidates(*seeded),
 		fragalign.WithPartialResults(*partial),
+		fragalign.WithMemBudget(budget),
 	)
 	defer pool.Close()
 
@@ -103,36 +146,65 @@ func main() {
 	// submission order (the main goroutine drains tickets sequentially) or,
 	// with -unordered, in completion order (a goroutine per ticket resolves
 	// into a shared channel).
-	type pending struct {
-		ticket *fragalign.BatchTicket
-		index  int
-		name   string
-		err    error // submission-time failure (deadline hit while queued)
-	}
 	tickets := make(chan pending, pool.Shards()*2)
 	var readErr error
 	go func() {
 		defer close(tickets)
 		index := 0
 		readErr = encoding.ReadJSONL(src, func(in *core.Instance) error {
-			t, err := pool.Submit(context.Background(), in)
-			if errors.Is(err, context.DeadlineExceeded) {
-				// The per-instance deadline expired while waiting for queue
-				// space: record the failure, keep the stream going.
-				tickets <- pending{index: index, name: in.Name, err: err}
-				index++
+			p := pending{index: index, name: in.Name}
+			index++
+			if jr != nil {
+				// Manifested on a previous run: re-emit the stored record
+				// instead of re-solving. Otherwise attach the instance's
+				// checkpoint (resuming any log a crashed run left behind).
+				stored, err := jr.storedRecord(p.index, in.Name)
+				if err != nil {
+					return err
+				}
+				if stored != nil {
+					p.stored = stored
+					tickets <- p
+					return nil
+				}
+			}
+			ctx := context.Background()
+			if jr != nil {
+				var err error
+				if p.ckpt, p.ckptPath, ctx, err = jr.attachCheckpoint(ctx, p.index, in.Name); err != nil {
+					return err
+				}
+			}
+			t, err := pool.Submit(ctx, in)
+			var ob *fragalign.OverBudgetError
+			if errors.Is(err, context.DeadlineExceeded) || errors.As(err, &ob) {
+				// A deadline that expired while waiting for queue space, or
+				// an instance the memory budget refuses: record the failure,
+				// keep the stream going.
+				if p.ckpt != nil {
+					p.ckpt.Close()
+				}
+				p.ckpt = nil
+				p.err = err
+				tickets <- p
 				return nil
 			}
 			if err != nil {
+				if p.ckpt != nil {
+					p.ckpt.Close()
+				}
 				return err
 			}
-			tickets <- pending{ticket: t, index: index, name: in.Name}
-			index++
+			p.ticket = t
+			tickets <- p
 			return nil
 		})
 	}()
 
 	resolve := func(p pending) encoding.ResultRecord {
+		if p.stored != nil {
+			return *p.stored
+		}
 		rec := encoding.ResultRecord{Index: p.index, Name: p.name, Algorithm: *algo}
 		var res *fragalign.Result
 		err := p.err
@@ -141,16 +213,19 @@ func main() {
 		}
 		if err != nil {
 			rec.Error = err.Error()
-			return rec
+		} else {
+			rec.Score = res.Score
+			rec.WallMS = float64(res.Wall.Microseconds()) / 1000
+			if res.Solution != nil {
+				rec.Matches = len(res.Solution.Matches)
+			}
+			if res.Stats != nil {
+				rec.Rounds = res.Stats.Rounds
+				rec.Partial = res.Stats.Partial
+			}
 		}
-		rec.Score = res.Score
-		rec.WallMS = float64(res.Wall.Microseconds()) / 1000
-		if res.Solution != nil {
-			rec.Matches = len(res.Solution.Matches)
-		}
-		if res.Stats != nil {
-			rec.Rounds = res.Stats.Rounds
-			rec.Partial = res.Stats.Partial
+		if jr != nil {
+			jr.complete(p, &rec)
 		}
 		return rec
 	}

@@ -46,6 +46,7 @@ import (
 	"time"
 
 	fragalign "repro"
+	"repro/internal/encoding"
 	"repro/internal/faultinject"
 	"repro/internal/serve"
 )
@@ -82,6 +83,8 @@ func main() {
 		seed4      = flag.Bool("seed4", true, "seed improvement with the 4-approximation")
 		intMode    = flag.Bool("int", false, "solve with the int32-quantized score kernels")
 		lazySel    = flag.Bool("lazy", true, "use the lazy best-first candidate-selection engine")
+		seeded     = flag.Bool("seeded", false, "default to minimizer-seeded candidate generation (requests override with ?seeded=0/1)")
+		memBudget  = flag.String("mem-budget", "", "per-instance memory budget, e.g. 512M or 2G; over-budget submissions are refused 413 (empty = no budget)")
 		timeout    = flag.Duration("timeout", 0, "default per-instance solve deadline when a request sets none (0 = none)")
 		maxTimeout = flag.Duration("max-timeout", 5*time.Minute, "cap on the per-instance deadline a request may ask for (0 = uncapped)")
 		maxBody    = flag.Int64("max-body", 256<<20, "request body size limit in bytes")
@@ -109,6 +112,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "csrserve:", err)
 		os.Exit(2)
 	}
+	budget, err := encoding.ParseByteSize(*memBudget)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "csrserve:", err)
+		os.Exit(2)
+	}
 	var inj *fragalign.FaultInjector
 	if *chaos != "" {
 		rules, err := faultinject.ParseRules(*chaos)
@@ -128,6 +136,8 @@ func main() {
 		fragalign.WithFourApproxSeed(*seed4),
 		fragalign.WithIntScore(*intMode),
 		fragalign.WithLazySelection(*lazySel),
+		fragalign.WithSeededCandidates(*seeded),
+		fragalign.WithMemBudget(budget),
 		fragalign.WithFaultInjector(inj),
 	)
 	defer pool.Close()

@@ -47,6 +47,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/greedy"
 	"repro/internal/improve"
+	"repro/internal/improve/enum"
 	"repro/internal/onecsr"
 	"repro/internal/score"
 	"repro/internal/seed"
@@ -88,6 +89,16 @@ type (
 	Accuracy = gen.Accuracy
 	// ImproveStats reports on an iterative-improvement run.
 	ImproveStats = improve.Stats
+	// CheckpointOp is one accepted improvement operation — the unit of the
+	// solver's crash-recovery log. The improvement driver is deterministic:
+	// replaying a solve's accepted ops over a fresh state reproduces its
+	// exact mid-solve state, so a durable op log IS a checkpoint.
+	CheckpointOp = enum.Cand
+	// CheckpointSink receives each accepted operation of an improvement
+	// solve as it happens (see ContextWithCheckpoint). A sink error aborts
+	// the solve: the solver never runs ahead of its durable log.
+	// encoding.CheckpointWriter is the file-backed implementation.
+	CheckpointSink = improve.CheckpointSink
 )
 
 // Species constants.
@@ -248,10 +259,11 @@ type solveCfg struct {
 	seeded      bool
 	seedParams  seed.Params
 	// Batch-only knobs (see solvebatch.go).
-	shards  int
-	queue   int
-	timeout time.Duration
-	inject  *faultinject.Injector
+	shards    int
+	queue     int
+	timeout   time.Duration
+	inject    *faultinject.Injector
+	memBudget int64
 }
 
 // WithWorkers parallelizes candidate evaluation (improvement algorithms)
@@ -362,6 +374,78 @@ func partialFromContext(ctx context.Context) bool {
 	return on
 }
 
+// Per-submission solve overrides carried on the submission context, the
+// mechanism batch pools use for knobs that vary per instance while one pool
+// serves them all (ContextWithPartial established the pattern).
+type (
+	checkpointKey struct{}
+	resumeKey     struct{}
+	seededKey     struct{}
+)
+
+// ContextWithCheckpoint attaches a checkpoint sink to a submission: every
+// accepted improvement operation of a solve run under ctx is handed to sink
+// before the solve proceeds, and a sink error aborts the solve. With a
+// durable sink (encoding.CreateCheckpoint) a killed solve can be resumed
+// from its last flushed op via ContextWithResume. Improvement algorithms
+// only; other solvers ignore it.
+func ContextWithCheckpoint(ctx context.Context, sink CheckpointSink) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, checkpointKey{}, sink)
+}
+
+func checkpointFromContext(ctx context.Context) improve.CheckpointSink {
+	if ctx == nil {
+		return nil
+	}
+	sink, _ := ctx.Value(checkpointKey{}).(improve.CheckpointSink)
+	return sink
+}
+
+// ContextWithResume fast-forwards a solve through a previously checkpointed
+// accepted-op log before its round loop starts. The ops must come from a
+// checkpoint of the same instance under the same solve configuration
+// (encoding.CheckpointHeader.Fingerprint is how csrbatch pins this); the
+// resumed solve's remaining accepted sequence, final solution, and score are
+// then bit-identical to the uninterrupted run's. Ops that do not fit the
+// instance fail the solve with a typed error. Improvement algorithms only.
+func ContextWithResume(ctx context.Context, ops []CheckpointOp) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, resumeKey{}, ops)
+}
+
+func resumeFromContext(ctx context.Context) []enum.Cand {
+	if ctx == nil {
+		return nil
+	}
+	ops, _ := ctx.Value(resumeKey{}).([]enum.Cand)
+	return ops
+}
+
+// ContextWithSeeded overrides WithSeededCandidates per submission — the
+// per-request form behind csrserve's ?seeded= parameter, where one pool
+// serves requests with different candidate-generation preferences.
+func ContextWithSeeded(ctx context.Context, on bool) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, seededKey{}, on)
+}
+
+// SeededFromContext reports the ContextWithSeeded override: on is the value
+// and ok whether one was set (false ok means "use the pool's default").
+func SeededFromContext(ctx context.Context) (on, ok bool) {
+	if ctx == nil {
+		return false, false
+	}
+	on, ok = ctx.Value(seededKey{}).(bool)
+	return on, ok
+}
+
 // WithShards sets the number of concurrent per-instance solvers a batch
 // pool runs (default GOMAXPROCS). Batch APIs only; Solve ignores it.
 func WithShards(n int) Option { return func(c *solveCfg) { c.shards = n } }
@@ -376,6 +460,17 @@ func WithQueueDepth(n int) Option { return func(c *solveCfg) { c.queue = n } }
 // Batch APIs only.
 func WithPerInstanceTimeout(d time.Duration) Option {
 	return func(c *solveCfg) { c.timeout = d }
+}
+
+// WithMemBudget caps the estimated memory footprint of any single instance a
+// batch pool admits: submissions whose cost-model estimate (σ compile bytes
+// from the alphabet size + DP scratch from the fragment-length profile +
+// solver state) exceeds bytes are refused with an *OverBudgetError instead
+// of being queued to die on OOM. Instances whose σ is already resident in
+// the pool's per-alphabet cache are charged only scratch + state. 0 (the
+// default) disables the gate. Batch APIs only.
+func WithMemBudget(bytes int64) Option {
+	return func(c *solveCfg) { c.memBudget = bytes }
 }
 
 // Result is a solved instance.
@@ -473,6 +568,10 @@ func solveInstance(ctx context.Context, in *Instance, alg Algorithm, cfg solveCf
 		if alg == BorderImprove {
 			methods = improve.BorderOnly
 		}
+		seeded := cfg.seeded
+		if on, ok := SeededFromContext(ctx); ok {
+			seeded = on
+		}
 		s, stats, err := improve.Improve(in, improve.Options{
 			Methods:            methods,
 			Eps:                cfg.eps,
@@ -482,10 +581,12 @@ func solveInstance(ctx context.Context, in *Instance, alg Algorithm, cfg solveCf
 			IntScore:           cfg.intScore,
 			FullEnum:           cfg.fullEnum,
 			EagerSelect:        cfg.eagerSelect,
-			Seeded:             cfg.seeded,
+			Seeded:             seeded,
 			SeedParams:         cfg.seedParams,
 			CheckInvariants:    cfg.check,
 			Partial:            cfg.partial || partialFromContext(ctx),
+			Checkpoint:         checkpointFromContext(ctx),
+			Resume:             resumeFromContext(ctx),
 			Ctx:                ctx,
 			Eval:               eval,
 		})

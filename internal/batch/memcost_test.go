@@ -1,0 +1,144 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/score"
+)
+
+func TestEstimateMemShape(t *testing.T) {
+	in := testInstances(t, 1, 30)[0]
+	est := EstimateMem(in)
+	if est.SigmaBytes <= 0 || est.ScratchBytes <= 0 || est.StateBytes <= 0 {
+		t.Fatalf("estimate has non-positive terms: %+v", est)
+	}
+	if est.Total() != est.SigmaBytes+est.ScratchBytes+est.StateBytes {
+		t.Fatalf("Total() != sum of terms: %+v", est)
+	}
+	dim := 2*int64(in.MaxSymbolID()) + 1
+	if est.SigmaBytes != sigmaCellBytes*dim*dim {
+		t.Fatalf("SigmaBytes = %d, want %d·dim² = %d", est.SigmaBytes, int64(sigmaCellBytes), sigmaCellBytes*dim*dim)
+	}
+
+	// The model must be monotone in instance size: more regions, more bytes.
+	big := testInstances(t, 1, 120)[0]
+	if eb := EstimateMem(big); eb.Total() <= est.Total() {
+		t.Fatalf("4× regions estimated no bigger: %v vs %v", eb.Total(), est.Total())
+	}
+
+	// The rendered form names every term, for operators reading a 413.
+	s := est.String()
+	for _, part := range []string{"σ", "scratch", "state"} {
+		if !strings.Contains(s, part) {
+			t.Fatalf("estimate string %q missing %q", s, part)
+		}
+	}
+}
+
+func TestMemBudgetGate(t *testing.T) {
+	ins := testInstances(t, 2, 30)
+	need := EstimateMem(ins[0]).Total()
+
+	// A budget below the estimate refuses both submission paths with the
+	// typed error, before any queue interaction.
+	p := New(Options{Shards: 1, Solve: improveSolver, MemBudget: need / 2})
+	defer p.Close()
+	var ob *OverBudgetError
+	if _, err := p.Submit(context.Background(), ins[0]); !errors.As(err, &ob) {
+		t.Fatalf("Submit err = %v, want *OverBudgetError", err)
+	}
+	if ob.Budget != need/2 || ob.Estimate.Total() != need {
+		t.Fatalf("error carries wrong numbers: %+v", ob)
+	}
+	if _, err := p.TrySubmit(context.Background(), ins[1]); !errors.As(err, &ob) {
+		t.Fatalf("TrySubmit err = %v, want *OverBudgetError", err)
+	}
+	if got := p.Counters().OverBudget; got != 2 {
+		t.Fatalf("Counters().OverBudget = %d, want 2", got)
+	}
+
+	// A generous budget admits and solves normally.
+	ok := New(Options{Shards: 1, Solve: improveSolver, MemBudget: 4 * need})
+	defer ok.Close()
+	tk, err := ok.Submit(context.Background(), ins[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ok.Counters().OverBudget; got != 0 {
+		t.Fatalf("admitted pool counted %d over-budget", got)
+	}
+}
+
+func TestMemBudgetZeroDisables(t *testing.T) {
+	in := testInstances(t, 1, 30)[0]
+	p := New(Options{Shards: 1, Solve: improveSolver}) // MemBudget unset
+	defer p.Close()
+	tk, err := p.Submit(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMemBudgetSigmaResidencyWaiver pins the cache-aware half of the model:
+// an instance whose σ the pool already holds is charged only scratch+state,
+// so a budget too small for a fresh compile still admits the warm alphabet.
+func TestMemBudgetSigmaResidencyWaiver(t *testing.T) {
+	ins := testInstances(t, 2, 30)
+	est := EstimateMem(ins[0])
+	budget := est.ScratchBytes + est.StateBytes + est.SigmaBytes/2 // fits iff σ waived
+
+	p := New(Options{Shards: 1, Solve: improveSolver, MemBudget: budget})
+	defer p.Close()
+
+	// Cold: the σ compile is charged and the instance is refused.
+	var ob *OverBudgetError
+	if _, err := p.Submit(context.Background(), ins[0]); !errors.As(err, &ob) {
+		t.Fatalf("cold submit err = %v, want *OverBudgetError", err)
+	}
+
+	// Same instance with its σ pre-compiled: resident, waived, admitted.
+	warm := *ins[0]
+	warm.Sigma = score.Compile(ins[0].Sigma, ins[0].MaxSymbolID())
+	tk, err := p.Submit(context.Background(), &warm)
+	if err != nil {
+		t.Fatalf("pre-compiled σ refused: %v", err)
+	}
+	if _, err := tk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	// And once the pool's identity cache holds the compiled matrix (seeded by
+	// a solve under a no-budget pool sharing the same Table pointer), the
+	// original Table-scored instance is admitted too.
+	seeded := New(Options{Shards: 1, Solve: improveSolver, MemBudget: budget})
+	defer seeded.Close()
+	seeded.sigs.get(ins[0].Sigma, ins[0].MaxSymbolID())
+	if _, err := seeded.Submit(context.Background(), ins[0]); err != nil {
+		t.Fatalf("σ-resident submit refused: %v", err)
+	}
+}
+
+func TestEstimateMemGenomePreset(t *testing.T) {
+	// The motivating case from the cost-model comment: a genome-scale σ
+	// (alphabet width grows with the region count) is gigabytes on its own,
+	// so any sane daemon budget must refuse it while the same budget passes
+	// the small instances by orders of magnitude.
+	small := testInstances(t, 1, 30)[0]
+	cfg := gen.DefaultConfig(1)
+	cfg.Regions = 5000
+	big := gen.Generate(cfg).Instance
+	if EstimateMem(big).SigmaBytes < 100*EstimateMem(small).Total() {
+		t.Fatalf("genome-scale σ (%v) not dominating small instance (%v)",
+			EstimateMem(big).SigmaBytes, EstimateMem(small).Total())
+	}
+}

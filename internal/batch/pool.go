@@ -52,6 +52,13 @@ type Options struct {
 	// panics, slow shards, queue-return stalls, deadline overruns, σ-cache
 	// drops). Nil — the default — injects nothing; see internal/faultinject.
 	Inject *faultinject.Injector
+	// MemBudget, when > 0, caps the estimated memory of any single admitted
+	// instance: Submit and TrySubmit run the EstimateMem cost model and
+	// refuse over-budget instances with an *OverBudgetError before taking a
+	// queue slot. Instances whose σ is already resident (pre-compiled or in
+	// the pool's cache) are charged only scratch + state. 0 disables the
+	// gate.
+	MemBudget int64
 }
 
 // Ticket is the handle for one submitted instance.
@@ -89,9 +96,11 @@ type Counters struct {
 	// InFlight is the number of instances currently being solved.
 	InFlight int
 	// Submitted counts accepted submissions (Submit and TrySubmit alike);
-	// Rejected counts TrySubmit refusals due to a full queue.
-	Submitted int64
-	Rejected  int64
+	// Rejected counts TrySubmit refusals due to a full queue; OverBudget
+	// counts submissions refused by the memory-budget gate.
+	Submitted  int64
+	Rejected   int64
+	OverBudget int64
 	// Completed counts solves that returned a result; Failed counts solves
 	// that returned an error — cancellations, deadline hits, and solver
 	// panics included. Submitted == Completed + Failed + QueueDepth +
@@ -128,12 +137,13 @@ type Pool struct {
 	// unlike a mutex, waiting submitters can still honor their contexts.
 	seq chan struct{}
 
-	submitted atomic.Int64
-	rejected  atomic.Int64
-	completed atomic.Int64
-	failed    atomic.Int64
-	inflight  atomic.Int64
-	busy      []atomic.Int64 // per-shard cumulative solve nanoseconds
+	submitted  atomic.Int64
+	rejected   atomic.Int64
+	overBudget atomic.Int64
+	completed  atomic.Int64
+	failed     atomic.Int64
+	inflight   atomic.Int64
+	busy       []atomic.Int64 // per-shard cumulative solve nanoseconds
 
 	mu     sync.RWMutex // guards closed against concurrent Submit/Close
 	closed bool
@@ -187,6 +197,7 @@ func (p *Pool) Counters() Counters {
 		InFlight:    int(p.inflight.Load()),
 		Submitted:   p.submitted.Load(),
 		Rejected:    p.rejected.Load(),
+		OverBudget:  p.overBudget.Load(),
 		Completed:   p.completed.Load(),
 		Failed:      p.failed.Load(),
 		SigmaHits:   p.sigs.hits.Load(),
@@ -216,6 +227,12 @@ func (p *Pool) Submit(ctx context.Context, in *core.Instance) (*Ticket, error) {
 	if p.closed {
 		return nil, ErrClosed
 	}
+	// The memory-budget gate runs before any queue wait: an instance the
+	// pool could never fit should fail immediately, not after blocking
+	// behind admissible work.
+	if err := p.admitMem(in); err != nil {
+		return nil, err
+	}
 	// Take a queue slot first — the only wait that can last — without
 	// holding seq, so non-blocking TrySubmit callers are never stuck
 	// behind a backpressured Submit.
@@ -239,6 +256,9 @@ func (p *Pool) TrySubmit(ctx context.Context, in *core.Instance) (*Ticket, error
 	defer p.mu.RUnlock()
 	if p.closed {
 		return nil, ErrClosed
+	}
+	if err := p.admitMem(in); err != nil {
+		return nil, err
 	}
 	select {
 	case <-p.space:

@@ -61,3 +61,22 @@ func (c *sigCache) get(sc score.Scorer, maxID int32) score.Scorer {
 	c.m[sc] = cp
 	return cp
 }
+
+// peek reports whether a submission with this scorer would be served from
+// cache without paying a fresh compile — the memory-budget gate uses it to
+// waive the σ term for alphabets already resident. Never compiles.
+func (c *sigCache) peek(sc score.Scorer, maxID int32) bool {
+	if sc == nil {
+		return true
+	}
+	if cp, ok := sc.(*score.Compiled); ok && cp.MaxID() >= maxID {
+		return true
+	}
+	if !reflect.TypeOf(sc).Comparable() {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cp, ok := c.m[sc]
+	return ok && cp.MaxID() >= maxID
+}

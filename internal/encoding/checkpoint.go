@@ -1,0 +1,304 @@
+package encoding
+
+// Solve checkpoints: the durable form of an improve run's accepted-candidate
+// log. The improvement driver is deterministic — its live state evolves only
+// through accepted attempts, each replayed identically from any consistent
+// state — so the complete recovery state of a solve-in-progress is just the
+// ordered list of accepted enum.Cand ops plus a header pinning which solve
+// the log belongs to. A checkpoint file is one JSON header line followed by
+// one compact JSON line per accepted op, appended and fsynced as the solve
+// progresses.
+//
+// The format is prefix-closed by construction: every intact line prefix of a
+// checkpoint is itself a valid (shorter) checkpoint. A crash can therefore
+// only cost the ops that had not reached disk, never the ops before them —
+// the reader drops an unterminated torn tail (flagging Torn) and errors only
+// on corruption strictly before the final record, which no crash of an
+// append-only writer can produce.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/improve/enum"
+)
+
+// CheckpointFormat is the wire format version stamped into every header.
+const CheckpointFormat = 1
+
+// ErrCheckpointCorrupt marks a checkpoint whose damage is not explainable as
+// a torn trailing write: an unparseable record strictly before the final
+// line, an unknown format version, or an unreadable header. Readers wrap it,
+// so errors.Is(err, ErrCheckpointCorrupt) classifies every parse failure.
+var ErrCheckpointCorrupt = errors.New("encoding: corrupt checkpoint")
+
+// ErrCheckpointTorn is returned by CheckpointWriter.Accept when the armed
+// faultinject.CheckpointTorn point fires: the write was deliberately torn
+// mid-record (a crash-equivalent partial flush) and the writer is dead.
+var ErrCheckpointTorn = errors.New("encoding: checkpoint write torn (fault injected)")
+
+// CheckpointHeader identifies the solve a checkpoint belongs to. Resume
+// paths compare Index and Fingerprint against the solve they are about to
+// run and discard the log on mismatch — replaying another configuration's
+// trajectory would silently diverge.
+type CheckpointHeader struct {
+	Format int `json:"format"`
+	// Index is the instance's submission index within its batch.
+	Index int `json:"index"`
+	// Name is the instance name, informational.
+	Name string `json:"name,omitempty"`
+	// Algo is the solving algorithm label.
+	Algo string `json:"algo,omitempty"`
+	// Fingerprint pins every solver option that shapes the accepted
+	// trajectory (eps, seeding, quantization, selection engine, ...); the
+	// producer composes it, the resumer must match it exactly.
+	Fingerprint string `json:"fingerprint,omitempty"`
+}
+
+// wireCkptOp is the compact per-op line. Field ranges are validated on read
+// so a corrupt log yields a typed error, never a panic downstream.
+type wireCkptOp struct {
+	K  uint8 `json:"k"`
+	FS uint8 `json:"fs"`
+	FI int   `json:"fi"`
+	GS uint8 `json:"gs"`
+	GI int   `json:"gi"`
+	A1 int   `json:"a1"`
+	A2 int   `json:"a2"`
+	B1 int   `json:"b1"`
+	B2 int   `json:"b2"`
+}
+
+func toWireOp(c enum.Cand) wireCkptOp {
+	return wireCkptOp{
+		K:  uint8(c.Kind),
+		FS: uint8(c.F.Sp), FI: c.F.Idx,
+		GS: uint8(c.G.Sp), GI: c.G.Idx,
+		A1: c.A1, A2: c.A2, B1: c.B1, B2: c.B2,
+	}
+}
+
+func (w wireCkptOp) cand() (enum.Cand, error) {
+	if w.K < uint8(enum.KindI1) || w.K > uint8(enum.KindI3) {
+		return enum.Cand{}, fmt.Errorf("op kind %d out of range", w.K)
+	}
+	if w.FS > 1 || w.GS > 1 {
+		return enum.Cand{}, fmt.Errorf("op species %d/%d out of range", w.FS, w.GS)
+	}
+	if w.FI < 0 || w.GI < 0 {
+		return enum.Cand{}, fmt.Errorf("op fragment index %d/%d negative", w.FI, w.GI)
+	}
+	return enum.Cand{
+		Kind: enum.Kind(w.K),
+		F:    core.FragRef{Sp: core.Species(w.FS), Idx: w.FI},
+		G:    core.FragRef{Sp: core.Species(w.GS), Idx: w.GI},
+		A1:   w.A1, A2: w.A2, B1: w.B1, B2: w.B2,
+	}, nil
+}
+
+// Checkpoint is a parsed accepted-op log.
+type Checkpoint struct {
+	Header CheckpointHeader
+	Ops    []enum.Cand
+	// Torn reports that an unterminated partial record was found at EOF and
+	// dropped — the signature of a crash mid-append. Ops still holds every
+	// intact record; resuming from them is exactly as safe as resuming from
+	// a clean file (the lost op is re-discovered deterministically).
+	Torn bool
+	// valid is the byte offset just past the last intact record —
+	// ResumeCheckpoint truncates the torn tail to it before appending.
+	valid int64
+}
+
+// ParseCheckpoint parses checkpoint bytes, tolerating a torn tail. An
+// unreadable header or a malformed record before the final line fails with
+// an ErrCheckpointCorrupt-wrapped error.
+func ParseCheckpoint(data []byte) (*Checkpoint, error) {
+	ck := &Checkpoint{}
+	off, lineNo := 0, 0
+	sawHeader := false
+	for off < len(data) {
+		lineNo++
+		nl := bytes.IndexByte(data[off:], '\n')
+		terminated := nl >= 0
+		var seg []byte
+		if terminated {
+			seg = data[off : off+nl]
+		} else {
+			seg = data[off:]
+		}
+		var perr error
+		if !sawHeader {
+			perr = json.Unmarshal(seg, &ck.Header)
+			if perr == nil && ck.Header.Format != CheckpointFormat {
+				perr = fmt.Errorf("format %d unsupported", ck.Header.Format)
+			}
+		} else {
+			var w wireCkptOp
+			perr = json.Unmarshal(seg, &w)
+			if perr == nil {
+				var c enum.Cand
+				if c, perr = w.cand(); perr == nil {
+					ck.Ops = append(ck.Ops, c)
+				}
+			}
+		}
+		if perr != nil {
+			if !terminated {
+				if !sawHeader {
+					// The header itself never hit the disk intact: there is
+					// nothing to resume from.
+					return nil, fmt.Errorf("%w: header unreadable: %v", ErrCheckpointCorrupt, perr)
+				}
+				ck.Torn = true
+				return ck, nil
+			}
+			return nil, fmt.Errorf("%w: line %d: %v", ErrCheckpointCorrupt, lineNo, perr)
+		}
+		sawHeader = true
+		if terminated {
+			off += nl + 1
+		} else {
+			off = len(data)
+		}
+		ck.valid = int64(off)
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("%w: empty file", ErrCheckpointCorrupt)
+	}
+	return ck, nil
+}
+
+// LoadCheckpoint reads and parses a checkpoint file. A missing file returns
+// the os.Open error unwrapped, so callers distinguish "no checkpoint yet"
+// (errors.Is(err, fs.ErrNotExist) — start fresh) from corruption.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseCheckpoint(data)
+}
+
+// CheckpointWriter appends accepted ops to a checkpoint file, syncing every
+// FlushEvery accepts (default: every accept). It satisfies the improvement
+// driver's checkpoint-sink contract; a write or sync failure is sticky and
+// aborts the solve rather than letting it run ahead of its durable log.
+type CheckpointWriter struct {
+	f     *os.File
+	every int
+	n     int
+	inj   *faultinject.Injector
+	err   error
+}
+
+// CreateCheckpoint truncates/creates path and writes (and syncs) the header.
+func CreateCheckpoint(path string, hdr CheckpointHeader) (*CheckpointWriter, error) {
+	hdr.Format = CheckpointFormat
+	data, err := json.Marshal(&hdr)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &CheckpointWriter{f: f, every: 1}, nil
+}
+
+// ResumeCheckpoint reopens path for appending after ck was loaded from it,
+// first truncating any torn tail so the file returns to its last intact
+// record before new ops land.
+func ResumeCheckpoint(path string, ck *Checkpoint) (*CheckpointWriter, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(ck.valid); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(ck.valid, 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &CheckpointWriter{f: f, every: 1}, nil
+}
+
+// SetFlushEvery syncs after every n accepted ops instead of every one —
+// cheaper, at the cost of up to n-1 ops of lost progress on a crash.
+func (w *CheckpointWriter) SetFlushEvery(n int) {
+	if n < 1 {
+		n = 1
+	}
+	w.every = n
+}
+
+// SetInjector arms the faultinject.CheckpointTorn point on this writer.
+func (w *CheckpointWriter) SetInjector(inj *faultinject.Injector) { w.inj = inj }
+
+// Accept appends one accepted op, syncing per the flush cadence. Errors are
+// sticky: after any failure (including an injected torn write) every further
+// Accept fails with the same error.
+func (w *CheckpointWriter) Accept(c enum.Cand) error {
+	if w.err != nil {
+		return w.err
+	}
+	data, err := json.Marshal(toWireOp(c))
+	if err != nil {
+		w.err = err
+		return err
+	}
+	data = append(data, '\n')
+	if w.inj.Fires(faultinject.CheckpointTorn) {
+		// Crash-equivalent torn flush: persist only a strict prefix of the
+		// record (no newline can survive — it is the final byte) and die.
+		w.f.Write(data[:len(data)/2])
+		w.f.Sync()
+		w.err = ErrCheckpointTorn
+		return w.err
+	}
+	if _, err := w.f.Write(data); err != nil {
+		w.err = err
+		return err
+	}
+	w.n++
+	if w.n >= w.every {
+		w.n = 0
+		if err := w.f.Sync(); err != nil {
+			w.err = err
+			return err
+		}
+	}
+	return nil
+}
+
+// Close syncs any unflushed ops and closes the file. Safe after a sticky
+// error (the file still closes); returns the first error seen.
+func (w *CheckpointWriter) Close() error {
+	if w.f == nil {
+		return w.err
+	}
+	if w.err == nil && w.n > 0 {
+		w.err = w.f.Sync()
+	}
+	cerr := w.f.Close()
+	w.f = nil
+	if w.err == nil {
+		w.err = cerr
+	}
+	return w.err
+}

@@ -1,0 +1,212 @@
+package encoding
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/improve/enum"
+)
+
+func testOps(n int) []enum.Cand {
+	ops := make([]enum.Cand, n)
+	for i := range ops {
+		ops[i] = enum.Cand{
+			Kind: enum.Kind(int(enum.KindI1) + i%3),
+			F:    core.FragRef{Sp: core.SpeciesH, Idx: i},
+			G:    core.FragRef{Sp: core.SpeciesM, Idx: 2 * i},
+			A1:   i, A2: i + 3, B1: 7 * i, B2: 7*i + 2,
+		}
+	}
+	return ops
+}
+
+func writeCheckpoint(t *testing.T, path string, hdr CheckpointHeader, ops []enum.Cand) {
+	t.Helper()
+	w, err := CreateCheckpoint(path, hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range ops {
+		if err := w.Accept(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.ckpt")
+	hdr := CheckpointHeader{Index: 42, Name: "inst-42", Algo: "csr-improve", Fingerprint: "eps=0.05"}
+	ops := testOps(5)
+	writeCheckpoint(t, path, hdr, ops)
+
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Torn {
+		t.Fatal("clean checkpoint flagged Torn")
+	}
+	if ck.Header.Index != 42 || ck.Header.Name != "inst-42" ||
+		ck.Header.Algo != "csr-improve" || ck.Header.Fingerprint != "eps=0.05" ||
+		ck.Header.Format != CheckpointFormat {
+		t.Fatalf("header round-trip mangled: %+v", ck.Header)
+	}
+	if !reflect.DeepEqual(ck.Ops, ops) {
+		t.Fatalf("ops round-trip mangled:\n got %v\nwant %v", ck.Ops, ops)
+	}
+}
+
+func TestCheckpointHeaderOnly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.ckpt")
+	writeCheckpoint(t, path, CheckpointHeader{Index: 1}, nil)
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ck.Ops) != 0 || ck.Torn {
+		t.Fatalf("header-only checkpoint parsed as %d ops, torn=%v", len(ck.Ops), ck.Torn)
+	}
+}
+
+// TestCheckpointTornTailDropped simulates the crash the format is built for:
+// an unterminated partial record at EOF is dropped (Torn), every intact
+// record survives, and ResumeCheckpoint heals the file by truncation.
+func TestCheckpointTornTailDropped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.ckpt")
+	ops := testOps(4)
+	writeCheckpoint(t, path, CheckpointHeader{Index: 9, Fingerprint: "fp"}, ops)
+
+	// Tear the file mid-record the way a crash during append would.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"k":1,"fs":0,"fi":12,"g`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ck.Torn {
+		t.Fatal("torn tail not flagged")
+	}
+	if !reflect.DeepEqual(ck.Ops, ops) {
+		t.Fatalf("intact records lost: got %v want %v", ck.Ops, ops)
+	}
+
+	// Healing: resume truncates the tail, appends, and the reload is clean.
+	w, err := ResumeCheckpoint(path, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := testOps(6)[5]
+	if err := w.Accept(extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	healed, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healed.Torn {
+		t.Fatal("healed file still torn")
+	}
+	if !reflect.DeepEqual(healed.Ops, append(ops[:4:4], extra)) {
+		t.Fatalf("healed ops wrong: %v", healed.Ops)
+	}
+}
+
+func TestCheckpointCorrupt(t *testing.T) {
+	hdr := `{"format":1,"index":3}`
+	op := `{"k":1,"fs":0,"fi":1,"gs":1,"gi":2,"a1":0,"a2":1,"b1":0,"b2":1}`
+	for name, data := range map[string]string{
+		"empty":              "",
+		"torn-header":        `{"format":1,"ind`,
+		"bad-header":         "not json\n",
+		"bad-format-version": `{"format":99,"index":3}` + "\n",
+		"garbage-mid-line":   hdr + "\ngarbage\n" + op + "\n",
+		"op-kind-range":      hdr + "\n" + strings.Replace(op, `"k":1`, `"k":77`, 1) + "\n",
+		"op-species-range":   hdr + "\n" + strings.Replace(op, `"fs":0`, `"fs":9`, 1) + "\n",
+		"op-negative-index":  hdr + "\n" + strings.Replace(op, `"fi":1`, `"fi":-4`, 1) + "\n",
+	} {
+		t.Run(name, func(t *testing.T) {
+			_, err := ParseCheckpoint([]byte(data))
+			if !errors.Is(err, ErrCheckpointCorrupt) {
+				t.Fatalf("err = %v, want ErrCheckpointCorrupt", err)
+			}
+		})
+	}
+}
+
+func TestCheckpointMissingFileIsNotExist(t *testing.T) {
+	_, err := LoadCheckpoint(filepath.Join(t.TempDir(), "absent.ckpt"))
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("err = %v, want fs.ErrNotExist", err)
+	}
+}
+
+func TestCheckpointFlushEvery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.ckpt")
+	w, err := CreateCheckpoint(path, CheckpointHeader{Index: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetFlushEvery(100) // batch syncs; Close must still flush the tail
+	for _, c := range testOps(3) {
+		if err := w.Accept(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ck.Ops) != 3 {
+		t.Fatalf("got %d ops after deferred flush, want 3", len(ck.Ops))
+	}
+}
+
+func FuzzParseCheckpoint(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte(`{"format":1,"index":3}` + "\n"))
+	f.Add([]byte(`{"format":1,"index":3}` + "\n" +
+		`{"k":1,"fs":0,"fi":1,"gs":1,"gi":2,"a1":0,"a2":1,"b1":0,"b2":1}` + "\n"))
+	f.Add([]byte(`{"format":1,"index":3}` + "\n" + `{"k":1,"fs":0,`))
+	f.Add([]byte(fmt.Sprintf(`{"format":%d}`, CheckpointFormat)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Contract: never panic; every failure is classifiable as corruption.
+		ck, err := ParseCheckpoint(data)
+		if err != nil {
+			if !errors.Is(err, ErrCheckpointCorrupt) {
+				t.Fatalf("untyped parse error: %v", err)
+			}
+			return
+		}
+		if ck == nil {
+			t.Fatal("nil checkpoint with nil error")
+		}
+		// Whatever parsed must round-trip through the validated op space.
+		for _, c := range ck.Ops {
+			if _, err := toWireOp(c).cand(); err != nil {
+				t.Fatalf("parsed op fails its own validation: %+v: %v", c, err)
+			}
+		}
+	})
+}

@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -263,6 +264,12 @@ func scanLines(r io.Reader, what string, perLine func(line string) error) error 
 			if ls, ok := err.(lineStop); ok {
 				return ls.err
 			}
+			// A read failure (body size limit, disconnect) can surface as a
+			// truncated final token; the parse error it causes is a symptom,
+			// so report the underlying stream error instead.
+			if rerr := sc.Err(); rerr != nil {
+				return rerr
+			}
 			return fmt.Errorf("encoding: %s line %d: %w", what, lineNo, err)
 		}
 	}
@@ -347,6 +354,33 @@ func (d *SigmaInterner) instance(j *jsonInstance) (*core.Instance, error) {
 	defer d.mu.Unlock()
 	if d.m == nil {
 		d.m = make(map[string]*sharedSigma)
+	}
+	// Wire-level validation, before any interning: a malformed instance must
+	// fail with a message naming the defect (the HTTP frontend turns it into
+	// a structured 400), and must not pollute the shared σ cache.
+	if len(j.Scores) == 0 && (len(j.H) > 0 || len(j.M) > 0) {
+		return nil, fmt.Errorf("instance %q has fragments but an empty score table", j.Name)
+	}
+	for _, s := range j.Scores {
+		if math.IsNaN(s.Value) || math.IsInf(s.Value, 0) {
+			return nil, fmt.Errorf("instance %q: score (%s,%s) is %v", j.Name, s.A, s.B, s.Value)
+		}
+	}
+	for _, side := range []struct {
+		sp    string
+		frags []jsonFrag
+	}{{"h", j.H}, {"m", j.M}} {
+		seen := make(map[string]int, len(side.frags))
+		for i, f := range side.frags {
+			if f.Name == "" {
+				continue
+			}
+			if prev, dup := seen[f.Name]; dup {
+				return nil, fmt.Errorf("instance %q: duplicate %s fragment id %q (fragments %d and %d)",
+					j.Name, side.sp, f.Name, prev, i)
+			}
+			seen[f.Name] = i
+		}
 	}
 	resolved := resolveScores(j.Scores)
 	triples := make([]string, len(resolved))

@@ -1,0 +1,42 @@
+package encoding
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+// FuzzReadJSONL pins the ingest hardening contract: arbitrary bytes on the
+// wire never panic the reader, and every instance it DOES hand the callback
+// passes core validation — malformed input is a typed error upstream of the
+// solver, never a crash inside it.
+func FuzzReadJSONL(f *testing.F) {
+	var seed bytes.Buffer
+	for s := int64(1); s <= 2; s++ {
+		in := gen.Generate(gen.DefaultConfig(s)).Instance
+		if err := WriteJSONLine(&seed, in); err != nil {
+			f.Fatal(err)
+		}
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte(`{"name":"x","scores":[],"h":[],"m":[]}` + "\n"))
+	f.Add([]byte(`{"name":"x","h":[{"id":"a","s":"AB"}],"scores":[]}` + "\n"))
+	f.Add([]byte(`{"scores":[{"a":"x","b":"x","v":1e999}]}` + "\n"))
+	f.Add([]byte("{\n"))
+	f.Add([]byte(`{"name":"dup","scores":[{"a":"x","b":"x","v":1}],` +
+		`"h":[{"id":"f1","s":"x"},{"id":"f1","s":"xx"}]}` + "\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		err := ReadJSONL(bytes.NewReader(data), func(in *core.Instance) error {
+			if verr := in.Validate(); verr != nil {
+				t.Fatalf("reader surfaced an invalid instance: %v", verr)
+			}
+			return nil
+		})
+		if err != nil && strings.Contains(err.Error(), "panic") {
+			t.Fatalf("panic smuggled into error: %v", err)
+		}
+	})
+}

@@ -1,0 +1,249 @@
+package encoding
+
+// Batch journals: the durable completion record of a csrbatch run. A journal
+// directory holds
+//
+//	manifest.jsonl      one ManifestEntry line per COMPLETED instance,
+//	                    appended + fsynced after its result file is durably
+//	                    in place — so a manifested instance always has a
+//	                    readable result
+//	results/NNNNNN.json one ResultRecord per completed instance, written
+//	                    via temp-file + rename (WriteFileAtomic), so a
+//	                    result file is either absent or whole
+//	ckpt/NNNNNN.ckpt    the in-flight solve checkpoint (checkpoint.go),
+//	                    removed once the instance completes
+//
+// The write order (result rename, then manifest append) makes the manifest
+// the source of truth for resume: entries are trusted, in-flight instances
+// fall back to their checkpoints, and everything else re-solves from
+// scratch. Like checkpoints, the manifest is an append-only JSONL log whose
+// reader tolerates a torn final line.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// ErrManifestCorrupt marks manifest damage beyond a torn trailing line.
+var ErrManifestCorrupt = errors.New("encoding: corrupt journal manifest")
+
+// ManifestEntry records one completed instance.
+type ManifestEntry struct {
+	// Index is the instance's submission index within the batch.
+	Index int `json:"index"`
+	// Name is the instance name; resume paths verify it against the
+	// re-submitted input so a manifest is never applied to different data.
+	Name string `json:"name,omitempty"`
+	// File is the journal-relative path of the instance's result file.
+	File string `json:"file"`
+}
+
+// Manifest is a parsed completion manifest.
+type Manifest struct {
+	Entries []ManifestEntry
+	// Torn reports a dropped unterminated final line (crash mid-append).
+	Torn bool
+}
+
+// ParseManifest parses manifest bytes, tolerating a torn tail; a malformed
+// line before the final one fails with an ErrManifestCorrupt-wrapped error.
+// Empty input is a valid empty manifest.
+func ParseManifest(data []byte) (*Manifest, error) {
+	m := &Manifest{}
+	off, lineNo := 0, 0
+	for off < len(data) {
+		lineNo++
+		nl := bytes.IndexByte(data[off:], '\n')
+		terminated := nl >= 0
+		var seg []byte
+		if terminated {
+			seg = data[off : off+nl]
+		} else {
+			seg = data[off:]
+		}
+		var e ManifestEntry
+		perr := json.Unmarshal(seg, &e)
+		if perr == nil && e.Index < 0 {
+			perr = fmt.Errorf("negative index %d", e.Index)
+		}
+		if perr == nil && e.File == "" {
+			perr = fmt.Errorf("entry has no result file")
+		}
+		if perr != nil {
+			if !terminated {
+				m.Torn = true
+				return m, nil
+			}
+			return nil, fmt.Errorf("%w: line %d: %v", ErrManifestCorrupt, lineNo, perr)
+		}
+		m.Entries = append(m.Entries, e)
+		if terminated {
+			off += nl + 1
+		} else {
+			off = len(data)
+		}
+	}
+	return m, nil
+}
+
+// LoadManifest reads a journal's manifest; a missing file is an empty
+// manifest (a journal that crashed before its first completion).
+func LoadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return &Manifest{}, nil
+		}
+		return nil, err
+	}
+	return ParseManifest(data)
+}
+
+// ManifestWriter appends completion entries, each fsynced before Add
+// returns — the durability point of an instance. Safe for concurrent use
+// (csrbatch's unordered sink completes instances from many goroutines).
+type ManifestWriter struct {
+	mu  sync.Mutex
+	f   *os.File
+	err error
+}
+
+// OpenManifest opens (creating if needed) a manifest for appending.
+func OpenManifest(path string) (*ManifestWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &ManifestWriter{f: f}, nil
+}
+
+// Add durably appends one entry. Errors are sticky.
+func (w *ManifestWriter) Add(e ManifestEntry) error {
+	data, err := json.Marshal(&e)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if _, err := w.f.Write(data); err != nil {
+		w.err = err
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.err = err
+		return err
+	}
+	return nil
+}
+
+// Close closes the manifest file.
+func (w *ManifestWriter) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return w.err
+	}
+	cerr := w.f.Close()
+	w.f = nil
+	if w.err == nil {
+		w.err = cerr
+	}
+	return w.err
+}
+
+// WriteFileAtomic writes data to path via a same-directory temp file, fsync,
+// and rename, then syncs the directory — so path either keeps its old
+// content or holds all of data, never a prefix. The building block of the
+// journal's result files.
+func WriteFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// ParseByteSize parses a human byte size: a number with an optional
+// K/M/G/T suffix (powers of 1024; optional trailing "B" or "iB", any case).
+// "512M", "2GiB", "1.5g", and "1048576" all parse; "" and "0" mean zero.
+func ParseByteSize(s string) (int64, error) {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return 0, nil
+	}
+	upper := strings.ToUpper(t)
+	upper = strings.TrimSuffix(upper, "IB")
+	upper = strings.TrimSuffix(upper, "B")
+	mult := int64(1)
+	if n := len(upper); n > 0 {
+		switch upper[n-1] {
+		case 'K':
+			mult = 1 << 10
+		case 'M':
+			mult = 1 << 20
+		case 'G':
+			mult = 1 << 30
+		case 'T':
+			mult = 1 << 40
+		}
+		if mult > 1 {
+			upper = upper[:n-1]
+		}
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(upper), 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("encoding: bad byte size %q", s)
+	}
+	n := int64(v * float64(mult))
+	if n < 0 { // float overflow past int64
+		return 0, fmt.Errorf("encoding: byte size %q overflows", s)
+	}
+	return n, nil
+}
+
+// FormatByteSize renders n for error messages and logs: the largest
+// power-of-1024 unit that keeps the mantissa ≥ 1, one decimal.
+func FormatByteSize(n int64) string {
+	const unit = 1024
+	if n < unit {
+		return fmt.Sprintf("%dB", n)
+	}
+	div, exp := int64(unit), 0
+	for m := n / unit; m >= unit; m /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f%ciB", float64(n)/float64(div), "KMGT"[exp])
+}

@@ -1,0 +1,184 @@
+package encoding
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestManifestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "manifest.jsonl")
+	w, err := OpenManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []ManifestEntry{
+		{Index: 0, Name: "a", File: "results/000000.json"},
+		{Index: 2, Name: "c", File: "results/000002.json"},
+	}
+	for _, e := range want {
+		if err := w.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Torn || !reflect.DeepEqual(m.Entries, want) {
+		t.Fatalf("round-trip mangled: torn=%v entries=%v", m.Torn, m.Entries)
+	}
+
+	// Append-reopen continues the log (the resume path).
+	w2, err := OpenManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Add(ManifestEntry{Index: 1, Name: "b", File: "results/000001.json"}); err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+	m, err = LoadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Entries) != 3 {
+		t.Fatalf("reopened manifest has %d entries, want 3", len(m.Entries))
+	}
+}
+
+func TestManifestMissingFileIsEmpty(t *testing.T) {
+	m, err := LoadManifest(filepath.Join(t.TempDir(), "absent.jsonl"))
+	if err != nil || len(m.Entries) != 0 || m.Torn {
+		t.Fatalf("missing manifest: m=%+v err=%v, want empty", m, err)
+	}
+}
+
+func TestManifestTornTailDropped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "manifest.jsonl")
+	line := `{"index":0,"name":"a","file":"results/000000.json"}` + "\n"
+	if err := os.WriteFile(path, []byte(line+`{"index":1,"fi`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Torn || len(m.Entries) != 1 || m.Entries[0].Index != 0 {
+		t.Fatalf("torn manifest: %+v", m)
+	}
+}
+
+func TestManifestCorrupt(t *testing.T) {
+	good := `{"index":0,"file":"r.json"}`
+	for name, data := range map[string]string{
+		"garbage-mid-line": "garbage\n" + good + "\n",
+		"negative-index":   strings.Replace(good, `"index":0`, `"index":-1`, 1) + "\n",
+		"no-file":          `{"index":0}` + "\n",
+	} {
+		t.Run(name, func(t *testing.T) {
+			_, err := ParseManifest([]byte(data))
+			if !errors.Is(err, ErrManifestCorrupt) {
+				t.Fatalf("err = %v, want ErrManifestCorrupt", err)
+			}
+		})
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFileAtomic(path, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "second" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	// No temp droppings: the directory holds exactly the target.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "out.json" {
+		t.Fatalf("directory not clean after atomic writes: %v", ents)
+	}
+}
+
+func TestParseByteSize(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int64
+		err  bool
+	}{
+		{"", 0, false},
+		{"0", 0, false},
+		{"1048576", 1 << 20, false},
+		{"512M", 512 << 20, false},
+		{"512MB", 512 << 20, false},
+		{"2GiB", 2 << 30, false},
+		{"1.5g", 3 << 29, false},
+		{"64k", 64 << 10, false},
+		{"1T", 1 << 40, false},
+		{" 2G ", 2 << 30, false},
+		{"-1", 0, true},
+		{"12Q", 0, true},
+		{"G", 0, true},
+		{"nope", 0, true},
+	} {
+		got, err := ParseByteSize(tc.in)
+		if tc.err != (err != nil) || got != tc.want {
+			t.Errorf("ParseByteSize(%q) = %d, %v; want %d, err=%v", tc.in, got, err, tc.want, tc.err)
+		}
+	}
+}
+
+func TestFormatByteSize(t *testing.T) {
+	for _, tc := range []struct {
+		in   int64
+		want string
+	}{
+		{0, "0B"},
+		{512, "512B"},
+		{1 << 10, "1.0KiB"},
+		{512 << 20, "512.0MiB"},
+		{3 << 29, "1.5GiB"},
+		{1 << 40, "1.0TiB"},
+	} {
+		if got := FormatByteSize(tc.in); got != tc.want {
+			t.Errorf("FormatByteSize(%d) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func FuzzParseManifest(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte(`{"index":0,"name":"a","file":"results/000000.json"}` + "\n"))
+	f.Add([]byte(`{"index":0,"file":"r.json"}` + "\n" + `{"index":1,"fi`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ParseManifest(data)
+		if err != nil {
+			if !errors.Is(err, ErrManifestCorrupt) {
+				t.Fatalf("untyped parse error: %v", err)
+			}
+			return
+		}
+		if m == nil {
+			t.Fatal("nil manifest with nil error")
+		}
+		for _, e := range m.Entries {
+			if e.Index < 0 || e.File == "" {
+				t.Fatalf("invalid entry survived parsing: %+v", e)
+			}
+		}
+	})
+}

@@ -59,6 +59,12 @@ const (
 	// the drain and mid-stream-disconnect windows the serve chaos suite
 	// targets.
 	ServeStall
+	// CheckpointTorn tears a checkpoint flush mid-record: the writer
+	// persists only a prefix of the pending bytes and then fails, exactly
+	// what a crash between write and fsync leaves on disk. The recovery
+	// suite proves the torn-tolerant reader drops the partial tail and a
+	// resumed solve replays bit-identical to the uninterrupted oracle.
+	CheckpointTorn
 
 	numPoints
 )
@@ -70,6 +76,7 @@ var pointNames = [numPoints]string{
 	DeadlineOverrun: "deadline-overrun",
 	SigmaDrop:       "sigma-drop",
 	ServeStall:      "serve-stall",
+	CheckpointTorn:  "checkpoint-torn",
 }
 
 func (p Point) String() string {

@@ -102,6 +102,24 @@ type Options struct {
 	// SeedParams tunes the seeding pipeline; the zero value means
 	// seed.DefaultParams().
 	SeedParams seed.Params
+	// Checkpoint, when set, observes every accepted candidate in acceptance
+	// order — the driver's crash-recovery tap. Because the live state evolves
+	// only through accepted attempts (simulations run on pooled clones) and
+	// each attempt replays deterministically, the accepted-candidate log IS
+	// the solve's recovery state: persist it and a crashed solve resumes via
+	// Resume, bit-identical. A sink error aborts the solve — the durability
+	// contract forbids running ahead of the log. Candidates fast-forwarded
+	// from Resume are not re-reported (they are already in the caller's log).
+	Checkpoint CheckpointSink
+	// Resume fast-forwards a fresh state through a previously checkpointed
+	// accepted-candidate log before the round loop runs: each op is applied
+	// to the live state exactly as an accepted attempt would be, Stats.Rounds
+	// and Stats.Accepted start at len(Resume), and the loop continues from
+	// there. The continued run's accepted sequence and final solution are
+	// bit-identical to an uninterrupted solve whose first len(Resume) accepts
+	// were these ops (TestCheckpointResumeBitIdentity). Ops must come from a
+	// solve of the same instance under the same options.
+	Resume []enum.Cand
 	// Partial degrades cancellation gracefully: when Ctx fires mid-solve,
 	// the driver stops at the next sub-round check and returns the last
 	// accepted state as a valid solution with Stats.Partial set, instead of
@@ -121,9 +139,20 @@ type Options struct {
 	onAccept func(candKey)
 }
 
+// CheckpointSink receives every accepted candidate of an improvement run in
+// acceptance order (see Options.Checkpoint). encoding.CheckpointWriter is
+// the durable implementation; tests use in-memory collectors.
+type CheckpointSink interface {
+	Accept(c enum.Cand) error
+}
+
 // Stats reports how an improvement run went.
 type Stats struct {
 	Rounds int
+	// Resumed counts the checkpointed ops fast-forwarded through the live
+	// state before the round loop ran (len(Options.Resume)); those accepts
+	// are included in Rounds and Accepted.
+	Resumed int
 	// Evaluated counts candidate gains obtained per round. Under the eager
 	// engines (EagerSelect/FullEnum/FullReeval) that is the full candidate
 	// list every round — enumerated candidates, whether served from cache
@@ -301,6 +330,34 @@ func Improve(in *core.Instance, opt Options) (*core.Solution, Stats, error) {
 	// nil), so the shared memos can elide their locks.
 	st.memo.seq = pool == nil
 	st.pmemo.seq = pool == nil
+	if len(opt.Resume) > 0 {
+		// Crash recovery: fast-forward the live state through the
+		// checkpointed accepted-op log. Each op is applied exactly as
+		// replayAccept applies an accepted attempt (zeroed accumulator, same
+		// float addition sequence), but without a gain check — the log IS the
+		// trajectory — and without re-reporting to Checkpoint, where the ops
+		// already are durable. Rounds/Accepted start at the replayed count so
+		// the continued loop's accounting matches the uninterrupted run's.
+		// Structural references are bounds-checked so a log from another
+		// instance fails typed instead of corrupting state.
+		for i, c := range opt.Resume {
+			if c.Kind < enum.KindI1 || c.Kind > enum.KindI3 ||
+				(c.F.Sp != core.SpeciesH && c.F.Sp != core.SpeciesM) ||
+				(c.G.Sp != core.SpeciesH && c.G.Sp != core.SpeciesM) ||
+				c.F.Idx < 0 || c.F.Idx >= in.NumFrags(c.F.Sp) ||
+				c.G.Idx < 0 || c.G.Idx >= in.NumFrags(c.G.Sp) {
+				return nil, stats, fmt.Errorf("improve: resume op %d (%s) does not fit this instance", i, c)
+			}
+			st.delta = 0
+			runCand(st, c)
+			stats.Accepted++
+			if opt.onAccept != nil {
+				opt.onAccept(c)
+			}
+		}
+		stats.Resumed = len(opt.Resume)
+		stats.Rounds = len(opt.Resume)
+	}
 	canceled := func() error {
 		if opt.Ctx == nil {
 			return nil
@@ -356,7 +413,9 @@ func Improve(in *core.Instance, opt Options) (*core.Solution, Stats, error) {
 		recs  []*readRecorder
 		fresh []int
 	)
-	for stats.Rounds = 0; stats.Rounds < maxRounds; stats.Rounds++ {
+	// Rounds starts at the resumed-op count (zero on fresh solves) so a
+	// resumed run's round numbering continues the interrupted one's.
+	for ; stats.Rounds < maxRounds; stats.Rounds++ {
 		if err := canceled(); err != nil {
 			if opt.Partial {
 				stats.Partial = true
@@ -491,6 +550,13 @@ func replayAccept(st *state, opt *Options, stats *Stats, key candKey, want float
 	stats.Accepted++
 	if opt.onAccept != nil {
 		opt.onAccept(key)
+	}
+	if opt.Checkpoint != nil {
+		if err := opt.Checkpoint.Accept(key); err != nil {
+			// The solve may not run ahead of its durable log: a sink failure
+			// (disk full, injected torn write) aborts like a crash would.
+			return fmt.Errorf("improve: checkpoint accept %s: %w", key, err)
+		}
 	}
 	if diff := got - want; diff > 1e-6*(1+want) || diff < -1e-6*(1+want) {
 		return fmt.Errorf("improve: %s replayed gain %v != simulated %v", key, got, want)

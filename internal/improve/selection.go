@@ -385,7 +385,9 @@ func improveLazy(opt Options, st *state, en *enum.Enumerator,
 		gains    []float64
 		recs     []*readRecorder
 	)
-	for stats.Rounds = 0; stats.Rounds < maxRounds; stats.Rounds++ {
+	// Rounds starts at the resumed-op count (zero on fresh solves) so a
+	// resumed run's round numbering continues the interrupted one's.
+	for ; stats.Rounds < maxRounds; stats.Rounds++ {
 		if err := canceled(); err != nil {
 			if opt.Partial {
 				stats.Partial = true

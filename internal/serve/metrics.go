@@ -16,6 +16,9 @@ type counters struct {
 	requests       atomic.Int64 // /v1/solve requests accepted for processing
 	rejected       atomic.Int64 // whole requests refused 429 (queue full)
 	drainRejected  atomic.Int64 // requests refused 503 while draining
+	overBudget     atomic.Int64 // whole requests refused 413 (memory budget)
+	tooLarge       atomic.Int64 // whole requests refused 413 (body over MaxBody)
+	badInput       atomic.Int64 // whole requests refused 400 (malformed input)
 	instancesOK    atomic.Int64 // instances solved
 	instancesFail  atomic.Int64 // instances that resolved with an error
 	solveNanos     atomic.Int64 // cumulative Result.Wall over solved instances
@@ -73,16 +76,17 @@ type TenantMetrics struct {
 
 // PoolMetrics mirrors fragalign.BatchCounters plus derived rates.
 type PoolMetrics struct {
-	Shards      int     `json:"shards"`
-	QueueDepth  int     `json:"queue_depth"`
-	QueueCap    int     `json:"queue_cap"`
-	InFlight    int     `json:"in_flight"`
-	Submitted   int64   `json:"submitted"`
-	Rejected    int64   `json:"rejected"`
-	Completed   int64   `json:"completed"`
-	Failed      int64   `json:"failed"`
-	SigmaHits   int64   `json:"sigma_hits"`
-	SigmaMisses int64   `json:"sigma_misses"`
+	Shards      int   `json:"shards"`
+	QueueDepth  int   `json:"queue_depth"`
+	QueueCap    int   `json:"queue_cap"`
+	InFlight    int   `json:"in_flight"`
+	Submitted   int64 `json:"submitted"`
+	Rejected    int64 `json:"rejected"`
+	OverBudget  int64 `json:"over_budget"` // submissions the memory-budget gate refused
+	Completed   int64 `json:"completed"`
+	Failed      int64 `json:"failed"`
+	SigmaHits   int64 `json:"sigma_hits"`
+	SigmaMisses int64 `json:"sigma_misses"`
 	// SigmaHitRate is hits/(hits+misses), 0 when no traffic.
 	SigmaHitRate float64   `json:"sigma_hit_rate"`
 	ShardBusyMS  []float64 `json:"shard_busy_ms"`
@@ -95,6 +99,9 @@ type ServerMetrics struct {
 	Requests         int64   `json:"requests"`
 	RejectedRequests int64   `json:"rejected_requests"` // 429s
 	DrainRejected    int64   `json:"drain_rejected"`    // 503s while draining
+	OverBudget       int64   `json:"over_budget"`       // 413s from the memory-budget gate
+	TooLarge         int64   `json:"too_large"`         // 413s from MaxBody
+	BadInput         int64   `json:"bad_input"`         // 400s from malformed input
 	InstancesSolved  int64   `json:"instances_solved"`
 	InstancesFailed  int64   `json:"instances_failed"`
 	SolveMSTotal     float64 `json:"solve_ms_total"` // sum of Result.Wall
@@ -102,7 +109,7 @@ type ServerMetrics struct {
 	RecordsWritten   int64   `json:"records_written"`
 	BytesStreamed    int64   `json:"bytes_streamed"`
 	PartialResults   int64   `json:"partial_results"` // gracefully degraded instances
-	Tenants          int     `json:"tenants"` // live σ-affinity interners
+	Tenants          int     `json:"tenants"`         // live σ-affinity interners
 	UptimeSeconds    float64 `json:"uptime_seconds"`
 }
 
@@ -146,6 +153,7 @@ func (s *Server) snapshot() Metrics {
 			InFlight:     pc.InFlight,
 			Submitted:    pc.Submitted,
 			Rejected:     pc.Rejected,
+			OverBudget:   pc.OverBudget,
 			Completed:    pc.Completed,
 			Failed:       pc.Failed,
 			SigmaHits:    pc.SigmaHits,
@@ -159,6 +167,9 @@ func (s *Server) snapshot() Metrics {
 			Requests:         s.ctr.requests.Load(),
 			RejectedRequests: s.ctr.rejected.Load(),
 			DrainRejected:    s.ctr.drainRejected.Load(),
+			OverBudget:       s.ctr.overBudget.Load(),
+			TooLarge:         s.ctr.tooLarge.Load(),
+			BadInput:         s.ctr.badInput.Load(),
 			InstancesSolved:  solved,
 			InstancesFailed:  s.ctr.instancesFail.Load(),
 			SolveMSTotal:     solveMS,

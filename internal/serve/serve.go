@@ -289,6 +289,20 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "partial must be 0 or 1", http.StatusBadRequest)
 		return
 	}
+	// ?seeded= overrides the pool's candidate-generation mode per request
+	// (ContextWithSeeded); absent means the pool default — whatever
+	// csrserve's -seeded flag built the pool with.
+	seededSet, seededOn := false, false
+	switch q.Get("seeded") {
+	case "":
+	case "1", "true":
+		seededSet, seededOn = true, true
+	case "0", "false":
+		seededSet, seededOn = true, false
+	default:
+		http.Error(w, "seeded must be 0 or 1", http.StatusBadRequest)
+		return
+	}
 	tenant := r.Header.Get("X-Tenant")
 	if t := q.Get("tenant"); t != "" {
 		tenant = t
@@ -313,7 +327,10 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	reqCtx := r.Context()
 	subCtx := reqCtx
 	if partial {
-		subCtx = fragalign.ContextWithPartial(reqCtx)
+		subCtx = fragalign.ContextWithPartial(subCtx)
+	}
+	if seededSet {
+		subCtx = fragalign.ContextWithSeeded(subCtx, seededOn)
 	}
 
 	// Reader goroutine: parse and submit, blocking on the bounded queue for
@@ -321,6 +338,8 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// per-tenant fair admission (admission.go) or the whole request is
 	// refused 429 before any response byte is written.
 	var errRejected = errors.New("serve: admission refused")
+	var errOverBudget = errors.New("serve: over memory budget")
+	var overBudget *fragalign.OverBudgetError // set when errOverBudget
 	capacity := s.admitCapacity()
 	rejectExcess := 1 // sizes the Retry-After hint when errRejected
 	buf := 2 * s.opts.Pool.Shards()
@@ -363,6 +382,21 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 				t, err = s.opts.Pool.Submit(ictx, in)
 			}
 			if err != nil {
+				if index == 0 {
+					// A first instance the pool's memory budget refuses fails
+					// the whole request with a structured 413 — nothing was
+					// admitted, nothing streamed. Later instances surface the
+					// same error per record below.
+					var ob *fragalign.OverBudgetError
+					if errors.As(err, &ob) {
+						overBudget = ob
+						s.tenants.unadmit(ten)
+						if cancel != nil {
+							cancel()
+						}
+						return errOverBudget
+					}
+				}
 				// Per-instance submission failure (deadline or cancellation
 				// while queued): record it, keep the stream going — unless
 				// the whole request is gone.
@@ -440,6 +474,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	var maxBytesErr *http.MaxBytesError
 	switch {
 	case errors.Is(readErr, errRejected):
 		// Nothing admitted, nothing written: refuse the whole request with
@@ -447,9 +482,32 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.ctr.rejected.Add(1)
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterTenant(rejectExcess)))
 		http.Error(w, "queue full", http.StatusTooManyRequests)
+	case errors.Is(readErr, errOverBudget) && !wroteAny:
+		// The request's first instance blew the pool's memory budget: a
+		// structured 413 carrying the cost-model estimate, so the client can
+		// see which term to shrink (or which budget to raise).
+		s.ctr.overBudget.Add(1)
+		writeJSONError(w, http.StatusRequestEntityTooLarge, overBudget.Error(), map[string]any{
+			"estimate_bytes": overBudget.Estimate.Total(),
+			"sigma_bytes":    overBudget.Estimate.SigmaBytes,
+			"scratch_bytes":  overBudget.Estimate.ScratchBytes,
+			"state_bytes":    overBudget.Estimate.StateBytes,
+			"budget_bytes":   overBudget.Budget,
+		})
+	case errors.As(readErr, &maxBytesErr) && !wroteAny:
+		// The body overran MaxBody: a structured 413 with the limit, before
+		// the server read (or buffered) anything past it.
+		s.ctr.tooLarge.Add(1)
+		writeJSONError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("request body exceeds %d bytes", maxBytesErr.Limit),
+			map[string]any{"max_body_bytes": maxBytesErr.Limit})
 	case readErr != nil && reqCtx.Err() == nil:
 		if !wroteAny {
-			http.Error(w, readErr.Error(), http.StatusBadRequest)
+			// Malformed input (bad JSON, negative lengths, duplicate
+			// fragment IDs, empty alphabets, ...): a structured 400 naming
+			// the offending line.
+			s.ctr.badInput.Add(1)
+			writeJSONError(w, http.StatusBadRequest, readErr.Error(), nil)
 			return
 		}
 		// The stream already carries records; append a stream-level error
@@ -499,6 +557,20 @@ func (s *Server) resolve(p pending) encoding.ResultRecord {
 		s.ctr.addImprove(res.Stats)
 	}
 	return rec
+}
+
+// writeJSONError answers a whole-request failure with a structured JSON
+// body: {"error": msg} plus any extra fields (cost-model estimates, limits).
+// Machine-readable rejects let batch clients distinguish "shrink this
+// instance" from "retry later" without parsing prose.
+func writeJSONError(w http.ResponseWriter, status int, msg string, extra map[string]any) {
+	doc := map[string]any{"error": msg}
+	for k, v := range extra {
+		doc[k] = v
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(doc)
 }
 
 // countingWriter tallies streamed bytes for the metrics surface.

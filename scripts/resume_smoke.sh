@@ -1,0 +1,101 @@
+#!/usr/bin/env sh
+# Crash-recovery smoke for csrbatch journaling, run by the CI chaos job and
+# runnable locally. Proves the durability contract on a real process: a
+# journaled run is byte-identical to a plain one, a kill -9 mid-run loses
+# nothing a -resume cannot reproduce (the resumed stream is byte-identical
+# to the uninterrupted run's, wall_ms excepted — solve time is re-measured),
+# the fresh-run guard refuses to clobber a completed journal, and the
+# memory-budget gate fails instances as records instead of dying on OOM.
+set -eu
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+batch_pid=""
+cleanup() {
+    [ -n "$batch_pid" ] && kill -9 "$batch_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$workdir/csrgen" ./cmd/csrgen
+go build -o "$workdir/csrbatch" ./cmd/csrbatch
+
+strip_wall() { sed 's/,"wall_ms":[0-9.e+-]*//'; }
+
+# Enough work that the kill below lands mid-run: checkpoint fsyncs per
+# accepted op slow the solves just enough on CI-class disks.
+"$workdir/csrgen" -count 32 -seed 9 -regions 120 -format jsonl > "$workdir/instances.jsonl"
+
+# 1. Baseline and an uninterrupted journaled run must emit byte-identical
+#    result streams — journaling is transparent to the output contract.
+"$workdir/csrbatch" -shards 2 "$workdir/instances.jsonl" 2>/dev/null \
+    | strip_wall > "$workdir/baseline.jsonl"
+"$workdir/csrbatch" -shards 2 -journal "$workdir/j1" "$workdir/instances.jsonl" 2>/dev/null \
+    | strip_wall > "$workdir/journaled.jsonl"
+cmp -s "$workdir/baseline.jsonl" "$workdir/journaled.jsonl" \
+    || { echo "resume_smoke: journaled run differs from baseline"; exit 1; }
+records=$(wc -l < "$workdir/journaled.jsonl")
+[ "$records" -eq 32 ] || { echo "resume_smoke: expected 32 records, got $records"; exit 1; }
+echo "resume_smoke: journaled run byte-identical to baseline ($records records)"
+
+# 2. Fresh-run guard: pointing a NON-resume run at the completed journal
+#    must refuse rather than silently clobber it.
+if "$workdir/csrbatch" -journal "$workdir/j1" "$workdir/instances.jsonl" \
+    >/dev/null 2>"$workdir/guard.log"; then
+    echo "resume_smoke: fresh run into a completed journal was not refused"
+    exit 1
+fi
+grep -q 'pass -resume' "$workdir/guard.log" \
+    || { echo "resume_smoke: guard refusal does not say how to proceed:"; cat "$workdir/guard.log"; exit 1; }
+echo "resume_smoke: fresh-run guard refuses a completed journal"
+
+# 3. The kill -9 drill: start a journaled run, wait until the manifest has
+#    at least one completion (so the crash lands with work both done and in
+#    flight), SIGKILL it, then -resume and demand the byte-identical stream.
+"$workdir/csrbatch" -shards 2 -journal "$workdir/j2" "$workdir/instances.jsonl" \
+    > "$workdir/partial.jsonl" 2>/dev/null &
+batch_pid=$!
+manifest="$workdir/j2/manifest.jsonl"
+for _ in $(seq 1 600); do
+    if [ -s "$manifest" ]; then break; fi
+    kill -0 "$batch_pid" 2>/dev/null || break
+    sleep 0.02
+done
+kill -9 "$batch_pid" 2>/dev/null || true
+wait "$batch_pid" 2>/dev/null || true
+batch_pid=""
+[ -s "$manifest" ] || { echo "resume_smoke: run died before any completion reached the manifest"; exit 1; }
+done_before=$(wc -l < "$manifest")
+if [ "$done_before" -ge 32 ]; then
+    echo "resume_smoke: warning: run completed before the kill landed ($done_before/32); resume covers only the stored-record path"
+else
+    echo "resume_smoke: killed -9 with $done_before/32 manifested"
+fi
+
+"$workdir/csrbatch" -shards 2 -journal "$workdir/j2" -resume "$workdir/instances.jsonl" 2>/dev/null \
+    | strip_wall > "$workdir/resumed.jsonl"
+cmp -s "$workdir/baseline.jsonl" "$workdir/resumed.jsonl" \
+    || { echo "resume_smoke: resumed stream differs from the uninterrupted run:"; \
+         diff "$workdir/baseline.jsonl" "$workdir/resumed.jsonl" | head -20; exit 1; }
+done_after=$(wc -l < "$manifest")
+[ "$done_after" -eq 32 ] || { echo "resume_smoke: resume left $done_after/32 manifested"; exit 1; }
+# Completed instances drop their checkpoints; a healthy finished journal
+# holds none.
+leftover=$(find "$workdir/j2/ckpt" -name '*.ckpt' 2>/dev/null | wc -l)
+[ "$leftover" -eq 0 ] || { echo "resume_smoke: $leftover stale checkpoints after resume"; exit 1; }
+echo "resume_smoke: resume after kill -9 byte-identical ($done_before completed before crash, 32 after)"
+
+# 4. Memory-budget admission: an absurd budget fails every instance as a
+#    structured record (exit 1, one error record per instance) — never OOM,
+#    never a lost record.
+if "$workdir/csrbatch" -mem-budget 1K "$workdir/instances.jsonl" \
+    > "$workdir/budget.jsonl" 2>/dev/null; then
+    echo "resume_smoke: -mem-budget 1K run claimed success"
+    exit 1
+fi
+budget_errs=$(grep -c 'memory budget' "$workdir/budget.jsonl" || true)
+[ "$budget_errs" -eq 32 ] \
+    || { echo "resume_smoke: expected 32 over-budget records, got $budget_errs"; exit 1; }
+echo "resume_smoke: memory budget refuses structurally (32 over-budget records)"
+
+echo "resume_smoke: all checks passed"

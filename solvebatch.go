@@ -33,6 +33,22 @@ func WithFaultInjector(inj *FaultInjector) Option {
 // client can see — csrserve answers 429 with a Retry-After hint.
 var ErrQueueFull = batch.ErrQueueFull
 
+// MemEstimate is the memory cost model's per-instance breakdown (see
+// WithMemBudget and EstimateMem).
+type MemEstimate = batch.MemEstimate
+
+// OverBudgetError is returned by Submit/TrySubmit when the memory cost
+// model puts an instance over the pool's WithMemBudget cap; it carries the
+// estimate so frontends can answer structured rejects — csrserve turns it
+// into a 413 body with the byte counts.
+type OverBudgetError = batch.OverBudgetError
+
+// EstimateMem runs the admission cost model on one instance: the bytes a
+// solve would pin for the dense compiled σ, DP scratch, and solver state.
+// The same model gates WithMemBudget pools (which additionally waive the σ
+// term for cached alphabets).
+func EstimateMem(in *Instance) MemEstimate { return batch.EstimateMem(in) }
+
 // BatchCounters is a snapshot of a BatchPool's queue, solve, and σ-cache
 // counters (see internal/batch.Counters); csrserve exports it at /metrics.
 type BatchCounters = batch.Counters
@@ -90,6 +106,7 @@ func NewBatchPool(alg Algorithm, opts ...Option) *BatchPool {
 		Queue:       cfg.queue,
 		EvalWorkers: evalWorkers,
 		Inject:      cfg.inject,
+		MemBudget:   cfg.memBudget,
 		Solve: func(ctx context.Context, in *core.Instance, rt batch.Runtime) (any, error) {
 			return solveInstance(ctx, in, alg, cfg, rt.Eval)
 		},
